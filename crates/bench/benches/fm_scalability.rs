@@ -1,0 +1,61 @@
+//! §2.3: solve time of the full packet-level model as the horizon grows.
+//!
+//! The paper reports minutes for simple scenarios and non-termination
+//! (>24 h) for realistic ones. Here each point doubles the modeled packet
+//! steps; the largest sizes are capped by a per-solve budget so the bench
+//! itself terminates (the *shape* — super-linear growth into a wall — is
+//! the result).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmml_fm::packet_model::{
+    reference_execution, solve, Arrival, PacketModelConfig, PacketModelOutcome,
+};
+use fmml_smt::solver::Budget;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scenario(steps: usize, ports: usize) -> (PacketModelConfig, Vec<Arrival>) {
+    let cfg = PacketModelConfig {
+        num_ports: ports,
+        queues_per_port: 2,
+        buffer: 16,
+        time_steps: steps,
+        interval_len: steps / 2,
+        strict_priority: true,
+    };
+    let mut arrivals = Vec::new();
+    for t in 0..steps / 2 {
+        for i in 0..ports.min(2) {
+            arrivals.push(Arrival { step: t, input_port: i, queue: (i * 2) % cfg.num_queues() });
+        }
+    }
+    (cfg, arrivals)
+}
+
+fn bench_packet_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fm_packet_model");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    for &steps in &[6usize, 8, 12, 16] {
+        let (cfg, arrivals) = scenario(steps, 2);
+        let tr = reference_execution(&cfg, &arrivals);
+        let budget = Budget {
+            timeout: Some(Duration::from_secs(5)),
+            max_sat_conflicts: Some(u64::MAX / 2),
+            max_bb_nodes: u64::MAX / 2,
+        };
+        g.bench_with_input(BenchmarkId::new("solve_steps", steps), &steps, |b, _| {
+            b.iter(|| {
+                let out = solve(black_box(&cfg), black_box(&tr.measurements), budget);
+                // Budget exhaustion is an expected outcome at the wall.
+                matches!(out, PacketModelOutcome::Unsat { .. })
+                    .then(|| panic!("consistent measurements must not be unsat"));
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_packet_model);
+criterion_main!(benches);

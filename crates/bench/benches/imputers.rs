@@ -1,0 +1,38 @@
+//! Per-window imputation latency of every Table-1 method — the cost an
+//! operator pays per 300 ms of telemetry, method by method (the
+//! scalability half of Table 1's story).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmml_bench::paper_windows;
+use fmml_core::imputer::Imputer;
+use fmml_core::iterative::IterativeImputer;
+use fmml_core::transformer_imputer::{Scales, TransformerImputer};
+use fmml_fm::cem::{enforce, CemEngine};
+use fmml_fm::WindowConstraints;
+use std::hint::black_box;
+
+fn bench_imputers(c: &mut Criterion) {
+    let ws = paper_windows(400, 31);
+    let w = ws.iter().max_by_key(|w| w.peak_max()).unwrap();
+    let scales = Scales { qlen: 520.0, count: 4150.0 };
+    let transformer = TransformerImputer::new(9, scales);
+    let iterative = IterativeImputer::default();
+
+    let mut g = c.benchmark_group("impute_300ms_window");
+    g.sample_size(20);
+    g.bench_function("iterative_imputer", |b| {
+        b.iter(|| black_box(iterative.impute(w)))
+    });
+    g.bench_function("transformer", |b| b.iter(|| black_box(transformer.impute(w))));
+    g.bench_function("transformer_plus_cem_fast", |b| {
+        b.iter(|| {
+            let raw = transformer.impute(w);
+            let wc = WindowConstraints::from_window(w);
+            black_box(enforce(&wc, &raw, &CemEngine::Fast).expect("feasible"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_imputers);
+criterion_main!(benches);

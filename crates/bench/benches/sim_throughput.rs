@@ -1,0 +1,37 @@
+//! Substrate quality: simulator throughput (simulated ms per wall-clock
+//! second) and telemetry extraction cost. Not a paper table, but the data
+//! generator every experiment depends on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+use fmml_telemetry::{windows_from_trace, CoarseTelemetry};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(100)); // simulated milliseconds
+    g.bench_function("run_100ms_paper_switch", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_default();
+            let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.5);
+            black_box(Simulation::new(cfg, traffic, 3).run_ms(100))
+        })
+    });
+    g.finish();
+
+    let cfg = SimConfig::paper_default();
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.5);
+    let gt = Simulation::new(cfg, traffic, 3).run_ms(600);
+    let mut g = c.benchmark_group("telemetry");
+    g.bench_function("coarse_from_600ms_trace", |b| {
+        b.iter(|| black_box(CoarseTelemetry::from_ground_truth(&gt, 50)))
+    });
+    g.bench_function("windows_from_600ms_trace", |b| {
+        b.iter(|| black_box(windows_from_trace(&gt, 300, 50, 300)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

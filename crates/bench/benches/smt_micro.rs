@@ -1,0 +1,101 @@
+//! SMT substrate microbenchmarks: the SAT core on a structured-hard
+//! instance, LIA branch & bound, and a boolean+theory mix — the building
+//! blocks whose cost dominates both the packet model and the SMT CEM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmml_smt::sat::{Lit, SatSolver, SolveResult};
+use fmml_smt::{SatResult, Solver};
+use std::hint::black_box;
+
+/// Pigeonhole n into n−1 (resolution-hard).
+fn pigeonhole(n: usize) -> SatSolver {
+    let mut s = SatSolver::new();
+    let p: Vec<Vec<u32>> = (0..n)
+        .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+        .collect();
+    for pi in &p {
+        let c: Vec<Lit> = pi.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..n - 1 {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+            }
+        }
+    }
+    s
+}
+
+fn lia_knapsack(items: usize) -> Solver {
+    // Feasibility with equality over a weighted sum: exercises simplex +
+    // branch & bound.
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..items).map(|i| s.int_var(&format!("x{i}"))).collect();
+    let zero = s.int(0);
+    let three = s.int(3);
+    for &v in &vars {
+        let lo = s.ge(v, zero);
+        s.assert(lo);
+        let hi = s.le(v, three);
+        s.assert(hi);
+    }
+    let weighted: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| s.mul_const(2 * i as i64 + 3, v))
+        .collect();
+    let total = s.add(&weighted);
+    let target = s.int((items * items) as i64);
+    let eq = s.eq(total, target);
+    s.assert(eq);
+    s
+}
+
+fn bench_smt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat_core");
+    g.sample_size(10);
+    g.bench_function("pigeonhole_6_unsat", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(6);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            black_box(s.conflicts())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("lia");
+    g.sample_size(10);
+    g.bench_function("knapsack_equality_8", |b| {
+        b.iter(|| {
+            let mut s = lia_knapsack(8);
+            black_box(s.check())
+        })
+    });
+    g.bench_function("boolean_theory_mix", |b| {
+        b.iter(|| {
+            // x in one of 8 disjoint bands, forced into the last by bounds.
+            let mut s = Solver::new();
+            let x = s.int_var("x");
+            let mut bands = Vec::new();
+            for i in 0..8i64 {
+                let lo = s.int(10 * i);
+                let hi = s.int(10 * i + 4);
+                let a = s.ge(x, lo);
+                let b2 = s.le(x, hi);
+                bands.push(s.and(&[a, b2]));
+            }
+            let any = s.or(&bands);
+            s.assert(any);
+            let floor = s.int(68);
+            let c2 = s.ge(x, floor);
+            s.assert(c2);
+            assert_eq!(s.check(), SatResult::Sat);
+            black_box(s.model_int(x))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_smt);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 1 machinery: the cost of scoring a method across all nine
+//! metrics (rows a–i), plus constraint checking in isolation. The full
+//! end-to-end Table-1 regeneration (training included) is the `table1`
+//! example; this bench covers the measurement side so regressions in the
+//! metric code are caught independently of training time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmml_bench::paper_windows;
+use fmml_core::bursts::BurstConfig;
+use fmml_core::imputer::Imputer;
+use fmml_core::iterative::IterativeImputer;
+use fmml_core::metrics::evaluate;
+use fmml_fm::WindowConstraints;
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let ws = paper_windows(700, 17);
+    let iterative = IterativeImputer::default();
+    let imputed: Vec<Vec<Vec<f32>>> = ws.iter().map(|w| iterative.impute(w)).collect();
+    let bcfg = BurstConfig::default();
+
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("evaluate_all_nine_metrics", |b| {
+        b.iter(|| black_box(evaluate(&ws, &imputed, &bcfg)))
+    });
+    g.bench_function("constraint_errors_only", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (w, pred) in ws.iter().zip(&imputed) {
+                let wc = WindowConstraints::from_window(w);
+                acc += wc.c1_error(pred) + wc.c2_error(pred) + wc.c3_error(pred);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Model-side costs: transformer inference and one training step at the
+//! paper's shape (300 steps × d_model 16) — the numbers behind §5's
+//! "strict timing requirements" discussion of real-time imputation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmml_bench::paper_windows;
+use fmml_core::train::{train, TrainConfig};
+use fmml_core::transformer_imputer::{encode_features, Scales, TransformerImputer};
+use fmml_nn::{loss, Tape, Tensor};
+use std::hint::black_box;
+
+fn bench_transformer(c: &mut Criterion) {
+    let scales = Scales { qlen: 520.0, count: 4150.0 };
+    let ws = paper_windows(400, 21);
+    let w = &ws[0];
+    let model = TransformerImputer::new(5, scales);
+
+    let mut g = c.benchmark_group("transformer_300x16");
+    g.bench_function("inference_one_queue", |b| {
+        b.iter(|| black_box(model.impute_queue(w, 0)))
+    });
+    g.bench_function("forward_backward_one_example", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new(&model.store);
+            let x = tape.constant(encode_features(w, 0, scales));
+            let pred = model.model.forward_series(&mut tape, x);
+            let tgt = tape.constant(Tensor::vector(
+                w.truth[0].iter().map(|&v| v / scales.qlen).collect(),
+            ));
+            let l = loss::emd(&mut tape, pred, tgt);
+            black_box(tape.backward(l))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    g.bench_function("one_epoch_paper_windows", |b| {
+        let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+        b.iter(|| black_box(train(&ws, scales, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transformer);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! # fmml-bench — shared fixtures for the Criterion benchmarks
+//!
+//! Each bench target regenerates one table/figure of the paper (see
+//! DESIGN.md's per-experiment index). This library crate holds the
+//! fixture builders they share so each bench measures only the operation
+//! under test.
+
+use fmml_fm::cem::IntervalProblem;
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{GroundTruth, SimConfig, Simulation};
+use fmml_telemetry::{windows_from_trace, PortWindow};
+
+/// A paper-shaped trace: 8-port switch, websearch+incast at 0.5 load.
+pub fn paper_trace(ms: u64, seed: u64) -> GroundTruth {
+    let cfg = SimConfig::paper_default();
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.5);
+    Simulation::new(cfg, traffic, seed).run_ms(ms)
+}
+
+/// Paper-shaped windows (300 bins / 50-bin intervals), active only.
+pub fn paper_windows(ms: u64, seed: u64) -> Vec<PortWindow> {
+    windows_from_trace(&paper_trace(ms, seed), 300, 50, 300)
+        .into_iter()
+        .filter(|w| w.has_activity())
+        .collect()
+}
+
+/// A realistic single-interval CEM problem taken from a real window: the
+/// target is the ground truth perturbed (so C1/C2/C3 are all violated and
+/// every CEM code path runs).
+pub fn cem_interval(len: usize) -> IntervalProblem {
+    let ws = paper_windows(400, 99);
+    let w = ws.iter().max_by_key(|w| w.peak_max()).expect("active window");
+    let l = w.interval_len.min(len);
+    // The interval with the largest max.
+    let k = (0..w.intervals())
+        .max_by_key(|&k| w.maxes.iter().map(|m| m[k]).max().unwrap())
+        .unwrap();
+    IntervalProblem {
+        len: l,
+        target: (0..w.num_queues())
+            .map(|q| {
+                w.truth[q][k * w.interval_len..k * w.interval_len + l]
+                    .iter()
+                    .map(|&v| (v * 0.8 + 1.0).round() as i64) // perturb
+                    .collect()
+            })
+            .collect(),
+        maxes: (0..w.num_queues()).map(|q| w.maxes[q][k]).collect(),
+        samples: (0..w.num_queues())
+            .map(|q| {
+                if l == w.interval_len {
+                    w.samples[q][k]
+                } else {
+                    w.truth[q][k * w.interval_len + l - 1] as u32
+                }
+            })
+            .collect(),
+        m_out: w.sent[k],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_usable() {
+        let ws = paper_windows(350, 1);
+        assert!(!ws.is_empty());
+        let p = cem_interval(50);
+        assert_eq!(p.len, 50);
+        assert!(p.measurements_consistent());
+    }
+}

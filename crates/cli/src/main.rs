@@ -1,0 +1,242 @@
+//! `fmml` — command-line interface to the telemetry-imputation stack.
+//!
+//! ```text
+//! fmml simulate  --ms 500 --seed 1 --ports 8 --load 0.5      # trace CSV
+//! fmml telemetry --ms 500 --seed 1 --interval 50             # coarse CSV
+//! fmml train     --out model.json [--kal] [--epochs 30] …    # checkpoint
+//! fmml impute    --model model.json --ms 300 --seed 99 [--cem]
+//! fmml eval      [--paper] [--epochs N]                      # Table 1
+//! fmml fm-solve  --steps 8 --ports 2 --budget-secs 10        # §2.3 model
+//! ```
+
+mod args;
+
+use args::Args;
+use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
+use fmml_core::imputer::Imputer;
+use fmml_core::train::train;
+use fmml_core::transformer_imputer::{Scales, TransformerImputer};
+use fmml_fm::cem::{enforce, CemEngine};
+use fmml_fm::packet_model::{
+    reference_execution, solve, Arrival, PacketModelConfig, PacketModelOutcome,
+};
+use fmml_fm::WindowConstraints;
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+use fmml_smt::solver::Budget;
+use std::time::Duration;
+
+const USAGE: &str = "\
+fmml — formal-methods-augmented telemetry imputation (HotNets '23 reproduction)
+
+USAGE: fmml <command> [--flags]
+
+COMMANDS:
+  simulate   run the switch simulator, print the fine-grained trace as CSV
+             --ms N (500)  --seed N (1)  --ports N (8)  --load F (0.5)
+  telemetry  print the operator's coarse telemetry as CSV
+             flags of `simulate` plus --interval N (50)
+  train      train a transformer imputer, write a JSON checkpoint
+             --out FILE  --kal  --epochs N (30)  --runs N (8)  --ms N (1800)  --seed N (42)
+  impute     impute fresh telemetry with a checkpoint
+             --model FILE  --ms N (300)  --seed N (99)  --cem
+  eval       regenerate Table 1 (markdown)
+             --paper  --epochs N
+  fm-solve   solve the full §2.3 packet-level model for a scripted scenario
+             --steps N (8)  --ports N (2)  --budget-secs N (10)
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("simulate") => cmd_simulate(&args),
+        Some("telemetry") => cmd_telemetry(&args),
+        Some("train") => cmd_train(&args),
+        Some("impute") => cmd_impute(&args),
+        Some("eval") => cmd_eval(&args),
+        Some("fm-solve") => cmd_fm_solve(&args),
+        _ => {
+            println!("{USAGE}");
+            return;
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn sim_config(args: &Args) -> Result<(SimConfig, TrafficConfig, u64, u64), String> {
+    let mut cfg = SimConfig::paper_default();
+    cfg.num_ports = args.get_or("ports", cfg.num_ports)?;
+    let load: f64 = args.get_or("load", 0.5)?;
+    if !(0.0..=1.0).contains(&load) {
+        return Err(format!("--load must be within [0,1], got {load}"));
+    }
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, load);
+    let ms = args.get_or("ms", 500u64)?;
+    let seed = args.get_or("seed", 1u64)?;
+    Ok((cfg, traffic, ms, seed))
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let (cfg, traffic, ms, seed) = sim_config(args)?;
+    let gt = Simulation::new(cfg, traffic, seed).run_ms(ms);
+    print!("{}", gt.to_csv());
+    Ok(())
+}
+
+fn cmd_telemetry(args: &Args) -> Result<(), String> {
+    let (cfg, traffic, ms, seed) = sim_config(args)?;
+    let interval = args.get_or("interval", 50usize)?;
+    let gt = Simulation::new(cfg, traffic, seed).run_ms(ms);
+    let ct = fmml_telemetry::CoarseTelemetry::from_ground_truth(&gt, interval);
+    // Header.
+    print!("interval");
+    for q in 0..ct.num_queues() {
+        print!(",sample{q},max{q}");
+    }
+    for p in 0..ct.num_ports() {
+        print!(",recv{p},sent{p},drop{p}");
+    }
+    println!();
+    for k in 0..ct.num_intervals() {
+        print!("{k}");
+        for q in &ct.queues {
+            print!(",{},{}", q.samples[k], q.max[k]);
+        }
+        for p in &ct.ports {
+            print!(",{},{},{}", p.received[k], p.sent[k], p.dropped[k]);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args
+        .get_string("out")
+        .ok_or("--out FILE is required")?
+        .to_string();
+    let mut cfg = EvalConfig::paper();
+    cfg.train_runs = args.get_or("runs", cfg.train_runs)?;
+    cfg.run_ms = args.get_or("ms", cfg.run_ms)?;
+    cfg.seed = args.get_or("seed", cfg.seed)?;
+    cfg.train.epochs = args.get_or("epochs", cfg.train.epochs)?;
+    if args.flag("kal") {
+        cfg.train.kal = Some(cfg.kal);
+    }
+    let scales = Scales {
+        qlen: cfg.sim.buffer_packets as f32,
+        count: (cfg.sim.pkts_per_ms() as usize * cfg.interval_len) as f32,
+    };
+    eprintln!(
+        "training on {} runs x {} ms ({} epochs, kal={})…",
+        cfg.train_runs,
+        cfg.run_ms,
+        cfg.train.epochs,
+        cfg.train.kal.is_some()
+    );
+    let windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
+    let (model, stats) = train(&windows, scales, &cfg.train);
+    eprintln!(
+        "loss {:.4} -> {:.4}",
+        stats.first().map_or(0.0, |s| s.mean_loss),
+        stats.last().map_or(0.0, |s| s.mean_loss)
+    );
+    std::fs::write(&out, model.save_json()).map_err(|e| e.to_string())?;
+    eprintln!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn cmd_impute(args: &Args) -> Result<(), String> {
+    let path = args.get_string("model").ok_or("--model FILE is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let model = TransformerImputer::load_json(&json)?;
+    let mut cfg = EvalConfig::paper();
+    cfg.run_ms = args.get_or("ms", 300u64)?;
+    cfg.seed = args.get_or("seed", 99u64)?;
+    let windows = generate_windows(&cfg, cfg.seed, 1);
+    if windows.is_empty() {
+        return Err("no active windows in the simulated span".into());
+    }
+    let use_cem = args.flag("cem");
+    println!("window,queue,ms,imputed");
+    for (wi, w) in windows.iter().enumerate() {
+        let mut series = model.impute(w);
+        if use_cem {
+            let wc = WindowConstraints::from_window(w);
+            if let Ok(out) = enforce(&wc, &series, &CemEngine::Fast) {
+                series = out
+                    .corrected
+                    .iter()
+                    .map(|q| q.iter().map(|&v| v as f32).collect())
+                    .collect();
+            }
+        }
+        for (q, qs) in series.iter().enumerate() {
+            for (t, v) in qs.iter().enumerate() {
+                println!("{wi},{q},{},{v:.2}", w.start_bin + t);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let mut cfg = if args.flag("paper") { EvalConfig::paper() } else { EvalConfig::smoke() };
+    if let Some(e) = args.get::<usize>("epochs")? {
+        cfg.train.epochs = e;
+    }
+    let report = run_table1(&cfg);
+    println!("{}", report.to_markdown());
+    Ok(())
+}
+
+fn cmd_fm_solve(args: &Args) -> Result<(), String> {
+    let steps = args.get_or("steps", 8usize)?;
+    let ports = args.get_or("ports", 2usize)?;
+    let budget_secs = args.get_or("budget-secs", 10u64)?;
+    if steps < 2 || steps % 2 != 0 {
+        return Err("--steps must be even and >= 2".into());
+    }
+    let cfg = PacketModelConfig {
+        num_ports: ports,
+        queues_per_port: 2,
+        buffer: 16,
+        time_steps: steps,
+        interval_len: steps / 2,
+        strict_priority: true,
+    };
+    let mut arrivals = Vec::new();
+    for t in 0..steps / 2 {
+        for i in 0..ports.min(2) {
+            arrivals.push(Arrival { step: t, input_port: i, queue: (i * 2) % cfg.num_queues() });
+        }
+    }
+    let tr = reference_execution(&cfg, &arrivals);
+    let budget = Budget {
+        timeout: Some(Duration::from_secs(budget_secs)),
+        max_sat_conflicts: Some(u64::MAX / 2),
+        max_bb_nodes: u64::MAX / 2,
+    };
+    match solve(&cfg, &tr.measurements, budget) {
+        PacketModelOutcome::Sat { len, elapsed } => {
+            println!("sat in {elapsed:?}; imputed series:");
+            for (q, series) in len.iter().enumerate() {
+                println!("  q{q}: {series:?}");
+            }
+        }
+        PacketModelOutcome::Unsat { elapsed } => println!("unsat in {elapsed:?}"),
+        PacketModelOutcome::Unknown { elapsed } => {
+            println!("budget wall after {elapsed:?} (the §2.3 scalability result)")
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Black-box tests of the `fmml` binary.
+
+use std::process::Command;
+
+fn fmml(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fmml"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_command_prints_usage() {
+    let (stdout, _, ok) = fmml(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("fm-solve"));
+}
+
+#[test]
+fn simulate_emits_csv_with_expected_columns() {
+    let (stdout, _, ok) = fmml(&["simulate", "--ms", "20", "--ports", "2", "--seed", "3"]);
+    assert!(ok);
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header");
+    assert!(header.starts_with("bin,qlen0"));
+    assert_eq!(lines.count(), 20, "one row per simulated ms");
+}
+
+#[test]
+fn telemetry_respects_interval_flag() {
+    let (stdout, _, ok) = fmml(&[
+        "telemetry", "--ms", "100", "--ports", "2", "--interval", "25", "--seed", "3",
+    ]);
+    assert!(ok);
+    // 100 ms / 25 ms = 4 intervals + header.
+    assert_eq!(stdout.lines().count(), 5);
+}
+
+#[test]
+fn fm_solve_reports_an_outcome() {
+    let (stdout, _, ok) = fmml(&["fm-solve", "--steps", "6", "--budget-secs", "30"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("sat in") || stdout.contains("budget wall"),
+        "unexpected output: {stdout}"
+    );
+}
+
+#[test]
+fn bad_flags_fail_with_diagnostics() {
+    let (_, stderr, ok) = fmml(&["simulate", "--ms", "abc"]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value for --ms"));
+    let (_, stderr, ok) = fmml(&["simulate", "--load", "7.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("--load"));
+    let (_, stderr, ok) = fmml(&["train"]);
+    assert!(!ok);
+    assert!(stderr.contains("--out"));
+    let (_, stderr, ok) = fmml(&["fm-solve", "--steps", "7"]);
+    assert!(!ok);
+    assert!(stderr.contains("even"));
+}

@@ -1,0 +1,263 @@
+//! End-to-end evaluation harness: regenerates Table 1.
+//!
+//! Pipeline (Fig. 3): simulate traffic → sample coarse telemetry → train
+//! the transformer (plain and KAL variants) on training runs → impute the
+//! held-out test runs with all four methods → score every method on the
+//! nine metrics.
+
+use crate::bursts::BurstConfig;
+use crate::imputer::Imputer;
+use crate::iterative::IterativeImputer;
+use crate::kal::KalConfig;
+use crate::metrics::{evaluate, Table1Row};
+use crate::train::{train, TrainConfig};
+use crate::transformer_imputer::Scales;
+use fmml_fm::cem::{enforce, CemEngine};
+use fmml_fm::WindowConstraints;
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+use fmml_telemetry::{windows_from_trace, PortWindow};
+use serde::Serialize;
+
+/// The four methods of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Method {
+    IterativeImputer,
+    Transformer,
+    TransformerKal,
+    TransformerKalCem,
+}
+
+impl Method {
+    pub const ALL: [Method; 4] = [
+        Method::IterativeImputer,
+        Method::Transformer,
+        Method::TransformerKal,
+        Method::TransformerKalCem,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::IterativeImputer => "IterImputer",
+            Method::Transformer => "Transformer",
+            Method::TransformerKal => "Transformer+KAL",
+            Method::TransformerKalCem => "Transformer+KAL+CEM",
+        }
+    }
+}
+
+/// Configuration of a full Table-1 evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    pub sim: SimConfig,
+    pub traffic: TrafficConfig,
+    /// Window length in fine bins (paper: 300).
+    pub window_len: usize,
+    /// Coarse interval in fine bins (paper: 50).
+    pub interval_len: usize,
+    /// Simulation runs used for training / held out for testing.
+    pub train_runs: usize,
+    pub test_runs: usize,
+    /// Milliseconds simulated per run.
+    pub run_ms: u64,
+    pub seed: u64,
+    pub train: TrainConfig,
+    pub kal: KalConfig,
+    pub bursts: BurstConfig,
+    pub cem: CemEngine,
+}
+
+impl EvalConfig {
+    /// The paper-scale evaluation (minutes of CPU; used by benches and
+    /// the `table1` example).
+    pub fn paper() -> EvalConfig {
+        let sim = SimConfig::paper_default();
+        let traffic = TrafficConfig::websearch_incast(sim.num_ports, 0.5);
+        EvalConfig {
+            sim,
+            traffic,
+            window_len: 300,
+            interval_len: 50,
+            train_runs: 8,
+            test_runs: 2,
+            run_ms: 1800,
+            seed: 42,
+            train: TrainConfig { epochs: 30, ..TrainConfig::default() },
+            kal: KalConfig::default(),
+            bursts: BurstConfig::default(),
+            cem: CemEngine::Fast,
+        }
+    }
+
+    /// A scaled-down configuration that completes in seconds (tests, CI).
+    pub fn smoke() -> EvalConfig {
+        let sim = SimConfig::small();
+        let traffic = TrafficConfig::websearch_incast(sim.num_ports, 0.6);
+        EvalConfig {
+            sim,
+            traffic,
+            window_len: 60,
+            interval_len: 10,
+            train_runs: 2,
+            test_runs: 1,
+            run_ms: 240,
+            seed: 7,
+            train: TrainConfig { epochs: 3, batch_size: 8, ..TrainConfig::default() },
+            kal: KalConfig::default(),
+            bursts: BurstConfig { threshold: 5.0, min_gap: 2 },
+            cem: CemEngine::Fast,
+        }
+    }
+
+    fn scales(&self) -> Scales {
+        Scales {
+            qlen: self.sim.buffer_packets as f32,
+            count: (self.sim.pkts_per_ms() as usize * self.interval_len) as f32,
+        }
+    }
+}
+
+/// The result: one Table-1 row per method.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalReport {
+    pub methods: Vec<(String, TableRowSer)>,
+    pub num_test_windows: usize,
+}
+
+/// Serializable mirror of [`Table1Row`].
+#[derive(Debug, Clone, Serialize)]
+pub struct TableRowSer {
+    pub values: Vec<(String, f64)>,
+}
+
+impl From<&Table1Row> for TableRowSer {
+    fn from(r: &Table1Row) -> TableRowSer {
+        TableRowSer {
+            values: r.entries().iter().map(|&(l, v)| (l.to_string(), v)).collect(),
+        }
+    }
+}
+
+impl EvalReport {
+    /// Render the table in the paper's orientation (metrics as rows,
+    /// methods as columns).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::from("| Error Metric |");
+        for (name, _) in &self.methods {
+            s.push_str(&format!(" {name} |"));
+        }
+        s.push('\n');
+        s.push_str("|---|");
+        for _ in &self.methods {
+            s.push_str("---|");
+        }
+        s.push('\n');
+        let labels: Vec<String> = self.methods[0].1.values.iter().map(|(l, _)| l.clone()).collect();
+        for (ri, label) in labels.iter().enumerate() {
+            s.push_str(&format!("| {label} |"));
+            for (_, row) in &self.methods {
+                s.push_str(&format!(" {:.3} |", row.values[ri].1));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Generate windows from `runs` simulations (seeds `seed..seed+runs`).
+pub fn generate_windows(cfg: &EvalConfig, seed: u64, runs: usize) -> Vec<PortWindow> {
+    let mut out = Vec::new();
+    for r in 0..runs {
+        let gt = Simulation::new(cfg.sim.clone(), cfg.traffic.clone(), seed + r as u64)
+            .run_ms(cfg.run_ms);
+        out.extend(
+            windows_from_trace(&gt, cfg.window_len, cfg.interval_len, cfg.window_len)
+                .into_iter()
+                .filter(|w| w.has_activity()),
+        );
+    }
+    out
+}
+
+/// Impute a set of windows with a method, applying CEM if requested.
+pub fn impute_all(
+    method: Method,
+    windows: &[PortWindow],
+    iterative: &IterativeImputer,
+    plain: &dyn Imputer,
+    kal: &dyn Imputer,
+    cem: &CemEngine,
+) -> Vec<Vec<Vec<f32>>> {
+    windows
+        .iter()
+        .map(|w| match method {
+            Method::IterativeImputer => iterative.impute(w),
+            Method::Transformer => plain.impute(w),
+            Method::TransformerKal => kal.impute(w),
+            Method::TransformerKalCem => {
+                let raw = kal.impute(w);
+                let wc = WindowConstraints::from_window(w);
+                match enforce(&wc, &raw, cem) {
+                    Ok(out) => out
+                        .corrected
+                        .iter()
+                        .map(|qs| qs.iter().map(|&v| v as f32).collect())
+                        .collect(),
+                    // Infeasible measurements cannot occur on simulator
+                    // data; fall back to the raw output defensively.
+                    Err(_) => raw,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Run the full Table-1 evaluation.
+pub fn run_table1(cfg: &EvalConfig) -> EvalReport {
+    let scales = cfg.scales();
+    let train_windows = generate_windows(cfg, cfg.seed, cfg.train_runs);
+    let test_windows = generate_windows(cfg, cfg.seed + 1000, cfg.test_runs);
+    assert!(!train_windows.is_empty(), "no active training windows generated");
+    assert!(!test_windows.is_empty(), "no active test windows generated");
+
+    let (plain, _) = train(&train_windows, scales, &cfg.train);
+    let kal_cfg = TrainConfig { kal: Some(cfg.kal), ..cfg.train.clone() };
+    let (kal_model, _) = train(&train_windows, scales, &kal_cfg);
+    let iterative = IterativeImputer::default();
+
+    let mut methods = Vec::new();
+    for m in Method::ALL {
+        let imputed = impute_all(m, &test_windows, &iterative, &plain, &kal_model, &cfg.cem);
+        let row = evaluate(&test_windows, &imputed, &cfg.bursts);
+        methods.push((m.label().to_string(), TableRowSer::from(&row)));
+    }
+    EvalReport { methods, num_test_windows: test_windows.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_evaluation_produces_the_full_table() {
+        let cfg = EvalConfig::smoke();
+        let report = run_table1(&cfg);
+        assert_eq!(report.methods.len(), 4);
+        assert!(report.num_test_windows > 0);
+        for (name, row) in &report.methods {
+            assert_eq!(row.values.len(), 9, "{name} row incomplete");
+            for (label, v) in &row.values {
+                assert!(v.is_finite(), "{name}/{label} not finite");
+                assert!(*v >= 0.0, "{name}/{label} negative");
+            }
+        }
+        // CEM nullifies the consistency rows (a-c) by construction.
+        let cem_row = &report.methods[3].1;
+        assert_eq!(cem_row.values[0].1, 0.0, "CEM max-constraint error");
+        assert_eq!(cem_row.values[1].1, 0.0, "CEM periodic-constraint error");
+        assert_eq!(cem_row.values[2].1, 0.0, "CEM sent-count-constraint error");
+        let md = report.to_markdown();
+        assert!(md.contains("Transformer+KAL+CEM"));
+        assert!(md.contains("a. Max Constraint"));
+    }
+}

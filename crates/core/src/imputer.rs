@@ -1,0 +1,65 @@
+//! The interface every imputation method implements.
+
+use fmml_telemetry::PortWindow;
+
+/// An imputation method: coarse window in, fine-grained queue-length
+/// estimates out.
+pub trait Imputer {
+    /// Impute all queues of a port window; returns `[queues][len]`
+    /// fine-grained (1 ms) queue-length estimates.
+    ///
+    /// Implementations only read the *coarse* fields of the window
+    /// (samples / maxes / SNMP counts) — never `truth`.
+    fn impute(&self, window: &PortWindow) -> Vec<Vec<f32>>;
+
+    /// Method name as it appears in reports (e.g. `"Transformer+KAL"`).
+    fn name(&self) -> String;
+}
+
+/// A trivial reference imputer: repeats each interval's periodic sample
+/// across the whole interval (the "do nothing smart" floor).
+pub struct HoldImputer;
+
+impl Imputer for HoldImputer {
+    fn impute(&self, w: &PortWindow) -> Vec<Vec<f32>> {
+        let l = w.interval_len;
+        (0..w.num_queues())
+            .map(|q| {
+                (0..w.len())
+                    .map(|t| w.samples[q][t / l] as f32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "Hold".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmml_netsim::traffic::TrafficConfig;
+    use fmml_netsim::{SimConfig, Simulation};
+    use fmml_telemetry::windows_from_trace;
+
+    #[test]
+    fn hold_imputer_shapes_and_values() {
+        let cfg = SimConfig::small();
+        let gt = Simulation::new(cfg.clone(), TrafficConfig::websearch_incast(cfg.num_ports, 0.5), 3)
+            .run_ms(300);
+        let w = &windows_from_trace(&gt, 300, 50, 300)[0];
+        let out = HoldImputer.impute(w);
+        assert_eq!(out.len(), w.num_queues());
+        assert_eq!(out[0].len(), 300);
+        // Constant within each interval, equal to the sample.
+        for q in 0..w.num_queues() {
+            for k in 0..6 {
+                for t in k * 50..(k + 1) * 50 {
+                    assert_eq!(out[q][t], w.samples[q][k] as f32);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal dense linear algebra: Cholesky factorization / solve for the
+//! symmetric positive-definite normal equations of ridge regression.
+
+/// Solve `A x = b` for symmetric positive-definite `A` (row-major, n×n)
+/// via Cholesky. Returns `None` if `A` is not (numerically) SPD.
+pub fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    // Factor A = L L^T.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back solve L^T x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// Ridge regression: given rows `xs` (each of length `d`) and targets
+/// `ys`, return weights `w` (length `d + 1`, intercept last) minimizing
+/// `Σ (w·x + w0 − y)² + λ‖w‖²` (intercept not regularized).
+pub fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return None;
+    }
+    let d = xs[0].len();
+    let n = d + 1;
+    // Normal equations with an appended constant-1 feature.
+    let mut ata = vec![0.0f64; n * n];
+    let mut atb = vec![0.0f64; n];
+    for (x, &y) in xs.iter().zip(ys) {
+        debug_assert_eq!(x.len(), d);
+        let aug = |i: usize| if i < d { x[i] } else { 1.0 };
+        for i in 0..n {
+            atb[i] += aug(i) * y;
+            for j in 0..n {
+                ata[i * n + j] += aug(i) * aug(j);
+            }
+        }
+    }
+    for (i, v) in ata.iter_mut().enumerate().take(n * n) {
+        let (r, c) = (i / n, i % n);
+        if r == c && r < d {
+            *v += lambda;
+        }
+    }
+    // Tiny diagonal jitter keeps the intercept row SPD when data is flat.
+    ata[n * n - 1] += 1e-9;
+    solve_spd(&ata, &atb, n)
+}
+
+/// Apply ridge weights to a feature row.
+pub fn ridge_predict(w: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), x.len() + 1);
+    x.iter().zip(w).map(|(&a, &b)| a * b).sum::<f64>() + w[w.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -2.0];
+        assert_eq!(solve_spd(&a, &b, 2).unwrap(), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> x = [7/4, 3/2].
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 8.0];
+        let x = solve_spd(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = vec![0.0, 0.0, 0.0, -1.0];
+        assert!(solve_spd(&a, &[1.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_relationship() {
+        // y = 2x0 - x1 + 3.
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.5, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - x[1] + 3.0).collect();
+        let w = ridge_fit(&xs, &ys, 1e-6).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-3, "{w:?}");
+        assert!((w[1] + 1.0).abs() < 1e-3);
+        assert!((w[2] - 3.0).abs() < 1e-2);
+        let pred = ridge_predict(&w, &[4.0, 2.0]);
+        assert!((pred - 9.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x[0]).collect();
+        let w_small = ridge_fit(&xs, &ys, 1e-9).unwrap();
+        let w_big = ridge_fit(&xs, &ys, 1e6).unwrap();
+        assert!(w_big[0].abs() < w_small[0].abs() * 0.1);
+    }
+}

@@ -1,0 +1,281 @@
+//! The nine evaluation metrics of Table 1.
+//!
+//! Rows a–c are the consistency errors defined in
+//! [`fmml_fm::constraints`]; rows d–i are downstream burst/health tasks
+//! computed by comparing burst statistics of the imputed series against
+//! the ground truth. All rows are normalized errors — lower is better.
+
+use crate::bursts::{detect_bursts, empty_fraction, mean_interarrival, Burst, BurstConfig};
+use fmml_fm::WindowConstraints;
+use fmml_telemetry::PortWindow;
+
+/// One method's row of Table 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table1Row {
+    /// a. Max constraint (C1) error.
+    pub max_constraint: f64,
+    /// b. Periodic constraint (C2) error.
+    pub periodic_constraint: f64,
+    /// c. Sent-pkts-count constraint (C3) error.
+    pub sent_constraint: f64,
+    /// d. Burst detection error (1 − F1).
+    pub burst_detection: f64,
+    /// e. Burst height relative error.
+    pub burst_height: f64,
+    /// f. Burst frequency relative error.
+    pub burst_frequency: f64,
+    /// g. Burst inter-arrival-time relative error.
+    pub burst_interarrival: f64,
+    /// h. Empty-queue-frequency relative error.
+    pub empty_queue_freq: f64,
+    /// i. Average count of concurrent bursts, relative error.
+    pub concurrent_bursts: f64,
+}
+
+impl Table1Row {
+    /// The rows as (label, value) pairs in paper order.
+    pub fn entries(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("a. Max Constraint", self.max_constraint),
+            ("b. Periodic Constraint", self.periodic_constraint),
+            ("c. Sent pkts count Constraint", self.sent_constraint),
+            ("d. Burst Detection", self.burst_detection),
+            ("e. Burst Height", self.burst_height),
+            ("f. Burst Frequency", self.burst_frequency),
+            ("g. Burst Interarrival Time", self.burst_interarrival),
+            ("h. Empty Queue Frequency", self.empty_queue_freq),
+            ("i. Avg count of concurrent bursts", self.concurrent_bursts),
+        ]
+    }
+}
+
+/// Streaming mean.
+#[derive(Debug, Default, Clone)]
+struct Mean {
+    sum: f64,
+    n: usize,
+}
+
+impl Mean {
+    fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// Evaluate one method's imputations over a set of windows.
+///
+/// `imputed[i]` corresponds to `windows[i]` and has shape
+/// `[queues][len]`.
+pub fn evaluate(
+    windows: &[PortWindow],
+    imputed: &[Vec<Vec<f32>>],
+    bcfg: &BurstConfig,
+) -> Table1Row {
+    assert_eq!(windows.len(), imputed.len());
+    let mut row = Table1Row::default();
+    let (mut c1, mut c2, mut c3) = (Mean::default(), Mean::default(), Mean::default());
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    let mut height = Mean::default();
+    let mut freq = Mean::default();
+    let mut inter = Mean::default();
+    let mut empty = Mean::default();
+    let mut conc = Mean::default();
+
+    for (w, pred) in windows.iter().zip(imputed) {
+        let wc = WindowConstraints::from_window(w);
+        c1.push(wc.c1_error(pred));
+        c2.push(wc.c2_error(pred));
+        c3.push(wc.c3_error(pred));
+
+        let mut truth_bursts_by_q: Vec<Vec<Burst>> = Vec::new();
+        let mut pred_bursts_by_q: Vec<Vec<Burst>> = Vec::new();
+        for q in 0..w.num_queues() {
+            let tb = detect_bursts(&w.truth[q], bcfg);
+            let pb = detect_bursts(&pred[q], bcfg);
+
+            // d. detection counts.
+            for t in &tb {
+                if pb.iter().any(|p| p.overlaps(t)) {
+                    tp += 1;
+                } else {
+                    fn_ += 1;
+                }
+            }
+            fp += pb.iter().filter(|p| !tb.iter().any(|t| t.overlaps(p))).count();
+
+            // e. height error over matched truth bursts.
+            for t in &tb {
+                let best = pb
+                    .iter()
+                    .filter(|p| p.overlaps(t))
+                    .max_by_key(|p| overlap_len(p, t));
+                match best {
+                    Some(p) => height.push(((p.height - t.height).abs() / t.height) as f64),
+                    None => height.push(1.0),
+                }
+            }
+
+            // f. frequency error (only queues that burst on either side).
+            if !tb.is_empty() || !pb.is_empty() {
+                let e = (pb.len() as f64 - tb.len() as f64).abs() / (tb.len() as f64).max(1.0);
+                freq.push(e);
+            }
+
+            // g. inter-arrival error where the truth has a cadence.
+            if let Some(it) = mean_interarrival(&tb) {
+                match mean_interarrival(&pb) {
+                    Some(ip) => inter.push((ip - it).abs() / it),
+                    None => inter.push(1.0),
+                }
+            }
+
+            // h. empty-queue frequency.
+            let ft = empty_fraction(&w.truth[q]);
+            let fi = empty_fraction(&pred[q]);
+            let floor = 1.0 / w.len() as f64;
+            empty.push((fi - ft).abs() / ft.max(floor));
+
+            truth_bursts_by_q.push(tb);
+            pred_bursts_by_q.push(pb);
+        }
+
+        // i. average concurrent-burst count over the window.
+        let avg_conc = |bursts: &[Vec<Burst>]| -> f64 {
+            let mut total = 0usize;
+            for t in 0..w.len() {
+                total += bursts
+                    .iter()
+                    .filter(|qb| qb.iter().any(|b| b.start <= t && t < b.end))
+                    .count();
+            }
+            total as f64 / w.len() as f64
+        };
+        let at = avg_conc(&truth_bursts_by_q);
+        let ap = avg_conc(&pred_bursts_by_q);
+        if at > 0.0 || ap > 0.0 {
+            conc.push((ap - at).abs() / at.max(1.0 / w.len() as f64));
+        }
+    }
+
+    row.max_constraint = c1.value();
+    row.periodic_constraint = c2.value();
+    row.sent_constraint = c3.value();
+    // 1 − F1 (empty/empty counts as perfect).
+    row.burst_detection = if tp + fp + fn_ == 0 {
+        0.0
+    } else {
+        let f1 = 2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fn_ as f64);
+        1.0 - f1
+    };
+    row.burst_height = height.value();
+    row.burst_frequency = freq.value();
+    row.burst_interarrival = inter.value();
+    row.empty_queue_freq = empty.value();
+    row.concurrent_bursts = conc.value();
+    row
+}
+
+fn overlap_len(a: &Burst, b: &Burst) -> usize {
+    a.end.min(b.end).saturating_sub(a.start.max(b.start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A window with one bursty queue and one idle queue.
+    fn toy_window() -> PortWindow {
+        let mut truth0 = vec![0.0f32; 20];
+        for v in truth0.iter_mut().take(8).skip(4) {
+            *v = 20.0; // burst t4..8, height 20
+        }
+        PortWindow {
+            port: 0,
+            start_bin: 0,
+            interval_len: 10,
+            queue_ids: vec![0, 1],
+            truth: vec![truth0, vec![0.0; 20]],
+            samples: vec![vec![0, 0], vec![0, 0]],
+            maxes: vec![vec![20, 0], vec![0, 0]],
+            sent: vec![10, 0],
+            dropped: vec![0, 0],
+            received: vec![10, 0],
+        }
+    }
+
+    fn bcfg() -> BurstConfig {
+        BurstConfig { threshold: 10.0, min_gap: 2 }
+    }
+
+    #[test]
+    fn perfect_imputation_scores_zero_on_burst_rows() {
+        let w = toy_window();
+        let pred = w.truth.clone();
+        let row = evaluate(&[w], &[pred], &bcfg());
+        assert_eq!(row.burst_detection, 0.0);
+        assert_eq!(row.burst_height, 0.0);
+        assert_eq!(row.burst_frequency, 0.0);
+        assert_eq!(row.empty_queue_freq, 0.0);
+        assert_eq!(row.concurrent_bursts, 0.0);
+        // C1/C2/C3 also hold (truth is consistent by construction).
+        assert_eq!(row.max_constraint, 0.0);
+        assert_eq!(row.periodic_constraint, 0.0);
+        assert_eq!(row.sent_constraint, 0.0);
+    }
+
+    #[test]
+    fn missed_burst_is_detected() {
+        let w = toy_window();
+        let pred = vec![vec![0.0; 20], vec![0.0; 20]];
+        let row = evaluate(&[w], &[pred], &bcfg());
+        assert_eq!(row.burst_detection, 1.0, "missed burst must zero the F1");
+        assert_eq!(row.burst_height, 1.0);
+        assert!(row.burst_frequency >= 1.0);
+        assert!(row.max_constraint > 0.0, "flat series violates C1");
+    }
+
+    #[test]
+    fn underestimated_height_is_graded() {
+        let w = toy_window();
+        let mut pred = w.truth.clone();
+        for v in pred[0].iter_mut().take(8).skip(4) {
+            *v = 15.0; // burst found, height 15 vs 20
+        }
+        let row = evaluate(&[w], &[pred], &bcfg());
+        assert_eq!(row.burst_detection, 0.0);
+        assert!((row.burst_height - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spurious_bursts_count_as_false_positives() {
+        let w = toy_window();
+        let mut pred = w.truth.clone();
+        for v in pred[1].iter_mut().take(16).skip(14) {
+            *v = 12.0; // queue 1 never bursts in truth
+        }
+        let row = evaluate(&[w], &[pred], &bcfg());
+        // tp=1, fp=1, fn=0 -> F1 = 2/3.
+        assert!((row.burst_detection - (1.0 - 2.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entries_are_in_paper_order() {
+        let labels: Vec<&str> = Table1Row::default()
+            .entries()
+            .iter()
+            .map(|&(l, _)| l)
+            .collect();
+        assert_eq!(labels[0], "a. Max Constraint");
+        assert_eq!(labels[8], "i. Avg count of concurrent bursts");
+        assert_eq!(labels.len(), 9);
+    }
+}

@@ -1,0 +1,274 @@
+//! Real-time (streaming) telemetry imputation — the paper's §5
+//! "strict timing requirements" direction, built ahead as a working
+//! subsystem.
+//!
+//! An operator's collector receives one coarse interval of telemetry per
+//! queue every 50 ms. [`StreamingImputer`] ingests these increments,
+//! keeps a sliding window of the most recent intervals per port, and on
+//! every completed interval re-imputes the window (transformer + CEM) —
+//! yielding the newest interval's fine-grained series within a measured,
+//! bounded latency. Tasks like performance-driven routing or attack
+//! detection (§5) would subscribe to [`ImputedInterval`]s.
+
+use crate::imputer::Imputer;
+use crate::transformer_imputer::TransformerImputer;
+use fmml_fm::cem::{enforce, CemEngine};
+use fmml_fm::WindowConstraints;
+use fmml_telemetry::PortWindow;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// One coarse interval of one port, as a collector would deliver it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalUpdate {
+    pub port: usize,
+    /// `samples[q]`: periodic sample of each queue.
+    pub samples: Vec<u32>,
+    /// `maxes[q]`: LANZ max of each queue.
+    pub maxes: Vec<u32>,
+    pub sent: u32,
+    pub dropped: u32,
+    pub received: u32,
+}
+
+impl IntervalUpdate {
+    /// Slice interval `k` of an offline window into an update (testing /
+    /// replay convenience).
+    pub fn from_window(w: &PortWindow, k: usize) -> IntervalUpdate {
+        IntervalUpdate {
+            port: w.port,
+            samples: (0..w.num_queues()).map(|q| w.samples[q][k]).collect(),
+            maxes: (0..w.num_queues()).map(|q| w.maxes[q][k]).collect(),
+            sent: w.sent[k],
+            dropped: w.dropped[k],
+            received: w.received[k],
+        }
+    }
+}
+
+/// The freshly imputed fine series of the latest interval.
+#[derive(Debug, Clone)]
+pub struct ImputedInterval {
+    pub port: usize,
+    /// `series[q][t]`: fine-grained lengths for the new interval only.
+    pub series: Vec<Vec<u32>>,
+    /// Wall-clock cost of producing it (model + CEM).
+    pub latency: Duration,
+    /// Whether C1–C3 hold exactly (always true unless CEM failed and the
+    /// raw model output was passed through).
+    pub enforced: bool,
+}
+
+/// Sliding-window online imputer for one port.
+pub struct StreamingImputer<'m> {
+    model: &'m TransformerImputer,
+    cem: CemEngine,
+    /// Fine bins per interval.
+    interval_len: usize,
+    /// Intervals kept in the sliding window (the model's context).
+    window_intervals: usize,
+    num_queues: usize,
+    port: usize,
+    history: VecDeque<IntervalUpdate>,
+    /// Running latency statistics.
+    total_latency: Duration,
+    updates_processed: u64,
+    worst_latency: Duration,
+}
+
+impl<'m> StreamingImputer<'m> {
+    pub fn new(
+        model: &'m TransformerImputer,
+        cem: CemEngine,
+        port: usize,
+        num_queues: usize,
+        interval_len: usize,
+        window_intervals: usize,
+    ) -> StreamingImputer<'m> {
+        assert!(window_intervals >= 1 && interval_len >= 2 && num_queues >= 1);
+        StreamingImputer {
+            model,
+            cem,
+            interval_len,
+            window_intervals,
+            num_queues,
+            port,
+            history: VecDeque::with_capacity(window_intervals),
+            total_latency: Duration::ZERO,
+            updates_processed: 0,
+            worst_latency: Duration::ZERO,
+        }
+    }
+
+    /// Number of intervals currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Mean per-update imputation latency so far.
+    pub fn mean_latency(&self) -> Duration {
+        if self.updates_processed == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.updates_processed as u32
+        }
+    }
+
+    pub fn worst_latency(&self) -> Duration {
+        self.worst_latency
+    }
+
+    /// Ingest one interval; once the context window is full, returns the
+    /// imputed fine series of the *newest* interval.
+    pub fn push(&mut self, update: IntervalUpdate) -> Option<ImputedInterval> {
+        assert_eq!(update.port, self.port, "update for a different port");
+        assert_eq!(update.samples.len(), self.num_queues);
+        if self.history.len() == self.window_intervals {
+            self.history.pop_front();
+        }
+        self.history.push_back(update);
+        if self.history.len() < self.window_intervals {
+            return None;
+        }
+        let start = Instant::now();
+        let w = self.as_window();
+        let raw = self.model.impute(&w);
+        let wc = WindowConstraints::from_window(&w);
+        let (full, enforced) = match enforce(&wc, &raw, &self.cem) {
+            Ok(out) => (out.corrected, true),
+            Err(_) => (
+                raw.iter()
+                    .map(|q| q.iter().map(|&v| v.round().max(0.0) as u32).collect())
+                    .collect(),
+                false,
+            ),
+        };
+        // Emit only the newest interval's bins.
+        let l = self.interval_len;
+        let from = (self.window_intervals - 1) * l;
+        let series: Vec<Vec<u32>> = full.iter().map(|q| q[from..from + l].to_vec()).collect();
+        let latency = start.elapsed();
+        self.total_latency += latency;
+        self.worst_latency = self.worst_latency.max(latency);
+        self.updates_processed += 1;
+        Some(ImputedInterval { port: self.port, series, latency, enforced })
+    }
+
+    /// Materialize the buffered history as an offline-style window (the
+    /// `truth` field is zeroed — it is unknown online).
+    fn as_window(&self) -> PortWindow {
+        let ki = self.history.len();
+        let len = ki * self.interval_len;
+        PortWindow {
+            port: self.port,
+            start_bin: 0,
+            interval_len: self.interval_len,
+            queue_ids: (0..self.num_queues).collect(),
+            truth: vec![vec![0.0; len]; self.num_queues],
+            samples: (0..self.num_queues)
+                .map(|q| self.history.iter().map(|u| u.samples[q]).collect())
+                .collect(),
+            maxes: (0..self.num_queues)
+                .map(|q| self.history.iter().map(|u| u.maxes[q]).collect())
+                .collect(),
+            sent: self.history.iter().map(|u| u.sent).collect(),
+            dropped: self.history.iter().map(|u| u.dropped).collect(),
+            received: self.history.iter().map(|u| u.received).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer_imputer::Scales;
+    use fmml_netsim::traffic::TrafficConfig;
+    use fmml_netsim::{SimConfig, Simulation};
+    use fmml_telemetry::windows_from_trace;
+
+    fn setup() -> (TransformerImputer, Vec<PortWindow>) {
+        let cfg = SimConfig::small();
+        let gt = Simulation::new(
+            cfg.clone(),
+            TrafficConfig::websearch_incast(cfg.num_ports, 0.6),
+            19,
+        )
+        .run_ms(360);
+        let ws: Vec<PortWindow> = windows_from_trace(&gt, 60, 10, 60)
+            .into_iter()
+            .filter(|w| w.has_activity())
+            .collect();
+        let scales = Scales { qlen: cfg.buffer_packets as f32, count: 830.0 };
+        (TransformerImputer::new(3, scales), ws)
+    }
+
+    #[test]
+    fn warms_up_then_emits_every_interval() {
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let mut s = StreamingImputer::new(&model, CemEngine::Fast, w.port, 2, 10, 6);
+        let mut emitted = 0;
+        for k in 0..w.intervals() {
+            let out = s.push(IntervalUpdate::from_window(w, k));
+            if k + 1 < 6 {
+                assert!(out.is_none(), "emitted during warm-up at k={k}");
+            } else {
+                let out = out.expect("full window must emit");
+                emitted += 1;
+                assert_eq!(out.series.len(), 2);
+                assert_eq!(out.series[0].len(), 10);
+                assert!(out.enforced);
+            }
+        }
+        assert_eq!(emitted, 1);
+        assert_eq!(s.buffered(), 6);
+        assert!(s.mean_latency() > Duration::ZERO);
+        assert!(s.worst_latency() >= s.mean_latency());
+    }
+
+    #[test]
+    fn emitted_interval_respects_its_own_measurements() {
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let mut s = StreamingImputer::new(&model, CemEngine::Fast, w.port, 2, 10, 6);
+        let mut last = None;
+        for k in 0..6 {
+            last = s.push(IntervalUpdate::from_window(w, k));
+        }
+        let out = last.expect("emits after warm-up");
+        // The newest interval is k=5: samples pinned, max attained.
+        for q in 0..2 {
+            assert_eq!(*out.series[q].last().unwrap(), w.samples[q][5]);
+            assert_eq!(*out.series[q].iter().max().unwrap(), w.maxes[q][5]);
+        }
+    }
+
+    #[test]
+    fn sliding_window_keeps_fixed_depth() {
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let mut s = StreamingImputer::new(&model, CemEngine::Fast, w.port, 2, 10, 3);
+        let mut emissions = 0;
+        for _round in 0..3 {
+            for k in 0..w.intervals() {
+                if s.push(IntervalUpdate::from_window(w, k)).is_some() {
+                    emissions += 1;
+                }
+                assert!(s.buffered() <= 3);
+            }
+        }
+        // 18 updates, first 2 are warm-up.
+        assert_eq!(emissions, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "different port")]
+    fn rejects_foreign_port_updates() {
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let mut s = StreamingImputer::new(&model, CemEngine::Fast, w.port, 2, 10, 3);
+        let mut u = IntervalUpdate::from_window(w, 0);
+        u.port = w.port + 1;
+        s.push(u);
+    }
+}

@@ -1,0 +1,273 @@
+//! The Constraint Enforcement Module (CEM, §3.2).
+//!
+//! Given a transformer-imputed port window `Q̂`, CEM computes the integer
+//! series `Q̂c` that satisfies C1 ∧ C2 ∧ C3 while **minimally changing**
+//! the model output:
+//!
+//! ```text
+//!   min Σ_{q, t ∉ T_samples} |Q̂c[q][t] − round(Q̂[q][t])|
+//! ```
+//!
+//! (following the paper's objective; we round the model output first so
+//! the optimum is integer-valued and the two engines are exactly
+//! comparable).
+//!
+//! Constraints are interval-local once the periodic samples are pinned, so
+//! CEM decomposes into one independent problem per 50 ms interval — this
+//! is also how the paper reports CEM latency ("average time … to correct
+//! a 50 ms transformer output").
+//!
+//! Two engines implement the same contract:
+//!
+//! * [`smt_engine`] — the faithful reproduction of the paper's approach:
+//!   an optimizing SMT encoding solved by [`fmml_smt`] (Z3's role).
+//! * [`fast_engine`] — an exact combinatorial projection that enumerates
+//!   C1 witness placements and greedily zeroes excess non-empty steps;
+//!   optimal for this constraint family and orders of magnitude faster.
+//!
+//! Property tests (`tests` below and in the workspace `tests/`) assert
+//! both engines reach the same objective value on random instances.
+
+pub mod fast_engine;
+pub mod smt_engine;
+
+use crate::constraints::WindowConstraints;
+
+/// Which CEM implementation to run.
+#[derive(Debug, Clone)]
+pub enum CemEngine {
+    /// Exact specialized projection (default).
+    Fast,
+    /// Optimizing SMT encoding (paper-faithful; slower).
+    Smt {
+        /// Per-interval solver budget.
+        budget: fmml_smt::solver::Budget,
+    },
+}
+
+impl Default for CemEngine {
+    fn default() -> Self {
+        CemEngine::Fast
+    }
+}
+
+/// A successful correction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CemOutcome {
+    /// Corrected integer series, `[queues][len]`.
+    pub corrected: Vec<Vec<u32>>,
+    /// Total L1 change vs the rounded input (excluding sample positions).
+    pub objective: u64,
+}
+
+/// Why a correction failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CemError {
+    /// The measurements themselves are contradictory in `interval`.
+    Infeasible { interval: usize },
+    /// The SMT engine ran out of budget in `interval`.
+    Budget { interval: usize },
+}
+
+impl std::fmt::Display for CemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CemError::Infeasible { interval } => {
+                write!(f, "measurements infeasible in interval {interval}")
+            }
+            CemError::Budget { interval } => {
+                write!(f, "solver budget exhausted in interval {interval}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CemError {}
+
+/// Enforce C1–C3 on an imputed window, minimally changing it.
+pub fn enforce(
+    w: &WindowConstraints,
+    imputed: &[Vec<f32>],
+    engine: &CemEngine,
+) -> Result<CemOutcome, CemError> {
+    assert_eq!(imputed.len(), w.num_queues());
+    for q in imputed {
+        assert_eq!(q.len(), w.len);
+    }
+    let l = w.interval_len;
+    let mut corrected: Vec<Vec<u32>> = vec![vec![0; w.len]; w.num_queues()];
+    let mut objective = 0u64;
+    for k in 0..w.intervals() {
+        // Rounded, clamped-to-nonnegative per-interval targets.
+        let target: Vec<Vec<i64>> = imputed
+            .iter()
+            .map(|qs| {
+                qs[k * l..(k + 1) * l]
+                    .iter()
+                    .map(|&v| v.round().max(0.0) as i64)
+                    .collect()
+            })
+            .collect();
+        let maxes: Vec<u32> = (0..w.num_queues()).map(|q| w.maxes[q][k]).collect();
+        let samples: Vec<u32> = (0..w.num_queues()).map(|q| w.samples[q][k]).collect();
+        let interval = IntervalProblem {
+            len: l,
+            target,
+            maxes,
+            samples,
+            m_out: w.sent[k],
+        };
+        let sol = match engine {
+            CemEngine::Fast => fast_engine::solve(&interval).ok_or(CemError::Infeasible { interval: k })?,
+            CemEngine::Smt { budget } => smt_engine::solve(&interval, *budget)
+                .map_err(|e| match e {
+                    smt_engine::SmtCemError::Infeasible => CemError::Infeasible { interval: k },
+                    smt_engine::SmtCemError::Budget => CemError::Budget { interval: k },
+                })?,
+        };
+        objective += sol.objective;
+        for q in 0..w.num_queues() {
+            corrected[q][k * l..(k + 1) * l]
+                .copy_from_slice(&sol.values[q]);
+        }
+    }
+    Ok(CemOutcome { corrected, objective })
+}
+
+/// One interval's CEM problem (both engines consume this).
+#[derive(Debug, Clone)]
+pub struct IntervalProblem {
+    pub len: usize,
+    /// `target[q][t]`: rounded transformer output (≥ 0).
+    pub target: Vec<Vec<i64>>,
+    /// `maxes[q]`: C1 rhs for this interval.
+    pub maxes: Vec<u32>,
+    /// `samples[q]`: C2 rhs (pinned at local `t = len−1`).
+    pub samples: Vec<u32>,
+    /// C3 rhs.
+    pub m_out: u32,
+}
+
+impl IntervalProblem {
+    pub fn num_queues(&self) -> usize {
+        self.target.len()
+    }
+
+    /// Quick consistency check of the measurements themselves.
+    pub fn measurements_consistent(&self) -> bool {
+        for q in 0..self.num_queues() {
+            if self.samples[q] > self.maxes[q] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An interval solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSolution {
+    /// `values[q][t]` for the interval.
+    pub values: Vec<Vec<u32>>,
+    pub objective: u64,
+}
+
+impl IntervalSolution {
+    /// Exact feasibility check against an [`IntervalProblem`] — shared by
+    /// both engines' tests.
+    pub fn is_feasible(&self, p: &IntervalProblem) -> bool {
+        let l = p.len;
+        for q in 0..p.num_queues() {
+            // C2.
+            if self.values[q][l - 1] != p.samples[q] {
+                return false;
+            }
+            // C1.
+            let max = *self.values[q].iter().max().unwrap();
+            if max != p.maxes[q] {
+                return false;
+            }
+        }
+        // C3.
+        let ne = (0..l)
+            .filter(|&t| (0..p.num_queues()).any(|q| self.values[q][t] > 0))
+            .count() as u32;
+        ne <= p.m_out
+    }
+
+    /// L1 distance from the problem's target, excluding the sample step.
+    pub fn l1_objective(&self, p: &IntervalProblem) -> u64 {
+        let mut total = 0u64;
+        for q in 0..p.num_queues() {
+            for t in 0..p.len - 1 {
+                total += (self.values[q][t] as i64 - p.target[q][t]).unsigned_abs();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> IntervalProblem {
+        IntervalProblem {
+            len: 6,
+            target: vec![vec![0, 3, 5, 2, 0, 0], vec![0, 0, 1, 0, 0, 0]],
+            maxes: vec![5, 1],
+            samples: vec![0, 0],
+            m_out: 4,
+        }
+    }
+
+    #[test]
+    fn both_engines_agree_on_a_simple_interval() {
+        let p = problem();
+        let fast = fast_engine::solve(&p).expect("fast solves");
+        let smt = smt_engine::solve(&p, fmml_smt::solver::Budget::default()).expect("smt solves");
+        assert!(fast.is_feasible(&p), "fast infeasible: {fast:?}");
+        assert!(smt.is_feasible(&p), "smt infeasible: {smt:?}");
+        assert_eq!(fast.objective, fast.l1_objective(&p));
+        assert_eq!(smt.objective, smt.l1_objective(&p));
+        assert_eq!(fast.objective, smt.objective, "fast={fast:?} smt={smt:?}");
+    }
+
+    #[test]
+    fn enforce_stitches_intervals_and_satisfies_exactly() {
+        // Two intervals of 5, 2 queues.
+        let w = WindowConstraints {
+            interval_len: 5,
+            len: 10,
+            maxes: vec![vec![4, 2], vec![1, 0]],
+            samples: vec![vec![1, 0], vec![0, 0]],
+            sent: vec![4, 3],
+        };
+        let imputed = vec![
+            vec![0.2, 3.7, 4.4, 2.0, 1.1, 0.0, 1.8, 2.3, 0.4, 0.1],
+            vec![0.0, 0.9, 1.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ];
+        let out = enforce(&w, &imputed, &CemEngine::Fast).expect("feasible");
+        assert!(w.satisfied_exact(&out.corrected));
+        // Samples pinned.
+        assert_eq!(out.corrected[0][4], 1);
+        assert_eq!(out.corrected[0][9], 0);
+    }
+
+    #[test]
+    fn infeasible_measurements_are_reported() {
+        // Sample exceeds max: contradictory.
+        let w = WindowConstraints {
+            interval_len: 5,
+            len: 5,
+            maxes: vec![vec![2]],
+            samples: vec![vec![4]],
+            sent: vec![5],
+        };
+        let imputed = vec![vec![0.0; 5]];
+        match enforce(&w, &imputed, &CemEngine::Fast) {
+            Err(CemError::Infeasible { interval: 0 }) => {}
+            r => panic!("expected infeasible, got {r:?}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Property-based cross-validation of the two CEM engines.
+//!
+//! The fast engine claims exact optimality; the SMT engine is optimal by
+//! construction (branch-and-bound + iterative strengthening to a proven
+//! bound). On random small instances both must (a) agree on feasibility,
+//! (b) produce feasible solutions, and (c) reach the same objective.
+
+use fmml_fm::cem::{fast_engine, smt_engine, IntervalProblem};
+use fmml_smt::solver::Budget;
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = IntervalProblem> {
+    // 2 queues, short intervals keep the SMT side fast.
+    (3usize..7, 0u32..5, 0u32..5, 0u32..8).prop_flat_map(|(len, max0, max1, m_out)| {
+        let t0 = prop::collection::vec(0i64..6, len);
+        let t1 = prop::collection::vec(0i64..6, len);
+        let s0 = 0u32..=max0.max(0);
+        let s1 = 0u32..=max1.max(0);
+        (t0, t1, s0, s1).prop_map(move |(t0, t1, s0, s1)| IntervalProblem {
+            len,
+            target: vec![t0, t1],
+            maxes: vec![max0, max1],
+            samples: vec![s0, s1],
+            m_out,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn engines_agree_on_feasibility_and_objective(p in arb_problem()) {
+        let fast = fast_engine::solve(&p);
+        let smt = smt_engine::solve(&p, Budget::default());
+        match (fast, smt) {
+            (Some(f), Ok(s)) => {
+                prop_assert!(f.is_feasible(&p), "fast infeasible output: {f:?}");
+                prop_assert!(s.is_feasible(&p), "smt infeasible output: {s:?}");
+                prop_assert_eq!(f.objective, f.l1_objective(&p));
+                prop_assert_eq!(s.objective, s.l1_objective(&p));
+                prop_assert_eq!(f.objective, s.objective,
+                    "objectives differ: fast={:?} smt={:?}", f, s);
+            }
+            (None, Err(smt_engine::SmtCemError::Infeasible)) => {}
+            (f, s) => prop_assert!(false, "feasibility disagreement: fast={f:?} smt={s:?}"),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Packet and addressing types.
+
+use crate::units::Time;
+
+/// Index of a switch port (0-based).
+pub type PortId = usize;
+
+/// Index of a queue within the whole switch (0-based, `port * queues_per_port + class`).
+pub type QueueId = usize;
+
+/// Traffic class of a packet; selects the queue within the output port.
+///
+/// The paper's scenario maps each port to two queues "with different
+/// classes"; class 0 is the higher priority under strict-priority
+/// scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrafficClass(pub u8);
+
+impl TrafficClass {
+    pub const HIGH: TrafficClass = TrafficClass(0);
+    pub const LOW: TrafficClass = TrafficClass(1);
+}
+
+/// A single packet traversing the switch.
+///
+/// The simulator is packet-granular: queue lengths and all telemetry
+/// counters are in packets, matching the paper's formal model where one
+/// "time step is the time taken to transmit or receive a packet".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Ingress port the packet arrived on.
+    pub src_port: PortId,
+    /// Egress port the packet is destined to.
+    pub dst_port: PortId,
+    /// Traffic class (queue selector within the egress port).
+    pub class: TrafficClass,
+    /// Wire size in bytes, including headers.
+    pub size_bytes: u32,
+    /// Flow the packet belongs to (for traffic bookkeeping / debugging).
+    pub flow_id: u64,
+    /// Time the packet arrived at the switch.
+    pub arrival: Time,
+}
+
+impl Packet {
+    /// The switch-global queue this packet maps to.
+    pub fn queue_id(&self, queues_per_port: usize) -> QueueId {
+        self.dst_port * queues_per_port + self.class.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(dst: PortId, class: TrafficClass) -> Packet {
+        Packet {
+            src_port: 0,
+            dst_port: dst,
+            class,
+            size_bytes: 1500,
+            flow_id: 1,
+            arrival: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn queue_mapping_is_port_major() {
+        assert_eq!(pkt(0, TrafficClass::HIGH).queue_id(2), 0);
+        assert_eq!(pkt(0, TrafficClass::LOW).queue_id(2), 1);
+        assert_eq!(pkt(3, TrafficClass::HIGH).queue_id(2), 6);
+        assert_eq!(pkt(3, TrafficClass::LOW).queue_id(2), 7);
+    }
+}

@@ -1,0 +1,475 @@
+//! Open-loop traffic generators.
+//!
+//! Two generators reproduce the paper's workload mix:
+//!
+//! * [`WebsearchSource`] — per-ingress-port Poisson flow arrivals with
+//!   heavy-tailed websearch flow sizes; a source serializes its flows onto
+//!   its ingress link at line rate.
+//! * [`IncastSource`] — synchronized fan-in: at (jittered) epochs, `K`
+//!   senders each blast a burst of packets at one destination port, the
+//!   many-to-one pattern that actually builds queues.
+//!
+//! Every source yields packets in nondecreasing time order, so the
+//! simulation can hold exactly one pending arrival per source.
+
+use crate::config::SimConfig;
+use crate::flow::FlowSizeDist;
+use crate::packet::{Packet, PortId, TrafficClass};
+use crate::units::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A stream of packets in nondecreasing arrival-time order.
+pub trait TrafficSource: Send {
+    /// Produce the next packet, or `None` when the source is exhausted.
+    fn next_packet(&mut self) -> Option<Packet>;
+}
+
+/// Declarative traffic configuration (what [`TrafficConfig::build`] turns
+/// into concrete sources).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Per-port websearch background load as a fraction of line rate
+    /// (0 disables websearch traffic).
+    pub websearch_load: f64,
+    /// Probability that a websearch flow is low priority (class 1).
+    pub websearch_low_prio_prob: f64,
+    /// Incast epochs per second (0 disables incast traffic).
+    pub incast_rate_per_sec: f64,
+    /// Fan-in degree range `[min, max]` (senders per incast epoch).
+    pub incast_fanin: (usize, usize),
+    /// Packets per sender per incast epoch, range `[min, max]`.
+    pub incast_burst_pkts: (u32, u32),
+}
+
+impl TrafficConfig {
+    /// The paper-like mix: websearch background plus incast bursts.
+    pub fn websearch_incast(num_ports: usize, load: f64) -> TrafficConfig {
+        debug_assert!((0.0..=1.0).contains(&load));
+        TrafficConfig {
+            websearch_load: load,
+            websearch_low_prio_prob: 0.7,
+            incast_rate_per_sec: 40.0,
+            incast_fanin: (2, num_ports.saturating_sub(1).max(2)),
+            incast_burst_pkts: (20, 90),
+        }
+    }
+
+    /// Background websearch only (no incast).
+    pub fn websearch_only(load: f64) -> TrafficConfig {
+        debug_assert!((0.0..=1.0).contains(&load));
+        TrafficConfig {
+            websearch_load: load,
+            websearch_low_prio_prob: 0.7,
+            incast_rate_per_sec: 0.0,
+            incast_fanin: (2, 2),
+            incast_burst_pkts: (20, 90),
+        }
+    }
+
+    /// Instantiate sources for `cfg`, deterministically derived from `seed`.
+    pub fn build(&self, cfg: &SimConfig, seed: u64) -> Vec<Box<dyn TrafficSource>> {
+        let mut sources: Vec<Box<dyn TrafficSource>> = Vec::new();
+        if self.websearch_load > 0.0 {
+            for port in 0..cfg.num_ports {
+                sources.push(Box::new(WebsearchSource::new(
+                    cfg,
+                    port,
+                    self.websearch_load,
+                    self.websearch_low_prio_prob,
+                    seed ^ (0x5EB5_0000 + port as u64),
+                )));
+            }
+        }
+        if self.incast_rate_per_sec > 0.0 {
+            sources.push(Box::new(IncastSource::new(
+                cfg,
+                self.incast_rate_per_sec,
+                self.incast_fanin,
+                self.incast_burst_pkts,
+                seed ^ 0x1C45_7000,
+            )));
+        }
+        sources
+    }
+}
+
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    // Inverse-transform exponential; `1 - u` avoids ln(0).
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() * mean
+}
+
+/// Poisson websearch flows from one ingress port.
+pub struct WebsearchSource {
+    rng: StdRng,
+    src_port: PortId,
+    num_ports: usize,
+    pkt_bytes: u32,
+    tx_spacing: Duration,
+    /// Mean inter-flow gap in ns (Poisson arrivals).
+    mean_gap_ns: f64,
+    low_prio_prob: f64,
+    sizes: FlowSizeDist,
+    // Emission state.
+    next_arrival: Time,
+    busy_until: Time,
+    current: Option<CurrentFlow>,
+    next_flow_id: u64,
+}
+
+struct CurrentFlow {
+    remaining: u32,
+    next_emit: Time,
+    dst: PortId,
+    class: TrafficClass,
+    id: u64,
+}
+
+impl WebsearchSource {
+    pub fn new(
+        cfg: &SimConfig,
+        src_port: PortId,
+        load: f64,
+        low_prio_prob: f64,
+        seed: u64,
+    ) -> WebsearchSource {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0,1]");
+        assert!(cfg.num_ports >= 2, "websearch needs >= 2 ports");
+        let sizes = FlowSizeDist::websearch();
+        let tx_spacing = cfg.pkt_tx_time();
+        // load = mean_size_pkts * tx_ns / mean_gap_ns  =>  gap = size*tx/load
+        let mean_gap_ns = sizes.mean_packets() * tx_spacing.as_nanos() as f64 / load;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = exp_sample(&mut rng, mean_gap_ns) as u64;
+        WebsearchSource {
+            rng,
+            src_port,
+            num_ports: cfg.num_ports,
+            pkt_bytes: cfg.packet_bytes,
+            tx_spacing,
+            mean_gap_ns,
+            low_prio_prob,
+            sizes,
+            next_arrival: Time(first),
+            busy_until: Time::ZERO,
+            current: None,
+            next_flow_id: (src_port as u64) << 40,
+        }
+    }
+
+    fn start_next_flow(&mut self) {
+        let arrival = self.next_arrival;
+        let gap = exp_sample(&mut self.rng, self.mean_gap_ns) as u64;
+        self.next_arrival = Time(arrival.0 + gap.max(1));
+
+        let size = self.sizes.sample(&mut self.rng);
+        let dst = loop {
+            let d = self.rng.random_range(0..self.num_ports);
+            if d != self.src_port {
+                break d;
+            }
+        };
+        let class = if self.rng.random::<f64>() < self.low_prio_prob {
+            TrafficClass::LOW
+        } else {
+            TrafficClass::HIGH
+        };
+        let start = arrival.max(self.busy_until);
+        self.busy_until = Time(start.0 + size as u64 * self.tx_spacing.as_nanos());
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        self.current = Some(CurrentFlow { remaining: size, next_emit: start, dst, class, id });
+    }
+}
+
+impl TrafficSource for WebsearchSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        if self.current.is_none() {
+            self.start_next_flow();
+        }
+        let flow = self.current.as_mut().expect("flow just started");
+        let pkt = Packet {
+            src_port: self.src_port,
+            dst_port: flow.dst,
+            class: flow.class,
+            size_bytes: self.pkt_bytes,
+            flow_id: flow.id,
+            arrival: flow.next_emit,
+        };
+        flow.remaining -= 1;
+        flow.next_emit = Time(flow.next_emit.0 + self.tx_spacing.as_nanos());
+        if flow.remaining == 0 {
+            self.current = None;
+        }
+        Some(pkt)
+    }
+}
+
+/// Synchronized incast bursts: `K` senders → one destination.
+pub struct IncastSource {
+    rng: StdRng,
+    num_ports: usize,
+    pkt_bytes: u32,
+    tx_spacing: Duration,
+    mean_epoch_gap_ns: f64,
+    fanin: (usize, usize),
+    burst_pkts: (u32, u32),
+    next_epoch: Time,
+    /// Time of the last emitted packet; epochs are clamped to start at or
+    /// after it so the stream stays time-ordered even when a drawn epoch
+    /// gap is shorter than the previous burst.
+    last_emit: Time,
+    /// Current epoch's packets, sorted by time, drained from the front.
+    pending: Vec<Packet>,
+    cursor: usize,
+    next_flow_id: u64,
+}
+
+impl IncastSource {
+    pub fn new(
+        cfg: &SimConfig,
+        rate_per_sec: f64,
+        fanin: (usize, usize),
+        burst_pkts: (u32, u32),
+        seed: u64,
+    ) -> IncastSource {
+        assert!(rate_per_sec > 0.0);
+        assert!(fanin.0 >= 2 && fanin.0 <= fanin.1, "bad fan-in range {fanin:?}");
+        assert!(burst_pkts.0 >= 1 && burst_pkts.0 <= burst_pkts.1);
+        let mean_epoch_gap_ns = 1e9 / rate_per_sec;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = exp_sample(&mut rng, mean_epoch_gap_ns) as u64;
+        IncastSource {
+            rng,
+            num_ports: cfg.num_ports,
+            pkt_bytes: cfg.packet_bytes,
+            tx_spacing: cfg.pkt_tx_time(),
+            mean_epoch_gap_ns,
+            fanin,
+            burst_pkts,
+            next_epoch: Time(first),
+            last_emit: Time::ZERO,
+            pending: Vec::new(),
+            cursor: 0,
+            next_flow_id: 1 << 56,
+        }
+    }
+
+    fn generate_epoch(&mut self) {
+        let epoch = self.next_epoch.max(self.last_emit);
+        let gap = exp_sample(&mut self.rng, self.mean_epoch_gap_ns) as u64;
+        self.next_epoch = Time(epoch.0 + gap.max(1));
+
+        let dst = self.rng.random_range(0..self.num_ports);
+        let max_fanin = self.fanin.1.min(self.num_ports - 1);
+        let min_fanin = self.fanin.0.min(max_fanin);
+        let k = self.rng.random_range(min_fanin..=max_fanin);
+        // Choose k distinct senders != dst (partial Fisher-Yates).
+        let mut candidates: Vec<PortId> = (0..self.num_ports).filter(|&p| p != dst).collect();
+        for i in 0..k {
+            let j = self.rng.random_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        self.pending.clear();
+        self.cursor = 0;
+        for &src in &candidates[..k] {
+            let burst = self.rng.random_range(self.burst_pkts.0..=self.burst_pkts.1);
+            // Small per-sender start jitter (up to one packet time).
+            let jitter = self.rng.random_range(0..=self.tx_spacing.as_nanos());
+            let id = self.next_flow_id;
+            self.next_flow_id += 1;
+            for p in 0..burst {
+                self.pending.push(Packet {
+                    src_port: src,
+                    dst_port: dst,
+                    class: TrafficClass::HIGH,
+                    size_bytes: self.pkt_bytes,
+                    flow_id: id,
+                    arrival: Time(epoch.0 + jitter + p as u64 * self.tx_spacing.as_nanos()),
+                });
+            }
+        }
+        self.pending.sort_by_key(|p| p.arrival);
+    }
+}
+
+impl TrafficSource for IncastSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        if self.cursor >= self.pending.len() {
+            self.generate_epoch();
+        }
+        let pkt = self.pending[self.cursor];
+        self.cursor += 1;
+        self.last_emit = pkt.arrival;
+        Some(pkt)
+    }
+}
+
+/// Deterministic on/off constant-bit-rate source (for tests and examples):
+/// sends one packet every `spacing` to a fixed destination while ON.
+pub struct OnOffSource {
+    src_port: PortId,
+    dst_port: PortId,
+    class: TrafficClass,
+    pkt_bytes: u32,
+    spacing: Duration,
+    on: Duration,
+    off: Duration,
+    t: Time,
+    period_start: Time,
+    flow_id: u64,
+}
+
+impl OnOffSource {
+    pub fn new(
+        cfg: &SimConfig,
+        src_port: PortId,
+        dst_port: PortId,
+        class: TrafficClass,
+        rate_fraction: f64,
+        on: Duration,
+        off: Duration,
+    ) -> OnOffSource {
+        assert!(rate_fraction > 0.0 && rate_fraction <= 1.0);
+        let spacing =
+            Duration((cfg.pkt_tx_time().as_nanos() as f64 / rate_fraction).round() as u64);
+        OnOffSource {
+            src_port,
+            dst_port,
+            class,
+            pkt_bytes: cfg.packet_bytes,
+            spacing,
+            on,
+            off,
+            t: Time::ZERO,
+            period_start: Time::ZERO,
+            flow_id: 1 << 48,
+        }
+    }
+}
+
+impl TrafficSource for OnOffSource {
+    fn next_packet(&mut self) -> Option<Packet> {
+        // Advance past the OFF span if we fell out of the ON window.
+        if self.t.0 >= self.period_start.0 + self.on.as_nanos() {
+            self.period_start = Time(self.period_start.0 + self.on.as_nanos() + self.off.as_nanos());
+            self.t = self.period_start;
+        }
+        let pkt = Packet {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            class: self.class,
+            size_bytes: self.pkt_bytes,
+            flow_id: self.flow_id,
+            arrival: self.t,
+        };
+        self.t = Time(self.t.0 + self.spacing.as_nanos());
+        Some(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::small()
+    }
+
+    fn assert_time_ordered(src: &mut dyn TrafficSource, n: usize) -> Vec<Packet> {
+        let mut prev = Time::ZERO;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = src.next_packet().expect("source exhausted early");
+            assert!(p.arrival >= prev, "out of order: {} < {}", p.arrival, prev);
+            prev = p.arrival;
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn websearch_is_time_ordered_and_avoids_self_traffic() {
+        let c = cfg();
+        let mut s = WebsearchSource::new(&c, 1, 0.5, 0.7, 42);
+        for p in assert_time_ordered(&mut s, 5000) {
+            assert_eq!(p.src_port, 1);
+            assert_ne!(p.dst_port, 1);
+            assert!(p.dst_port < c.num_ports);
+        }
+    }
+
+    #[test]
+    fn websearch_load_is_approximately_respected() {
+        let c = cfg();
+        let load = 0.4;
+        let mut s = WebsearchSource::new(&c, 0, load, 0.7, 7);
+        // Measure offered packets over a long horizon.
+        let horizon_ms = 5_000u64;
+        let mut count = 0u64;
+        loop {
+            let p = s.next_packet().unwrap();
+            if p.arrival.ms_bin() >= horizon_ms {
+                break;
+            }
+            count += 1;
+        }
+        let capacity = c.pkts_per_ms() * horizon_ms;
+        let measured = count as f64 / capacity as f64;
+        assert!(
+            (measured - load).abs() < 0.15,
+            "offered load {measured} far from target {load}"
+        );
+    }
+
+    #[test]
+    fn incast_bursts_share_destination_within_epoch() {
+        let c = cfg();
+        let mut s = IncastSource::new(&c, 50.0, (2, 3), (5, 10), 9);
+        // First epoch: all packets to one dst, senders distinct from dst.
+        s.generate_epoch();
+        let dst = s.pending[0].dst_port;
+        for p in &s.pending {
+            assert_eq!(p.dst_port, dst);
+            assert_ne!(p.src_port, dst);
+            assert_eq!(p.class, TrafficClass::HIGH);
+        }
+    }
+
+    #[test]
+    fn incast_is_time_ordered_across_epochs() {
+        let c = cfg();
+        let mut s = IncastSource::new(&c, 200.0, (2, 3), (3, 6), 11);
+        assert_time_ordered(&mut s, 2000);
+    }
+
+    #[test]
+    fn onoff_respects_duty_cycle() {
+        let c = cfg();
+        let mut s = OnOffSource::new(
+            &c,
+            0,
+            1,
+            TrafficClass::LOW,
+            1.0,
+            Duration::from_ms(1),
+            Duration::from_ms(1),
+        );
+        let pkts = assert_time_ordered(&mut s, 500);
+        // All packets must fall in even-numbered milliseconds (ON spans).
+        for p in &pkts {
+            assert_eq!(p.arrival.ms_bin() % 2, 0, "packet in OFF span at {}", p.arrival);
+        }
+    }
+
+    #[test]
+    fn build_constructs_expected_source_count() {
+        let c = cfg();
+        let t = TrafficConfig::websearch_incast(c.num_ports, 0.3);
+        assert_eq!(t.build(&c, 5).len(), c.num_ports + 1);
+        let t = TrafficConfig::websearch_only(0.3);
+        assert_eq!(t.build(&c, 5).len(), c.num_ports);
+    }
+}

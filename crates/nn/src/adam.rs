@@ -1,0 +1,103 @@
+//! Adam optimizer (Kingma & Ba) with bias correction.
+
+use crate::params::{Gradients, ParamStore};
+use crate::tensor::Tensor;
+
+/// Adam state: per-parameter first/second moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(store: &ParamStore, lr: f32) -> Adam {
+        let m = (0..store.len())
+            .map(|i| Tensor::zeros(&store.value(i).shape))
+            .collect();
+        let v = (0..store.len())
+            .map(|i| Tensor::zeros(&store.value(i).shape))
+            .collect();
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m, v, t: 0 }
+    }
+
+    /// Apply one update from accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        assert_eq!(grads.by_param.len(), store.len(), "gradient/param mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, g) in grads.by_param.iter().enumerate() {
+            let Some(g) = g else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let p = store.value_mut(i);
+            for k in 0..p.len() {
+                let gk = g.data[k];
+                m.data[k] = self.beta1 * m.data[k] + (1.0 - self.beta1) * gk;
+                v.data[k] = self.beta2 * v.data[k] + (1.0 - self.beta2) * gk * gk;
+                let mhat = m.data[k] / bc1;
+                let vhat = v.data[k] / bc2;
+                p.data[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize (x - 3)^2 by hand-fed gradients 2(x-3).
+        let mut store = ParamStore::new();
+        let p = store.add("x", Tensor::scalar(0.0));
+        let mut adam = Adam::new(&store, 0.1);
+        for _ in 0..300 {
+            let x = store.value(p).data[0];
+            let mut g = Gradients::new(1);
+            g.add(p, &Tensor::scalar(2.0 * (x - 3.0)));
+            adam.step(&mut store, &g);
+        }
+        let x = store.value(p).data[0];
+        assert!((x - 3.0).abs() < 0.05, "x={x}");
+        assert_eq!(adam.steps(), 300);
+    }
+
+    #[test]
+    fn missing_gradients_leave_params_untouched() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::scalar(1.0));
+        let b = store.add("b", Tensor::scalar(2.0));
+        let mut adam = Adam::new(&store, 0.5);
+        let mut g = Gradients::new(2);
+        g.add(a, &Tensor::scalar(1.0));
+        adam.step(&mut store, &g);
+        assert!(store.value(a).data[0] < 1.0, "a must move");
+        assert_eq!(store.value(b).data[0], 2.0, "b must not move");
+    }
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // With bias correction, the very first Adam step ≈ lr.
+        let mut store = ParamStore::new();
+        let p = store.add("x", Tensor::scalar(0.0));
+        let mut adam = Adam::new(&store, 0.1);
+        let mut g = Gradients::new(1);
+        g.add(p, &Tensor::scalar(5.0));
+        adam.step(&mut store, &g);
+        let x = store.value(p).data[0];
+        assert!((x + 0.1).abs() < 1e-3, "first step should be ≈ -lr, got {x}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # fmml-nn — a minimal deep-learning stack for telemetry imputation
+//!
+//! A from-scratch, CPU-only replacement for the deep-learning framework
+//! the paper trains its transformer with. It provides exactly the pieces
+//! the imputation model and the Knowledge-Augmented Loss (§3.1) need:
+//!
+//! * [`tensor::Tensor`] — dense f32 tensors (1-D and 2-D);
+//! * [`tape::Tape`] — tape-based reverse-mode automatic differentiation
+//!   over a fixed op vocabulary (matmul, softmax, layer norm, tanh, relu,
+//!   cumulative sums for EMD, max/select reductions for constraint terms);
+//! * [`linear`], [`norm`], [`attention`], [`transformer`] — the model
+//!   zoo: linear layers, layer normalization, multi-head self-attention,
+//!   and a transformer encoder with sinusoidal positional encodings;
+//! * [`adam`] — the Adam optimizer;
+//! * [`loss`] — MSE and the differentiable 1-D Earth Mover's Distance the
+//!   paper prefers for burst localization;
+//! * [`init`] — seeded Xavier/uniform initializers (bit-reproducible).
+//!
+//! Gradient correctness is property-tested against central finite
+//! differences (see `tape::tests` and `tests/` of the workspace).
+//!
+//! Batching is by data parallelism: each example builds its own [`Tape`]
+//! against a shared read-only [`params::ParamStore`]; per-example
+//! [`tape::Gradients`] are summed (optionally with `rayon`) and applied by
+//! the optimizer. This mirrors how the paper's GPU batches would behave at
+//! our (deliberately small) model size: d_model 16, 2 layers, 300-step
+//! windows.
+
+pub mod adam;
+pub mod attention;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod norm;
+pub mod params;
+pub mod schedule;
+pub mod tape;
+pub mod tensor;
+pub mod transformer;
+
+pub use adam::Adam;
+pub use params::{Gradients, ParamId, ParamStore};
+pub use tape::{NodeId, Tape};
+pub use tensor::Tensor;
+pub use transformer::{TransformerConfig, TransformerEncoder};

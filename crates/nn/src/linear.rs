@@ -1,0 +1,81 @@
+//! Fully-connected layer.
+
+use crate::init;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{NodeId, Tape};
+use rand::rngs::StdRng;
+
+/// `y = x·W + b`, `x: [T, in] → y: [T, out]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub fan_in: usize,
+    pub fan_out: usize,
+}
+
+impl Linear {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Linear {
+        let w = store.add(&format!("{name}.w"), init::xavier(rng, fan_in, fan_out));
+        let b = store.add(
+            &format!("{name}.b"),
+            crate::tensor::Tensor::zeros(&[fan_out]),
+        );
+        Linear { w, b, fan_in, fan_out }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: NodeId) -> NodeId {
+        debug_assert_eq!(tape.value(x).cols(), self.fan_in);
+        let w = tape.param(self.w);
+        let b = tape.param(self.b);
+        let y = tape.matmul(x, w);
+        tape.add_bias(y, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = init::seeded(3);
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 2);
+        // Zero weights + explicit bias -> output equals bias rows.
+        store.value_mut(lin.w).data.iter_mut().for_each(|v| *v = 0.0);
+        store.value_mut(lin.b).data.copy_from_slice(&[1.5, -0.5]);
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(Tensor::zeros(&[3, 4]));
+        let y = lin.forward(&mut tape, x);
+        assert_eq!(tape.value(y).shape, vec![3, 2]);
+        for r in 0..3 {
+            assert_eq!(tape.value(y).at2(r, 0), 1.5);
+            assert_eq!(tape.value(y).at2(r, 1), -0.5);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_both_params() {
+        let mut store = ParamStore::new();
+        let mut rng = init::seeded(4);
+        let lin = Linear::new(&mut store, &mut rng, "l", 3, 2);
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let y = lin.forward(&mut tape, x);
+        let s = tape.sum(y);
+        let g = tape.backward(s);
+        assert!(g.by_param[lin.w].is_some());
+        assert!(g.by_param[lin.b].is_some());
+        // db = ones; dW = x^T broadcast.
+        assert_eq!(g.by_param[lin.b].as_ref().unwrap().data, vec![1.0, 1.0]);
+        assert_eq!(g.by_param[lin.w].as_ref().unwrap().at2(2, 1), 3.0);
+    }
+}

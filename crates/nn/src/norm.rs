@@ -1,0 +1,53 @@
+//! Layer normalization module (affine parameters over the tape's fused op).
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{NodeId, Tape};
+use crate::tensor::Tensor;
+
+/// Layer norm over the last dimension with learnable scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub dim: usize,
+}
+
+impl LayerNorm {
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> LayerNorm {
+        let gamma = store.add(&format!("{name}.gamma"), Tensor::vector(vec![1.0; dim]));
+        let beta = store.add(&format!("{name}.beta"), Tensor::zeros(&[dim]));
+        LayerNorm { gamma, beta, dim }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: NodeId) -> NodeId {
+        debug_assert_eq!(tape.value(x).cols(), self.dim);
+        let g = tape.param(self.gamma);
+        let b = tape.param(self.beta);
+        tape.layer_norm(x, g, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows_to_zero_mean_unit_var() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 14.0],
+            &[2, 4],
+        ));
+        let y = ln.forward(&mut tape, x);
+        let v = tape.value(y);
+        for r in 0..2 {
+            let row: Vec<f32> = (0..4).map(|c| v.at2(r, c)).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule evaluated per optimizer step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed rate.
+    Constant { lr: f32 },
+    /// Linear warmup to `peak` over `warmup` steps, then cosine decay to
+    /// `floor` at `total` steps (held at `floor` afterwards).
+    CosineWithWarmup { peak: f32, floor: f32, warmup: u64, total: u64 },
+}
+
+impl LrSchedule {
+    /// The learning rate at 0-based step `t`.
+    pub fn at(&self, t: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::CosineWithWarmup { peak, floor, warmup, total } => {
+                if warmup > 0 && t < warmup {
+                    return peak * (t + 1) as f32 / warmup as f32;
+                }
+                if t >= total {
+                    return floor;
+                }
+                let span = (total - warmup).max(1) as f32;
+                let progress = (t - warmup) as f32 / span;
+                floor + 0.5 * (peak - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn warmup_rises_linearly_then_decays() {
+        let s = LrSchedule::CosineWithWarmup { peak: 1.0, floor: 0.1, warmup: 10, total: 110 };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4) - 0.5).abs() < 1e-6);
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        // Midpoint of cosine: (peak+floor)/2.
+        assert!((s.at(60) - 0.55).abs() < 1e-2);
+        // End and beyond: floor.
+        assert!((s.at(110) - 0.1).abs() < 1e-6);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn schedule_is_monotone_decreasing_after_warmup() {
+        let s = LrSchedule::CosineWithWarmup { peak: 0.01, floor: 0.001, warmup: 5, total: 100 };
+        let mut prev = f32::MAX;
+        for t in 5..100 {
+            let lr = s.at(t);
+            assert!(lr <= prev + 1e-9, "rose at step {t}");
+            prev = lr;
+        }
+    }
+}

@@ -1,0 +1,872 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a DAG of operations as it executes the forward pass;
+//! [`Tape::backward`] then walks the nodes in reverse, accumulating
+//! gradients. Parameters live outside the tape in a
+//! [`crate::params::ParamStore`]; a leaf created with [`Tape::param`]
+//! remembers its [`crate::params::ParamId`] so backward can report
+//! per-parameter gradients for the optimizer.
+//!
+//! The op vocabulary is deliberately small but sufficient for a
+//! transformer encoder *and* the paper's constraint terms: cumulative sums
+//! (EMD loss), max/select reductions (C1/C2 residuals) and tanh/relu
+//! (the differentiable relaxation of C3).
+
+use crate::params::{Gradients, ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Index of a node on a tape.
+pub type NodeId = usize;
+
+const LN_EPS: f32 = 1e-5;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    ScalarMul(NodeId, f32),
+    // The constant is not needed by the backward pass (d(x+k)/dx = 1) but
+    // is kept for graph debugging.
+    ScalarAdd(NodeId, #[allow(dead_code)] f32),
+    Matmul(NodeId, NodeId),
+    Transpose(NodeId),
+    Tanh(NodeId),
+    Relu(NodeId),
+    SoftmaxRows(NodeId),
+    Sum(NodeId),
+    Mean(NodeId),
+    Abs(NodeId),
+    CumSum(NodeId),
+    MaxReduce(NodeId),
+    Select(NodeId, Vec<usize>),
+    Slice1D(NodeId, usize, usize),
+    SliceCols(NodeId, usize, usize),
+    ConcatCols(Vec<NodeId>),
+    AddBias(NodeId, NodeId),
+    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId },
+    /// Reinterpret a `[1,n]` or `[n,1]` tensor as 1-D `[n]`.
+    Flatten(NodeId),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    param: Option<ParamId>,
+}
+
+/// The autograd tape. Create one per training example, build the forward
+/// graph, call [`Tape::backward`] on a scalar loss.
+pub struct Tape<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'s> Tape<'s> {
+    pub fn new(store: &'s ParamStore) -> Tape<'s> {
+        Tape { store, nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op, param: None });
+        self.nodes.len() - 1
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    /// Scalar value of a rank-1, length-1 node.
+    pub fn scalar_value(&self, id: NodeId) -> f32 {
+        debug_assert_eq!(self.nodes[id].value.len(), 1);
+        self.nodes[id].value.data[0]
+    }
+
+    // ---- leaves ----
+
+    /// A leaf holding a parameter (gradient is reported for it).
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        let value = self.store.value(id).clone();
+        let n = self.push(value, Op::Leaf);
+        self.nodes[n].param = Some(id);
+        n
+    }
+
+    /// A constant leaf (input data; no gradient reported).
+    pub fn constant(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Leaf)
+    }
+
+    pub fn scalar(&mut self, v: f32) -> NodeId {
+        self.constant(Tensor::scalar(v))
+    }
+
+    // ---- elementwise / arithmetic ----
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x * y);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    pub fn scalar_mul(&mut self, a: NodeId, k: f32) -> NodeId {
+        let v = self.nodes[a].value.map(|x| x * k);
+        self.push(v, Op::ScalarMul(a, k))
+    }
+
+    pub fn scalar_add(&mut self, a: NodeId, k: f32) -> NodeId {
+        let v = self.nodes[a].value.map(|x| x + k);
+        self.push(v, Op::ScalarAdd(a, k))
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let nb = self.scalar_mul(b, -1.0);
+        self.add(a, nb)
+    }
+
+    pub fn square(&mut self, a: NodeId) -> NodeId {
+        self.mul(a, a)
+    }
+
+    // ---- linear algebra ----
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// `[m,n] + [n]` broadcast add.
+    pub fn add_bias(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let m = &self.nodes[a].value;
+        let b = &self.nodes[bias].value;
+        assert_eq!(b.rank(), 1);
+        assert_eq!(m.cols(), b.len(), "bias length mismatch");
+        let mut out = m.clone();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                out.data[r * m.cols() + c] += b.data[c];
+            }
+        }
+        self.push(out, Op::AddBias(a, bias))
+    }
+
+    // ---- nonlinearities ----
+
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// GELU (tanh approximation), composed from primitive ops so the
+    /// backward pass needs no dedicated kernel.
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        // 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        let x3 = {
+            let x2 = self.mul(a, a);
+            self.mul(x2, a)
+        };
+        let inner = {
+            let scaled_x3 = self.scalar_mul(x3, 0.044715);
+            let sum = self.add(a, scaled_x3);
+            self.scalar_mul(sum, C)
+        };
+        let t = self.tanh(inner);
+        let one_plus = self.scalar_add(t, 1.0);
+        let half_x = self.scalar_mul(a, 0.5);
+        self.mul(half_x, one_plus)
+    }
+
+    /// Inverted dropout: zeroes each element with probability `p` and
+    /// scales survivors by `1/(1−p)`. The mask is built from the given
+    /// RNG (deterministic under a seeded RNG); pass `p = 0` for a no-op.
+    /// Implemented as a multiply by a constant mask, so the backward pass
+    /// routes gradients only through surviving elements.
+    pub fn dropout<R: rand::Rng + ?Sized>(&mut self, a: NodeId, p: f32, rng: &mut R) -> NodeId {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        if p == 0.0 {
+            return a;
+        }
+        use rand::RngExt;
+        let keep = 1.0 - p;
+        let shape = self.nodes[a].value.shape.clone();
+        let mask = Tensor {
+            data: (0..self.nodes[a].value.len())
+                .map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .collect(),
+            shape,
+        };
+        let m = self.constant(mask);
+        self.mul(a, m)
+    }
+
+    /// Row-wise softmax of a 2-D tensor (or of a 1-D tensor as one row).
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let x = &self.nodes[a].value;
+        let cols = x.cols();
+        let mut out = x.clone();
+        for r in 0..x.rows() {
+            let row = &mut out.data[r * cols..(r + 1) * cols];
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        self.push(out, Op::SoftmaxRows(a))
+    }
+
+    /// Layer normalization over the last dimension, with affine params.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        let xv = &self.nodes[x].value;
+        let g = &self.nodes[gamma].value;
+        let b = &self.nodes[beta].value;
+        let n = xv.cols();
+        assert_eq!(g.len(), n);
+        assert_eq!(b.len(), n);
+        let mut out = xv.clone();
+        for r in 0..xv.rows() {
+            let row = &mut out.data[r * n..(r + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let inv = 1.0 / (var + LN_EPS).sqrt();
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - mean) * inv * g.data[j] + b.data[j];
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma, beta })
+    }
+
+    // ---- reductions / reshaping ----
+
+    pub fn sum(&mut self, a: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.nodes[a].value.sum());
+        self.push(v, Op::Sum(a))
+    }
+
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        let t = &self.nodes[a].value;
+        let v = Tensor::scalar(t.sum() / t.len() as f32);
+        self.push(v, Op::Mean(a))
+    }
+
+    pub fn abs(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(f32::abs);
+        self.push(v, Op::Abs(a))
+    }
+
+    /// Cumulative sum of a 1-D tensor.
+    pub fn cumsum(&mut self, a: NodeId) -> NodeId {
+        let x = &self.nodes[a].value;
+        assert_eq!(x.rank(), 1, "cumsum is 1-D");
+        let mut acc = 0.0;
+        let data = x.data.iter().map(|&v| {
+            acc += v;
+            acc
+        });
+        let v = Tensor::vector(data.collect());
+        self.push(v, Op::CumSum(a))
+    }
+
+    /// Maximum element of a 1-D tensor (subgradient to the first argmax).
+    pub fn max_reduce(&mut self, a: NodeId) -> NodeId {
+        let x = &self.nodes[a].value;
+        assert_eq!(x.rank(), 1);
+        assert!(!x.is_empty());
+        let m = x.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        self.push(Tensor::scalar(m), Op::MaxReduce(a))
+    }
+
+    /// Gather elements of a 1-D tensor at `indices`.
+    pub fn select(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
+        let x = &self.nodes[a].value;
+        assert_eq!(x.rank(), 1);
+        let v = Tensor::vector(indices.iter().map(|&i| x.data[i]).collect());
+        self.push(v, Op::Select(a, indices.to_vec()))
+    }
+
+    /// Contiguous 1-D slice `[start, start+len)`.
+    pub fn slice1d(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let x = &self.nodes[a].value;
+        assert_eq!(x.rank(), 1);
+        assert!(start + len <= x.len());
+        let v = Tensor::vector(x.data[start..start + len].to_vec());
+        self.push(v, Op::Slice1D(a, start, len))
+    }
+
+    /// Column slice `[.., start..start+len]` of a 2-D tensor.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        let x = &self.nodes[a].value;
+        assert_eq!(x.rank(), 2);
+        let (m, n) = (x.rows(), x.cols());
+        assert!(start + len <= n);
+        let mut out = Tensor::zeros(&[m, len]);
+        for r in 0..m {
+            out.data[r * len..(r + 1) * len]
+                .copy_from_slice(&x.data[r * n + start..r * n + start + len]);
+        }
+        self.push(out, Op::SliceCols(a, start, len))
+    }
+
+    /// Concatenate 2-D tensors with equal row counts along columns.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let m = self.nodes[parts[0]].value.rows();
+        let total: usize = parts.iter().map(|&p| self.nodes[p].value.cols()).sum();
+        let mut out = Tensor::zeros(&[m, total]);
+        let mut off = 0;
+        for &p in parts {
+            let x = &self.nodes[p].value;
+            assert_eq!(x.rows(), m, "row count mismatch in concat");
+            let n = x.cols();
+            for r in 0..m {
+                out.data[r * total + off..r * total + off + n]
+                    .copy_from_slice(&x.data[r * n..(r + 1) * n]);
+            }
+            off += n;
+        }
+        self.push(out, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Reinterpret a single-row or single-column 2-D tensor as 1-D.
+    pub fn flatten(&mut self, a: NodeId) -> NodeId {
+        let x = &self.nodes[a].value;
+        assert_eq!(x.rank(), 2, "flatten takes a 2-D tensor");
+        assert!(
+            x.rows() == 1 || x.cols() == 1,
+            "flatten needs a single row or column, got {:?}",
+            x.shape
+        );
+        let v = Tensor::vector(x.data.clone());
+        self.push(v, Op::Flatten(a))
+    }
+
+    // ---- backward ----
+
+    /// Reverse-mode sweep from a scalar `root`; returns per-parameter
+    /// gradients.
+    pub fn backward(&self, root: NodeId) -> Gradients {
+        assert_eq!(self.nodes[root].value.len(), 1, "backward root must be scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[root] = Some(Tensor::scalar(1.0));
+
+        for id in (0..=root).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            self.propagate(id, &g, &mut grads);
+            grads[id] = Some(g);
+        }
+
+        let mut out = Gradients::new(self.store.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let (Some(pid), Some(g)) = (node.param, &grads[id]) {
+                out.add(pid, g);
+            }
+        }
+        out
+    }
+
+    fn accum(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
+        match &mut grads[id] {
+            Some(acc) => acc.add_inplace(&g),
+            slot => *slot = Some(g),
+        }
+    }
+
+    fn propagate(&self, id: NodeId, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        match &self.nodes[id].op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                Self::accum(grads, *a, g.clone());
+                Self::accum(grads, *b, g.clone());
+            }
+            Op::Mul(a, b) => {
+                let ga = g.zip(&self.nodes[*b].value, |dg, y| dg * y);
+                let gb = g.zip(&self.nodes[*a].value, |dg, x| dg * x);
+                Self::accum(grads, *a, ga);
+                Self::accum(grads, *b, gb);
+            }
+            Op::ScalarMul(a, k) => {
+                Self::accum(grads, *a, g.map(|x| x * k));
+            }
+            Op::ScalarAdd(a, _) => {
+                Self::accum(grads, *a, g.clone());
+            }
+            Op::Matmul(a, b) => {
+                let bt = self.nodes[*b].value.transpose();
+                let at = self.nodes[*a].value.transpose();
+                Self::accum(grads, *a, g.matmul(&bt));
+                Self::accum(grads, *b, at.matmul(g));
+            }
+            Op::Transpose(a) => {
+                Self::accum(grads, *a, g.transpose());
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[id].value;
+                Self::accum(grads, *a, g.zip(y, |dg, y| dg * (1.0 - y * y)));
+            }
+            Op::Relu(a) => {
+                let x = &self.nodes[*a].value;
+                Self::accum(grads, *a, g.zip(x, |dg, x| if x > 0.0 { dg } else { 0.0 }));
+            }
+            Op::SoftmaxRows(a) => {
+                let y = &self.nodes[id].value;
+                let cols = y.cols();
+                let mut dx = y.clone();
+                for r in 0..y.rows() {
+                    let yr = &y.data[r * cols..(r + 1) * cols];
+                    let gr = &g.data[r * cols..(r + 1) * cols];
+                    let dot: f32 = yr.iter().zip(gr).map(|(&y, &dg)| y * dg).sum();
+                    for j in 0..cols {
+                        dx.data[r * cols + j] = yr[j] * (gr[j] - dot);
+                    }
+                }
+                Self::accum(grads, *a, dx);
+            }
+            Op::Sum(a) => {
+                let dg = g.data[0];
+                let x = &self.nodes[*a].value;
+                Self::accum(grads, *a, x.map(|_| dg));
+            }
+            Op::Mean(a) => {
+                let x = &self.nodes[*a].value;
+                let dg = g.data[0] / x.len() as f32;
+                Self::accum(grads, *a, x.map(|_| dg));
+            }
+            Op::Abs(a) => {
+                let x = &self.nodes[*a].value;
+                Self::accum(
+                    grads,
+                    *a,
+                    g.zip(x, |dg, x| if x >= 0.0 { dg } else { -dg }),
+                );
+            }
+            Op::CumSum(a) => {
+                // d/dx_i = Σ_{j ≥ i} g_j  (suffix sums).
+                let mut dx = g.clone();
+                let n = dx.len();
+                for i in (0..n.saturating_sub(1)).rev() {
+                    dx.data[i] += dx.data[i + 1];
+                }
+                Self::accum(grads, *a, dx);
+            }
+            Op::MaxReduce(a) => {
+                let x = &self.nodes[*a].value;
+                let m = self.nodes[id].value.data[0];
+                let arg = x.data.iter().position(|&v| v == m).expect("max exists");
+                let mut dx = Tensor::zeros(&x.shape);
+                dx.data[arg] = g.data[0];
+                Self::accum(grads, *a, dx);
+            }
+            Op::Select(a, idx) => {
+                let x = &self.nodes[*a].value;
+                let mut dx = Tensor::zeros(&x.shape);
+                for (k, &i) in idx.iter().enumerate() {
+                    dx.data[i] += g.data[k];
+                }
+                Self::accum(grads, *a, dx);
+            }
+            Op::Slice1D(a, start, len) => {
+                let x = &self.nodes[*a].value;
+                let mut dx = Tensor::zeros(&x.shape);
+                dx.data[*start..start + len].copy_from_slice(&g.data);
+                Self::accum(grads, *a, dx);
+            }
+            Op::SliceCols(a, start, len) => {
+                let x = &self.nodes[*a].value;
+                let (m, n) = (x.rows(), x.cols());
+                let mut dx = Tensor::zeros(&[m, n]);
+                for r in 0..m {
+                    dx.data[r * n + start..r * n + start + len]
+                        .copy_from_slice(&g.data[r * len..(r + 1) * len]);
+                }
+                Self::accum(grads, *a, dx);
+            }
+            Op::ConcatCols(parts) => {
+                let m = self.nodes[id].value.rows();
+                let total = self.nodes[id].value.cols();
+                let mut off = 0;
+                for &p in parts {
+                    let n = self.nodes[p].value.cols();
+                    let mut dp = Tensor::zeros(&[m, n]);
+                    for r in 0..m {
+                        dp.data[r * n..(r + 1) * n]
+                            .copy_from_slice(&g.data[r * total + off..r * total + off + n]);
+                    }
+                    Self::accum(grads, p, dp);
+                    off += n;
+                }
+            }
+            Op::AddBias(a, bias) => {
+                Self::accum(grads, *a, g.clone());
+                let n = self.nodes[*bias].value.len();
+                let mut db = Tensor::zeros(&[n]);
+                for r in 0..g.rows() {
+                    for c in 0..n {
+                        db.data[c] += g.data[r * n + c];
+                    }
+                }
+                Self::accum(grads, *bias, db);
+            }
+            Op::Flatten(a) => {
+                let x = &self.nodes[*a].value;
+                let mut dx = Tensor::zeros(&x.shape);
+                dx.data.copy_from_slice(&g.data);
+                Self::accum(grads, *a, dx);
+            }
+            Op::LayerNorm { x, gamma, beta } => {
+                let xv = &self.nodes[*x].value;
+                let gv = &self.nodes[*gamma].value;
+                let n = xv.cols();
+                let mut dx = Tensor::zeros(&xv.shape);
+                let mut dgamma = Tensor::zeros(&[n]);
+                let mut dbeta = Tensor::zeros(&[n]);
+                for r in 0..xv.rows() {
+                    let xr = &xv.data[r * n..(r + 1) * n];
+                    let gr = &g.data[r * n..(r + 1) * n];
+                    let mean = xr.iter().sum::<f32>() / n as f32;
+                    let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                    let inv = 1.0 / (var + LN_EPS).sqrt();
+                    let xhat: Vec<f32> = xr.iter().map(|&v| (v - mean) * inv).collect();
+                    // Affine gradients.
+                    for j in 0..n {
+                        dgamma.data[j] += gr[j] * xhat[j];
+                        dbeta.data[j] += gr[j];
+                    }
+                    // dxhat = g * gamma
+                    let dxhat: Vec<f32> = (0..n).map(|j| gr[j] * gv.data[j]).collect();
+                    let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
+                    let mean_dxhat_xhat =
+                        dxhat.iter().zip(&xhat).map(|(&a, &b)| a * b).sum::<f32>() / n as f32;
+                    for j in 0..n {
+                        dx.data[r * n + j] =
+                            inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat);
+                    }
+                }
+                Self::accum(grads, *x, dx);
+                Self::accum(grads, *gamma, dgamma);
+                Self::accum(grads, *beta, dbeta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference gradient check: `build` constructs a
+    /// scalar-rooted graph from parameter leaves; compares analytic and
+    /// numeric gradients for every parameter scalar.
+    fn check_gradients(
+        params: Vec<(&str, Tensor)>,
+        build: impl Fn(&mut Tape, &[NodeId]) -> NodeId,
+        tol: f32,
+    ) {
+        let mut store = ParamStore::new();
+        let ids: Vec<ParamId> = params
+            .iter()
+            .map(|(n, t)| store.add(n, t.clone()))
+            .collect();
+
+        // Analytic gradients.
+        let mut tape = Tape::new(&store);
+        let leaves: Vec<NodeId> = ids.iter().map(|&i| tape.param(i)).collect();
+        let root = build(&mut tape, &leaves);
+        let grads = tape.backward(root);
+
+        // Numeric gradients.
+        let eps = 1e-3f32;
+        for (pi, &pid) in ids.iter().enumerate() {
+            let len = store.value(pid).len();
+            for k in 0..len {
+                let eval = |delta: f32| -> f32 {
+                    let mut s2 = store.clone();
+                    s2.value_mut(pid).data[k] += delta;
+                    let mut t2 = Tape::new(&s2);
+                    let l2: Vec<NodeId> = ids.iter().map(|&i| t2.param(i)).collect();
+                    let r2 = build(&mut t2, &l2);
+                    t2.scalar_value(r2)
+                };
+                let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+                let analytic = grads.by_param[pid]
+                    .as_ref()
+                    .map_or(0.0, |g| g.data[k]);
+                assert!(
+                    (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+                    "param {pi} ({}) elem {k}: numeric {numeric} vs analytic {analytic}",
+                    params[pi].0,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        check_gradients(
+            vec![
+                ("a", Tensor::vector(vec![1.0, -2.0, 0.5])),
+                ("b", Tensor::vector(vec![0.3, 0.7, -1.1])),
+            ],
+            |t, l| {
+                let s = t.add(l[0], l[1]);
+                let p = t.mul(s, l[0]);
+                t.sum(p)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_bias() {
+        check_gradients(
+            vec![
+                ("x", Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, -0.4, 0.3], &[2, 3])),
+                ("w", Tensor::from_vec(vec![0.2, -0.5, 0.7, 0.1, 0.4, -0.3], &[3, 2])),
+                ("b", Tensor::vector(vec![0.05, -0.02])),
+            ],
+            |t, l| {
+                let y = t.matmul(l[0], l[1]);
+                let y = t.add_bias(y, l[2]);
+                let y = t.tanh(y);
+                t.sum(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax() {
+        check_gradients(
+            vec![("x", Tensor::from_vec(vec![0.1, 0.9, -0.5, 0.3, 0.2, 0.7], &[2, 3]))],
+            |t, l| {
+                let y = t.softmax_rows(l[0]);
+                let sq = t.square(y);
+                t.sum(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        check_gradients(
+            vec![
+                ("x", Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.7, 1.5, 0.4], &[2, 4])),
+                ("g", Tensor::vector(vec![1.0, 0.9, 1.1, 1.2])),
+                ("b", Tensor::vector(vec![0.0, 0.1, -0.1, 0.05])),
+            ],
+            |t, l| {
+                let y = t.layer_norm(l[0], l[1], l[2]);
+                let sq = t.square(y);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_cumsum_abs_mean() {
+        // The 1-D EMD shape: mean(|cumsum(x - y)|).
+        check_gradients(
+            vec![
+                ("x", Tensor::vector(vec![0.5, 1.5, -0.3, 0.9])),
+                ("y", Tensor::vector(vec![0.1, 1.1, 0.4, 0.2])),
+            ],
+            |t, l| {
+                let d = t.sub(l[0], l[1]);
+                let c = t.cumsum(d);
+                let a = t.abs(c);
+                t.mean(a)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_max_select_slice() {
+        check_gradients(
+            vec![("x", Tensor::vector(vec![0.5, 2.5, -0.3, 0.9, 1.7]))],
+            |t, l| {
+                let m = t.max_reduce(l[0]); // -> 2.5 at idx 1
+                let sel = t.select(l[0], &[0, 3]);
+                let sl = t.slice1d(l[0], 2, 2);
+                let s1 = t.sum(sel);
+                let s2 = t.sum(sl);
+                let a = t.add(m, s1);
+                t.add(a, s2)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_slice_concat_cols() {
+        check_gradients(
+            vec![(
+                "x",
+                Tensor::from_vec((0..12).map(|i| (i as f32) * 0.1 - 0.5).collect(), &[3, 4]),
+            )],
+            |t, l| {
+                let a = t.slice_cols(l[0], 0, 2);
+                let b = t.slice_cols(l[0], 2, 2);
+                let swapped = t.concat_cols(&[b, a]);
+                let y = t.tanh(swapped);
+                t.sum(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_transpose_and_attention_shape() {
+        // Mini attention: softmax(QK^T) V.
+        check_gradients(
+            vec![
+                ("q", Tensor::from_vec(vec![0.1, 0.5, -0.3, 0.7, 0.2, -0.1], &[3, 2])),
+                ("k", Tensor::from_vec(vec![0.4, -0.2, 0.3, 0.6, -0.5, 0.1], &[3, 2])),
+                ("v", Tensor::from_vec(vec![1.0, 0.0, 0.5, -0.5, 0.2, 0.8], &[3, 2])),
+            ],
+            |t, l| {
+                let kt = t.transpose(l[1]);
+                let scores = t.matmul(l[0], kt);
+                let att = t.softmax_rows(scores);
+                let out = t.matmul(att, l[2]);
+                let sq = t.square(out);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_relu_hinge() {
+        check_gradients(
+            vec![("x", Tensor::vector(vec![0.5, -1.5, 2.0, 0.1]))],
+            |t, l| {
+                let shifted = t.scalar_add(l[0], -0.3);
+                let h = t.relu(shifted);
+                let sc = t.scalar_mul(h, 2.0);
+                t.sum(sc)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn shared_node_gradient_accumulates() {
+        // y = x * x built via the same node twice: dy/dx = 2x.
+        let mut store = ParamStore::new();
+        let p = store.add("x", Tensor::vector(vec![3.0]));
+        let mut tape = Tape::new(&store);
+        let x = tape.param(p);
+        let y = tape.mul(x, x);
+        let root = tape.sum(y);
+        let grads = tape.backward(root);
+        assert_eq!(grads.by_param[p].as_ref().unwrap().data, vec![6.0]);
+    }
+
+    #[test]
+    fn constants_produce_no_param_grads() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let c = tape.constant(Tensor::vector(vec![1.0, 2.0]));
+        let s = tape.sum(c);
+        let grads = tape.backward(s);
+        assert!(grads.by_param.is_empty());
+        assert_eq!(tape.scalar_value(s), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod ext_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gelu_matches_reference_values() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(Tensor::vector(vec![-2.0, -1.0, 0.0, 1.0, 2.0]));
+        let y = tape.gelu(x);
+        // Reference values of the tanh-approximated GELU.
+        let expect = [-0.0454, -0.1588, 0.0, 0.8412, 1.9546];
+        for (got, want) in tape.value(y).data.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-3, "gelu {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gelu_gradient_checks_against_finite_differences() {
+        let mut store = ParamStore::new();
+        let p = store.add("x", Tensor::vector(vec![-1.5, -0.2, 0.4, 1.7]));
+        let mut tape = Tape::new(&store);
+        let x = tape.param(p);
+        let y = tape.gelu(x);
+        let root = tape.sum(y);
+        let grads = tape.backward(root);
+        let g = grads.by_param[p].as_ref().unwrap();
+        let eps = 1e-3f32;
+        for k in 0..4 {
+            let eval = |d: f32| {
+                let mut s2 = store.clone();
+                s2.value_mut(p).data[k] += d;
+                let mut t2 = Tape::new(&s2);
+                let x2 = t2.param(p);
+                let y2 = t2.gelu(x2);
+                let r2 = t2.sum(y2);
+                t2.scalar_value(r2)
+            };
+            let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+            assert!((numeric - g.data[k]).abs() < 1e-2, "elem {k}: {numeric} vs {}", g.data[k]);
+        }
+    }
+
+    #[test]
+    fn dropout_zeroes_and_rescales() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(Tensor::vector(vec![1.0; 1000]));
+        let mut rng = StdRng::seed_from_u64(5);
+        let y = tape.dropout(x, 0.3, &mut rng);
+        let v = tape.value(y);
+        let zeros = v.data.iter().filter(|&&a| a == 0.0).count();
+        // ~30% dropped.
+        assert!((200..400).contains(&zeros), "zeros = {zeros}");
+        // Survivors rescaled by 1/0.7; expectation preserved.
+        let mean = v.sum() / 1000.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean = {mean}");
+        for &a in &v.data {
+            assert!(a == 0.0 || (a - 1.0 / 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.constant(Tensor::vector(vec![1.0, 2.0]));
+        let mut rng = StdRng::seed_from_u64(5);
+        let y = tape.dropout(x, 0.0, &mut rng);
+        assert_eq!(x, y, "p=0 must not add a node");
+    }
+}

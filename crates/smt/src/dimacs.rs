@@ -1,0 +1,190 @@
+//! DIMACS CNF front-end for the SAT core.
+//!
+//! Lets the CDCL solver be exercised (and regression-tested) against the
+//! standard benchmark format, independent of the SMT layer.
+
+use crate::sat::{Lit, SatSolver, SolveResult};
+
+/// Errors from DIMACS parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimacsError {
+    Malformed { line: usize, reason: String },
+    /// A literal references a variable above the declared count.
+    VariableOutOfRange { line: usize, var: i64 },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            DimacsError::VariableOutOfRange { line, var } => {
+                write!(f, "line {line}: variable {var} out of declared range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parse DIMACS CNF into a fresh solver. Returns the solver and the
+/// number of declared variables.
+pub fn parse(text: &str) -> Result<(SatSolver, usize), DimacsError> {
+    let mut solver = SatSolver::new();
+    let mut declared_vars = 0usize;
+    let mut seen_header = false;
+    let mut clause: Vec<Lit> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 3 || fields[0] != "cnf" {
+                return Err(DimacsError::Malformed {
+                    line: line_no,
+                    reason: format!("bad problem line {line:?}"),
+                });
+            }
+            declared_vars = fields[1].parse().map_err(|_| DimacsError::Malformed {
+                line: line_no,
+                reason: format!("bad variable count {:?}", fields[1]),
+            })?;
+            for _ in 0..declared_vars {
+                solver.new_var();
+            }
+            seen_header = true;
+            continue;
+        }
+        if !seen_header {
+            return Err(DimacsError::Malformed {
+                line: line_no,
+                reason: "clause before problem line".into(),
+            });
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError::Malformed {
+                line: line_no,
+                reason: format!("bad literal {tok:?}"),
+            })?;
+            if v == 0 {
+                solver.add_clause(&clause);
+                clause.clear();
+            } else {
+                let var = v.unsigned_abs() - 1;
+                if var >= declared_vars as u64 {
+                    return Err(DimacsError::VariableOutOfRange { line: line_no, var: v });
+                }
+                clause.push(Lit::new(var as u32, v < 0));
+            }
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(&clause);
+    }
+    Ok((solver, declared_vars))
+}
+
+/// Parse, solve, and pretty-print the result in the competition format
+/// (`SATISFIABLE` + model line, or `UNSATISFIABLE`).
+pub fn solve_dimacs(text: &str) -> Result<String, DimacsError> {
+    let (mut solver, nvars) = parse(text)?;
+    Ok(match solver.solve() {
+        SolveResult::Sat => {
+            let mut s = String::from("s SATISFIABLE\nv ");
+            for v in 0..nvars {
+                if solver.model_value(v as u32) {
+                    s.push_str(&format!("{} ", v + 1));
+                } else {
+                    s.push_str(&format!("-{} ", v + 1));
+                }
+            }
+            s.push('0');
+            s
+        }
+        SolveResult::Unsat => "s UNSATISFIABLE".into(),
+        SolveResult::Unknown => "s UNKNOWN".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_solves_satisfiable_instance() {
+        let cnf = "\
+c a comment
+p cnf 3 2
+1 -3 0
+2 3 -1 0
+";
+        let out = solve_dimacs(cnf).unwrap();
+        assert!(out.starts_with("s SATISFIABLE"));
+        assert!(out.contains('v'));
+    }
+
+    #[test]
+    fn detects_unsat_instance() {
+        let cnf = "p cnf 1 2\n1 0\n-1 0\n";
+        assert_eq!(solve_dimacs(cnf).unwrap(), "s UNSATISFIABLE");
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // A slightly bigger instance; verify the reported model.
+        let cnf = "p cnf 5 6\n1 2 0\n-1 3 0\n-2 4 0\n-3 -4 5 0\n-5 1 0\n2 -4 0\n";
+        let (mut s, n) = parse(cnf).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model: Vec<bool> = (0..5).map(|v| s.model_value(v)).collect();
+        let clause_ok = |lits: &[i32]| {
+            lits.iter().any(|&l| {
+                let val = model[(l.abs() - 1) as usize];
+                if l > 0 {
+                    val
+                } else {
+                    !val
+                }
+            })
+        };
+        for c in [
+            vec![1, 2],
+            vec![-1, 3],
+            vec![-2, 4],
+            vec![-3, -4, 5],
+            vec![-5, 1],
+            vec![2, -4],
+        ] {
+            assert!(clause_ok(&c), "clause {c:?} unsatisfied by model {model:?}");
+        }
+    }
+
+    #[test]
+    fn multiline_clauses_and_trailing_clause() {
+        let cnf = "p cnf 2 2\n1\n2 0\n-1 -2 0";
+        let (mut s, _) = parse(cnf).unwrap();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse("1 2 0\n"),
+            Err(DimacsError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("p cnf 2 1\n1 5 0\n"),
+            Err(DimacsError::VariableOutOfRange { line: 2, var: 5 })
+        ));
+        assert!(matches!(
+            parse("p cnf x 1\n"),
+            Err(DimacsError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("p dnf 1 1\n"),
+            Err(DimacsError::Malformed { line: 1, .. })
+        ));
+    }
+}

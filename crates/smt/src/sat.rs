@@ -1,0 +1,659 @@
+//! A CDCL SAT solver: two-watched-literal propagation, VSIDS decisions,
+//! first-UIP clause learning, phase saving, Luby restarts, and a conflict
+//! budget.
+//!
+//! The solver is used incrementally by the lazy SMT loop: clauses (theory
+//! lemmas, objective bounds) may be added between `solve()` calls; the
+//! solver backtracks to the root level on every entry.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: variable + sign, packed as `var << 1 | negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit((v << 1) | negated as u32)
+    }
+
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "-" } else { "" }, self.var())
+    }
+}
+
+/// Three-valued assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+/// Result of a SAT search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    Sat,
+    Unsat,
+    /// Conflict budget exhausted.
+    Unknown,
+}
+
+type ClauseRef = u32;
+
+struct Clause {
+    lits: Vec<Lit>,
+    /// Learnt clauses could be garbage-collected under memory pressure;
+    /// retained unconditionally at current problem sizes.
+    #[allow(dead_code)]
+    learnt: bool,
+}
+
+/// The CDCL solver.
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    /// `watches[lit.index()]`: clauses watching `lit`.
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<LBool>,
+    /// Saved phase for decision polarity.
+    phase: Vec<bool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// VSIDS activity.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Root-level inconsistency discovered during clause addition.
+    unsat: bool,
+    /// Conflicts allowed per `solve` call (None = unbounded).
+    budget: Option<u64>,
+    conflicts_total: u64,
+    // Scratch for conflict analysis.
+    seen: Vec<bool>,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SatSolver {
+    pub fn new() -> SatSolver {
+        SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            unsat: false,
+            budget: None,
+            conflicts_total: 0,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assign.len() as Var;
+        self.assign.push(LBool::Undef);
+        self.phase.push(false);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Total conflicts across all `solve` calls (for reporting).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts_total
+    }
+
+    /// Limit the number of conflicts per `solve` call.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assign[l.var() as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// The model value of a variable after `solve` returned `Sat`.
+    /// Unassigned variables (don't-cares) read as `false`.
+    pub fn model_value(&self, v: Var) -> bool {
+        matches!(self.assign[v as usize], LBool::True)
+    }
+
+    /// Add a clause; returns `false` if the solver became trivially unsat.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        self.backtrack_to(0);
+        // Simplify: drop duplicates and false literals, detect tautologies
+        // and satisfied clauses at the root level.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for (i, &l) in sorted.iter().enumerate() {
+            if i + 1 < sorted.len() && sorted[i + 1] == l.negate() {
+                return true; // tautology
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => c.push(l),
+            }
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(c, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cr = self.clauses.len() as ClauseRef;
+        self.watches[lits[0].negate().index()].push(cr);
+        self.watches[lits[1].negate().index()].push(cr);
+        self.clauses.push(Clause { lits, learnt });
+        cr
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var() as usize;
+        self.assign[v] = if l.is_neg() { LBool::False } else { LBool::True };
+        self.phase[v] = !l.is_neg();
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching p (i.e. containing ¬p as watched literal
+            // candidate) — we store watchers under the literal that, when
+            // *assigned true*, might falsify the watched literal.
+            let mut i = 0;
+            let mut watchers = std::mem::take(&mut self.watches[p.index()]);
+            'next_clause: while i < watchers.len() {
+                let cr = watchers[i];
+                let false_lit = p.negate();
+                // Normalize: watched literals are lits[0], lits[1].
+                {
+                    let c = &mut self.clauses[cr as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cr as usize].lits[0];
+                if self.value_lit(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cr as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cr as usize].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        self.clauses[cr as usize].lits.swap(1, k);
+                        self.watches[lk.negate().index()].push(cr);
+                        watchers.swap_remove(i);
+                        continue 'next_clause;
+                    }
+                }
+                // Unit or conflicting.
+                if self.value_lit(first) == LBool::False {
+                    self.watches[p.index()] = watchers;
+                    // Re-add remaining watchers we had taken out.
+                    return Some(cr);
+                }
+                self.enqueue(first, Some(cr));
+                i += 1;
+            }
+            self.watches[p.index()] = watchers;
+        }
+        None
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for &l in &self.trail[lim..] {
+            let v = l.var() as usize;
+            self.assign[v] = LBool::Undef;
+            self.reason[v] = None;
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+    }
+
+    /// First-UIP conflict analysis; returns (learnt clause, backjump level).
+    /// The asserting literal is placed first.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cr = confl;
+        let cur_level = self.decision_level();
+
+        loop {
+            {
+                let start = usize::from(p.is_some());
+                let lits = self.clauses[cr as usize].lits.clone();
+                for &q in &lits[start..] {
+                    let v = q.var();
+                    if !self.seen[v as usize] && self.level[v as usize] > 0 {
+                        self.seen[v as usize] = true;
+                        self.bump_var(v);
+                        if self.level[v as usize] >= cur_level {
+                            counter += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            cr = self.reason[lit.var() as usize].expect("non-decision must have a reason");
+            p = Some(lit);
+        }
+        let uip = p.expect("conflict at decision level > 0 has a UIP").negate();
+        learnt.insert(0, uip);
+        for &l in &learnt {
+            self.seen[l.var() as usize] = false;
+        }
+        // Backjump level: max level among the non-asserting literals.
+        let bj = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        (learnt, bj)
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        // Linear VSIDS scan; adequate at the scale of our encodings.
+        let mut best: Option<(Var, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == LBool::Undef {
+                let a = self.activity[v];
+                if best.map_or(true, |(_, ba)| a > ba) {
+                    best = Some((v as Var, a));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Luby sequence for restart intervals (0-indexed).
+    fn luby(mut i: u64) -> u64 {
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i + 1 {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i + 1 {
+                return 1 << (k - 1);
+            }
+            // Recurse into the flat part: luby(i) = luby(i - 2^(k-1) + 1).
+            i -= (1 << (k - 1)) - 1;
+        }
+    }
+
+    /// Run the CDCL search.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+        let mut conflicts_this_call = 0u64;
+        let mut restart_idx = 0u64;
+        let mut restart_limit = 64 * Self::luby(restart_idx);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts_total += 1;
+                conflicts_this_call += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                if let Some(b) = self.budget {
+                    if conflicts_this_call > b {
+                        self.backtrack_to(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                let (learnt, bj) = self.analyze(confl);
+                self.backtrack_to(bj);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], None);
+                } else {
+                    let cr = self.attach_clause(learnt.clone(), true);
+                    self.enqueue(learnt[0], Some(cr));
+                }
+                self.decay_activities();
+                if conflicts_this_call >= restart_limit {
+                    restart_idx += 1;
+                    restart_limit = conflicts_this_call + 64 * Self::luby(restart_idx);
+                    self.backtrack_to(0);
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v as usize];
+                        self.enqueue(Lit::new(v, !phase), None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&x| {
+                let v = (x.abs() - 1) as Var;
+                Lit::new(v, x < 0)
+            })
+            .collect()
+    }
+
+    fn solver_with_vars(n: usize) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn lit_packing() {
+        let l = Lit::pos(3);
+        assert_eq!(l.var(), 3);
+        assert!(!l.is_neg());
+        assert_eq!(l.negate().var(), 3);
+        assert!(l.negate().is_neg());
+        assert_eq!(l.negate().negate(), l);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(&lits(&[1, 2]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(0) || s.model_value(1));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = solver_with_vars(1);
+        s.add_clause(&lits(&[1]));
+        s.add_clause(&lits(&[-1]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = solver_with_vars(1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // 1, 1->2, 2->3, 3->4 forces all true.
+        let mut s = solver_with_vars(4);
+        s.add_clause(&lits(&[1]));
+        s.add_clause(&lits(&[-1, 2]));
+        s.add_clause(&lits(&[-2, 3]));
+        s.add_clause(&lits(&[-3, 4]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in 0..4 {
+            assert!(s.model_value(v));
+        }
+    }
+
+    #[test]
+    fn conflict_requires_learning() {
+        // Pigeonhole 2-into-1 style contradiction.
+        let mut s = solver_with_vars(3);
+        s.add_clause(&lits(&[1, 2]));
+        s.add_clause(&lits(&[1, -2]));
+        s.add_clause(&lits(&[-1, 3]));
+        s.add_clause(&lits(&[-1, -3]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_handled() {
+        let mut s = solver_with_vars(2);
+        assert!(s.add_clause(&lits(&[1, -1])));
+        assert!(s.add_clause(&lits(&[2, 2])));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(1));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(&lits(&[1, 2]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Force the opposite of the current model, then the remaining one.
+        s.add_clause(&lits(&[-1]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(1));
+        s.add_clause(&lits(&[-2]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut s = SatSolver::new();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_returns_unknown_on_hard_instance() {
+        // Pigeonhole 7-into-6: exponential for resolution; tiny budget
+        // must give Unknown.
+        let n = 7;
+        let mut s = SatSolver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for pi in p.iter() {
+            let c: Vec<Lit> = pi.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..n - 1 {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause(&[Lit::neg(p[a][j]), Lit::neg(p[b][j])]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(50));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // With a generous budget it is provably unsat.
+        s.set_conflict_budget(Some(2_000_000));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_satisfiable_instances_solve() {
+        // Deterministic LCG; planted solution guarantees satisfiability.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..10 {
+            let nvars = 30u32;
+            let planted: Vec<bool> = (0..nvars).map(|_| next() % 2 == 0).collect();
+            let mut s = solver_with_vars(nvars as usize);
+            for _ in 0..120 {
+                let mut clause = Vec::new();
+                // Ensure at least one literal agrees with the planted model.
+                for k in 0..3 {
+                    let v = next() % nvars;
+                    let neg = if k == 0 { !planted[v as usize] } else { next() % 2 == 0 };
+                    clause.push(Lit::new(v, neg));
+                }
+                s.add_clause(&clause);
+            }
+            assert_eq!(s.solve(), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (0..15).map(SatSolver::luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+}

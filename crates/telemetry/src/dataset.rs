@@ -1,0 +1,83 @@
+//! Dataset assembly: multi-seed generation, splits, and normalization.
+
+use crate::window::{windows_from_trace, PortWindow};
+use crate::{DEFAULT_INTERVAL_LEN, DEFAULT_WINDOW_LEN};
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+
+/// A train/test split of port windows.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub train: Vec<PortWindow>,
+    pub test: Vec<PortWindow>,
+    /// Normalization scale for queue lengths (divide raw lengths by this).
+    pub qlen_scale: f32,
+    /// Normalization scale for per-interval packet counts.
+    pub count_scale: f32,
+}
+
+impl Dataset {
+    /// Generate a dataset by running `num_runs` simulations of
+    /// `run_ms` milliseconds each (seeds `seed, seed+1, ...`), slicing into
+    /// default-shaped windows, and splitting chronologically-by-run:
+    /// the last `test_runs` runs become the test set (no window of a test
+    /// run ever appears in training).
+    pub fn generate(
+        cfg: &SimConfig,
+        traffic: &TrafficConfig,
+        seed: u64,
+        num_runs: usize,
+        run_ms: u64,
+        test_runs: usize,
+    ) -> Dataset {
+        assert!(test_runs < num_runs, "need at least one training run");
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for r in 0..num_runs {
+            let gt = Simulation::new(cfg.clone(), traffic.clone(), seed + r as u64)
+                .run_ms(run_ms);
+            let ws = windows_from_trace(
+                &gt,
+                DEFAULT_WINDOW_LEN,
+                DEFAULT_INTERVAL_LEN,
+                DEFAULT_WINDOW_LEN,
+            );
+            let active = ws.into_iter().filter(|w| w.has_activity());
+            if r + test_runs >= num_runs {
+                test.extend(active);
+            } else {
+                train.extend(active);
+            }
+        }
+        let qlen_scale = (cfg.buffer_packets as f32).max(1.0);
+        // One interval at line rate is the natural count scale.
+        let count_scale = (cfg.pkts_per_ms() as usize * DEFAULT_INTERVAL_LEN) as f32;
+        Dataset { train, test, qlen_scale, count_scale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_splits_by_run() {
+        let cfg = SimConfig::small();
+        let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.5);
+        let ds = Dataset::generate(&cfg, &traffic, 5, 3, 600, 1);
+        assert!(!ds.train.is_empty());
+        assert!(!ds.test.is_empty());
+        // 600 ms -> 2 windows x 4 ports per run; 2 train runs, 1 test run.
+        assert!(ds.train.len() <= 2 * 2 * 4);
+        assert!(ds.test.len() <= 2 * 4);
+        assert!(ds.qlen_scale > 0.0 && ds.count_scale > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training run")]
+    fn all_test_runs_rejected() {
+        let cfg = SimConfig::small();
+        let traffic = TrafficConfig::websearch_only(0.3);
+        Dataset::generate(&cfg, &traffic, 5, 2, 300, 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! LANZ-style per-interval maximum queue length.
+//!
+//! Arista LANZ reports the maximum length a queue reached within each
+//! monitoring interval, but not *when* the maximum occurred — which is
+//! exactly why imputation is needed. Following the paper (footnote 1), we
+//! assume the reporting threshold is configured low enough that a value is
+//! reported for every interval (zero if the queue stayed empty).
+
+/// Per-interval maxima of a fine-grained series.
+///
+/// Trailing bins that do not fill a whole interval are ignored.
+pub fn interval_max(fine: &[u32], interval_len: usize) -> Vec<u32> {
+    assert!(interval_len > 0, "interval_len must be positive");
+    fine.chunks_exact(interval_len)
+        .map(|chunk| *chunk.iter().max().expect("chunks_exact yields full chunks"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn takes_max_of_each_interval() {
+        let fine = [1, 7, 3, 0, 0, 2];
+        assert_eq!(interval_max(&fine, 3), vec![7, 2]);
+    }
+
+    #[test]
+    fn empty_queue_reports_zero() {
+        assert_eq!(interval_max(&[0, 0, 0, 0], 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn max_dominates_periodic_sample() {
+        use crate::sampler::periodic_samples;
+        let fine: Vec<u32> = vec![5, 1, 9, 2, 4, 4, 8, 0, 0, 3];
+        let maxes = interval_max(&fine, 5);
+        let samples = periodic_samples(&fine, 5);
+        for (m, s) in maxes.iter().zip(&samples) {
+            assert!(m >= s, "interval max must dominate the end sample");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Periodic instantaneous sampling of a fine-grained series.
+//!
+//! The operator's cheapest tool: read the queue length once per monitoring
+//! interval. Sample `k` is the instantaneous value at the *end* of interval
+//! `k`, i.e. fine bin `(k+1)·L − 1`; the corresponding constraint C2 pins
+//! the imputed series at exactly those positions.
+
+/// Positions (fine-bin indices, window-relative) at which periodic samples
+/// are taken for a window of `len` bins with interval length `interval_len`.
+pub fn sample_positions(len: usize, interval_len: usize) -> Vec<usize> {
+    assert!(interval_len > 0 && len % interval_len == 0);
+    (0..len / interval_len)
+        .map(|k| (k + 1) * interval_len - 1)
+        .collect()
+}
+
+/// Downsample a fine series to one instantaneous value per interval.
+///
+/// Trailing bins that do not fill a whole interval are ignored.
+pub fn periodic_samples(fine: &[u32], interval_len: usize) -> Vec<u32> {
+    assert!(interval_len > 0, "interval_len must be positive");
+    fine.chunks_exact(interval_len)
+        .map(|chunk| *chunk.last().expect("chunks_exact yields full chunks"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_take_last_value_of_each_interval() {
+        let fine = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert_eq!(periodic_samples(&fine, 3), vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn trailing_partial_interval_is_ignored() {
+        let fine = [1, 2, 3, 4, 5];
+        assert_eq!(periodic_samples(&fine, 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn positions_match_sampling_semantics() {
+        let pos = sample_positions(300, 50);
+        assert_eq!(pos, vec![49, 99, 149, 199, 249, 299]);
+        // Applying positions to a fine series reproduces periodic_samples.
+        let fine: Vec<u32> = (0..300).map(|i| i as u32).collect();
+        let by_pos: Vec<u32> = pos.iter().map(|&p| fine[p]).collect();
+        assert_eq!(by_pos, periodic_samples(&fine, 50));
+    }
+
+    #[test]
+    #[should_panic]
+    fn positions_require_whole_intervals() {
+        sample_positions(301, 50);
+    }
+}

@@ -1,0 +1,130 @@
+//! Aggregated coarse telemetry for a whole trace.
+
+use crate::{lanz, sampler, snmp};
+use fmml_netsim::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// Coarse measurements of one queue over a whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarseQueue {
+    /// Instantaneous length at the end of each interval (periodic sampling).
+    pub samples: Vec<u32>,
+    /// Maximum length within each interval (LANZ).
+    pub max: Vec<u32>,
+}
+
+/// Coarse measurements of one port over a whole trace (SNMP).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarsePort {
+    pub received: Vec<u32>,
+    pub sent: Vec<u32>,
+    pub dropped: Vec<u32>,
+}
+
+/// Everything the paper's operator can see: the output of running the three
+/// monitoring tools over a trace at one coarse interval length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarseTelemetry {
+    /// Fine bins per coarse interval (50 in the paper).
+    pub interval_len: usize,
+    pub queues_per_port: usize,
+    pub queues: Vec<CoarseQueue>,
+    pub ports: Vec<CoarsePort>,
+}
+
+impl CoarseTelemetry {
+    /// Run all monitoring tools over a fine-grained trace.
+    pub fn from_ground_truth(gt: &GroundTruth, interval_len: usize) -> CoarseTelemetry {
+        assert!(interval_len > 0);
+        let queues = (0..gt.num_queues())
+            .map(|q| CoarseQueue {
+                samples: sampler::periodic_samples(gt.queue_len_series(q), interval_len),
+                max: lanz::interval_max(gt.queue_len_series(q), interval_len),
+            })
+            .collect();
+        let ports = (0..gt.num_ports())
+            .map(|p| CoarsePort {
+                received: snmp::interval_counts(gt.received_series(p), interval_len),
+                sent: snmp::interval_counts(gt.sent_series(p), interval_len),
+                dropped: snmp::interval_counts(gt.dropped_series(p), interval_len),
+            })
+            .collect();
+        CoarseTelemetry {
+            interval_len,
+            queues_per_port: gt.queues_per_port(),
+            queues,
+            ports,
+        }
+    }
+
+    /// Number of complete coarse intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.queues.first().map_or(0, |q| q.samples.len())
+    }
+
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The port owning a switch-global queue id.
+    pub fn port_of_queue(&self, q: usize) -> usize {
+        q / self.queues_per_port
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmml_netsim::traffic::TrafficConfig;
+    use fmml_netsim::{SimConfig, Simulation};
+
+    fn trace() -> GroundTruth {
+        let cfg = SimConfig::small();
+        let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.5);
+        Simulation::new(cfg, traffic, 21).run_ms(200)
+    }
+
+    #[test]
+    fn shapes_match_trace() {
+        let gt = trace();
+        let ct = CoarseTelemetry::from_ground_truth(&gt, 50);
+        assert_eq!(ct.num_intervals(), 4);
+        assert_eq!(ct.num_queues(), gt.num_queues());
+        assert_eq!(ct.num_ports(), gt.num_ports());
+        for q in &ct.queues {
+            assert_eq!(q.samples.len(), 4);
+            assert_eq!(q.max.len(), 4);
+        }
+        for p in &ct.ports {
+            assert_eq!(p.sent.len(), 4);
+        }
+    }
+
+    #[test]
+    fn coarse_measurements_are_consistent_with_ground_truth() {
+        let gt = trace();
+        let ct = CoarseTelemetry::from_ground_truth(&gt, 50);
+        for q in 0..ct.num_queues() {
+            let fine = gt.queue_len_series(q);
+            for k in 0..ct.num_intervals() {
+                let window = &fine[k * 50..(k + 1) * 50];
+                // C1/C2 hold on ground truth by construction.
+                assert_eq!(ct.queues[q].max[k], *window.iter().max().unwrap());
+                assert_eq!(ct.queues[q].samples[k], window[49]);
+                assert!(ct.queues[q].samples[k] <= ct.queues[q].max[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn port_mapping() {
+        let gt = trace();
+        let ct = CoarseTelemetry::from_ground_truth(&gt, 50);
+        assert_eq!(ct.port_of_queue(0), 0);
+        assert_eq!(ct.port_of_queue(3), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! SNMP-style per-interval counter aggregation.
+//!
+//! SNMP exposes monotonically increasing per-port counters; polling them at
+//! interval boundaries yields per-interval packet counts. Here the fine
+//! trace already stores per-1 ms counts, so aggregation is a windowed sum.
+
+/// Sum of fine per-bin counts over each interval.
+///
+/// Trailing bins that do not fill a whole interval are ignored.
+pub fn interval_counts(fine: &[u32], interval_len: usize) -> Vec<u32> {
+    assert!(interval_len > 0, "interval_len must be positive");
+    fine.chunks_exact(interval_len)
+        .map(|chunk| chunk.iter().sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_each_interval() {
+        let fine = [1, 2, 3, 4, 5, 6];
+        assert_eq!(interval_counts(&fine, 3), vec![6, 15]);
+    }
+
+    #[test]
+    fn totals_are_preserved() {
+        let fine: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let coarse = interval_counts(&fine, 50);
+        let fine_total: u32 = fine.iter().sum();
+        let coarse_total: u32 = coarse.iter().sum();
+        assert_eq!(fine_total, coarse_total);
+    }
+
+    #[test]
+    fn zero_counts_stay_zero() {
+        assert_eq!(interval_counts(&[0; 100], 50), vec![0, 0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Trace-level summary statistics (operator dashboard numbers).
+
+use fmml_netsim::GroundTruth;
+
+/// Aggregate health statistics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Per-port utilization: fraction of capacity used (sent / max
+    /// possible sends per bin), averaged over the trace.
+    pub port_utilization: Vec<f64>,
+    /// Per-port drop rate: dropped / received (0 when nothing received).
+    pub port_drop_rate: Vec<f64>,
+    /// Queue with the largest cumulative backlog.
+    pub busiest_queue: usize,
+    /// Largest instantaneous queue length anywhere in the trace.
+    pub peak_queue_len: u32,
+    /// Mean shared-buffer occupancy (packets).
+    pub mean_buffer_occupancy: f64,
+}
+
+/// Compute summary statistics; `pkts_per_ms` is the per-port service
+/// capacity in packets per fine bin (see `SimConfig::pkts_per_ms`).
+pub fn summarize(gt: &GroundTruth, pkts_per_ms: u64) -> TraceSummary {
+    assert!(pkts_per_ms > 0);
+    let bins = gt.num_bins().max(1) as f64;
+    let cap = (pkts_per_ms as f64) * bins;
+    let port_utilization = (0..gt.num_ports())
+        .map(|p| gt.sent_series(p).iter().map(|&x| x as f64).sum::<f64>() / cap)
+        .collect();
+    let port_drop_rate = (0..gt.num_ports())
+        .map(|p| {
+            let recv: f64 = gt.received_series(p).iter().map(|&x| x as f64).sum();
+            let drop: f64 = gt.dropped_series(p).iter().map(|&x| x as f64).sum();
+            if recv > 0.0 {
+                drop / recv
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let busiest_queue = (0..gt.num_queues())
+        .max_by_key(|&q| gt.queue_len_series(q).iter().map(|&v| v as u64).sum::<u64>())
+        .unwrap_or(0);
+    let peak_queue_len = (0..gt.num_queues())
+        .flat_map(|q| gt.queue_max_series(q).iter().copied())
+        .max()
+        .unwrap_or(0);
+    let mean_buffer_occupancy = gt
+        .buffer_occupancy_series()
+        .iter()
+        .map(|&v| v as f64)
+        .sum::<f64>()
+        / bins;
+    TraceSummary {
+        port_utilization,
+        port_drop_rate,
+        busiest_queue,
+        peak_queue_len,
+        mean_buffer_occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmml_netsim::traffic::TrafficConfig;
+    use fmml_netsim::{SimConfig, Simulation};
+
+    #[test]
+    fn summary_fields_are_sane() {
+        let cfg = SimConfig::small();
+        let pkts_per_ms = cfg.pkts_per_ms();
+        let buffer = cfg.buffer_packets;
+        let gt = Simulation::new(
+            cfg.clone(),
+            TrafficConfig::websearch_incast(cfg.num_ports, 0.6),
+            8,
+        )
+        .run_ms(300);
+        let s = summarize(&gt, pkts_per_ms);
+        assert_eq!(s.port_utilization.len(), gt.num_ports());
+        for &u in &s.port_utilization {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+        for &d in &s.port_drop_rate {
+            assert!((0.0..=1.0).contains(&d), "drop rate {d}");
+        }
+        assert!(s.busiest_queue < gt.num_queues());
+        assert!(s.peak_queue_len <= buffer);
+        assert!(s.mean_buffer_occupancy >= 0.0);
+        assert!(s.mean_buffer_occupancy <= buffer as f64);
+    }
+
+    #[test]
+    fn idle_trace_reports_zeros() {
+        let cfg = SimConfig::small();
+        let gt = Simulation::with_sources(cfg.clone(), vec![]).run_ms(10);
+        let s = summarize(&gt, cfg.pkts_per_ms());
+        assert!(s.port_utilization.iter().all(|&u| u == 0.0));
+        assert!(s.port_drop_rate.iter().all(|&d| d == 0.0));
+        assert_eq!(s.peak_queue_len, 0);
+        assert_eq!(s.mean_buffer_occupancy, 0.0);
+    }
+
+    #[test]
+    fn higher_load_raises_utilization() {
+        let cfg = SimConfig::small();
+        let low = Simulation::new(
+            cfg.clone(),
+            TrafficConfig::websearch_only(0.2),
+            3,
+        )
+        .run_ms(400);
+        let high = Simulation::new(
+            cfg.clone(),
+            TrafficConfig::websearch_only(0.8),
+            3,
+        )
+        .run_ms(400);
+        let ul: f64 = summarize(&low, cfg.pkts_per_ms()).port_utilization.iter().sum();
+        let uh: f64 = summarize(&high, cfg.pkts_per_ms()).port_utilization.iter().sum();
+        assert!(uh > ul * 1.5, "low {ul} high {uh}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Downstream task: on-chip buffer provisioning (§2.1's motivating
+//! operator scenario).
+//!
+//! An operator sizing switch buffers needs the distribution of burst
+//! peaks. With only 50 ms telemetry the peaks are invisible; this example
+//! compares the buffer recommendation derived from (a) ground truth,
+//! (b) coarse samples alone, (c) the KAL+CEM-imputed fine series — and
+//! reports over/under-provisioning.
+//!
+//! ```text
+//! cargo run --release --example buffer_provisioning
+//! ```
+
+use fmml::core::eval::{generate_windows, EvalConfig};
+use fmml::core::imputer::Imputer;
+use fmml::core::train::{train, TrainConfig};
+use fmml::core::transformer_imputer::Scales;
+use fmml::fm::cem::{enforce, CemEngine};
+use fmml::fm::WindowConstraints;
+
+/// Recommend a per-queue buffer: the p99 of 1 ms queue depths, plus 20%
+/// headroom (a simple operator policy — the point is comparing inputs,
+/// not the policy itself).
+fn recommend(depths: &mut Vec<f32>) -> f32 {
+    if depths.is_empty() {
+        return 0.0;
+    }
+    depths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p99 = depths[(depths.len() as f32 * 0.99) as usize % depths.len()];
+    p99 * 1.2
+}
+
+fn main() {
+    let cfg = EvalConfig::smoke();
+    let scales = Scales {
+        qlen: cfg.sim.buffer_packets as f32,
+        count: (cfg.sim.pkts_per_ms() as usize * cfg.interval_len) as f32,
+    };
+    eprintln!("training Transformer+KAL…");
+    let train_windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
+    let kal_cfg = TrainConfig { kal: Some(cfg.kal), ..cfg.train.clone() };
+    let (model, _) = train(&train_windows, scales, &kal_cfg);
+
+    let test_windows = generate_windows(&cfg, cfg.seed + 1000, cfg.test_runs + 2);
+    let mut truth_depths = Vec::new();
+    let mut coarse_depths = Vec::new();
+    let mut imputed_depths = Vec::new();
+    for w in &test_windows {
+        let raw = model.impute(w);
+        let wc = WindowConstraints::from_window(w);
+        let corrected = enforce(&wc, &raw, &CemEngine::Fast)
+            .map(|o| o.corrected)
+            .unwrap_or_else(|_| {
+                raw.iter()
+                    .map(|q| q.iter().map(|&v| v.round() as u32).collect())
+                    .collect()
+            });
+        for q in 0..w.num_queues() {
+            truth_depths.extend(w.truth[q].iter().copied());
+            // Coarse-only view: the operator sees one sample per interval.
+            coarse_depths.extend(w.samples[q].iter().map(|&v| v as f32));
+            imputed_depths.extend(corrected[q].iter().map(|&v| v as f32));
+        }
+    }
+
+    let truth_rec = recommend(&mut truth_depths);
+    let coarse_rec = recommend(&mut coarse_depths);
+    let imputed_rec = recommend(&mut imputed_depths);
+    println!("buffer recommendation (p99 of 1 ms depths + 20% headroom), packets:");
+    println!("  from ground truth (ideal, unobservable): {truth_rec:>7.1}");
+    println!("  from 50x-coarser periodic samples only:  {coarse_rec:>7.1}");
+    println!("  from KAL+CEM-imputed fine series:        {imputed_rec:>7.1}");
+    let coarse_gap = (coarse_rec - truth_rec) / truth_rec.max(1.0);
+    let imputed_gap = (imputed_rec - truth_rec) / truth_rec.max(1.0);
+    println!("\nrelative provisioning error: coarse {:+.1}%  imputed {:+.1}%",
+        100.0 * coarse_gap, 100.0 * imputed_gap);
+    if imputed_gap.abs() < coarse_gap.abs() {
+        println!("imputation closes the provisioning gap left by coarse telemetry.");
+    } else {
+        println!("(on this small run the coarse estimate happened to land close —");
+        println!(" rerun with more test traffic for a stable comparison)");
+    }
+}

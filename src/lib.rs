@@ -1,0 +1,10 @@
+//! `fmml` — umbrella crate re-exporting the full FM+ML telemetry-imputation stack.
+//!
+//! See [`fmml_core`] for the paper's contribution (KAL + CEM imputation
+//! pipeline) and the substrate crates for the systems it builds on.
+pub use fmml_core as core;
+pub use fmml_fm as fm;
+pub use fmml_netsim as netsim;
+pub use fmml_nn as nn;
+pub use fmml_smt as smt;
+pub use fmml_telemetry as telemetry;

@@ -1,0 +1,68 @@
+//! Property tests: invariants of the simulator's ground truth.
+//!
+//! Every window cut from a simulated trace must itself satisfy the formal
+//! constraints C1–C3 (they are facts about the real switch), packet
+//! conservation must hold, and no queue may ever exceed the shared
+//! buffer. These are the soundness anchors for the whole pipeline: if
+//! ground truth violated the constraints, KAL and CEM would be teaching
+//! and enforcing falsehoods.
+
+use fmml::fm::WindowConstraints;
+use fmml::netsim::traffic::TrafficConfig;
+use fmml::netsim::{SimConfig, Simulation};
+use fmml::telemetry::windows_from_trace;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ground_truth_satisfies_c1_c2_c3(seed in 0u64..5000, load in 1u32..9) {
+        let cfg = SimConfig::small();
+        let traffic = TrafficConfig::websearch_incast(cfg.num_ports, load as f64 / 10.0);
+        let gt = Simulation::new(cfg, traffic, seed).run_ms(300);
+        for w in windows_from_trace(&gt, 300, 50, 300) {
+            let wc = WindowConstraints::from_window(&w);
+            let truth_ints: Vec<Vec<u32>> = w
+                .truth
+                .iter()
+                .map(|q| q.iter().map(|&v| v as u32).collect())
+                .collect();
+            prop_assert!(
+                wc.satisfied_exact(&truth_ints),
+                "ground truth violates constraints: seed={seed} port={} c1={} c2={} c3={}",
+                w.port,
+                wc.c1_error(&w.truth),
+                wc.c2_error(&w.truth),
+                wc.c3_error(&w.truth),
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_bound_and_conservation(seed in 0u64..5000) {
+        let cfg = SimConfig::small();
+        let buffer = cfg.buffer_packets;
+        let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.7);
+        let gt = Simulation::new(cfg, traffic, seed).run_ms(200);
+        // No queue max may exceed the shared buffer; occupancy neither.
+        for q in 0..gt.num_queues() {
+            for &v in gt.queue_max_series(q) {
+                prop_assert!(v <= buffer);
+            }
+        }
+        for &occ in gt.buffer_occupancy_series() {
+            prop_assert!(occ <= buffer);
+        }
+        // Conservation: received = sent + dropped + still-queued (+ at most
+        // one in-flight packet per port).
+        let recv: u64 = (0..gt.num_ports()).flat_map(|p| gt.received_series(p)).map(|&x| x as u64).sum();
+        let sent: u64 = (0..gt.num_ports()).flat_map(|p| gt.sent_series(p)).map(|&x| x as u64).sum();
+        let drop: u64 = (0..gt.num_ports()).flat_map(|p| gt.dropped_series(p)).map(|&x| x as u64).sum();
+        let queued: u64 = (0..gt.num_queues())
+            .map(|q| *gt.queue_len_series(q).last().unwrap() as u64)
+            .sum();
+        let diff = recv as i64 - (sent + drop + queued) as i64;
+        prop_assert!((0..=gt.num_ports() as i64).contains(&diff), "conservation diff {diff}");
+    }
+}
