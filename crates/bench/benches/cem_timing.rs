@@ -25,9 +25,7 @@ fn bench_cem(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(30));
     g.bench_function("smt_engine_paper_faithful", |b| {
-        b.iter(|| {
-            smt_engine::solve(black_box(&interval), Budget::default()).expect("feasible")
-        })
+        b.iter(|| smt_engine::solve(black_box(&interval), Budget::default()).expect("feasible"))
     });
     g.finish();
 

@@ -26,7 +26,11 @@ fn scenario(steps: usize, ports: usize) -> (PacketModelConfig, Vec<Arrival>) {
     let mut arrivals = Vec::new();
     for t in 0..steps / 2 {
         for i in 0..ports.min(2) {
-            arrivals.push(Arrival { step: t, input_port: i, queue: (i * 2) % cfg.num_queues() });
+            arrivals.push(Arrival {
+                step: t,
+                input_port: i,
+                queue: (i * 2) % cfg.num_queues(),
+            });
         }
     }
     (cfg, arrivals)

@@ -14,7 +14,10 @@ use std::hint::black_box;
 fn bench_imputers(c: &mut Criterion) {
     let ws = paper_windows(400, 31);
     let w = ws.iter().max_by_key(|w| w.peak_max()).unwrap();
-    let scales = Scales { qlen: 520.0, count: 4150.0 };
+    let scales = Scales {
+        qlen: 520.0,
+        count: 4150.0,
+    };
     let transformer = TransformerImputer::new(9, scales);
     let iterative = IterativeImputer::default();
 
@@ -23,7 +26,9 @@ fn bench_imputers(c: &mut Criterion) {
     g.bench_function("iterative_imputer", |b| {
         b.iter(|| black_box(iterative.impute(w)))
     });
-    g.bench_function("transformer", |b| b.iter(|| black_box(transformer.impute(w))));
+    g.bench_function("transformer", |b| {
+        b.iter(|| black_box(transformer.impute(w)))
+    });
     g.bench_function("transformer_plus_cem_fast", |b| {
         b.iter(|| {
             let raw = transformer.impute(w);

@@ -8,6 +8,7 @@ use fmml_smt::{SatResult, Solver};
 use std::hint::black_box;
 
 /// Pigeonhole n into n−1 (resolution-hard).
+#[allow(clippy::needless_range_loop)]
 fn pigeonhole(n: usize) -> SatSolver {
     let mut s = SatSolver::new();
     let p: Vec<Vec<u32>> = (0..n)

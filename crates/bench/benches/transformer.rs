@@ -10,7 +10,10 @@ use fmml_nn::{loss, Tape, Tensor};
 use std::hint::black_box;
 
 fn bench_transformer(c: &mut Criterion) {
-    let scales = Scales { qlen: 520.0, count: 4150.0 };
+    let scales = Scales {
+        qlen: 520.0,
+        count: 4150.0,
+    };
     let ws = paper_windows(400, 21);
     let w = &ws[0];
     let model = TransformerImputer::new(5, scales);
@@ -36,7 +39,10 @@ fn bench_transformer(c: &mut Criterion) {
     let mut g = c.benchmark_group("training");
     g.sample_size(10);
     g.bench_function("one_epoch_paper_windows", |b| {
-        let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        };
         b.iter(|| black_box(train(&ws, scales, &cfg)))
     });
     g.finish();

@@ -5,6 +5,8 @@
 //! fixture builders they share so each bench measures only the operation
 //! under test.
 
+pub mod baseline;
+
 use fmml_fm::cem::IntervalProblem;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{GroundTruth, SimConfig, Simulation};
@@ -30,7 +32,10 @@ pub fn paper_windows(ms: u64, seed: u64) -> Vec<PortWindow> {
 /// every CEM code path runs).
 pub fn cem_interval(len: usize) -> IntervalProblem {
     let ws = paper_windows(400, 99);
-    let w = ws.iter().max_by_key(|w| w.peak_max()).expect("active window");
+    let w = ws
+        .iter()
+        .max_by_key(|w| w.peak_max())
+        .expect("active window");
     let l = w.interval_len.min(len);
     // The interval with the largest max.
     let k = (0..w.intervals())

@@ -8,6 +8,11 @@
 //! fmml eval      [--paper] [--epochs N]                      # Table 1
 //! fmml fm-solve  --steps 8 --ports 2 --budget-secs 10        # §2.3 model
 //! ```
+//!
+//! Every command accepts the global observability flags: `--stats` prints
+//! the metrics-registry table to stderr on exit, `--stats-json FILE`
+//! writes the deterministic JSON snapshot to `FILE`. Structured JSONL run
+//! telemetry is enabled via `FMML_LOG=1` (stderr) or `FMML_LOG_FILE=path`.
 
 mod args;
 
@@ -23,6 +28,7 @@ use fmml_fm::packet_model::{
 use fmml_fm::WindowConstraints;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
+use fmml_obs::log_event;
 use fmml_smt::solver::Budget;
 use std::time::Duration;
 
@@ -44,9 +50,18 @@ COMMANDS:
              --paper  --epochs N
   fm-solve   solve the full §2.3 packet-level model for a scripted scenario
              --steps N (8)  --ports N (2)  --budget-secs N (10)
+
+GLOBAL FLAGS:
+  --stats            print the metrics table to stderr on exit
+  --stats-json FILE  write the metrics snapshot as JSON to FILE on exit
+
+ENVIRONMENT:
+  FMML_LOG=1         structured JSONL run telemetry on stderr
+  FMML_LOG_FILE=path append structured JSONL run telemetry to a file
 ";
 
 fn main() {
+    fmml_obs::RunLog::init_from_env();
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
@@ -54,22 +69,51 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = match args.command.as_deref() {
-        Some("simulate") => cmd_simulate(&args),
-        Some("telemetry") => cmd_telemetry(&args),
-        Some("train") => cmd_train(&args),
-        Some("impute") => cmd_impute(&args),
-        Some("eval") => cmd_eval(&args),
-        Some("fm-solve") => cmd_fm_solve(&args),
+    let Some(command) = args.command.as_deref() else {
+        println!("{USAGE}");
+        return;
+    };
+    log_event!("cli.start", "command" = command);
+    let result = match command {
+        "simulate" => cmd_simulate(&args),
+        "telemetry" => cmd_telemetry(&args),
+        "train" => cmd_train(&args),
+        "impute" => cmd_impute(&args),
+        "eval" => cmd_eval(&args),
+        "fm-solve" => cmd_fm_solve(&args),
         _ => {
             println!("{USAGE}");
             return;
         }
     };
+    log_event!("cli.done", "command" = command, "ok" = result.is_ok());
+    if let Err(e) = emit_stats(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+}
+
+/// Honor the global `--stats` / `--stats-json FILE` flags: snapshot the
+/// process-wide metrics registry once and render it both ways.
+fn emit_stats(args: &Args) -> Result<(), String> {
+    let want_table = args.flag("stats");
+    let json_path = args.get_string("stats-json");
+    if !want_table && json_path.is_none() {
+        return Ok(());
+    }
+    let report = fmml_obs::snapshot();
+    if want_table {
+        eprint!("{}", report.to_table());
+    }
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write --stats-json {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn sim_config(args: &Args) -> Result<(SimConfig, TrafficConfig, u64, u64), String> {
@@ -136,19 +180,20 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         qlen: cfg.sim.buffer_packets as f32,
         count: (cfg.sim.pkts_per_ms() as usize * cfg.interval_len) as f32,
     };
-    eprintln!(
-        "training on {} runs x {} ms ({} epochs, kal={})…",
-        cfg.train_runs,
-        cfg.run_ms,
-        cfg.train.epochs,
-        cfg.train.kal.is_some()
+    log_event!(
+        "cli.train.start",
+        "runs" = cfg.train_runs,
+        "run_ms" = cfg.run_ms,
+        "epochs" = cfg.train.epochs,
+        "kal" = cfg.train.kal.is_some(),
     );
     let windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
     let (model, stats) = train(&windows, scales, &cfg.train);
-    eprintln!(
-        "loss {:.4} -> {:.4}",
-        stats.first().map_or(0.0, |s| s.mean_loss),
-        stats.last().map_or(0.0, |s| s.mean_loss)
+    log_event!(
+        "cli.train.done",
+        "windows" = windows.len(),
+        "first_loss" = stats.first().map_or(0.0, |s| s.mean_loss),
+        "last_loss" = stats.last().map_or(0.0, |s| s.mean_loss),
     );
     std::fs::write(&out, model.save_json()).map_err(|e| e.to_string())?;
     eprintln!("checkpoint written to {out}");
@@ -190,12 +235,26 @@ fn cmd_impute(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_eval(args: &Args) -> Result<(), String> {
-    let mut cfg = if args.flag("paper") { EvalConfig::paper() } else { EvalConfig::smoke() };
+    let mut cfg = if args.flag("paper") {
+        EvalConfig::paper()
+    } else {
+        EvalConfig::smoke()
+    };
     if let Some(e) = args.get::<usize>("epochs")? {
         cfg.train.epochs = e;
     }
+    log_event!(
+        "cli.eval.start",
+        "epochs" = cfg.train.epochs,
+        "paper" = args.flag("paper")
+    );
     let report = run_table1(&cfg);
     println!("{}", report.to_markdown());
+    // Always embed the metrics snapshot so an eval report is
+    // self-describing: the table plus the solver/training/sim work that
+    // produced it, in the same deterministic JSON as --stats-json.
+    println!("## Metrics\n");
+    println!("```json\n{}\n```", fmml_obs::snapshot().to_json());
     Ok(())
 }
 
@@ -217,7 +276,11 @@ fn cmd_fm_solve(args: &Args) -> Result<(), String> {
     let mut arrivals = Vec::new();
     for t in 0..steps / 2 {
         for i in 0..ports.min(2) {
-            arrivals.push(Arrival { step: t, input_port: i, queue: (i * 2) % cfg.num_queues() });
+            arrivals.push(Arrival {
+                step: t,
+                input_port: i,
+                queue: (i * 2) % cfg.num_queues(),
+            });
         }
     }
     let tr = reference_execution(&cfg, &arrivals);
@@ -227,15 +290,27 @@ fn cmd_fm_solve(args: &Args) -> Result<(), String> {
         max_bb_nodes: u64::MAX / 2,
     };
     match solve(&cfg, &tr.measurements, budget) {
-        PacketModelOutcome::Sat { len, elapsed } => {
+        PacketModelOutcome::Sat {
+            len,
+            elapsed,
+            stats,
+        } => {
             println!("sat in {elapsed:?}; imputed series:");
             for (q, series) in len.iter().enumerate() {
                 println!("  q{q}: {series:?}");
             }
+            println!(
+                "solver: {} decisions, {} conflicts, {} pivots",
+                stats.decisions, stats.conflicts, stats.simplex_pivots
+            );
         }
-        PacketModelOutcome::Unsat { elapsed } => println!("unsat in {elapsed:?}"),
-        PacketModelOutcome::Unknown { elapsed } => {
-            println!("budget wall after {elapsed:?} (the §2.3 scalability result)")
+        PacketModelOutcome::Unsat { elapsed, .. } => println!("unsat in {elapsed:?}"),
+        PacketModelOutcome::Unknown { elapsed, stats } => {
+            println!(
+                "budget wall after {elapsed:?} (the §2.3 scalability result): \
+                 {} conflicts, {} pivots, {} lazy iterations",
+                stats.conflicts, stats.simplex_pivots, stats.iterations
+            )
         }
     }
     Ok(())

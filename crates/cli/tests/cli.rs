@@ -35,7 +35,15 @@ fn simulate_emits_csv_with_expected_columns() {
 #[test]
 fn telemetry_respects_interval_flag() {
     let (stdout, _, ok) = fmml(&[
-        "telemetry", "--ms", "100", "--ports", "2", "--interval", "25", "--seed", "3",
+        "telemetry",
+        "--ms",
+        "100",
+        "--ports",
+        "2",
+        "--interval",
+        "25",
+        "--seed",
+        "3",
     ]);
     assert!(ok);
     // 100 ms / 25 ms = 4 intervals + header.
@@ -50,6 +58,107 @@ fn fm_solve_reports_an_outcome() {
         stdout.contains("sat in") || stdout.contains("budget wall"),
         "unexpected output: {stdout}"
     );
+}
+
+#[test]
+fn stats_flag_prints_metrics_table_on_stderr() {
+    let (_, stderr, ok) = fmml(&[
+        "simulate", "--ms", "20", "--ports", "2", "--seed", "3", "--stats",
+    ]);
+    assert!(ok);
+    assert!(
+        stderr.contains("counter/gauge"),
+        "no metrics table: {stderr}"
+    );
+    assert!(
+        stderr.contains("netsim.events"),
+        "no netsim counters: {stderr}"
+    );
+    assert!(
+        stderr.contains("netsim.sim_sec_wall_ms"),
+        "no histogram row: {stderr}"
+    );
+}
+
+#[test]
+fn eval_stats_json_is_valid_and_covers_the_pipeline() {
+    let dir = std::env::temp_dir().join(format!("fmml_cli_stats_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.json");
+    let (stdout, stderr, ok) = fmml(&[
+        "eval",
+        "--epochs",
+        "1",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "eval failed: {stderr}");
+    // The eval report itself embeds the same snapshot.
+    assert!(
+        stdout.contains("## Metrics"),
+        "no embedded snapshot: {stdout}"
+    );
+    let json = std::fs::read_to_string(&path).expect("--stats-json file written");
+    // Valid JSON (strict parse via the workspace parser in the obs tests;
+    // here: structural checks + required keys from all four crates).
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "not a JSON object: {json}"
+    );
+    assert_eq!(json.matches("\"counters\"").count(), 1);
+    for key in [
+        "smt.conflicts",
+        "smt.decisions",
+        "train.epoch_ms",
+        "train.epochs",
+        "netsim.events",
+        "fm.cem.windows",
+        "fm.cem.window_us",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\"")),
+            "missing {key}: {json}"
+        );
+    }
+    // Non-zero work from each of the four instrumented crates.
+    for key in [
+        "netsim.events",
+        "train.epochs",
+        "fm.cem.intervals",
+        "smt.decisions",
+    ] {
+        let probe = format!("\"{key}\":0,");
+        let probe_end = format!("\"{key}\":0}}");
+        assert!(
+            !json.contains(&probe) && !json.contains(&probe_end),
+            "{key} is zero: {json}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_log_file_emits_jsonl_events() {
+    let dir = std::env::temp_dir().join(format!("fmml_cli_runlog_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("run.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_fmml"))
+        .args(["simulate", "--ms", "20", "--ports", "2", "--seed", "3"])
+        .env("FMML_LOG_FILE", log.to_str().unwrap())
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&log).expect("log file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "no events logged");
+    for line in &lines {
+        assert!(line.starts_with("{\"t_us\":"), "bad event line: {line}");
+        assert!(line.ends_with('}'), "bad event line: {line}");
+    }
+    assert!(text.contains("\"event\":\"cli.start\""), "{text}");
+    assert!(text.contains("\"event\":\"netsim.run\""), "{text}");
+    assert!(text.contains("\"event\":\"cli.done\""), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

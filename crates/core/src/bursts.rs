@@ -36,7 +36,10 @@ pub struct BurstConfig {
 
 impl Default for BurstConfig {
     fn default() -> Self {
-        BurstConfig { threshold: 10.0, min_gap: 2 }
+        BurstConfig {
+            threshold: 10.0,
+            min_gap: 2,
+        }
     }
 }
 
@@ -51,7 +54,13 @@ pub fn detect_bursts(series: &[f32], cfg: &BurstConfig) -> Vec<Burst> {
                     b.end = t + 1;
                     b.height = b.height.max(v);
                 }
-                None => cur = Some(Burst { start: t, end: t + 1, height: v }),
+                None => {
+                    cur = Some(Burst {
+                        start: t,
+                        end: t + 1,
+                        height: v,
+                    })
+                }
             }
         } else if let Some(b) = cur.take() {
             raw.push(b);
@@ -151,9 +160,21 @@ mod tests {
 
     #[test]
     fn overlap_predicate() {
-        let a = Burst { start: 2, end: 5, height: 1.0 };
-        let b = Burst { start: 4, end: 6, height: 1.0 };
-        let c = Burst { start: 5, end: 7, height: 1.0 };
+        let a = Burst {
+            start: 2,
+            end: 5,
+            height: 1.0,
+        };
+        let b = Burst {
+            start: 4,
+            end: 6,
+            height: 1.0,
+        };
+        let c = Burst {
+            start: 5,
+            end: 7,
+            height: 1.0,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c), "touching bursts do not overlap");
     }

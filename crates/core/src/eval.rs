@@ -16,6 +16,7 @@ use fmml_fm::cem::{enforce, CemEngine};
 use fmml_fm::WindowConstraints;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
+use fmml_obs::log_event;
 use fmml_telemetry::{windows_from_trace, PortWindow};
 use serde::Serialize;
 
@@ -82,7 +83,10 @@ impl EvalConfig {
             test_runs: 2,
             run_ms: 1800,
             seed: 42,
-            train: TrainConfig { epochs: 30, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 30,
+                ..TrainConfig::default()
+            },
             kal: KalConfig::default(),
             bursts: BurstConfig::default(),
             cem: CemEngine::Fast,
@@ -102,9 +106,16 @@ impl EvalConfig {
             test_runs: 1,
             run_ms: 240,
             seed: 7,
-            train: TrainConfig { epochs: 3, batch_size: 8, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 3,
+                batch_size: 8,
+                ..TrainConfig::default()
+            },
             kal: KalConfig::default(),
-            bursts: BurstConfig { threshold: 5.0, min_gap: 2 },
+            bursts: BurstConfig {
+                threshold: 5.0,
+                min_gap: 2,
+            },
             cem: CemEngine::Fast,
         }
     }
@@ -133,7 +144,11 @@ pub struct TableRowSer {
 impl From<&Table1Row> for TableRowSer {
     fn from(r: &Table1Row) -> TableRowSer {
         TableRowSer {
-            values: r.entries().iter().map(|&(l, v)| (l.to_string(), v)).collect(),
+            values: r
+                .entries()
+                .iter()
+                .map(|&(l, v)| (l.to_string(), v))
+                .collect(),
         }
     }
 }
@@ -152,7 +167,12 @@ impl EvalReport {
             s.push_str("---|");
         }
         s.push('\n');
-        let labels: Vec<String> = self.methods[0].1.values.iter().map(|(l, _)| l.clone()).collect();
+        let labels: Vec<String> = self.methods[0]
+            .1
+            .values
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect();
         for (ri, label) in labels.iter().enumerate() {
             s.push_str(&format!("| {label} |"));
             for (_, row) in &self.methods {
@@ -217,11 +237,17 @@ pub fn run_table1(cfg: &EvalConfig) -> EvalReport {
     let scales = cfg.scales();
     let train_windows = generate_windows(cfg, cfg.seed, cfg.train_runs);
     let test_windows = generate_windows(cfg, cfg.seed + 1000, cfg.test_runs);
-    assert!(!train_windows.is_empty(), "no active training windows generated");
+    assert!(
+        !train_windows.is_empty(),
+        "no active training windows generated"
+    );
     assert!(!test_windows.is_empty(), "no active test windows generated");
 
     let (plain, _) = train(&train_windows, scales, &cfg.train);
-    let kal_cfg = TrainConfig { kal: Some(cfg.kal), ..cfg.train.clone() };
+    let kal_cfg = TrainConfig {
+        kal: Some(cfg.kal),
+        ..cfg.train.clone()
+    };
     let (kal_model, _) = train(&train_windows, scales, &kal_cfg);
     let iterative = IterativeImputer::default();
 
@@ -231,7 +257,59 @@ pub fn run_table1(cfg: &EvalConfig) -> EvalReport {
         let row = evaluate(&test_windows, &imputed, &cfg.bursts);
         methods.push((m.label().to_string(), TableRowSer::from(&row)));
     }
-    EvalReport { methods, num_test_windows: test_windows.len() }
+    cross_validate_cem(&test_windows, &kal_model);
+    EvalReport {
+        methods,
+        num_test_windows: test_windows.len(),
+    }
+}
+
+/// Cross-validate the fast CEM projection against the paper-faithful
+/// optimizing SMT encoding on the first test interval.
+///
+/// The two engines must reach the same objective (the fast engine claims
+/// exact optimality); a mismatch is an engine bug. This also exercises
+/// the real SMT pipeline on every `eval`, so the `smt.*` counters in the
+/// metrics snapshot reflect genuine solver work rather than staying at
+/// zero whenever `cfg.cem` is `CemEngine::Fast`.
+fn cross_validate_cem(test_windows: &[PortWindow], kal_model: &dyn Imputer) {
+    let Some(w) = test_windows.first() else {
+        return;
+    };
+    let raw = kal_model.impute(w);
+    let wc = WindowConstraints::from_window(w);
+    let l = wc.interval_len;
+    // First interval only: keeps the check to milliseconds.
+    let first = WindowConstraints {
+        interval_len: l,
+        len: l,
+        maxes: wc.maxes.iter().map(|m| vec![m[0]]).collect(),
+        samples: wc.samples.iter().map(|s| vec![s[0]]).collect(),
+        sent: vec![wc.sent[0]],
+    };
+    let trunc: Vec<Vec<f32>> = raw.iter().map(|q| q[..l].to_vec()).collect();
+    let fast = enforce(&first, &trunc, &CemEngine::Fast);
+    let budget = fmml_smt::solver::Budget {
+        timeout: Some(std::time::Duration::from_secs(5)),
+        ..Default::default()
+    };
+    let smt = enforce(&first, &trunc, &CemEngine::Smt { budget });
+    match (&fast, &smt) {
+        (Ok(f), Ok(s)) => {
+            assert_eq!(
+                f.objective, s.objective,
+                "CEM engines disagree on the first test interval"
+            );
+            log_event!(
+                "eval.cem_cross_check",
+                "objective" = f.objective,
+                "agree" = true
+            );
+        }
+        // A budget miss is not a disagreement; infeasible measurements
+        // cannot occur on simulator data but are tolerated defensively.
+        _ => log_event!("eval.cem_cross_check", "agree" = false),
+    }
 }
 
 #[cfg(test)]

@@ -24,11 +24,7 @@ impl Imputer for HoldImputer {
     fn impute(&self, w: &PortWindow) -> Vec<Vec<f32>> {
         let l = w.interval_len;
         (0..w.num_queues())
-            .map(|q| {
-                (0..w.len())
-                    .map(|t| w.samples[q][t / l] as f32)
-                    .collect()
-            })
+            .map(|q| (0..w.len()).map(|t| w.samples[q][t / l] as f32).collect())
             .collect()
     }
 
@@ -45,10 +41,15 @@ mod tests {
     use fmml_telemetry::windows_from_trace;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn hold_imputer_shapes_and_values() {
         let cfg = SimConfig::small();
-        let gt = Simulation::new(cfg.clone(), TrafficConfig::websearch_incast(cfg.num_ports, 0.5), 3)
-            .run_ms(300);
+        let gt = Simulation::new(
+            cfg.clone(),
+            TrafficConfig::websearch_incast(cfg.num_ports, 0.5),
+            3,
+        )
+        .run_ms(300);
         let w = &windows_from_trace(&gt, 300, 50, 300)[0];
         let out = HoldImputer.impute(w);
         assert_eq!(out.len(), w.num_queues());

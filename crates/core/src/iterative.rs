@@ -28,7 +28,10 @@ pub struct IterativeImputer {
 
 impl Default for IterativeImputer {
     fn default() -> Self {
-        IterativeImputer { rounds: 10, lambda: 1e-3 }
+        IterativeImputer {
+            rounds: 10,
+            lambda: 1e-3,
+        }
     }
 }
 
@@ -74,7 +77,11 @@ impl IterativeImputer {
         // Time features: position in window, phase within interval.
         cols.push((0..t_len).map(|t| t as f64 / t_len as f64).collect());
         cols.push((0..t_len).map(|t| (t % l) as f64 / l as f64).collect());
-        WindowMatrix { cols, observed, num_queues: nq }
+        WindowMatrix {
+            cols,
+            observed,
+            num_queues: nq,
+        }
     }
 
     fn initial_fill(m: &mut WindowMatrix) {
@@ -101,6 +108,7 @@ impl IterativeImputer {
 }
 
 impl Imputer for IterativeImputer {
+    #[allow(clippy::needless_range_loop)]
     fn impute(&self, w: &PortWindow) -> Vec<Vec<f32>> {
         let t_len = w.len();
         let mut m = Self::build_matrix(w);
@@ -109,8 +117,7 @@ impl Imputer for IterativeImputer {
         for _ in 0..self.rounds {
             for q in 0..m.num_queues {
                 // Fit on observed rows of column q against all others.
-                let rows_obs: Vec<usize> =
-                    (0..t_len).filter(|&t| m.observed[q][t]).collect();
+                let rows_obs: Vec<usize> = (0..t_len).filter(|&t| m.observed[q][t]).collect();
                 if rows_obs.len() < 2 {
                     continue;
                 }
@@ -177,6 +184,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn retains_periodic_samples_exactly() {
         let w = window();
         let out = IterativeImputer::default().impute(&w);
@@ -188,6 +196,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn places_max_at_interval_midpoints() {
         let w = window();
         let out = IterativeImputer::default().impute(&w);

@@ -44,7 +44,11 @@ pub struct KalConfig {
 
 impl Default for KalConfig {
     fn default() -> Self {
-        KalConfig { mu: 0.5, multiplier_lr: 0.5, tanh_scale: 50.0 }
+        KalConfig {
+            mu: 0.5,
+            multiplier_lr: 0.5,
+            tanh_scale: 50.0,
+        }
     }
 }
 
@@ -144,7 +148,12 @@ pub fn build_terms(
     let psi = psi.expect("window has at least one interval");
     let psi_sq = tape.square(psi);
 
-    KalTerms { phi, phi_sq, psi, psi_sq }
+    KalTerms {
+        phi,
+        phi_sq,
+        psi,
+        psi_sq,
+    }
 }
 
 /// Assemble the full KAL loss from a base loss and the constraint terms.
@@ -208,7 +217,11 @@ mod tests {
         assert!(tape.scalar_value(terms.phi_sq).abs() < 1e-6);
         // NE = 4 nonzero steps in k0 (t1..t4), bound = min(4,5)/5; tanh(α·x)
         // saturates to ~1 for x ≥ 0.25 at α = 50, so Ψ ≈ 0.
-        assert!(tape.scalar_value(terms.psi) < 0.05, "psi = {}", tape.scalar_value(terms.psi));
+        assert!(
+            tape.scalar_value(terms.psi) < 0.05,
+            "psi = {}",
+            tape.scalar_value(terms.psi)
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl Mean {
 ///
 /// `imputed[i]` corresponds to `windows[i]` and has shape
 /// `[queues][len]`.
+#[allow(clippy::needless_range_loop)]
 pub fn evaluate(
     windows: &[PortWindow],
     imputed: &[Vec<Vec<f32>>],
@@ -110,7 +111,10 @@ pub fn evaluate(
                     fn_ += 1;
                 }
             }
-            fp += pb.iter().filter(|p| !tb.iter().any(|t| t.overlaps(p))).count();
+            fp += pb
+                .iter()
+                .filter(|p| !tb.iter().any(|t| t.overlaps(p)))
+                .count();
 
             // e. height error over matched truth bursts.
             for t in &tb {
@@ -213,7 +217,10 @@ mod tests {
     }
 
     fn bcfg() -> BurstConfig {
-        BurstConfig { threshold: 10.0, min_gap: 2 }
+        BurstConfig {
+            threshold: 10.0,
+            min_gap: 2,
+        }
     }
 
     #[test]

@@ -151,7 +151,12 @@ impl<'m> StreamingImputer<'m> {
         self.total_latency += latency;
         self.worst_latency = self.worst_latency.max(latency);
         self.updates_processed += 1;
-        Some(ImputedInterval { port: self.port, series, latency, enforced })
+        Some(ImputedInterval {
+            port: self.port,
+            series,
+            latency,
+            enforced,
+        })
     }
 
     /// Materialize the buffered history as an offline-style window (the
@@ -198,7 +203,10 @@ mod tests {
             .into_iter()
             .filter(|w| w.has_activity())
             .collect();
-        let scales = Scales { qlen: cfg.buffer_packets as f32, count: 830.0 };
+        let scales = Scales {
+            qlen: cfg.buffer_packets as f32,
+            count: 830.0,
+        };
         (TransformerImputer::new(3, scales), ws)
     }
 

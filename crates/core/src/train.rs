@@ -9,10 +9,24 @@
 use crate::kal::{self, KalConfig, KalMultipliers};
 use crate::transformer_imputer::{encode_features, Scales, TransformerImputer};
 use fmml_nn::{loss, Adam, Gradients, Tape, Tensor};
+use fmml_obs::{log_event, Counter, FloatGauge, Histogram, Unit};
 use fmml_telemetry::PortWindow;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
+
+/// Wall-clock time per training epoch.
+static EPOCH_MS: Histogram = Histogram::new("train.epoch_ms", Unit::Millis);
+/// Epochs completed across all `train` calls.
+static EPOCHS: Counter = Counter::new("train.epochs");
+/// Forward/backward passes executed (one per example per epoch).
+static EXAMPLES: Counter = Counter::new("train.examples");
+/// Mean reconstruction(+KAL) loss of the most recent epoch.
+static LOSS: FloatGauge = FloatGauge::new("train.loss");
+/// Pre-clip global gradient norm, averaged over the last epoch's batches.
+static GRAD_NORM: FloatGauge = FloatGauge::new("train.grad_norm");
+/// Mean KAL penalty (|Φ| + Ψ) of the most recent epoch; 0 without KAL.
+static KAL_PENALTY: FloatGauge = FloatGauge::new("train.kal_penalty");
 
 /// Base reconstruction loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +108,8 @@ pub fn train(
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7EA1);
     let mut stats = Vec::with_capacity(cfg.epochs);
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let span = EPOCH_MS.start_span();
         // Fisher-Yates shuffle (deterministic via seed).
         for i in (1..order.len()).rev() {
             let j = rng.random_range(0..=i);
@@ -103,6 +118,8 @@ pub fn train(
         let mut ep_loss = 0.0f64;
         let mut ep_phi = 0.0f64;
         let mut ep_psi = 0.0f64;
+        let mut ep_grad_norm = 0.0f64;
+        let mut num_batches = 0u32;
         for batch in order.chunks(cfg.batch_size) {
             let run = |&ei: &usize| -> (usize, ExampleResult) {
                 let (wi, q) = examples[ei];
@@ -133,15 +150,34 @@ pub fn train(
                 ep_psi += r.psi as f64;
             }
             total.scale(1.0 / results.len() as f32);
-            total.clip_global_norm(cfg.clip_norm);
+            ep_grad_norm += total.clip_global_norm(cfg.clip_norm) as f64;
+            num_batches += 1;
             adam.step(&mut imputer.store, &total);
         }
         let n = examples.len() as f64;
-        stats.push(EpochStats {
+        let ep = EpochStats {
             mean_loss: (ep_loss / n) as f32,
             mean_phi_abs: (ep_phi / n) as f32,
             mean_psi: (ep_psi / n) as f32,
-        });
+        };
+        let grad_norm = ep_grad_norm / num_batches.max(1) as f64;
+        let kal_penalty = (ep.mean_phi_abs + ep.mean_psi) as f64;
+        let elapsed = span.finish();
+        EPOCHS.inc();
+        EXAMPLES.add(examples.len() as u64);
+        LOSS.set(ep.mean_loss as f64);
+        GRAD_NORM.set(grad_norm);
+        KAL_PENALTY.set(kal_penalty);
+        log_event!(
+            "train.epoch",
+            "epoch" = epoch,
+            "loss" = ep.mean_loss,
+            "grad_norm" = grad_norm,
+            "phi_abs" = ep.mean_phi_abs,
+            "psi" = ep.mean_psi,
+            "ms" = elapsed.as_secs_f64() * 1e3,
+        );
+        stats.push(ep);
     }
     (imputer, stats)
 }
@@ -158,7 +194,10 @@ fn forward_backward(
     let x = tape.constant(encode_features(w, q, imputer.scales));
     let pred = imputer.model.forward_series(&mut tape, x);
     let target = tape.constant(Tensor::vector(
-        w.truth[q].iter().map(|&v| v / imputer.scales.qlen).collect(),
+        w.truth[q]
+            .iter()
+            .map(|&v| v / imputer.scales.qlen)
+            .collect(),
     ));
     let base = match cfg.loss {
         LossKind::Emd => loss::emd(&mut tape, pred, target),
@@ -176,7 +215,12 @@ fn forward_backward(
     };
     let loss_val = tape.scalar_value(root);
     let grads = tape.backward(root);
-    ExampleResult { grads, loss: loss_val, phi, psi }
+    ExampleResult {
+        grads,
+        loss: loss_val,
+        phi,
+        psi,
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +259,10 @@ mod tests {
     }
 
     fn scales() -> Scales {
-        Scales { qlen: 260.0, count: 830.0 }
+        Scales {
+            qlen: 260.0,
+            count: 830.0,
+        }
     }
 
     #[test]

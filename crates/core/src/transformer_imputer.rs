@@ -61,7 +61,14 @@ pub fn encode_features(w: &PortWindow, q: usize, scales: Scales) -> Tensor {
         let is_sample = if (t + 1) % l == 0 { 1.0 } else { 0.0 };
         let phase = (t % l) as f32 / l as f32;
         data.extend_from_slice(&[
-            own_sample, own_max, sibling_max, sent, dropped, received, is_sample, phase,
+            own_sample,
+            own_max,
+            sibling_max,
+            sent,
+            dropped,
+            received,
+            is_sample,
+            phase,
         ]);
     }
     Tensor::from_vec(data, &[t_len, NUM_FEATURES])
@@ -83,7 +90,12 @@ impl TransformerImputer {
         let mut store = ParamStore::new();
         let cfg = TransformerConfig::paper_default(NUM_FEATURES);
         let model = TransformerEncoder::new(&mut store, seed, cfg);
-        TransformerImputer { store, model, scales, label: "Transformer".into() }
+        TransformerImputer {
+            store,
+            model,
+            scales,
+            label: "Transformer".into(),
+        }
     }
 
     /// Serialize the model (weights + scales + label) to JSON.
@@ -129,7 +141,10 @@ impl TransformerImputer {
         Ok(TransformerImputer {
             store: ckpt.store,
             model,
-            scales: Scales { qlen: ckpt.qlen_scale, count: ckpt.count_scale },
+            scales: Scales {
+                qlen: ckpt.qlen_scale,
+                count: ckpt.count_scale,
+            },
             label: ckpt.label,
         })
     }
@@ -150,7 +165,9 @@ impl TransformerImputer {
 
 impl Imputer for TransformerImputer {
     fn impute(&self, w: &PortWindow) -> Vec<Vec<f32>> {
-        (0..w.num_queues()).map(|q| self.impute_queue(w, q)).collect()
+        (0..w.num_queues())
+            .map(|q| self.impute_queue(w, q))
+            .collect()
     }
 
     fn name(&self) -> String {
@@ -180,7 +197,10 @@ mod tests {
     }
 
     fn scales() -> Scales {
-        Scales { qlen: 260.0, count: 4150.0 }
+        Scales {
+            qlen: 260.0,
+            count: 4150.0,
+        }
     }
 
     #[test]
@@ -189,7 +209,10 @@ mod tests {
         let x = encode_features(&w, 0, scales());
         assert_eq!(x.shape, vec![300, NUM_FEATURES]);
         // Normalized features should be small.
-        assert!(x.data.iter().all(|&v| (0.0..=2.0).contains(&v)), "feature out of range");
+        assert!(
+            x.data.iter().all(|&v| (0.0..=2.0).contains(&v)),
+            "feature out of range"
+        );
         // Sample indicator fires exactly once per interval.
         let ind_sum: f32 = (0..300).map(|t| x.at2(t, 6)).sum();
         assert_eq!(ind_sum, 6.0);

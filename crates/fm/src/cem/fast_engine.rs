@@ -103,9 +103,7 @@ pub fn solve(p: &IntervalProblem) -> Option<IntervalSolution> {
                 positives += 1; // witness value m_max > 0
             } else if default_positive[t] {
                 positives += 1;
-                let delta: u64 = (0..nq)
-                    .map(|q| cost_zero[q][t] - cost_default[q][t])
-                    .sum();
+                let delta: u64 = (0..nq).map(|q| cost_zero[q][t] - cost_default[q][t]).sum();
                 candidate_steps.push((delta, t));
             }
         }
@@ -116,11 +114,14 @@ pub fn solve(p: &IntervalProblem) -> Option<IntervalSolution> {
             }
             candidate_steps.sort_unstable();
             let zeroed: Vec<usize> = candidate_steps[..excess].iter().map(|&(_, t)| t).collect();
-            cost += candidate_steps[..excess].iter().map(|&(d, _)| d).sum::<u64>();
-            if best.as_ref().map_or(true, |(bc, _, _)| cost < *bc) {
+            cost += candidate_steps[..excess]
+                .iter()
+                .map(|&(d, _)| d)
+                .sum::<u64>();
+            if best.as_ref().is_none_or(|(bc, _, _)| cost < *bc) {
                 best = Some((cost, combo.to_vec(), zeroed));
             }
-        } else if best.as_ref().map_or(true, |(bc, _, _)| cost < *bc) {
+        } else if best.as_ref().is_none_or(|(bc, _, _)| cost < *bc) {
             best = Some((cost, combo.to_vec(), Vec::new()));
         }
     });
@@ -145,8 +146,15 @@ pub fn solve(p: &IntervalProblem) -> Option<IntervalSolution> {
         }
     }
     let sol = IntervalSolution { values, objective };
-    debug_assert!(sol.is_feasible(p), "fast engine produced infeasible solution");
-    debug_assert_eq!(sol.objective, sol.l1_objective(p), "objective accounting broken");
+    debug_assert!(
+        sol.is_feasible(p),
+        "fast engine produced infeasible solution"
+    );
+    debug_assert_eq!(
+        sol.objective,
+        sol.l1_objective(p),
+        "objective accounting broken"
+    );
     Some(sol)
 }
 
@@ -173,7 +181,13 @@ mod tests {
 
     fn p(target: Vec<Vec<i64>>, maxes: Vec<u32>, samples: Vec<u32>, m_out: u32) -> IntervalProblem {
         let len = target[0].len();
-        IntervalProblem { len, target, maxes, samples, m_out }
+        IntervalProblem {
+            len,
+            target,
+            maxes,
+            samples,
+            m_out,
+        }
     }
 
     #[test]

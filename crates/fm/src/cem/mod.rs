@@ -32,23 +32,40 @@ pub mod fast_engine;
 pub mod smt_engine;
 
 use crate::constraints::WindowConstraints;
+use fmml_obs::{log_event, Counter, Histogram, Unit};
+
+/// Windows pushed through [`enforce`].
+static WINDOWS: Counter = Counter::new("fm.cem.windows");
+/// 50 ms interval sub-problems solved.
+static INTERVALS: Counter = Counter::new("fm.cem.intervals");
+/// Intervals dispatched to the fast combinatorial engine.
+static DISPATCH_FAST: Counter = Counter::new("fm.cem.dispatch.fast");
+/// Intervals dispatched to the optimizing SMT engine.
+static DISPATCH_SMT: Counter = Counter::new("fm.cem.dispatch.smt");
+/// Windows whose *raw* imputed series violated C1 before correction.
+static VIOLATIONS_C1: Counter = Counter::new("fm.cem.violations.c1");
+/// Windows whose raw imputed series violated C2 before correction.
+static VIOLATIONS_C2: Counter = Counter::new("fm.cem.violations.c2");
+/// Windows whose raw imputed series violated C3 before correction.
+static VIOLATIONS_C3: Counter = Counter::new("fm.cem.violations.c3");
+/// Windows rejected: contradictory measurements.
+static INFEASIBLE: Counter = Counter::new("fm.cem.infeasible");
+/// Windows rejected: SMT budget exhausted.
+static BUDGET_EXHAUSTED: Counter = Counter::new("fm.cem.budget_exhausted");
+/// End-to-end [`enforce`] latency per window.
+static WINDOW_US: Histogram = Histogram::new("fm.cem.window_us", Unit::Micros);
 
 /// Which CEM implementation to run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum CemEngine {
     /// Exact specialized projection (default).
+    #[default]
     Fast,
     /// Optimizing SMT encoding (paper-faithful; slower).
     Smt {
         /// Per-interval solver budget.
         budget: fmml_smt::solver::Budget,
     },
-}
-
-impl Default for CemEngine {
-    fn default() -> Self {
-        CemEngine::Fast
-    }
 }
 
 /// A successful correction.
@@ -85,7 +102,54 @@ impl std::fmt::Display for CemError {
 impl std::error::Error for CemError {}
 
 /// Enforce C1–C3 on an imputed window, minimally changing it.
+///
+/// Besides the result, every call feeds the [`fmml_obs`] registry:
+/// windows/intervals enforced, engine dispatch counts, per-class raw
+/// violations (was C1/C2/C3 broken *before* correction?), failure causes,
+/// and the `fm.cem.window_us` latency histogram.
 pub fn enforce(
+    w: &WindowConstraints,
+    imputed: &[Vec<f32>],
+    engine: &CemEngine,
+) -> Result<CemOutcome, CemError> {
+    let span = WINDOW_US.start_span();
+    WINDOWS.inc();
+    if w.c1_error(imputed) > 0.0 {
+        VIOLATIONS_C1.inc();
+    }
+    if w.c2_error(imputed) > 0.0 {
+        VIOLATIONS_C2.inc();
+    }
+    if w.c3_error(imputed) > 0.0 {
+        VIOLATIONS_C3.inc();
+    }
+    let result = enforce_inner(w, imputed, engine);
+    match &result {
+        Ok(out) => {
+            let elapsed = span.finish();
+            log_event!(
+                "cem.window",
+                "intervals" = w.intervals(),
+                "objective" = out.objective,
+                "us" = elapsed.as_secs_f64() * 1e6,
+            );
+        }
+        Err(CemError::Infeasible { interval }) => {
+            INFEASIBLE.inc();
+            span.finish();
+            log_event!("cem.infeasible", "interval" = *interval);
+        }
+        Err(CemError::Budget { interval }) => {
+            BUDGET_EXHAUSTED.inc();
+            span.finish();
+            log_event!("cem.budget_exhausted", "interval" = *interval);
+        }
+    }
+    result
+}
+
+#[allow(clippy::needless_range_loop)]
+fn enforce_inner(
     w: &WindowConstraints,
     imputed: &[Vec<f32>],
     engine: &CemEngine,
@@ -117,21 +181,29 @@ pub fn enforce(
             samples,
             m_out: w.sent[k],
         };
+        INTERVALS.inc();
         let sol = match engine {
-            CemEngine::Fast => fast_engine::solve(&interval).ok_or(CemError::Infeasible { interval: k })?,
-            CemEngine::Smt { budget } => smt_engine::solve(&interval, *budget)
-                .map_err(|e| match e {
+            CemEngine::Fast => {
+                DISPATCH_FAST.inc();
+                fast_engine::solve(&interval).ok_or(CemError::Infeasible { interval: k })?
+            }
+            CemEngine::Smt { budget } => {
+                DISPATCH_SMT.inc();
+                smt_engine::solve(&interval, *budget).map_err(|e| match e {
                     smt_engine::SmtCemError::Infeasible => CemError::Infeasible { interval: k },
                     smt_engine::SmtCemError::Budget => CemError::Budget { interval: k },
-                })?,
+                })?
+            }
         };
         objective += sol.objective;
         for q in 0..w.num_queues() {
-            corrected[q][k * l..(k + 1) * l]
-                .copy_from_slice(&sol.values[q]);
+            corrected[q][k * l..(k + 1) * l].copy_from_slice(&sol.values[q]);
         }
     }
-    Ok(CemOutcome { corrected, objective })
+    Ok(CemOutcome {
+        corrected,
+        objective,
+    })
 }
 
 /// One interval's CEM problem (both engines consume this).

@@ -11,8 +11,39 @@
 //!   `d ≥ x − target ∧ d ≥ target − x` (the L1 distance).
 
 use super::{IntervalProblem, IntervalSolution};
+use fmml_obs::Counter;
 use fmml_smt::solver::{Budget, OptResult};
-use fmml_smt::Solver;
+use fmml_smt::{Solver, SolverStats};
+
+/// SAT branching decisions across all CEM solver instances.
+static SMT_DECISIONS: Counter = Counter::new("smt.decisions");
+/// Unit propagations across all CEM solver instances.
+static SMT_PROPAGATIONS: Counter = Counter::new("smt.propagations");
+/// Conflicts analyzed across all CEM solver instances.
+static SMT_CONFLICTS: Counter = Counter::new("smt.conflicts");
+/// Luby restarts across all CEM solver instances.
+static SMT_RESTARTS: Counter = Counter::new("smt.restarts");
+/// Clauses learned across all CEM solver instances.
+static SMT_LEARNED: Counter = Counter::new("smt.learned_clauses");
+/// Simplex pivots across all CEM solver instances.
+static SMT_PIVOTS: Counter = Counter::new("smt.simplex_pivots");
+/// Lazy CDCL(T) refinement iterations across all CEM solver instances.
+static SMT_ITERATIONS: Counter = Counter::new("smt.iterations");
+
+/// Fold a [`SolverStats`] delta into the process-wide `smt.*` counters.
+///
+/// The CEM engine calls this for every interval it solves; other SMT
+/// users (the CLI's cross-validation pass, benches) can call it with
+/// [`SolverStats::delta_since`] of their own snapshots.
+pub fn record_solver_stats(delta: &SolverStats) {
+    SMT_DECISIONS.add(delta.decisions);
+    SMT_PROPAGATIONS.add(delta.propagations);
+    SMT_CONFLICTS.add(delta.conflicts);
+    SMT_RESTARTS.add(delta.restarts);
+    SMT_LEARNED.add(delta.learned_clauses);
+    SMT_PIVOTS.add(delta.simplex_pivots);
+    SMT_ITERATIONS.add(delta.iterations);
+}
 
 /// Failure modes of the SMT engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +71,7 @@ pub fn solve(p: &IntervalProblem, budget: Budget) -> Result<IntervalSolution, Sm
     solve_inner(p, budget, None)
 }
 
+#[allow(clippy::needless_range_loop)]
 fn solve_inner(
     p: &IntervalProblem,
     budget: Budget,
@@ -120,6 +152,9 @@ fn solve_inner(
         Some(h) => s.minimize_with_hint(obj, 0, h as i64),
         None => s.minimize(obj, 0),
     };
+    // The solver is fresh per interval, so its cumulative stats are
+    // exactly this interval's work.
+    record_solver_stats(&s.stats());
     match result {
         OptResult::Optimal { value, model } => {
             let values: Vec<Vec<u32>> = (0..nq)
@@ -129,8 +164,14 @@ fn solve_inner(
                         .collect()
                 })
                 .collect();
-            let sol = IntervalSolution { values, objective: value as u64 };
-            debug_assert!(sol.is_feasible(p), "smt engine produced infeasible solution");
+            let sol = IntervalSolution {
+                values,
+                objective: value as u64,
+            };
+            debug_assert!(
+                sol.is_feasible(p),
+                "smt engine produced infeasible solution"
+            );
             Ok(sol)
         }
         OptResult::Best { .. } | OptResult::Unknown => Err(SmtCemError::Budget),

@@ -64,7 +64,7 @@ impl PacketModelConfig {
         if self.num_ports == 0 || self.queues_per_port == 0 {
             return Err("ports/queues must be positive".into());
         }
-        if self.interval_len == 0 || self.time_steps % self.interval_len != 0 {
+        if self.interval_len == 0 || !self.time_steps.is_multiple_of(self.interval_len) {
             return Err("interval_len must divide time_steps".into());
         }
         Ok(())
@@ -105,6 +105,7 @@ pub struct ExecutionTrace {
 
 /// Execute a scripted arrival schedule under the model's exact semantics
 /// (strict-priority scheduling), producing consistent measurements.
+#[allow(clippy::needless_range_loop)]
 pub fn reference_execution(cfg: &PacketModelConfig, arrivals: &[Arrival]) -> ExecutionTrace {
     cfg.validate().expect("valid config");
     let nq = cfg.num_queues();
@@ -165,18 +166,49 @@ pub fn reference_execution(cfg: &PacketModelConfig, arrivals: &[Arrival]) -> Exe
     }
     ExecutionTrace {
         len,
-        measurements: PacketMeasurements { received, sent, dropped, q_max, q_sample },
+        measurements: PacketMeasurements {
+            received,
+            sent,
+            dropped,
+            q_max,
+            q_sample,
+        },
     }
 }
 
 /// Result of solving the packet-level model.
+///
+/// Every outcome carries the [`fmml_smt::SolverStats`] of the solve, so a
+/// budget wall ([`PacketModelOutcome::Unknown`]) is diagnosable: was it
+/// conflicts, simplex pivots, or lazy-loop churn that ate the budget?
 #[derive(Debug, Clone, PartialEq)]
 pub enum PacketModelOutcome {
     /// A plausible fine-grained series (`len[q][t]`) with solve time.
-    Sat { len: Vec<Vec<i64>>, elapsed: Duration },
-    Unsat { elapsed: Duration },
+    Sat {
+        len: Vec<Vec<i64>>,
+        elapsed: Duration,
+        stats: fmml_smt::SolverStats,
+    },
+    Unsat {
+        elapsed: Duration,
+        stats: fmml_smt::SolverStats,
+    },
     /// Budget exhausted — the §2.3 scalability wall.
-    Unknown { elapsed: Duration },
+    Unknown {
+        elapsed: Duration,
+        stats: fmml_smt::SolverStats,
+    },
+}
+
+impl PacketModelOutcome {
+    /// The solver-work counters of this solve, whatever the outcome.
+    pub fn stats(&self) -> &fmml_smt::SolverStats {
+        match self {
+            PacketModelOutcome::Sat { stats, .. }
+            | PacketModelOutcome::Unsat { stats, .. }
+            | PacketModelOutcome::Unknown { stats, .. } => stats,
+        }
+    }
 }
 
 /// Build and solve the §2.3 model for the given measurements.
@@ -190,17 +222,30 @@ pub fn solve(
     let mut s = Solver::new();
     s.set_budget(budget);
     let vars = build_model(&mut s, cfg, meas);
-    match s.check() {
+    let result = s.check();
+    let stats = s.stats();
+    crate::cem::smt_engine::record_solver_stats(&stats);
+    match result {
         SatResult::Sat => {
             let len = vars
                 .len
                 .iter()
                 .map(|qrow| qrow.iter().map(|&t| s.model_int(t)).collect())
                 .collect();
-            PacketModelOutcome::Sat { len, elapsed: start.elapsed() }
+            PacketModelOutcome::Sat {
+                len,
+                elapsed: start.elapsed(),
+                stats,
+            }
         }
-        SatResult::Unsat => PacketModelOutcome::Unsat { elapsed: start.elapsed() },
-        SatResult::Unknown => PacketModelOutcome::Unknown { elapsed: start.elapsed() },
+        SatResult::Unsat => PacketModelOutcome::Unsat {
+            elapsed: start.elapsed(),
+            stats,
+        },
+        SatResult::Unknown => PacketModelOutcome::Unknown {
+            elapsed: start.elapsed(),
+            stats,
+        },
     }
 }
 
@@ -209,6 +254,7 @@ struct ModelVars {
     len: Vec<Vec<TermId>>,
 }
 
+#[allow(clippy::needless_range_loop)]
 fn build_model(s: &mut Solver, cfg: &PacketModelConfig, meas: &PacketMeasurements) -> ModelVars {
     let nq = cfg.num_queues();
     let np = cfg.num_ports;
@@ -218,7 +264,11 @@ fn build_model(s: &mut Solver, cfg: &PacketModelConfig, meas: &PacketMeasurement
     let buffer = s.int(cfg.buffer as i64);
 
     let recv: Vec<Vec<TermId>> = (0..np)
-        .map(|i| (0..t_max).map(|t| s.bool_var(&format!("recv_{i}_{t}"))).collect())
+        .map(|i| {
+            (0..t_max)
+                .map(|t| s.bool_var(&format!("recv_{i}_{t}")))
+                .collect()
+        })
         .collect();
     let dst: Vec<Vec<Vec<TermId>>> = (0..np)
         .map(|i| {
@@ -232,10 +282,18 @@ fn build_model(s: &mut Solver, cfg: &PacketModelConfig, meas: &PacketMeasurement
         })
         .collect();
     let deq: Vec<Vec<TermId>> = (0..nq)
-        .map(|q| (0..t_max).map(|t| s.bool_var(&format!("deq_{q}_{t}"))).collect())
+        .map(|q| {
+            (0..t_max)
+                .map(|t| s.bool_var(&format!("deq_{q}_{t}")))
+                .collect()
+        })
         .collect();
     let len: Vec<Vec<TermId>> = (0..nq)
-        .map(|q| (0..t_max).map(|t| s.int_var(&format!("len_{q}_{t}"))).collect())
+        .map(|q| {
+            (0..t_max)
+                .map(|t| s.int_var(&format!("len_{q}_{t}")))
+                .collect()
+        })
         .collect();
     // Per-step drop terms (derived), indexed [q][t].
     let mut drops: Vec<Vec<TermId>> = vec![Vec::with_capacity(t_max); nq];
@@ -243,9 +301,7 @@ fn build_model(s: &mut Solver, cfg: &PacketModelConfig, meas: &PacketMeasurement
     for t in 0..t_max {
         // Each received packet maps to exactly one queue; none otherwise.
         for i in 0..np {
-            let indicators: Vec<TermId> = (0..nq)
-                .map(|q| s.ite(dst[i][q][t], one, zero))
-                .collect();
+            let indicators: Vec<TermId> = (0..nq).map(|q| s.ite(dst[i][q][t], one, zero)).collect();
             let total = s.add(&indicators);
             let r = s.ite(recv[i][t], one, zero);
             let c = s.eq(total, r);
@@ -340,7 +396,10 @@ fn build_model(s: &mut Solver, cfg: &PacketModelConfig, meas: &PacketMeasurement
         let steps: Vec<usize> = (k * l..(k + 1) * l).collect();
         // SNMP received per input port.
         for i in 0..np {
-            let ind: Vec<TermId> = steps.iter().map(|&t| s.ite(recv[i][t], one, zero)).collect();
+            let ind: Vec<TermId> = steps
+                .iter()
+                .map(|&t| s.ite(recv[i][t], one, zero))
+                .collect();
             let total = s.add(&ind);
             let want = s.int(meas.received[i][k] as i64);
             let c = s.eq(total, want);
@@ -411,6 +470,7 @@ mod tests {
     /// Check a solved series against the queue-level measurement
     /// constraints (the solver may find a different — but plausible —
     /// execution, so counters are not re-derivable here).
+    #[allow(clippy::needless_range_loop)]
     fn check_measurements(cfg: &PacketModelConfig, meas: &PacketMeasurements, len: &[Vec<i64>]) {
         let l = cfg.interval_len;
         for k in 0..cfg.intervals() {
@@ -428,9 +488,21 @@ mod tests {
     fn reference_execution_builds_and_drains_a_queue() {
         let cfg = PacketModelConfig::tiny();
         let arrivals = vec![
-            Arrival { step: 0, input_port: 0, queue: 0 },
-            Arrival { step: 0, input_port: 1, queue: 0 },
-            Arrival { step: 1, input_port: 0, queue: 0 },
+            Arrival {
+                step: 0,
+                input_port: 0,
+                queue: 0,
+            },
+            Arrival {
+                step: 0,
+                input_port: 1,
+                queue: 0,
+            },
+            Arrival {
+                step: 1,
+                input_port: 0,
+                queue: 0,
+            },
         ];
         let tr = reference_execution(&cfg, &arrivals);
         // Step 0: 2 arrive, 1 sent -> len 1. Step 1: +1, -1 -> len 1.
@@ -450,8 +522,16 @@ mod tests {
         let arrivals: Vec<Arrival> = (0..2)
             .flat_map(|i| {
                 vec![
-                    Arrival { step: 0, input_port: i, queue: 0 },
-                    Arrival { step: 1, input_port: i, queue: 0 },
+                    Arrival {
+                        step: 0,
+                        input_port: i,
+                        queue: 0,
+                    },
+                    Arrival {
+                        step: 1,
+                        input_port: i,
+                        queue: 0,
+                    },
                 ]
             })
             .collect();
@@ -464,10 +544,26 @@ mod tests {
     fn model_recovers_a_plausible_series_for_tiny_scenario() {
         let cfg = PacketModelConfig::tiny();
         let arrivals = vec![
-            Arrival { step: 0, input_port: 0, queue: 0 },
-            Arrival { step: 0, input_port: 1, queue: 0 },
-            Arrival { step: 1, input_port: 0, queue: 2 },
-            Arrival { step: 5, input_port: 1, queue: 0 },
+            Arrival {
+                step: 0,
+                input_port: 0,
+                queue: 0,
+            },
+            Arrival {
+                step: 0,
+                input_port: 1,
+                queue: 0,
+            },
+            Arrival {
+                step: 1,
+                input_port: 0,
+                queue: 2,
+            },
+            Arrival {
+                step: 5,
+                input_port: 1,
+                queue: 0,
+            },
         ];
         let tr = reference_execution(&cfg, &arrivals);
         match solve(&cfg, &tr.measurements, budget()) {
@@ -481,7 +577,11 @@ mod tests {
     #[test]
     fn contradictory_measurements_are_unsat() {
         let cfg = PacketModelConfig::tiny();
-        let arrivals = vec![Arrival { step: 0, input_port: 0, queue: 0 }];
+        let arrivals = vec![Arrival {
+            step: 0,
+            input_port: 0,
+            queue: 0,
+        }];
         let mut meas = reference_execution(&cfg, &arrivals).measurements;
         // Claim a backlog without any received packets.
         meas.q_max[0][0] = 5;
@@ -507,7 +607,11 @@ mod tests {
         };
         let mut arrivals = Vec::new();
         for t in 0..16 {
-            arrivals.push(Arrival { step: t, input_port: t % 4, queue: (t * 3) % 8 });
+            arrivals.push(Arrival {
+                step: t,
+                input_port: t % 4,
+                queue: (t * 3) % 8,
+            });
         }
         let tr = reference_execution(&cfg, &arrivals);
         let tight = Budget {
@@ -520,6 +624,9 @@ mod tests {
             PacketModelOutcome::Unknown { .. } | PacketModelOutcome::Sat { .. } => {}
             r => panic!("unexpected {r:?}"),
         }
-        assert!(start.elapsed() < Duration::from_secs(30), "budget not respected");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "budget not respected"
+        );
     }
 }

@@ -14,8 +14,8 @@ fn arb_problem() -> impl Strategy<Value = IntervalProblem> {
     (3usize..7, 0u32..5, 0u32..5, 0u32..8).prop_flat_map(|(len, max0, max1, m_out)| {
         let t0 = prop::collection::vec(0i64..6, len);
         let t1 = prop::collection::vec(0i64..6, len);
-        let s0 = 0u32..=max0.max(0);
-        let s1 = 0u32..=max1.max(0);
+        let s0 = 0u32..=max0;
+        let s1 = 0u32..=max1;
         (t0, t1, s0, s1).prop_map(move |(t0, t1, s0, s1)| IntervalProblem {
             len,
             target: vec![t0, t1],

@@ -126,14 +126,21 @@ pub struct SharedBuffer {
 
 impl SharedBuffer {
     pub fn new(policy: Box<dyn BufferPolicy>, capacity: u32) -> SharedBuffer {
-        SharedBuffer { policy, capacity, occupied: 0 }
+        SharedBuffer {
+            policy,
+            capacity,
+            occupied: 0,
+        }
     }
 
     /// Whether a packet of traffic class `class` may enter a queue whose
     /// current length is `queue_len`.
     pub fn admits(&self, class: u8, queue_len: u32) -> bool {
         self.occupied < self.capacity
-            && queue_len < self.policy.threshold(class, queue_len, self.occupied, self.capacity)
+            && queue_len
+                < self
+                    .policy
+                    .threshold(class, queue_len, self.occupied, self.capacity)
     }
 
     /// The instantaneous threshold for a class-`class` queue of length
@@ -192,7 +199,9 @@ mod tests {
 
     #[test]
     fn per_class_dt_favors_high_priority() {
-        let dt = DynamicThresholdPerClass { alphas: [1.0, 0.25] };
+        let dt = DynamicThresholdPerClass {
+            alphas: [1.0, 0.25],
+        };
         // Same occupancy, different classes.
         assert_eq!(dt.threshold(0, 0, 20, 100), 80);
         assert_eq!(dt.threshold(1, 0, 20, 100), 20);
@@ -207,7 +216,10 @@ mod tests {
         buf.on_enqueue();
         assert!(buf.admits(0, 1));
         buf.on_enqueue();
-        assert!(!buf.admits(0, 0), "full buffer must reject regardless of queue");
+        assert!(
+            !buf.admits(0, 0),
+            "full buffer must reject regardless of queue"
+        );
         buf.on_dequeue();
         assert!(buf.admits(0, 1));
         assert_eq!(buf.occupied(), 1);

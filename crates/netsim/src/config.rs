@@ -93,7 +93,9 @@ impl Serialize for Rate {
 
 impl<'de> Deserialize<'de> for Rate {
     fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Rate, D::Error> {
-        Ok(Rate { bits_per_sec: u64::deserialize(d)? })
+        Ok(Rate {
+            bits_per_sec: u64::deserialize(d)?,
+        })
     }
 }
 

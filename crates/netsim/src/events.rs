@@ -68,10 +68,18 @@ impl EventQueue {
 
     /// Schedule `event` at absolute time `at`. Panics if `at` is in the past.
     pub fn schedule(&mut self, at: Time, event: Event) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time: at, seq, event });
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Pop the next event, advancing the clock.

@@ -135,7 +135,11 @@ mod tests {
         let s: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
         let emp = s / n as f64;
         let rel = (emp - d.mean_packets()).abs() / d.mean_packets();
-        assert!(rel < 0.05, "empirical {emp} vs analytic {}", d.mean_packets());
+        assert!(
+            rel < 0.05,
+            "empirical {emp} vs analytic {}",
+            d.mean_packets()
+        );
     }
 
     #[test]

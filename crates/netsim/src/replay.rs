@@ -183,7 +183,9 @@ time_ns,src_port,dst_port,class,size_bytes
         let gt = Simulation::with_sources(cfg, vec![Box::new(r)]).run_ms(2);
         let sent: u32 = gt.sent_series(0).iter().sum();
         assert_eq!(sent, 3, "all replayed packets traverse port 0");
-        let recv: u32 = (0..gt.num_ports()).map(|p| gt.received_series(p).iter().sum::<u32>()).sum();
+        let recv: u32 = (0..gt.num_ports())
+            .map(|p| gt.received_series(p).iter().sum::<u32>())
+            .sum();
         assert_eq!(recv, 3);
     }
 
@@ -195,11 +197,9 @@ time_ns,src_port,dst_port,class,size_bytes
             vec![Box::new(ReplaySource::from_csv(TRACE).unwrap())],
         )
         .run_ms(2);
-        let b = Simulation::with_sources(
-            cfg,
-            vec![Box::new(ReplaySource::from_csv(TRACE).unwrap())],
-        )
-        .run_ms(2);
+        let b =
+            Simulation::with_sources(cfg, vec![Box::new(ReplaySource::from_csv(TRACE).unwrap())])
+                .run_ms(2);
         for q in 0..a.num_queues() {
             assert_eq!(a.queue_len_series(q), b.queue_len_series(q));
         }

@@ -77,7 +77,10 @@ pub struct WeightedRoundRobin {
 impl WeightedRoundRobin {
     pub fn new(weights: [u32; 2]) -> WeightedRoundRobin {
         let w = [weights[0].max(1), weights[1].max(1)];
-        WeightedRoundRobin { weights: w, credits: w }
+        WeightedRoundRobin {
+            weights: w,
+            credits: w,
+        }
     }
 }
 
@@ -92,9 +95,9 @@ impl Scheduler for WeightedRoundRobin {
         }
         // Prefer the queue with remaining credit; fall back for work
         // conservation.
-        for i in 0..2 {
-            if self.credits[i] > 0 && queue_lens[i] > 0 {
-                self.credits[i] -= 1;
+        for (i, (credit, &len)) in self.credits.iter_mut().zip(queue_lens).enumerate() {
+            if *credit > 0 && len > 0 {
+                *credit -= 1;
                 return Some(i);
             }
         }
@@ -155,7 +158,11 @@ mod tests {
         ] {
             let mut s = kind.build();
             for lens in [[1u32, 0], [0, 1], [7, 9]] {
-                assert!(s.select(&lens).is_some(), "{} not work-conserving", s.name());
+                assert!(
+                    s.select(&lens).is_some(),
+                    "{} not work-conserving",
+                    s.name()
+                );
             }
             assert_eq!(s.select(&[0, 0]), None);
         }

@@ -180,7 +180,13 @@ impl WebsearchSource {
         self.busy_until = Time(start.0 + size as u64 * self.tx_spacing.as_nanos());
         let id = self.next_flow_id;
         self.next_flow_id += 1;
-        self.current = Some(CurrentFlow { remaining: size, next_emit: start, dst, class, id });
+        self.current = Some(CurrentFlow {
+            remaining: size,
+            next_emit: start,
+            dst,
+            class,
+            id,
+        });
     }
 }
 
@@ -236,7 +242,10 @@ impl IncastSource {
         seed: u64,
     ) -> IncastSource {
         assert!(rate_per_sec > 0.0);
-        assert!(fanin.0 >= 2 && fanin.0 <= fanin.1, "bad fan-in range {fanin:?}");
+        assert!(
+            fanin.0 >= 2 && fanin.0 <= fanin.1,
+            "bad fan-in range {fanin:?}"
+        );
         assert!(burst_pkts.0 >= 1 && burst_pkts.0 <= burst_pkts.1);
         let mean_epoch_gap_ns = 1e9 / rate_per_sec;
         let mut rng = StdRng::seed_from_u64(seed);
@@ -354,7 +363,8 @@ impl TrafficSource for OnOffSource {
     fn next_packet(&mut self) -> Option<Packet> {
         // Advance past the OFF span if we fell out of the ON window.
         if self.t.0 >= self.period_start.0 + self.on.as_nanos() {
-            self.period_start = Time(self.period_start.0 + self.on.as_nanos() + self.off.as_nanos());
+            self.period_start =
+                Time(self.period_start.0 + self.on.as_nanos() + self.off.as_nanos());
             self.t = self.period_start;
         }
         let pkt = Packet {
@@ -460,7 +470,12 @@ mod tests {
         let pkts = assert_time_ordered(&mut s, 500);
         // All packets must fall in even-numbered milliseconds (ON spans).
         for p in &pkts {
-            assert_eq!(p.arrival.ms_bin() % 2, 0, "packet in OFF span at {}", p.arrival);
+            assert_eq!(
+                p.arrival.ms_bin() % 2,
+                0,
+                "packet in OFF span at {}",
+                p.arrival
+            );
         }
     }
 

@@ -92,11 +92,15 @@ pub struct Rate {
 
 impl Rate {
     pub fn gbps(g: u64) -> Rate {
-        Rate { bits_per_sec: g * 1_000_000_000 }
+        Rate {
+            bits_per_sec: g * 1_000_000_000,
+        }
     }
 
     pub fn mbps(m: u64) -> Rate {
-        Rate { bits_per_sec: m * 1_000_000 }
+        Rate {
+            bits_per_sec: m * 1_000_000,
+        }
     }
 
     /// Time to serialize `bytes` onto a link of this rate.

@@ -23,7 +23,15 @@ impl Adam {
         let v = (0..store.len())
             .map(|i| Tensor::zeros(&store.value(i).shape))
             .collect();
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m, v, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m,
+            v,
+            t: 0,
+        }
     }
 
     /// Apply one update from accumulated gradients.
@@ -98,6 +106,9 @@ mod tests {
         g.add(p, &Tensor::scalar(5.0));
         adam.step(&mut store, &g);
         let x = store.value(p).data[0];
-        assert!((x + 0.1).abs() < 1e-3, "first step should be ≈ -lr, got {x}");
+        assert!(
+            (x + 0.1).abs() < 1e-3,
+            "first step should be ≈ -lr, got {x}"
+        );
     }
 }

@@ -15,7 +15,11 @@ pub fn xavier(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Tensor {
 
 /// Uniform vector in `(−a, a)`.
 pub fn uniform_vec(rng: &mut StdRng, n: usize, a: f32) -> Tensor {
-    Tensor::vector((0..n).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * a).collect())
+    Tensor::vector(
+        (0..n)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * a)
+            .collect(),
+    )
 }
 
 /// A seeded RNG for model construction.

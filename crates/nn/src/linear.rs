@@ -27,7 +27,12 @@ impl Linear {
             &format!("{name}.b"),
             crate::tensor::Tensor::zeros(&[fan_out]),
         );
-        Linear { w, b, fan_in, fan_out }
+        Linear {
+            w,
+            b,
+            fan_in,
+            fan_out,
+        }
     }
 
     pub fn forward(&self, tape: &mut Tape, x: NodeId) -> NodeId {
@@ -50,7 +55,11 @@ mod tests {
         let mut rng = init::seeded(3);
         let lin = Linear::new(&mut store, &mut rng, "l", 4, 2);
         // Zero weights + explicit bias -> output equals bias rows.
-        store.value_mut(lin.w).data.iter_mut().for_each(|v| *v = 0.0);
+        store
+            .value_mut(lin.w)
+            .data
+            .iter_mut()
+            .for_each(|v| *v = 0.0);
         store.value_mut(lin.b).data.copy_from_slice(&[1.5, -0.5]);
         let mut tape = Tape::new(&store);
         let x = tape.constant(Tensor::zeros(&[3, 4]));

@@ -69,7 +69,9 @@ pub struct Gradients {
 
 impl Gradients {
     pub fn new(num_params: usize) -> Gradients {
-        Gradients { by_param: vec![None; num_params] }
+        Gradients {
+            by_param: vec![None; num_params],
+        }
     }
 
     /// Add a gradient contribution for one parameter.

@@ -7,7 +7,12 @@ pub enum LrSchedule {
     Constant { lr: f32 },
     /// Linear warmup to `peak` over `warmup` steps, then cosine decay to
     /// `floor` at `total` steps (held at `floor` afterwards).
-    CosineWithWarmup { peak: f32, floor: f32, warmup: u64, total: u64 },
+    CosineWithWarmup {
+        peak: f32,
+        floor: f32,
+        warmup: u64,
+        total: u64,
+    },
 }
 
 impl LrSchedule {
@@ -15,7 +20,12 @@ impl LrSchedule {
     pub fn at(&self, t: u64) -> f32 {
         match *self {
             LrSchedule::Constant { lr } => lr,
-            LrSchedule::CosineWithWarmup { peak, floor, warmup, total } => {
+            LrSchedule::CosineWithWarmup {
+                peak,
+                floor,
+                warmup,
+                total,
+            } => {
                 if warmup > 0 && t < warmup {
                     return peak * (t + 1) as f32 / warmup as f32;
                 }
@@ -43,7 +53,12 @@ mod tests {
 
     #[test]
     fn warmup_rises_linearly_then_decays() {
-        let s = LrSchedule::CosineWithWarmup { peak: 1.0, floor: 0.1, warmup: 10, total: 110 };
+        let s = LrSchedule::CosineWithWarmup {
+            peak: 1.0,
+            floor: 0.1,
+            warmup: 10,
+            total: 110,
+        };
         assert!((s.at(0) - 0.1).abs() < 1e-6);
         assert!((s.at(4) - 0.5).abs() < 1e-6);
         assert!((s.at(9) - 1.0).abs() < 1e-6);
@@ -56,7 +71,12 @@ mod tests {
 
     #[test]
     fn schedule_is_monotone_decreasing_after_warmup() {
-        let s = LrSchedule::CosineWithWarmup { peak: 0.01, floor: 0.001, warmup: 5, total: 100 };
+        let s = LrSchedule::CosineWithWarmup {
+            peak: 0.01,
+            floor: 0.001,
+            warmup: 5,
+            total: 100,
+        };
         let mut prev = f32::MAX;
         for t in 5..100 {
             let lr = s.at(t);

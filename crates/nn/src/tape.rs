@@ -44,7 +44,11 @@ enum Op {
     SliceCols(NodeId, usize, usize),
     ConcatCols(Vec<NodeId>),
     AddBias(NodeId, NodeId),
-    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId },
+    LayerNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+    },
     /// Reinterpret a `[1,n]` or `[n,1]` tensor as 1-D `[n]`.
     Flatten(NodeId),
 }
@@ -64,11 +68,18 @@ pub struct Tape<'s> {
 
 impl<'s> Tape<'s> {
     pub fn new(store: &'s ParamStore) -> Tape<'s> {
-        Tape { store, nodes: Vec::new() }
+        Tape {
+            store,
+            nodes: Vec::new(),
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
-        self.nodes.push(Node { value, op, param: None });
+        self.nodes.push(Node {
+            value,
+            op,
+            param: None,
+        });
         self.nodes.len() - 1
     }
 
@@ -198,7 +209,10 @@ impl<'s> Tape<'s> {
     /// Implemented as a multiply by a constant mask, so the backward pass
     /// routes gradients only through surviving elements.
     pub fn dropout<R: rand::Rng + ?Sized>(&mut self, a: NodeId, p: f32, rng: &mut R) -> NodeId {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         if p == 0.0 {
             return a;
         }
@@ -207,7 +221,13 @@ impl<'s> Tape<'s> {
         let shape = self.nodes[a].value.shape.clone();
         let mask = Tensor {
             data: (0..self.nodes[a].value.len())
-                .map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| {
+                    if rng.random::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
             shape,
         };
@@ -365,7 +385,11 @@ impl<'s> Tape<'s> {
     /// Reverse-mode sweep from a scalar `root`; returns per-parameter
     /// gradients.
     pub fn backward(&self, root: NodeId) -> Gradients {
-        assert_eq!(self.nodes[root].value.len(), 1, "backward root must be scalar");
+        assert_eq!(
+            self.nodes[root].value.len(),
+            1,
+            "backward root must be scalar"
+        );
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[root] = Some(Tensor::scalar(1.0));
 
@@ -453,11 +477,7 @@ impl<'s> Tape<'s> {
             }
             Op::Abs(a) => {
                 let x = &self.nodes[*a].value;
-                Self::accum(
-                    grads,
-                    *a,
-                    g.zip(x, |dg, x| if x >= 0.0 { dg } else { -dg }),
-                );
+                Self::accum(grads, *a, g.zip(x, |dg, x| if x >= 0.0 { dg } else { -dg }));
             }
             Op::CumSum(a) => {
                 // d/dx_i = Σ_{j ≥ i} g_j  (suffix sums).
@@ -607,9 +627,7 @@ mod tests {
                     t2.scalar_value(r2)
                 };
                 let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
-                let analytic = grads.by_param[pid]
-                    .as_ref()
-                    .map_or(0.0, |g| g.data[k]);
+                let analytic = grads.by_param[pid].as_ref().map_or(0.0, |g| g.data[k]);
                 assert!(
                     (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
                     "param {pi} ({}) elem {k}: numeric {numeric} vs analytic {analytic}",
@@ -639,8 +657,14 @@ mod tests {
     fn grad_matmul_bias() {
         check_gradients(
             vec![
-                ("x", Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, -0.4, 0.3], &[2, 3])),
-                ("w", Tensor::from_vec(vec![0.2, -0.5, 0.7, 0.1, 0.4, -0.3], &[3, 2])),
+                (
+                    "x",
+                    Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, -0.4, 0.3], &[2, 3]),
+                ),
+                (
+                    "w",
+                    Tensor::from_vec(vec![0.2, -0.5, 0.7, 0.1, 0.4, -0.3], &[3, 2]),
+                ),
                 ("b", Tensor::vector(vec![0.05, -0.02])),
             ],
             |t, l| {
@@ -656,7 +680,10 @@ mod tests {
     #[test]
     fn grad_softmax() {
         check_gradients(
-            vec![("x", Tensor::from_vec(vec![0.1, 0.9, -0.5, 0.3, 0.2, 0.7], &[2, 3]))],
+            vec![(
+                "x",
+                Tensor::from_vec(vec![0.1, 0.9, -0.5, 0.3, 0.2, 0.7], &[2, 3]),
+            )],
             |t, l| {
                 let y = t.softmax_rows(l[0]);
                 let sq = t.square(y);
@@ -670,7 +697,10 @@ mod tests {
     fn grad_layer_norm() {
         check_gradients(
             vec![
-                ("x", Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.7, 1.5, 0.4], &[2, 4])),
+                (
+                    "x",
+                    Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.7, 1.5, 0.4], &[2, 4]),
+                ),
                 ("g", Tensor::vector(vec![1.0, 0.9, 1.1, 1.2])),
                 ("b", Tensor::vector(vec![0.0, 0.1, -0.1, 0.05])),
             ],
@@ -741,9 +771,18 @@ mod tests {
         // Mini attention: softmax(QK^T) V.
         check_gradients(
             vec![
-                ("q", Tensor::from_vec(vec![0.1, 0.5, -0.3, 0.7, 0.2, -0.1], &[3, 2])),
-                ("k", Tensor::from_vec(vec![0.4, -0.2, 0.3, 0.6, -0.5, 0.1], &[3, 2])),
-                ("v", Tensor::from_vec(vec![1.0, 0.0, 0.5, -0.5, 0.2, 0.8], &[3, 2])),
+                (
+                    "q",
+                    Tensor::from_vec(vec![0.1, 0.5, -0.3, 0.7, 0.2, -0.1], &[3, 2]),
+                ),
+                (
+                    "k",
+                    Tensor::from_vec(vec![0.4, -0.2, 0.3, 0.6, -0.5, 0.1], &[3, 2]),
+                ),
+                (
+                    "v",
+                    Tensor::from_vec(vec![1.0, 0.0, 0.5, -0.5, 0.2, 0.8], &[3, 2]),
+                ),
             ],
             |t, l| {
                 let kt = t.transpose(l[1]);
@@ -837,7 +876,11 @@ mod ext_tests {
                 t2.scalar_value(r2)
             };
             let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
-            assert!((numeric - g.data[k]).abs() < 1e-2, "elem {k}: {numeric} vs {}", g.data[k]);
+            assert!(
+                (numeric - g.data[k]).abs() < 1e-2,
+                "elem {k}: {numeric} vs {}",
+                g.data[k]
+            );
         }
     }
 

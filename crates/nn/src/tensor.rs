@@ -13,17 +13,30 @@ pub struct Tensor {
 impl Tensor {
     pub fn zeros(shape: &[usize]) -> Tensor {
         assert!(!shape.is_empty() && shape.len() <= 2, "rank must be 1 or 2");
-        Tensor { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Tensor {
-        assert_eq!(data.len(), shape.iter().product::<usize>(), "shape/data mismatch");
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "shape/data mismatch"
+        );
         assert!(!shape.is_empty() && shape.len() <= 2, "rank must be 1 or 2");
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     pub fn scalar(v: f32) -> Tensor {
-        Tensor { data: vec![v], shape: vec![1] }
+        Tensor {
+            data: vec![v],
+            shape: vec![1],
+        }
     }
 
     pub fn vector(data: Vec<f32>) -> Tensor {
@@ -105,7 +118,10 @@ impl Tensor {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Elementwise combination of two same-shaped tensors.

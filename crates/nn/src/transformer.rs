@@ -56,7 +56,13 @@ struct EncoderLayer {
 impl EncoderLayer {
     fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, cfg: &TransformerConfig) -> Self {
         EncoderLayer {
-            mha: MultiHeadAttention::new(store, rng, &format!("{name}.mha"), cfg.d_model, cfg.heads),
+            mha: MultiHeadAttention::new(
+                store,
+                rng,
+                &format!("{name}.mha"),
+                cfg.d_model,
+                cfg.heads,
+            ),
             ln1: LayerNorm::new(store, &format!("{name}.ln1"), cfg.d_model),
             ff1: Linear::new(store, rng, &format!("{name}.ff1"), cfg.d_model, cfg.ff_dim),
             ff2: Linear::new(store, rng, &format!("{name}.ff2"), cfg.ff_dim, cfg.d_model),
@@ -98,7 +104,13 @@ impl TransformerEncoder {
             .collect();
         let head = Linear::new(store, &mut rng, "head", cfg.d_model, cfg.output_dim);
         let pos_table = Self::sinusoidal(cfg.max_len, cfg.d_model);
-        TransformerEncoder { cfg, input_proj, layers, head, pos_table }
+        TransformerEncoder {
+            cfg,
+            input_proj,
+            layers,
+            head,
+            pos_table,
+        }
     }
 
     fn sinusoidal(max_len: usize, d: usize) -> Tensor {

@@ -1,0 +1,53 @@
+//! # fmml-obs — workspace-wide observability
+//!
+//! Zero-dependency metrics and structured run telemetry for the
+//! sim → train → CEM pipeline. Three pieces:
+//!
+//! * **Metrics registry** ([`registry`]): process-global, thread-safe.
+//!   [`Counter`]s and [`Gauge`]s are single relaxed atomics on the hot
+//!   path; [`Histogram`]s use fixed log-scaled buckets good for
+//!   p50/p90/p99/max at ≤ 6% relative error. Metrics are declared as
+//!   `static` items keyed by `&'static str` and self-register on first
+//!   touch — no init call, no lock on the hot path.
+//! * **Span timing** ([`SpanTimer`]): RAII guard that records wall-clock
+//!   time into a histogram on drop.
+//! * **Run log** ([`runlog`]): structured JSONL event sink, off by
+//!   default. `FMML_LOG=1` enables it on stderr, `FMML_LOG_FILE=path`
+//!   redirects to a file. When disabled, [`log_event!`] evaluates
+//!   *nothing* — one relaxed atomic load guards the whole call.
+//!
+//! [`snapshot()`] freezes every registered metric into a
+//! [`MetricsReport`] that renders as a deterministic (name-sorted) JSON
+//! object or a human-readable table.
+//!
+//! ## Conventions
+//!
+//! Metric names are dot-separated `crate.metric[_unit]` paths, e.g.
+//! `netsim.pkts_dropped.buffer`, `train.epoch_ms`, `smt.conflicts`.
+//! Time histograms carry their display unit ([`Unit`]) at declaration;
+//! samples are recorded in nanoseconds and scaled at snapshot time, so
+//! sub-unit durations keep full resolution.
+//!
+//! ```
+//! use fmml_obs::{Counter, Histogram, Unit};
+//!
+//! static PKTS: Counter = Counter::new("doc.pkts");
+//! static STEP_MS: Histogram = Histogram::new("doc.step_ms", Unit::Millis);
+//!
+//! PKTS.add(3);
+//! {
+//!     let _t = STEP_MS.start_span(); // records on drop
+//! }
+//! let report = fmml_obs::snapshot();
+//! assert!(report.to_json().contains("\"doc.pkts\":3"));
+//! ```
+
+pub mod hist;
+pub mod registry;
+pub mod report;
+pub mod runlog;
+
+pub use hist::{Histogram, SpanTimer, Unit};
+pub use registry::{Counter, FloatGauge, Gauge};
+pub use report::{snapshot, HistogramSummary, MetricsReport};
+pub use runlog::RunLog;

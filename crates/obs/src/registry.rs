@@ -1,0 +1,161 @@
+//! The process-global metric registry and the scalar metric types.
+//!
+//! Metrics are `static` items that register themselves on first touch:
+//! the hot path is one relaxed atomic RMW plus one relaxed load of the
+//! registration flag (a predictable branch after the first call). The
+//! registry itself is only locked during registration and snapshots.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+
+/// A registered metric: a `'static` reference to the declaring item.
+#[derive(Clone, Copy)]
+pub(crate) enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    FloatGauge(&'static FloatGauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+pub(crate) fn register(m: Metric) {
+    REGISTRY.lock().expect("metric registry poisoned").push(m);
+}
+
+pub(crate) fn registered() -> Vec<Metric> {
+    REGISTRY.lock().expect("metric registry poisoned").clone()
+}
+
+/// Registration latch shared by all metric types.
+///
+/// `ensure` is called on every hot-path touch; after the first call it
+/// is a single relaxed load and a never-taken branch.
+pub(crate) struct Latch(AtomicBool);
+
+impl Latch {
+    pub(crate) const fn new() -> Latch {
+        Latch(AtomicBool::new(false))
+    }
+
+    #[inline]
+    pub(crate) fn ensure(&self, register_self: impl FnOnce()) {
+        if !self.0.load(Ordering::Relaxed) && !self.0.swap(true, Ordering::AcqRel) {
+            register_self();
+        }
+    }
+}
+
+/// Monotonically increasing event count.
+///
+/// ```
+/// static EVENTS: fmml_obs::Counter = fmml_obs::Counter::new("doc.reg.events");
+/// EVENTS.inc();
+/// EVENTS.add(2);
+/// assert_eq!(EVENTS.get(), 3);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    latch: Latch,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            latch: Latch::new(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        self.latch.ensure(|| register(Metric::Counter(self)));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed instantaneous value.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    latch: Latch,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+            latch: Latch::new(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn set(&'static self, v: i64) {
+        self.latch.ensure(|| register(Metric::Gauge(self)));
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&'static self, delta: i64) {
+        self.latch.ensure(|| register(Metric::Gauge(self)));
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins `f64` value (loss, grad norm, …), stored as bits in
+/// an atomic — still one relaxed store on the hot path.
+pub struct FloatGauge {
+    name: &'static str,
+    bits: AtomicU64,
+    latch: Latch,
+}
+
+impl FloatGauge {
+    pub const fn new(name: &'static str) -> FloatGauge {
+        FloatGauge {
+            name,
+            bits: AtomicU64::new(0),
+            latch: Latch::new(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        self.latch.ensure(|| register(Metric::FloatGauge(self)));
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}

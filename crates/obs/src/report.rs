@@ -1,0 +1,204 @@
+//! Snapshotting the registry into a deterministic report.
+
+use crate::hist::Unit;
+use crate::registry::{registered, Metric};
+
+/// Frozen summary of one histogram, scaled to its display unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub unit: Unit,
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+/// A frozen, name-sorted view of every registered metric.
+///
+/// Determinism: entries are sorted by metric name, JSON objects preserve
+/// that order, and all numbers render through Rust's shortest-round-trip
+/// float formatting — the same registry state always produces the same
+/// bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub float_gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSummary>,
+}
+
+/// Freeze every registered metric. Concurrent updates during the walk
+/// are torn only *across* metrics, never within one value.
+pub fn snapshot() -> MetricsReport {
+    let mut report = MetricsReport::default();
+    for m in registered() {
+        match m {
+            Metric::Counter(c) => report.counters.push((c.name().to_string(), c.get())),
+            Metric::Gauge(g) => report.gauges.push((g.name().to_string(), g.get())),
+            Metric::FloatGauge(g) => report.float_gauges.push((g.name().to_string(), g.get())),
+            Metric::Histogram(h) => {
+                let d = h.unit().divisor();
+                let count = h.count();
+                let mean = if count == 0 {
+                    0.0
+                } else {
+                    h.raw_sum() as f64 / count as f64 / d
+                };
+                report.histograms.push(HistogramSummary {
+                    name: h.name().to_string(),
+                    unit: h.unit(),
+                    count,
+                    mean: round3(mean),
+                    p50: round3(h.quantile(0.50) as f64 / d),
+                    p90: round3(h.quantile(0.90) as f64 / d),
+                    p99: round3(h.quantile(0.99) as f64 / d),
+                    max: round3(h.raw_max() as f64 / d),
+                });
+            }
+        }
+    }
+    report.counters.sort();
+    report.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    report.float_gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    report.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    report
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl MetricsReport {
+    /// Compact JSON: one object per metric kind, keys sorted.
+    ///
+    /// Shape:
+    /// ```json
+    /// {"counters":{"a.b":1},
+    ///  "gauges":{},
+    ///  "float_gauges":{},
+    ///  "histograms":{"t.x_ms":{"unit":"ms","count":2,"mean":...,"p50":...,
+    ///                          "p90":...,"p99":...,"max":...}}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"float_gauges\":{");
+        for (i, (k, v)) in self.float_gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, &h.name);
+            out.push_str(":{\"unit\":");
+            push_json_str(&mut out, h.unit.suffix());
+            out.push_str(&format!(",\"count\":{}", h.count));
+            for (key, v) in [
+                ("mean", h.mean),
+                ("p50", h.p50),
+                ("p90", h.p90),
+                ("p99", h.p99),
+                ("max", h.max),
+            ] {
+                out.push_str(&format!(",\"{key}\":"));
+                push_f64(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable fixed-width table (for `--stats` on stderr).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() || !self.gauges.is_empty() || !self.float_gauges.is_empty() {
+            out.push_str(&format!("{:<44} {:>16}\n", "counter/gauge", "value"));
+            for (k, v) in &self.counters {
+                out.push_str(&format!("{k:<44} {v:>16}\n"));
+            }
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("{k:<44} {v:>16}\n"));
+            }
+            for (k, v) in &self.float_gauges {
+                out.push_str(&format!("{k:<44} {v:>16.4}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<30} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>3}\n",
+                "histogram", "count", "mean", "p50", "p90", "p99", "max", ""
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<30} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>3}\n",
+                    h.name,
+                    h.count,
+                    h.mean,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max,
+                    h.unit.suffix()
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}

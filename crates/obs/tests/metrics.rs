@@ -1,0 +1,179 @@
+//! Black-box tests of the metrics registry: quantile accuracy on known
+//! distributions, counter atomicity under real parallelism, and snapshot
+//! determinism.
+
+use fmml_obs::{snapshot, Counter, FloatGauge, Gauge, Histogram, HistogramSummary, Unit};
+use rayon::prelude::*;
+
+#[test]
+fn histogram_quantiles_on_uniform_distribution() {
+    static H: Histogram = Histogram::new("test.uniform_us", Unit::Micros);
+    // 1..=10_000 µs, recorded as ns.
+    for v in 1..=10_000u64 {
+        H.record(v * 1_000);
+    }
+    assert_eq!(H.count(), 10_000);
+    // Buckets have <= 1/16 relative width; allow 8% end to end.
+    let within = |q: f64, expected_us: f64| {
+        let got = H.quantile(q) as f64 / 1_000.0; // ns -> us
+        let rel = (got - expected_us).abs() / expected_us;
+        assert!(
+            rel <= 0.08,
+            "q{q}: got {got} us, expected ~{expected_us} us (rel {rel:.3})"
+        );
+    };
+    within(0.50, 5_000.0);
+    within(0.90, 9_000.0);
+    within(0.99, 9_900.0);
+    assert_eq!(H.raw_max(), 10_000_000); // max is exact, not bucketed
+}
+
+#[test]
+fn histogram_quantiles_on_point_mass() {
+    static H: Histogram = Histogram::new("test.point_ms", Unit::Millis);
+    for _ in 0..1_000 {
+        H.record(42_000_000); // 42 ms
+    }
+    for q in [0.5, 0.9, 0.99] {
+        let got_ms = H.quantile(q) as f64 / 1e6;
+        assert!((got_ms - 42.0).abs() / 42.0 <= 0.0625, "q{q} -> {got_ms}");
+    }
+}
+
+#[test]
+fn counter_increments_are_atomic_under_parallel_load() {
+    static C: Counter = Counter::new("test.parallel_counter");
+    static SUM: Counter = Counter::new("test.parallel_sum");
+    let xs: Vec<u64> = (0..50_000).collect();
+    // The vendored rayon uses >= 2 real OS threads even on 1-core hosts.
+    xs.par_iter().for_each(|&x| {
+        C.inc();
+        SUM.add(x);
+    });
+    assert_eq!(C.get(), 50_000);
+    assert_eq!(SUM.get(), 50_000 * 49_999 / 2);
+}
+
+#[test]
+fn snapshot_is_sorted_and_contains_registered_metrics() {
+    static A: Counter = Counter::new("test.order.a");
+    static Z: Counter = Counter::new("test.order.z");
+    static G: Gauge = Gauge::new("test.order.gauge");
+    static F: FloatGauge = FloatGauge::new("test.order.float");
+    // Touch in reverse order: snapshot must still sort by name.
+    Z.add(2);
+    A.add(1);
+    G.set(-7);
+    F.set(1.5);
+    let report = snapshot();
+    let names: Vec<&str> = report.counters.iter().map(|(k, _)| k.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "counters not name-sorted");
+    let ia = names
+        .iter()
+        .position(|&n| n == "test.order.a")
+        .expect("a registered");
+    let iz = names
+        .iter()
+        .position(|&n| n == "test.order.z")
+        .expect("z registered");
+    assert!(ia < iz);
+    assert_eq!(report.counters[ia].1, 1);
+    assert_eq!(report.counters[iz].1, 2);
+    assert!(report
+        .gauges
+        .iter()
+        .any(|(k, v)| k == "test.order.gauge" && *v == -7));
+    assert!(report
+        .float_gauges
+        .iter()
+        .any(|(k, v)| k == "test.order.float" && *v == 1.5));
+}
+
+#[test]
+fn report_json_is_deterministic() {
+    // A fixed report must serialize to identical bytes every time, with
+    // keys in sorted order.
+    let mk = || {
+        let mut r = fmml_obs::MetricsReport::default();
+        r.counters.push(("b.two".into(), 2));
+        r.counters.push(("a.one".into(), 1));
+        r.counters.sort();
+        r.float_gauges.push(("g.loss".into(), 0.125));
+        r.histograms.push(HistogramSummary {
+            name: "h.lat_ms".into(),
+            unit: Unit::Millis,
+            count: 3,
+            mean: 2.5,
+            p50: 2.0,
+            p90: 4.0,
+            p99: 4.0,
+            max: 4.5,
+        });
+        r
+    };
+    let j1 = mk().to_json();
+    let j2 = mk().to_json();
+    assert_eq!(j1, j2);
+    assert!(
+        j1.find("\"a.one\"").unwrap() < j1.find("\"b.two\"").unwrap(),
+        "keys not sorted: {j1}"
+    );
+    assert_eq!(
+        j1,
+        "{\"counters\":{\"a.one\":1,\"b.two\":2},\"gauges\":{},\
+         \"float_gauges\":{\"g.loss\":0.125},\"histograms\":{\"h.lat_ms\":\
+         {\"unit\":\"ms\",\"count\":3,\"mean\":2.5,\"p50\":2.0,\"p90\":4.0,\
+         \"p99\":4.0,\"max\":4.5}}}"
+    );
+}
+
+#[test]
+fn snapshot_json_round_trips_twice_identically() {
+    static C: Counter = Counter::new("test.stable.counter");
+    C.add(5);
+    // No concurrent writers to these metrics between the two snapshots
+    // in this test binary; key order and formatting must be stable.
+    let a = snapshot().to_json();
+    let b = snapshot().to_json();
+    // Other tests in this binary may bump their own metrics between the
+    // two calls, so compare the key *sequences*, which only depend on
+    // sorting, plus our own metric's value.
+    let keys = |s: &str| -> Vec<String> {
+        s.match_indices('"')
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>()
+            .chunks(2)
+            .filter_map(|c| {
+                if c.len() == 2 {
+                    Some(s[c[0] + 1..c[1]].to_string())
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    assert_eq!(keys(&a), keys(&b));
+    assert!(a.contains("\"test.stable.counter\":5"));
+}
+
+#[test]
+fn span_timer_records_on_drop_and_cancel_does_not() {
+    static H: Histogram = Histogram::new("test.span_us", Unit::Micros);
+    {
+        let _t = H.start_span();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(H.count(), 1);
+    assert!(
+        H.raw_max() >= 1_000_000 / 1_000,
+        "span under 2ms recorded: {}",
+        H.raw_max()
+    );
+    H.start_span().cancel();
+    assert_eq!(H.count(), 1, "cancelled span must not record");
+    let d = H.start_span().finish();
+    assert_eq!(H.count(), 2);
+    assert!(d.as_nanos() > 0 || H.count() == 2);
+}

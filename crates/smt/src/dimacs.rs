@@ -8,9 +8,15 @@ use crate::sat::{Lit, SatSolver, SolveResult};
 /// Errors from DIMACS parsing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DimacsError {
-    Malformed { line: usize, reason: String },
+    Malformed {
+        line: usize,
+        reason: String,
+    },
     /// A literal references a variable above the declared count.
-    VariableOutOfRange { line: usize, var: i64 },
+    VariableOutOfRange {
+        line: usize,
+        var: i64,
+    },
 }
 
 impl std::fmt::Display for DimacsError {
@@ -74,7 +80,10 @@ pub fn parse(text: &str) -> Result<(SatSolver, usize), DimacsError> {
             } else {
                 let var = v.unsigned_abs() - 1;
                 if var >= declared_vars as u64 {
-                    return Err(DimacsError::VariableOutOfRange { line: line_no, var: v });
+                    return Err(DimacsError::VariableOutOfRange {
+                        line: line_no,
+                        var: v,
+                    });
                 }
                 clause.push(Lit::new(var as u32, v < 0));
             }

@@ -38,7 +38,10 @@ pub struct LiaBudget {
 
 impl Default for LiaBudget {
     fn default() -> Self {
-        LiaBudget { deadline: None, max_bb_nodes: 200_000 }
+        LiaBudget {
+            deadline: None,
+            max_bb_nodes: 200_000,
+        }
     }
 }
 
@@ -58,7 +61,11 @@ impl Default for LiaSolver {
 
 impl LiaSolver {
     pub fn new() -> LiaSolver {
-        LiaSolver { spx: Simplex::new(), atoms: Vec::new(), depth: 0 }
+        LiaSolver {
+            spx: Simplex::new(),
+            atoms: Vec::new(),
+            depth: 0,
+        }
     }
 
     /// Allocate a problem integer variable.
@@ -347,8 +354,14 @@ mod tests {
         let x = lia.new_int_var();
         let le = lia.add_atom(&[(x, 2)], 5); // 2x <= 5
         let ge = lia.add_atom(&[(x, -2)], -5); // 2x >= 5 -> x = 5/2
-        let b = LiaBudget { deadline: None, max_bb_nodes: 0 };
-        assert_eq!(lia.check(&[(le, true), (ge, true)], &[x], b), LiaResult::Unknown);
+        let b = LiaBudget {
+            deadline: None,
+            max_bb_nodes: 0,
+        };
+        assert_eq!(
+            lia.check(&[(le, true), (ge, true)], &[x], b),
+            LiaResult::Unknown
+        );
     }
 
     #[test]

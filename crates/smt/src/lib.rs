@@ -52,8 +52,10 @@ pub mod rational;
 pub mod sat;
 pub mod simplex;
 pub mod solver;
+pub mod stats;
 pub mod term;
 
 pub use sat::{Lit, SatSolver};
 pub use solver::{Model, SatResult, Solver};
+pub use stats::SolverStats;
 pub use term::{Sort, TermId, TermKind, TermManager};

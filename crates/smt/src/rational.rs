@@ -37,11 +37,17 @@ impl Rat {
         assert!(den != 0, "zero denominator");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd(num, den);
-        Rat { num: sign * num / g, den: sign * den / g }
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     pub fn int(v: i64) -> Rat {
-        Rat { num: v as i128, den: 1 }
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     pub fn is_integer(&self) -> bool {
@@ -68,7 +74,7 @@ impl Rat {
 
     /// Smallest integer ≥ self.
     pub fn ceil(&self) -> i64 {
-        let q = (-(-self.num).div_euclid(self.den)) as i128;
+        let q = -(-self.num).div_euclid(self.den);
         i64::try_from(q).expect("ceil out of i64 range")
     }
 
@@ -126,7 +132,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

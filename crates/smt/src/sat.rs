@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::stats::SolverStats;
+
 /// A propositional variable, numbered from 0.
 pub type Var = u32;
 
@@ -99,7 +101,7 @@ pub struct SatSolver {
     unsat: bool,
     /// Conflicts allowed per `solve` call (None = unbounded).
     budget: Option<u64>,
-    conflicts_total: u64,
+    stats: SolverStats,
     // Scratch for conflict analysis.
     seen: Vec<bool>,
 }
@@ -129,7 +131,7 @@ impl SatSolver {
             var_inc: 1.0,
             unsat: false,
             budget: None,
-            conflicts_total: 0,
+            stats: SolverStats::new(),
             seen: Vec::new(),
         }
     }
@@ -154,7 +156,13 @@ impl SatSolver {
 
     /// Total conflicts across all `solve` calls (for reporting).
     pub fn conflicts(&self) -> u64 {
-        self.conflicts_total
+        self.stats.conflicts
+    }
+
+    /// Cumulative search statistics (SAT-core fields only; the theory
+    /// fields are filled in by [`crate::Solver::stats`]).
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
     }
 
     /// Limit the number of conflicts per `solve` call.
@@ -243,7 +251,11 @@ impl SatSolver {
     fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.value_lit(l), LBool::Undef);
         let v = l.var() as usize;
-        self.assign[v] = if l.is_neg() { LBool::False } else { LBool::True };
+        self.assign[v] = if l.is_neg() {
+            LBool::False
+        } else {
+            LBool::True
+        };
         self.phase[v] = !l.is_neg();
         self.level[v] = self.decision_level();
         self.reason[v] = reason;
@@ -297,6 +309,7 @@ impl SatSolver {
                     // Re-add remaining watchers we had taken out.
                     return Some(cr);
                 }
+                self.stats.propagations += 1;
                 self.enqueue(first, Some(cr));
                 i += 1;
             }
@@ -378,7 +391,9 @@ impl SatSolver {
             cr = self.reason[lit.var() as usize].expect("non-decision must have a reason");
             p = Some(lit);
         }
-        let uip = p.expect("conflict at decision level > 0 has a UIP").negate();
+        let uip = p
+            .expect("conflict at decision level > 0 has a UIP")
+            .negate();
         learnt.insert(0, uip);
         for &l in &learnt {
             self.seen[l.var() as usize] = false;
@@ -398,7 +413,7 @@ impl SatSolver {
         for v in 0..self.num_vars() {
             if self.assign[v] == LBool::Undef {
                 let a = self.activity[v];
-                if best.map_or(true, |(_, ba)| a > ba) {
+                if best.is_none_or(|(_, ba)| a > ba) {
                     best = Some((v as Var, a));
                 }
             }
@@ -437,7 +452,7 @@ impl SatSolver {
 
         loop {
             if let Some(confl) = self.propagate() {
-                self.conflicts_total += 1;
+                self.stats.conflicts += 1;
                 conflicts_this_call += 1;
                 if self.decision_level() == 0 {
                     self.unsat = true;
@@ -451,6 +466,7 @@ impl SatSolver {
                 }
                 let (learnt, bj) = self.analyze(confl);
                 self.backtrack_to(bj);
+                self.stats.learned_clauses += 1;
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], None);
                 } else {
@@ -461,12 +477,14 @@ impl SatSolver {
                 if conflicts_this_call >= restart_limit {
                     restart_idx += 1;
                     restart_limit = conflicts_this_call + 64 * Self::luby(restart_idx);
+                    self.stats.restarts += 1;
                     self.backtrack_to(0);
                 }
             } else {
                 match self.pick_branch_var() {
                     None => return SolveResult::Sat,
                     Some(v) => {
+                        self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let phase = self.phase[v as usize];
                         self.enqueue(Lit::new(v, !phase), None);
@@ -579,6 +597,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_is_unsat() {
         // p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
         let mut s = SatSolver::new();
@@ -599,6 +618,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn budget_returns_unknown_on_hard_instance() {
         // Pigeonhole 7-into-6: exponential for resolution; tiny budget
         // must give Unknown.
@@ -630,7 +650,9 @@ mod tests {
         // Deterministic LCG; planted solution guarantees satisfiability.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..10 {
@@ -642,7 +664,11 @@ mod tests {
                 // Ensure at least one literal agrees with the planted model.
                 for k in 0..3 {
                     let v = next() % nvars;
-                    let neg = if k == 0 { !planted[v as usize] } else { next() % 2 == 0 };
+                    let neg = if k == 0 {
+                        !planted[v as usize]
+                    } else {
+                        next() % 2 == 0
+                    };
                     clause.push(Lit::new(v, neg));
                 }
                 s.add_clause(&clause);

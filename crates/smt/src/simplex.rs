@@ -137,7 +137,10 @@ impl Simplex {
             .fold(Rat::ZERO, |acc, &(v, c)| acc + c * self.values[v]);
         self.values[s] = val;
         self.row_of[s] = Some(self.rows.len());
-        self.rows.push(Row { basic: s, coeffs: expanded });
+        self.rows.push(Row {
+            basic: s,
+            coeffs: expanded,
+        });
         s
     }
 
@@ -151,8 +154,12 @@ impl Simplex {
         let lim = self.trail_lim.pop().expect("pop without push");
         while self.trail.len() > lim {
             match self.trail.pop().unwrap() {
-                TrailOp::Lower(v, old) => self.lower[v] = old.map(|(value, tag)| Bound { value, tag }),
-                TrailOp::Upper(v, old) => self.upper[v] = old.map(|(value, tag)| Bound { value, tag }),
+                TrailOp::Lower(v, old) => {
+                    self.lower[v] = old.map(|(value, tag)| Bound { value, tag })
+                }
+                TrailOp::Upper(v, old) => {
+                    self.upper[v] = old.map(|(value, tag)| Bound { value, tag })
+                }
             }
         }
     }
@@ -235,17 +242,15 @@ impl Simplex {
                 let b = row.basic;
                 if let Some(lb) = self.lower[b] {
                     if self.values[b] < lb.value {
-                        if violated.map_or(true, |(v, _, _)| b < v) {
+                        if violated.is_none_or(|(v, _, _)| b < v) {
                             violated = Some((b, lb.value, true));
                         }
                         continue;
                     }
                 }
                 if let Some(ub) = self.upper[b] {
-                    if self.values[b] > ub.value {
-                        if violated.map_or(true, |(v, _, _)| b < v) {
-                            violated = Some((b, ub.value, false));
-                        }
+                    if self.values[b] > ub.value && violated.is_none_or(|(v, _, _)| b < v) {
+                        violated = Some((b, ub.value, false));
                     }
                 }
             }
@@ -265,7 +270,7 @@ impl Simplex {
                     (c.is_positive() && self.can_decrease(xj))
                         || (c.is_negative() && self.can_increase(xj))
                 };
-                if can_move && pivot.map_or(true, |p| xj < p) {
+                if can_move && pivot.is_none_or(|p| xj < p) {
                     pivot = Some(xj);
                 }
             }
@@ -277,11 +282,19 @@ impl Simplex {
                     // Farkas explanation: the violated bound plus the
                     // limiting bound of every column in the row.
                     let mut tags = Vec::new();
-                    let bound = if need_increase { self.lower[xi] } else { self.upper[xi] };
+                    let bound = if need_increase {
+                        self.lower[xi]
+                    } else {
+                        self.upper[xi]
+                    };
                     tags.push(bound.expect("violated bound exists").tag);
                     for &(xj, c) in &self.rows[ri].coeffs {
                         let limiting = if need_increase {
-                            if c.is_positive() { self.upper[xj] } else { self.lower[xj] }
+                            if c.is_positive() {
+                                self.upper[xj]
+                            } else {
+                                self.lower[xj]
+                            }
                         } else if c.is_positive() {
                             self.lower[xj]
                         } else {
@@ -298,11 +311,11 @@ impl Simplex {
     }
 
     fn can_increase(&self, v: SpxVar) -> bool {
-        self.upper[v].map_or(true, |ub| self.values[v] < ub.value)
+        self.upper[v].is_none_or(|ub| self.values[v] < ub.value)
     }
 
     fn can_decrease(&self, v: SpxVar) -> bool {
-        self.lower[v].map_or(true, |lb| self.values[v] > lb.value)
+        self.lower[v].is_none_or(|lb| self.values[v] > lb.value)
     }
 
     /// Pivot basic `xi` (row `ri`) with nonbasic `xj`, then set `xi`'s
@@ -327,7 +340,10 @@ impl Simplex {
         // Rewrite row ri: xj = (xi - Σ_{k≠j} a_k x_k) / aij.
         let old = std::mem::replace(
             &mut self.rows[ri],
-            Row { basic: xj, coeffs: Vec::new() },
+            Row {
+                basic: xj,
+                coeffs: Vec::new(),
+            },
         );
         let inv = aij.recip();
         let mut new_coeffs: Vec<(SpxVar, Rat)> = vec![(xi, inv)];
@@ -550,7 +566,10 @@ mod tests {
             for _ in 0..8 {
                 let c1 = next();
                 let c2 = next();
-                let (i, j) = ((next().unsigned_abs() as usize) % 6, (next().unsigned_abs() as usize) % 6);
+                let (i, j) = (
+                    (next().unsigned_abs() as usize) % 6,
+                    (next().unsigned_abs() as usize) % 6,
+                );
                 let row = s.add_row(&[(vars[i], r(c1)), (vars[j], r(c2))]);
                 let val = c1 * planted[i] + c2 * planted[j];
                 s.assert_upper(row, r(val + next().abs()), tag);

@@ -5,6 +5,7 @@ use crate::cnf::Encoder;
 use crate::lia::{AtomId, LiaBudget, LiaResult, LiaSolver};
 use crate::sat::SolveResult;
 use crate::simplex::SpxVar;
+use crate::stats::SolverStats;
 use crate::term::{LinExpr, Sort, TermId, TermKind, TermManager};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -22,9 +23,15 @@ pub enum SatResult {
 #[derive(Debug, Clone)]
 pub enum OptResult {
     /// Proven optimal.
-    Optimal { value: i64, model: Model },
+    Optimal {
+        value: i64,
+        model: Model,
+    },
     /// Best model found before the budget ran out.
-    Best { value: i64, model: Model },
+    Best {
+        value: i64,
+        model: Model,
+    },
     Unsat,
     Unknown,
 }
@@ -113,6 +120,8 @@ pub struct Solver {
     model: Option<Model>,
     /// Number of lazy refinement iterations in the last check.
     pub last_iterations: u64,
+    /// Lazy refinement iterations accumulated over all checks.
+    total_iterations: u64,
 }
 
 impl Default for Solver {
@@ -134,11 +143,22 @@ impl Solver {
             budget: Budget::default(),
             model: None,
             last_iterations: 0,
+            total_iterations: 0,
         }
     }
 
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    /// Cumulative solver work since construction: SAT-core counters plus
+    /// the theory side (simplex pivots, lazy-loop iterations). Callers
+    /// diff snapshots via [`SolverStats::delta_since`].
+    pub fn stats(&self) -> SolverStats {
+        let mut s = *self.enc.sat.stats();
+        s.simplex_pivots = self.lia.pivots();
+        s.iterations = self.total_iterations;
+        s
     }
 
     /// Access the term manager for direct term construction.
@@ -345,9 +365,12 @@ impl Solver {
     fn check_with_deadline(&mut self, deadline: Option<Instant>) -> SatResult {
         self.model = None;
         self.last_iterations = 0;
-        self.enc.sat.set_conflict_budget(self.budget.max_sat_conflicts);
+        self.enc
+            .sat
+            .set_conflict_budget(self.budget.max_sat_conflicts);
         loop {
             self.last_iterations += 1;
+            self.total_iterations += 1;
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 return SatResult::Unknown;
             }
@@ -363,7 +386,10 @@ impl Solver {
                 .map(|&(term, var)| (self.lia_atom_of[&term], self.enc.sat.model_value(var)))
                 .collect();
             let int_spx: Vec<SpxVar> = self.int_vars.iter().map(|t| self.spx_of[t]).collect();
-            let lia_budget = LiaBudget { deadline, max_bb_nodes: self.budget.max_bb_nodes };
+            let lia_budget = LiaBudget {
+                deadline,
+                max_bb_nodes: self.budget.max_bb_nodes,
+            };
             match self.lia.check(&assignment, &int_spx, lia_budget) {
                 LiaResult::Sat(values) => {
                     let mut model = Model::default();
@@ -434,8 +460,14 @@ impl Solver {
     pub fn maximize(&mut self, obj: TermId, hi: i64) -> OptResult {
         let neg = self.neg(obj);
         match self.minimize(neg, hi.checked_neg().unwrap_or(i64::MIN + 1)) {
-            OptResult::Optimal { value, model } => OptResult::Optimal { value: -value, model },
-            OptResult::Best { value, model } => OptResult::Best { value: -value, model },
+            OptResult::Optimal { value, model } => OptResult::Optimal {
+                value: -value,
+                model,
+            },
+            OptResult::Best { value, model } => OptResult::Best {
+                value: -value,
+                model,
+            },
             r => r,
         }
     }
@@ -464,7 +496,7 @@ impl Solver {
                     let m = self.model.clone().expect("sat implies model");
                     let v = m.eval_int(&self.tm, obj);
                     debug_assert!(
-                        best.as_ref().map_or(true, |(bv, _)| v < *bv),
+                        best.as_ref().is_none_or(|(bv, _)| v < *bv),
                         "objective must strictly improve"
                     );
                     best = Some((v, m));
@@ -713,8 +745,7 @@ mod tests {
         };
         let mut warm = Solver::new();
         let xw = build(&mut warm);
-        let OptResult::Optimal { value: vw, .. } = warm.minimize_with_hint(xw, i64::MIN, 7)
-        else {
+        let OptResult::Optimal { value: vw, .. } = warm.minimize_with_hint(xw, i64::MIN, 7) else {
             panic!("warm unsat");
         };
         assert_eq!(vc, vw);

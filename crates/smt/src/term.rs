@@ -30,11 +30,17 @@ pub struct LinExpr {
 
 impl LinExpr {
     pub fn constant(c: i64) -> LinExpr {
-        LinExpr { terms: Vec::new(), constant: c }
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     pub fn var(v: TermId) -> LinExpr {
-        LinExpr { terms: vec![(v, 1)], constant: 0 }
+        LinExpr {
+            terms: vec![(v, 1)],
+            constant: 0,
+        }
     }
 
     pub fn is_constant(&self) -> bool {
@@ -68,7 +74,10 @@ impl LinExpr {
                 j += 1;
             }
         }
-        LinExpr { terms, constant: self.constant + k * other.constant }
+        LinExpr {
+            terms,
+            constant: self.constant + k * other.constant,
+        }
     }
 
     pub fn scale(&self, k: i64) -> LinExpr {
@@ -204,7 +213,7 @@ impl TermManager {
         }
     }
 
-    fn from_linear(&mut self, l: LinExpr) -> TermId {
+    fn intern_linear(&mut self, l: LinExpr) -> TermId {
         // A bare base term stays itself (preserves sharing).
         if l.constant == 0 && l.terms.len() == 1 && l.terms[0].1 == 1 {
             return l.terms[0].0;
@@ -218,19 +227,19 @@ impl TermManager {
             let l = self.as_linear(t);
             acc = acc.add_scaled(&l, 1);
         }
-        self.from_linear(acc)
+        self.intern_linear(acc)
     }
 
     pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
         let la = self.as_linear(a);
         let lb = self.as_linear(b);
         let l = la.add_scaled(&lb, -1);
-        self.from_linear(l)
+        self.intern_linear(l)
     }
 
     pub fn mul_const(&mut self, k: i64, t: TermId) -> TermId {
         let l = self.as_linear(t).scale(k);
-        self.from_linear(l)
+        self.intern_linear(l)
     }
 
     pub fn neg(&mut self, t: TermId) -> TermId {
@@ -266,7 +275,11 @@ impl TermManager {
     /// `expr ≤ 0` with constant folding and coefficient gcd tightening.
     pub fn le_zero(&mut self, mut expr: LinExpr) -> TermId {
         if expr.is_constant() {
-            return if expr.constant <= 0 { self.true_id } else { self.false_id };
+            return if expr.constant <= 0 {
+                self.true_id
+            } else {
+                self.false_id
+            };
         }
         // Integer tightening: (Σ g·aᵢxᵢ) + c ≤ 0  ⇔  Σ aᵢxᵢ ≤ floor(−c/g).
         let g = expr
@@ -391,10 +404,22 @@ impl TermManager {
             TermKind::BoolVar(i) | TermKind::IntVar(i) => self.var_name(*i).to_string(),
             TermKind::Not(x) => format!("(not {})", self.display(*x)),
             TermKind::And(xs) => {
-                format!("(and {})", xs.iter().map(|&x| self.display(x)).collect::<Vec<_>>().join(" "))
+                format!(
+                    "(and {})",
+                    xs.iter()
+                        .map(|&x| self.display(x))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
             }
             TermKind::Or(xs) => {
-                format!("(or {})", xs.iter().map(|&x| self.display(x)).collect::<Vec<_>>().join(" "))
+                format!(
+                    "(or {})",
+                    xs.iter()
+                        .map(|&x| self.display(x))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
             }
             TermKind::Le(e) => format!("({} <= 0)", self.display_linexpr(e)),
             TermKind::Linear(e) => self.display_linexpr(e),

@@ -22,10 +22,7 @@ enum F {
 }
 
 fn arb_formula(num_vars: usize, depth: u32) -> impl Strategy<Value = F> {
-    let atom = (
-        prop::collection::vec(-3i64..=3, num_vars),
-        -6i64..=6,
-    )
+    let atom = (prop::collection::vec(-3i64..=3, num_vars), -6i64..=6)
         .prop_map(|(coefs, rhs)| F::Atom { coefs, rhs });
     atom.prop_recursive(depth, 16, 2, |inner| {
         prop_oneof![
@@ -68,7 +65,12 @@ fn encode(f: &F, s: &mut Solver, vars: &[TermId]) -> TermId {
 fn eval(f: &F, assignment: &[i64]) -> bool {
     match f {
         F::Atom { coefs, rhs } => {
-            coefs.iter().zip(assignment).map(|(&c, &x)| c * x).sum::<i64>() <= *rhs
+            coefs
+                .iter()
+                .zip(assignment)
+                .map(|(&c, &x)| c * x)
+                .sum::<i64>()
+                <= *rhs
         }
         F::Not(x) => !eval(x, assignment),
         F::And(a, b) => eval(a, assignment) && eval(b, assignment),

@@ -34,8 +34,7 @@ impl Dataset {
         let mut train = Vec::new();
         let mut test = Vec::new();
         for r in 0..num_runs {
-            let gt = Simulation::new(cfg.clone(), traffic.clone(), seed + r as u64)
-                .run_ms(run_ms);
+            let gt = Simulation::new(cfg.clone(), traffic.clone(), seed + r as u64).run_ms(run_ms);
             let ws = windows_from_trace(
                 &gt,
                 DEFAULT_WINDOW_LEN,
@@ -52,7 +51,12 @@ impl Dataset {
         let qlen_scale = (cfg.buffer_packets as f32).max(1.0);
         // One interval at line rate is the natural count scale.
         let count_scale = (cfg.pkts_per_ms() as usize * DEFAULT_INTERVAL_LEN) as f32;
-        Dataset { train, test, qlen_scale, count_scale }
+        Dataset {
+            train,
+            test,
+            qlen_scale,
+            count_scale,
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 /// Positions (fine-bin indices, window-relative) at which periodic samples
 /// are taken for a window of `len` bins with interval length `interval_len`.
 pub fn sample_positions(len: usize, interval_len: usize) -> Vec<usize> {
-    assert!(interval_len > 0 && len % interval_len == 0);
+    assert!(interval_len > 0 && len.is_multiple_of(interval_len));
     (0..len / interval_len)
         .map(|k| (k + 1) * interval_len - 1)
         .collect()

@@ -39,7 +39,12 @@ pub fn summarize(gt: &GroundTruth, pkts_per_ms: u64) -> TraceSummary {
         })
         .collect();
     let busiest_queue = (0..gt.num_queues())
-        .max_by_key(|&q| gt.queue_len_series(q).iter().map(|&v| v as u64).sum::<u64>())
+        .max_by_key(|&q| {
+            gt.queue_len_series(q)
+                .iter()
+                .map(|&v| v as u64)
+                .sum::<u64>()
+        })
         .unwrap_or(0);
     let peak_queue_len = (0..gt.num_queues())
         .flat_map(|q| gt.queue_max_series(q).iter().copied())
@@ -105,20 +110,16 @@ mod tests {
     #[test]
     fn higher_load_raises_utilization() {
         let cfg = SimConfig::small();
-        let low = Simulation::new(
-            cfg.clone(),
-            TrafficConfig::websearch_only(0.2),
-            3,
-        )
-        .run_ms(400);
-        let high = Simulation::new(
-            cfg.clone(),
-            TrafficConfig::websearch_only(0.8),
-            3,
-        )
-        .run_ms(400);
-        let ul: f64 = summarize(&low, cfg.pkts_per_ms()).port_utilization.iter().sum();
-        let uh: f64 = summarize(&high, cfg.pkts_per_ms()).port_utilization.iter().sum();
+        let low = Simulation::new(cfg.clone(), TrafficConfig::websearch_only(0.2), 3).run_ms(400);
+        let high = Simulation::new(cfg.clone(), TrafficConfig::websearch_only(0.8), 3).run_ms(400);
+        let ul: f64 = summarize(&low, cfg.pkts_per_ms())
+            .port_utilization
+            .iter()
+            .sum();
+        let uh: f64 = summarize(&high, cfg.pkts_per_ms())
+            .port_utilization
+            .iter()
+            .sum();
         assert!(uh > ul * 1.5, "low {ul} high {uh}");
     }
 }

@@ -93,8 +93,11 @@ pub fn windows_from_trace(
     interval_len: usize,
     stride: usize,
 ) -> Vec<PortWindow> {
-    assert!(window_len > 0 && window_len % interval_len == 0);
-    assert!(stride > 0 && stride % interval_len == 0, "stride must align to intervals");
+    assert!(window_len > 0 && window_len.is_multiple_of(interval_len));
+    assert!(
+        stride > 0 && stride.is_multiple_of(interval_len),
+        "stride must align to intervals"
+    );
     let ct = CoarseTelemetry::from_ground_truth(gt, interval_len);
     let mut out = Vec::new();
     let mut start = 0;
@@ -176,6 +179,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn window_measurements_match_truth() {
         let gt = trace();
         for w in windows_from_trace(&gt, 300, 50, 300) {

@@ -26,12 +26,18 @@ fn main() {
     };
     let train_windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
     let test_windows = generate_windows(&cfg, cfg.seed + 1000, cfg.test_runs);
-    let bcfg = BurstConfig { threshold: 5.0, min_gap: 2 };
+    let bcfg = BurstConfig {
+        threshold: 5.0,
+        min_gap: 2,
+    };
 
     println!("ablation 1: training loss (same model, same data, same epochs)\n");
     println!("  loss | burst detect err | burst height err | max-constraint err");
     for (name, loss) in [("EMD", LossKind::Emd), ("MSE", LossKind::Mse)] {
-        let tc = TrainConfig { loss, ..cfg.train.clone() };
+        let tc = TrainConfig {
+            loss,
+            ..cfg.train.clone()
+        };
         let (model, _) = train(&train_windows, scales, &tc);
         let imputed: Vec<_> = test_windows.iter().map(|w| model.impute(w)).collect();
         let row = evaluate(&test_windows, &imputed, &bcfg);
@@ -44,13 +50,20 @@ fn main() {
 
     println!("ablation 2: multiplier schedule for the constraint terms\n");
     println!("  schedule            | |phi| after training | sent-count err");
-    for (name, multiplier_lr) in
-        [("augmented Lagrangian", 0.5f32), ("fixed penalty (mu only)", 0.0)]
-    {
+    for (name, multiplier_lr) in [
+        ("augmented Lagrangian", 0.5f32),
+        ("fixed penalty (mu only)", 0.0),
+    ] {
         // multiplier_lr = 0 freezes every lambda at zero: only the fixed
         // quadratic mu-penalty acts (the non-adaptive baseline).
-        let kal = KalConfig { multiplier_lr, ..KalConfig::default() };
-        let tc = TrainConfig { kal: Some(kal), ..cfg.train.clone() };
+        let kal = KalConfig {
+            multiplier_lr,
+            ..KalConfig::default()
+        };
+        let tc = TrainConfig {
+            kal: Some(kal),
+            ..cfg.train.clone()
+        };
         let (model, stats) = train(&train_windows, scales, &tc);
         let imputed: Vec<_> = test_windows.iter().map(|w| model.impute(w)).collect();
         let row = evaluate(&test_windows, &imputed, &bcfg);

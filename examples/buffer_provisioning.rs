@@ -11,6 +11,8 @@
 //! cargo run --release --example buffer_provisioning
 //! ```
 
+#![allow(clippy::needless_range_loop)]
+
 use fmml::core::eval::{generate_windows, EvalConfig};
 use fmml::core::imputer::Imputer;
 use fmml::core::train::{train, TrainConfig};
@@ -21,7 +23,7 @@ use fmml::fm::WindowConstraints;
 /// Recommend a per-queue buffer: the p99 of 1 ms queue depths, plus 20%
 /// headroom (a simple operator policy — the point is comparing inputs,
 /// not the policy itself).
-fn recommend(depths: &mut Vec<f32>) -> f32 {
+fn recommend(depths: &mut [f32]) -> f32 {
     if depths.is_empty() {
         return 0.0;
     }
@@ -38,7 +40,10 @@ fn main() {
     };
     eprintln!("training Transformer+KAL…");
     let train_windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
-    let kal_cfg = TrainConfig { kal: Some(cfg.kal), ..cfg.train.clone() };
+    let kal_cfg = TrainConfig {
+        kal: Some(cfg.kal),
+        ..cfg.train.clone()
+    };
     let (model, _) = train(&train_windows, scales, &kal_cfg);
 
     let test_windows = generate_windows(&cfg, cfg.seed + 1000, cfg.test_runs + 2);
@@ -72,8 +77,11 @@ fn main() {
     println!("  from KAL+CEM-imputed fine series:        {imputed_rec:>7.1}");
     let coarse_gap = (coarse_rec - truth_rec) / truth_rec.max(1.0);
     let imputed_gap = (imputed_rec - truth_rec) / truth_rec.max(1.0);
-    println!("\nrelative provisioning error: coarse {:+.1}%  imputed {:+.1}%",
-        100.0 * coarse_gap, 100.0 * imputed_gap);
+    println!(
+        "\nrelative provisioning error: coarse {:+.1}%  imputed {:+.1}%",
+        100.0 * coarse_gap,
+        100.0 * imputed_gap
+    );
     if imputed_gap.abs() < coarse_gap.abs() {
         println!("imputation closes the provisioning gap left by coarse telemetry.");
     } else {

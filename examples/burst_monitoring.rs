@@ -10,6 +10,8 @@
 //! cargo run --release --example burst_monitoring
 //! ```
 
+#![allow(clippy::needless_range_loop)]
+
 use fmml::core::bursts::{detect_bursts, BurstConfig};
 use fmml::core::eval::{generate_windows, EvalConfig};
 use fmml::core::imputer::Imputer;
@@ -27,12 +29,18 @@ fn main() {
     };
     eprintln!("training Transformer+KAL…");
     let train_windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
-    let kal_cfg = TrainConfig { kal: Some(cfg.kal), ..cfg.train.clone() };
+    let kal_cfg = TrainConfig {
+        kal: Some(cfg.kal),
+        ..cfg.train.clone()
+    };
     let (model, _) = train(&train_windows, scales, &kal_cfg);
     let iterative = IterativeImputer::default();
 
     let test_windows = generate_windows(&cfg, cfg.seed + 1000, cfg.test_runs + 2);
-    let bcfg = BurstConfig { threshold: 5.0, min_gap: 2 };
+    let bcfg = BurstConfig {
+        threshold: 5.0,
+        min_gap: 2,
+    };
 
     let score = |name: &str, imputed: &dyn Fn(&fmml::telemetry::PortWindow) -> Vec<Vec<f32>>| {
         let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
@@ -48,7 +56,10 @@ fn main() {
                         fn_ += 1;
                     }
                 }
-                fp += pb.iter().filter(|p| !tb.iter().any(|t| t.overlaps(p))).count();
+                fp += pb
+                    .iter()
+                    .filter(|p| !tb.iter().any(|t| t.overlaps(p)))
+                    .count();
             }
         }
         let precision = tp as f64 / (tp + fp).max(1) as f64;

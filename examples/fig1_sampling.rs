@@ -24,7 +24,12 @@ fn main() {
 
     // Busiest queue by total backlog.
     let q = (0..gt.num_queues())
-        .max_by_key(|&q| gt.queue_len_series(q).iter().map(|&v| v as u64).sum::<u64>())
+        .max_by_key(|&q| {
+            gt.queue_len_series(q)
+                .iter()
+                .map(|&v| v as u64)
+                .sum::<u64>()
+        })
         .unwrap();
     let port = gt.port_of_queue(q);
     let fine = gt.queue_len_series(q);
@@ -40,9 +45,7 @@ fn main() {
             };
             println!(
                 "{t},{v},{sample},{},{},{}",
-                ct.queues[q].max[k],
-                ct.ports[port].sent[k],
-                ct.ports[port].dropped[k],
+                ct.queues[q].max[k], ct.ports[port].sent[k], ct.ports[port].dropped[k],
             );
         }
         return;

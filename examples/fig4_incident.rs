@@ -24,7 +24,10 @@ fn main() {
     eprintln!("training both transformer variants…");
     let train_windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
     let (plain, _) = train(&train_windows, scales, &cfg.train);
-    let kal_cfg = TrainConfig { kal: Some(cfg.kal), ..cfg.train.clone() };
+    let kal_cfg = TrainConfig {
+        kal: Some(cfg.kal),
+        ..cfg.train.clone()
+    };
     let (kal, _) = train(&train_windows, scales, &kal_cfg);
     let iterative = IterativeImputer::default();
 
@@ -59,13 +62,28 @@ fn main() {
     }
 
     // CSV: truth + coarse observations + all methods (stdout).
-    println!("ms,truth,sample,max,{}", all.iter().map(|(n, _)| n.replace(' ', "_")).collect::<Vec<_>>().join(","));
+    println!(
+        "ms,truth,sample,max,{}",
+        all.iter()
+            .map(|(n, _)| n.replace(' ', "_"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     let l = w.interval_len;
     for t in 0..w.len() {
         let k = t / l;
-        let sample = if (t + 1) % l == 0 { w.samples[q][k].to_string() } else { String::new() };
+        let sample = if (t + 1) % l == 0 {
+            w.samples[q][k].to_string()
+        } else {
+            String::new()
+        };
         let methods: Vec<String> = all.iter().map(|(_, s)| format!("{:.2}", s[q][t])).collect();
-        println!("{t},{},{sample},{},{}", w.truth[q][t], w.maxes[q][k], methods.join(","));
+        println!(
+            "{t},{},{sample},{},{}",
+            w.truth[q][t],
+            w.maxes[q][k],
+            methods.join(",")
+        );
     }
     eprintln!("\nCSV written to stdout (fig4.csv) — plot ms vs columns to reproduce Fig. 4.");
 }

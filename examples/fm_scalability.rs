@@ -30,7 +30,14 @@ fn main() {
     println!("budget per solve: {budget_secs}s (pass --budget-secs N to change)\n");
     println!("  steps | ports | model result | FM solve time | CEM (same horizon)");
 
-    for &(steps, ports) in &[(8usize, 2usize), (12, 2), (16, 2), (16, 4), (24, 4), (32, 4)] {
+    for &(steps, ports) in &[
+        (8usize, 2usize),
+        (12, 2),
+        (16, 2),
+        (16, 4),
+        (24, 4),
+        (32, 4),
+    ] {
         let cfg = PacketModelConfig {
             num_ports: ports,
             queues_per_port: 2,
@@ -43,7 +50,11 @@ fn main() {
         let mut arrivals = Vec::new();
         for t in 0..steps / 2 {
             for i in 0..ports.min(2 + t % ports) {
-                arrivals.push(Arrival { step: t, input_port: i, queue: (i * 2) % cfg.num_queues() });
+                arrivals.push(Arrival {
+                    step: t,
+                    input_port: i,
+                    queue: (i * 2) % cfg.num_queues(),
+                });
             }
         }
         let tr = reference_execution(&cfg, &arrivals);
@@ -55,8 +66,8 @@ fn main() {
         let outcome = solve(&cfg, &tr.measurements, budget);
         let (label, elapsed) = match &outcome {
             PacketModelOutcome::Sat { elapsed, .. } => ("sat", *elapsed),
-            PacketModelOutcome::Unsat { elapsed } => ("unsat(!)", *elapsed),
-            PacketModelOutcome::Unknown { elapsed } => ("BUDGET WALL", *elapsed),
+            PacketModelOutcome::Unsat { elapsed, .. } => ("unsat(!)", *elapsed),
+            PacketModelOutcome::Unknown { elapsed, .. } => ("BUDGET WALL", *elapsed),
         };
 
         // CEM on the same horizon: one interval problem per measurement
@@ -67,10 +78,19 @@ fn main() {
             let p = IntervalProblem {
                 len: l,
                 target: (0..cfg.num_queues())
-                    .map(|q| tr.len[q][k * l..(k + 1) * l].iter().map(|&v| v as i64).collect())
+                    .map(|q| {
+                        tr.len[q][k * l..(k + 1) * l]
+                            .iter()
+                            .map(|&v| v as i64)
+                            .collect()
+                    })
                     .collect(),
-                maxes: (0..cfg.num_queues()).map(|q| tr.measurements.q_max[q][k]).collect(),
-                samples: (0..cfg.num_queues()).map(|q| tr.measurements.q_sample[q][k]).collect(),
+                maxes: (0..cfg.num_queues())
+                    .map(|q| tr.measurements.q_max[q][k])
+                    .collect(),
+                samples: (0..cfg.num_queues())
+                    .map(|q| tr.measurements.q_sample[q][k])
+                    .collect(),
                 // Port-0 view: conservative cap.
                 m_out: tr.measurements.sent.iter().map(|s| s[k]).max().unwrap(),
             };

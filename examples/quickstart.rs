@@ -54,7 +54,10 @@ fn main() {
         .expect("test windows exist");
     let raw = model.impute(w);
     let wc = WindowConstraints::from_window(w);
-    println!("\nimputed window (port {}, start bin {}):", w.port, w.start_bin);
+    println!(
+        "\nimputed window (port {}, start bin {}):",
+        w.port, w.start_bin
+    );
     println!(
         "  before CEM: C1 err {:.3}  C2 err {:.3}  C3 err {:.3}",
         wc.c1_error(&raw),

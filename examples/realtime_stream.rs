@@ -23,7 +23,10 @@ fn main() {
     };
     eprintln!("training Transformer+KAL…");
     let train_windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
-    let kal_cfg = TrainConfig { kal: Some(cfg.kal), ..cfg.train.clone() };
+    let kal_cfg = TrainConfig {
+        kal: Some(cfg.kal),
+        ..cfg.train.clone()
+    };
     let (model, _) = train(&train_windows, scales, &kal_cfg);
 
     // Replay held-out telemetry interval-by-interval, port by port.
@@ -41,7 +44,11 @@ fn main() {
     let budget = Duration::from_millis(cfg.interval_len as u64); // one interval of wall-clock
     let mut emitted = 0usize;
     let mut within_budget = 0usize;
-    println!("streaming {} windows of port-{} telemetry…\n", test_windows.len(), w0.port);
+    println!(
+        "streaming {} windows of port-{} telemetry…\n",
+        test_windows.len(),
+        w0.port
+    );
     for w in test_windows.iter().filter(|w| w.port == w0.port) {
         for k in 0..w.intervals() {
             if let Some(out) = imputer.push(IntervalUpdate::from_window(w, k)) {

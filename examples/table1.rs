@@ -13,7 +13,11 @@ use fmml::core::eval::{run_table1, EvalConfig};
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let mut cfg = if paper { EvalConfig::paper() } else { EvalConfig::smoke() };
+    let mut cfg = if paper {
+        EvalConfig::paper()
+    } else {
+        EvalConfig::smoke()
+    };
     if let Some(e) = std::env::args()
         .skip_while(|a| a != "--epochs")
         .nth(1)
@@ -30,7 +34,10 @@ fn main() {
         cfg.interval_len,
     );
     let report = run_table1(&cfg);
-    println!("\nTable 1 ({} test windows; lower is better):\n", report.num_test_windows);
+    println!(
+        "\nTable 1 ({} test windows; lower is better):\n",
+        report.num_test_windows
+    );
     println!("{}", report.to_markdown());
     println!("paper's qualitative shape to check:");
     println!("  - rows a-c are exactly 0 for Transformer+KAL+CEM (enforced);");

@@ -74,7 +74,8 @@ fn cem_improves_hold_imputer_consistency() {
             .collect();
         assert_eq!(wc.c1_error(&after), 0.0);
         assert!(wc.c1_error(&after) <= before);
-        for (q, positions) in std::iter::repeat(w.sample_positions()).take(w.num_queues()).enumerate() {
+        for (q, positions) in std::iter::repeat_n(w.sample_positions(), w.num_queues()).enumerate()
+        {
             for (k, &pos) in positions.iter().enumerate() {
                 assert_eq!(out.corrected[q][pos], w.samples[q][k], "sample moved");
             }

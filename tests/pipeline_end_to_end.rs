@@ -14,7 +14,12 @@ fn table1_smoke_has_guaranteed_structure() {
     let labels: Vec<&str> = report.methods.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(
         labels,
-        vec!["IterImputer", "Transformer", "Transformer+KAL", "Transformer+KAL+CEM"]
+        vec![
+            "IterImputer",
+            "Transformer",
+            "Transformer+KAL",
+            "Transformer+KAL+CEM"
+        ]
     );
     // Hard guarantees (independent of training quality):
     // CEM nullifies rows a-c.

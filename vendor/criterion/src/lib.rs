@@ -1,0 +1,231 @@
+//! Minimal, dependency-free stand-in for `criterion`, vendored so the
+//! workspace builds offline.
+//!
+//! Measurement model: per benchmark, one warm-up call, then `sample_size`
+//! timed calls of the routine; the reported figure is the **median
+//! ns/iter**. No statistical analysis, outlier rejection, or HTML
+//! reports — but the same `criterion_group!`/`criterion_main!` shape, so
+//! the workspace's benches compile and run unchanged.
+//!
+//! Baselines: after all groups run, `criterion_main!` writes
+//! `BENCH_<crate>.json` (the `--save-baseline` analogue) into
+//! `$BENCH_BASELINE_DIR` (default: current directory). The schema is
+//! `{"bench": <crate>, "results": [{"id", "median_ns", "samples"}]}` —
+//! the same one `fmml-bench`'s `baseline` module reads back.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` (plus `/param` for `bench_with_input`).
+    pub id: String,
+    pub median_ns: f64,
+    pub samples: usize,
+}
+
+/// Top-level benchmark context; collects results across groups.
+pub struct Criterion {
+    crate_name: String,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    pub fn new(crate_name: &str) -> Criterion {
+        Criterion {
+            crate_name: crate_name.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Shorthand: an ungrouped benchmark (upstream API parity).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+
+    /// Print the table and write the JSON baseline. Called by
+    /// `criterion_main!`.
+    pub fn final_summary(&self) {
+        let mut json = String::from("{\"bench\":");
+        push_json_str(&mut json, &self.crate_name);
+        json.push_str(",\"results\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str("{\"id\":");
+            push_json_str(&mut json, &r.id);
+            json.push_str(&format!(
+                ",\"median_ns\":{:.1},\"samples\":{}}}",
+                r.median_ns, r.samples
+            ));
+        }
+        json.push_str("]}\n");
+        let dir = std::env::var("BENCH_BASELINE_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", self.crate_name);
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("baseline written to {path}"),
+            Err(e) => eprintln!("could not write baseline {path}: {e}"),
+        }
+    }
+
+    fn record(&mut self, id: String, mut times_ns: Vec<f64>) {
+        times_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = if times_ns.is_empty() {
+            0.0
+        } else {
+            times_ns[times_ns.len() / 2]
+        };
+        println!(
+            "{:<60} {:>14.1} ns/iter ({} samples)",
+            id,
+            median_ns,
+            times_ns.len()
+        );
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            samples: times_ns.len(),
+        });
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Keep runs fast: upstream defaults to 100 samples with
+        // sub-sampling; here every sample is one full call.
+        self.sample_size = n.clamp(1, 50);
+        self
+    }
+
+    /// Accepted for API parity; the stub always times `sample_size`
+    /// individual calls instead of filling a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times_ns: Vec::new(),
+        };
+        f(&mut b);
+        self.parent
+            .record(format!("{}/{}", self.name, name), b.times_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times_ns: Vec::new(),
+        };
+        f(&mut b, input);
+        self.parent
+            .record(format!("{}/{}", self.name, id.0), b.times_ns);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Throughput annotation (recorded upstream; ignored here).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    times_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also pulls lazy state in).
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.times_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new(env!("CARGO_CRATE_NAME"));
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

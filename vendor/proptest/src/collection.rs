@@ -1,0 +1,50 @@
+//! Collection strategies (`vec` with fixed or ranged length).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec size range");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty vec size range");
+        lo + (rng.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+/// A strategy for `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

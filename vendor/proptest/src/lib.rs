@@ -1,0 +1,117 @@
+//! Minimal, dependency-free stand-in for `proptest`, vendored so the
+//! workspace builds offline.
+//!
+//! A [`strategy::Strategy`] here is a deterministic sampler: given the
+//! test's RNG it produces one value. There is no shrinking — on failure
+//! the offending input is reported via the assertion message (the
+//! workspace's property tests all interpolate the input into their
+//! messages). Sampling is seeded from the test name, so failures
+//! reproduce exactly across runs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirror of upstream's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The property-test harness macro: each `#[test] fn name(pat in strategy)`
+/// samples `cases` inputs and runs the body, which may bail out through
+/// `prop_assert!`-style early returns.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __strategy = ($($strat,)+);
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&__strategy, &mut __rng);
+                    let mut __run = || -> ::core::result::Result<(), ::std::string::String> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    if let ::core::result::Result::Err(__msg) = __run() {
+                        panic!("proptest case {}/{} failed: {}", __case + 1, __config.cases, __msg);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Assert inside a `proptest!` body; returns `Err` instead of panicking so
+/// the harness can report the failing case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __options = vec![$($crate::strategy::Strategy::boxed($strat)),+];
+        $crate::strategy::BoxedStrategy::from_fn(move |rng| {
+            let __i = (rng.next_u64() % __options.len() as u64) as usize;
+            $crate::strategy::Strategy::sample(&__options[__i], rng)
+        })
+    }};
+}

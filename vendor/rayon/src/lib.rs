@@ -1,0 +1,150 @@
+//! Minimal, dependency-free stand-in for `rayon`, vendored so the
+//! workspace builds offline.
+//!
+//! Provides `slice.par_iter().map(f).collect::<Vec<_>>()` and
+//! `.for_each(f)` backed by `std::thread::scope`. Work is split into
+//! contiguous chunks, one OS thread per chunk, and results are
+//! concatenated in input order — so `collect` is deterministic up to the
+//! mapped function itself, matching rayon's indexed semantics.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: the machine's parallelism, but at least 2 so
+/// concurrency bugs surface even on single-core CI runners.
+fn num_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    items.min(hw.max(2))
+}
+
+/// `par_iter()` on slices (and, via `Deref`, `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_chunks(self.items, &|c| {
+            for item in c {
+                f(item);
+            }
+        });
+    }
+}
+
+/// The result of `par_iter().map(f)`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        let f = &self.f;
+        let parts = map_chunks(self.items, &|c| c.iter().map(f).collect::<Vec<R>>());
+        parts.into_iter().flatten().collect::<Vec<R>>().into()
+    }
+}
+
+/// Split `items` into chunks and run `work` on each chunk, one thread per
+/// chunk, returning per-chunk results in input order.
+fn map_chunks<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    work: &(dyn Fn(&'a [T]) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = num_threads(n);
+    if threads <= 1 {
+        return vec![work(items)];
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || work(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+fn run_chunks<'a, T: Sync>(items: &'a [T], work: &(dyn Fn(&'a [T]) + Sync)) {
+    let _ = map_chunks(items, &|c| work(c));
+}
+
+pub mod prelude {
+    pub use crate::{ParIter, ParMap, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let sum = AtomicU64::new(0);
+        xs.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+        xs.par_iter().for_each(|_| panic!("must not run"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Deserialization half of the vendored serde.
+
+use crate::value::Value;
+use std::marker::PhantomData;
+
+/// Error trait mirroring `serde::de::Error`: any error type that can be
+/// constructed from a message.
+pub trait Error: Sized + std::fmt::Display {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A source of one value. The data model is the [`Value`] tree: the only
+/// required method hands over the underlying `Value`.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can reconstruct itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+}
+
+/// The canonical deserializer: wraps a [`Value`], generic in the error
+/// type so `D::Error` unifies with whatever the caller wants.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserialize a `T` out of a [`Value`] tree.
+pub fn from_value<'de, T, E>(v: Value) -> Result<T, E>
+where
+    T: Deserialize<'de>,
+    E: Error,
+{
+    T::deserialize(ValueDeserializer::new(v))
+}
+
+/// Remove `key` from an object's member list and deserialize it.
+/// Missing keys deserialize from `Null`, which lets `Option` fields
+/// default to `None` (how `serde_derive` handles absent members).
+pub fn take_field<'de, T, E>(members: &mut Vec<(String, Value)>, key: &str) -> Result<T, E>
+where
+    T: Deserialize<'de>,
+    E: Error,
+{
+    let v = match members.iter().position(|(k, _)| k == key) {
+        Some(i) => members.remove(i).1,
+        None => Value::Null,
+    };
+    from_value(v).map_err(|e: E| E::custom(format_args!("field `{key}`: {e}")))
+}
+
+fn type_err<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format_args!("expected {expected}, got {got}"))
+}
+
+// ---- impls for std types ----
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| type_err::<D::Error>("unsigned integer", &v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "{n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| type_err::<D::Error>("integer", &v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "{n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_f64().ok_or_else(|| type_err::<D::Error>("number", &v))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        // Serialization widened exactly, so narrowing recovers the f32.
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        v.as_bool().ok_or_else(|| type_err::<D::Error>("bool", &v))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(type_err::<D::Error>("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(a) => a.into_iter().map(from_value).collect(),
+            other => Err(type_err::<D::Error>("array", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<T> = Vec::deserialize(d)?;
+        let len = v.len();
+        v.try_into()
+            .map_err(|_| D::Error::custom(format_args!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+)),+) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_value()? {
+                    Value::Array(a) if a.len() == $len => {
+                        let mut it = a.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_value::<$t, __D::Error>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(type_err::<__D::Error>(
+                        concat!("array of length ", $len),
+                        &other,
+                    )),
+                }
+            }
+        }
+    )+};
+}
+impl_de_tuple!(
+    (1; 0 A),
+    (2; 0 A, 1 B),
+    (3; 0 A, 1 B, 2 C),
+    (4; 0 A, 1 B, 2 C, 3 D),
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E),
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);

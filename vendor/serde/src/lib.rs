@@ -1,0 +1,76 @@
+//! Minimal, dependency-free stand-in for `serde`, vendored so the
+//! workspace builds offline.
+//!
+//! Upstream serde models (de)serialization as a streaming visitor
+//! protocol; this stand-in routes everything through a single JSON-shaped
+//! [`value::Value`] tree, which keeps the trait surface tiny while
+//! remaining source-compatible with the subset of the serde API this
+//! workspace uses: `Serialize`/`Deserialize` derives on named-field
+//! structs and enums, manual impls for newtypes (via the defaulted
+//! `serialize_u64`-style methods), and `serde_json`-style access through
+//! `Value` indexing.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Items the derive macro expansion relies on. Kept under a dedicated
+/// path so generated code never collides with user imports.
+pub mod __private {
+    pub use crate::de::{
+        from_value, take_field, Deserialize, Deserializer, Error, ValueDeserializer,
+    };
+    pub use crate::ser::{to_value, Serialize, Serializer};
+    pub use crate::value::Value;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::de::from_value;
+    use crate::ser::to_value;
+    use crate::value::Value;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let v = to_value(&42u32);
+        assert_eq!(v, Value::U64(42));
+        let back: u32 = from_value::<u32, String>(v).unwrap();
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn f32_roundtrips_exactly() {
+        for x in [0.1f32, 1.0e-7, 3.402_823_5e38, -0.0] {
+            let v = to_value(&x);
+            let back: f32 = from_value::<f32, String>(v).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let xs = vec![Some(1i64), None, Some(-3)];
+        let v = to_value(&xs);
+        let back: Vec<Option<i64>> = from_value::<_, String>(v).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let v = Value::U64(300);
+        assert!(from_value::<u8, String>(v).is_err());
+    }
+
+    impl crate::de::Error for String {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            msg.to_string()
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Minimal, dependency-free stand-in for `serde_derive`, vendored so the
+//! workspace builds offline.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`): the
+//! parser extracts just the item shape — struct name + field names, or
+//! enum name + variants with their field names — and the generator emits
+//! impls against the vendored serde's `Value`-tree data model.
+//!
+//! Supported shapes (the only ones this workspace uses):
+//! * named-field structs (any visibility, no generics)
+//! * enums whose variants are unit or named-field
+//!
+//! Representation matches upstream serde's JSON conventions: structs are
+//! objects, unit variants are bare strings, struct variants are
+//! externally tagged single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant, None)` = unit, `(variant, Some(fields))` = named-field.
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    gen_serialize(&parse_shape(input))
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    gen_deserialize(&parse_shape(input))
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+type Toks = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any number of `#[...]` attributes (incl. doc comments).
+fn skip_attrs(toks: &mut Toks) {
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next(); // '#'
+        toks.next(); // the [...] group
+    }
+}
+
+/// Skip `pub` / `pub(...)` if present.
+fn skip_vis(toks: &mut Toks) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(
+            toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            toks.next();
+        }
+    }
+}
+
+/// Consume tokens up to and including the next comma at angle-bracket
+/// depth 0 (groups nest naturally; only `<`/`>` need counting).
+fn skip_to_comma(toks: &mut Toks) {
+    let mut depth = 0i32;
+    for tt in toks.by_ref() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Field names of a named-field body `{ a: T, b: U, .. }`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde_derive: expected field name, got `{other}`"),
+            None => break,
+        }
+        // consume `: Type,` (the ':' falls out of the scan)
+        skip_to_comma(&mut toks);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, got `{other}`"),
+            None => break,
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                toks.next();
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple variant `{name}` unsupported; use named fields")
+            }
+            _ => None,
+        };
+        // consume the trailing comma, if any
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    // Item header: attributes, visibility, then `struct` / `enum`.
+    let kind = loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // e.g. `union` or stray modifiers we don't know — keep going
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct/enum found in derive input"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` unsupported by the vendored derive");
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: `{name}` must have a braced body (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+    if kind == "struct" {
+        Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    }
+}
+
+// ---- codegen ----
+
+const HEADER: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+/// `vec![...]`-free object literal builder used by both generators.
+fn push_pairs(out: &mut String, pairs: &[(String, String)]) {
+    out.push_str(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::__private::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for (key, expr) in pairs {
+        let _ = writeln!(
+            out,
+            "__m.push((::std::string::String::from(\"{key}\"), ::serde::__private::to_value({expr})));"
+        );
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut out = String::from(HEADER);
+    match shape {
+        Shape::Struct { name, fields } => {
+            let _ = writeln!(
+                out,
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::ser::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{"
+            );
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.clone(), format!("&self.{f}")))
+                .collect();
+            push_pairs(&mut out, &pairs);
+            out.push_str(
+                "::serde::ser::Serializer::serialize_value(__s, ::serde::__private::Value::Object(__m))\n}\n}\n",
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let _ = writeln!(
+                out,
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::ser::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{"
+            );
+            for (v, fields) in variants {
+                match fields {
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{v} => ::serde::ser::Serializer::serialize_value(__s, ::serde::__private::Value::String(::std::string::String::from(\"{v}\"))),"
+                        );
+                    }
+                    Some(fs) => {
+                        let binders = fs.join(", ");
+                        let _ = writeln!(out, "{name}::{v} {{ {binders} }} => {{");
+                        let pairs: Vec<(String, String)> =
+                            fs.iter().map(|f| (f.clone(), f.clone())).collect();
+                        push_pairs(&mut out, &pairs);
+                        let _ = writeln!(
+                            out,
+                            "::serde::ser::Serializer::serialize_value(__s, ::serde::__private::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{v}\"), ::serde::__private::Value::Object(__m))])))\n}}"
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_take_fields(out: &mut String, ctor: &str, fields: &[String], src: &str) {
+    let _ = writeln!(out, "::core::result::Result::Ok({ctor} {{");
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "{f}: ::serde::__private::take_field(&mut {src}, \"{f}\")?,"
+        );
+    }
+    out.push_str("})\n");
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let mut out = String::from(HEADER);
+    match shape {
+        Shape::Struct { name, fields } => {
+            let _ = writeln!(
+                out,
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 match ::serde::de::Deserializer::take_value(__d)? {{\n\
+                 ::serde::__private::Value::Object(mut __m) => {{"
+            );
+            gen_take_fields(&mut out, name, fields, "__m");
+            let _ = writeln!(
+                out,
+                "}}\n__other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"expected object for {name}, got {{}}\", __other))),\n}}\n}}\n}}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let _ = writeln!(
+                out,
+                "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 match ::serde::de::Deserializer::take_value(__d)? {{"
+            );
+            // Unit variants arrive as bare strings.
+            let _ = writeln!(
+                out,
+                "::serde::__private::Value::String(__s) => match __s.as_str() {{"
+            );
+            for (v, fields) in variants {
+                if fields.is_none() {
+                    let _ = writeln!(out, "\"{v}\" => ::core::result::Result::Ok({name}::{v}),");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "__other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"unknown variant `{{}}` for {name}\", __other))),\n}},"
+            );
+            // Struct variants arrive as single-key objects.
+            let _ = writeln!(
+                out,
+                "::serde::__private::Value::Object(mut __m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.remove(0);\n\
+                 match (__tag.as_str(), __inner) {{"
+            );
+            for (v, fields) in variants {
+                if let Some(fs) = fields {
+                    let _ = writeln!(
+                        out,
+                        "(\"{v}\", ::serde::__private::Value::Object(mut __f)) => {{"
+                    );
+                    gen_take_fields(&mut out, &format!("{name}::{v}"), fs, "__f");
+                    out.push_str("}\n");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "(__t, _) => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"unknown variant `{{}}` for {name}\", __t))),\n}}\n}},"
+            );
+            let _ = writeln!(
+                out,
+                "__other => ::core::result::Result::Err(<__D::Error as ::serde::de::Error>::custom(::core::format_args!(\"expected string or object for {name}, got {{}}\", __other))),\n}}\n}}\n}}"
+            );
+        }
+    }
+    out
+}

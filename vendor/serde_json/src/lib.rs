@@ -1,0 +1,154 @@
+//! Minimal, dependency-free stand-in for `serde_json`, vendored so the
+//! workspace builds offline.
+//!
+//! Bridges JSON text to the vendored serde's [`Value`] tree:
+//! [`to_string`] / [`to_string_pretty`] render, [`from_str`] parses and
+//! then deserializes through `serde::de`. Numbers parse to `U64`/`I64`
+//! when integral (preferring unsigned, like upstream) and `F64`
+//! otherwise, so integer round-trips are lossless and `f32`/`f64`
+//! round-trips are exact via the shortest-float `Display` rendering.
+
+pub use serde::value::Value;
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+
+mod parse;
+
+/// Serialization/deserialization error (a message, like upstream's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serialize `T` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(t: &T) -> Result<String, Error> {
+    Ok(serde::ser::to_value(t).to_string())
+}
+
+/// Serialize `T` to an indented JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(t: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &serde::ser::to_value(t), 0);
+    Ok(out)
+}
+
+/// Serialize `T` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Result<Value, Error> {
+    Ok(serde::ser::to_value(t))
+}
+
+/// Deserialize `T` out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(v: Value) -> Result<T, Error> {
+    serde::de::from_value(v)
+}
+
+/// Parse JSON text and deserialize a `T` from it.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s).map_err(Error)?;
+    serde::de::from_value(v)
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in a.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < a.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                out.push_str(&pad_in);
+                let _ = serde::value::write_json_string(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+                if i + 1 < m.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        // Scalars and empty containers render compactly.
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_document() {
+        let src = r#"{"a": 1, "b": [true, null, -2, 3.5], "s": "x\n\"y\" é"}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][0].as_bool(), Some(true));
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2].as_i64(), Some(-2));
+        assert_eq!(v["b"][3].as_f64(), Some(3.5));
+        assert_eq!(v["s"].as_str(), Some("x\n\"y\" \u{e9}"));
+        // to_string -> from_str is a fixed point.
+        let text = to_string(&v).unwrap();
+        let v2: Value = from_str(&text).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1f64, 1.0, -2.5e-300, 1e300, f64::MIN_POSITIVE] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+        for x in [0.1f32, 6.0, 3.402_823_5e38f32] {
+            let text = to_string(&x).unwrap();
+            let back: f32 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_is_reparsable() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":{"c":"d"},"e":[]}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": ["));
+        let v2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, v2);
+    }
+}
