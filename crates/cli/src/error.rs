@@ -1,0 +1,92 @@
+//! Typed CLI errors with stable exit codes.
+//!
+//! * [`CliError::Usage`] — the command line itself was wrong (unknown
+//!   flag value, missing required argument). Exit code **2**, matching
+//!   the parse-failure path in `main`.
+//! * [`CliError::Io`] — a user-supplied file could not be read or
+//!   written; carries the path so the message is actionable. Exit
+//!   code **1**.
+//! * [`CliError::Invalid`] — user-supplied data was malformed (bad JSON
+//!   checkpoint, empty simulation span) or the run itself failed its
+//!   acceptance check (`fault-run` constraint violations). Exit
+//!   code **1**.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad flags or missing required arguments.
+    Usage(String),
+    /// A user-supplied file could not be read or written.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// Malformed user data or a failed run-level check.
+    Invalid(String),
+}
+
+impl CliError {
+    /// Attach a path to an I/O error.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> CliError {
+        CliError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } | CliError::Invalid(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Flag-parsing helpers (`Args::get*`) report plain strings; those are
+/// always usage problems.
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Invalid("x".into()).exit_code(), 1);
+        let io = CliError::io("f.json", std::io::Error::other("nope"));
+        assert_eq!(io.exit_code(), 1);
+        assert_eq!(io.to_string(), "f.json: nope");
+    }
+
+    #[test]
+    fn string_errors_become_usage() {
+        let e: CliError = String::from("invalid value for --ms").into();
+        assert!(matches!(e, CliError::Usage(_)));
+    }
+}

@@ -7,6 +7,7 @@
 //! fmml impute    --model model.json --ms 300 --seed 99 [--cem]
 //! fmml eval      [--paper] [--epochs N]                      # Table 1
 //! fmml fm-solve  --steps 8 --ports 2 --budget-secs 10        # §2.3 model
+//! fmml fault-run --seed 7 [--smt] [--bench-out DIR]          # chaos mode
 //! ```
 //!
 //! Every command accepts the global observability flags: `--stats` prints
@@ -15,13 +16,17 @@
 //! telemetry is enabled via `FMML_LOG=1` (stderr) or `FMML_LOG_FILE=path`.
 
 mod args;
+mod error;
 
 use args::Args;
+use error::CliError;
+use fmml_bench::baseline::Baseline;
 use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
 use fmml_core::imputer::Imputer;
-use fmml_core::train::train;
+use fmml_core::train::{train, train_from};
 use fmml_core::transformer_imputer::{Scales, TransformerImputer};
-use fmml_fm::cem::{enforce, CemEngine};
+use fmml_fault::{inject_series, inject_window, FaultPlan};
+use fmml_fm::cem::{enforce, enforce_degraded, CemEngine, DegradationLevel, LadderConfig};
 use fmml_fm::packet_model::{
     reference_execution, solve, Arrival, PacketModelConfig, PacketModelOutcome,
 };
@@ -30,7 +35,10 @@ use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
 use fmml_obs::log_event;
 use fmml_smt::solver::Budget;
-use std::time::Duration;
+use fmml_telemetry::{sanitize_series, sanitize_window, SanitizeConfig, SanitizeReport};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 fmml — formal-methods-augmented telemetry imputation (HotNets '23 reproduction)
@@ -44,12 +52,19 @@ COMMANDS:
              flags of `simulate` plus --interval N (50)
   train      train a transformer imputer, write a JSON checkpoint
              --out FILE  --kal  --epochs N (30)  --runs N (8)  --ms N (1800)  --seed N (42)
+             --resume FILE  continue training from an existing checkpoint
+             --smoke        scaled-down config (seconds instead of minutes)
   impute     impute fresh telemetry with a checkpoint
              --model FILE  --ms N (300)  --seed N (99)  --cem
   eval       regenerate Table 1 (markdown)
              --paper  --epochs N
   fm-solve   solve the full §2.3 packet-level model for a scripted scenario
              --steps N (8)  --ports N (2)  --budget-secs N (10)
+  fault-run  chaos mode: sim -> inject faults -> sanitize -> impute -> CEM
+             degradation ladder; exits non-zero if any output window
+             violates its (possibly relaxed) constraints
+             --seed N (7)  --runs N (2)  --epochs N (3)  --smt
+             --deadline-ms N  --bench-out DIR (write BENCH_cem_ladder.json)
 
 GLOBAL FLAGS:
   --stats            print the metrics table to stderr on exit
@@ -81,6 +96,7 @@ fn main() {
         "impute" => cmd_impute(&args),
         "eval" => cmd_eval(&args),
         "fm-solve" => cmd_fm_solve(&args),
+        "fault-run" => cmd_fault_run(&args),
         _ => {
             println!("{USAGE}");
             return;
@@ -89,17 +105,20 @@ fn main() {
     log_event!("cli.done", "command" = command, "ok" = result.is_ok());
     if let Err(e) = emit_stats(&args) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.exit_code());
     }
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        if matches!(e, CliError::Usage(_)) {
+            eprintln!("run `fmml` without arguments for usage");
+        }
+        std::process::exit(e.exit_code());
     }
 }
 
 /// Honor the global `--stats` / `--stats-json FILE` flags: snapshot the
 /// process-wide metrics registry once and render it both ways.
-fn emit_stats(args: &Args) -> Result<(), String> {
+fn emit_stats(args: &Args) -> Result<(), CliError> {
     let want_table = args.flag("stats");
     let json_path = args.get_string("stats-json");
     if !want_table && json_path.is_none() {
@@ -110,18 +129,19 @@ fn emit_stats(args: &Args) -> Result<(), String> {
         eprint!("{}", report.to_table());
     }
     if let Some(path) = json_path {
-        std::fs::write(path, report.to_json())
-            .map_err(|e| format!("cannot write --stats-json {path}: {e}"))?;
+        std::fs::write(path, report.to_json()).map_err(|e| CliError::io(path, e))?;
     }
     Ok(())
 }
 
-fn sim_config(args: &Args) -> Result<(SimConfig, TrafficConfig, u64, u64), String> {
+fn sim_config(args: &Args) -> Result<(SimConfig, TrafficConfig, u64, u64), CliError> {
     let mut cfg = SimConfig::paper_default();
     cfg.num_ports = args.get_or("ports", cfg.num_ports)?;
     let load: f64 = args.get_or("load", 0.5)?;
     if !(0.0..=1.0).contains(&load) {
-        return Err(format!("--load must be within [0,1], got {load}"));
+        return Err(CliError::Usage(format!(
+            "--load must be within [0,1], got {load}"
+        )));
     }
     let traffic = TrafficConfig::websearch_incast(cfg.num_ports, load);
     let ms = args.get_or("ms", 500u64)?;
@@ -129,14 +149,14 @@ fn sim_config(args: &Args) -> Result<(SimConfig, TrafficConfig, u64, u64), Strin
     Ok((cfg, traffic, ms, seed))
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), String> {
+fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     let (cfg, traffic, ms, seed) = sim_config(args)?;
     let gt = Simulation::new(cfg, traffic, seed).run_ms(ms);
     print!("{}", gt.to_csv());
     Ok(())
 }
 
-fn cmd_telemetry(args: &Args) -> Result<(), String> {
+fn cmd_telemetry(args: &Args) -> Result<(), CliError> {
     let (cfg, traffic, ms, seed) = sim_config(args)?;
     let interval = args.get_or("interval", 50usize)?;
     let gt = Simulation::new(cfg, traffic, seed).run_ms(ms);
@@ -163,12 +183,16 @@ fn cmd_telemetry(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
+fn cmd_train(args: &Args) -> Result<(), CliError> {
     let out = args
         .get_string("out")
-        .ok_or("--out FILE is required")?
+        .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?
         .to_string();
-    let mut cfg = EvalConfig::paper();
+    let mut cfg = if args.flag("smoke") {
+        EvalConfig::smoke()
+    } else {
+        EvalConfig::paper()
+    };
     cfg.train_runs = args.get_or("runs", cfg.train_runs)?;
     cfg.run_ms = args.get_or("ms", cfg.run_ms)?;
     cfg.seed = args.get_or("seed", cfg.seed)?;
@@ -188,28 +212,48 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "kal" = cfg.train.kal.is_some(),
     );
     let windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
-    let (model, stats) = train(&windows, scales, &cfg.train);
+    if windows.is_empty() {
+        return Err(CliError::Invalid(
+            "no active windows in the simulated span".into(),
+        ));
+    }
+    let (model, stats) = match args.get_string("resume") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+            let mut model = TransformerImputer::load_json(&json)
+                .map_err(|e| CliError::Invalid(format!("--resume {path}: {e}")))?;
+            let stats = train_from(&mut model, &windows, &cfg.train);
+            (model, stats)
+        }
+        None => train(&windows, scales, &cfg.train),
+    };
     log_event!(
         "cli.train.done",
         "windows" = windows.len(),
         "first_loss" = stats.first().map_or(0.0, |s| s.mean_loss),
         "last_loss" = stats.last().map_or(0.0, |s| s.mean_loss),
+        "rollbacks" = stats.iter().filter(|s| s.rolled_back).count(),
     );
-    std::fs::write(&out, model.save_json()).map_err(|e| e.to_string())?;
+    std::fs::write(&out, model.save_json()).map_err(|e| CliError::io(&out, e))?;
     eprintln!("checkpoint written to {out}");
     Ok(())
 }
 
-fn cmd_impute(args: &Args) -> Result<(), String> {
-    let path = args.get_string("model").ok_or("--model FILE is required")?;
-    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let model = TransformerImputer::load_json(&json)?;
+fn cmd_impute(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .get_string("model")
+        .ok_or_else(|| CliError::Usage("--model FILE is required".into()))?;
+    let json = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    let model = TransformerImputer::load_json(&json)
+        .map_err(|e| CliError::Invalid(format!("--model {path}: not a valid checkpoint: {e}")))?;
     let mut cfg = EvalConfig::paper();
     cfg.run_ms = args.get_or("ms", 300u64)?;
     cfg.seed = args.get_or("seed", 99u64)?;
     let windows = generate_windows(&cfg, cfg.seed, 1);
     if windows.is_empty() {
-        return Err("no active windows in the simulated span".into());
+        return Err(CliError::Invalid(
+            "no active windows in the simulated span".into(),
+        ));
     }
     let use_cem = args.flag("cem");
     println!("window,queue,ms,imputed");
@@ -234,7 +278,7 @@ fn cmd_impute(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(args: &Args) -> Result<(), String> {
+fn cmd_eval(args: &Args) -> Result<(), CliError> {
     let mut cfg = if args.flag("paper") {
         EvalConfig::paper()
     } else {
@@ -258,12 +302,12 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fm_solve(args: &Args) -> Result<(), String> {
+fn cmd_fm_solve(args: &Args) -> Result<(), CliError> {
     let steps = args.get_or("steps", 8usize)?;
     let ports = args.get_or("ports", 2usize)?;
     let budget_secs = args.get_or("budget-secs", 10u64)?;
     if steps < 2 || steps % 2 != 0 {
-        return Err("--steps must be even and >= 2".into());
+        return Err(CliError::Usage("--steps must be even and >= 2".into()));
     }
     let cfg = PacketModelConfig {
         num_ports: ports,
@@ -312,6 +356,170 @@ fn cmd_fm_solve(args: &Args) -> Result<(), String> {
                 stats.conflicts, stats.simplex_pivots, stats.iterations
             )
         }
+    }
+    Ok(())
+}
+
+/// Chaos mode: drive the full pipeline through seeded fault injection
+/// and prove the degradation ladder still yields constraint-satisfying
+/// windows.
+///
+/// Stages (all deterministic in `--seed`):
+/// 1. train a small imputer with a poisoned epoch (exercises the
+///    non-finite loss guard and checkpoint rollback — `train.rollback`
+///    in the run log);
+/// 2. simulate fresh traffic, corrupt the coarse telemetry with
+///    [`FaultPlan::chaos`] (>= 10% of intervals), sanitize it;
+/// 3. impute, corrupt the model output with NaN/Inf spikes, sanitize;
+/// 4. run [`enforce_degraded`] and verify every window satisfies its
+///    effective (possibly minimally-relaxed) C1 ∧ C2 ∧ C3.
+///
+/// Exits non-zero if any window violates its constraints. `--bench-out
+/// DIR` additionally writes a `BENCH_cem_ladder.json` baseline with the
+/// median per-window ladder latency.
+fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
+    let seed = args.get_or("seed", 7u64)?;
+    let runs = args.get_or("runs", 2usize)?;
+    let epochs = args.get_or("epochs", 3usize)?.max(2);
+    let deadline_ms = args.get::<u64>("deadline-ms")?;
+    let use_smt = args.flag("smt");
+
+    let mut cfg = EvalConfig::smoke();
+    cfg.seed = seed;
+    cfg.train.seed = seed;
+    cfg.train.epochs = epochs;
+    // Poison the second training epoch so the rollback path runs on
+    // every chaos invocation.
+    cfg.train.nan_loss_epoch = Some(1);
+
+    let plan = FaultPlan::chaos(seed);
+    log_event!(
+        "cli.fault_run.start",
+        "seed" = seed,
+        "runs" = runs,
+        "expected_rate" = plan.expected_coarse_rate(),
+    );
+
+    // 1. Train (with the poisoned epoch).
+    let scales = Scales {
+        qlen: cfg.sim.buffer_packets as f32,
+        count: (cfg.sim.pkts_per_ms() as usize * cfg.interval_len) as f32,
+    };
+    let train_windows = generate_windows(&cfg, cfg.seed, cfg.train_runs);
+    if train_windows.is_empty() {
+        return Err(CliError::Invalid("no active training windows".into()));
+    }
+    let (model, stats) = train(&train_windows, scales, &cfg.train);
+    let rollbacks = stats.iter().filter(|s| s.rolled_back).count();
+    if rollbacks == 0 {
+        return Err(CliError::Invalid(
+            "poisoned epoch did not trigger a rollback".into(),
+        ));
+    }
+
+    // 2.-4. Inject -> sanitize -> impute -> ladder on fresh windows.
+    let mut windows = generate_windows(&cfg, cfg.seed ^ 0xFA17, runs);
+    if windows.is_empty() {
+        return Err(CliError::Invalid("no active evaluation windows".into()));
+    }
+    let san_cfg = SanitizeConfig::for_sim(cfg.sim.buffer_packets, cfg.interval_len);
+    let ladder_cfg = LadderConfig {
+        engine: if use_smt {
+            CemEngine::Smt {
+                budget: Budget::tight(),
+            }
+        } else {
+            CemEngine::Fast
+        },
+        deadline: deadline_ms.map(Duration::from_millis),
+        escalation_factor: 4,
+    };
+
+    let mut injected: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut report = SanitizeReport::default();
+    let mut level_counts = [0usize; 5];
+    let mut intervals = 0usize;
+    let mut violations = 0usize;
+    let mut ladder_ns: Vec<f64> = Vec::with_capacity(windows.len());
+    for (i, w) in windows.iter_mut().enumerate() {
+        let salt = i as u64;
+        for e in inject_window(&plan, salt, w) {
+            *injected.entry(e.kind.label()).or_default() += 1;
+        }
+        report.merge(sanitize_window(w, &san_cfg));
+        let mut series = model.impute(w);
+        for e in inject_series(&plan, salt, &mut series) {
+            *injected.entry(e.kind.label()).or_default() += 1;
+        }
+        report.merge(sanitize_series(&mut series));
+        let wc = WindowConstraints::from_window(w);
+        let t0 = Instant::now();
+        let out = enforce_degraded(&wc, &series, &ladder_cfg);
+        ladder_ns.push(t0.elapsed().as_nanos() as f64);
+        for (total, n) in level_counts.iter_mut().zip(out.level_counts()) {
+            *total += n;
+        }
+        intervals += out.levels.len();
+        if !out
+            .effective_constraints(&wc)
+            .satisfied_exact(&out.corrected)
+        {
+            violations += 1;
+        }
+    }
+
+    let injected_total: usize = injected.values().sum();
+    let injected_str: Vec<String> = injected.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    let ladder_str: Vec<String> = DegradationLevel::ALL
+        .iter()
+        .zip(level_counts)
+        .filter(|(_, n)| *n > 0)
+        .map(|(l, n)| format!("{}={n}", l.label()))
+        .collect();
+    println!(
+        "fault-run: seed={seed} windows={} intervals={intervals}",
+        windows.len()
+    );
+    println!(
+        "  plan: chaos preset, expected corruption rate {:.1}%",
+        plan.expected_coarse_rate() * 100.0
+    );
+    println!(
+        "  injected: total={injected_total} ({})",
+        injected_str.join(",")
+    );
+    println!("  sanitizer: {}", report.summary());
+    println!("  ladder: {}", ladder_str.join(","));
+    println!(
+        "  train: epochs={} rollbacks={rollbacks} final_loss={:.4}",
+        stats.len(),
+        stats.last().map_or(f32::NAN, |s| s.mean_loss)
+    );
+    println!("violations={violations}");
+    log_event!(
+        "cli.fault_run.done",
+        "injected" = injected_total,
+        "artifacts" = report.total(),
+        "violations" = violations,
+        "rollbacks" = rollbacks,
+    );
+
+    if let Some(dir) = args.get_string("bench-out") {
+        std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+        ladder_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = ladder_ns[ladder_ns.len() / 2];
+        let mut baseline = Baseline::new("cem_ladder");
+        baseline.record("fault_run_enforce_window", median, ladder_ns.len() as u64);
+        let path = baseline
+            .save(Path::new(dir))
+            .map_err(|e| CliError::io(dir, e))?;
+        eprintln!("bench baseline written to {}", path.display());
+    }
+
+    if violations > 0 {
+        return Err(CliError::Invalid(format!(
+            "{violations} window(s) violated their effective constraints"
+        )));
     }
     Ok(())
 }

@@ -176,3 +176,162 @@ fn bad_flags_fail_with_diagnostics() {
     assert!(!ok);
     assert!(stderr.contains("even"));
 }
+
+/// Like [`fmml`] but returns the raw exit code for exit-status tests.
+fn fmml_code(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fmml"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    let (_, stderr, code) = fmml_code(&["simulate", "--ms", "abc"]);
+    assert_eq!(code, Some(2), "usage errors are exit code 2: {stderr}");
+    let (_, _, code) = fmml_code(&["train"]); // missing --out
+    assert_eq!(code, Some(2));
+}
+
+#[test]
+fn malformed_model_json_fails_with_actionable_error() {
+    let dir = std::env::temp_dir().join(format!("fmml_cli_badmodel_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    std::fs::write(&path, "{\"this is\": \"not a checkpoint\"").unwrap();
+    let (_, stderr, code) = fmml_code(&["impute", "--model", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "data errors are exit code 1: {stderr}");
+    assert!(
+        stderr.contains("model.json") && stderr.contains("not a valid checkpoint"),
+        "error must name the file and the problem: {stderr}"
+    );
+    // A missing file is an I/O error, also exit code 1, also naming the path.
+    let gone = dir.join("nope.json");
+    let (_, stderr, code) = fmml_code(&["impute", "--model", gone.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("nope.json"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_run_chaos_smoke_exits_clean_with_zero_violations() {
+    let dir = std::env::temp_dir().join(format!("fmml_cli_faultrun_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let stats = dir.join("stats.json");
+    let log = dir.join("run.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_fmml"))
+        .args([
+            "fault-run",
+            "--seed",
+            "7",
+            "--stats-json",
+            stats.to_str().unwrap(),
+        ])
+        .env("FMML_LOG_FILE", log.to_str().unwrap())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fault-run failed: {stdout}{stderr}");
+    assert!(stdout.contains("violations=0"), "{stdout}");
+    assert!(stdout.contains("injected:"), "{stdout}");
+    assert!(stdout.contains("rollbacks=1"), "{stdout}");
+    // Degradation-ladder counters appear in the metrics snapshot.
+    let json = std::fs::read_to_string(&stats).expect("--stats-json written");
+    for key in [
+        "fm.cem.ladder.windows",
+        "fault.injected",
+        "telemetry.sanitize.windows",
+        "train.rollbacks",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\"")),
+            "missing {key}: {json}"
+        );
+    }
+    // The poisoned epoch's rollback is observable in the run log.
+    let text = std::fs::read_to_string(&log).expect("run log written");
+    assert!(text.contains("\"event\":\"train.rollback\""), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_resume_continues_from_a_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("fmml_cli_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("model.json");
+    let out2 = dir.join("model2.json");
+    // Tiny run: 1 sim run, short span, 1 epoch.
+    let (_, stderr, ok) = fmml(&[
+        "train",
+        "--out",
+        ckpt.to_str().unwrap(),
+        "--smoke",
+        "--runs",
+        "1",
+        "--ms",
+        "240",
+        "--epochs",
+        "1",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "initial train failed: {stderr}");
+    // Resume from the checkpoint: the loaded model (its label, scales,
+    // and weights) is trained further and re-saved, not re-initialized.
+    let log = dir.join("run.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_fmml"))
+        .args([
+            "train",
+            "--out",
+            out2.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--smoke",
+            "--runs",
+            "1",
+            "--ms",
+            "240",
+            "--epochs",
+            "1",
+            "--seed",
+            "5",
+        ])
+        .env("FMML_LOG_FILE", log.to_str().unwrap())
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out2.exists(), "resumed checkpoint written");
+    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(text.contains("\"event\":\"train.epoch\""), "{text}");
+    // A corrupt --resume file is a data error (exit 1), naming the file.
+    std::fs::write(&ckpt, "not json").unwrap();
+    let (_, stderr, code) = fmml_code(&[
+        "train",
+        "--out",
+        out2.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--smoke",
+        "--runs",
+        "1",
+        "--ms",
+        "240",
+        "--epochs",
+        "1",
+        "--seed",
+        "5",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("model.json"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -27,6 +27,10 @@ static LOSS: FloatGauge = FloatGauge::new("train.loss");
 static GRAD_NORM: FloatGauge = FloatGauge::new("train.grad_norm");
 /// Mean KAL penalty (|Φ| + Ψ) of the most recent epoch; 0 without KAL.
 static KAL_PENALTY: FloatGauge = FloatGauge::new("train.kal_penalty");
+/// Example contributions discarded because loss/grad went non-finite.
+static NONFINITE_SKIPPED: Counter = Counter::new("train.nonfinite_skipped");
+/// Epochs rolled back to their checkpoint after a non-finite guard fired.
+static ROLLBACKS: Counter = Counter::new("train.rollbacks");
 
 /// Base reconstruction loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +54,10 @@ pub struct TrainConfig {
     pub clip_norm: f32,
     /// Run batches in parallel with rayon.
     pub parallel: bool,
+    /// Chaos hook: poison the first example of this epoch with a NaN loss
+    /// so the non-finite guard + rollback path is exercised
+    /// deterministically (used by `fmml fault-run` and tests).
+    pub nan_loss_epoch: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -63,6 +71,7 @@ impl Default for TrainConfig {
             seed: 1,
             clip_norm: 5.0,
             parallel: true,
+            nan_loss_epoch: None,
         }
     }
 }
@@ -73,6 +82,9 @@ pub struct EpochStats {
     pub mean_loss: f32,
     pub mean_phi_abs: f32,
     pub mean_psi: f32,
+    /// The epoch hit a non-finite loss or gradient and its parameter
+    /// updates were discarded (store restored from the epoch checkpoint).
+    pub rolled_back: bool,
 }
 
 /// Result of a forward/backward pass on one example.
@@ -83,19 +95,40 @@ struct ExampleResult {
     psi: f32,
 }
 
-/// Train a transformer imputer on `windows`.
+/// Train a freshly-initialized transformer imputer on `windows`.
 pub fn train(
     windows: &[PortWindow],
     scales: Scales,
     cfg: &TrainConfig,
 ) -> (TransformerImputer, Vec<EpochStats>) {
-    assert!(!windows.is_empty(), "empty training set");
     let mut imputer = TransformerImputer::new(cfg.seed, scales);
     imputer.label = match cfg.kal {
         Some(_) => "Transformer+KAL".into(),
         None => "Transformer".into(),
     };
-    let mut adam = Adam::new(&imputer.store, cfg.lr);
+    let stats = train_from(&mut imputer, windows, cfg);
+    (imputer, stats)
+}
+
+/// Train (or continue training — `fmml train --resume`) an existing
+/// imputer in place.
+///
+/// The loop is guarded against numeric blow-ups: any example whose loss,
+/// Φ, or Ψ is non-finite is dropped from the batch reduction, and a batch
+/// whose reduced gradient norm is non-finite is skipped entirely. If any
+/// guard fired during an epoch, the epoch is *rolled back* — the
+/// parameter store is restored from the checkpoint taken at epoch start,
+/// the optimizer state is reset, and the learning rate is halved for the
+/// remaining epochs. Training therefore always terminates with finite
+/// parameters, even under poisoned inputs.
+pub fn train_from(
+    imputer: &mut TransformerImputer,
+    windows: &[PortWindow],
+    cfg: &TrainConfig,
+) -> Vec<EpochStats> {
+    assert!(!windows.is_empty(), "empty training set");
+    let mut lr = cfg.lr;
+    let mut adam = Adam::new(&imputer.store, lr);
 
     // Examples: (window index, queue index).
     let examples: Vec<(usize, usize)> = windows
@@ -110,6 +143,11 @@ pub fn train(
 
     for epoch in 0..cfg.epochs {
         let span = EPOCH_MS.start_span();
+        // Checkpoint for rollback: parameters as of the epoch start.
+        let checkpoint = imputer.store.clone();
+        let mut poisoned = false;
+        let mut skipped = 0u32;
+        let mut poison_next = cfg.nan_loss_epoch == Some(epoch);
         // Fisher-Yates shuffle (deterministic via seed).
         for i in (1..order.len()).rev() {
             let j = rng.random_range(0..=i);
@@ -120,11 +158,12 @@ pub fn train(
         let mut ep_psi = 0.0f64;
         let mut ep_grad_norm = 0.0f64;
         let mut num_batches = 0u32;
+        let mut used_examples = 0usize;
         for batch in order.chunks(cfg.batch_size) {
             let run = |&ei: &usize| -> (usize, ExampleResult) {
                 let (wi, q) = examples[ei];
                 let r = forward_backward(
-                    &imputer,
+                    imputer,
                     &windows[wi],
                     q,
                     cfg,
@@ -133,14 +172,29 @@ pub fn train(
                 );
                 (ei, r)
             };
-            let results: Vec<(usize, ExampleResult)> = if cfg.parallel {
+            let mut results: Vec<(usize, ExampleResult)> = if cfg.parallel {
                 batch.par_iter().map(run).collect()
             } else {
                 batch.iter().map(run).collect()
             };
-            // Reduce gradients; update multipliers.
+            // Chaos hook: corrupt the first example of the target epoch.
+            if poison_next {
+                if let Some((_, r)) = results.first_mut() {
+                    r.loss = f32::NAN;
+                }
+                poison_next = false;
+            }
+            // Reduce gradients; update multipliers. Non-finite example
+            // contributions are dropped (guard #1).
             let mut total = Gradients::new(imputer.store.len());
+            let mut used_in_batch = 0usize;
             for (ei, r) in &results {
+                if !(r.loss.is_finite() && r.phi.is_finite() && r.psi.is_finite()) {
+                    NONFINITE_SKIPPED.inc();
+                    skipped += 1;
+                    poisoned = true;
+                    continue;
+                }
                 total.merge(&r.grads);
                 if let Some(k) = &cfg.kal {
                     multipliers.update(*ei, k.multiplier_lr, r.phi, r.psi);
@@ -148,17 +202,46 @@ pub fn train(
                 ep_loss += r.loss as f64;
                 ep_phi += r.phi.abs() as f64;
                 ep_psi += r.psi as f64;
+                used_in_batch += 1;
             }
-            total.scale(1.0 / results.len() as f32);
-            ep_grad_norm += total.clip_global_norm(cfg.clip_norm) as f64;
+            if used_in_batch == 0 {
+                continue;
+            }
+            total.scale(1.0 / used_in_batch as f32);
+            let grad_norm = total.clip_global_norm(cfg.clip_norm);
+            // Guard #2: a non-finite reduced gradient poisons the whole
+            // batch — skip the optimizer step.
+            if !grad_norm.is_finite() {
+                NONFINITE_SKIPPED.inc();
+                skipped += used_in_batch as u32;
+                poisoned = true;
+                continue;
+            }
+            ep_grad_norm += grad_norm as f64;
             num_batches += 1;
+            used_examples += used_in_batch;
             adam.step(&mut imputer.store, &total);
         }
-        let n = examples.len() as f64;
+        if poisoned {
+            // Roll back: restore the epoch-start parameters, reset the
+            // optimizer moments, and halve the learning rate.
+            imputer.store = checkpoint;
+            lr *= 0.5;
+            adam = Adam::new(&imputer.store, lr);
+            ROLLBACKS.inc();
+            log_event!(
+                "train.rollback",
+                "epoch" = epoch,
+                "skipped_examples" = skipped,
+                "lr" = lr,
+            );
+        }
+        let n = used_examples.max(1) as f64;
         let ep = EpochStats {
             mean_loss: (ep_loss / n) as f32,
             mean_phi_abs: (ep_phi / n) as f32,
             mean_psi: (ep_psi / n) as f32,
+            rolled_back: poisoned,
         };
         let grad_norm = ep_grad_norm / num_batches.max(1) as f64;
         let kal_penalty = (ep.mean_phi_abs + ep.mean_psi) as f64;
@@ -175,11 +258,12 @@ pub fn train(
             "grad_norm" = grad_norm,
             "phi_abs" = ep.mean_phi_abs,
             "psi" = ep.mean_psi,
+            "rolled_back" = poisoned,
             "ms" = elapsed.as_secs_f64() * 1e3,
         );
         stats.push(ep);
     }
-    (imputer, stats)
+    stats
 }
 
 fn forward_backward(
@@ -255,6 +339,7 @@ mod tests {
             seed: 2,
             clip_norm: 5.0,
             parallel: true,
+            nan_loss_epoch: None,
         }
     }
 
@@ -320,5 +405,43 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn empty_training_set_panics() {
         train(&[], scales(), &fast_cfg());
+    }
+
+    #[test]
+    fn nan_loss_triggers_rollback_and_training_survives() {
+        let ws = small_windows(8, 240);
+        let mut cfg = fast_cfg();
+        cfg.nan_loss_epoch = Some(1); // poison the second epoch
+        let (model, stats) = train(&ws, scales(), &cfg);
+        assert!(!stats[0].rolled_back, "clean epoch must not roll back");
+        assert!(stats[1].rolled_back, "poisoned epoch must roll back");
+        assert!(
+            stats[2..].iter().all(|s| !s.rolled_back),
+            "recovery epochs must be clean again"
+        );
+        // Parameters stay finite and the model still works.
+        for id in 0..model.store.len() {
+            assert!(
+                model.store.value(id).data.iter().all(|v| v.is_finite()),
+                "non-finite parameter after rollback"
+            );
+        }
+        let pred = model.impute_queue(&ws[0], 0);
+        assert!(pred.iter().all(|v| v.is_finite()));
+        assert!(stats.last().unwrap().mean_loss.is_finite());
+    }
+
+    #[test]
+    fn train_from_continues_an_existing_model() {
+        let ws = small_windows(9, 240);
+        let mut cfg = fast_cfg();
+        cfg.epochs = 2;
+        let (mut model, first) = train(&ws, scales(), &cfg);
+        let more = train_from(&mut model, &ws, &cfg);
+        assert_eq!(more.len(), 2);
+        assert!(
+            more.last().unwrap().mean_loss <= first[0].mean_loss,
+            "resumed training regressed past the initial loss"
+        );
     }
 }

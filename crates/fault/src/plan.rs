@@ -1,0 +1,196 @@
+//! Fault taxonomy and the seedable injection plan.
+
+use serde::{Deserialize, Serialize};
+
+/// The fault taxonomy: every artifact class the injectors can produce.
+///
+/// The sanitizer (`fmml_telemetry::sanitize`) has a matching *artifact*
+/// taxonomy on the detection side; the mapping is documented per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A measurement is lost: the value is replaced by the
+    /// [`fmml_telemetry::sanitize::MISSING`] sentinel (detected as
+    /// `Artifact::MissingValue`).
+    MissingValue,
+    /// Interval `k` reports interval `k-1`'s measurements again (a stuck
+    /// exporter). Internally consistent, hence usually *undetectable* —
+    /// the ladder still has to produce a constraint-satisfying window.
+    DuplicatedInterval,
+    /// A narrow hardware counter wrapped: the recorded value underflows
+    /// by 2^16 (detected as `Artifact::ImplausibleValue` and repaired
+    /// modulo 2^16).
+    CounterWrap,
+    /// A counter reset mid-run: the SNMP sent count drops to zero even
+    /// though the queues were busy (detected as
+    /// `Artifact::InconsistentSent` when a LANZ max is positive).
+    CounterReset,
+    /// Clock skew between the sampler and LANZ: adjacent intervals'
+    /// periodic samples arrive out of order and are swapped.
+    ClockSkew,
+    /// A NaN spike in a floating-point series (model output or loss).
+    NanSpike,
+    /// An Inf spike in a floating-point series.
+    InfSpike,
+    /// A span of the fine-grained trace export is blacked out (all-zero
+    /// observations), as if the collector dropped a batch.
+    TraceBlackout,
+}
+
+impl FaultKind {
+    /// Stable lowercase label (used in reports and metric names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::MissingValue => "missing",
+            FaultKind::DuplicatedInterval => "dup",
+            FaultKind::CounterWrap => "wrap",
+            FaultKind::CounterReset => "reset",
+            FaultKind::ClockSkew => "skew",
+            FaultKind::NanSpike => "nan",
+            FaultKind::InfSpike => "inf",
+            FaultKind::TraceBlackout => "blackout",
+        }
+    }
+
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::MissingValue,
+        FaultKind::DuplicatedInterval,
+        FaultKind::CounterWrap,
+        FaultKind::CounterReset,
+        FaultKind::ClockSkew,
+        FaultKind::NanSpike,
+        FaultKind::InfSpike,
+        FaultKind::TraceBlackout,
+    ];
+}
+
+/// One injected fault: what, where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    /// Queue (or port, for port-level measurements) the fault hit.
+    pub queue: usize,
+    /// Coarse interval (or fine bin for series/trace faults).
+    pub interval: usize,
+}
+
+/// A seedable, serializable description of how much of each fault class
+/// to inject. All rates are probabilities per *site* (one `(queue,
+/// interval)` measurement cell for coarse faults, one `(queue, bin)` cell
+/// for series faults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Base seed; injectors mix in a caller-provided salt so each window
+    /// of a run sees different (but reproducible) corruption.
+    pub seed: u64,
+    /// P(periodic sample / LANZ max / SNMP count goes missing).
+    pub miss_rate: f64,
+    /// P(interval duplicates its predecessor).
+    pub dup_rate: f64,
+    /// P(LANZ max wraps a 16-bit counter).
+    pub wrap_rate: f64,
+    /// P(SNMP sent counter resets to zero).
+    pub reset_rate: f64,
+    /// P(adjacent periodic samples swap — clock skew).
+    pub skew_rate: f64,
+    /// P(one fine-grained cell of a float series spikes to NaN/Inf).
+    pub nan_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none(0)
+    }
+}
+
+impl FaultPlan {
+    /// No faults at all (injectors become no-ops).
+    pub fn none(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            miss_rate: 0.0,
+            dup_rate: 0.0,
+            wrap_rate: 0.0,
+            reset_rate: 0.0,
+            skew_rate: 0.0,
+            nan_rate: 0.0,
+        }
+    }
+
+    /// The default chaos preset: corrupts >= 10% of coarse intervals in
+    /// expectation (the acceptance bar of the chaos smoke job) plus a
+    /// sprinkle of non-finite spikes in the imputed series.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            miss_rate: 0.06,
+            dup_rate: 0.03,
+            wrap_rate: 0.03,
+            reset_rate: 0.03,
+            skew_rate: 0.03,
+            nan_rate: 0.003,
+        }
+    }
+
+    /// True iff any rate is positive.
+    pub fn is_active(&self) -> bool {
+        [
+            self.miss_rate,
+            self.dup_rate,
+            self.wrap_rate,
+            self.reset_rate,
+            self.skew_rate,
+            self.nan_rate,
+        ]
+        .iter()
+        .any(|&r| r > 0.0)
+    }
+
+    /// Expected fraction of coarse measurement cells hit by at least one
+    /// coarse fault (ignores the series-level `nan_rate`).
+    pub fn expected_coarse_rate(&self) -> f64 {
+        let miss = 1.0 - self.miss_rate;
+        let dup = 1.0 - self.dup_rate;
+        let wrap = 1.0 - self.wrap_rate;
+        let reset = 1.0 - self.reset_rate;
+        let skew = 1.0 - self.skew_rate;
+        1.0 - miss * dup * wrap * reset * skew
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_preset_clears_the_ten_percent_bar() {
+        let p = FaultPlan::chaos(1);
+        assert!(p.is_active());
+        assert!(
+            p.expected_coarse_rate() >= 0.10,
+            "chaos preset too tame: {}",
+            p.expected_coarse_rate()
+        );
+    }
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!FaultPlan::none(9).is_active());
+        assert_eq!(FaultPlan::none(9).expected_coarse_rate(), 0.0);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let p = FaultPlan::chaos(42);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = FaultKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+}

@@ -1,0 +1,531 @@
+//! The CEM graceful-degradation ladder.
+//!
+//! [`super::enforce`] is all-or-nothing: one infeasible 50 ms interval
+//! (or one budget wall) fails the whole window. Under fault-injected
+//! telemetry that is the wrong contract — the operator still wants the
+//! best window the constraints allow, annotated with how much trust each
+//! interval deserves. [`enforce_degraded`] provides that contract: it
+//! **always** returns a corrected window, descending a per-interval
+//! ladder until something works:
+//!
+//! 1. **Full** — the configured engine at its configured budget
+//!    (warm-started SMT in paper-faithful mode, the exact fast
+//!    projection otherwise). Optimal correction.
+//! 2. **EscalatedRetry** — the SMT budget ran out; one retry with the
+//!    budget multiplied by [`LadderConfig::escalation_factor`]
+//!    (exponential backoff, single rung). Still optimal if it lands.
+//! 3. **FastFallback** — SMT gave up twice; the exact combinatorial
+//!    engine answers instead. Same optimum, no optimality *proof* from
+//!    the paper-faithful encoding.
+//! 4. **ClampProjection** — past the window deadline: a constraint-
+//!    satisfying series is constructed directly (samples pinned, one
+//!    shared witness step, everything else zero). Feasible but crude.
+//! 5. **MeasurementRelaxed** — the measurements themselves were
+//!    contradictory (sample > max, busy interval with a zero sent
+//!    count). The ladder minimally relaxes them (raise the max to the
+//!    sample, raise `m_out` to the smallest count any series needs) and
+//!    solves against the relaxed constraints, reporting them in
+//!    [`LadderOutcome::relaxed`].
+//!
+//! Every rung is counted in the metrics registry (`fm.cem.ladder.*`), so
+//! a chaos run's `--stats-json` shows exactly how far the pipeline had
+//! to degrade.
+
+use super::{
+    fast_engine, interval_problem, smt_engine, CemEngine, IntervalProblem, IntervalSolution,
+};
+use crate::constraints::WindowConstraints;
+use fmml_obs::{log_event, Counter, Histogram, Unit};
+use std::time::{Duration, Instant};
+
+/// Windows pushed through [`enforce_degraded`].
+static LADDER_WINDOWS: Counter = Counter::new("fm.cem.ladder.windows");
+/// Intervals solved at full fidelity.
+static LADDER_FULL: Counter = Counter::new("fm.cem.ladder.full");
+/// Intervals solved on the escalated-budget retry.
+static LADDER_RETRY: Counter = Counter::new("fm.cem.ladder.retry");
+/// Intervals that fell back to the fast engine.
+static LADDER_FAST: Counter = Counter::new("fm.cem.ladder.fast_fallback");
+/// Intervals answered by the clamp-only projection.
+static LADDER_CLAMP: Counter = Counter::new("fm.cem.ladder.clamp");
+/// Intervals whose measurements had to be relaxed.
+static LADDER_RELAXED: Counter = Counter::new("fm.cem.ladder.relaxed");
+/// End-to-end [`enforce_degraded`] latency per window.
+static LADDER_WINDOW_US: Histogram = Histogram::new("fm.cem.ladder.window_us", Unit::Micros);
+
+/// How degraded one interval's correction is (ordered: higher is worse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationLevel {
+    /// Configured engine, configured budget: optimal.
+    Full,
+    /// Optimal, but only after one budget escalation.
+    EscalatedRetry,
+    /// Exact fast projection stood in for the SMT engine.
+    FastFallback,
+    /// Deadline-driven clamp-only projection: feasible, not optimal.
+    ClampProjection,
+    /// Contradictory measurements were minimally relaxed first.
+    MeasurementRelaxed,
+}
+
+impl DegradationLevel {
+    pub const ALL: [DegradationLevel; 5] = [
+        DegradationLevel::Full,
+        DegradationLevel::EscalatedRetry,
+        DegradationLevel::FastFallback,
+        DegradationLevel::ClampProjection,
+        DegradationLevel::MeasurementRelaxed,
+    ];
+
+    /// Stable lowercase label (reports, metric names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradationLevel::Full => "full",
+            DegradationLevel::EscalatedRetry => "retry",
+            DegradationLevel::FastFallback => "fast_fallback",
+            DegradationLevel::ClampProjection => "clamp",
+            DegradationLevel::MeasurementRelaxed => "relaxed",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            DegradationLevel::Full => 0,
+            DegradationLevel::EscalatedRetry => 1,
+            DegradationLevel::FastFallback => 2,
+            DegradationLevel::ClampProjection => 3,
+            DegradationLevel::MeasurementRelaxed => 4,
+        }
+    }
+}
+
+/// Ladder configuration.
+#[derive(Debug, Clone)]
+pub struct LadderConfig {
+    /// Which top rung to start from.
+    pub engine: CemEngine,
+    /// Soft wall-clock deadline for the whole window: intervals started
+    /// after it has passed drop straight to the clamp projection.
+    pub deadline: Option<Duration>,
+    /// Budget multiplier for the single escalated retry (SMT mode).
+    pub escalation_factor: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            engine: CemEngine::Fast,
+            deadline: None,
+            escalation_factor: 4,
+        }
+    }
+}
+
+/// What [`enforce_degraded`] always returns: a best-effort corrected
+/// window plus per-interval trust annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderOutcome {
+    /// Corrected integer series, `[queues][len]`.
+    pub corrected: Vec<Vec<u32>>,
+    /// Total L1 change vs the rounded input (excluding sample positions),
+    /// summed over intervals (per-rung optimality as annotated).
+    pub objective: u64,
+    /// `levels[k]`: how degraded interval `k`'s correction is.
+    pub levels: Vec<DegradationLevel>,
+    /// The relaxed constraints actually enforced, if any interval's
+    /// measurements were contradictory; `None` when the input
+    /// constraints were enforced verbatim.
+    pub relaxed: Option<WindowConstraints>,
+}
+
+impl LadderOutcome {
+    /// The worst level any interval reached.
+    pub fn worst(&self) -> DegradationLevel {
+        self.levels
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(DegradationLevel::Full)
+    }
+
+    /// Per-level interval counts, indexed like [`DegradationLevel::ALL`].
+    pub fn level_counts(&self) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        for l in &self.levels {
+            counts[l.index()] += 1;
+        }
+        counts
+    }
+
+    /// The constraints the output provably satisfies: the relaxed set if
+    /// relaxation happened, the caller's set otherwise.
+    pub fn effective_constraints<'a>(&'a self, w: &'a WindowConstraints) -> &'a WindowConstraints {
+        self.relaxed.as_ref().unwrap_or(w)
+    }
+
+    /// `full=5,retry=1` style single-line summary (only levels that
+    /// occurred).
+    pub fn summary(&self) -> String {
+        let counts = self.level_counts();
+        let parts: Vec<String> = DegradationLevel::ALL
+            .iter()
+            .filter(|l| counts[l.index()] > 0)
+            .map(|l| format!("{}={}", l.label(), counts[l.index()]))
+            .collect();
+        parts.join(",")
+    }
+}
+
+/// The smallest `m_out` any series satisfying this interval's C1 ∧ C2
+/// can have: one non-empty step if any sample is positive, plus one
+/// (shareable) witness step if any queue's max is positive and not
+/// already witnessed by its pinned sample.
+fn required_nonempty(maxes: &[u32], samples: &[u32]) -> u32 {
+    let sample_positive = samples.iter().any(|&s| s > 0);
+    let witness_needed = maxes.iter().zip(samples).any(|(&m, &s)| m > 0 && m != s);
+    u32::from(sample_positive) + u32::from(witness_needed)
+}
+
+/// Minimally relax one interval's measurements until they are feasible:
+/// raise maxes to cover samples, raise `m_out` to the smallest count any
+/// series needs. Returns `true` if anything changed.
+fn relax_interval(len: usize, maxes: &mut [u32], samples: &[u32], m_out: &mut u32) -> bool {
+    let mut changed = false;
+    for (m, &s) in maxes.iter_mut().zip(samples) {
+        if s > *m {
+            *m = s;
+            changed = true;
+        }
+        // A one-step interval has no free step to witness a max that
+        // differs from the pinned sample; the sample wins.
+        if len == 1 && *m != s {
+            *m = s;
+            changed = true;
+        }
+    }
+    let need = required_nonempty(maxes, samples);
+    if *m_out < need {
+        *m_out = need;
+        changed = true;
+    }
+    changed
+}
+
+/// The bottom rung: construct a feasible series directly. Samples are
+/// pinned, every queue that still needs a C1 witness gets it on one
+/// shared free step (the step with the largest total target, so the
+/// projection stays as close to the model output as a two-non-zero-step
+/// series can be), everything else is zero.
+///
+/// Requires relaxed (feasible) measurements; feasibility is then by
+/// construction.
+fn clamp_projection(p: &IntervalProblem) -> IntervalSolution {
+    let l = p.len;
+    let nq = p.num_queues();
+    let mut values = vec![vec![0u32; l]; nq];
+    for (q, row) in values.iter_mut().enumerate() {
+        row[l - 1] = p.samples[q];
+    }
+    let needs_witness: Vec<usize> = (0..nq)
+        .filter(|&q| p.maxes[q] > 0 && p.maxes[q] != p.samples[q])
+        .collect();
+    if !needs_witness.is_empty() && l >= 2 {
+        let tw = (0..l - 1)
+            .max_by_key(|&t| (0..nq).map(|q| p.target[q][t].max(0)).sum::<i64>())
+            .unwrap_or(0);
+        for &q in &needs_witness {
+            values[q][tw] = p.maxes[q];
+        }
+    }
+    let sol = IntervalSolution {
+        values,
+        objective: 0,
+    };
+    let objective = sol.l1_objective(p);
+    IntervalSolution {
+        values: sol.values,
+        objective,
+    }
+}
+
+/// Solve one (already-relaxed) interval by descending the rungs.
+fn solve_interval(
+    p: &IntervalProblem,
+    cfg: &LadderConfig,
+    past_deadline: bool,
+) -> (IntervalSolution, DegradationLevel) {
+    if past_deadline {
+        return (clamp_projection(p), DegradationLevel::ClampProjection);
+    }
+    match &cfg.engine {
+        CemEngine::Fast => match fast_engine::solve(p) {
+            Some(s) => (s, DegradationLevel::Full),
+            // Unreachable after relaxation; defensive bottom rung.
+            None => (clamp_projection(p), DegradationLevel::ClampProjection),
+        },
+        CemEngine::Smt { budget } => match smt_engine::solve_warm(p, *budget) {
+            Ok(s) => (s, DegradationLevel::Full),
+            Err(smt_engine::SmtCemError::Budget) => {
+                let escalated = budget.escalate(cfg.escalation_factor);
+                match smt_engine::solve_warm(p, escalated) {
+                    Ok(s) => (s, DegradationLevel::EscalatedRetry),
+                    Err(_) => match fast_engine::solve(p) {
+                        Some(s) => (s, DegradationLevel::FastFallback),
+                        None => (clamp_projection(p), DegradationLevel::ClampProjection),
+                    },
+                }
+            }
+            // `solve_warm` reports Infeasible only when the fast engine
+            // found no solution — unreachable after relaxation, but the
+            // ladder still answers.
+            Err(smt_engine::SmtCemError::Infeasible) => match fast_engine::solve(p) {
+                Some(s) => (s, DegradationLevel::FastFallback),
+                None => (clamp_projection(p), DegradationLevel::ClampProjection),
+            },
+        },
+    }
+}
+
+/// Enforce C1–C3 with graceful degradation: always returns a corrected
+/// window, annotated per interval with how much the correction had to
+/// degrade. See the module docs for the rungs.
+pub fn enforce_degraded(
+    w: &WindowConstraints,
+    imputed: &[Vec<f32>],
+    cfg: &LadderConfig,
+) -> LadderOutcome {
+    assert_eq!(imputed.len(), w.num_queues(), "queue count mismatch");
+    for q in imputed {
+        assert_eq!(q.len(), w.len, "window length mismatch");
+    }
+    let span = LADDER_WINDOW_US.start_span();
+    LADDER_WINDOWS.inc();
+    let start = Instant::now();
+    let l = w.interval_len;
+    let mut corrected: Vec<Vec<u32>> = vec![vec![0; w.len]; w.num_queues()];
+    let mut objective = 0u64;
+    let mut levels = Vec::with_capacity(w.intervals());
+    let mut relaxed_w: Option<WindowConstraints> = None;
+
+    for k in 0..w.intervals() {
+        super::INTERVALS.inc();
+        let mut p = interval_problem(w, imputed, k);
+        let mut m_out = p.m_out;
+        let was_relaxed = relax_interval(l, &mut p.maxes, &p.samples, &mut m_out);
+        p.m_out = m_out;
+        if was_relaxed {
+            let rw = relaxed_w.get_or_insert_with(|| w.clone());
+            for q in 0..w.num_queues() {
+                rw.maxes[q][k] = p.maxes[q];
+            }
+            rw.sent[k] = p.m_out;
+        }
+        let past_deadline = cfg.deadline.is_some_and(|d| start.elapsed() > d);
+        let (sol, rung) = solve_interval(&p, cfg, past_deadline);
+        debug_assert!(sol.is_feasible(&p), "ladder produced infeasible interval");
+        let level = if was_relaxed {
+            LADDER_RELAXED.inc();
+            DegradationLevel::MeasurementRelaxed
+        } else {
+            match rung {
+                DegradationLevel::Full => LADDER_FULL.inc(),
+                DegradationLevel::EscalatedRetry => LADDER_RETRY.inc(),
+                DegradationLevel::FastFallback => LADDER_FAST.inc(),
+                DegradationLevel::ClampProjection => LADDER_CLAMP.inc(),
+                DegradationLevel::MeasurementRelaxed => LADDER_RELAXED.inc(),
+            }
+            rung
+        };
+        objective += sol.objective;
+        for (q, row) in corrected.iter_mut().enumerate() {
+            row[k * l..(k + 1) * l].copy_from_slice(&sol.values[q]);
+        }
+        levels.push(level);
+    }
+
+    let outcome = LadderOutcome {
+        corrected,
+        objective,
+        levels,
+        relaxed: relaxed_w,
+    };
+    let elapsed = span.finish();
+    log_event!(
+        "cem.ladder",
+        "intervals" = w.intervals(),
+        "objective" = outcome.objective,
+        "worst" = outcome.worst().label(),
+        "relaxed" = outcome.relaxed.is_some(),
+        "us" = elapsed.as_secs_f64() * 1e6,
+    );
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmml_smt::solver::Budget;
+
+    /// Two intervals of 5, 2 queues — feasible as-is.
+    fn feasible_window() -> (WindowConstraints, Vec<Vec<f32>>) {
+        let w = WindowConstraints {
+            interval_len: 5,
+            len: 10,
+            maxes: vec![vec![4, 2], vec![1, 0]],
+            samples: vec![vec![1, 0], vec![0, 0]],
+            sent: vec![4, 3],
+        };
+        let imputed = vec![
+            vec![0.2, 3.7, 4.4, 2.0, 1.1, 0.0, 1.8, 2.3, 0.4, 0.1],
+            vec![0.0, 0.9, 1.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ];
+        (w, imputed)
+    }
+
+    #[test]
+    fn feasible_window_stays_at_full_fidelity_and_matches_enforce() {
+        let (w, imputed) = feasible_window();
+        let out = enforce_degraded(&w, &imputed, &LadderConfig::default());
+        assert!(out.levels.iter().all(|&l| l == DegradationLevel::Full));
+        assert!(out.relaxed.is_none());
+        assert!(w.satisfied_exact(&out.corrected));
+        let strict = super::super::enforce(&w, &imputed, &CemEngine::Fast).unwrap();
+        assert_eq!(out.corrected, strict.corrected);
+        assert_eq!(out.objective, strict.objective);
+        assert_eq!(out.summary(), "full=2");
+    }
+
+    #[test]
+    fn contradictory_sample_is_relaxed_not_fatal() {
+        // Sample exceeds max in interval 0: `enforce` errors, the ladder
+        // relaxes and answers.
+        let w = WindowConstraints {
+            interval_len: 5,
+            len: 5,
+            maxes: vec![vec![2]],
+            samples: vec![vec![4]],
+            sent: vec![5],
+        };
+        let imputed = vec![vec![0.0; 5]];
+        assert!(super::super::enforce(&w, &imputed, &CemEngine::Fast).is_err());
+        let out = enforce_degraded(&w, &imputed, &LadderConfig::default());
+        assert_eq!(out.levels, vec![DegradationLevel::MeasurementRelaxed]);
+        let eff = out.effective_constraints(&w).clone();
+        assert_eq!(eff.maxes[0][0], 4, "max raised to the sample");
+        assert!(eff.satisfied_exact(&out.corrected));
+    }
+
+    #[test]
+    fn zero_sent_with_busy_queue_is_relaxed() {
+        let w = WindowConstraints {
+            interval_len: 5,
+            len: 5,
+            maxes: vec![vec![3]],
+            samples: vec![vec![0]],
+            sent: vec![0],
+        };
+        let imputed = vec![vec![0.0, 3.0, 0.0, 0.0, 0.0]];
+        let out = enforce_degraded(&w, &imputed, &LadderConfig::default());
+        assert_eq!(out.worst(), DegradationLevel::MeasurementRelaxed);
+        let eff = out.effective_constraints(&w);
+        assert_eq!(eff.sent[0], 1, "m_out raised to the witness minimum");
+        assert!(eff.satisfied_exact(&out.corrected));
+    }
+
+    #[test]
+    fn starved_smt_budget_descends_to_the_fast_engine() {
+        let (w, imputed) = feasible_window();
+        let starved = Budget {
+            timeout: Some(Duration::ZERO),
+            max_sat_conflicts: Some(1),
+            max_bb_nodes: 1,
+        };
+        let cfg = LadderConfig {
+            engine: CemEngine::Smt { budget: starved },
+            deadline: None,
+            escalation_factor: 2, // escalated budget is still starved
+        };
+        let out = enforce_degraded(&w, &imputed, &cfg);
+        assert!(
+            out.levels
+                .iter()
+                .all(|&l| l == DegradationLevel::FastFallback),
+            "expected fast fallback, got {:?}",
+            out.levels
+        );
+        // The fast engine is exact, so the answer still satisfies all
+        // constraints at the strict optimum.
+        assert!(w.satisfied_exact(&out.corrected));
+        let strict = super::super::enforce(&w, &imputed, &CemEngine::Fast).unwrap();
+        assert_eq!(out.objective, strict.objective);
+    }
+
+    #[test]
+    fn generous_smt_budget_stays_at_full_fidelity() {
+        let (w, imputed) = feasible_window();
+        let cfg = LadderConfig {
+            engine: CemEngine::Smt {
+                budget: Budget::default(),
+            },
+            deadline: None,
+            escalation_factor: 4,
+        };
+        let out = enforce_degraded(&w, &imputed, &cfg);
+        assert!(out.levels.iter().all(|&l| l == DegradationLevel::Full));
+        assert!(w.satisfied_exact(&out.corrected));
+    }
+
+    #[test]
+    fn expired_deadline_drops_to_clamp_projection() {
+        let (w, imputed) = feasible_window();
+        let cfg = LadderConfig {
+            engine: CemEngine::Fast,
+            deadline: Some(Duration::ZERO),
+            escalation_factor: 4,
+        };
+        let out = enforce_degraded(&w, &imputed, &cfg);
+        assert!(
+            out.levels
+                .iter()
+                .all(|&l| l == DegradationLevel::ClampProjection),
+            "{:?}",
+            out.levels
+        );
+        // Crude, but still provably constraint-satisfying.
+        assert!(w.satisfied_exact(&out.corrected));
+    }
+
+    #[test]
+    fn clamp_projection_is_feasible_on_relaxed_intervals() {
+        let p = IntervalProblem {
+            len: 5,
+            target: vec![vec![0, 9, 2, 0, 0], vec![1, 1, 1, 1, 0]],
+            maxes: vec![7, 3],
+            samples: vec![2, 3],
+            m_out: 2,
+        };
+        let sol = clamp_projection(&p);
+        assert!(sol.is_feasible(&p), "{sol:?}");
+        assert_eq!(sol.objective, sol.l1_objective(&p));
+    }
+
+    #[test]
+    fn required_nonempty_counts_sample_and_witness_steps() {
+        // Sample positive + witness needed elsewhere: 2.
+        assert_eq!(required_nonempty(&[5, 0], &[2, 0]), 2);
+        // Sample is the witness: 1.
+        assert_eq!(required_nonempty(&[5], &[5]), 1);
+        // All idle: 0.
+        assert_eq!(required_nonempty(&[0, 0], &[0, 0]), 0);
+        // Witness only (samples zero): 1.
+        assert_eq!(required_nonempty(&[3], &[0]), 1);
+    }
+
+    #[test]
+    fn degradation_levels_are_ordered_worst_last() {
+        let mut sorted = DegradationLevel::ALL;
+        sorted.sort();
+        assert_eq!(sorted, DegradationLevel::ALL);
+        assert!(DegradationLevel::Full < DegradationLevel::MeasurementRelaxed);
+    }
+}

@@ -29,10 +29,13 @@
 //! both engines reach the same objective value on random instances.
 
 pub mod fast_engine;
+pub mod ladder;
 pub mod smt_engine;
 
 use crate::constraints::WindowConstraints;
 use fmml_obs::{log_event, Counter, Histogram, Unit};
+
+pub use ladder::{enforce_degraded, DegradationLevel, LadderConfig, LadderOutcome};
 
 /// Windows pushed through [`enforce`].
 static WINDOWS: Counter = Counter::new("fm.cem.windows");
@@ -162,25 +165,7 @@ fn enforce_inner(
     let mut corrected: Vec<Vec<u32>> = vec![vec![0; w.len]; w.num_queues()];
     let mut objective = 0u64;
     for k in 0..w.intervals() {
-        // Rounded, clamped-to-nonnegative per-interval targets.
-        let target: Vec<Vec<i64>> = imputed
-            .iter()
-            .map(|qs| {
-                qs[k * l..(k + 1) * l]
-                    .iter()
-                    .map(|&v| v.round().max(0.0) as i64)
-                    .collect()
-            })
-            .collect();
-        let maxes: Vec<u32> = (0..w.num_queues()).map(|q| w.maxes[q][k]).collect();
-        let samples: Vec<u32> = (0..w.num_queues()).map(|q| w.samples[q][k]).collect();
-        let interval = IntervalProblem {
-            len: l,
-            target,
-            maxes,
-            samples,
-            m_out: w.sent[k],
-        };
+        let interval = interval_problem(w, imputed, k);
         INTERVALS.inc();
         let sol = match engine {
             CemEngine::Fast => {
@@ -204,6 +189,38 @@ fn enforce_inner(
         corrected,
         objective,
     })
+}
+
+/// Extract interval `k`'s CEM sub-problem from a window: rounded,
+/// clamped-to-nonnegative targets (non-finite model outputs become 0 —
+/// the sanitizer normally repairs them first, this is the defensive
+/// backstop) plus the interval's measurement right-hand sides.
+pub fn interval_problem(w: &WindowConstraints, imputed: &[Vec<f32>], k: usize) -> IntervalProblem {
+    let l = w.interval_len;
+    let target: Vec<Vec<i64>> = imputed
+        .iter()
+        .map(|qs| {
+            qs[k * l..(k + 1) * l]
+                .iter()
+                .map(|&v| {
+                    if v.is_finite() {
+                        v.round().clamp(0.0, u32::MAX as f32) as i64
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let maxes: Vec<u32> = (0..w.num_queues()).map(|q| w.maxes[q][k]).collect();
+    let samples: Vec<u32> = (0..w.num_queues()).map(|q| w.samples[q][k]).collect();
+    IntervalProblem {
+        len: l,
+        target,
+        maxes,
+        samples,
+        m_out: w.sent[k],
+    }
 }
 
 /// One interval's CEM problem (both engines consume this).
@@ -247,15 +264,29 @@ pub struct IntervalSolution {
 impl IntervalSolution {
     /// Exact feasibility check against an [`IntervalProblem`] — shared by
     /// both engines' tests.
+    ///
+    /// A malformed solution (wrong queue count, empty or mis-sized
+    /// series) is *infeasible*, never a panic: with fault-injected
+    /// measurements in the pipeline this check must be total.
     pub fn is_feasible(&self, p: &IntervalProblem) -> bool {
         let l = p.len;
+        if l == 0 || self.values.len() != p.num_queues() {
+            return false;
+        }
         for q in 0..p.num_queues() {
+            // Shape: an empty or mis-sized series cannot satisfy anything
+            // (and `.iter().max()` on it must not panic).
+            let Some(&max) = self.values[q].iter().max() else {
+                return false;
+            };
+            if self.values[q].len() != l {
+                return false;
+            }
             // C2.
             if self.values[q][l - 1] != p.samples[q] {
                 return false;
             }
             // C1.
-            let max = *self.values[q].iter().max().unwrap();
             if max != p.maxes[q] {
                 return false;
             }

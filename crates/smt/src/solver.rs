@@ -103,6 +103,33 @@ impl Default for Budget {
     }
 }
 
+impl Budget {
+    /// A deliberately small budget, used as the first rung of retry
+    /// ladders: callers start here and [`escalate`](Budget::escalate) on
+    /// `Unknown` instead of paying the full default budget up front.
+    pub fn tight() -> Budget {
+        Budget {
+            timeout: None,
+            max_sat_conflicts: Some(50_000),
+            max_bb_nodes: 10_000,
+        }
+    }
+
+    /// Multiply every limit by `factor` (saturating). The backoff
+    /// primitive of the CEM degradation ladder: a check that came back
+    /// `Unknown` is retried once with `budget.escalate(k)` before the
+    /// caller falls back to a cheaper engine.
+    pub fn escalate(self, factor: u32) -> Budget {
+        let factor = factor.max(1);
+        let f = factor as u64;
+        Budget {
+            timeout: self.timeout.map(|t| t.saturating_mul(factor)),
+            max_sat_conflicts: self.max_sat_conflicts.map(|c| c.saturating_mul(f)),
+            max_bb_nodes: self.max_bb_nodes.saturating_mul(f),
+        }
+    }
+}
+
 /// The SMT solver facade. See the crate docs for the architecture.
 pub struct Solver {
     tm: TermManager,
@@ -802,5 +829,33 @@ mod tests {
         // a proven Unsat — never a wrong Sat.
         let r = s.check();
         assert_ne!(r, SatResult::Sat);
+    }
+
+    #[test]
+    fn budget_escalation_scales_every_limit_and_saturates() {
+        let b = Budget {
+            timeout: Some(Duration::from_secs(2)),
+            max_sat_conflicts: Some(1_000),
+            max_bb_nodes: 500,
+        };
+        let e = b.escalate(4);
+        assert_eq!(e.timeout, Some(Duration::from_secs(8)));
+        assert_eq!(e.max_sat_conflicts, Some(4_000));
+        assert_eq!(e.max_bb_nodes, 2_000);
+        // factor 0 is treated as 1; u64 limits saturate instead of wrapping.
+        let same = b.escalate(0);
+        assert_eq!(same.max_bb_nodes, 500);
+        let huge = Budget {
+            timeout: None,
+            max_sat_conflicts: Some(u64::MAX / 2),
+            max_bb_nodes: u64::MAX / 2,
+        }
+        .escalate(1_000);
+        assert_eq!(huge.max_bb_nodes, u64::MAX);
+        assert_eq!(huge.max_sat_conflicts, Some(u64::MAX));
+        // tight() really is tighter than the default on every axis.
+        let (t, d) = (Budget::tight(), Budget::default());
+        assert!(t.max_bb_nodes < d.max_bb_nodes);
+        assert!(t.max_sat_conflicts.unwrap() < d.max_sat_conflicts.unwrap());
     }
 }

@@ -17,14 +17,20 @@
 //! input + constraint right-hand sides). [`dataset`] handles train/test
 //! splitting and normalization scales.
 
+//! [`sanitize`] is the intake valve for *damaged* telemetry: it
+//! classifies and repairs measurement artifacts (missing values, counter
+//! wraps, skewed samples, …) before windows reach the imputer and CEM.
+
 pub mod dataset;
 pub mod lanz;
 pub mod sampler;
+pub mod sanitize;
 pub mod series;
 pub mod snmp;
 pub mod stats;
 pub mod window;
 
+pub use sanitize::{sanitize_series, sanitize_window, SanitizeConfig, SanitizeReport};
 pub use series::CoarseTelemetry;
 pub use window::{windows_from_trace, PortWindow};
 

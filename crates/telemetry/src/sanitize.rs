@@ -1,0 +1,509 @@
+//! Telemetry sanitizer: classify and repair measurement artifacts.
+//!
+//! Real telemetry arrives damaged — counters wrap, exporters stall,
+//! samples go missing, clocks skew. This module is the pipeline's intake
+//! valve: it inspects the coarse measurements of a [`PortWindow`] (or an
+//! imputed floating-point series), classifies every artifact against a
+//! typed taxonomy ([`Artifact`]), repairs what has an unambiguous fix,
+//! and flags what does not. The CEM degradation ladder downstream
+//! (`fmml-fm`) handles whatever inconsistency survives sanitization.
+//!
+//! Repair policy (all deterministic):
+//!
+//! * **Missing values** ([`MISSING`] sentinel) — samples are linearly
+//!   interpolated from the nearest present neighbors; LANZ maxima are
+//!   interpolated the same way; missing sent-counts are replaced by the
+//!   interval length (the loosest bound C3 can use).
+//! * **Implausible values** (beyond the configured plausibility bound) —
+//!   treated as a narrow-counter wrap and repaired modulo 2^16; values
+//!   still implausible afterwards are clamped to the bound.
+//! * **Sample > max** — physically impossible (the periodic sample *is*
+//!   one of the observations the max ranges over); the max is raised to
+//!   the sample.
+//! * **Positive max with zero sent-count** — contradicts work
+//!   conservation; the sent-count is raised to 1 so the interval stays
+//!   feasible (the ladder may relax it further).
+//! * **Suspected duplicate intervals** — detected (identical non-zero
+//!   measurement vector as the predecessor) but *not* repaired: the copy
+//!   is internally consistent, so rewriting it would manufacture data.
+//!   Flagged for observability only.
+//!
+//! Every artifact is counted in the [`fmml_obs`] registry under
+//! `telemetry.sanitize.*`.
+
+use crate::window::PortWindow;
+use fmml_obs::{log_event, Counter};
+
+/// Sentinel for a lost `u32` measurement (no `NaN` in integers).
+pub const MISSING: u32 = u32::MAX;
+
+/// Assumed narrow-counter width for wrap repair.
+pub const WRAP_MODULUS: u32 = 1 << 16;
+
+/// Windows pushed through [`sanitize_window`].
+static WINDOWS: Counter = Counter::new("telemetry.sanitize.windows");
+/// Artifacts repaired in place.
+static REPAIRED: Counter = Counter::new("telemetry.sanitize.repaired");
+/// Artifacts flagged but left untouched.
+static FLAGGED: Counter = Counter::new("telemetry.sanitize.flagged");
+static ART_MISSING: Counter = Counter::new("telemetry.sanitize.artifact.missing");
+static ART_IMPLAUSIBLE: Counter = Counter::new("telemetry.sanitize.artifact.implausible");
+static ART_SAMPLE_GT_MAX: Counter = Counter::new("telemetry.sanitize.artifact.sample_gt_max");
+static ART_INCONSISTENT_SENT: Counter =
+    Counter::new("telemetry.sanitize.artifact.inconsistent_sent");
+static ART_DUP: Counter = Counter::new("telemetry.sanitize.artifact.suspected_dup");
+static ART_NONFINITE: Counter = Counter::new("telemetry.sanitize.artifact.nonfinite");
+
+/// The artifact taxonomy: what the sanitizer can detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// A measurement carried the [`MISSING`] sentinel.
+    MissingValue,
+    /// A value beyond the plausibility bound (counter wrap / corruption).
+    ImplausibleValue,
+    /// A periodic sample exceeding the interval's LANZ max.
+    SampleExceedsMax,
+    /// A positive LANZ max in an interval whose sent-count is zero.
+    InconsistentSent,
+    /// An interval identical to its predecessor (stuck exporter?).
+    SuspectedDuplicate,
+    /// A NaN/Inf cell in a floating-point series.
+    NonFinite,
+}
+
+impl Artifact {
+    /// Stable lowercase label (reports, metric names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Artifact::MissingValue => "missing",
+            Artifact::ImplausibleValue => "implausible",
+            Artifact::SampleExceedsMax => "sample_gt_max",
+            Artifact::InconsistentSent => "inconsistent_sent",
+            Artifact::SuspectedDuplicate => "suspected_dup",
+            Artifact::NonFinite => "nonfinite",
+        }
+    }
+
+    pub const ALL: [Artifact; 6] = [
+        Artifact::MissingValue,
+        Artifact::ImplausibleValue,
+        Artifact::SampleExceedsMax,
+        Artifact::InconsistentSent,
+        Artifact::SuspectedDuplicate,
+        Artifact::NonFinite,
+    ];
+}
+
+/// One detected artifact: what, where, and whether it was repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactRecord {
+    pub artifact: Artifact,
+    /// Queue (or port for port-level measurements).
+    pub queue: usize,
+    /// Coarse interval (fine bin for series artifacts).
+    pub interval: usize,
+    /// `true` if the value was rewritten, `false` if only flagged.
+    pub repaired: bool,
+}
+
+/// Everything one sanitization pass found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    pub records: Vec<ArtifactRecord>,
+}
+
+impl SanitizeReport {
+    pub fn is_clean(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn repaired(&self) -> usize {
+        self.records.iter().filter(|r| r.repaired).count()
+    }
+
+    pub fn flagged(&self) -> usize {
+        self.records.iter().filter(|r| !r.repaired).count()
+    }
+
+    /// Count of one artifact class.
+    pub fn count(&self, artifact: Artifact) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.artifact == artifact)
+            .count()
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: SanitizeReport) {
+        self.records.extend(other.records);
+    }
+
+    /// `missing=2,implausible=1` style single-line summary (only classes
+    /// that occurred).
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for a in Artifact::ALL {
+            let n = self.count(a);
+            if n > 0 {
+                parts.push(format!("{}={n}", a.label()));
+            }
+        }
+        if parts.is_empty() {
+            "clean".into()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+/// Plausibility bounds for repair decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanitizeConfig {
+    /// Largest believable queue length (e.g. the switch buffer size).
+    pub plausible_qlen: u32,
+    /// Largest believable per-interval packet count.
+    pub plausible_count: u32,
+}
+
+impl SanitizeConfig {
+    /// Bounds derived from the simulated switch: queue lengths are capped
+    /// by the shared buffer; per-interval counts by a generous 256
+    /// pkts/ms line-rate ceiling.
+    pub fn for_sim(buffer_packets: u32, interval_len: usize) -> SanitizeConfig {
+        SanitizeConfig {
+            plausible_qlen: buffer_packets,
+            plausible_count: (interval_len as u32).saturating_mul(256),
+        }
+    }
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        SanitizeConfig::for_sim(520, 50)
+    }
+}
+
+fn push(
+    records: &mut Vec<ArtifactRecord>,
+    artifact: Artifact,
+    queue: usize,
+    interval: usize,
+    repaired: bool,
+) {
+    match artifact {
+        Artifact::MissingValue => ART_MISSING.inc(),
+        Artifact::ImplausibleValue => ART_IMPLAUSIBLE.inc(),
+        Artifact::SampleExceedsMax => ART_SAMPLE_GT_MAX.inc(),
+        Artifact::InconsistentSent => ART_INCONSISTENT_SENT.inc(),
+        Artifact::SuspectedDuplicate => ART_DUP.inc(),
+        Artifact::NonFinite => ART_NONFINITE.inc(),
+    }
+    if repaired {
+        REPAIRED.inc();
+    } else {
+        FLAGGED.inc();
+    }
+    records.push(ArtifactRecord {
+        artifact,
+        queue,
+        interval,
+        repaired,
+    });
+}
+
+/// Repair one coarse series in place: `MISSING` cells are linearly
+/// interpolated from the nearest present neighbors (or copied from the
+/// single present side; all-missing series become zero).
+fn repair_missing(series: &mut [u32]) -> Vec<usize> {
+    let missing: Vec<usize> = (0..series.len())
+        .filter(|&k| series[k] == MISSING)
+        .collect();
+    for &k in &missing {
+        let prev = (0..k).rev().find(|&i| series[i] != MISSING);
+        let next = (k + 1..series.len()).find(|&i| series[i] != MISSING);
+        series[k] = match (prev, next) {
+            (Some(a), Some(b)) => {
+                // Linear interpolation on the interval index.
+                let (va, vb) = (series[a] as f64, series[b] as f64);
+                let frac = (k - a) as f64 / (b - a) as f64;
+                (va + (vb - va) * frac).round() as u32
+            }
+            (Some(a), None) => series[a],
+            (None, Some(b)) => series[b],
+            (None, None) => 0,
+        };
+    }
+    missing
+}
+
+/// Wrap-repair an implausibly large value: try modulo the narrow-counter
+/// width first (recovers a clean wrap exactly), clamp otherwise.
+fn repair_implausible(v: u32, bound: u32) -> u32 {
+    let unwrapped = v % WRAP_MODULUS;
+    if unwrapped <= bound {
+        unwrapped
+    } else {
+        bound
+    }
+}
+
+/// Sanitize the coarse measurements of one window in place.
+///
+/// After this returns, every `samples`/`maxes`/`sent` cell is present,
+/// plausible, and per-queue consistent (`sample <= max`, positive max
+/// implies positive sent-count) — i.e. the window constraints extracted
+/// from it are feasible interval by interval unless the model output
+/// makes them otherwise.
+pub fn sanitize_window(w: &mut PortWindow, cfg: &SanitizeConfig) -> SanitizeReport {
+    WINDOWS.inc();
+    let mut records = Vec::new();
+    let intervals = w.intervals();
+
+    // 1. Missing values.
+    for q in 0..w.num_queues() {
+        for k in repair_missing(&mut w.samples[q]) {
+            push(&mut records, Artifact::MissingValue, q, k, true);
+        }
+        for k in repair_missing(&mut w.maxes[q]) {
+            push(&mut records, Artifact::MissingValue, q, k, true);
+        }
+    }
+    for k in 0..intervals {
+        if w.sent[k] == MISSING {
+            // Loosest bound C3 can use: every fine step may be non-empty.
+            w.sent[k] = w.interval_len as u32;
+            push(&mut records, Artifact::MissingValue, w.port, k, true);
+        }
+    }
+
+    // 2. Implausible values (counter wraps / corruption).
+    for q in 0..w.num_queues() {
+        for k in 0..intervals {
+            if w.samples[q][k] > cfg.plausible_qlen {
+                w.samples[q][k] = repair_implausible(w.samples[q][k], cfg.plausible_qlen);
+                push(&mut records, Artifact::ImplausibleValue, q, k, true);
+            }
+            if w.maxes[q][k] > cfg.plausible_qlen {
+                w.maxes[q][k] = repair_implausible(w.maxes[q][k], cfg.plausible_qlen);
+                push(&mut records, Artifact::ImplausibleValue, q, k, true);
+            }
+        }
+    }
+    for k in 0..intervals {
+        if w.sent[k] > cfg.plausible_count {
+            w.sent[k] = repair_implausible(w.sent[k], cfg.plausible_count);
+            push(&mut records, Artifact::ImplausibleValue, w.port, k, true);
+        }
+    }
+
+    // 3. Per-queue consistency: the sample is one of the observations the
+    // max ranges over.
+    for q in 0..w.num_queues() {
+        for k in 0..intervals {
+            if w.samples[q][k] > w.maxes[q][k] {
+                w.maxes[q][k] = w.samples[q][k];
+                push(&mut records, Artifact::SampleExceedsMax, q, k, true);
+            }
+        }
+    }
+
+    // 4. Work-conservation consistency: a busy interval sent something.
+    for k in 0..intervals {
+        let busy = (0..w.num_queues()).any(|q| w.maxes[q][k] > 0);
+        if busy && w.sent[k] == 0 {
+            w.sent[k] = 1;
+            push(&mut records, Artifact::InconsistentSent, w.port, k, true);
+        }
+    }
+
+    // 5. Suspected duplicates: identical non-zero measurement vector as
+    // the predecessor. Internally consistent, so flag-only.
+    for k in 1..intervals {
+        let same = (0..w.num_queues())
+            .all(|q| w.samples[q][k] == w.samples[q][k - 1] && w.maxes[q][k] == w.maxes[q][k - 1]);
+        let nonzero = (0..w.num_queues()).any(|q| w.maxes[q][k] > 0);
+        if same && nonzero {
+            push(&mut records, Artifact::SuspectedDuplicate, w.port, k, false);
+        }
+    }
+
+    let report = SanitizeReport { records };
+    if !report.is_clean() {
+        log_event!(
+            "telemetry.sanitize",
+            "port" = w.port,
+            "start_bin" = w.start_bin,
+            "repaired" = report.repaired(),
+            "flagged" = report.flagged(),
+        );
+    }
+    report
+}
+
+/// Replace non-finite cells of a floating-point series in place
+/// (carry-forward of the last finite value; leading NaNs become 0).
+pub fn sanitize_series(series: &mut [Vec<f32>]) -> SanitizeReport {
+    let mut records = Vec::new();
+    for (q, qs) in series.iter_mut().enumerate() {
+        let mut last_finite = 0.0f32;
+        for (t, v) in qs.iter_mut().enumerate() {
+            if v.is_finite() {
+                last_finite = *v;
+            } else {
+                *v = last_finite;
+                push(&mut records, Artifact::NonFinite, q, t, true);
+            }
+        }
+    }
+    SanitizeReport { records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windows_from_trace;
+    use fmml_netsim::traffic::TrafficConfig;
+    use fmml_netsim::{SimConfig, Simulation};
+
+    fn window() -> PortWindow {
+        let cfg = SimConfig::small();
+        let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.6);
+        let gt = Simulation::new(cfg, traffic, 13).run_ms(300);
+        windows_from_trace(&gt, 300, 50, 300)
+            .into_iter()
+            .find(|w| w.has_activity())
+            .expect("an active window")
+    }
+
+    fn cfg() -> SanitizeConfig {
+        SanitizeConfig::for_sim(64, 50)
+    }
+
+    #[test]
+    fn clean_window_is_untouched() {
+        let mut w = window();
+        let orig = w.clone();
+        let rep = sanitize_window(&mut w, &SanitizeConfig::for_sim(10_000, 50));
+        // A real simulator window may legitimately contain duplicate-ish
+        // intervals; everything else must be clean and unrepaired.
+        assert_eq!(rep.repaired(), 0, "{:?}", rep.records);
+        assert_eq!(w.samples, orig.samples);
+        assert_eq!(w.maxes, orig.maxes);
+        assert_eq!(w.sent, orig.sent);
+    }
+
+    #[test]
+    fn missing_samples_are_interpolated() {
+        let mut w = window();
+        w.samples[0] = vec![4, MISSING, 8, MISSING, MISSING, 2];
+        w.maxes[0] = vec![10; 6];
+        let rep = sanitize_window(&mut w, &SanitizeConfig::for_sim(10_000, 50));
+        assert_eq!(rep.count(Artifact::MissingValue), 3);
+        assert_eq!(w.samples[0], vec![4, 6, 8, 6, 4, 2]);
+    }
+
+    #[test]
+    fn all_missing_series_becomes_zero() {
+        let mut series = vec![MISSING; 4];
+        let fixed = repair_missing(&mut series);
+        assert_eq!(fixed.len(), 4);
+        assert_eq!(series, vec![0; 4]);
+    }
+
+    #[test]
+    fn counter_wrap_is_recovered_exactly() {
+        let mut w = window();
+        let orig = w.maxes[0][2].max(3);
+        w.maxes[0][2] = orig.wrapping_sub(WRAP_MODULUS); // wrapped export
+        let rep = sanitize_window(&mut w, &SanitizeConfig::for_sim(10_000, 50));
+        assert!(rep.count(Artifact::ImplausibleValue) >= 1);
+        assert_eq!(w.maxes[0][2], orig, "wrap repair should invert the wrap");
+    }
+
+    #[test]
+    fn implausible_non_wrap_values_are_clamped() {
+        assert_eq!(repair_implausible(WRAP_MODULUS + 200, 64), 64);
+        assert_eq!(repair_implausible(40, 64), 40 % WRAP_MODULUS);
+    }
+
+    #[test]
+    fn sample_above_max_raises_the_max() {
+        let mut w = window();
+        w.samples[1][3] = 9;
+        w.maxes[1][3] = 2;
+        let rep = sanitize_window(&mut w, &cfg());
+        assert!(rep.count(Artifact::SampleExceedsMax) >= 1);
+        assert_eq!(w.maxes[1][3], 9);
+    }
+
+    #[test]
+    fn busy_interval_with_zero_sent_is_repaired() {
+        let mut w = window();
+        w.maxes[0][1] = 5;
+        w.sent[1] = 0;
+        let rep = sanitize_window(&mut w, &cfg());
+        assert!(rep.count(Artifact::InconsistentSent) >= 1);
+        assert_eq!(w.sent[1], 1);
+    }
+
+    #[test]
+    fn duplicates_are_flagged_not_repaired() {
+        let mut w = window();
+        for q in 0..w.num_queues() {
+            w.samples[q][4] = w.samples[q][3];
+            w.maxes[q][4] = w.maxes[q][3].max(1);
+            w.maxes[q][3] = w.maxes[q][4];
+        }
+        let before = w.clone();
+        let rep = sanitize_window(&mut w, &SanitizeConfig::for_sim(10_000, 50));
+        assert!(rep.count(Artifact::SuspectedDuplicate) >= 1);
+        assert_eq!(
+            w.samples, before.samples,
+            "flag-only artifacts rewrite nothing"
+        );
+        assert_eq!(rep.flagged(), rep.count(Artifact::SuspectedDuplicate));
+    }
+
+    #[test]
+    fn sanitized_window_is_internally_consistent() {
+        let mut w = window();
+        // Heavy corruption.
+        w.samples[0][0] = MISSING;
+        w.maxes[0][0] = MISSING;
+        w.samples[1][2] = 50;
+        w.maxes[1][2] = 3;
+        w.sent[2] = 0;
+        w.maxes[0][5] = 7u32.wrapping_sub(WRAP_MODULUS);
+        w.sent[4] = MISSING;
+        sanitize_window(&mut w, &cfg());
+        for q in 0..w.num_queues() {
+            for k in 0..w.intervals() {
+                assert!(w.samples[q][k] <= w.maxes[q][k], "q{q} k{k}");
+                assert!(w.maxes[q][k] <= cfg().plausible_qlen);
+                let busy = (0..w.num_queues()).any(|qq| w.maxes[qq][k] > 0);
+                assert!(!busy || w.sent[k] > 0, "k{k} busy but sent=0");
+            }
+        }
+    }
+
+    #[test]
+    fn series_nonfinite_cells_are_carried_forward() {
+        let mut s = vec![vec![f32::NAN, 2.0, f32::INFINITY, 4.0, f32::NEG_INFINITY]];
+        let rep = sanitize_series(&mut s);
+        assert_eq!(rep.count(Artifact::NonFinite), 3);
+        assert_eq!(rep.repaired(), 3);
+        assert_eq!(s[0], vec![0.0, 2.0, 2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn report_summary_reads_well() {
+        let mut s = vec![vec![f32::NAN; 2]];
+        let rep = sanitize_series(&mut s);
+        assert_eq!(rep.summary(), "nonfinite=2");
+        assert_eq!(SanitizeReport::default().summary(), "clean");
+    }
+}

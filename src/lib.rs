@@ -3,6 +3,7 @@
 //! See [`fmml_core`] for the paper's contribution (KAL + CEM imputation
 //! pipeline) and the substrate crates for the systems it builds on.
 pub use fmml_core as core;
+pub use fmml_fault as fault;
 pub use fmml_fm as fm;
 pub use fmml_netsim as netsim;
 pub use fmml_nn as nn;

@@ -1,0 +1,179 @@
+//! Property tests: the fault-injection → sanitizer → degradation-ladder
+//! path never panics and always yields constraint-satisfying windows.
+//!
+//! For *any* `FaultPlan` (arbitrary rates, arbitrary seed) applied to
+//! real simulator windows, the pipeline must:
+//!
+//! * sanitize every corrupted window without panicking, leaving no
+//!   `MISSING` sentinels or `sample > max` contradictions behind;
+//! * produce, via [`enforce_degraded`], a corrected series that exactly
+//!   satisfies the *effective* constraints (the caller's, or the
+//!   minimally-relaxed set when the corruption made them contradictory);
+//! * do all of the above even when the SMT engine is starved to force
+//!   the ladder through its retry and fallback rungs.
+
+use fmml::fault::{inject_series, inject_window, FaultPlan};
+use fmml::fm::cem::{enforce_degraded, CemEngine, LadderConfig};
+use fmml::fm::WindowConstraints;
+use fmml::netsim::traffic::TrafficConfig;
+use fmml::netsim::{SimConfig, Simulation};
+use fmml::smt::solver::Budget;
+use fmml::telemetry::sanitize::MISSING;
+use fmml::telemetry::{
+    sanitize_series, sanitize_window, windows_from_trace, PortWindow, SanitizeConfig,
+};
+use proptest::prelude::*;
+
+/// Short real-traffic windows (60 bins, 10-bin intervals) keep each
+/// proptest case fast while exercising every measurement kind.
+fn windows(seed: u64) -> Vec<PortWindow> {
+    let cfg = SimConfig::small();
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.6);
+    let gt = Simulation::new(cfg, traffic, seed).run_ms(240);
+    windows_from_trace(&gt, 60, 10, 60)
+        .into_iter()
+        .filter(|w| w.has_activity())
+        .collect()
+}
+
+fn sanitize_cfg() -> SanitizeConfig {
+    SanitizeConfig::for_sim(SimConfig::small().buffer_packets, 10)
+}
+
+/// A noisy model output for the window: the truth, rescaled — good
+/// enough to be plausible, wrong enough to need correction.
+fn noisy_prediction(w: &PortWindow, noise: f32) -> Vec<Vec<f32>> {
+    w.truth
+        .iter()
+        .map(|q| q.iter().map(|&v| v * noise + 0.3).collect())
+        .collect()
+}
+
+/// Run one window through inject → sanitize → ladder and return an error
+/// string on any violated invariant (proptest-style).
+fn check_window(
+    mut w: PortWindow,
+    plan: &FaultPlan,
+    salt: u64,
+    noise: f32,
+    ladder: &LadderConfig,
+) -> Result<(), String> {
+    inject_window(plan, salt, &mut w);
+    let report = sanitize_window(&mut w, &sanitize_cfg());
+    // Sanitizer postconditions: no sentinel survives, no contradiction
+    // it claims to repair survives.
+    for q in 0..w.num_queues() {
+        for k in 0..w.intervals() {
+            if w.samples[q][k] == MISSING || w.maxes[q][k] == MISSING {
+                return Err(format!("MISSING survived sanitize: q{q} k{k}"));
+            }
+            if w.samples[q][k] > w.maxes[q][k] {
+                return Err(format!(
+                    "sample>max survived sanitize: q{q} k{k} ({} > {}); report {}",
+                    w.samples[q][k],
+                    w.maxes[q][k],
+                    report.summary()
+                ));
+            }
+        }
+    }
+    let mut series = noisy_prediction(&w, noise);
+    inject_series(plan, salt, &mut series);
+    sanitize_series(&mut series);
+    if series.iter().any(|q| q.iter().any(|v| !v.is_finite())) {
+        return Err("non-finite model output survived sanitize_series".into());
+    }
+    let wc = WindowConstraints::from_window(&w);
+    let out = enforce_degraded(&wc, &series, ladder);
+    let eff = out.effective_constraints(&wc);
+    if !eff.satisfied_exact(&out.corrected) {
+        return Err(format!(
+            "ladder output violates effective constraints (levels {:?})",
+            out.levels
+        ));
+    }
+    if out.levels.len() != wc.intervals() {
+        return Err("one DegradationLevel per interval expected".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn ladder_survives_arbitrary_fault_plans(
+        seed in 0u64..5000,
+        miss in 0.0f64..0.35,
+        dup in 0.0f64..0.2,
+        wrap in 0.0f64..0.2,
+        reset in 0.0f64..0.2,
+        skew in 0.0f64..0.2,
+        nan in 0.0f64..0.05,
+        noise in 0.0f32..3.0,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            miss_rate: miss,
+            dup_rate: dup,
+            wrap_rate: wrap,
+            reset_rate: reset,
+            skew_rate: skew,
+            nan_rate: nan,
+        };
+        let cfg = LadderConfig::default();
+        for (i, w) in windows(seed).into_iter().enumerate() {
+            if let Err(e) = check_window(w, &plan, i as u64, noise, &cfg) {
+                prop_assert!(false, "seed {seed}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn starved_smt_ladder_still_satisfies_constraints(
+        seed in 0u64..5000,
+        noise in 0.0f32..3.0,
+    ) {
+        // A budget this small walls on every non-trivial interval, forcing
+        // the retry and fast-fallback rungs under corruption.
+        let starved = Budget {
+            timeout: None,
+            max_sat_conflicts: Some(1),
+            max_bb_nodes: 1,
+        };
+        let cfg = LadderConfig {
+            engine: CemEngine::Smt { budget: starved },
+            deadline: None,
+            escalation_factor: 2,
+        };
+        let plan = FaultPlan::chaos(seed);
+        for (i, w) in windows(seed).into_iter().enumerate().take(3) {
+            if let Err(e) = check_window(w, &plan, i as u64, noise, &cfg) {
+                prop_assert!(false, "seed {seed}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_plans_leave_windows_untouched(seed in 0u64..5000) {
+        let plan = FaultPlan::none(seed);
+        for (i, mut w) in windows(seed).into_iter().enumerate() {
+            let orig = w.clone();
+            let events = inject_window(&plan, i as u64, &mut w);
+            prop_assert!(events.is_empty(), "inactive plan injected faults");
+            prop_assert_eq!(w.samples.clone(), orig.samples);
+            prop_assert_eq!(w.maxes.clone(), orig.maxes);
+            prop_assert_eq!(w.sent.clone(), orig.sent);
+            let report = sanitize_window(&mut w, &sanitize_cfg());
+            // Clean data needs no repairs. (The flag-only duplicate
+            // heuristic may still fire on naturally identical adjacent
+            // intervals — flags are advisory, repairs are not.)
+            prop_assert_eq!(
+                report.repaired(),
+                0,
+                "clean window repaired: {}",
+                report.summary()
+            );
+        }
+    }
+}
