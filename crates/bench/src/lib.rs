@@ -6,6 +6,7 @@
 //! under test.
 
 pub mod baseline;
+pub mod cem_parallel;
 
 use fmml_fm::cem::IntervalProblem;
 use fmml_netsim::traffic::TrafficConfig;

@@ -5,9 +5,10 @@
 //! fmml telemetry --ms 500 --seed 1 --interval 50             # coarse CSV
 //! fmml train     --out model.json [--kal] [--epochs 30] …    # checkpoint
 //! fmml impute    --model model.json --ms 300 --seed 99 [--cem]
+//! fmml enforce   --model model.json --jobs 4 [--no-cache]    # batched CEM
 //! fmml eval      [--paper] [--epochs N]                      # Table 1
 //! fmml fm-solve  --steps 8 --ports 2 --budget-secs 10        # §2.3 model
-//! fmml fault-run --seed 7 [--smt] [--bench-out DIR]          # chaos mode
+//! fmml fault-run --seed 7 --jobs 4 [--smt] [--bench-out DIR] # chaos mode
 //! ```
 //!
 //! Every command accepts the global observability flags: `--stats` prints
@@ -21,12 +22,16 @@ mod error;
 use args::Args;
 use error::CliError;
 use fmml_bench::baseline::Baseline;
+use fmml_bench::cem_parallel::{bench_ladder, CemParallelReport};
 use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
 use fmml_core::imputer::Imputer;
 use fmml_core::train::{train, train_from};
 use fmml_core::transformer_imputer::{Scales, TransformerImputer};
 use fmml_fault::{inject_series, inject_window, FaultPlan};
-use fmml_fm::cem::{enforce, enforce_degraded, CemEngine, DegradationLevel, LadderConfig};
+use fmml_fm::cem::{
+    enforce, enforce_degraded_batch, CemEngine, DegradationLevel, EnforceOptions, LadderConfig,
+    LadderOutcome, SolutionCache,
+};
 use fmml_fm::packet_model::{
     reference_execution, solve, Arrival, PacketModelConfig, PacketModelOutcome,
 };
@@ -56,6 +61,11 @@ COMMANDS:
              --smoke        scaled-down config (seconds instead of minutes)
   impute     impute fresh telemetry with a checkpoint
              --model FILE  --ms N (300)  --seed N (99)  --cem
+  enforce    impute fresh telemetry and run the CEM degradation ladder
+             over every active window, batched (parallel + memoized)
+             --model FILE  --ms N (300)  --seed N (99)  --runs N (1)
+             --smt  --deadline-ms N  --jobs N (1; 0 = auto)  --no-cache
+             --bench-out DIR (sequential-vs-tuned BENCH_cem_parallel.json)
   eval       regenerate Table 1 (markdown)
              --paper  --epochs N
   fm-solve   solve the full §2.3 packet-level model for a scripted scenario
@@ -64,7 +74,9 @@ COMMANDS:
              degradation ladder; exits non-zero if any output window
              violates its (possibly relaxed) constraints
              --seed N (7)  --runs N (2)  --epochs N (3)  --smt
-             --deadline-ms N  --bench-out DIR (write BENCH_cem_ladder.json)
+             --deadline-ms N  --jobs N (1; 0 = auto)  --no-cache
+             --bench-out DIR (write BENCH_cem_ladder.json and the
+             sequential-vs-tuned BENCH_cem_parallel.json)
 
 GLOBAL FLAGS:
   --stats            print the metrics table to stderr on exit
@@ -94,6 +106,7 @@ fn main() {
         "telemetry" => cmd_telemetry(&args),
         "train" => cmd_train(&args),
         "impute" => cmd_impute(&args),
+        "enforce" => cmd_enforce(&args),
         "eval" => cmd_eval(&args),
         "fm-solve" => cmd_fm_solve(&args),
         "fault-run" => cmd_fault_run(&args),
@@ -360,6 +373,175 @@ fn cmd_fm_solve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Stage B of `enforce`/`fault-run`: run the degradation ladder over a
+/// batch of `(constraints, prediction)` windows with the requested
+/// worker count and memo cache.
+///
+/// With `--bench-out DIR` the batch is run twice via
+/// [`bench_ladder`] — sequential/uncached reference, then the tuned
+/// pass — `BENCH_cem_parallel.json` is written into `DIR`, and a
+/// divergence between the two passes is a hard error (the determinism
+/// contract CI greps for). Without it, only the tuned pass runs.
+///
+/// Returns the outcomes to verify constraints against (the sequential
+/// reference when benchmarking — both passes are asserted identical)
+/// plus the bench report when one was produced.
+fn run_ladder(
+    items: &[(WindowConstraints, Vec<Vec<f32>>)],
+    cfg: &LadderConfig,
+    jobs: usize,
+    use_cache: bool,
+    bench_dir: Option<&str>,
+) -> Result<(Vec<LadderOutcome>, Option<CemParallelReport>), CliError> {
+    if let Some(dir) = bench_dir {
+        let (outs, report) = bench_ladder(items, cfg, jobs, use_cache);
+        std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+        let path = report
+            .save(Path::new(dir))
+            .map_err(|e| CliError::io(dir, e))?;
+        eprintln!("bench report written to {}", path.display());
+        if !report.identical {
+            return Err(CliError::Invalid(format!(
+                "parallel/cached output diverged from the sequential reference \
+                 (seq={:016x} par={:016x})",
+                report.sequential_hash, report.parallel_hash
+            )));
+        }
+        Ok((outs, Some(report)))
+    } else {
+        let cache = SolutionCache::new(fmml_fm::cem::cache::DEFAULT_CAPACITY);
+        let opts = EnforceOptions::new(jobs, use_cache.then_some(&cache));
+        let outs = enforce_degraded_batch(items, cfg, &opts);
+        if use_cache {
+            let stats = cache.stats();
+            println!(
+                "  cache: hits={} misses={} hit_rate={:.1}% evictions={} saved={:.2}ms",
+                stats.hits,
+                stats.misses,
+                stats.hit_rate() * 100.0,
+                stats.evictions,
+                stats.saved_ns as f64 / 1e6,
+            );
+        }
+        Ok((outs, None))
+    }
+}
+
+/// Per-rung interval counts, total intervals, and the number of windows
+/// whose corrected output violates its effective constraints.
+fn summarize_outcomes(
+    items: &[(WindowConstraints, Vec<Vec<f32>>)],
+    outs: &[LadderOutcome],
+) -> ([usize; 5], usize, usize) {
+    let mut level_counts = [0usize; 5];
+    let mut intervals = 0usize;
+    let mut violations = 0usize;
+    for (out, (wc, _)) in outs.iter().zip(items) {
+        for (total, n) in level_counts.iter_mut().zip(out.level_counts()) {
+            *total += n;
+        }
+        intervals += out.levels.len();
+        if !out
+            .effective_constraints(wc)
+            .satisfied_exact(&out.corrected)
+        {
+            violations += 1;
+        }
+    }
+    (level_counts, intervals, violations)
+}
+
+/// `full=12,clamp=3`-style rendering of per-rung interval counts.
+fn ladder_summary(level_counts: &[usize; 5]) -> String {
+    DegradationLevel::ALL
+        .iter()
+        .zip(level_counts)
+        .filter(|(_, n)| **n > 0)
+        .map(|(l, n)| format!("{}={n}", l.label()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The shared ladder-engine knobs of `enforce`/`fault-run`.
+fn ladder_config(args: &Args) -> Result<LadderConfig, CliError> {
+    Ok(LadderConfig {
+        engine: if args.flag("smt") {
+            CemEngine::Smt {
+                budget: Budget::tight(),
+            }
+        } else {
+            CemEngine::Fast
+        },
+        deadline: args.get::<u64>("deadline-ms")?.map(Duration::from_millis),
+        escalation_factor: 4,
+    })
+}
+
+/// The inference-side enforcement path, batched: impute a fresh trace
+/// with a checkpoint and push every active window through the CEM
+/// degradation ladder with `--jobs` workers sharing a memo cache.
+fn cmd_enforce(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .get_string("model")
+        .ok_or_else(|| CliError::Usage("--model FILE is required".into()))?;
+    let json = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    let model = TransformerImputer::load_json(&json)
+        .map_err(|e| CliError::Invalid(format!("--model {path}: not a valid checkpoint: {e}")))?;
+    let mut cfg = EvalConfig::paper();
+    cfg.run_ms = args.get_or("ms", 300u64)?;
+    cfg.seed = args.get_or("seed", 99u64)?;
+    let runs = args.get_or("runs", 1usize)?;
+    let jobs = args.get_or("jobs", 1usize)?;
+    let use_cache = !args.flag("no-cache");
+    let ladder_cfg = ladder_config(args)?;
+
+    let windows = generate_windows(&cfg, cfg.seed, runs);
+    if windows.is_empty() {
+        return Err(CliError::Invalid(
+            "no active windows in the simulated span".into(),
+        ));
+    }
+    let items: Vec<(WindowConstraints, Vec<Vec<f32>>)> = windows
+        .iter()
+        .map(|w| (WindowConstraints::from_window(w), model.impute(w)))
+        .collect();
+
+    let t0 = Instant::now();
+    let (outs, bench) = run_ladder(
+        &items,
+        &ladder_cfg,
+        jobs,
+        use_cache,
+        args.get_string("bench-out"),
+    )?;
+    let wall = t0.elapsed();
+    let (level_counts, intervals, violations) = summarize_outcomes(&items, &outs);
+    println!(
+        "enforce: windows={} intervals={intervals} jobs={jobs} cache={} wall={:.2}ms",
+        items.len(),
+        if use_cache { "on" } else { "off" },
+        wall.as_secs_f64() * 1e3,
+    );
+    println!("  ladder: {}", ladder_summary(&level_counts));
+    if let Some(rep) = &bench {
+        println!("  bench: {}", rep.summary());
+    }
+    println!("violations={violations}");
+    log_event!(
+        "cli.enforce.done",
+        "windows" = items.len(),
+        "intervals" = intervals,
+        "jobs" = jobs,
+        "violations" = violations,
+    );
+    if violations > 0 {
+        return Err(CliError::Invalid(format!(
+            "{violations} window(s) violated their effective constraints"
+        )));
+    }
+    Ok(())
+}
+
 /// Chaos mode: drive the full pipeline through seeded fault injection
 /// and prove the degradation ladder still yields constraint-satisfying
 /// windows.
@@ -381,8 +563,8 @@ fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
     let seed = args.get_or("seed", 7u64)?;
     let runs = args.get_or("runs", 2usize)?;
     let epochs = args.get_or("epochs", 3usize)?.max(2);
-    let deadline_ms = args.get::<u64>("deadline-ms")?;
-    let use_smt = args.flag("smt");
+    let jobs = args.get_or("jobs", 1usize)?;
+    let use_cache = !args.flag("no-cache");
 
     let mut cfg = EvalConfig::smoke();
     cfg.seed = seed;
@@ -423,24 +605,13 @@ fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Invalid("no active evaluation windows".into()));
     }
     let san_cfg = SanitizeConfig::for_sim(cfg.sim.buffer_packets, cfg.interval_len);
-    let ladder_cfg = LadderConfig {
-        engine: if use_smt {
-            CemEngine::Smt {
-                budget: Budget::tight(),
-            }
-        } else {
-            CemEngine::Fast
-        },
-        deadline: deadline_ms.map(Duration::from_millis),
-        escalation_factor: 4,
-    };
+    let ladder_cfg = ladder_config(args)?;
 
+    // Stage A (sequential, deterministic in --seed): inject -> sanitize
+    // -> impute -> sanitize, collecting each window's enforcement input.
     let mut injected: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut report = SanitizeReport::default();
-    let mut level_counts = [0usize; 5];
-    let mut intervals = 0usize;
-    let mut violations = 0usize;
-    let mut ladder_ns: Vec<f64> = Vec::with_capacity(windows.len());
+    let mut items: Vec<(WindowConstraints, Vec<Vec<f32>>)> = Vec::with_capacity(windows.len());
     for (i, w) in windows.iter_mut().enumerate() {
         let salt = i as u64;
         for e in inject_window(&plan, salt, w) {
@@ -452,33 +623,27 @@ fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
             *injected.entry(e.kind.label()).or_default() += 1;
         }
         report.merge(sanitize_series(&mut series));
-        let wc = WindowConstraints::from_window(w);
-        let t0 = Instant::now();
-        let out = enforce_degraded(&wc, &series, &ladder_cfg);
-        ladder_ns.push(t0.elapsed().as_nanos() as f64);
-        for (total, n) in level_counts.iter_mut().zip(out.level_counts()) {
-            *total += n;
-        }
-        intervals += out.levels.len();
-        if !out
-            .effective_constraints(&wc)
-            .satisfied_exact(&out.corrected)
-        {
-            violations += 1;
-        }
+        items.push((WindowConstraints::from_window(w), series));
     }
+
+    // Stage B: the ladder, batched — parallel across windows when
+    // --jobs != 1, memoized unless --no-cache, benchmarked against the
+    // sequential reference when --bench-out is set.
+    let (outs, bench) = run_ladder(
+        &items,
+        &ladder_cfg,
+        jobs,
+        use_cache,
+        args.get_string("bench-out"),
+    )?;
+    let (level_counts, intervals, violations) = summarize_outcomes(&items, &outs);
 
     let injected_total: usize = injected.values().sum();
     let injected_str: Vec<String> = injected.iter().map(|(k, n)| format!("{k}={n}")).collect();
-    let ladder_str: Vec<String> = DegradationLevel::ALL
-        .iter()
-        .zip(level_counts)
-        .filter(|(_, n)| *n > 0)
-        .map(|(l, n)| format!("{}={n}", l.label()))
-        .collect();
     println!(
-        "fault-run: seed={seed} windows={} intervals={intervals}",
-        windows.len()
+        "fault-run: seed={seed} windows={} intervals={intervals} jobs={jobs} cache={}",
+        windows.len(),
+        if use_cache { "on" } else { "off" },
     );
     println!(
         "  plan: chaos preset, expected corruption rate {:.1}%",
@@ -489,7 +654,10 @@ fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
         injected_str.join(",")
     );
     println!("  sanitizer: {}", report.summary());
-    println!("  ladder: {}", ladder_str.join(","));
+    println!("  ladder: {}", ladder_summary(&level_counts));
+    if let Some(rep) = &bench {
+        println!("  bench: {}", rep.summary());
+    }
     println!(
         "  train: epochs={} rollbacks={rollbacks} final_loss={:.4}",
         stats.len(),
@@ -504,12 +672,15 @@ fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
         "rollbacks" = rollbacks,
     );
 
-    if let Some(dir) = args.get_string("bench-out") {
-        std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
-        ladder_ns.sort_by(|a, b| a.total_cmp(b));
-        let median = ladder_ns[ladder_ns.len() / 2];
+    if let (Some(dir), Some(rep)) = (args.get_string("bench-out"), &bench) {
+        // The historical per-window ladder baseline, now derived from the
+        // bench report's sequential reference pass (mean ns per window).
         let mut baseline = Baseline::new("cem_ladder");
-        baseline.record("fault_run_enforce_window", median, ladder_ns.len() as u64);
+        baseline.record(
+            "fault_run_enforce_window",
+            rep.sequential_ns as f64 / rep.windows.max(1) as f64,
+            rep.windows as u64,
+        );
         let path = baseline
             .save(Path::new(dir))
             .map_err(|e| CliError::io(dir, e))?;

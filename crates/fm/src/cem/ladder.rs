@@ -32,10 +32,13 @@
 //! to degrade.
 
 use super::{
-    fast_engine, interval_problem, smt_engine, CemEngine, IntervalProblem, IntervalSolution,
+    cache, fast_engine, interval_problem, smt_engine, CachedInterval, CemEngine, EnforceOptions,
+    IntervalProblem, IntervalSolution,
 };
 use crate::constraints::WindowConstraints;
 use fmml_obs::{log_event, Counter, Histogram, Unit};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Windows pushed through [`enforce_degraded`].
@@ -288,11 +291,82 @@ fn solve_interval(
 
 /// Enforce C1–C3 with graceful degradation: always returns a corrected
 /// window, annotated per interval with how much the correction had to
-/// degrade. See the module docs for the rungs.
+/// degrade. See the module docs for the rungs. (Sequential, uncached —
+/// see [`enforce_degraded_with`] for the tuned path.)
 pub fn enforce_degraded(
     w: &WindowConstraints,
     imputed: &[Vec<f32>],
     cfg: &LadderConfig,
+) -> LadderOutcome {
+    enforce_degraded_with(w, imputed, cfg, &EnforceOptions::default())
+}
+
+/// Solve one relaxed interval, consulting the memo cache first.
+///
+/// Cache order matters for the deadline story: the lookup happens
+/// *before* the deadline check, so a hit upgrades a would-be clamp
+/// projection to the cached optimal answer for free, and the time the
+/// hit saved (`solve_ns` of the original solve) is added to `rebate_ns`,
+/// extending the effective deadline for the remaining hard intervals.
+fn solve_interval_cached(
+    p: &IntervalProblem,
+    cfg: &LadderConfig,
+    ekey: Option<cache::EngineKey>,
+    c: Option<&SolutionCacheRef<'_>>,
+    start: Instant,
+    rebate_ns: &AtomicU64,
+) -> (IntervalSolution, DegradationLevel) {
+    let key = match (c, ekey) {
+        (Some(cache_ref), Some(ekey)) => {
+            let key = cache::CacheKey::new(ekey, p);
+            if let Some(hit) = cache_ref.0.lookup(&key) {
+                rebate_ns.fetch_add(hit.solve_ns, Ordering::Relaxed);
+                return (hit.solution, hit.rung);
+            }
+            Some(key)
+        }
+        _ => None,
+    };
+    let past_deadline = cfg.deadline.is_some_and(|d| {
+        let rebate = Duration::from_nanos(rebate_ns.load(Ordering::Relaxed));
+        start.elapsed() > d.saturating_add(rebate)
+    });
+    let t0 = Instant::now();
+    let (sol, rung) = solve_interval(p, cfg, past_deadline);
+    // Clamp projections are deadline artifacts, not properties of the
+    // problem — never memoize them.
+    if rung != DegradationLevel::ClampProjection {
+        if let (Some(cache_ref), Some(key)) = (c, key) {
+            cache_ref.0.insert(
+                key,
+                CachedInterval {
+                    solution: sol.clone(),
+                    rung,
+                    solve_ns: t0.elapsed().as_nanos() as u64,
+                },
+            );
+        }
+    }
+    (sol, rung)
+}
+
+/// Newtype so the closure capture stays `Sync`-obvious.
+struct SolutionCacheRef<'a>(&'a super::SolutionCache);
+
+/// [`enforce_degraded`] with explicit parallelism/caching options.
+///
+/// Intervals are relaxed sequentially (cheap, and it keeps
+/// [`LadderOutcome::relaxed`] construction deterministic), then solved
+/// in parallel across `opts.jobs` workers and merged back in interval
+/// order. With `deadline: None` the output is bitwise identical across
+/// every `opts` setting; with a deadline, clamp decisions depend on
+/// wall-clock in both the sequential and the parallel path (the cache
+/// only ever upgrades a clamp to the optimal answer, never the reverse).
+pub fn enforce_degraded_with(
+    w: &WindowConstraints,
+    imputed: &[Vec<f32>],
+    cfg: &LadderConfig,
+    opts: &EnforceOptions,
 ) -> LadderOutcome {
     assert_eq!(imputed.len(), w.num_queues(), "queue count mismatch");
     for q in imputed {
@@ -302,12 +376,12 @@ pub fn enforce_degraded(
     LADDER_WINDOWS.inc();
     let start = Instant::now();
     let l = w.interval_len;
-    let mut corrected: Vec<Vec<u32>> = vec![vec![0; w.len]; w.num_queues()];
-    let mut objective = 0u64;
-    let mut levels = Vec::with_capacity(w.intervals());
-    let mut relaxed_w: Option<WindowConstraints> = None;
+    let n = w.intervals();
 
-    for k in 0..w.intervals() {
+    // Phase 1 (sequential): extract + minimally relax every interval.
+    let mut relaxed_w: Option<WindowConstraints> = None;
+    let mut problems: Vec<(IntervalProblem, bool)> = Vec::with_capacity(n);
+    for k in 0..n {
         super::INTERVALS.inc();
         let mut p = interval_problem(w, imputed, k);
         let mut m_out = p.m_out;
@@ -320,22 +394,44 @@ pub fn enforce_degraded(
             }
             rw.sent[k] = p.m_out;
         }
-        let past_deadline = cfg.deadline.is_some_and(|d| start.elapsed() > d);
-        let (sol, rung) = solve_interval(&p, cfg, past_deadline);
-        debug_assert!(sol.is_feasible(&p), "ladder produced infeasible interval");
-        let level = if was_relaxed {
-            LADDER_RELAXED.inc();
+        problems.push((p, was_relaxed));
+    }
+
+    // Phase 2: solve the (independent, already-relaxed) intervals —
+    // sequentially or across `opts.jobs` workers.
+    let ekey = opts
+        .cache
+        .map(|_| cache::EngineKey::for_ladder(cfg))
+        .filter(cache::EngineKey::cacheable);
+    let cache_ref = opts.cache.map(SolutionCacheRef);
+    let rebate_ns = AtomicU64::new(0);
+    let solve_one = |pk: &(IntervalProblem, bool)| {
+        solve_interval_cached(&pk.0, cfg, ekey, cache_ref.as_ref(), start, &rebate_ns)
+    };
+    let solved: Vec<(IntervalSolution, DegradationLevel)> = if opts.parallel() && n > 1 {
+        rayon::with_max_threads(opts.jobs, || problems.par_iter().map(solve_one).collect())
+    } else {
+        problems.iter().map(solve_one).collect()
+    };
+
+    // Phase 3 (sequential): deterministic in-order merge + accounting.
+    let mut corrected: Vec<Vec<u32>> = vec![vec![0; w.len]; w.num_queues()];
+    let mut objective = 0u64;
+    let mut levels = Vec::with_capacity(n);
+    for (k, ((p, was_relaxed), (sol, rung))) in problems.iter().zip(&solved).enumerate() {
+        debug_assert!(sol.is_feasible(p), "ladder produced infeasible interval");
+        let level = if *was_relaxed {
             DegradationLevel::MeasurementRelaxed
         } else {
-            match rung {
-                DegradationLevel::Full => LADDER_FULL.inc(),
-                DegradationLevel::EscalatedRetry => LADDER_RETRY.inc(),
-                DegradationLevel::FastFallback => LADDER_FAST.inc(),
-                DegradationLevel::ClampProjection => LADDER_CLAMP.inc(),
-                DegradationLevel::MeasurementRelaxed => LADDER_RELAXED.inc(),
-            }
-            rung
+            *rung
         };
+        match level {
+            DegradationLevel::Full => LADDER_FULL.inc(),
+            DegradationLevel::EscalatedRetry => LADDER_RETRY.inc(),
+            DegradationLevel::FastFallback => LADDER_FAST.inc(),
+            DegradationLevel::ClampProjection => LADDER_CLAMP.inc(),
+            DegradationLevel::MeasurementRelaxed => LADDER_RELAXED.inc(),
+        }
         objective += sol.objective;
         for (q, row) in corrected.iter_mut().enumerate() {
             row[k * l..(k + 1) * l].copy_from_slice(&sol.values[q]);
@@ -352,13 +448,39 @@ pub fn enforce_degraded(
     let elapsed = span.finish();
     log_event!(
         "cem.ladder",
-        "intervals" = w.intervals(),
+        "intervals" = n,
         "objective" = outcome.objective,
         "worst" = outcome.worst().label(),
         "relaxed" = outcome.relaxed.is_some(),
         "us" = elapsed.as_secs_f64() * 1e6,
     );
     outcome
+}
+
+/// Enforce a batch of windows through the ladder, parallelizing *across
+/// windows* (each window's intervals then run sequentially on their
+/// worker — the outer loop already owns the threads; all workers share
+/// `opts.cache`). Results are returned in input order; with `deadline:
+/// None` each entry is bitwise identical to a standalone
+/// [`enforce_degraded`] call.
+pub fn enforce_degraded_batch(
+    items: &[(WindowConstraints, Vec<Vec<f32>>)],
+    cfg: &LadderConfig,
+    opts: &EnforceOptions,
+) -> Vec<LadderOutcome> {
+    if !opts.parallel() || items.len() <= 1 {
+        return items
+            .iter()
+            .map(|(w, s)| enforce_degraded_with(w, s, cfg, opts))
+            .collect();
+    }
+    let inner = opts.inner();
+    rayon::with_max_threads(opts.jobs, || {
+        items
+            .par_iter()
+            .map(|(w, s)| enforce_degraded_with(w, s, cfg, &inner))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -493,6 +615,72 @@ mod tests {
         );
         // Crude, but still provably constraint-satisfying.
         assert!(w.satisfied_exact(&out.corrected));
+    }
+
+    #[test]
+    fn parallel_and_cached_ladder_match_sequential_bitwise() {
+        let (w, imputed) = feasible_window();
+        // A contradictory window too, so the relaxation path is covered.
+        let wc = WindowConstraints {
+            interval_len: 5,
+            len: 10,
+            maxes: vec![vec![2, 3]],
+            samples: vec![vec![4, 0]],
+            sent: vec![5, 0],
+        };
+        let bad = vec![vec![0.5, 2.0, 0.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0]];
+        let cfg = LadderConfig::default();
+        for (win, series) in [(&w, &imputed), (&wc, &bad)] {
+            let seq = enforce_degraded(win, series, &cfg);
+            let cache = super::super::SolutionCache::new(64);
+            for jobs in [0, 2, 4] {
+                let opts = EnforceOptions::new(jobs, Some(&cache));
+                let out = enforce_degraded_with(win, series, &cfg, &opts);
+                assert_eq!(out, seq, "jobs={jobs} diverged");
+            }
+            assert!(cache.stats().hits > 0);
+        }
+    }
+
+    #[test]
+    fn batch_matches_standalone_ladder_calls() {
+        let (w, imputed) = feasible_window();
+        let items = vec![(w.clone(), imputed.clone()); 4];
+        let cache = super::super::SolutionCache::new(64);
+        let cfg = LadderConfig::default();
+        let opts = EnforceOptions::new(3, Some(&cache));
+        let batch = enforce_degraded_batch(&items, &cfg, &opts);
+        let single = enforce_degraded(&w, &imputed, &cfg);
+        assert_eq!(batch.len(), 4);
+        for out in &batch {
+            assert_eq!(out, &single);
+        }
+    }
+
+    #[test]
+    fn cache_hit_upgrades_a_past_deadline_interval() {
+        // Warm the cache with no deadline…
+        let (w, imputed) = feasible_window();
+        let cache = super::super::SolutionCache::new(64);
+        let opts = EnforceOptions::new(1, Some(&cache));
+        let warm = enforce_degraded_with(&w, &imputed, &LadderConfig::default(), &opts);
+        assert!(warm.levels.iter().all(|&l| l == DegradationLevel::Full));
+        // …then run with an already-expired deadline: hits answer before
+        // the deadline check, so the window still gets the optimal
+        // correction instead of the clamp projection.
+        let cfg = LadderConfig {
+            engine: CemEngine::Fast,
+            deadline: Some(Duration::ZERO),
+            escalation_factor: 4,
+        };
+        let out = enforce_degraded_with(&w, &imputed, &cfg, &opts);
+        assert_eq!(out, warm, "deadline-aware cache must serve the optimum");
+        // Without the cache the same config clamps (existing behaviour).
+        let clamped = enforce_degraded(&w, &imputed, &cfg);
+        assert!(clamped
+            .levels
+            .iter()
+            .all(|&l| l == DegradationLevel::ClampProjection));
     }
 
     #[test]

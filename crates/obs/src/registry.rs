@@ -123,6 +123,15 @@ impl Gauge {
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Monotone high-water-mark update: keep the larger of the current
+    /// and the observed value (used for e.g. peak cache occupancy, where
+    /// last-write-wins from racing threads would under-report).
+    #[inline]
+    pub fn set_max(&'static self, v: i64) {
+        self.latch.ensure(|| register(Metric::Gauge(self)));
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }

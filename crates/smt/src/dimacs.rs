@@ -32,12 +32,13 @@ impl std::fmt::Display for DimacsError {
 
 impl std::error::Error for DimacsError {}
 
-/// Parse DIMACS CNF into a fresh solver. Returns the solver and the
-/// number of declared variables.
-pub fn parse(text: &str) -> Result<(SatSolver, usize), DimacsError> {
-    let mut solver = SatSolver::new();
+/// Parse DIMACS CNF into the declared variable count plus the clause
+/// list, without touching a solver. [`parse`] and [`format`] are both
+/// built on this representation, which makes the pair round-trippable.
+pub fn parse_clauses(text: &str) -> Result<(usize, Vec<Vec<Lit>>), DimacsError> {
     let mut declared_vars = 0usize;
     let mut seen_header = false;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
     let mut clause: Vec<Lit> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -57,9 +58,6 @@ pub fn parse(text: &str) -> Result<(SatSolver, usize), DimacsError> {
                 line: line_no,
                 reason: format!("bad variable count {:?}", fields[1]),
             })?;
-            for _ in 0..declared_vars {
-                solver.new_var();
-            }
             seen_header = true;
             continue;
         }
@@ -75,8 +73,7 @@ pub fn parse(text: &str) -> Result<(SatSolver, usize), DimacsError> {
                 reason: format!("bad literal {tok:?}"),
             })?;
             if v == 0 {
-                solver.add_clause(&clause);
-                clause.clear();
+                clauses.push(std::mem::take(&mut clause));
             } else {
                 let var = v.unsigned_abs() - 1;
                 if var >= declared_vars as u64 {
@@ -90,7 +87,39 @@ pub fn parse(text: &str) -> Result<(SatSolver, usize), DimacsError> {
         }
     }
     if !clause.is_empty() {
-        solver.add_clause(&clause);
+        clauses.push(clause);
+    }
+    Ok((declared_vars, clauses))
+}
+
+/// Render a CNF in DIMACS format (the writer half of the round-trip;
+/// `parse_clauses(&format(n, &cs))` returns `(n, cs)` verbatim).
+pub fn format(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut s = format!("p cnf {num_vars} {}\n", clauses.len());
+    for clause in clauses {
+        for lit in clause {
+            let v = lit.var() as i64 + 1;
+            if lit.is_neg() {
+                s.push('-');
+            }
+            s.push_str(&v.to_string());
+            s.push(' ');
+        }
+        s.push_str("0\n");
+    }
+    s
+}
+
+/// Parse DIMACS CNF into a fresh solver. Returns the solver and the
+/// number of declared variables.
+pub fn parse(text: &str) -> Result<(SatSolver, usize), DimacsError> {
+    let (declared_vars, clauses) = parse_clauses(text)?;
+    let mut solver = SatSolver::new();
+    for _ in 0..declared_vars {
+        solver.new_var();
+    }
+    for clause in &clauses {
+        solver.add_clause(clause);
     }
     Ok((solver, declared_vars))
 }
@@ -175,6 +204,23 @@ p cnf 3 2
         let cnf = "p cnf 2 2\n1\n2 0\n-1 -2 0";
         let (mut s, _) = parse(cnf).unwrap();
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn format_parse_round_trip_is_verbatim() {
+        let clauses = vec![
+            vec![Lit::new(0, false), Lit::new(2, true)],
+            vec![Lit::new(1, false), Lit::new(2, false), Lit::new(0, true)],
+            vec![],
+        ];
+        let text = format(3, &clauses);
+        assert_eq!(text, "p cnf 3 3\n1 -3 0\n2 3 -1 0\n0\n");
+        let (n, back) = parse_clauses(&text).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(back, clauses);
+        // Idempotent: formatting the parse of a formatted CNF is a fixed
+        // point.
+        assert_eq!(format(n, &back), text);
     }
 
     #[test]

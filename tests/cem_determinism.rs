@@ -1,0 +1,157 @@
+//! Determinism contract of the tuned CEM paths: **parallelism and
+//! caching change the wall-clock and nothing else**.
+//!
+//! For three fixed seeds, the same batch of `(constraints, prediction)`
+//! items — both clean and chaos-fault-injected — is enforced through
+//! every `EnforceOptions` combination (`jobs` ∈ {1, 4, 0 = auto} ×
+//! cache on/off, plus a shared warm cache reused across calls). All
+//! runs must produce *bitwise identical* corrected windows, identical
+//! per-interval [`DegradationLevel`]s, identical objectives, and
+//! identical relaxations vs the sequential uncached reference.
+//!
+//! The guarantee holds only with `deadline: None` (the default): with a
+//! wall-clock deadline, clamp decisions depend on elapsed time in both
+//! the sequential and the tuned paths, so determinism is out of scope
+//! by design (see DESIGN.md §8).
+
+use fmml::fault::{inject_series, inject_window, FaultPlan};
+use fmml::fm::cem::{
+    enforce_degraded_batch, enforce_with, CemEngine, EnforceOptions, LadderConfig, SolutionCache,
+};
+use fmml::fm::WindowConstraints;
+use fmml::netsim::traffic::TrafficConfig;
+use fmml::netsim::{SimConfig, Simulation};
+use fmml::telemetry::{sanitize_series, sanitize_window, windows_from_trace, SanitizeConfig};
+
+const SEEDS: [u64; 3] = [7, 21, 1234];
+
+/// Clean items: real windows with a rescaled-truth prediction.
+fn clean_items(seed: u64) -> Vec<(WindowConstraints, Vec<Vec<f32>>)> {
+    let cfg = SimConfig::small();
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.6);
+    let gt = Simulation::new(cfg, traffic, seed).run_ms(300);
+    windows_from_trace(&gt, 300, 50, 300)
+        .into_iter()
+        .filter(|w| w.has_activity())
+        .map(|w| {
+            let pred: Vec<Vec<f32>> = w
+                .truth
+                .iter()
+                .map(|q| q.iter().map(|&v| v * 1.3 + 0.4).collect())
+                .collect();
+            (WindowConstraints::from_window(&w), pred)
+        })
+        .collect()
+}
+
+/// Chaos items: the same windows put through fault injection and the
+/// sanitizer, so the ladder actually exercises its lower rungs.
+fn chaos_items(seed: u64) -> Vec<(WindowConstraints, Vec<Vec<f32>>)> {
+    let cfg = SimConfig::small();
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.6);
+    let gt = Simulation::new(cfg.clone(), traffic, seed).run_ms(300);
+    let san_cfg = SanitizeConfig::for_sim(cfg.buffer_packets, 50);
+    let plan = FaultPlan::chaos(seed);
+    windows_from_trace(&gt, 300, 50, 300)
+        .into_iter()
+        .filter(|w| w.has_activity())
+        .enumerate()
+        .map(|(i, mut w)| {
+            let salt = i as u64;
+            inject_window(&plan, salt, &mut w);
+            sanitize_window(&mut w, &san_cfg);
+            let mut pred: Vec<Vec<f32>> = w
+                .truth
+                .iter()
+                .map(|q| q.iter().map(|&v| v * 1.7 + 1.0).collect())
+                .collect();
+            inject_series(&plan, salt, &mut pred);
+            sanitize_series(&mut pred);
+            (WindowConstraints::from_window(&w), pred)
+        })
+        .collect()
+}
+
+/// Run one batch under every tuned option combination and assert each
+/// result is identical (PartialEq over corrected + levels + objective +
+/// relaxed) to the sequential, uncached reference.
+fn assert_all_variants_identical(
+    label: &str,
+    seed: u64,
+    items: &[(WindowConstraints, Vec<Vec<f32>>)],
+    cfg: &LadderConfig,
+) {
+    assert!(!items.is_empty(), "{label}/seed {seed}: no active windows");
+    let reference = enforce_degraded_batch(items, cfg, &EnforceOptions::default());
+
+    let cache = SolutionCache::new(fmml::fm::cem::cache::DEFAULT_CAPACITY);
+    let variants: [(&str, usize, bool); 5] = [
+        ("jobs=4 cache=off", 4, false),
+        ("jobs=1 cache=on(cold)", 1, true),
+        ("jobs=4 cache=on(warm)", 4, true),
+        ("jobs=0(auto) cache=on(warm)", 0, true),
+        ("jobs=1 cache=on(warm)", 1, true),
+    ];
+    for (name, jobs, use_cache) in variants {
+        let opts = EnforceOptions::new(jobs, use_cache.then_some(&cache));
+        let outs = enforce_degraded_batch(items, cfg, &opts);
+        assert_eq!(outs.len(), reference.len());
+        for (i, (out, refr)) in outs.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                out.corrected, refr.corrected,
+                "{label}/seed {seed}/{name}: corrected series diverged in window {i}"
+            );
+            assert_eq!(
+                out.levels, refr.levels,
+                "{label}/seed {seed}/{name}: degradation levels diverged in window {i}"
+            );
+            assert_eq!(
+                out.objective, refr.objective,
+                "{label}/seed {seed}/{name}: objective diverged in window {i}"
+            );
+            assert_eq!(
+                out.relaxed, refr.relaxed,
+                "{label}/seed {seed}/{name}: relaxation diverged in window {i}"
+            );
+        }
+    }
+    // The warm passes above must actually have hit the cache — otherwise
+    // this test isn't exercising the memoized path at all.
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "{label}/seed {seed}: warm passes never hit the cache \
+         (hits={} misses={})",
+        stats.hits,
+        stats.misses
+    );
+}
+
+#[test]
+fn ladder_batch_is_bitwise_identical_across_jobs_and_cache() {
+    let cfg = LadderConfig::default();
+    for seed in SEEDS {
+        assert_all_variants_identical("clean", seed, &clean_items(seed), &cfg);
+        assert_all_variants_identical("chaos", seed, &chaos_items(seed), &cfg);
+    }
+}
+
+#[test]
+fn single_window_enforce_is_bitwise_identical_across_jobs_and_cache() {
+    for seed in SEEDS {
+        let items = clean_items(seed);
+        let (wc, pred) = items.first().expect("at least one active window");
+        let reference = enforce_with(wc, pred, &CemEngine::Fast, &EnforceOptions::default())
+            .expect("clean window is feasible");
+        let cache = SolutionCache::new(fmml::fm::cem::cache::DEFAULT_CAPACITY);
+        for (jobs, use_cache) in [(4, false), (1, true), (4, true), (0, true)] {
+            let opts = EnforceOptions::new(jobs, use_cache.then_some(&cache));
+            let out =
+                enforce_with(wc, pred, &CemEngine::Fast, &opts).expect("same window, same verdict");
+            assert_eq!(
+                out, reference,
+                "seed {seed} jobs={jobs} cache={use_cache}: CemOutcome diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Differential test: the fast CEM engine vs the SMT CEM engine on
+//! *real sanitized windows* (simulator traces with chaos-plan fault
+//! injection and the production sanitizer in front — the exact input
+//! distribution the ladder sees in `fmml fault-run`).
+//!
+//! For every interval problem extracted from such a window:
+//!
+//! 1. the engines **agree on feasibility** — fast `Some`/`None` matches
+//!    SMT `Ok`/`Err(Infeasible)` (an SMT `Err(Budget)` is a skip, not a
+//!    disagreement);
+//! 2. both solutions **exactly satisfy C1 ∧ C2 ∧ C3** via
+//!    [`IntervalSolution::is_feasible`];
+//! 3. the SMT optimum's **L1 objective is ≤ the fast engine's** (both
+//!    claim optimality, so ties are expected; an SMT win would expose a
+//!    fast-engine bug, a fast win an encoding bug).
+//!
+//! Every assertion interpolates the offending [`IntervalProblem`] so a
+//! failure is immediately reproducible as a standalone unit test.
+
+use fmml::fault::{inject_series, inject_window, FaultPlan};
+use fmml::fm::cem::{fast_engine, interval_problem, smt_engine, IntervalProblem};
+use fmml::fm::WindowConstraints;
+use fmml::netsim::traffic::TrafficConfig;
+use fmml::netsim::{SimConfig, Simulation};
+use fmml::smt::solver::Budget;
+use fmml::telemetry::{sanitize_series, sanitize_window, windows_from_trace, SanitizeConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Per-case budget on distinct interval problems sent to the SMT engine
+/// (keeps the differential suite inside tier-1 wall-clock).
+const MAX_PROBLEMS_PER_CASE: usize = 4;
+
+/// Build the sanitized `(constraints, prediction)` pairs for one seed:
+/// simulate, fault-inject the window, sanitize it, perturb the truth
+/// into an adversarial prediction, fault-inject and sanitize that too.
+fn sanitized_items(seed: u64, scale: f32, bias: f32) -> Vec<(WindowConstraints, Vec<Vec<f32>>)> {
+    let cfg = SimConfig::small();
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.6);
+    let gt = Simulation::new(cfg.clone(), traffic, seed).run_ms(300);
+    let san_cfg = SanitizeConfig::for_sim(cfg.buffer_packets, 10);
+    let plan = FaultPlan::chaos(seed);
+    // Short windows (6 x 10-bin intervals) keep the SMT side affordable
+    // in debug builds -- the encoding is identical to the paper-size
+    // 50-bin intervals, just with fewer columns.
+    windows_from_trace(&gt, 60, 10, 60)
+        .into_iter()
+        .filter(|w| w.has_activity())
+        .take(3)
+        .enumerate()
+        .map(|(i, mut w)| {
+            let salt = i as u64;
+            inject_window(&plan, salt, &mut w);
+            sanitize_window(&mut w, &san_cfg);
+            let mut pred: Vec<Vec<f32>> = w
+                .truth
+                .iter()
+                .map(|q| q.iter().map(|&v| v * scale + bias).collect())
+                .collect();
+            inject_series(&plan, salt, &mut pred);
+            sanitize_series(&mut pred);
+            (WindowConstraints::from_window(&w), pred)
+        })
+        .collect()
+}
+
+/// Distinct interval problems from the items, capped so the SMT side
+/// stays cheap. Dedup is exact (`IntervalProblem: Eq + Hash` — the same
+/// structural key the solution cache uses).
+fn distinct_problems(items: &[(WindowConstraints, Vec<Vec<f32>>)]) -> Vec<IntervalProblem> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for (wc, pred) in items {
+        for k in 0..wc.intervals() {
+            let p = interval_problem(wc, pred, k);
+            if seen.insert(p.clone()) {
+                out.push(p);
+                if out.len() >= MAX_PROBLEMS_PER_CASE {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn fast_and_smt_engines_agree_on_sanitized_windows(
+        seed in 0u64..1000,
+        scale in 0.0f32..2.5,
+        bias in 0.0f32..4.0,
+    ) {
+        let items = sanitized_items(seed, scale, bias);
+        prop_assert!(!items.is_empty(), "no active windows for seed {}", seed);
+        for p in distinct_problems(&items) {
+            // The sanitizer's contract: whatever the faults did, the
+            // measurements it hands the CEM are internally consistent.
+            prop_assert!(
+                p.measurements_consistent(),
+                "sanitizer let an inconsistent problem through: {p:?}"
+            );
+            let fast = fast_engine::solve(&p);
+            let smt = smt_engine::solve(&p, Budget::tight());
+            match (&fast, &smt) {
+                (Some(f), Ok(s)) => {
+                    prop_assert!(
+                        f.is_feasible(&p),
+                        "fast output violates C1∧C2∧C3 on {p:?}\n  solution: {f:?}"
+                    );
+                    prop_assert!(
+                        s.is_feasible(&p),
+                        "SMT output violates C1∧C2∧C3 on {p:?}\n  solution: {s:?}"
+                    );
+                    prop_assert!(
+                        s.l1_objective(&p) <= f.l1_objective(&p),
+                        "SMT optimum {} worse than fast engine {} on {p:?}",
+                        s.l1_objective(&p),
+                        f.l1_objective(&p),
+                    );
+                }
+                (None, Err(smt_engine::SmtCemError::Infeasible)) => {
+                    // Agreement: both engines reject the interval.
+                }
+                (_, Err(smt_engine::SmtCemError::Budget)) => {
+                    // Not a verdict — but the fast engine's answer must
+                    // still stand on its own.
+                    if let Some(f) = &fast {
+                        prop_assert!(
+                            f.is_feasible(&p),
+                            "fast output violates C1∧C2∧C3 on {p:?}\n  solution: {f:?}"
+                        );
+                    }
+                }
+                (Some(f), Err(smt_engine::SmtCemError::Infeasible)) => {
+                    return Err(format!(
+                        "fast engine found a solution the SMT engine calls \
+                         infeasible on {p:?}\n  fast solution: {f:?}\n  \
+                         fast feasible: {}",
+                        f.is_feasible(&p)
+                    ));
+                }
+                (None, Ok(s)) => {
+                    return Err(format!(
+                        "SMT engine found a solution the fast engine calls \
+                         infeasible on {p:?}\n  SMT solution: {s:?}\n  \
+                         SMT feasible: {}",
+                        s.is_feasible(&p)
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The simulator's own ground truth is always feasible and both engines
+/// recognise it as a zero-objective fixed point — a cheap sanity anchor
+/// that doesn't depend on fault injection at all.
+#[test]
+fn both_engines_accept_ground_truth_at_zero_cost() {
+    let cfg = SimConfig::small();
+    let traffic = TrafficConfig::websearch_incast(cfg.num_ports, 0.6);
+    let gt = Simulation::new(cfg, traffic, 4242).run_ms(300);
+    let windows: Vec<_> = windows_from_trace(&gt, 60, 10, 60)
+        .into_iter()
+        .filter(|w| w.has_activity())
+        .take(2)
+        .collect();
+    assert!(!windows.is_empty());
+    let mut checked = 0usize;
+    for w in &windows {
+        let wc = WindowConstraints::from_window(w);
+        for k in 0..wc.intervals().min(3) {
+            let p = interval_problem(&wc, &w.truth, k);
+            let f = fast_engine::solve(&p).expect("truth interval must be feasible (fast)");
+            assert_eq!(
+                f.l1_objective(&p),
+                0,
+                "fast engine moved the truth on {p:?}"
+            );
+            let s = smt_engine::solve(&p, Budget::tight())
+                .expect("truth interval must be feasible (SMT)");
+            assert_eq!(s.l1_objective(&p), 0, "SMT engine moved the truth on {p:?}");
+            assert!(f.is_feasible(&p) && s.is_feasible(&p));
+            checked += 1;
+        }
+    }
+    assert!(checked > 0);
+}

@@ -7,11 +7,47 @@
 //! concatenated in input order — so `collect` is deterministic up to the
 //! mapped function itself, matching rayon's indexed semantics.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 
+thread_local! {
+    /// Per-thread worker-count cap installed by [`with_max_threads`].
+    /// `0` means "no override" (use the machine's parallelism).
+    static MAX_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Run `f` with every `par_iter` it issues (on this thread) capped at
+/// `max` worker threads. `max == 1` forces fully sequential execution in
+/// the calling thread — the stand-in for rayon's `ThreadPool::install` /
+/// `num_threads` builder, used by callers that expose a `--jobs N` knob.
+/// Nested calls restore the previous cap on exit; `max == 0` removes the
+/// cap.
+pub fn with_max_threads<R>(max: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.set(self.0);
+        }
+    }
+    // Restore on unwind too, so a panicking closure doesn't leak the cap
+    // into unrelated work on this thread.
+    let _restore = Restore(MAX_THREADS.replace(max));
+    f()
+}
+
+/// The currently-installed [`with_max_threads`] cap (0 = none).
+pub fn current_max_threads() -> usize {
+    MAX_THREADS.get()
+}
+
 /// Number of worker threads: the machine's parallelism, but at least 2 so
-/// concurrency bugs surface even on single-core CI runners.
+/// concurrency bugs surface even on single-core CI runners. An installed
+/// [`with_max_threads`] cap takes precedence.
 fn num_threads(items: usize) -> usize {
+    let cap = MAX_THREADS.get();
+    if cap > 0 {
+        return items.min(cap).max(1);
+    }
     let hw = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
@@ -138,6 +174,25 @@ mod tests {
             sum.fetch_add(x, Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn max_threads_cap_is_honored_and_restored() {
+        assert_eq!(super::current_max_threads(), 0);
+        let ys: Vec<u64> = super::with_max_threads(1, || {
+            assert_eq!(super::current_max_threads(), 1);
+            assert_eq!(super::num_threads(100), 1);
+            let xs: Vec<u64> = (0..100).collect();
+            xs.par_iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(ys, (1..=100).collect::<Vec<_>>());
+        assert_eq!(super::current_max_threads(), 0);
+        // Nested caps restore the outer cap, and 0 removes the cap.
+        super::with_max_threads(4, || {
+            assert_eq!(super::num_threads(100), 4);
+            super::with_max_threads(2, || assert_eq!(super::num_threads(100), 2));
+            assert_eq!(super::num_threads(100), 4);
+        });
     }
 
     #[test]
