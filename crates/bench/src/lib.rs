@@ -7,6 +7,7 @@
 
 pub mod baseline;
 pub mod cem_parallel;
+pub mod serve;
 
 use fmml_fm::cem::IntervalProblem;
 use fmml_netsim::traffic::TrafficConfig;

@@ -1,0 +1,292 @@
+//! The loopback serving benchmark behind `BENCH_serve.json`.
+//!
+//! [`bench_serve`] spawns a real `fmml-serve` server on loopback and
+//! drives it with the trace-replay load generator at increasing
+//! concurrency (1 / 8 / 32 clients by default), each client paced at the
+//! wire rate (one interval per 50 ms period). Per concurrency point it
+//! records throughput, end-to-end latency percentiles (send→`Imputed`),
+//! and the deadline-miss rate; a final pass re-runs the 8-client point
+//! under the standard chaos preset and asserts the survival contract
+//! (zero violations, zero unknown levels).
+//!
+//! The JSON layout is flat per point
+//! (`clients{N}_p99_us`, `clients{N}_deadline_miss_rate`, …) so CI can
+//! grep single fields without a JSON parser.
+
+use fmml_core::transformer_imputer::TransformerImputer;
+use fmml_serve::protocol::Frame;
+use fmml_serve::{loadgen, ChaosConfig, LoadReport, LoadgenConfig, ServerConfig};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One concurrency point of the serving benchmark.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    pub clients: usize,
+    pub sent: u64,
+    pub answered: u64,
+    pub rejected: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+    pub max_us: u64,
+    pub deadline_miss: u64,
+    pub deadline_miss_rate: f64,
+    pub throughput_rps: f64,
+    pub wire_rate_x: f64,
+    pub server_batches: u64,
+    pub server_violations: u64,
+}
+
+impl ServePoint {
+    fn from_report(r: &LoadReport) -> ServePoint {
+        ServePoint {
+            clients: r.clients,
+            sent: r.sent,
+            answered: r.answered,
+            rejected: r.rejected,
+            p50_us: r.p50_us,
+            p99_us: r.p99_us,
+            p999_us: r.p999_us,
+            max_us: r.max_us,
+            deadline_miss: r.deadline_miss,
+            deadline_miss_rate: r.deadline_miss_rate,
+            throughput_rps: r.throughput_rps,
+            wire_rate_x: r.wire_rate_x,
+            server_batches: r.server_batches,
+            server_violations: r.server_violations,
+        }
+    }
+}
+
+/// One `BENCH_serve.json` payload.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    pub deadline_ms: u64,
+    pub interval_len: usize,
+    pub window_intervals: usize,
+    pub intervals_per_client: usize,
+    pub workers: usize,
+    /// Clean (no-chaos), wire-rate-paced points.
+    pub points: Vec<ServePoint>,
+    /// The chaos re-run of the middle concurrency point.
+    pub chaos: ServePoint,
+    pub chaos_reconnects: u64,
+    pub chaos_malformed_rejects: u64,
+    pub chaos_unknown_levels: u64,
+}
+
+impl ServeBenchReport {
+    /// Deterministic, grep-friendly flat JSON.
+    pub fn to_json(&self) -> String {
+        use serde_json::Value;
+        let mut v = Value::Object(Vec::new());
+        v["bench"] = Value::String("serve".into());
+        v["deadline_ms"] = Value::U64(self.deadline_ms);
+        v["interval_len"] = Value::U64(self.interval_len as u64);
+        v["window_intervals"] = Value::U64(self.window_intervals as u64);
+        v["intervals_per_client"] = Value::U64(self.intervals_per_client as u64);
+        v["workers"] = Value::U64(self.workers as u64);
+        for p in &self.points {
+            let k = |s: &str| format!("clients{}_{s}", p.clients);
+            v[k("sent").as_str()] = Value::U64(p.sent);
+            v[k("answered").as_str()] = Value::U64(p.answered);
+            v[k("rejected").as_str()] = Value::U64(p.rejected);
+            v[k("p50_us").as_str()] = Value::U64(p.p50_us);
+            v[k("p99_us").as_str()] = Value::U64(p.p99_us);
+            v[k("p999_us").as_str()] = Value::U64(p.p999_us);
+            v[k("max_us").as_str()] = Value::U64(p.max_us);
+            v[k("deadline_miss").as_str()] = Value::U64(p.deadline_miss);
+            v[k("deadline_miss_rate").as_str()] = Value::F64(p.deadline_miss_rate);
+            v[k("throughput_rps").as_str()] = Value::F64(p.throughput_rps);
+            v[k("wire_rate_x").as_str()] = Value::F64(p.wire_rate_x);
+            v[k("batches").as_str()] = Value::U64(p.server_batches);
+            v[k("violations").as_str()] = Value::U64(p.server_violations);
+        }
+        v["chaos_clients"] = Value::U64(self.chaos.clients as u64);
+        v["chaos_sent"] = Value::U64(self.chaos.sent);
+        v["chaos_answered"] = Value::U64(self.chaos.answered);
+        v["chaos_rejected"] = Value::U64(self.chaos.rejected);
+        v["chaos_p99_us"] = Value::U64(self.chaos.p99_us);
+        v["chaos_deadline_miss_rate"] = Value::F64(self.chaos.deadline_miss_rate);
+        v["chaos_violations"] = Value::U64(self.chaos.server_violations);
+        v["chaos_reconnects"] = Value::U64(self.chaos_reconnects);
+        v["chaos_malformed_rejects"] = Value::U64(self.chaos_malformed_rejects);
+        v["chaos_unknown_levels"] = Value::U64(self.chaos_unknown_levels);
+        v.to_string()
+    }
+
+    /// Write `BENCH_serve.json` into `dir`; returns the path written.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join("BENCH_serve.json");
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.to_json())?;
+        Ok(path)
+    }
+
+    /// One line per point, for stderr progress.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        for p in &self.points {
+            let _ = writeln!(
+                s,
+                "clients={:<3} answered={:<5} p50={}us p99={}us miss_rate={:.4} {:.2}x wire rate",
+                p.clients, p.answered, p.p50_us, p.p99_us, p.deadline_miss_rate, p.wire_rate_x
+            );
+        }
+        let _ = writeln!(
+            s,
+            "chaos(clients={}) answered={} p99={}us violations={} reconnects={}",
+            self.chaos.clients,
+            self.chaos.answered,
+            self.chaos.p99_us,
+            self.chaos.server_violations,
+            self.chaos_reconnects
+        );
+        s
+    }
+}
+
+/// Benchmark knobs.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    pub client_counts: Vec<usize>,
+    pub intervals_per_client: usize,
+    pub interval_len: usize,
+    pub window_intervals: usize,
+    pub deadline: Duration,
+    pub workers: usize,
+    pub jobs: usize,
+    pub seed: u64,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> ServeBenchConfig {
+        ServeBenchConfig {
+            client_counts: vec![1, 8, 32],
+            intervals_per_client: 40,
+            interval_len: 10,
+            window_intervals: 3,
+            deadline: Duration::from_millis(50),
+            workers: 2,
+            jobs: 1,
+            seed: 41,
+        }
+    }
+}
+
+fn loadgen_cfg(bc: &ServeBenchConfig, addr: String, clients: usize) -> LoadgenConfig {
+    LoadgenConfig {
+        addr,
+        clients,
+        intervals: bc.intervals_per_client,
+        interval_len: bc.interval_len,
+        window_intervals: bc.window_intervals,
+        sim: fmml_netsim::SimConfig::small(),
+        sim_ms: 480,
+        distinct_traces: 4.min(clients.max(1)),
+        seed: bc.seed,
+        deadline: bc.deadline,
+        // Wire rate: one coarse interval per deadline period per client.
+        pace: Some(bc.deadline),
+        chaos: None,
+        tenant_prefix: "bench".into(),
+    }
+}
+
+fn run_point(
+    model: &Arc<TransformerImputer>,
+    bc: &ServeBenchConfig,
+    clients: usize,
+    chaos: Option<ChaosConfig>,
+) -> LoadReport {
+    let handle = fmml_serve::spawn(
+        Arc::clone(model),
+        ServerConfig {
+            workers: bc.workers,
+            jobs: bc.jobs,
+            deadline: bc.deadline,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn bench server");
+    let mut cfg = loadgen_cfg(bc, handle.addr().to_string(), clients);
+    cfg.chaos = chaos;
+    let mut report = loadgen::run(&cfg);
+    // Fold the final authoritative server counters in (the in-run probe
+    // races the last batch).
+    if let Frame::StatsReply {
+        batches,
+        violations,
+        rejected,
+        ..
+    } = handle.shutdown()
+    {
+        report.server_batches = batches;
+        report.server_violations = violations;
+        report.server_rejected = rejected;
+    }
+    report
+}
+
+/// Run the full serving benchmark; panics on contract violations so CI
+/// fails loud.
+pub fn bench_serve(model: Arc<TransformerImputer>, bc: &ServeBenchConfig) -> ServeBenchReport {
+    let mut points = Vec::new();
+    for &clients in &bc.client_counts {
+        let r = run_point(&model, bc, clients, None);
+        assert_eq!(r.server_violations, 0, "clean run shipped violations");
+        assert_eq!(r.lost, 0, "clean run lost replies: {r:?}");
+        assert_eq!(r.unknown_levels, 0);
+        points.push(ServePoint::from_report(&r));
+    }
+    // Chaos pass at the middle concurrency.
+    let chaos_clients = bc.client_counts.get(1).copied().unwrap_or(8);
+    let r = run_point(&model, bc, chaos_clients, Some(ChaosConfig::standard()));
+    assert_eq!(r.server_violations, 0, "chaos run shipped violations");
+    assert_eq!(r.unknown_levels, 0);
+    ServeBenchReport {
+        deadline_ms: bc.deadline.as_millis() as u64,
+        interval_len: bc.interval_len,
+        window_intervals: bc.window_intervals,
+        intervals_per_client: bc.intervals_per_client,
+        workers: bc.workers,
+        points,
+        chaos: ServePoint::from_report(&r),
+        chaos_reconnects: r.reconnects,
+        chaos_malformed_rejects: r.malformed_rejects,
+        chaos_unknown_levels: r.unknown_levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmml_core::transformer_imputer::Scales;
+
+    #[test]
+    fn tiny_bench_runs_and_serializes() {
+        let model = Arc::new(TransformerImputer::new(
+            3,
+            Scales {
+                qlen: fmml_netsim::SimConfig::small().buffer_packets as f32,
+                count: 830.0,
+            },
+        ));
+        let bc = ServeBenchConfig {
+            client_counts: vec![1, 2],
+            intervals_per_client: 8,
+            deadline: Duration::from_millis(200),
+            ..ServeBenchConfig::default()
+        };
+        let report = bench_serve(model, &bc);
+        let j = report.to_json();
+        assert!(j.contains("\"clients1_p99_us\""));
+        assert!(j.contains("\"clients2_deadline_miss_rate\""));
+        assert!(j.contains("\"chaos_violations\":0"));
+        assert_eq!(report.points.len(), 2);
+    }
+}

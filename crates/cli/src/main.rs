@@ -9,6 +9,9 @@
 //! fmml eval      [--paper] [--epochs N]                      # Table 1
 //! fmml fm-solve  --steps 8 --ports 2 --budget-secs 10        # §2.3 model
 //! fmml fault-run --seed 7 --jobs 4 [--smt] [--bench-out DIR] # chaos mode
+//! fmml serve     --addr 127.0.0.1:4700 [--max-secs N]        # streaming server
+//! fmml loadgen   --addr 127.0.0.1:4700 --clients 8 [--chaos] # trace replay
+//! fmml serve-bench --out bench                               # BENCH_serve.json
 //! ```
 //!
 //! Every command accepts the global observability flags: `--stats` prints
@@ -23,6 +26,7 @@ use args::Args;
 use error::CliError;
 use fmml_bench::baseline::Baseline;
 use fmml_bench::cem_parallel::{bench_ladder, CemParallelReport};
+use fmml_bench::serve::{bench_serve, ServeBenchConfig};
 use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
 use fmml_core::imputer::Imputer;
 use fmml_core::train::{train, train_from};
@@ -39,6 +43,8 @@ use fmml_fm::WindowConstraints;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
 use fmml_obs::log_event;
+use fmml_serve::protocol::Frame;
+use fmml_serve::{ChaosConfig, LoadgenConfig, ServerConfig};
 use fmml_smt::solver::Budget;
 use fmml_telemetry::{sanitize_series, sanitize_window, SanitizeConfig, SanitizeReport};
 use std::collections::BTreeMap;
@@ -77,6 +83,24 @@ COMMANDS:
              --deadline-ms N  --jobs N (1; 0 = auto)  --no-cache
              --bench-out DIR (write BENCH_cem_ladder.json and the
              sequential-vs-tuned BENCH_cem_parallel.json)
+  serve      run the streaming imputation server (length-prefixed JSON
+             frames over TCP, deadline-aware micro-batching, admission
+             control); exits non-zero if any shipped reply violated its
+             constraints
+             --addr A (127.0.0.1:4700)  --workers N (2)  --jobs N (1)
+             --deadline-ms N (50)  --max-batch N (16)  --queue-depth N (64)
+             --model FILE (default: deterministic untrained imputer)
+             --seed N (3)  --max-secs N (run forever when absent)
+  loadgen    drive a running server with concurrent trace-replay clients
+             --addr A (required)  --clients N (8)  --intervals N (40)
+             --seed N (11)  --deadline-ms N (50)  --pace-ms N
+             --chaos (standard >= 10% disturbance preset)
+             --report-json FILE (write the flat LoadReport JSON)
+  serve-bench
+             loopback serving benchmark: spawn a server, sweep client
+             concurrency, re-run under chaos; writes BENCH_serve.json
+             --out DIR (bench)  --clients A,B,C (1,8,32)  --intervals N (40)
+             --deadline-ms N (50)  --workers N (2)  --jobs N (1)  --seed N (41)
 
 GLOBAL FLAGS:
   --stats            print the metrics table to stderr on exit
@@ -110,6 +134,9 @@ fn main() {
         "eval" => cmd_eval(&args),
         "fm-solve" => cmd_fm_solve(&args),
         "fault-run" => cmd_fault_run(&args),
+        "serve" => cmd_serve(&args),
+        "loadgen" => cmd_loadgen(&args),
+        "serve-bench" => cmd_serve_bench(&args),
         _ => {
             println!("{USAGE}");
             return;
@@ -539,6 +566,185 @@ fn cmd_enforce(args: &Args) -> Result<(), CliError> {
             "{violations} window(s) violated their effective constraints"
         )));
     }
+    Ok(())
+}
+
+/// The serving model: `--model FILE` loads a checkpoint; otherwise a
+/// deterministic untrained imputer seeded by `--seed` (scaled for the
+/// `SimConfig::small()` traces the load generator replays).
+fn serve_model(args: &Args) -> Result<std::sync::Arc<TransformerImputer>, CliError> {
+    match args.get_string("model") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+            let model = TransformerImputer::load_json(&json).map_err(|e| {
+                CliError::Invalid(format!("--model {path}: not a valid checkpoint: {e}"))
+            })?;
+            Ok(std::sync::Arc::new(model))
+        }
+        None => {
+            let sim = SimConfig::small();
+            Ok(std::sync::Arc::new(TransformerImputer::new(
+                args.get_or("seed", 3u64)?,
+                Scales {
+                    qlen: sim.buffer_packets as f32,
+                    count: 830.0,
+                },
+            )))
+        }
+    }
+}
+
+/// `fmml serve`: bind the streaming imputation server and run until
+/// `--max-secs` elapses (or forever). On shutdown the final `StatsReply`
+/// is printed and a non-zero exit signals shipped constraint violations.
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let model = serve_model(args)?;
+    let cfg = ServerConfig {
+        addr: args.get_string("addr").unwrap_or("127.0.0.1:4700").into(),
+        workers: args.get_or("workers", 2usize)?,
+        jobs: args.get_or("jobs", 1usize)?,
+        deadline: Duration::from_millis(args.get_or("deadline-ms", 50u64)?),
+        max_batch: args.get_or("max-batch", 16usize)?,
+        queue_depth: args.get_or("queue-depth", 64usize)?,
+        ..ServerConfig::default()
+    };
+    let max_secs = args.get::<u64>("max-secs")?;
+    let handle =
+        fmml_serve::spawn(model, cfg.clone()).map_err(|e| CliError::io(cfg.addr.clone(), e))?;
+    let addr = handle.addr().to_string();
+    eprintln!(
+        "fmml-serve listening on {addr} (workers={} deadline={}ms max_batch={} queue_depth={})",
+        cfg.workers,
+        cfg.deadline.as_millis(),
+        cfg.max_batch,
+        cfg.queue_depth,
+    );
+    log_event!("cli.serve.start", "addr" = addr.as_str());
+    match max_secs {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let stats = handle.shutdown();
+    let Frame::StatsReply {
+        sessions,
+        accepted,
+        rejected,
+        malformed,
+        replies,
+        batches,
+        deadline_misses,
+        violations,
+        slow_disconnects,
+        ..
+    } = stats
+    else {
+        return Err(CliError::Invalid("server returned no stats".into()));
+    };
+    println!(
+        "serve: sessions={sessions} accepted={accepted} rejected={rejected} \
+         malformed={malformed} replies={replies} batches={batches} \
+         deadline_misses={deadline_misses} slow_disconnects={slow_disconnects}"
+    );
+    println!("violations={violations}");
+    log_event!(
+        "cli.serve.done",
+        "sessions" = sessions,
+        "replies" = replies,
+        "violations" = violations,
+    );
+    if violations > 0 {
+        return Err(CliError::Invalid(format!(
+            "{violations} shipped reply(ies) violated their constraints"
+        )));
+    }
+    Ok(())
+}
+
+/// `fmml loadgen`: concurrent trace-replay clients against a running
+/// server, optionally under the standard chaos preset. Prints the
+/// aggregate report table; `--report-json FILE` writes the flat JSON
+/// (fields like `deadline_miss_rate` and `rejected`) for CI to grep.
+fn cmd_loadgen(args: &Args) -> Result<(), CliError> {
+    let addr = args
+        .get_string("addr")
+        .ok_or_else(|| CliError::Usage("--addr HOST:PORT is required".into()))?;
+    let cfg = LoadgenConfig {
+        addr: addr.into(),
+        clients: args.get_or("clients", 8usize)?,
+        intervals: args.get_or("intervals", 40usize)?,
+        seed: args.get_or("seed", 11u64)?,
+        deadline: Duration::from_millis(args.get_or("deadline-ms", 50u64)?),
+        pace: args.get::<u64>("pace-ms")?.map(Duration::from_millis),
+        chaos: args.flag("chaos").then(ChaosConfig::standard),
+        ..LoadgenConfig::default()
+    };
+    log_event!(
+        "cli.loadgen.start",
+        "addr" = addr,
+        "clients" = cfg.clients,
+        "chaos" = cfg.chaos.is_some(),
+    );
+    let report = fmml_serve::run_loadgen(&cfg);
+    print!("{}", report.render_table());
+    if let Some(path) = args.get_string("report-json") {
+        std::fs::write(path, report.to_json()).map_err(|e| CliError::io(path, e))?;
+        eprintln!("load report written to {path}");
+    }
+    log_event!(
+        "cli.loadgen.done",
+        "sent" = report.sent,
+        "answered" = report.answered,
+        "rejected" = report.rejected,
+        "p99_us" = report.p99_us,
+    );
+    if report.server_violations > 0 {
+        return Err(CliError::Invalid(format!(
+            "server shipped {} constraint violation(s)",
+            report.server_violations
+        )));
+    }
+    if report.unknown_levels > 0 {
+        return Err(CliError::Invalid(format!(
+            "{} reply(ies) carried an undecodable degradation level",
+            report.unknown_levels
+        )));
+    }
+    Ok(())
+}
+
+/// `fmml serve-bench`: the loopback serving benchmark behind
+/// `BENCH_serve.json` — a concurrency sweep plus a chaos re-run.
+fn cmd_serve_bench(args: &Args) -> Result<(), CliError> {
+    let dir = args.get_string("out").unwrap_or("bench");
+    let mut bc = ServeBenchConfig::default();
+    if let Some(list) = args.get_string("clients") {
+        bc.client_counts = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("--clients: bad count {s:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if bc.client_counts.is_empty() {
+            return Err(CliError::Usage("--clients needs at least one count".into()));
+        }
+    }
+    bc.intervals_per_client = args.get_or("intervals", bc.intervals_per_client)?;
+    bc.deadline = Duration::from_millis(args.get_or("deadline-ms", 50u64)?);
+    bc.workers = args.get_or("workers", bc.workers)?;
+    bc.jobs = args.get_or("jobs", bc.jobs)?;
+    bc.seed = args.get_or("seed", bc.seed)?;
+    let model = serve_model(args)?;
+    let report = bench_serve(model, &bc);
+    eprint!("{}", report.summary());
+    std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+    let path = report
+        .save(Path::new(dir))
+        .map_err(|e| CliError::io(dir, e))?;
+    println!("bench report written to {}", path.display());
     Ok(())
 }
 

@@ -5,21 +5,44 @@
 //! An operator's collector receives one coarse interval of telemetry per
 //! queue every 50 ms. [`StreamingImputer`] ingests these increments,
 //! keeps a sliding window of the most recent intervals per port, and on
-//! every completed interval re-imputes the window (transformer + CEM) —
-//! yielding the newest interval's fine-grained series within a measured,
-//! bounded latency. Tasks like performance-driven routing or attack
-//! detection (§5) would subscribe to [`ImputedInterval`]s.
+//! every completed interval re-imputes the window (transformer + the CEM
+//! degradation ladder) — yielding the newest interval's fine-grained
+//! series within a measured, bounded latency, annotated with the
+//! [`DegradationLevel`] the ladder landed on. Tasks like
+//! performance-driven routing or attack detection (§5) would subscribe to
+//! [`ImputedInterval`]s.
+//!
+//! The enforcement stage is the tuned PR-3 path: [`StreamOptions`]
+//! carries a [`LadderConfig`] (engine, per-window deadline, escalation)
+//! plus the worker count and an optional shared [`SolutionCache`], so a
+//! fleet of per-port imputers — or the multi-tenant `fmml-serve` server —
+//! can share one memo cache across streams.
+//!
+//! For batched serving, ingestion and enforcement are split:
+//! [`StreamingImputer::try_prepare`] does the sliding-window bookkeeping
+//! and the model forward pass, returning a [`PreparedWindow`] whose
+//! `(constraints, imputed)` pair can be coalesced with other tenants'
+//! windows into one `enforce_degraded_batch` call; [`PreparedWindow::
+//! newest_interval`] then slices the freshly corrected interval back out.
+//! [`StreamingImputer::try_push`] is the single-stream convenience that
+//! does both steps in one call.
 
 use crate::imputer::Imputer;
 use crate::transformer_imputer::TransformerImputer;
-use fmml_fm::cem::{enforce, CemEngine};
+use fmml_fm::cem::{
+    enforce_degraded_with, CemEngine, DegradationLevel, EnforceOptions, LadderConfig, SolutionCache,
+};
 use fmml_fm::WindowConstraints;
 use fmml_telemetry::PortWindow;
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One coarse interval of one port, as a collector would deliver it.
-#[derive(Debug, Clone, PartialEq)]
+/// One coarse interval of one port, as a collector would deliver it (and
+/// as the `fmml-serve` wire protocol carries it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IntervalUpdate {
     pub port: usize,
     /// `samples[q]`: periodic sample of each queue.
@@ -46,23 +69,141 @@ impl IntervalUpdate {
     }
 }
 
-/// The freshly imputed fine series of the latest interval.
+/// Why an [`IntervalUpdate`] was rejected at ingestion. Malformed updates
+/// are *errors*, never panics — streamed telemetry is exactly the input
+/// the fault-injection harness corrupts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The update belongs to a different port than this imputer tracks.
+    PortMismatch { expected: usize, got: usize },
+    /// `samples`/`maxes` lengths disagree with each other or with the
+    /// configured queue count.
+    ShapeMismatch {
+        expected_queues: usize,
+        samples: usize,
+        maxes: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::PortMismatch { expected, got } => {
+                write!(
+                    f,
+                    "update for a different port: expected {expected}, got {got}"
+                )
+            }
+            IngestError::ShapeMismatch {
+                expected_queues,
+                samples,
+                maxes,
+            } => write!(
+                f,
+                "queue shape mismatch: expected {expected_queues} queues, \
+                 got {samples} samples and {maxes} maxes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Execution knobs for the streaming enforcement stage: the degradation
+/// ladder configuration plus PR-3's parallelism/memoization options.
 #[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Ladder configuration (engine, per-window deadline, escalation).
+    pub ladder: LadderConfig,
+    /// Worker threads for interval-level parallelism (`1` = sequential).
+    pub jobs: usize,
+    /// Optional solution cache, shareable across imputers and tenants.
+    pub cache: Option<Arc<SolutionCache>>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> StreamOptions {
+        StreamOptions {
+            ladder: LadderConfig::default(),
+            jobs: 1,
+            cache: None,
+        }
+    }
+}
+
+impl StreamOptions {
+    /// The [`EnforceOptions`] view borrowing this struct's cache.
+    pub fn enforce_options(&self) -> EnforceOptions<'_> {
+        EnforceOptions::new(self.jobs, self.cache.as_deref())
+    }
+}
+
+/// The freshly imputed fine series of the latest interval.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImputedInterval {
     pub port: usize,
     /// `series[q][t]`: fine-grained lengths for the new interval only.
     pub series: Vec<Vec<u32>>,
     /// Wall-clock cost of producing it (model + CEM).
     pub latency: Duration,
-    /// Whether C1–C3 hold exactly (always true unless CEM failed and the
-    /// raw model output was passed through).
+    /// The ladder rung the newest interval's correction landed on.
+    pub level: DegradationLevel,
+    /// Whether C1–C3 hold exactly *as measured*. The ladder always
+    /// returns a constraint-satisfying series; this is `false` only when
+    /// the measurements themselves were contradictory and had to be
+    /// minimally relaxed first ([`DegradationLevel::MeasurementRelaxed`]).
     pub enforced: bool,
 }
 
+/// A fully ingested window awaiting enforcement: the sliding window's
+/// constraints plus the raw model output. Produced by
+/// [`StreamingImputer::try_prepare`]; the serving layer batches many of
+/// these (across sessions and tenants) into one `enforce_degraded_batch`
+/// call.
+#[derive(Debug, Clone)]
+pub struct PreparedWindow {
+    pub port: usize,
+    /// C1–C3 right-hand sides of the buffered window.
+    pub constraints: WindowConstraints,
+    /// Raw transformer output for the whole window, `[queues][len]`.
+    pub imputed: Vec<Vec<f32>>,
+    /// Fine bins per interval.
+    pub interval_len: usize,
+    /// Intervals in the window.
+    pub window_intervals: usize,
+}
+
+impl PreparedWindow {
+    /// The `(constraints, prediction)` pair `enforce_degraded_batch`
+    /// consumes.
+    pub fn item(&self) -> (WindowConstraints, Vec<Vec<f32>>) {
+        (self.constraints.clone(), self.imputed.clone())
+    }
+
+    /// Slice the *newest* interval out of a corrected full-window series.
+    pub fn newest_interval(&self, corrected: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        let l = self.interval_len;
+        let from = (self.window_intervals - 1) * l;
+        corrected
+            .iter()
+            .map(|q| q[from..from + l].to_vec())
+            .collect()
+    }
+
+    /// The newest interval's rung from a ladder outcome's `levels`.
+    pub fn newest_level(&self, levels: &[DegradationLevel]) -> DegradationLevel {
+        levels.last().copied().unwrap_or(DegradationLevel::Full)
+    }
+}
+
 /// Sliding-window online imputer for one port.
-pub struct StreamingImputer<'m> {
-    model: &'m TransformerImputer,
-    cem: CemEngine,
+///
+/// Generic over how the model is held (`&TransformerImputer` for
+/// single-owner pipelines, `Arc<TransformerImputer>` for the serving
+/// layer's many sessions sharing one checkpoint).
+pub struct StreamingImputer<M: Borrow<TransformerImputer>> {
+    model: M,
+    opts: StreamOptions,
     /// Fine bins per interval.
     interval_len: usize,
     /// Intervals kept in the sliding window (the model's context).
@@ -76,19 +217,47 @@ pub struct StreamingImputer<'m> {
     worst_latency: Duration,
 }
 
-impl<'m> StreamingImputer<'m> {
+impl<M: Borrow<TransformerImputer>> StreamingImputer<M> {
+    /// Single-stream constructor: the given engine at default ladder
+    /// settings, sequential, uncached.
     pub fn new(
-        model: &'m TransformerImputer,
+        model: M,
         cem: CemEngine,
         port: usize,
         num_queues: usize,
         interval_len: usize,
         window_intervals: usize,
-    ) -> StreamingImputer<'m> {
+    ) -> StreamingImputer<M> {
+        StreamingImputer::with_options(
+            model,
+            StreamOptions {
+                ladder: LadderConfig {
+                    engine: cem,
+                    ..LadderConfig::default()
+                },
+                ..StreamOptions::default()
+            },
+            port,
+            num_queues,
+            interval_len,
+            window_intervals,
+        )
+    }
+
+    /// Full constructor: explicit ladder configuration, worker count, and
+    /// (shareable) solution cache.
+    pub fn with_options(
+        model: M,
+        opts: StreamOptions,
+        port: usize,
+        num_queues: usize,
+        interval_len: usize,
+        window_intervals: usize,
+    ) -> StreamingImputer<M> {
         assert!(window_intervals >= 1 && interval_len >= 2 && num_queues >= 1);
         StreamingImputer {
             model,
-            cem,
+            opts,
             interval_len,
             window_intervals,
             num_queues,
@@ -105,6 +274,11 @@ impl<'m> StreamingImputer<'m> {
         self.history.len()
     }
 
+    /// The port this imputer tracks.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
     /// Mean per-update imputation latency so far.
     pub fn mean_latency(&self) -> Duration {
         if self.updates_processed == 0 {
@@ -118,45 +292,89 @@ impl<'m> StreamingImputer<'m> {
         self.worst_latency
     }
 
-    /// Ingest one interval; once the context window is full, returns the
-    /// imputed fine series of the *newest* interval.
-    pub fn push(&mut self, update: IntervalUpdate) -> Option<ImputedInterval> {
-        assert_eq!(update.port, self.port, "update for a different port");
-        assert_eq!(update.samples.len(), self.num_queues);
+    /// Validate and buffer one interval; once the context window is full,
+    /// run the model forward pass and return the window ready for (batch)
+    /// enforcement. This is the ingestion half of [`try_push`]
+    /// — the serving layer calls it directly so enforcement can be
+    /// micro-batched across sessions.
+    ///
+    /// [`try_push`]: StreamingImputer::try_push
+    pub fn try_prepare(
+        &mut self,
+        update: IntervalUpdate,
+    ) -> Result<Option<PreparedWindow>, IngestError> {
+        if update.port != self.port {
+            return Err(IngestError::PortMismatch {
+                expected: self.port,
+                got: update.port,
+            });
+        }
+        if update.samples.len() != self.num_queues || update.maxes.len() != self.num_queues {
+            return Err(IngestError::ShapeMismatch {
+                expected_queues: self.num_queues,
+                samples: update.samples.len(),
+                maxes: update.maxes.len(),
+            });
+        }
         if self.history.len() == self.window_intervals {
             self.history.pop_front();
         }
         self.history.push_back(update);
         if self.history.len() < self.window_intervals {
-            return None;
+            return Ok(None);
         }
-        let start = Instant::now();
         let w = self.as_window();
-        let raw = self.model.impute(&w);
-        let wc = WindowConstraints::from_window(&w);
-        let (full, enforced) = match enforce(&wc, &raw, &self.cem) {
-            Ok(out) => (out.corrected, true),
-            Err(_) => (
-                raw.iter()
-                    .map(|q| q.iter().map(|&v| v.round().max(0.0) as u32).collect())
-                    .collect(),
-                false,
-            ),
+        let imputed = self.model.borrow().impute(&w);
+        Ok(Some(PreparedWindow {
+            port: self.port,
+            constraints: WindowConstraints::from_window(&w),
+            imputed,
+            interval_len: self.interval_len,
+            window_intervals: self.window_intervals,
+        }))
+    }
+
+    /// Ingest one interval; once the context window is full, returns the
+    /// imputed fine series of the *newest* interval, corrected through
+    /// the degradation ladder with this imputer's [`StreamOptions`].
+    pub fn try_push(
+        &mut self,
+        update: IntervalUpdate,
+    ) -> Result<Option<ImputedInterval>, IngestError> {
+        let start = Instant::now();
+        let Some(prepared) = self.try_prepare(update)? else {
+            return Ok(None);
         };
-        // Emit only the newest interval's bins.
-        let l = self.interval_len;
-        let from = (self.window_intervals - 1) * l;
-        let series: Vec<Vec<u32>> = full.iter().map(|q| q[from..from + l].to_vec()).collect();
+        let out = enforce_degraded_with(
+            &prepared.constraints,
+            &prepared.imputed,
+            &self.opts.ladder,
+            &self.opts.enforce_options(),
+        );
+        let level = prepared.newest_level(&out.levels);
+        let series = prepared.newest_interval(&out.corrected);
         let latency = start.elapsed();
         self.total_latency += latency;
         self.worst_latency = self.worst_latency.max(latency);
         self.updates_processed += 1;
-        Some(ImputedInterval {
+        Ok(Some(ImputedInterval {
             port: self.port,
             series,
             latency,
-            enforced,
-        })
+            level,
+            enforced: level != DegradationLevel::MeasurementRelaxed,
+        }))
+    }
+
+    /// Panicking convenience wrapper around [`try_push`] for trusted
+    /// (non-wire) inputs.
+    ///
+    /// [`try_push`]: StreamingImputer::try_push
+    pub fn push(&mut self, update: IntervalUpdate) -> Option<ImputedInterval> {
+        match self.try_push(update) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Materialize the buffered history as an offline-style window (the
@@ -187,6 +405,7 @@ impl<'m> StreamingImputer<'m> {
 mod tests {
     use super::*;
     use crate::transformer_imputer::Scales;
+    use fmml_fm::cem::enforce_degraded_batch;
     use fmml_netsim::traffic::TrafficConfig;
     use fmml_netsim::{SimConfig, Simulation};
     use fmml_telemetry::windows_from_trace;
@@ -226,6 +445,7 @@ mod tests {
                 assert_eq!(out.series.len(), 2);
                 assert_eq!(out.series[0].len(), 10);
                 assert!(out.enforced);
+                assert_eq!(out.level, DegradationLevel::Full);
             }
         }
         assert_eq!(emitted, 1);
@@ -278,5 +498,110 @@ mod tests {
         let mut u = IntervalUpdate::from_window(w, 0);
         u.port = w.port + 1;
         s.push(u);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_errors_not_panics() {
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let mut s = StreamingImputer::new(&model, CemEngine::Fast, w.port, 2, 10, 3);
+        // samples too short.
+        let mut u = IntervalUpdate::from_window(w, 0);
+        u.samples.pop();
+        assert_eq!(
+            s.try_push(u),
+            Err(IngestError::ShapeMismatch {
+                expected_queues: 2,
+                samples: 1,
+                maxes: 2
+            })
+        );
+        // maxes too long (would have panicked on index before).
+        let mut u = IntervalUpdate::from_window(w, 0);
+        u.maxes.push(7);
+        assert!(matches!(
+            s.try_push(u),
+            Err(IngestError::ShapeMismatch { maxes: 3, .. })
+        ));
+        // Rejected updates must not have entered the sliding window.
+        assert_eq!(s.buffered(), 0);
+        // A well-formed update still works afterwards.
+        assert!(s
+            .try_push(IntervalUpdate::from_window(w, 0))
+            .unwrap()
+            .is_none());
+        assert_eq!(s.buffered(), 1);
+    }
+
+    #[test]
+    fn contradictory_measurements_surface_as_relaxed_level() {
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let mut s = StreamingImputer::new(&model, CemEngine::Fast, w.port, 2, 10, 2);
+        s.push(IntervalUpdate::from_window(w, 0));
+        let mut u = IntervalUpdate::from_window(w, 1);
+        // Sample above the LANZ max: infeasible as measured.
+        u.samples[0] = u.maxes[0] + 5;
+        let out = s.push(u).expect("window full");
+        assert_eq!(out.level, DegradationLevel::MeasurementRelaxed);
+        assert!(!out.enforced, "relaxed output is flagged");
+    }
+
+    #[test]
+    fn prepare_plus_batch_enforce_matches_push() {
+        // The serving layer's split path (try_prepare +
+        // enforce_degraded_batch) must agree bitwise with try_push.
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let opts = StreamOptions::default();
+        let mut a = StreamingImputer::with_options(&model, opts.clone(), w.port, 2, 10, 4);
+        let mut b = StreamingImputer::with_options(&model, opts.clone(), w.port, 2, 10, 4);
+        for k in 0..w.intervals() {
+            let u = IntervalUpdate::from_window(w, k);
+            let pushed = a.try_push(u.clone()).unwrap();
+            let prepared = b.try_prepare(u).unwrap();
+            match (pushed, prepared) {
+                (None, None) => {}
+                (Some(out), Some(p)) => {
+                    let batch =
+                        enforce_degraded_batch(&[p.item()], &opts.ladder, &opts.enforce_options());
+                    assert_eq!(out.series, p.newest_interval(&batch[0].corrected));
+                    assert_eq!(out.level, p.newest_level(&batch[0].levels));
+                }
+                (x, y) => panic!("warm-up divergence at k={k}: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_is_hit_across_imputers() {
+        let (model, ws) = setup();
+        let w = &ws[0];
+        let cache = Arc::new(SolutionCache::new(1024));
+        let opts = StreamOptions {
+            cache: Some(Arc::clone(&cache)),
+            ..StreamOptions::default()
+        };
+        for _tenant in 0..2 {
+            let mut s = StreamingImputer::with_options(&model, opts.clone(), w.port, 2, 10, 3);
+            for k in 0..w.intervals() {
+                let _ = s.push(IntervalUpdate::from_window(w, k));
+            }
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "second tenant must reuse the first's solves: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn arc_held_model_works() {
+        let (model, ws) = setup();
+        let model = Arc::new(model);
+        let w = &ws[0];
+        let mut s = StreamingImputer::new(Arc::clone(&model), CemEngine::Fast, w.port, 2, 10, 2);
+        s.push(IntervalUpdate::from_window(w, 0));
+        assert!(s.push(IntervalUpdate::from_window(w, 1)).is_some());
     }
 }

@@ -80,7 +80,8 @@ impl DegradationLevel {
         DegradationLevel::MeasurementRelaxed,
     ];
 
-    /// Stable lowercase label (reports, metric names).
+    /// Stable lowercase label (reports, metric names, the serving wire
+    /// format).
     pub fn label(&self) -> &'static str {
         match self {
             DegradationLevel::Full => "full",
@@ -89,6 +90,15 @@ impl DegradationLevel {
             DegradationLevel::ClampProjection => "clamp",
             DegradationLevel::MeasurementRelaxed => "relaxed",
         }
+    }
+
+    /// Inverse of [`DegradationLevel::label`] — used by `fmml-serve` to
+    /// decode the level carried in `Imputed` frames.
+    pub fn from_label(s: &str) -> Option<DegradationLevel> {
+        DegradationLevel::ALL
+            .iter()
+            .copied()
+            .find(|l| l.label() == s)
     }
 
     fn index(&self) -> usize {
@@ -707,6 +717,15 @@ mod tests {
         assert_eq!(required_nonempty(&[0, 0], &[0, 0]), 0);
         // Witness only (samples zero): 1.
         assert_eq!(required_nonempty(&[3], &[0]), 1);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for l in DegradationLevel::ALL {
+            assert_eq!(DegradationLevel::from_label(l.label()), Some(l));
+        }
+        assert_eq!(DegradationLevel::from_label("bogus"), None);
+        assert_eq!(DegradationLevel::from_label(""), None);
     }
 
     #[test]

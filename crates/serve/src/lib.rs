@@ -1,0 +1,41 @@
+//! # fmml-serve — multi-tenant streaming imputation server
+//!
+//! The deployment layer for the paper's §5 real-time target: many
+//! operator collectors stream coarse telemetry intervals over TCP; the
+//! server imputes each port's fine-grained series through the
+//! Transformer+KAL model and the CEM degradation ladder, and answers
+//! inside the 50 ms wire period.
+//!
+//! Three pieces, all std-only (no async runtime — the vendored-deps
+//! constraint is a feature here: the whole serving stack is plain
+//! threads and sockets):
+//!
+//! * [`protocol`] — length-prefixed JSON frames ([`Frame`]), hardened
+//!   against hostile length prefixes and garbage payloads
+//!   ([`WireError`], [`MAX_FRAME_LEN`]).
+//! * [`server`] — acceptor + reader-per-session + shared CEM worker
+//!   pool with deadline-aware micro-batching
+//!   ([`ServerConfig`], [`spawn`], [`ServerHandle`]). Sessions shard
+//!   per-tenant sliding windows ([`fmml_core::streaming`]); workers
+//!   coalesce prepared windows across tenants into single
+//!   `enforce_degraded_batch` calls over one shared solution cache.
+//!   Admission control bounds each session's in-flight budget (`Busy`),
+//!   slow readers are disconnected, shutdown drains gracefully.
+//! * [`loadgen`] — trace-replay load generator
+//!   ([`LoadgenConfig`], [`run_loadgen`], [`LoadReport`]): M concurrent
+//!   clients replaying `netsim` telemetry with optional chaos
+//!   ([`ChaosConfig`]: disconnects, corrupted frames, malformed
+//!   updates, reordering), measuring end-to-end latency percentiles and
+//!   deadline-miss rate against the wire period.
+//!
+//! Everything is instrumented through `fmml-obs` (`serve.*` metrics);
+//! `fmml_bench::serve` drives a loopback server through the load
+//! generator at 1/8/32 clients to produce `BENCH_serve.json`.
+
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use loadgen::{run as run_loadgen, ChaosConfig, LoadReport, LoadgenConfig};
+pub use protocol::{Frame, WireError, MAX_FRAME_LEN};
+pub use server::{spawn, ServerConfig, ServerHandle};

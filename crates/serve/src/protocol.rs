@@ -1,0 +1,441 @@
+//! The `fmml-serve` wire protocol: length-prefixed JSON frames.
+//!
+//! Every frame on the wire is `u32` big-endian payload length followed by
+//! exactly that many bytes of UTF-8 JSON — one [`Frame`] per payload,
+//! serialized with the workspace's (vendored) serde. Enum encoding is
+//! externally tagged: unit variants are bare strings (`"Stats"`), struct
+//! variants single-key objects (`{"Hello":{...}}`).
+//!
+//! ```text
+//! ┌──────────────┬──────────────────────────────────────────┐
+//! │ len: u32 BE  │ payload: len bytes of JSON (one Frame)   │
+//! └──────────────┴──────────────────────────────────────────┘
+//! ```
+//!
+//! Hardening (streamed telemetry is exactly the input the fault harness
+//! corrupts):
+//!
+//! * the length prefix is capped at [`MAX_FRAME_LEN`] — an oversized
+//!   prefix is rejected *before* any allocation ([`WireError::Oversized`]);
+//! * decode failures are typed [`WireError`]s, never panics;
+//! * [`FrameReader`] tolerates read timeouts mid-frame (partial bytes are
+//!   retained, the caller decides when a stall becomes a disconnect).
+
+use fmml_core::streaming::IntervalUpdate;
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on a frame's JSON payload. A window of telemetry is a few KB;
+/// 1 MiB leaves two orders of magnitude of headroom while bounding what a
+/// hostile length prefix can make the server allocate.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Bytes of framing overhead per frame (the length prefix).
+pub const HEADER_LEN: usize = 4;
+
+/// One protocol message. Client→server: `Hello`, `Interval`, `Stats`,
+/// `Bye`. Server→client: `Welcome`, `Ack`, `Imputed`, `Busy`, `Reject`,
+/// `StatsReply`, `ByeAck`, `Error`.
+///
+/// Only unit and named-field variants are used (the vendored serde_derive
+/// supports exactly that shape), so the encoding is stable and trivially
+/// re-implementable by non-Rust clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Session handshake: which tenant this is and which ports it will
+    /// stream, with the telemetry geometry (queues per port, fine bins
+    /// per interval, intervals per sliding window).
+    Hello {
+        tenant: String,
+        ports: Vec<usize>,
+        queues: usize,
+        interval_len: usize,
+        window_intervals: usize,
+    },
+    /// Handshake accepted; `deadline_ms` echoes the server's per-interval
+    /// end-to-end budget.
+    Welcome { session: u64, deadline_ms: u64 },
+    /// One coarse interval of one port. `seq` is the client's correlation
+    /// id, echoed in the answer.
+    Interval { seq: u64, update: IntervalUpdate },
+    /// Interval accepted and buffered, but the sliding window is still
+    /// warming up — no series yet.
+    Ack { seq: u64, buffered: usize },
+    /// The freshly imputed fine series of the newest interval, corrected
+    /// through the CEM degradation ladder. `level` is the
+    /// [`DegradationLevel`](fmml_fm::cem::DegradationLevel) label
+    /// (`DegradationLevel::from_label` decodes it); `enforced` is `false`
+    /// only when the measurements themselves were contradictory and had
+    /// to be minimally relaxed.
+    Imputed {
+        seq: u64,
+        port: usize,
+        series: Vec<Vec<u32>>,
+        level: String,
+        enforced: bool,
+        latency_us: u64,
+    },
+    /// Admission control: the session's bounded queue is full; the
+    /// interval was dropped, try again later.
+    Busy { seq: u64, depth: usize },
+    /// The interval was malformed (wrong port, mismatched shapes) and was
+    /// not ingested. The session stays up.
+    Reject { seq: u64, reason: String },
+    /// Ask the server for its counters.
+    Stats,
+    StatsReply {
+        sessions: u64,
+        active_sessions: u64,
+        accepted: u64,
+        rejected: u64,
+        malformed: u64,
+        replies: u64,
+        batches: u64,
+        deadline_misses: u64,
+        violations: u64,
+        slow_disconnects: u64,
+    },
+    /// Graceful goodbye. The sender promises to send nothing further;
+    /// the server drains in-flight work and answers [`Frame::ByeAck`].
+    Bye,
+    /// All of the session's in-flight intervals have been answered.
+    ByeAck { answered: u64 },
+    /// Fatal session error (bad handshake, unparseable frame, shutdown).
+    Error { code: String, message: String },
+}
+
+impl Frame {
+    /// Short tag for logging.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::Welcome { .. } => "Welcome",
+            Frame::Interval { .. } => "Interval",
+            Frame::Ack { .. } => "Ack",
+            Frame::Imputed { .. } => "Imputed",
+            Frame::Busy { .. } => "Busy",
+            Frame::Reject { .. } => "Reject",
+            Frame::Stats => "Stats",
+            Frame::StatsReply { .. } => "StatsReply",
+            Frame::Bye => "Bye",
+            Frame::ByeAck { .. } => "ByeAck",
+            Frame::Error { .. } => "Error",
+        }
+    }
+}
+
+/// Typed decode/transport failures. Everything a hostile or chaotic peer
+/// can put on the wire lands here — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Peer closed the connection at a frame boundary.
+    Closed,
+    /// Peer closed the connection mid-frame.
+    Truncated { expected: usize, got: usize },
+    /// Length prefix exceeds [`MAX_FRAME_LEN`]; rejected before allocating.
+    Oversized { len: usize },
+    /// Payload was not valid UTF-8 JSON for a [`Frame`].
+    Malformed(String),
+    /// Underlying transport error.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            WireError::Oversized { len } => write!(
+                f,
+                "oversized frame: length prefix {len} exceeds cap {MAX_FRAME_LEN}"
+            ),
+            WireError::Malformed(e) => write!(f, "malformed frame: {e}"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode one frame to its on-wire bytes (header + JSON payload).
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    let json = serde_json::to_string(frame).map_err(|e| WireError::Malformed(e.to_string()))?;
+    let payload = json.as_bytes();
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len: payload.len() });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Decode one frame from the front of `buf`. Returns the frame and the
+/// number of bytes consumed, or `Ok(None)` if `buf` does not yet hold a
+/// complete frame.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    let text =
+        std::str::from_utf8(payload).map_err(|e| WireError::Malformed(format!("utf-8: {e}")))?;
+    let frame = serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))?;
+    Ok(Some((frame, HEADER_LEN + len)))
+}
+
+/// Serialize and write one frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
+    let bytes = encode_frame(frame)?;
+    w.write_all(&bytes).map_err(io_to_wire)?;
+    w.flush().map_err(io_to_wire)
+}
+
+fn io_to_wire(e: std::io::Error) -> WireError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::Io("write timed out".into()),
+        ErrorKind::UnexpectedEof | ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => {
+            WireError::Closed
+        }
+        _ => WireError::Io(e.to_string()),
+    }
+}
+
+/// Incremental frame decoder over any [`Read`].
+///
+/// Read timeouts are *non-destructive*: [`poll_frame`] returns
+/// `Ok(None)` and keeps any partial bytes buffered, so a server thread
+/// can time out, check its shutdown flag, and resume. The caller tracks
+/// how many consecutive polls left a frame half-finished and decides
+/// when a stalled peer becomes a disconnect.
+///
+/// [`poll_frame`]: FrameReader::poll_frame
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    /// Bytes buffered towards the next frame (non-zero after a mid-frame
+    /// timeout — the stall signal).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to read one frame. `Ok(None)` means the read timed out before
+    /// a complete frame arrived (retry later); errors are terminal for
+    /// the connection except as the caller decides.
+    pub fn poll_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        loop {
+            if let Some((frame, consumed)) = decode_frame(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(Some(frame));
+            }
+            let mut scratch = [0u8; 4096];
+            match self.inner.read(&mut scratch) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        WireError::Closed
+                    } else {
+                        let expected = expected_len(&self.buf);
+                        WireError::Truncated {
+                            expected,
+                            got: self.buf.len(),
+                        }
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None);
+                }
+                Err(e) => return Err(io_to_wire(e)),
+            }
+        }
+    }
+
+    /// Block until a full frame arrives (convenience for clients with no
+    /// read timeout set).
+    pub fn read_frame(&mut self) -> Result<Frame, WireError> {
+        loop {
+            if let Some(f) = self.poll_frame()? {
+                return Ok(f);
+            }
+        }
+    }
+}
+
+/// Total on-wire length the buffered prefix announces (for Truncated
+/// diagnostics); 0 if the header itself is incomplete.
+fn expected_len(buf: &[u8]) -> usize {
+    if buf.len() < HEADER_LEN {
+        return 0;
+    }
+    HEADER_LEN + u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_update() -> IntervalUpdate {
+        IntervalUpdate {
+            port: 3,
+            samples: vec![1, 2],
+            maxes: vec![4, 5],
+            sent: 10,
+            dropped: 0,
+            received: 9,
+        }
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let frames = vec![
+            Frame::Hello {
+                tenant: "t-0".into(),
+                ports: vec![0, 3],
+                queues: 2,
+                interval_len: 10,
+                window_intervals: 6,
+            },
+            Frame::Welcome {
+                session: 7,
+                deadline_ms: 50,
+            },
+            Frame::Interval {
+                seq: 42,
+                update: sample_update(),
+            },
+            Frame::Ack {
+                seq: 42,
+                buffered: 3,
+            },
+            Frame::Imputed {
+                seq: 42,
+                port: 3,
+                series: vec![vec![1, 2, 3], vec![0, 0, 1]],
+                level: "full".into(),
+                enforced: true,
+                latency_us: 1234,
+            },
+            Frame::Busy { seq: 43, depth: 64 },
+            Frame::Reject {
+                seq: 44,
+                reason: "queue shape mismatch".into(),
+            },
+            Frame::Stats,
+            Frame::StatsReply {
+                sessions: 1,
+                active_sessions: 1,
+                accepted: 10,
+                rejected: 2,
+                malformed: 1,
+                replies: 8,
+                batches: 4,
+                deadline_misses: 0,
+                violations: 0,
+                slow_disconnects: 0,
+            },
+            Frame::Bye,
+            Frame::ByeAck { answered: 8 },
+            Frame::Error {
+                code: "bad_handshake".into(),
+                message: "expected Hello".into(),
+            },
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f).unwrap();
+            let (back, consumed) = decode_frame(&bytes).unwrap().expect("complete");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(back, f, "round-trip mismatch for {}", f.tag());
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        bytes.extend_from_slice(b"junk");
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::Oversized {
+                len: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn incomplete_frames_wait_for_more_bytes() {
+        let bytes = encode_frame(&Frame::Bye).unwrap();
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_frame(&bytes[..cut]), Ok(None), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed_not_panic() {
+        let payload = b"{not json";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(payload);
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+        // Invalid UTF-8 too.
+        let payload = [0xff, 0xfe, 0x00];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn reader_reports_truncation_on_mid_frame_close() {
+        let bytes = encode_frame(&Frame::Stats).unwrap();
+        let cut = &bytes[..bytes.len() - 1];
+        let mut r = FrameReader::new(cut);
+        match r.read_frame() {
+            Err(WireError::Truncated { expected, got }) => {
+                assert_eq!(expected, bytes.len());
+                assert_eq!(got, bytes.len() - 1);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_decodes_back_to_back_frames() {
+        let mut stream = encode_frame(&Frame::Stats).unwrap();
+        stream.extend(encode_frame(&Frame::Bye).unwrap());
+        stream.extend(
+            encode_frame(&Frame::Interval {
+                seq: 1,
+                update: sample_update(),
+            })
+            .unwrap(),
+        );
+        let mut r = FrameReader::new(&stream[..]);
+        assert_eq!(r.read_frame().unwrap(), Frame::Stats);
+        assert_eq!(r.read_frame().unwrap(), Frame::Bye);
+        assert!(matches!(
+            r.read_frame().unwrap(),
+            Frame::Interval { seq: 1, .. }
+        ));
+        assert_eq!(r.read_frame(), Err(WireError::Closed));
+    }
+}

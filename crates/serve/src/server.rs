@@ -1,0 +1,804 @@
+//! The `fmml-serve` server: acceptor + reader-per-session + a shared
+//! worker pool doing deadline-aware micro-batched CEM enforcement.
+//!
+//! ```text
+//!            ┌────────────┐   Hello/Interval    ┌──────────────────────┐
+//!  clients ─▶│  acceptor  │──▶ reader thread ──▶│ bounded session queue│
+//!            └────────────┘   (per session:     └──────────┬───────────┘
+//!                              validate, window,           │ micro-batch
+//!                              model forward)              ▼ (≤ max_batch,
+//!                                               ┌──────────────────────┐
+//!                                               │ worker pool: one     │
+//!                                               │ enforce_degraded_-   │
+//!                                               │ batch per coalesced  │
+//!                                               │ batch, shared cache  │
+//!                                               └──────────┬───────────┘
+//!                                                          ▼
+//!                                        Imputed{series, level} per seq
+//! ```
+//!
+//! Division of labour keeps replies *bitwise-identical* to the offline
+//! path: the reader thread does everything order-sensitive (sliding
+//! window, model forward) sequentially per session, producing
+//! [`PreparedWindow`]s; workers only run `enforce_degraded_batch` over
+//! coalesced `(constraints, prediction)` items — the same pure function
+//! an offline pipeline calls on the same windows.
+//!
+//! Admission control: each session has a bounded in-flight budget
+//! (`queue_depth`); intervals over budget are answered `Busy` and
+//! dropped (`serve.rejected`). A peer that stops reading its replies
+//! blocks a worker's write until `write_timeout`, after which the
+//! session is killed (`serve.slow_disconnects`) rather than letting one
+//! slow reader wedge the pool. Shutdown drains: the acceptor closes,
+//! readers stop ingesting and wait for their in-flight replies, workers
+//! exit once the queue is empty and every reader is gone.
+
+use crate::protocol::{write_frame, Frame, FrameReader, WireError};
+use fmml_core::streaming::{PreparedWindow, StreamOptions, StreamingImputer};
+use fmml_core::transformer_imputer::TransformerImputer;
+use fmml_fm::cem::{
+    cache::DEFAULT_CAPACITY, enforce_degraded_batch, CemEngine, DegradationLevel, EnforceOptions,
+    LadderConfig, SolutionCache,
+};
+use fmml_obs::{log_event, Counter, Gauge, Histogram, Unit};
+use std::collections::{HashMap, VecDeque};
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+static SESSIONS: Counter = Counter::new("serve.sessions");
+static SESSIONS_ACTIVE: Gauge = Gauge::new("serve.sessions.active");
+static ACCEPTED: Counter = Counter::new("serve.accepted");
+static REJECTED: Counter = Counter::new("serve.rejected");
+static MALFORMED: Counter = Counter::new("serve.malformed");
+static REPLIES: Counter = Counter::new("serve.replies");
+static BATCHES: Counter = Counter::new("serve.batches");
+static BATCH_SIZE: Histogram = Histogram::new("serve.batch_size", Unit::Count);
+static LATENCY_US: Histogram = Histogram::new("serve.latency_us", Unit::Micros);
+static DEADLINE_MISS: Counter = Counter::new("serve.deadline_miss");
+static VIOLATIONS: Counter = Counter::new("serve.violations");
+static SLOW_DISCONNECTS: Counter = Counter::new("serve.slow_disconnects");
+
+/// Server tuning knobs. `Default` is the 50 ms wire-period deployment
+/// from the paper's §5 on loopback.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// CEM worker threads (each runs one micro-batch at a time).
+    pub workers: usize,
+    /// Intra-batch parallelism handed to `EnforceOptions::jobs`.
+    pub jobs: usize,
+    /// Top rung of the degradation ladder.
+    pub engine: CemEngine,
+    /// Per-interval end-to-end budget: accept→reply-written. Misses are
+    /// counted (`serve.deadline_miss`), and it bounds micro-batch
+    /// coalescing.
+    pub deadline: Duration,
+    /// When `true`, each batch's remaining slack (min over its jobs) is
+    /// threaded into `LadderConfig::deadline`, so late intervals degrade
+    /// to the clamp rung instead of missing silently. Off by default:
+    /// wall-clock-dependent rungs make replies nondeterministic, and the
+    /// differential harness asserts bitwise identity with the offline
+    /// path.
+    pub ladder_deadline: bool,
+    /// `LadderConfig::escalation_factor` for the batch ladder.
+    pub escalation_factor: u32,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Extra time a worker may wait for the batch to fill, additionally
+    /// bounded by half the first job's remaining slack.
+    pub batch_wait: Duration,
+    /// Per-session in-flight cap; intervals beyond it are answered
+    /// `Busy` (admission control).
+    pub queue_depth: usize,
+    /// Shared solution-cache capacity (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Socket read timeout — the reader's shutdown-poll granularity.
+    pub read_timeout: Duration,
+    /// Socket write timeout — a reply blocked longer than this marks the
+    /// peer a slow reader and kills the session.
+    pub write_timeout: Duration,
+    /// Consecutive mid-frame read timeouts before a stalled sender is
+    /// disconnected.
+    pub max_stalls: u32,
+    /// Sanity caps on the `Hello` geometry.
+    pub max_ports_per_session: usize,
+    pub max_queues: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            jobs: 1,
+            engine: CemEngine::Fast,
+            deadline: Duration::from_millis(50),
+            ladder_deadline: false,
+            escalation_factor: LadderConfig::default().escalation_factor,
+            max_batch: 16,
+            batch_wait: Duration::from_millis(1),
+            queue_depth: 64,
+            cache_capacity: DEFAULT_CAPACITY,
+            read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(2),
+            max_stalls: 80,
+            max_ports_per_session: 64,
+            max_queues: 64,
+        }
+    }
+}
+
+/// Per-server counters (the process-global `serve.*` metrics aggregate
+/// across servers; these back `StatsReply` for *this* instance).
+#[derive(Default)]
+struct Counters {
+    sessions: AtomicU64,
+    active_sessions: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    malformed: AtomicU64,
+    replies: AtomicU64,
+    batches: AtomicU64,
+    deadline_misses: AtomicU64,
+    violations: AtomicU64,
+    slow_disconnects: AtomicU64,
+}
+
+impl Counters {
+    fn stats_frame(&self) -> Frame {
+        Frame::StatsReply {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            active_sessions: self.active_sessions.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            replies: self.replies.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
+            slow_disconnects: self.slow_disconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The write half of a session, shared between its reader thread and the
+/// worker pool. All frame writes go through [`send`](SessionWriter::send)
+/// under one mutex, so replies never interleave mid-frame.
+struct SessionWriter {
+    stream: Mutex<TcpStream>,
+    /// Intervals accepted but not yet answered (admission-control level).
+    inflight: AtomicUsize,
+    /// Replies successfully written (for `ByeAck`).
+    answered: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl SessionWriter {
+    /// Write one frame; on failure the session is marked dead and the
+    /// socket shut down (waking the reader thread). Returns success.
+    fn send(&self, shared: &Shared, frame: &Frame) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut stream = self.stream.lock().unwrap();
+        match write_frame(&mut *stream, frame) {
+            Ok(()) => true,
+            Err(e) => {
+                if !self.dead.swap(true, Ordering::AcqRel) {
+                    if matches!(&e, WireError::Io(m) if m.contains("timed out")) {
+                        SLOW_DISCONNECTS.inc();
+                        shared
+                            .counters
+                            .slow_disconnects
+                            .fetch_add(1, Ordering::Relaxed);
+                        log_event!("serve.slow_disconnect", "frame" = frame.tag());
+                    }
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                false
+            }
+        }
+    }
+}
+
+/// One enforcement unit: a fully prepared window plus where the answer
+/// goes.
+struct Job {
+    seq: u64,
+    prepared: PreparedWindow,
+    accepted_at: Instant,
+    writer: Arc<SessionWriter>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    model: Arc<TransformerImputer>,
+    cache: Option<Arc<SolutionCache>>,
+    counters: Counters,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    active_readers: AtomicUsize,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](ServerHandle::shutdown) leaves the threads running for
+/// the life of the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This instance's counters as a [`Frame::StatsReply`].
+    pub fn stats(&self) -> Frame {
+        self.shared.counters.stats_frame()
+    }
+
+    /// The shared solution cache, if enabled.
+    pub fn cache(&self) -> Option<&Arc<SolutionCache>> {
+        self.shared.cache.as_ref()
+    }
+
+    /// Signal shutdown and gracefully drain: stop accepting, let every
+    /// session's in-flight intervals be answered, join all threads.
+    /// Returns the final stats.
+    pub fn shutdown(mut self) -> Frame {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Readers exit on their next poll tick (they drain first).
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for r in readers {
+            let _ = r.join();
+        }
+        self.shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        log_event!(
+            "serve.shutdown",
+            "sessions" = self.shared.counters.sessions.load(Ordering::Relaxed),
+            "replies" = self.shared.counters.replies.load(Ordering::Relaxed)
+        );
+        self.shared.counters.stats_frame()
+    }
+}
+
+/// Spawn a server on `cfg.addr` serving imputations from `model`.
+pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let cache = if cfg.cache_capacity > 0 {
+        Some(Arc::new(SolutionCache::new(cfg.cache_capacity)))
+    } else {
+        None
+    };
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        cfg,
+        model,
+        cache,
+        counters: Counters::default(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        active_readers: AtomicUsize::new(0),
+    });
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let readers = Arc::clone(&readers);
+        std::thread::Builder::new()
+            .name("serve-acceptor".into())
+            .spawn(move || {
+                let addr_str = addr.to_string();
+                log_event!("serve.listening", "addr" = addr_str.as_str());
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let shared = Arc::clone(&shared);
+                            shared.active_readers.fetch_add(1, Ordering::AcqRel);
+                            let h = std::thread::Builder::new()
+                                .name("serve-session".into())
+                                .spawn(move || {
+                                    handle_connection(&shared, stream);
+                                    shared.active_readers.fetch_sub(1, Ordering::AcqRel);
+                                    shared.queue_cv.notify_all();
+                                })
+                                .expect("spawn session");
+                            readers.lock().unwrap().push(h);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            if shared.shutting_down() {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => {
+                            if shared.shutting_down() {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+        readers,
+    })
+}
+
+/// Per-session state owned by the reader thread.
+struct Session {
+    id: u64,
+    tenant: String,
+    imputers: HashMap<usize, StreamingImputer<Arc<TransformerImputer>>>,
+    writer: Arc<SessionWriter>,
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let cfg = &shared.cfg;
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = Arc::new(SessionWriter {
+        stream: Mutex::new(stream),
+        inflight: AtomicUsize::new(0),
+        answered: AtomicU64::new(0),
+        dead: AtomicBool::new(false),
+    });
+    let mut reader = FrameReader::new(read_half);
+
+    let Some(mut session) = handshake(shared, &mut reader, &writer) else {
+        return;
+    };
+    SESSIONS_ACTIVE.add(1);
+    shared
+        .counters
+        .active_sessions
+        .fetch_add(1, Ordering::Relaxed);
+    log_event!(
+        "serve.session.open",
+        "session" = session.id,
+        "tenant" = session.tenant.as_str()
+    );
+
+    let mut stalls: u32 = 0;
+    loop {
+        if shared.shutting_down() {
+            drain_inflight(shared, &session.writer);
+            let _ = session.writer.send(
+                shared,
+                &Frame::Error {
+                    code: "shutting_down".into(),
+                    message: "server draining; goodbye".into(),
+                },
+            );
+            break;
+        }
+        if session.writer.dead.load(Ordering::Acquire) {
+            break; // killed by a worker (slow reader)
+        }
+        match reader.poll_frame() {
+            Ok(None) => {
+                if reader.pending() > 0 {
+                    stalls += 1;
+                    if stalls > cfg.max_stalls {
+                        SLOW_DISCONNECTS.inc();
+                        shared
+                            .counters
+                            .slow_disconnects
+                            .fetch_add(1, Ordering::Relaxed);
+                        log_event!("serve.stall_disconnect", "session" = session.id);
+                        break;
+                    }
+                } else {
+                    stalls = 0;
+                }
+            }
+            Ok(Some(frame)) => {
+                stalls = 0;
+                if !handle_frame(shared, &mut session, frame) {
+                    break;
+                }
+            }
+            Err(WireError::Closed) => break,
+            Err(
+                e @ (WireError::Truncated { .. }
+                | WireError::Oversized { .. }
+                | WireError::Malformed(_)),
+            ) => {
+                // Framing is lost — report and hang up.
+                MALFORMED.inc();
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = session.writer.send(
+                    shared,
+                    &Frame::Error {
+                        code: "bad_frame".into(),
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    session.writer.dead.store(true, Ordering::Release);
+    SESSIONS_ACTIVE.add(-1);
+    shared
+        .counters
+        .active_sessions
+        .fetch_sub(1, Ordering::Relaxed);
+    log_event!(
+        "serve.session.close",
+        "session" = session.id,
+        "answered" = session.writer.answered.load(Ordering::Relaxed)
+    );
+}
+
+/// Expect `Hello`, validate geometry, reply `Welcome`. `None` aborts the
+/// connection.
+fn handshake(
+    shared: &Arc<Shared>,
+    reader: &mut FrameReader<TcpStream>,
+    writer: &Arc<SessionWriter>,
+) -> Option<Session> {
+    let cfg = &shared.cfg;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let frame = loop {
+        if shared.shutting_down() || Instant::now() > deadline {
+            return None;
+        }
+        match reader.poll_frame() {
+            // A pre-handshake `Stats` is allowed: monitoring probes ask
+            // for counters without opening a session.
+            Ok(Some(Frame::Stats)) => {
+                if !writer.send(shared, &shared.counters.stats_frame()) {
+                    return None;
+                }
+            }
+            Ok(Some(f)) => break f,
+            Ok(None) => continue,
+            Err(_) => return None,
+        }
+    };
+    let Frame::Hello {
+        tenant,
+        ports,
+        queues,
+        interval_len,
+        window_intervals,
+    } = frame
+    else {
+        let _ = writer.send(
+            shared,
+            &Frame::Error {
+                code: "bad_handshake".into(),
+                message: format!("expected Hello, got {}", frame.tag()),
+            },
+        );
+        return None;
+    };
+    let valid = !ports.is_empty()
+        && ports.len() <= cfg.max_ports_per_session
+        && queues >= 1
+        && queues <= cfg.max_queues
+        && interval_len >= 2
+        && window_intervals >= 1;
+    if !valid {
+        MALFORMED.inc();
+        shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+        let _ = writer.send(
+            shared,
+            &Frame::Error {
+                code: "bad_handshake".into(),
+                message: format!(
+                    "invalid geometry: ports={} queues={queues} interval_len={interval_len} \
+                     window_intervals={window_intervals}",
+                    ports.len()
+                ),
+            },
+        );
+        return None;
+    }
+    let id = shared.counters.sessions.fetch_add(1, Ordering::Relaxed) + 1;
+    SESSIONS.inc();
+    let opts = StreamOptions {
+        ladder: LadderConfig {
+            engine: cfg.engine.clone(),
+            ..LadderConfig::default()
+        },
+        ..StreamOptions::default()
+    };
+    let imputers = ports
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                StreamingImputer::with_options(
+                    Arc::clone(&shared.model),
+                    opts.clone(),
+                    p,
+                    queues,
+                    interval_len,
+                    window_intervals,
+                ),
+            )
+        })
+        .collect();
+    if !writer.send(
+        shared,
+        &Frame::Welcome {
+            session: id,
+            deadline_ms: cfg.deadline.as_millis() as u64,
+        },
+    ) {
+        return None;
+    }
+    Some(Session {
+        id,
+        tenant,
+        imputers,
+        writer: Arc::clone(writer),
+    })
+}
+
+/// Process one client frame. Returns `false` to end the session.
+fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame) -> bool {
+    let cfg = &shared.cfg;
+    match frame {
+        Frame::Interval { seq, update } => {
+            let accepted_at = Instant::now();
+            // Admission control first: over-budget intervals are dropped
+            // before costing a model forward pass.
+            let depth = session.writer.inflight.load(Ordering::Acquire);
+            if depth >= cfg.queue_depth {
+                REJECTED.inc();
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                session.writer.send(shared, &Frame::Busy { seq, depth });
+                return true;
+            }
+            let Some(imputer) = session.imputers.get_mut(&update.port) else {
+                MALFORMED.inc();
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                session.writer.send(
+                    shared,
+                    &Frame::Reject {
+                        seq,
+                        reason: format!("port {} not announced in Hello", update.port),
+                    },
+                );
+                return true;
+            };
+            match imputer.try_prepare(update) {
+                Err(e) => {
+                    MALFORMED.inc();
+                    shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    session.writer.send(
+                        shared,
+                        &Frame::Reject {
+                            seq,
+                            reason: e.to_string(),
+                        },
+                    );
+                }
+                Ok(None) => {
+                    ACCEPTED.inc();
+                    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    let buffered = imputer.buffered();
+                    session.writer.send(shared, &Frame::Ack { seq, buffered });
+                }
+                Ok(Some(prepared)) => {
+                    ACCEPTED.inc();
+                    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    session.writer.inflight.fetch_add(1, Ordering::AcqRel);
+                    let job = Job {
+                        seq,
+                        prepared,
+                        accepted_at,
+                        writer: Arc::clone(&session.writer),
+                    };
+                    shared.queue.lock().unwrap().push_back(job);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            true
+        }
+        Frame::Stats => {
+            session.writer.send(shared, &shared.counters.stats_frame());
+            true
+        }
+        Frame::Bye => {
+            drain_inflight(shared, &session.writer);
+            let answered = session.writer.answered.load(Ordering::Relaxed);
+            session.writer.send(shared, &Frame::ByeAck { answered });
+            false
+        }
+        other => {
+            MALFORMED.inc();
+            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            session.writer.send(
+                shared,
+                &Frame::Error {
+                    code: "unexpected".into(),
+                    message: format!("unexpected {} frame", other.tag()),
+                },
+            );
+            true
+        }
+    }
+}
+
+/// Wait (bounded) until every accepted interval of this session has been
+/// answered — the graceful-drain guarantee behind `Bye` and shutdown.
+fn drain_inflight(shared: &Shared, writer: &SessionWriter) {
+    let budget = shared.cfg.deadline.max(Duration::from_millis(50)) * 20;
+    let deadline = Instant::now() + budget;
+    while writer.inflight.load(Ordering::Acquire) > 0
+        && !writer.dead.load(Ordering::Acquire)
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Worker: pop one job, coalesce whatever else is queued (bounded by
+/// `max_batch` and by the first job's remaining deadline slack), run one
+/// `enforce_degraded_batch`, write replies.
+fn worker_loop(shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let base_ladder = LadderConfig {
+        engine: cfg.engine.clone(),
+        deadline: None,
+        escalation_factor: cfg.escalation_factor,
+    };
+    loop {
+        let mut batch = {
+            let mut q = shared.queue.lock().unwrap();
+            let first = loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if shared.shutting_down() && shared.active_readers.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .unwrap();
+                q = guard;
+            };
+            let mut batch = vec![first];
+            while batch.len() < cfg.max_batch {
+                match q.pop_front() {
+                    Some(j) => batch.push(j),
+                    None => break,
+                }
+            }
+            // Deadline-aware coalescing: wait a short beat for stragglers,
+            // but never longer than half the first job's remaining slack.
+            if batch.len() < cfg.max_batch && !cfg.batch_wait.is_zero() {
+                let slack = cfg.deadline.saturating_sub(batch[0].accepted_at.elapsed());
+                let wait_until = Instant::now() + cfg.batch_wait.min(slack / 2);
+                while batch.len() < cfg.max_batch {
+                    let remaining = wait_until.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, res) = shared.queue_cv.wait_timeout(q, remaining).unwrap();
+                    q = guard;
+                    while batch.len() < cfg.max_batch {
+                        match q.pop_front() {
+                            Some(j) => batch.push(j),
+                            None => break,
+                        }
+                    }
+                    if res.timed_out() {
+                        break;
+                    }
+                }
+            }
+            batch
+        };
+
+        let mut ladder = base_ladder.clone();
+        if cfg.ladder_deadline {
+            let min_slack = batch
+                .iter()
+                .map(|j| cfg.deadline.saturating_sub(j.accepted_at.elapsed()))
+                .min()
+                .unwrap_or(cfg.deadline)
+                .max(Duration::from_micros(200));
+            ladder.deadline = Some(min_slack);
+        }
+        let items: Vec<_> = batch.iter().map(|j| j.prepared.item()).collect();
+        let opts = EnforceOptions::new(cfg.jobs, shared.cache.as_deref());
+        BATCHES.inc();
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        BATCH_SIZE.record(batch.len() as u64);
+        let outcomes = enforce_degraded_batch(&items, &ladder, &opts);
+
+        for (job, outcome) in batch.drain(..).zip(outcomes) {
+            // Self-check: the ladder's contract is that outputs satisfy
+            // the (possibly relaxed) constraints exactly. Count, never
+            // ship silently.
+            let effective = outcome.effective_constraints(&job.prepared.constraints);
+            if !effective.satisfied_exact(&outcome.corrected) {
+                VIOLATIONS.inc();
+                shared.counters.violations.fetch_add(1, Ordering::Relaxed);
+                log_event!("serve.violation", "seq" = job.seq);
+            }
+            let series = job.prepared.newest_interval(&outcome.corrected);
+            let level = job.prepared.newest_level(&outcome.levels);
+            let latency = job.accepted_at.elapsed();
+            LATENCY_US.record_duration(latency);
+            if latency > cfg.deadline {
+                DEADLINE_MISS.inc();
+                shared
+                    .counters
+                    .deadline_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let frame = Frame::Imputed {
+                seq: job.seq,
+                port: job.prepared.port,
+                series,
+                level: level.label().to_string(),
+                enforced: level != DegradationLevel::MeasurementRelaxed,
+                latency_us: latency.as_micros() as u64,
+            };
+            if job.writer.send(shared, &frame) {
+                REPLIES.inc();
+                shared.counters.replies.fetch_add(1, Ordering::Relaxed);
+                job.writer.answered.fetch_add(1, Ordering::Relaxed);
+            }
+            job.writer.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the `fmml-serve` wire format.
+//!
+//! * encode→decode identity for randomized frames (every variant,
+//!   randomized payload contents and sizes);
+//! * every strict prefix of a valid frame decodes to "wait for more
+//!   bytes", never to a frame and never to a panic;
+//! * hostile length prefixes over [`MAX_FRAME_LEN`] are rejected before
+//!   allocation;
+//! * arbitrary garbage bytes never panic the decoder.
+
+use fmml_core::streaming::IntervalUpdate;
+use fmml_serve::protocol::{decode_frame, encode_frame, Frame, HEADER_LEN, MAX_FRAME_LEN};
+use fmml_serve::WireError;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_update(rng: &mut StdRng, queues: usize) -> IntervalUpdate {
+    IntervalUpdate {
+        port: rng.random_range(0..64usize),
+        samples: (0..queues)
+            .map(|_| rng.random_range(0..10_000u32))
+            .collect(),
+        maxes: (0..queues)
+            .map(|_| rng.random_range(0..10_000u32))
+            .collect(),
+        sent: rng.random_range(0..100_000u32),
+        dropped: rng.random_range(0..1_000u32),
+        received: rng.random_range(0..100_000u32),
+    }
+}
+
+fn random_frame(rng: &mut StdRng) -> Frame {
+    let queues = rng.random_range(1..6usize);
+    match rng.random_range(0..12u32) {
+        0 => Frame::Hello {
+            tenant: format!("tenant-{}", rng.random_range(0..1000u32)),
+            ports: (0..rng.random_range(1..5usize))
+                .map(|_| rng.random_range(0..64usize))
+                .collect(),
+            queues,
+            interval_len: rng.random_range(2..100usize),
+            window_intervals: rng.random_range(1..20usize),
+        },
+        1 => Frame::Welcome {
+            session: rng.random(),
+            deadline_ms: rng.random_range(0..10_000u64),
+        },
+        2 => Frame::Interval {
+            seq: rng.random(),
+            update: random_update(rng, queues),
+        },
+        3 => Frame::Ack {
+            seq: rng.random(),
+            buffered: rng.random_range(0..32usize),
+        },
+        4 => Frame::Imputed {
+            seq: rng.random(),
+            port: rng.random_range(0..64usize),
+            series: (0..queues)
+                .map(|_| {
+                    (0..rng.random_range(1..30usize))
+                        .map(|_| rng.random_range(0..5_000u32))
+                        .collect()
+                })
+                .collect(),
+            level: [
+                "full",
+                "escalated_retry",
+                "fast_fallback",
+                "clamp",
+                "relaxed",
+            ][rng.random_range(0..5usize)]
+            .to_string(),
+            enforced: rng.random_bool(0.5),
+            latency_us: rng.random_range(0..1_000_000u64),
+        },
+        5 => Frame::Busy {
+            seq: rng.random(),
+            depth: rng.random_range(0..512usize),
+        },
+        6 => Frame::Reject {
+            seq: rng.random(),
+            reason: format!(
+                "reason \"{}\" with\nescapes\t\\",
+                rng.random_range(0..100u32)
+            ),
+        },
+        7 => Frame::Stats,
+        8 => Frame::StatsReply {
+            sessions: rng.random(),
+            active_sessions: rng.random(),
+            accepted: rng.random(),
+            rejected: rng.random(),
+            malformed: rng.random(),
+            replies: rng.random(),
+            batches: rng.random(),
+            deadline_misses: rng.random(),
+            violations: rng.random(),
+            slow_disconnects: rng.random(),
+        },
+        9 => Frame::Bye,
+        10 => Frame::ByeAck {
+            answered: rng.random(),
+        },
+        _ => Frame::Error {
+            code: "bad_frame".into(),
+            message: format!("msg {}", rng.random_range(0..1000u32)),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_identity(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let frame = random_frame(&mut rng);
+            let bytes = encode_frame(&frame).expect("encodes");
+            let decoded = decode_frame(&bytes).expect("decodes");
+            let (back, consumed) = decoded.expect("complete frame");
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete_never_panic(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame(&frame).expect("encodes");
+        // Probe a spread of strict prefixes (all of them for small frames).
+        let probes: Vec<usize> = if bytes.len() <= 64 {
+            (0..bytes.len()).collect()
+        } else {
+            (0..64).map(|i| i * (bytes.len() - 1) / 63).collect()
+        };
+        for cut in probes {
+            prop_assert_eq!(decode_frame(&bytes[..cut]), Ok(None), "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn oversized_prefixes_rejected(extra in 1u64..u32::MAX as u64 - MAX_FRAME_LEN as u64) {
+        let len = MAX_FRAME_LEN as u64 + extra;
+        let mut bytes = (len as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"xxxx");
+        prop_assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::Oversized { len: len as usize })
+        );
+    }
+
+    #[test]
+    fn garbage_never_panics(seed in 0u64..100_000, len in 0usize..256) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0..256u32) as u8).collect();
+        // Any outcome is fine except a panic; decode must also never
+        // claim to consume more bytes than it was given.
+        if let Ok(Some((_, consumed))) = decode_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert!(consumed >= HEADER_LEN);
+        }
+    }
+}

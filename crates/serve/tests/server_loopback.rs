@@ -1,0 +1,275 @@
+//! Loopback integration tests for the server: bitwise identity with the
+//! offline enforcement path, admission control, pre-handshake stats
+//! probes, and malformed-frame handling.
+
+use fmml_core::streaming::{IntervalUpdate, StreamOptions, StreamingImputer};
+use fmml_core::transformer_imputer::{Scales, TransformerImputer};
+use fmml_fm::cem::{CemEngine, DegradationLevel, LadderConfig};
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+use fmml_serve::protocol::{write_frame, Frame, FrameReader};
+use fmml_serve::{spawn, ServerConfig};
+use fmml_telemetry::{windows_from_trace, PortWindow};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const INTERVAL_LEN: usize = 10;
+const WINDOW_INTERVALS: usize = 3;
+
+fn model() -> Arc<TransformerImputer> {
+    let cfg = SimConfig::small();
+    Arc::new(TransformerImputer::new(
+        3,
+        Scales {
+            qlen: cfg.buffer_packets as f32,
+            count: 830.0,
+        },
+    ))
+}
+
+fn windows() -> Vec<PortWindow> {
+    let cfg = SimConfig::small();
+    let gt = Simulation::new(
+        cfg.clone(),
+        TrafficConfig::websearch_incast(cfg.num_ports, 0.6),
+        19,
+    )
+    .run_ms(360);
+    windows_from_trace(
+        &gt,
+        INTERVAL_LEN * WINDOW_INTERVALS,
+        INTERVAL_LEN,
+        INTERVAL_LEN * WINDOW_INTERVALS,
+    )
+    .into_iter()
+    .filter(|w| w.has_activity())
+    .collect()
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, FrameReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let reader = FrameReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn hello(port: usize, queues: usize) -> Frame {
+    Frame::Hello {
+        tenant: "test".into(),
+        ports: vec![port],
+        queues,
+        interval_len: INTERVAL_LEN,
+        window_intervals: WINDOW_INTERVALS,
+    }
+}
+
+/// Lockstep replay through the server agrees **bitwise** with the
+/// offline streaming path on the same model and windows, levels
+/// included.
+#[test]
+fn server_replies_match_offline_enforcement_bitwise() {
+    let model = model();
+    let ws = windows();
+    let w = &ws[0];
+    let handle = spawn(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: 2,
+            deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+
+    // Offline reference on an identical imputer.
+    let opts = StreamOptions {
+        ladder: LadderConfig {
+            engine: CemEngine::Fast,
+            ..LadderConfig::default()
+        },
+        ..StreamOptions::default()
+    };
+    let mut offline = StreamingImputer::with_options(
+        Arc::clone(&model),
+        opts,
+        w.port,
+        w.num_queues(),
+        INTERVAL_LEN,
+        WINDOW_INTERVALS,
+    );
+
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+
+    let mut compared = 0usize;
+    for (k, seq) in (0..w.intervals()).zip(1u64..) {
+        let u = IntervalUpdate::from_window(w, k);
+        let expect = offline.try_push(u.clone()).unwrap();
+        write_frame(&mut tx, &Frame::Interval { seq, update: u }).unwrap();
+        match rx.read_frame().unwrap() {
+            Frame::Ack { seq: s, .. } => {
+                assert_eq!(s, seq);
+                assert!(expect.is_none(), "server acked where offline emitted");
+            }
+            Frame::Imputed {
+                seq: s,
+                port,
+                series,
+                level,
+                enforced,
+                ..
+            } => {
+                let expect = expect.expect("offline must emit too");
+                assert_eq!(s, seq);
+                assert_eq!(port, w.port);
+                assert_eq!(series, expect.series, "series diverge at k={k}");
+                assert_eq!(
+                    DegradationLevel::from_label(&level),
+                    Some(expect.level),
+                    "levels diverge at k={k}"
+                );
+                assert_eq!(enforced, expect.enforced);
+                compared += 1;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(compared >= 1, "no full windows compared");
+
+    // Graceful goodbye answers everything already accepted.
+    write_frame(&mut tx, &Frame::Bye).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::ByeAck { answered } => assert_eq!(answered, compared as u64),
+        other => panic!("expected ByeAck, got {other:?}"),
+    }
+
+    let stats = handle.shutdown();
+    let Frame::StatsReply {
+        violations,
+        replies,
+        ..
+    } = stats
+    else {
+        panic!("stats frame");
+    };
+    assert_eq!(violations, 0);
+    assert_eq!(replies, compared as u64);
+}
+
+/// `queue_depth = 0` makes every interval over budget: admission control
+/// answers `Busy` and counts `rejected`, and the session survives.
+#[test]
+fn admission_control_rejects_with_busy() {
+    let handle = spawn(
+        model(),
+        ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let ws = windows();
+    let w = &ws[0];
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+    for seq in 1u64..=3 {
+        let u = IntervalUpdate::from_window(w, 0);
+        write_frame(&mut tx, &Frame::Interval { seq, update: u }).unwrap();
+        match rx.read_frame().unwrap() {
+            Frame::Busy { seq: s, .. } => assert_eq!(s, seq),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+    }
+    // The session is still alive for stats.
+    write_frame(&mut tx, &Frame::Stats).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::StatsReply { rejected, .. } => assert_eq!(rejected, 3),
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Malformed updates are answered with typed `Reject` frames; the
+/// session (and its sliding window) survives.
+#[test]
+fn malformed_updates_rejected_in_band() {
+    let handle = spawn(model(), ServerConfig::default()).expect("spawn server");
+    let ws = windows();
+    let w = &ws[0];
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+
+    // Wrong shape: one sample column dropped.
+    let mut u = IntervalUpdate::from_window(w, 0);
+    u.samples.pop();
+    write_frame(&mut tx, &Frame::Interval { seq: 1, update: u }).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::Reject { seq, reason } => {
+            assert_eq!(seq, 1);
+            assert!(reason.contains("shape mismatch"), "reason: {reason}");
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    // Port not announced in Hello.
+    let mut u = IntervalUpdate::from_window(w, 0);
+    u.port = w.port + 57;
+    write_frame(&mut tx, &Frame::Interval { seq: 2, update: u }).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::Reject { seq, reason } => {
+            assert_eq!(seq, 2);
+            assert!(reason.contains("not announced"), "reason: {reason}");
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+    // A well-formed interval still works.
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: 3,
+            update: IntervalUpdate::from_window(w, 0),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        rx.read_frame().unwrap(),
+        Frame::Ack { seq: 3, .. }
+    ));
+    handle.shutdown();
+}
+
+/// A pre-handshake `Stats` probe works, and a corrupted frame yields a
+/// typed `Error` and a hangup — never a panic.
+#[test]
+fn stats_probe_and_corrupt_frame_handling() {
+    let handle = spawn(model(), ServerConfig::default()).expect("spawn server");
+
+    // Monitoring probe without a session.
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &Frame::Stats).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::StatsReply { .. }));
+    drop((tx, rx));
+
+    // Garbage payload after a valid handshake: Error{bad_frame} + close.
+    let ws = windows();
+    let w = &ws[0];
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+    tx.write_all(&[0, 0, 0, 3, b'z', b'z', b'z']).unwrap();
+    tx.flush().unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, "bad_frame"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    let stats = handle.shutdown();
+    let Frame::StatsReply { malformed, .. } = stats else {
+        panic!("stats frame");
+    };
+    assert!(malformed >= 1);
+}

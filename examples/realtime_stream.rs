@@ -4,15 +4,20 @@
 //! per-interval latency fits inside the 50 ms telemetry period — i.e.
 //! whether imputation keeps up with the wire.
 //!
+//! The enforcement stage runs through the full degradation ladder with a
+//! shared solution cache, so repeated windows are answered from memo and
+//! every emitted interval is annotated with the ladder rung it landed on.
+//!
 //! ```text
 //! cargo run --release --example realtime_stream
 //! ```
 
 use fmml::core::eval::{generate_windows, EvalConfig};
-use fmml::core::streaming::{IntervalUpdate, StreamingImputer};
+use fmml::core::streaming::{IntervalUpdate, StreamOptions, StreamingImputer};
 use fmml::core::train::{train, TrainConfig};
 use fmml::core::transformer_imputer::Scales;
-use fmml::fm::cem::CemEngine;
+use fmml::fm::cem::{CemEngine, LadderConfig, SolutionCache};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -32,16 +37,29 @@ fn main() {
     // Replay held-out telemetry interval-by-interval, port by port.
     let test_windows = generate_windows(&cfg, cfg.seed + 1000, cfg.test_runs + 2);
     let w0 = &test_windows[0];
-    let mut imputer = StreamingImputer::new(
+    let budget = Duration::from_millis(cfg.interval_len as u64); // one interval of wall-clock
+
+    // PR-3 execution options: degradation ladder with a per-window
+    // deadline, plus a solution cache shared across (potential) streams.
+    let cache = Arc::new(SolutionCache::new(fmml::fm::cem::cache::DEFAULT_CAPACITY));
+    let opts = StreamOptions {
+        ladder: LadderConfig {
+            engine: CemEngine::Fast,
+            deadline: Some(budget),
+            ..LadderConfig::default()
+        },
+        jobs: 1,
+        cache: Some(Arc::clone(&cache)),
+    };
+    let mut imputer = StreamingImputer::with_options(
         &model,
-        CemEngine::Fast,
+        opts,
         w0.port,
         w0.num_queues(),
         cfg.interval_len,
         w0.intervals(),
     );
 
-    let budget = Duration::from_millis(cfg.interval_len as u64); // one interval of wall-clock
     let mut emitted = 0usize;
     let mut within_budget = 0usize;
     println!(
@@ -58,19 +76,25 @@ fn main() {
                 }
                 if emitted <= 5 {
                     println!(
-                        "  interval #{emitted}: imputed {}x{} bins in {:?} (enforced: {})",
+                        "  interval #{emitted}: imputed {}x{} bins in {:?} (level: {}, enforced: {})",
                         out.series.len(),
                         out.series[0].len(),
                         out.latency,
+                        out.level.label(),
                         out.enforced,
                     );
                 }
             }
         }
     }
+    let cs = cache.stats();
     println!("\nprocessed {emitted} intervals:");
     println!("  mean latency  {:?}", imputer.mean_latency());
     println!("  worst latency {:?}", imputer.worst_latency());
+    println!(
+        "  cache         {} hits / {} misses ({} entries)",
+        cs.hits, cs.misses, cs.len
+    );
     println!(
         "  {within_budget}/{emitted} within the {budget:?} telemetry period — {}",
         if within_budget == emitted {
