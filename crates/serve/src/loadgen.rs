@@ -148,7 +148,8 @@ pub struct LoadReport {
     pub server_errors: u64,
     /// Imputed replies whose `level` label failed to parse.
     pub unknown_levels: u64,
-    /// Clean sessions that ended without a `ByeAck` (drain losses).
+    /// Clean sessions that ended without a `ByeAck`, or whose `ByeAck`
+    /// reported a partial (timed-out) drain with `remaining > 0`.
     pub drain_losses: u64,
     pub p50_us: u64,
     pub p99_us: u64,
@@ -203,6 +204,8 @@ struct ClientShared {
     server_errors: AtomicU64,
     unknown_levels: AtomicU64,
     saw_byeack: AtomicBool,
+    /// `remaining` reported by the `ByeAck` (non-zero = partial drain).
+    byeack_remaining: AtomicU64,
     /// Reader saw the connection end (any reason).
     done: AtomicBool,
     stop: AtomicBool,
@@ -549,7 +552,11 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
             {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            if !shared.saw_byeack.load(Ordering::Acquire) {
+            if !shared.saw_byeack.load(Ordering::Acquire)
+                || shared.byeack_remaining.load(Ordering::Acquire) > 0
+            {
+                // No ByeAck at all, or a ByeAck admitting a timed-out
+                // (partial) drain — either way replies were lost.
                 report.drain_losses += 1;
             }
         }
@@ -623,7 +630,8 @@ fn reader_loop(mut reader: FrameReader<TcpStream>, shared: &ClientShared) {
                     shared.malformed_rejects.fetch_add(1, Ordering::Relaxed);
                     LG_REJECTED.inc();
                 }
-                Frame::ByeAck { .. } => {
+                Frame::ByeAck { remaining, .. } => {
+                    shared.byeack_remaining.store(remaining, Ordering::Release);
                     shared.saw_byeack.store(true, Ordering::Release);
                     shared.done.store(true, Ordering::Release);
                     break;

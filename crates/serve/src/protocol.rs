@@ -98,8 +98,13 @@ pub enum Frame {
     /// Graceful goodbye. The sender promises to send nothing further;
     /// the server drains in-flight work and answers [`Frame::ByeAck`].
     Bye,
-    /// All of the session's in-flight intervals have been answered.
-    ByeAck { answered: u64 },
+    /// Drain result for the session: `answered` replies were written, and
+    /// `remaining` accepted intervals were still in flight when the
+    /// server's drain budget expired. `remaining == 0` is a full drain;
+    /// `remaining > 0` means the drain timed out and that many replies
+    /// were dropped — clients can distinguish the two instead of trusting
+    /// an unconditional "all answered".
+    ByeAck { answered: u64, remaining: u64 },
     /// Fatal session error (bad handshake, unparseable frame, shutdown).
     Error { code: String, message: String },
 }
@@ -136,6 +141,10 @@ pub enum WireError {
     Oversized { len: usize },
     /// Payload was not valid UTF-8 JSON for a [`Frame`].
     Malformed(String),
+    /// A blocking read/write hit the socket's configured timeout. On the
+    /// write path this is the slow-reader signal — matched structurally
+    /// (never by message text) by the server's disconnect accounting.
+    Timeout,
     /// Underlying transport error.
     Io(String),
 }
@@ -152,6 +161,7 @@ impl std::fmt::Display for WireError {
                 "oversized frame: length prefix {len} exceeds cap {MAX_FRAME_LEN}"
             ),
             WireError::Malformed(e) => write!(f, "malformed frame: {e}"),
+            WireError::Timeout => write!(f, "socket operation timed out"),
             WireError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -202,7 +212,7 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> 
 
 fn io_to_wire(e: std::io::Error) -> WireError {
     match e.kind() {
-        ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::Io("write timed out".into()),
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::Timeout,
         ErrorKind::UnexpectedEof | ErrorKind::BrokenPipe | ErrorKind::ConnectionReset => {
             WireError::Closed
         }
@@ -354,7 +364,10 @@ mod tests {
                 slow_disconnects: 0,
             },
             Frame::Bye,
-            Frame::ByeAck { answered: 8 },
+            Frame::ByeAck {
+                answered: 8,
+                remaining: 0,
+            },
             Frame::Error {
                 code: "bad_handshake".into(),
                 message: "expected Hello".into(),

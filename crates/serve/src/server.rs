@@ -106,9 +106,14 @@ pub struct ServerConfig {
     /// Consecutive mid-frame read timeouts before a stalled sender is
     /// disconnected.
     pub max_stalls: u32,
-    /// Sanity caps on the `Hello` geometry.
+    /// Sanity caps on the `Hello` geometry. All four are checked before
+    /// any per-session allocation happens, so a hostile `Hello` (e.g.
+    /// `window_intervals = 10^15`) is answered `bad_handshake` instead of
+    /// driving `queues × window × interval_len` allocations to abort.
     pub max_ports_per_session: usize,
     pub max_queues: usize,
+    pub max_interval_len: usize,
+    pub max_window_intervals: usize,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +135,8 @@ impl Default for ServerConfig {
             max_stalls: 80,
             max_ports_per_session: 64,
             max_queues: 64,
+            max_interval_len: 512,
+            max_window_intervals: 64,
         }
     }
 }
@@ -191,7 +198,7 @@ impl SessionWriter {
             Ok(()) => true,
             Err(e) => {
                 if !self.dead.swap(true, Ordering::AcqRel) {
-                    if matches!(&e, WireError::Io(m) if m.contains("timed out")) {
+                    if e == WireError::Timeout {
                         SLOW_DISCONNECTS.inc();
                         shared
                             .counters
@@ -230,6 +237,20 @@ struct Shared {
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Decrements `active_readers` on drop — **including unwind**. If a
+/// session thread panics, the count still reaches zero and the worker
+/// pool's shutdown condition (`shutting_down && active_readers == 0`)
+/// still holds; without this, [`ServerHandle::shutdown`] would hang
+/// forever joining workers after any reader panic.
+struct ReaderGuard(Arc<Shared>);
+
+impl Drop for ReaderGuard {
+    fn drop(&mut self) {
+        self.0.active_readers.fetch_sub(1, Ordering::AcqRel);
+        self.0.queue_cv.notify_all();
     }
 }
 
@@ -336,17 +357,21 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
                             let h = std::thread::Builder::new()
                                 .name("serve-session".into())
                                 .spawn(move || {
+                                    // Drop guard: the decrement must run
+                                    // even if handle_connection unwinds.
+                                    let _guard = ReaderGuard(Arc::clone(&shared));
                                     handle_connection(&shared, stream);
-                                    shared.active_readers.fetch_sub(1, Ordering::AcqRel);
-                                    shared.queue_cv.notify_all();
                                 })
                                 .expect("spawn session");
-                            readers.lock().unwrap().push(h);
+                            let mut rs = readers.lock().unwrap();
+                            reap_finished(&mut rs);
+                            rs.push(h);
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
                             if shared.shutting_down() {
                                 break;
                             }
+                            reap_finished(&mut readers.lock().unwrap());
                             std::thread::sleep(Duration::from_millis(2));
                         }
                         Err(_) => {
@@ -368,6 +393,22 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
         workers: worker_handles,
         readers,
     })
+}
+
+/// Join (and drop) session threads that have already exited, so a
+/// long-running server doesn't accumulate one `JoinHandle` per
+/// connection ever accepted. Called from the acceptor's idle tick and
+/// before registering each new session.
+fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let h = handles.swap_remove(i);
+            let _ = h.join();
+        } else {
+            i += 1;
+        }
+    }
 }
 
 /// Per-session state owned by the reader thread.
@@ -530,7 +571,9 @@ fn handshake(
         && queues >= 1
         && queues <= cfg.max_queues
         && interval_len >= 2
-        && window_intervals >= 1;
+        && interval_len <= cfg.max_interval_len
+        && window_intervals >= 1
+        && window_intervals <= cfg.max_window_intervals;
     if !valid {
         MALFORMED.inc();
         shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
@@ -657,7 +700,17 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame) -> bo
         Frame::Bye => {
             drain_inflight(shared, &session.writer);
             let answered = session.writer.answered.load(Ordering::Relaxed);
-            session.writer.send(shared, &Frame::ByeAck { answered });
+            // Honest drain accounting: if the bounded drain budget ran
+            // out, report how many accepted intervals are still
+            // unanswered instead of implying a full drain.
+            let remaining = session.writer.inflight.load(Ordering::Acquire) as u64;
+            session.writer.send(
+                shared,
+                &Frame::ByeAck {
+                    answered,
+                    remaining,
+                },
+            );
             false
         }
         other => {

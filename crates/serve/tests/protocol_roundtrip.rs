@@ -102,6 +102,7 @@ fn random_frame(rng: &mut StdRng) -> Frame {
         9 => Frame::Bye,
         10 => Frame::ByeAck {
             answered: rng.random(),
+            remaining: rng.random(),
         },
         _ => Frame::Error {
             code: "bad_frame".into(),

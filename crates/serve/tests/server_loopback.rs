@@ -139,10 +139,17 @@ fn server_replies_match_offline_enforcement_bitwise() {
     }
     assert!(compared >= 1, "no full windows compared");
 
-    // Graceful goodbye answers everything already accepted.
+    // Graceful goodbye answers everything already accepted — and says so
+    // honestly (`remaining == 0` means the drain did not time out).
     write_frame(&mut tx, &Frame::Bye).unwrap();
     match rx.read_frame().unwrap() {
-        Frame::ByeAck { answered } => assert_eq!(answered, compared as u64),
+        Frame::ByeAck {
+            answered,
+            remaining,
+        } => {
+            assert_eq!(answered, compared as u64);
+            assert_eq!(remaining, 0, "drain timed out with intervals in flight");
+        }
         other => panic!("expected ByeAck, got {other:?}"),
     }
 
@@ -240,6 +247,64 @@ fn malformed_updates_rejected_in_band() {
         Frame::Ack { seq: 3, .. }
     ));
     handle.shutdown();
+}
+
+/// A hostile `Hello` announcing absurd geometry (`window_intervals` or
+/// `interval_len` in the 10^15 range) must be rejected with
+/// `bad_handshake` *before* any per-session allocation — not abort the
+/// process with an allocation failure — and the server must keep
+/// serving afterwards.
+#[test]
+fn hostile_hello_geometry_is_rejected_without_allocation() {
+    let handle = spawn(model(), ServerConfig::default()).expect("spawn server");
+
+    let hostile = [
+        // The reviewer's exact DoS shape: huge window per announced port.
+        Frame::Hello {
+            tenant: "evil".into(),
+            ports: (0..64).collect(),
+            queues: 64,
+            interval_len: 10,
+            window_intervals: 1_000_000_000_000_000,
+        },
+        // Huge interval_len: as_window would allocate queues*window*len f32s.
+        Frame::Hello {
+            tenant: "evil".into(),
+            ports: vec![0],
+            queues: 1,
+            interval_len: 1_000_000_000_000_000,
+            window_intervals: 1,
+        },
+        // Both just over the caps.
+        Frame::Hello {
+            tenant: "evil".into(),
+            ports: vec![0],
+            queues: 1,
+            interval_len: ServerConfig::default().max_interval_len + 1,
+            window_intervals: ServerConfig::default().max_window_intervals + 1,
+        },
+    ];
+    for frame in hostile {
+        let (mut tx, mut rx) = connect(handle.addr());
+        write_frame(&mut tx, &frame).unwrap();
+        match rx.read_frame().unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, "bad_handshake"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    // The process survived and a legitimate session still works.
+    let ws = windows();
+    let w = &ws[0];
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+
+    let stats = handle.shutdown();
+    let Frame::StatsReply { malformed, .. } = stats else {
+        panic!("stats frame");
+    };
+    assert_eq!(malformed, 3);
 }
 
 /// A pre-handshake `Stats` probe works, and a corrupted frame yields a
