@@ -8,6 +8,7 @@
 pub mod baseline;
 pub mod cem_parallel;
 pub mod serve;
+pub mod train;
 
 use fmml_fm::cem::IntervalProblem;
 use fmml_netsim::traffic::TrafficConfig;

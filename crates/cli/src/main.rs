@@ -12,6 +12,7 @@
 //! fmml serve     --addr 127.0.0.1:4700 [--max-secs N]        # streaming server
 //! fmml loadgen   --addr 127.0.0.1:4700 --clients 8 [--chaos] # trace replay
 //! fmml serve-bench --out bench                               # BENCH_serve.json
+//! fmml train-bench --out bench                               # BENCH_train.json
 //! ```
 //!
 //! Every command accepts the global observability flags: `--stats` prints
@@ -27,6 +28,7 @@ use error::CliError;
 use fmml_bench::baseline::Baseline;
 use fmml_bench::cem_parallel::{bench_ladder, CemParallelReport};
 use fmml_bench::serve::{bench_serve, ServeBenchConfig};
+use fmml_bench::train::bench_train;
 use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
 use fmml_core::imputer::Imputer;
 use fmml_core::train::{train, train_from};
@@ -101,6 +103,13 @@ COMMANDS:
              concurrency, re-run under chaos; writes BENCH_serve.json
              --out DIR (bench)  --clients A,B,C (1,8,32)  --intervals N (40)
              --deadline-ms N (50)  --workers N (2)  --jobs N (1)  --seed N (41)
+  train-bench
+             three-pass training benchmark: scalar-reference kernels vs
+             blocked vs blocked+parallel on the same data; asserts all
+             passes land on bit-identical parameters/outputs and writes
+             BENCH_train.json; exits non-zero on fingerprint divergence
+             or any epoch rollback
+             --out DIR (bench)  --epochs N (3)  --ms N (800)  --seed N (7)
 
 GLOBAL FLAGS:
   --stats            print the metrics table to stderr on exit
@@ -137,6 +146,7 @@ fn main() {
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "train-bench" => cmd_train_bench(&args),
         _ => {
             println!("{USAGE}");
             return;
@@ -740,6 +750,48 @@ fn cmd_serve_bench(args: &Args) -> Result<(), CliError> {
     let model = serve_model(args)?;
     let report = bench_serve(model, &bc);
     eprint!("{}", report.summary());
+    std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+    let path = report
+        .save(Path::new(dir))
+        .map_err(|e| CliError::io(dir, e))?;
+    println!("bench report written to {}", path.display());
+    Ok(())
+}
+
+/// `fmml train-bench`: the three-pass kernel benchmark behind
+/// `BENCH_train.json` — the same training run on the scalar reference
+/// kernels, the blocked kernels, and the blocked+parallel path.
+///
+/// The passes must land on bit-identical parameters, imputed series, and
+/// epoch losses (the canonical summation-order contract of
+/// `fmml_nn::kernel`); any fingerprint divergence or epoch rollback is a
+/// hard error.
+fn cmd_train_bench(args: &Args) -> Result<(), CliError> {
+    let dir = args.get_string("out").unwrap_or("bench");
+    let epochs: usize = args.get_or("epochs", 3usize)?;
+    let ms: u64 = args.get_or("ms", 800u64)?;
+    let seed: u64 = args.get_or("seed", 7u64)?;
+    let (_, report) = bench_train(ms, seed, epochs);
+    eprintln!("{}", report.summary());
+    log_event!(
+        "train_bench.done",
+        "identical" = report.identical,
+        "blocked_speedup" = report.blocked_speedup,
+        "parallel_speedup" = report.parallel_speedup,
+        "rollbacks" = report.rollbacks,
+    );
+    if !report.identical {
+        return Err(CliError::Invalid(format!(
+            "kernel passes diverged: reference={:016x} blocked={:016x} parallel={:016x}",
+            report.reference_hash, report.blocked_hash, report.parallel_hash
+        )));
+    }
+    if report.rollbacks > 0 {
+        return Err(CliError::Invalid(format!(
+            "{} epoch(s) rolled back during a clean benchmark run",
+            report.rollbacks
+        )));
+    }
     std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
     let path = report
         .save(Path::new(dir))

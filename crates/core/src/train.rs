@@ -423,6 +423,58 @@ mod tests {
             assert_eq!(sa.mean_loss.to_bits(), sb.mean_loss.to_bits());
             assert_eq!(sa.rolled_back, sb.rolled_back);
         }
+        // And the kernel path itself is mode-invariant: a third run on
+        // the scalar Reference kernels (pooling disabled) must land on
+        // the same bits — this is the contract the train benchmark's
+        // fingerprint assertions rest on.
+        let (mc, stats_c) =
+            fmml_nn::kernel::with_mode(fmml_nn::KernelMode::Reference, || train(&ws, scales(), &a));
+        for id in 0..ma.store.len() {
+            let (pa, pc) = (&ma.store.value(id).data, &mc.store.value(id).data);
+            for (j, (x, y)) in pa.iter().zip(pc.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "reference-kernel param {id}[{j}] diverged: {x} vs {y}"
+                );
+            }
+        }
+        let qc =
+            fmml_nn::kernel::with_mode(fmml_nn::KernelMode::Reference, || mc.impute_queue(w, 0));
+        for (t, (x, y)) in qa.iter().zip(&qc).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "reference-kernel imputed[{t}] diverged: {x} vs {y}"
+            );
+        }
+        for (sa, sc) in stats_a.iter().zip(&stats_c) {
+            assert_eq!(sa.mean_loss.to_bits(), sc.mean_loss.to_bits());
+        }
+    }
+
+    #[test]
+    fn imputation_is_kernel_mode_invariant() {
+        // A trained model's inference output must not depend on which
+        // kernel mode serves it.
+        use fmml_nn::kernel::with_mode;
+        use fmml_nn::KernelMode;
+        let ws = small_windows(11, 120);
+        let mut cfg = fast_cfg();
+        cfg.epochs = 1;
+        let (model, _) = train(&ws, scales(), &cfg);
+        let w = &ws[0];
+        let q_ref = with_mode(KernelMode::Reference, || model.impute_queue(w, 0));
+        let q_blk = with_mode(KernelMode::Blocked, || model.impute_queue(w, 0));
+        let q_par = with_mode(KernelMode::BlockedParallel, || model.impute_queue(w, 0));
+        for (t, ((r, b), p)) in q_ref.iter().zip(&q_blk).zip(&q_par).enumerate() {
+            assert_eq!(r.to_bits(), b.to_bits(), "blocked imputed[{t}]: {r} vs {b}");
+            assert_eq!(
+                r.to_bits(),
+                p.to_bits(),
+                "parallel imputed[{t}]: {r} vs {p}"
+            );
+        }
     }
 
     #[test]

@@ -49,9 +49,9 @@ impl MultiHeadAttention {
             let qh = tape.slice_cols(q, h * dh, dh);
             let kh = tape.slice_cols(k, h * dh, dh);
             let vh = tape.slice_cols(v, h * dh, dh);
-            let kt = tape.transpose(kh);
-            let scores = tape.matmul(qh, kt);
-            let scaled = tape.scalar_mul(scores, scale);
+            // Fused s·Q·Kᵀ: no materialized transpose, no scaled copy of
+            // the [T,T] score matrix, two fewer nodes per head.
+            let scaled = tape.matmul_scaled_nt(qh, kh, scale);
             let att = tape.softmax_rows(scaled);
             head_outs.push(tape.matmul(att, vh));
         }

@@ -29,6 +29,7 @@
 pub mod adam;
 pub mod attention;
 pub mod init;
+pub mod kernel;
 pub mod linear;
 pub mod loss;
 pub mod norm;
@@ -39,7 +40,8 @@ pub mod tensor;
 pub mod transformer;
 
 pub use adam::Adam;
+pub use kernel::KernelMode;
 pub use params::{Gradients, ParamId, ParamStore};
-pub use tape::{NodeId, Tape};
+pub use tape::{NodeId, Tape, TapeArena};
 pub use tensor::Tensor;
 pub use transformer::{TransformerConfig, TransformerEncoder};

@@ -39,8 +39,8 @@ impl Linear {
         debug_assert_eq!(tape.value(x).cols(), self.fan_in);
         let w = tape.param(self.w);
         let b = tape.param(self.b);
-        let y = tape.matmul(x, w);
-        tape.add_bias(y, b)
+        // Fused x·W + b: one kernel call, one node, no broadcast copy.
+        tape.affine(x, w, b)
     }
 }
 

@@ -26,11 +26,15 @@ impl LrSchedule {
                 warmup,
                 total,
             } => {
-                if warmup > 0 && t < warmup {
-                    return peak * (t + 1) as f32 / warmup as f32;
-                }
+                // Clamp to `floor` at/after `total` FIRST: with a
+                // degenerate geometry (`total < warmup`) the old order
+                // kept ramping the warmup line past the end of the
+                // schedule instead of settling at the floor.
                 if t >= total {
                     return floor;
+                }
+                if warmup > 0 && t < warmup {
+                    return peak * (t + 1) as f32 / warmup as f32;
                 }
                 let span = (total - warmup).max(1) as f32;
                 let progress = (t - warmup) as f32 / span;
@@ -67,6 +71,35 @@ mod tests {
         // End and beyond: floor.
         assert!((s.at(110) - 0.1).abs() < 1e-6);
         assert_eq!(s.at(10_000), 0.1);
+    }
+
+    /// Regression: `total < warmup` used to fall into the warmup branch
+    /// for every `t < warmup`, ramping the LR past the schedule's end
+    /// instead of clamping to `floor`.
+    #[test]
+    fn degenerate_total_shorter_than_warmup_clamps_to_floor() {
+        let s = LrSchedule::CosineWithWarmup {
+            peak: 1.0,
+            floor: 0.1,
+            warmup: 100,
+            total: 10,
+        };
+        // Inside [0, total): still warming up, bounded by the ramp.
+        assert!((s.at(0) - 0.01).abs() < 1e-6);
+        assert!((s.at(9) - 0.1).abs() < 1e-6);
+        // At/after total: floor, even though t < warmup.
+        for t in [10, 11, 50, 99, 100, 10_000] {
+            assert_eq!(s.at(t), 0.1, "t={t} must clamp to floor");
+        }
+        // total == warmup behaves the same way at the boundary.
+        let s2 = LrSchedule::CosineWithWarmup {
+            peak: 1.0,
+            floor: 0.05,
+            warmup: 10,
+            total: 10,
+        };
+        assert_eq!(s2.at(10), 0.05);
+        assert_eq!(s2.at(9), 1.0);
     }
 
     #[test]

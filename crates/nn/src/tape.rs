@@ -12,13 +12,59 @@
 //! (EMD loss), max/select reductions (C1/C2 residuals) and tanh/relu
 //! (the differentiable relaxation of C3).
 
+use crate::kernel::{gemm_nn, gemm_nt, gemm_tn, GemmOpts, KernelMode};
 use crate::params::{Gradients, ParamId, ParamStore};
 use crate::tensor::Tensor;
+use fmml_obs::Counter;
+use std::cell::RefCell;
 
 /// Index of a node on a tape.
 pub type NodeId = usize;
 
 const LN_EPS: f32 = 1e-5;
+
+/// Tapes constructed.
+static TAPES: Counter = Counter::new("nn.tape.tapes");
+/// Nodes recorded across all dropped tapes.
+static NODES: Counter = Counter::new("nn.tape.nodes");
+/// Tensor buffers served from the recycling pool.
+static BUF_HITS: Counter = Counter::new("nn.tape.buf_hits");
+/// Tensor buffers that had to be freshly allocated.
+static BUF_MISSES: Counter = Counter::new("nn.tape.buf_misses");
+
+/// Maximum number of recycled buffers the thread-local arena retains.
+const POOL_CAP: usize = 4096;
+
+/// Snapshot of the tape counters (for benchmark deltas).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TapeStats {
+    pub tapes: u64,
+    pub nodes: u64,
+    pub buf_hits: u64,
+    pub buf_misses: u64,
+}
+
+/// Current cumulative tape counters.
+pub fn stats() -> TapeStats {
+    TapeStats {
+        tapes: TAPES.get(),
+        nodes: NODES.get(),
+        buf_hits: BUF_HITS.get(),
+        buf_misses: BUF_MISSES.get(),
+    }
+}
+
+impl std::ops::Sub for TapeStats {
+    type Output = TapeStats;
+    fn sub(self, rhs: TapeStats) -> TapeStats {
+        TapeStats {
+            tapes: self.tapes - rhs.tapes,
+            nodes: self.nodes - rhs.nodes,
+            buf_hits: self.buf_hits - rhs.buf_hits,
+            buf_misses: self.buf_misses - rhs.buf_misses,
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -44,6 +90,16 @@ enum Op {
     SliceCols(NodeId, usize, usize),
     ConcatCols(Vec<NodeId>),
     AddBias(NodeId, NodeId),
+    /// Fused `x·W + b` (one kernel call; bias is the accumulator init).
+    Affine {
+        x: NodeId,
+        w: NodeId,
+        b: NodeId,
+    },
+    /// Fused `scale · A·Bᵀ` with `B` row-major — the attention-score
+    /// shape, computed without materializing the transpose or a scaled
+    /// copy.
+    MatmulScaledNT(NodeId, NodeId, f32),
     LayerNorm {
         x: NodeId,
         gamma: NodeId,
@@ -59,18 +115,177 @@ struct Node {
     param: Option<ParamId>,
 }
 
+/// Thread-local recycling arena for tape storage. A dropped [`Tape`]
+/// returns its node vector and every node's `f32` buffer here; the next
+/// `Tape::new` on the same thread starts from that storage instead of
+/// allocating. Training builds one tape per example with an identical op
+/// sequence, so after the first sample the pool reaches a steady state
+/// where forward **and** backward run allocation-free.
+///
+/// [`KernelMode::Reference`] disables the arena (nothing is taken or
+/// returned), so benchmark reference passes reproduce the historical
+/// allocate-per-sample substrate honestly.
+#[derive(Default)]
+pub struct TapeArena {
+    nodes: Vec<Node>,
+    bufs: Vec<Vec<f32>>,
+}
+
+/// Exiting threads hand their warm arena to this freelist, and a fresh
+/// thread's first `Tape::new` adopts one instead of allocating from
+/// scratch. The vendored rayon spawns transient OS workers per batch;
+/// without the handoff every data-parallel batch would restart the pool
+/// cold and the parallel path would pay full allocation traffic.
+static ARENA_FREELIST: std::sync::Mutex<Vec<TapeArena>> = std::sync::Mutex::new(Vec::new());
+
+/// Bound on parked arenas (memory ceiling, not a correctness knob).
+const FREELIST_CAP: usize = 32;
+
+/// Thread-local slot whose destructor parks the arena on
+/// [`ARENA_FREELIST`] when the thread exits.
+struct ArenaSlot(TapeArena);
+
+impl Drop for ArenaSlot {
+    fn drop(&mut self) {
+        let arena = std::mem::take(&mut self.0);
+        if arena.bufs.is_empty() && arena.nodes.capacity() == 0 {
+            return;
+        }
+        // Never panic in a thread-local destructor: skip on poison.
+        if let Ok(mut list) = ARENA_FREELIST.lock() {
+            if list.len() < FREELIST_CAP {
+                list.push(arena);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<ArenaSlot> = RefCell::new(ArenaSlot(TapeArena::default()));
+}
+
+impl TapeArena {
+    /// Number of recycled buffers pooled on this thread.
+    pub fn pooled() -> usize {
+        ARENA.with(|a| a.borrow().0.bufs.len())
+    }
+
+    /// Drop all pooled storage on this thread.
+    pub fn clear() {
+        ARENA.with(|a| a.borrow_mut().0 = TapeArena::default());
+    }
+
+    /// Adopt a parked arena from an exited thread, if any.
+    fn adopt() -> Option<TapeArena> {
+        ARENA_FREELIST.lock().ok()?.pop()
+    }
+}
+
+/// Pop a recycled buffer (cleared, capacity kept) or allocate one.
+fn take_buf(pool: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
+    match pool.pop() {
+        Some(mut b) => {
+            BUF_HITS.inc();
+            b.clear();
+            b.reserve(len);
+            b
+        }
+        None => {
+            BUF_MISSES.inc();
+            Vec::with_capacity(len)
+        }
+    }
+}
+
+/// A pooled buffer of exactly `len` zeros (for indexed writes).
+fn take_buf_zeroed(pool: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
+    let mut b = take_buf(pool, len);
+    b.resize(len, 0.0);
+    b
+}
+
+fn recycle(pool: &mut Vec<Vec<f32>>, buf: Vec<f32>) {
+    if pool.len() < POOL_CAP && buf.capacity() > 0 {
+        pool.push(buf);
+    }
+}
+
+fn pooled_copy(pool: &mut Vec<Vec<f32>>, t: &Tensor) -> Tensor {
+    let mut data = take_buf(pool, t.len());
+    data.extend_from_slice(&t.data);
+    Tensor {
+        data,
+        shape: t.shape.clone(),
+    }
+}
+
+fn pooled_map(pool: &mut Vec<Vec<f32>>, t: &Tensor, mut f: impl FnMut(f32) -> f32) -> Tensor {
+    let mut data = take_buf(pool, t.len());
+    data.extend(t.data.iter().map(|&x| f(x)));
+    Tensor {
+        data,
+        shape: t.shape.clone(),
+    }
+}
+
+fn pooled_zip(
+    pool: &mut Vec<Vec<f32>>,
+    x: &Tensor,
+    y: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    assert_eq!(x.shape, y.shape, "shape mismatch");
+    let mut data = take_buf(pool, x.len());
+    data.extend(x.data.iter().zip(&y.data).map(|(&a, &b)| f(a, b)));
+    Tensor {
+        data,
+        shape: x.shape.clone(),
+    }
+}
+
 /// The autograd tape. Create one per training example, build the forward
-/// graph, call [`Tape::backward`] on a scalar loss.
+/// graph, call [`Tape::backward`] on a scalar loss. Storage is recycled
+/// through the thread-local [`TapeArena`] unless the thread is in
+/// [`KernelMode::Reference`].
 pub struct Tape<'s> {
     store: &'s ParamStore,
     nodes: Vec<Node>,
+    pool: Vec<Vec<f32>>,
+    pooled: bool,
 }
 
 impl<'s> Tape<'s> {
     pub fn new(store: &'s ParamStore) -> Tape<'s> {
+        TAPES.inc();
+        let pooled = crate::kernel::current_mode() != KernelMode::Reference;
+        let (nodes, pool) = if pooled {
+            let (nodes, pool) = ARENA
+                .try_with(|a| {
+                    let mut a = a.borrow_mut();
+                    (
+                        std::mem::take(&mut a.0.nodes),
+                        std::mem::take(&mut a.0.bufs),
+                    )
+                })
+                .unwrap_or_default();
+            if pool.is_empty() && nodes.capacity() == 0 {
+                // Cold thread (e.g. a transient rayon worker): adopt a
+                // warm arena parked by an exited thread.
+                match TapeArena::adopt() {
+                    Some(a) => (a.nodes, a.bufs),
+                    None => (nodes, pool),
+                }
+            } else {
+                (nodes, pool)
+            }
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Tape {
             store,
-            nodes: Vec::new(),
+            nodes,
+            pool,
+            pooled,
         }
     }
 
@@ -98,7 +313,7 @@ impl<'s> Tape<'s> {
 
     /// A leaf holding a parameter (gradient is reported for it).
     pub fn param(&mut self, id: ParamId) -> NodeId {
-        let value = self.store.value(id).clone();
+        let value = pooled_copy(&mut self.pool, self.store.value(id));
         let n = self.push(value, Op::Leaf);
         self.nodes[n].param = Some(id);
         n
@@ -109,6 +324,26 @@ impl<'s> Tape<'s> {
         self.push(t, Op::Leaf)
     }
 
+    /// A constant leaf copied from a slice into pooled storage (use this
+    /// instead of building a `Tensor` when the caller's buffer is
+    /// reused, e.g. the positional-encoding window).
+    pub fn constant_from(&mut self, data: &[f32], shape: &[usize]) -> NodeId {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "shape/data mismatch"
+        );
+        let mut buf = take_buf(&mut self.pool, data.len());
+        buf.extend_from_slice(data);
+        self.push(
+            Tensor {
+                data: buf,
+                shape: shape.to_vec(),
+            },
+            Op::Leaf,
+        )
+    }
+
     pub fn scalar(&mut self, v: f32) -> NodeId {
         self.constant(Tensor::scalar(v))
     }
@@ -116,22 +351,42 @@ impl<'s> Tape<'s> {
     // ---- elementwise / arithmetic ----
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x + y);
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let v = pooled_zip(pool, &nodes[a].value, &nodes[b].value, |x, y| x + y);
         self.push(v, Op::Add(a, b))
     }
 
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a].value.zip(&self.nodes[b].value, |x, y| x * y);
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let v = pooled_zip(pool, &nodes[a].value, &nodes[b].value, |x, y| x * y);
         self.push(v, Op::Mul(a, b))
     }
 
     pub fn scalar_mul(&mut self, a: NodeId, k: f32) -> NodeId {
-        let v = self.nodes[a].value.map(|x| x * k);
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let v = pooled_map(pool, &nodes[a].value, |x| x * k);
         self.push(v, Op::ScalarMul(a, k))
     }
 
     pub fn scalar_add(&mut self, a: NodeId, k: f32) -> NodeId {
-        let v = self.nodes[a].value.map(|x| x + k);
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let v = pooled_map(pool, &nodes[a].value, |x| x + k);
         self.push(v, Op::ScalarAdd(a, k))
     }
 
@@ -147,39 +402,177 @@ impl<'s> Tape<'s> {
     // ---- linear algebra ----
 
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
-        self.push(v, Op::Matmul(a, b))
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let av = &nodes[a].value;
+        let bv = &nodes[b].value;
+        assert_eq!(av.rank(), 2, "matmul lhs must be 2-D");
+        assert_eq!(bv.rank(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (av.shape[0], av.shape[1]);
+        let (k2, n) = (bv.shape[0], bv.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = take_buf_zeroed(pool, m * n);
+        gemm_nn(&av.data, &bv.data, &mut out, m, k, n, GemmOpts::default());
+        self.push(
+            Tensor {
+                data: out,
+                shape: vec![m, n],
+            },
+            Op::Matmul(a, b),
+        )
     }
 
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a].value.transpose();
-        self.push(v, Op::Transpose(a))
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let x = &nodes[a].value;
+        assert_eq!(x.rank(), 2);
+        let (m, n) = (x.shape[0], x.shape[1]);
+        let mut out = take_buf_zeroed(pool, m * n);
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = x.data[i * n + j];
+            }
+        }
+        self.push(
+            Tensor {
+                data: out,
+                shape: vec![n, m],
+            },
+            Op::Transpose(a),
+        )
     }
 
     /// `[m,n] + [n]` broadcast add.
     pub fn add_bias(&mut self, a: NodeId, bias: NodeId) -> NodeId {
-        let m = &self.nodes[a].value;
-        let b = &self.nodes[bias].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let m = &nodes[a].value;
+        let b = &nodes[bias].value;
         assert_eq!(b.rank(), 1);
         assert_eq!(m.cols(), b.len(), "bias length mismatch");
-        let mut out = m.clone();
-        for r in 0..m.rows() {
-            for c in 0..m.cols() {
-                out.data[r * m.cols() + c] += b.data[c];
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut out = pooled_copy(pool, m);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[r * cols + c] += b.data[c];
             }
         }
         self.push(out, Op::AddBias(a, bias))
     }
 
+    /// Fused affine transform `x·W + b` in a single kernel call: the
+    /// bias seeds each accumulator, so no separate broadcast-add node or
+    /// intermediate copy exists. Bitwise identical to
+    /// `add_bias(matmul(x, w), b)` by the canonical summation order
+    /// (`bias[j]` is the `init` term).
+    pub fn affine(&mut self, x: NodeId, w: NodeId, b: NodeId) -> NodeId {
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let xv = &nodes[x].value;
+        let wv = &nodes[w].value;
+        let bv = &nodes[b].value;
+        assert_eq!(xv.rank(), 2, "affine input must be 2-D");
+        assert_eq!(wv.rank(), 2, "affine weight must be 2-D");
+        assert_eq!(bv.rank(), 1, "affine bias must be 1-D");
+        let (m, k) = (xv.shape[0], xv.shape[1]);
+        let (k2, n) = (wv.shape[0], wv.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        assert_eq!(bv.len(), n, "bias length mismatch");
+        let mut out = take_buf_zeroed(pool, m * n);
+        gemm_nn(
+            &xv.data,
+            &wv.data,
+            &mut out,
+            m,
+            k,
+            n,
+            GemmOpts {
+                bias: Some(&bv.data),
+                scale: None,
+            },
+        );
+        self.push(
+            Tensor {
+                data: out,
+                shape: vec![m, n],
+            },
+            Op::Affine { x, w, b },
+        )
+    }
+
+    /// Fused `scale · A·Bᵀ` where `B` is row-major `[n,k]` — the
+    /// attention-score product `s·Q·Kᵀ` without materializing `Kᵀ` or a
+    /// scaled copy. Bitwise identical to
+    /// `scalar_mul(matmul(a, transpose(b)), scale)`: the dot products
+    /// see the same operand sequences and the scale is one trailing
+    /// multiply either way.
+    pub fn matmul_scaled_nt(&mut self, a: NodeId, b: NodeId, scale: f32) -> NodeId {
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let av = &nodes[a].value;
+        let bv = &nodes[b].value;
+        assert_eq!(av.rank(), 2, "matmul_scaled_nt lhs must be 2-D");
+        assert_eq!(bv.rank(), 2, "matmul_scaled_nt rhs must be 2-D");
+        let (m, k) = (av.shape[0], av.shape[1]);
+        let (n, k2) = (bv.shape[0], bv.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = take_buf_zeroed(pool, m * n);
+        gemm_nt(
+            &av.data,
+            &bv.data,
+            &mut out,
+            m,
+            k,
+            n,
+            GemmOpts {
+                bias: None,
+                scale: Some(scale),
+            },
+        );
+        self.push(
+            Tensor {
+                data: out,
+                shape: vec![m, n],
+            },
+            Op::MatmulScaledNT(a, b, scale),
+        )
+    }
+
     // ---- nonlinearities ----
 
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a].value.map(f32::tanh);
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let v = pooled_map(pool, &nodes[a].value, f32::tanh);
         self.push(v, Op::Tanh(a))
     }
 
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let v = pooled_map(pool, &nodes[a].value, |x| x.max(0.0));
         self.push(v, Op::Relu(a))
     }
 
@@ -219,30 +612,44 @@ impl<'s> Tape<'s> {
         use rand::RngExt;
         let keep = 1.0 - p;
         let shape = self.nodes[a].value.shape.clone();
-        let mask = Tensor {
-            data: (0..self.nodes[a].value.len())
-                .map(|_| {
-                    if rng.random::<f32>() < keep {
-                        1.0 / keep
-                    } else {
-                        0.0
-                    }
-                })
-                .collect(),
-            shape,
-        };
-        let m = self.constant(mask);
+        let len = self.nodes[a].value.len();
+        let mut data = take_buf(&mut self.pool, len);
+        data.extend((0..len).map(|_| {
+            if rng.random::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        }));
+        let m = self.push(Tensor { data, shape }, Op::Leaf);
         self.mul(a, m)
     }
 
     /// Row-wise softmax of a 2-D tensor (or of a 1-D tensor as one row).
+    ///
+    /// A zero-mass row (every entry `-∞`, as a fully-masked attention
+    /// row produces) has no well-defined softmax: naively `m = -∞` makes
+    /// every `(v - m)` NaN and the normalizer zero. Such rows are
+    /// returned **uniform** (`1/cols`) instead — the limit of softmax as
+    /// all logits tend to `-∞` together, and the only choice that keeps
+    /// masked attention finite.
     pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
-        let x = &self.nodes[a].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let x = &nodes[a].value;
         let cols = x.cols();
-        let mut out = x.clone();
+        let mut out = pooled_copy(pool, x);
         for r in 0..x.rows() {
             let row = &mut out.data[r * cols..(r + 1) * cols];
             let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                // All-(-∞) (or empty) row: uniform, not NaN.
+                row.fill(1.0 / cols as f32);
+                continue;
+            }
             let mut z = 0.0;
             for v in row.iter_mut() {
                 *v = (*v - m).exp();
@@ -257,13 +664,18 @@ impl<'s> Tape<'s> {
 
     /// Layer normalization over the last dimension, with affine params.
     pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
-        let xv = &self.nodes[x].value;
-        let g = &self.nodes[gamma].value;
-        let b = &self.nodes[beta].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let xv = &nodes[x].value;
+        let g = &nodes[gamma].value;
+        let b = &nodes[beta].value;
         let n = xv.cols();
         assert_eq!(g.len(), n);
         assert_eq!(b.len(), n);
-        let mut out = xv.clone();
+        let mut out = pooled_copy(pool, xv);
         for r in 0..xv.rows() {
             let row = &mut out.data[r * n..(r + 1) * n];
             let mean = row.iter().sum::<f32>() / n as f32;
@@ -290,20 +702,29 @@ impl<'s> Tape<'s> {
     }
 
     pub fn abs(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a].value.map(f32::abs);
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let v = pooled_map(pool, &nodes[a].value, f32::abs);
         self.push(v, Op::Abs(a))
     }
 
     /// Cumulative sum of a 1-D tensor.
     pub fn cumsum(&mut self, a: NodeId) -> NodeId {
-        let x = &self.nodes[a].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let x = &nodes[a].value;
         assert_eq!(x.rank(), 1, "cumsum is 1-D");
         let mut acc = 0.0;
-        let data = x.data.iter().map(|&v| {
-            acc += v;
+        let v = pooled_map(pool, x, |val| {
+            acc += val;
             acc
         });
-        let v = Tensor::vector(data.collect());
         self.push(v, Op::CumSum(a))
     }
 
@@ -318,84 +739,137 @@ impl<'s> Tape<'s> {
 
     /// Gather elements of a 1-D tensor at `indices`.
     pub fn select(&mut self, a: NodeId, indices: &[usize]) -> NodeId {
-        let x = &self.nodes[a].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let x = &nodes[a].value;
         assert_eq!(x.rank(), 1);
-        let v = Tensor::vector(indices.iter().map(|&i| x.data[i]).collect());
+        let mut data = take_buf(pool, indices.len());
+        data.extend(indices.iter().map(|&i| x.data[i]));
+        let v = Tensor {
+            data,
+            shape: vec![indices.len()],
+        };
         self.push(v, Op::Select(a, indices.to_vec()))
     }
 
     /// Contiguous 1-D slice `[start, start+len)`.
     pub fn slice1d(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
-        let x = &self.nodes[a].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let x = &nodes[a].value;
         assert_eq!(x.rank(), 1);
         assert!(start + len <= x.len());
-        let v = Tensor::vector(x.data[start..start + len].to_vec());
+        let mut data = take_buf(pool, len);
+        data.extend_from_slice(&x.data[start..start + len]);
+        let v = Tensor {
+            data,
+            shape: vec![len],
+        };
         self.push(v, Op::Slice1D(a, start, len))
     }
 
     /// Column slice `[.., start..start+len]` of a 2-D tensor.
     pub fn slice_cols(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
-        let x = &self.nodes[a].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let x = &nodes[a].value;
         assert_eq!(x.rank(), 2);
         let (m, n) = (x.rows(), x.cols());
         assert!(start + len <= n);
-        let mut out = Tensor::zeros(&[m, len]);
+        let mut data = take_buf(pool, m * len);
         for r in 0..m {
-            out.data[r * len..(r + 1) * len]
-                .copy_from_slice(&x.data[r * n + start..r * n + start + len]);
+            data.extend_from_slice(&x.data[r * n + start..r * n + start + len]);
         }
+        let out = Tensor {
+            data,
+            shape: vec![m, len],
+        };
         self.push(out, Op::SliceCols(a, start, len))
     }
 
     /// Concatenate 2-D tensors with equal row counts along columns.
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty());
-        let m = self.nodes[parts[0]].value.rows();
-        let total: usize = parts.iter().map(|&p| self.nodes[p].value.cols()).sum();
-        let mut out = Tensor::zeros(&[m, total]);
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let m = nodes[parts[0]].value.rows();
+        let total: usize = parts.iter().map(|&p| nodes[p].value.cols()).sum();
+        let mut data = take_buf_zeroed(pool, m * total);
         let mut off = 0;
         for &p in parts {
-            let x = &self.nodes[p].value;
+            let x = &nodes[p].value;
             assert_eq!(x.rows(), m, "row count mismatch in concat");
             let n = x.cols();
             for r in 0..m {
-                out.data[r * total + off..r * total + off + n]
+                data[r * total + off..r * total + off + n]
                     .copy_from_slice(&x.data[r * n..(r + 1) * n]);
             }
             off += n;
         }
+        let out = Tensor {
+            data,
+            shape: vec![m, total],
+        };
         self.push(out, Op::ConcatCols(parts.to_vec()))
     }
 
     /// Reinterpret a single-row or single-column 2-D tensor as 1-D.
     pub fn flatten(&mut self, a: NodeId) -> NodeId {
-        let x = &self.nodes[a].value;
+        let Tape {
+            ref nodes,
+            ref mut pool,
+            ..
+        } = *self;
+        let x = &nodes[a].value;
         assert_eq!(x.rank(), 2, "flatten takes a 2-D tensor");
         assert!(
             x.rows() == 1 || x.cols() == 1,
             "flatten needs a single row or column, got {:?}",
             x.shape
         );
-        let v = Tensor::vector(x.data.clone());
+        let mut v = pooled_copy(pool, x);
+        v.shape = vec![x.len()];
         self.push(v, Op::Flatten(a))
     }
 
     // ---- backward ----
 
     /// Reverse-mode sweep from a scalar `root`; returns per-parameter
-    /// gradients.
-    pub fn backward(&self, root: NodeId) -> Gradients {
+    /// gradients. Takes `&mut self` so the gradient buffers it allocates
+    /// can be recycled into the tape's pool afterwards — on a warm
+    /// arena, backward is allocation-free too.
+    pub fn backward(&mut self, root: NodeId) -> Gradients {
         assert_eq!(
             self.nodes[root].value.len(),
             1,
             "backward root must be scalar"
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut grads: Vec<Option<Tensor>> = Vec::new();
+        grads.resize_with(self.nodes.len(), || None);
         grads[root] = Some(Tensor::scalar(1.0));
 
         for id in (0..=root).rev() {
             let Some(g) = grads[id].take() else { continue };
-            self.propagate(id, &g, &mut grads);
+            {
+                let Tape {
+                    ref nodes,
+                    ref mut pool,
+                    ..
+                } = *self;
+                propagate(nodes, pool, id, &g, &mut grads);
+            }
             grads[id] = Some(g);
         }
 
@@ -405,186 +879,437 @@ impl<'s> Tape<'s> {
                 out.add(pid, g);
             }
         }
+        if self.pooled {
+            for g in grads.into_iter().flatten() {
+                recycle(&mut self.pool, g.data);
+            }
+        }
         out
     }
+}
 
-    fn accum(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
-        match &mut grads[id] {
-            Some(acc) => acc.add_inplace(&g),
-            slot => *slot = Some(g),
+impl Drop for Tape<'_> {
+    /// Return the tape's node vector and every node's buffer to the
+    /// thread-local [`TapeArena`] (unless pooling is disabled or the
+    /// thread is tearing down).
+    fn drop(&mut self) {
+        NODES.add(self.nodes.len() as u64);
+        if !self.pooled {
+            return;
         }
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut pool = std::mem::take(&mut self.pool);
+        for node in nodes.drain(..) {
+            recycle(&mut pool, node.value.data);
+        }
+        let _ = ARENA.try_with(|a| {
+            let mut a = a.borrow_mut();
+            if a.0.nodes.capacity() < nodes.capacity() {
+                a.0.nodes = nodes;
+            }
+            while a.0.bufs.len() < POOL_CAP {
+                match pool.pop() {
+                    Some(b) => a.0.bufs.push(b),
+                    None => break,
+                }
+            }
+        });
     }
+}
 
-    fn propagate(&self, id: NodeId, g: &Tensor, grads: &mut [Option<Tensor>]) {
-        match &self.nodes[id].op {
-            Op::Leaf => {}
-            Op::Add(a, b) => {
-                Self::accum(grads, *a, g.clone());
-                Self::accum(grads, *b, g.clone());
-            }
-            Op::Mul(a, b) => {
-                let ga = g.zip(&self.nodes[*b].value, |dg, y| dg * y);
-                let gb = g.zip(&self.nodes[*a].value, |dg, x| dg * x);
-                Self::accum(grads, *a, ga);
-                Self::accum(grads, *b, gb);
-            }
-            Op::ScalarMul(a, k) => {
-                Self::accum(grads, *a, g.map(|x| x * k));
-            }
-            Op::ScalarAdd(a, _) => {
-                Self::accum(grads, *a, g.clone());
-            }
-            Op::Matmul(a, b) => {
-                let bt = self.nodes[*b].value.transpose();
-                let at = self.nodes[*a].value.transpose();
-                Self::accum(grads, *a, g.matmul(&bt));
-                Self::accum(grads, *b, at.matmul(g));
-            }
-            Op::Transpose(a) => {
-                Self::accum(grads, *a, g.transpose());
-            }
-            Op::Tanh(a) => {
-                let y = &self.nodes[id].value;
-                Self::accum(grads, *a, g.zip(y, |dg, y| dg * (1.0 - y * y)));
-            }
-            Op::Relu(a) => {
-                let x = &self.nodes[*a].value;
-                Self::accum(grads, *a, g.zip(x, |dg, x| if x > 0.0 { dg } else { 0.0 }));
-            }
-            Op::SoftmaxRows(a) => {
-                let y = &self.nodes[id].value;
-                let cols = y.cols();
-                let mut dx = y.clone();
-                for r in 0..y.rows() {
-                    let yr = &y.data[r * cols..(r + 1) * cols];
-                    let gr = &g.data[r * cols..(r + 1) * cols];
-                    let dot: f32 = yr.iter().zip(gr).map(|(&y, &dg)| y * dg).sum();
-                    for j in 0..cols {
-                        dx.data[r * cols + j] = yr[j] * (gr[j] - dot);
-                    }
+fn accum(pool: &mut Vec<Vec<f32>>, grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
+    match &mut grads[id] {
+        Some(acc) => {
+            acc.add_inplace(&g);
+            recycle(pool, g.data);
+        }
+        slot => *slot = Some(g),
+    }
+}
+
+fn propagate(
+    nodes: &[Node],
+    pool: &mut Vec<Vec<f32>>,
+    id: NodeId,
+    g: &Tensor,
+    grads: &mut [Option<Tensor>],
+) {
+    match &nodes[id].op {
+        Op::Leaf => {}
+        Op::Add(a, b) => {
+            let ga = pooled_copy(pool, g);
+            accum(pool, grads, *a, ga);
+            let gb = pooled_copy(pool, g);
+            accum(pool, grads, *b, gb);
+        }
+        Op::Mul(a, b) => {
+            let ga = pooled_zip(pool, g, &nodes[*b].value, |dg, y| dg * y);
+            accum(pool, grads, *a, ga);
+            let gb = pooled_zip(pool, g, &nodes[*a].value, |dg, x| dg * x);
+            accum(pool, grads, *b, gb);
+        }
+        Op::ScalarMul(a, k) => {
+            let k = *k;
+            let ga = pooled_map(pool, g, |x| x * k);
+            accum(pool, grads, *a, ga);
+        }
+        Op::ScalarAdd(a, _) => {
+            let ga = pooled_copy(pool, g);
+            accum(pool, grads, *a, ga);
+        }
+        Op::Matmul(a, b) => {
+            // Transpose-free backward: dA = G·Bᵀ via the NT kernel and
+            // dB = Aᵀ·G via the TN kernel — the per-element operand
+            // sequences match the historical materialize-the-transpose
+            // formulation bit for bit, without the two `[k,·]` copies.
+            let av = &nodes[*a].value;
+            let bv = &nodes[*b].value;
+            let (m, kd) = (av.rows(), av.cols());
+            let n = bv.cols();
+            let mut da = take_buf_zeroed(pool, m * kd);
+            gemm_nt(&g.data, &bv.data, &mut da, m, n, kd, GemmOpts::default());
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data: da,
+                    shape: vec![m, kd],
+                },
+            );
+            let mut db = take_buf_zeroed(pool, kd * n);
+            gemm_tn(&av.data, &g.data, &mut db, m, kd, n, GemmOpts::default());
+            accum(
+                pool,
+                grads,
+                *b,
+                Tensor {
+                    data: db,
+                    shape: vec![kd, n],
+                },
+            );
+        }
+        Op::Affine { x, w, b } => {
+            // dX = G·Wᵀ, dW = Xᵀ·G, db = column sums of G.
+            let xv = &nodes[*x].value;
+            let wv = &nodes[*w].value;
+            let (m, kd) = (xv.rows(), xv.cols());
+            let n = wv.cols();
+            let mut dx = take_buf_zeroed(pool, m * kd);
+            gemm_nt(&g.data, &wv.data, &mut dx, m, n, kd, GemmOpts::default());
+            accum(
+                pool,
+                grads,
+                *x,
+                Tensor {
+                    data: dx,
+                    shape: vec![m, kd],
+                },
+            );
+            let mut dw = take_buf_zeroed(pool, kd * n);
+            gemm_tn(&xv.data, &g.data, &mut dw, m, kd, n, GemmOpts::default());
+            accum(
+                pool,
+                grads,
+                *w,
+                Tensor {
+                    data: dw,
+                    shape: vec![kd, n],
+                },
+            );
+            let mut db = take_buf_zeroed(pool, n);
+            for row in g.data.chunks_exact(n) {
+                for (d, &v) in db.iter_mut().zip(row) {
+                    *d += v;
                 }
-                Self::accum(grads, *a, dx);
             }
-            Op::Sum(a) => {
-                let dg = g.data[0];
-                let x = &self.nodes[*a].value;
-                Self::accum(grads, *a, x.map(|_| dg));
-            }
-            Op::Mean(a) => {
-                let x = &self.nodes[*a].value;
-                let dg = g.data[0] / x.len() as f32;
-                Self::accum(grads, *a, x.map(|_| dg));
-            }
-            Op::Abs(a) => {
-                let x = &self.nodes[*a].value;
-                Self::accum(grads, *a, g.zip(x, |dg, x| if x >= 0.0 { dg } else { -dg }));
-            }
-            Op::CumSum(a) => {
-                // d/dx_i = Σ_{j ≥ i} g_j  (suffix sums).
-                let mut dx = g.clone();
-                let n = dx.len();
-                for i in (0..n.saturating_sub(1)).rev() {
-                    dx.data[i] += dx.data[i + 1];
+            accum(
+                pool,
+                grads,
+                *b,
+                Tensor {
+                    data: db,
+                    shape: vec![n],
+                },
+            );
+        }
+        Op::MatmulScaledNT(a, b, s) => {
+            // y = s·A·Bᵀ ⇒ dA = s·G·B, dB = s·Gᵀ·A.
+            let av = &nodes[*a].value;
+            let bv = &nodes[*b].value;
+            let (m, kd) = (av.rows(), av.cols());
+            let n = bv.rows();
+            let opts = GemmOpts {
+                bias: None,
+                scale: Some(*s),
+            };
+            let mut da = take_buf_zeroed(pool, m * kd);
+            gemm_nn(&g.data, &bv.data, &mut da, m, n, kd, opts);
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data: da,
+                    shape: vec![m, kd],
+                },
+            );
+            let mut db = take_buf_zeroed(pool, n * kd);
+            gemm_tn(&g.data, &av.data, &mut db, m, n, kd, opts);
+            accum(
+                pool,
+                grads,
+                *b,
+                Tensor {
+                    data: db,
+                    shape: vec![n, kd],
+                },
+            );
+        }
+        Op::Transpose(a) => {
+            let (m, n) = (g.rows(), g.cols());
+            let mut data = take_buf_zeroed(pool, m * n);
+            for i in 0..m {
+                for j in 0..n {
+                    data[j * m + i] = g.data[i * n + j];
                 }
-                Self::accum(grads, *a, dx);
             }
-            Op::MaxReduce(a) => {
-                let x = &self.nodes[*a].value;
-                let m = self.nodes[id].value.data[0];
-                let arg = x.data.iter().position(|&v| v == m).expect("max exists");
-                let mut dx = Tensor::zeros(&x.shape);
-                dx.data[arg] = g.data[0];
-                Self::accum(grads, *a, dx);
-            }
-            Op::Select(a, idx) => {
-                let x = &self.nodes[*a].value;
-                let mut dx = Tensor::zeros(&x.shape);
-                for (k, &i) in idx.iter().enumerate() {
-                    dx.data[i] += g.data[k];
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data,
+                    shape: vec![n, m],
+                },
+            );
+        }
+        Op::Tanh(a) => {
+            let y = &nodes[id].value;
+            let ga = pooled_zip(pool, g, y, |dg, y| dg * (1.0 - y * y));
+            accum(pool, grads, *a, ga);
+        }
+        Op::Relu(a) => {
+            let x = &nodes[*a].value;
+            let ga = pooled_zip(pool, g, x, |dg, x| if x > 0.0 { dg } else { 0.0 });
+            accum(pool, grads, *a, ga);
+        }
+        Op::SoftmaxRows(a) => {
+            let y = &nodes[id].value;
+            let cols = y.cols();
+            let mut dx = take_buf_zeroed(pool, y.len());
+            for r in 0..y.rows() {
+                let yr = &y.data[r * cols..(r + 1) * cols];
+                let gr = &g.data[r * cols..(r + 1) * cols];
+                let dot: f32 = yr.iter().zip(gr).map(|(&y, &dg)| y * dg).sum();
+                for j in 0..cols {
+                    dx[r * cols + j] = yr[j] * (gr[j] - dot);
                 }
-                Self::accum(grads, *a, dx);
             }
-            Op::Slice1D(a, start, len) => {
-                let x = &self.nodes[*a].value;
-                let mut dx = Tensor::zeros(&x.shape);
-                dx.data[*start..start + len].copy_from_slice(&g.data);
-                Self::accum(grads, *a, dx);
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data: dx,
+                    shape: y.shape.clone(),
+                },
+            );
+        }
+        Op::Sum(a) => {
+            let dg = g.data[0];
+            let x = &nodes[*a].value;
+            let ga = pooled_map(pool, x, |_| dg);
+            accum(pool, grads, *a, ga);
+        }
+        Op::Mean(a) => {
+            let x = &nodes[*a].value;
+            let dg = g.data[0] / x.len() as f32;
+            let ga = pooled_map(pool, x, |_| dg);
+            accum(pool, grads, *a, ga);
+        }
+        Op::Abs(a) => {
+            let x = &nodes[*a].value;
+            let ga = pooled_zip(pool, g, x, |dg, x| if x >= 0.0 { dg } else { -dg });
+            accum(pool, grads, *a, ga);
+        }
+        Op::CumSum(a) => {
+            // d/dx_i = Σ_{j ≥ i} g_j  (suffix sums).
+            let mut dx = pooled_copy(pool, g);
+            let n = dx.len();
+            for i in (0..n.saturating_sub(1)).rev() {
+                dx.data[i] += dx.data[i + 1];
             }
-            Op::SliceCols(a, start, len) => {
-                let x = &self.nodes[*a].value;
-                let (m, n) = (x.rows(), x.cols());
-                let mut dx = Tensor::zeros(&[m, n]);
+            accum(pool, grads, *a, dx);
+        }
+        Op::MaxReduce(a) => {
+            let x = &nodes[*a].value;
+            let m = nodes[id].value.data[0];
+            let arg = x.data.iter().position(|&v| v == m).expect("max exists");
+            let mut dx = take_buf_zeroed(pool, x.len());
+            dx[arg] = g.data[0];
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data: dx,
+                    shape: x.shape.clone(),
+                },
+            );
+        }
+        Op::Select(a, idx) => {
+            let x = &nodes[*a].value;
+            let mut dx = take_buf_zeroed(pool, x.len());
+            for (k, &i) in idx.iter().enumerate() {
+                dx[i] += g.data[k];
+            }
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data: dx,
+                    shape: x.shape.clone(),
+                },
+            );
+        }
+        Op::Slice1D(a, start, len) => {
+            let x = &nodes[*a].value;
+            let mut dx = take_buf_zeroed(pool, x.len());
+            dx[*start..start + len].copy_from_slice(&g.data);
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data: dx,
+                    shape: x.shape.clone(),
+                },
+            );
+        }
+        Op::SliceCols(a, start, len) => {
+            let x = &nodes[*a].value;
+            let (m, n) = (x.rows(), x.cols());
+            let mut dx = take_buf_zeroed(pool, m * n);
+            for r in 0..m {
+                dx[r * n + start..r * n + start + len]
+                    .copy_from_slice(&g.data[r * len..(r + 1) * len]);
+            }
+            accum(
+                pool,
+                grads,
+                *a,
+                Tensor {
+                    data: dx,
+                    shape: vec![m, n],
+                },
+            );
+        }
+        Op::ConcatCols(parts) => {
+            let m = nodes[id].value.rows();
+            let total = nodes[id].value.cols();
+            let mut off = 0;
+            for &p in parts {
+                let n = nodes[p].value.cols();
+                let mut dp = take_buf_zeroed(pool, m * n);
                 for r in 0..m {
-                    dx.data[r * n + start..r * n + start + len]
-                        .copy_from_slice(&g.data[r * len..(r + 1) * len]);
+                    dp[r * n..(r + 1) * n]
+                        .copy_from_slice(&g.data[r * total + off..r * total + off + n]);
                 }
-                Self::accum(grads, *a, dx);
+                accum(
+                    pool,
+                    grads,
+                    p,
+                    Tensor {
+                        data: dp,
+                        shape: vec![m, n],
+                    },
+                );
+                off += n;
             }
-            Op::ConcatCols(parts) => {
-                let m = self.nodes[id].value.rows();
-                let total = self.nodes[id].value.cols();
-                let mut off = 0;
-                for &p in parts {
-                    let n = self.nodes[p].value.cols();
-                    let mut dp = Tensor::zeros(&[m, n]);
-                    for r in 0..m {
-                        dp.data[r * n..(r + 1) * n]
-                            .copy_from_slice(&g.data[r * total + off..r * total + off + n]);
-                    }
-                    Self::accum(grads, p, dp);
-                    off += n;
+        }
+        Op::AddBias(a, bias) => {
+            let ga = pooled_copy(pool, g);
+            accum(pool, grads, *a, ga);
+            let n = nodes[*bias].value.len();
+            let mut db = take_buf_zeroed(pool, n);
+            for row in g.data.chunks_exact(n) {
+                for (d, &v) in db.iter_mut().zip(row) {
+                    *d += v;
                 }
             }
-            Op::AddBias(a, bias) => {
-                Self::accum(grads, *a, g.clone());
-                let n = self.nodes[*bias].value.len();
-                let mut db = Tensor::zeros(&[n]);
-                for r in 0..g.rows() {
-                    for c in 0..n {
-                        db.data[c] += g.data[r * n + c];
-                    }
+            accum(
+                pool,
+                grads,
+                *bias,
+                Tensor {
+                    data: db,
+                    shape: vec![n],
+                },
+            );
+        }
+        Op::Flatten(a) => {
+            let x = &nodes[*a].value;
+            let mut dx = pooled_copy(pool, g);
+            dx.shape = x.shape.clone();
+            accum(pool, grads, *a, dx);
+        }
+        Op::LayerNorm { x, gamma, beta } => {
+            let xv = &nodes[*x].value;
+            let gv = &nodes[*gamma].value;
+            let n = xv.cols();
+            let mut dx = take_buf_zeroed(pool, xv.len());
+            let mut dgamma = take_buf_zeroed(pool, n);
+            let mut dbeta = take_buf_zeroed(pool, n);
+            for r in 0..xv.rows() {
+                let xr = &xv.data[r * n..(r + 1) * n];
+                let gr = &g.data[r * n..(r + 1) * n];
+                let mean = xr.iter().sum::<f32>() / n as f32;
+                let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+                let inv = 1.0 / (var + LN_EPS).sqrt();
+                let xhat: Vec<f32> = xr.iter().map(|&v| (v - mean) * inv).collect();
+                // Affine gradients.
+                for j in 0..n {
+                    dgamma[j] += gr[j] * xhat[j];
+                    dbeta[j] += gr[j];
                 }
-                Self::accum(grads, *bias, db);
-            }
-            Op::Flatten(a) => {
-                let x = &self.nodes[*a].value;
-                let mut dx = Tensor::zeros(&x.shape);
-                dx.data.copy_from_slice(&g.data);
-                Self::accum(grads, *a, dx);
-            }
-            Op::LayerNorm { x, gamma, beta } => {
-                let xv = &self.nodes[*x].value;
-                let gv = &self.nodes[*gamma].value;
-                let n = xv.cols();
-                let mut dx = Tensor::zeros(&xv.shape);
-                let mut dgamma = Tensor::zeros(&[n]);
-                let mut dbeta = Tensor::zeros(&[n]);
-                for r in 0..xv.rows() {
-                    let xr = &xv.data[r * n..(r + 1) * n];
-                    let gr = &g.data[r * n..(r + 1) * n];
-                    let mean = xr.iter().sum::<f32>() / n as f32;
-                    let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-                    let inv = 1.0 / (var + LN_EPS).sqrt();
-                    let xhat: Vec<f32> = xr.iter().map(|&v| (v - mean) * inv).collect();
-                    // Affine gradients.
-                    for j in 0..n {
-                        dgamma.data[j] += gr[j] * xhat[j];
-                        dbeta.data[j] += gr[j];
-                    }
-                    // dxhat = g * gamma
-                    let dxhat: Vec<f32> = (0..n).map(|j| gr[j] * gv.data[j]).collect();
-                    let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
-                    let mean_dxhat_xhat =
-                        dxhat.iter().zip(&xhat).map(|(&a, &b)| a * b).sum::<f32>() / n as f32;
-                    for j in 0..n {
-                        dx.data[r * n + j] =
-                            inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat);
-                    }
+                // dxhat = g * gamma
+                let dxhat: Vec<f32> = (0..n).map(|j| gr[j] * gv.data[j]).collect();
+                let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
+                let mean_dxhat_xhat =
+                    dxhat.iter().zip(&xhat).map(|(&a, &b)| a * b).sum::<f32>() / n as f32;
+                for j in 0..n {
+                    dx[r * n + j] = inv * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat);
                 }
-                Self::accum(grads, *x, dx);
-                Self::accum(grads, *gamma, dgamma);
-                Self::accum(grads, *beta, dbeta);
             }
+            accum(
+                pool,
+                grads,
+                *x,
+                Tensor {
+                    data: dx,
+                    shape: xv.shape.clone(),
+                },
+            );
+            accum(
+                pool,
+                grads,
+                *gamma,
+                Tensor {
+                    data: dgamma,
+                    shape: vec![n],
+                },
+            );
+            accum(
+                pool,
+                grads,
+                *beta,
+                Tensor {
+                    data: dbeta,
+                    shape: vec![n],
+                },
+            );
         }
     }
 }
@@ -807,6 +1532,184 @@ mod tests {
                 t.sum(sc)
             },
             1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_affine() {
+        check_gradients(
+            vec![
+                (
+                    "x",
+                    Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, -0.4, 0.3], &[2, 3]),
+                ),
+                (
+                    "w",
+                    Tensor::from_vec(vec![0.2, -0.5, 0.7, 0.1, 0.4, -0.3], &[3, 2]),
+                ),
+                ("b", Tensor::vector(vec![0.05, -0.02])),
+            ],
+            |t, l| {
+                let y = t.affine(l[0], l[1], l[2]);
+                let y = t.tanh(y);
+                t.sum(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_scaled_nt() {
+        check_gradients(
+            vec![
+                (
+                    "q",
+                    Tensor::from_vec(vec![0.1, 0.5, -0.3, 0.7, 0.2, -0.1], &[3, 2]),
+                ),
+                (
+                    "k",
+                    Tensor::from_vec(vec![0.4, -0.2, 0.3, 0.6, -0.5, 0.1], &[3, 2]),
+                ),
+                (
+                    "v",
+                    Tensor::from_vec(vec![1.0, 0.0, 0.5, -0.5, 0.2, 0.8], &[3, 2]),
+                ),
+            ],
+            |t, l| {
+                let scores = t.matmul_scaled_nt(l[0], l[1], 0.5);
+                let att = t.softmax_rows(scores);
+                let out = t.matmul(att, l[2]);
+                let sq = t.square(out);
+                t.sum(sq)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn affine_matches_matmul_add_bias_bitwise() {
+        let mut store = ParamStore::new();
+        let x = store.add(
+            "x",
+            Tensor::from_vec((0..12).map(|i| i as f32 * 0.37 - 2.0).collect(), &[4, 3]),
+        );
+        let w = store.add(
+            "w",
+            Tensor::from_vec((0..6).map(|i| 0.11 * i as f32 - 0.3).collect(), &[3, 2]),
+        );
+        let b = store.add("b", Tensor::vector(vec![0.25, -0.75]));
+        let mut tape = Tape::new(&store);
+        let (lx, lw, lb) = (tape.param(x), tape.param(w), tape.param(b));
+        let fused = tape.affine(lx, lw, lb);
+        let staged = {
+            let mm = tape.matmul(lx, lw);
+            tape.add_bias(mm, lb)
+        };
+        let (f, s) = (tape.value(fused).clone(), tape.value(staged).clone());
+        assert_eq!(f.shape, s.shape);
+        for (a, b) in f.data.iter().zip(&s.data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "affine {a} vs staged {b}");
+        }
+    }
+
+    #[test]
+    fn scaled_nt_matches_transpose_matmul_bitwise() {
+        let mut store = ParamStore::new();
+        let q = store.add(
+            "q",
+            Tensor::from_vec((0..8).map(|i| (i as f32).sin()).collect(), &[4, 2]),
+        );
+        let k = store.add(
+            "k",
+            Tensor::from_vec((0..6).map(|i| (i as f32).cos()).collect(), &[3, 2]),
+        );
+        let mut tape = Tape::new(&store);
+        let (lq, lk) = (tape.param(q), tape.param(k));
+        let fused = tape.matmul_scaled_nt(lq, lk, 0.25);
+        let staged = {
+            let kt = tape.transpose(lk);
+            let mm = tape.matmul(lq, kt);
+            tape.scalar_mul(mm, 0.25)
+        };
+        let (f, s) = (tape.value(fused).clone(), tape.value(staged).clone());
+        assert_eq!(f.shape, vec![4, 3]);
+        assert_eq!(f.shape, s.shape);
+        for (a, b) in f.data.iter().zip(&s.data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "scaled-nt {a} vs staged {b}");
+        }
+    }
+
+    #[test]
+    fn softmax_zero_mass_rows_are_uniform() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let ninf = f32::NEG_INFINITY;
+        // Row 0 fully masked, row 1 partially masked, row 2 ordinary.
+        let x = tape.constant(Tensor::from_vec(
+            vec![ninf, ninf, ninf, ninf, 1.0, 2.0, 0.5, -0.5, 0.1],
+            &[3, 3],
+        ));
+        let y = tape.softmax_rows(x);
+        let v = tape.value(y);
+        for j in 0..3 {
+            assert_eq!(v.at2(0, j), 1.0 / 3.0, "masked row must be uniform");
+        }
+        for r in 0..3 {
+            let sum: f32 = (0..3).map(|j| v.at2(r, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+            for j in 0..3 {
+                assert!(v.at2(r, j).is_finite(), "row {r} col {j} not finite");
+            }
+        }
+        assert_eq!(v.at2(1, 0), 0.0, "masked entry of mixed row is 0");
+        // Backward through the guarded row stays finite.
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert!(grads.by_param.is_empty());
+    }
+
+    #[test]
+    fn tape_arena_recycles_buffers() {
+        // Runs on this test's own thread, so the thread-local arena is
+        // deterministic. Default mode (Blocked) pools; Reference
+        // must not.
+        TapeArena::clear();
+        let mut store = ParamStore::new();
+        let p = store.add("x", Tensor::vector(vec![1.0, 2.0, 3.0]));
+        {
+            let mut tape = Tape::new(&store);
+            let x = tape.param(p);
+            let y = tape.tanh(x);
+            let s = tape.sum(y);
+            let _ = tape.backward(s);
+        }
+        let pooled = TapeArena::pooled();
+        assert!(pooled > 0, "dropped tape must repopulate the arena");
+        // A second, identical tape must produce identical values from
+        // recycled storage.
+        {
+            let mut tape = Tape::new(&store);
+            let x = tape.param(p);
+            let y = tape.tanh(x);
+            let s = tape.sum(y);
+            assert!(
+                (tape.scalar_value(s) - (1f32.tanh() + 2f32.tanh() + 3f32.tanh())).abs() < 1e-6
+            );
+            let g = tape.backward(s);
+            assert!(g.by_param[p].is_some());
+        }
+        // Reference mode leaves the arena untouched in both directions.
+        let before = TapeArena::pooled();
+        crate::kernel::with_mode(crate::kernel::KernelMode::Reference, || {
+            let mut tape = Tape::new(&store);
+            let x = tape.param(p);
+            let s = tape.sum(x);
+            let _ = tape.backward(s);
+        });
+        assert_eq!(
+            TapeArena::pooled(),
+            before,
+            "Reference mode must not touch the arena"
         );
     }
 

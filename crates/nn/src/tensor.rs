@@ -80,7 +80,15 @@ impl Tensor {
         self.data[r * self.shape[1] + c] = v;
     }
 
-    /// Matrix product `[m,k] × [k,n] → [m,n]` (ikj loop order).
+    /// Matrix product `[m,k] × [k,n] → [m,n]` via the blocked kernel
+    /// ([`crate::kernel`]): fixed per-element summation order (ascending
+    /// inner index), bitwise identical across the scalar reference,
+    /// blocked, and row-sharded parallel implementations.
+    ///
+    /// Note there is deliberately no sparsity shortcut: `0·NaN` and
+    /// `0·∞` are `NaN` and must propagate to the output — the
+    /// historical `a == 0.0 → continue` skip masked non-finite RHS
+    /// values and defeated the training loop's rollback guard.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.rank(), 2, "matmul rhs must be 2-D");
@@ -88,19 +96,15 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
-                }
-            }
-        }
+        crate::kernel::gemm_nn(
+            &self.data,
+            &other.data,
+            &mut out,
+            m,
+            k,
+            n,
+            crate::kernel::GemmOpts::default(),
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -181,6 +185,28 @@ mod tests {
         assert_eq!(c.shape, vec![3, 3]);
         assert_eq!(c.at2(2, 0), 7.0);
         assert_eq!(c.at2(0, 2), 4.0);
+    }
+
+    /// Regression for the NaN-masking bug: the old `a == 0.0` skip
+    /// dropped the `0·x` term, so a non-finite RHS row vanished from
+    /// the product and the train-loop rollback guard never saw it.
+    #[test]
+    fn zero_lhs_does_not_mask_nonfinite_rhs() {
+        // Row of zeros × RHS containing NaN/Inf: every output element
+        // that multiplies a non-finite value must be NaN.
+        let a = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, 1.0, f32::INFINITY, 2.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert!(
+            c.data[0].is_nan(),
+            "0·NaN + 0·∞ must be NaN, got {}",
+            c.data[0]
+        );
+        // Mixed: a finite column stays finite.
+        let b2 = Tensor::from_vec(vec![f32::NAN, 1.0, 3.0, 2.0], &[2, 2]);
+        let c2 = a.matmul(&b2);
+        assert!(c2.data[0].is_nan());
+        assert_eq!(c2.data[1], 0.0);
     }
 
     #[test]

@@ -131,11 +131,13 @@ impl TransformerEncoder {
         let t_len = tape.value(x).rows();
         assert!(t_len <= self.cfg.max_len, "sequence longer than max_len");
         let mut h = self.input_proj.forward(tape, x);
-        // Add positional encodings (constant, truncated to T rows).
-        let mut pe = Tensor::zeros(&[t_len, self.cfg.d_model]);
-        pe.data
-            .copy_from_slice(&self.pos_table.data[..t_len * self.cfg.d_model]);
-        let pe = tape.constant(pe);
+        // Add positional encodings (constant, truncated to T rows) —
+        // copied straight from the precomputed table into pooled tape
+        // storage, no intermediate Tensor.
+        let pe = tape.constant_from(
+            &self.pos_table.data[..t_len * self.cfg.d_model],
+            &[t_len, self.cfg.d_model],
+        );
         h = tape.add(h, pe);
         for layer in &self.layers {
             h = layer.forward(tape, h);
@@ -217,6 +219,7 @@ mod tests {
             last = tape.scalar_value(l);
             first.get_or_insert(last);
             let grads = tape.backward(l);
+            drop(tape); // release the store borrow before the optimizer step
             adam.step(&mut store, &grads);
         }
         let first = first.unwrap();

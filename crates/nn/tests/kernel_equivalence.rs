@@ -1,0 +1,162 @@
+//! Property tests: the blocked and row-sharded parallel GEMM kernels must
+//! be **bitwise identical** to the scalar reference implementation over
+//! random shapes — including shapes not divisible by the panel/unroll
+//! sizes, empty dimensions, non-finite entries, and fused bias/scale
+//! epilogues. This is the contract the training benchmark's fingerprint
+//! assertions (and PR 3's CEM merge before it) rest on.
+
+use fmml_nn::kernel::{gemm_nn, gemm_nt, gemm_tn, with_mode, GemmOpts, KernelMode};
+use fmml_nn::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic xorshift fill; optionally injects NaN/±Inf entries so
+/// the equivalence claim covers non-finite propagation too.
+fn fill(len: usize, seed: u64, nonfinite: bool) -> Vec<f32> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if nonfinite && i % 23 == 7 {
+                match x % 3 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    _ => f32::NEG_INFINITY,
+                }
+            } else {
+                ((x >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            }
+        })
+        .collect()
+}
+
+/// Run `f` under all three kernel modes into three fresh buffers.
+fn run_modes(len: usize, f: &dyn Fn(&mut [f32])) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut r = vec![0.0f32; len];
+    let mut bl = vec![0.0f32; len];
+    let mut par = vec![0.0f32; len];
+    with_mode(KernelMode::Reference, || f(&mut r));
+    with_mode(KernelMode::Blocked, || f(&mut bl));
+    with_mode(KernelMode::BlockedParallel, || f(&mut par));
+    (r, bl, par)
+}
+
+/// Bitwise comparison (NaN payloads included) with a useful message.
+fn bits_eq(a: &[f32], b: &[f32]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("length {} vs {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Some(format!(
+                "elem {i}: {x} ({:#010x}) vs {y} ({:#010x})",
+                x.to_bits(),
+                y.to_bits()
+            ));
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    /// NN / NT / TN products over random (possibly empty, possibly
+    /// tile-misaligned) shapes with random bias/scale epilogues and a
+    /// sprinkling of NaN/±Inf: all three modes agree bit for bit.
+    fn all_gemm_modes_bitwise_equal(
+        m in 0usize..=33,
+        k in 0usize..=41,
+        n in 0usize..=29,
+        seed in 0u64..u64::MAX,
+        flags in 0u64..8,
+    ) {
+        let nonfinite = flags & 1 != 0;
+        let use_bias = flags & 2 != 0;
+        let use_scale = flags & 4 != 0;
+        let a = fill(m * k, seed ^ 0x11, nonfinite);
+        let b = fill(k * n, seed ^ 0x22, nonfinite);
+        let bt = fill(n * k, seed ^ 0x33, nonfinite);
+        let at = fill(k * m, seed ^ 0x44, nonfinite);
+        let bias = fill(n, seed ^ 0x55, false);
+        let opts = || GemmOpts {
+            bias: if use_bias { Some(&bias) } else { None },
+            scale: if use_scale { Some(0.5) } else { None },
+        };
+        let (r, bl, par) = run_modes(m * n, &|out| gemm_nn(&a, &b, out, m, k, n, opts()));
+        prop_assert!(bits_eq(&r, &bl).is_none(),
+            "nn blocked ({m},{k},{n}) flags {flags}: {}", bits_eq(&r, &bl).unwrap());
+        prop_assert!(bits_eq(&r, &par).is_none(),
+            "nn parallel ({m},{k},{n}) flags {flags}: {}", bits_eq(&r, &par).unwrap());
+        let (r, bl, par) = run_modes(m * n, &|out| gemm_nt(&a, &bt, out, m, k, n, opts()));
+        prop_assert!(bits_eq(&r, &bl).is_none(),
+            "nt blocked ({m},{k},{n}) flags {flags}: {}", bits_eq(&r, &bl).unwrap());
+        prop_assert!(bits_eq(&r, &par).is_none(),
+            "nt parallel ({m},{k},{n}) flags {flags}: {}", bits_eq(&r, &par).unwrap());
+        let (r, bl, par) = run_modes(m * n, &|out| gemm_tn(&at, &b, out, k, m, n, opts()));
+        prop_assert!(bits_eq(&r, &bl).is_none(),
+            "tn blocked ({m},{k},{n}) flags {flags}: {}", bits_eq(&r, &bl).unwrap());
+        prop_assert!(bits_eq(&r, &par).is_none(),
+            "tn parallel ({m},{k},{n}) flags {flags}: {}", bits_eq(&r, &par).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    /// Shapes big enough to cross the parallel threshold (`m·k·n ≥ 2¹⁸`)
+    /// so the sharded path actually fires, under varying thread caps —
+    /// still bitwise identical to the scalar reference.
+    fn sharded_path_bitwise_equal_above_threshold(
+        m in 64usize..=96,
+        k in 64usize..=96,
+        n in 64usize..=96,
+        seed in 0u64..u64::MAX,
+        threads in 2usize..=6,
+    ) {
+        let a = fill(m * k, seed, false);
+        let b = fill(k * n, seed ^ 0xABCD, false);
+        let (r, bl, par) = rayon::with_max_threads(threads, || {
+            run_modes(m * n, &|out| gemm_nn(&a, &b, out, m, k, n, GemmOpts::default()))
+        });
+        prop_assert!(bits_eq(&r, &bl).is_none(),
+            "blocked ({m},{k},{n}): {}", bits_eq(&r, &bl).unwrap());
+        prop_assert!(bits_eq(&r, &par).is_none(),
+            "parallel ({m},{k},{n}) x{threads}: {}", bits_eq(&r, &par).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    /// `Tensor::matmul` (the public API the model uses) must propagate
+    /// non-finite RHS values even when the LHS element is zero — the
+    /// historical `a == 0.0 → continue` skip silently output 0 here and
+    /// hid NaNs from the training loop's rollback guard.
+    fn zero_lhs_never_masks_nonfinite_rhs(
+        m in 1usize..=8,
+        k in 1usize..=8,
+        n in 1usize..=8,
+        seed in 0u64..u64::MAX,
+    ) {
+        // LHS all zeros, RHS with injected non-finites.
+        let a = Tensor::from_vec(vec![0.0; m * k], &[m, k]);
+        let mut bdata = fill(k * n, seed, false);
+        // Poison one full RHS row: every output element must become NaN
+        // (0·NaN = NaN, 0·±Inf = NaN).
+        let row = (seed as usize) % k;
+        for j in 0..n {
+            bdata[row * n + j] = if j % 2 == 0 { f32::NAN } else { f32::INFINITY };
+        }
+        let b = Tensor::from_vec(bdata, &[k, n]);
+        let c = a.matmul(&b);
+        for (i, v) in c.data.iter().enumerate() {
+            prop_assert!(v.is_nan(),
+                "({m},{k},{n}) poisoned row {row}: out[{i}] = {v}, expected NaN");
+        }
+    }
+}
