@@ -7,6 +7,7 @@
 
 pub mod baseline;
 pub mod cem_parallel;
+pub mod obs;
 pub mod serve;
 pub mod train;
 

@@ -13,6 +13,8 @@
 //! fmml loadgen   --addr 127.0.0.1:4700 --clients 8 [--chaos] # trace replay
 //! fmml serve-bench --out bench                               # BENCH_serve.json
 //! fmml train-bench --out bench                               # BENCH_train.json
+//! fmml obs       --addr 127.0.0.1:4700 [--json]              # live introspection
+//! fmml obs-bench --out bench                                 # BENCH_obs.json
 //! ```
 //!
 //! Every command accepts the global observability flags: `--stats` prints
@@ -27,6 +29,7 @@ use args::Args;
 use error::CliError;
 use fmml_bench::baseline::Baseline;
 use fmml_bench::cem_parallel::{bench_ladder, CemParallelReport};
+use fmml_bench::obs::{bench_obs, ObsBenchConfig};
 use fmml_bench::serve::{bench_serve, ServeBenchConfig};
 use fmml_bench::train::bench_train;
 use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
@@ -45,7 +48,7 @@ use fmml_fm::WindowConstraints;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
 use fmml_obs::log_event;
-use fmml_serve::protocol::Frame;
+use fmml_serve::protocol::{write_frame, Frame, FrameReader};
 use fmml_serve::{ChaosConfig, LoadgenConfig, ServerConfig};
 use fmml_smt::solver::Budget;
 use fmml_telemetry::{sanitize_series, sanitize_window, SanitizeConfig, SanitizeReport};
@@ -110,6 +113,16 @@ COMMANDS:
              BENCH_train.json; exits non-zero on fingerprint divergence
              or any epoch rollback
              --out DIR (bench)  --epochs N (3)  --ms N (800)  --seed N (7)
+  obs        query a running server for its live metrics registry, trace
+             summaries, and SLO gauges (sends a MetricsDump frame)
+             --addr A (127.0.0.1:4700)  --json (raw dump instead of tables)
+             --folded FILE (write folded stacks for flamegraph.pl)
+  obs-bench  tracing on/off differential benchmark: the same serve replay
+             and training pass with tracing disabled then enabled,
+             interleaved; asserts bit-identical outputs and writes
+             BENCH_obs.json (CI gates max_overhead <= 1.05)
+             --out DIR (bench)  --repeats N (3)  --intervals N (120)
+             --epochs N (2)  --ms N (480)  --seed N (23)  --jobs N (2)
 
 GLOBAL FLAGS:
   --stats            print the metrics table to stderr on exit
@@ -118,10 +131,13 @@ GLOBAL FLAGS:
 ENVIRONMENT:
   FMML_LOG=1         structured JSONL run telemetry on stderr
   FMML_LOG_FILE=path append structured JSONL run telemetry to a file
+  FMML_TRACE=1       enable span tracing (per-thread ring journals)
+  FMML_TRACE_RING=N  slots per trace ring (default 4096)
 ";
 
 fn main() {
     fmml_obs::RunLog::init_from_env();
+    fmml_obs::trace::init_from_env();
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
@@ -147,6 +163,8 @@ fn main() {
         "loadgen" => cmd_loadgen(&args),
         "serve-bench" => cmd_serve_bench(&args),
         "train-bench" => cmd_train_bench(&args),
+        "obs" => cmd_obs(&args),
+        "obs-bench" => cmd_obs_bench(&args),
         _ => {
             println!("{USAGE}");
             return;
@@ -790,6 +808,148 @@ fn cmd_train_bench(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Invalid(format!(
             "{} epoch(s) rolled back during a clean benchmark run",
             report.rollbacks
+        )));
+    }
+    std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+    let path = report
+        .save(Path::new(dir))
+        .map_err(|e| CliError::io(dir, e))?;
+    println!("bench report written to {}", path.display());
+    Ok(())
+}
+
+/// `fmml obs`: live introspection of a running server. Sends a
+/// `MetricsDump` frame (accepted before or after the handshake) and
+/// renders the `MetricsReply` — counters/gauges, per-stage latency
+/// quantiles, SLO gauges, and recent trace summaries. `--json` prints
+/// the raw dump; `--folded FILE` writes the folded-stacks export that
+/// `flamegraph.pl` consumes.
+fn cmd_obs(args: &Args) -> Result<(), CliError> {
+    let addr = args.get_string("addr").unwrap_or("127.0.0.1:4700");
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| CliError::io(addr.to_string(), e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| CliError::io(addr.to_string(), e))?;
+    write_frame(&mut stream, &Frame::MetricsDump)
+        .map_err(|e| CliError::Invalid(format!("{addr}: {e}")))?;
+    let mut reader = FrameReader::new(stream);
+    let reply = reader
+        .read_frame()
+        .map_err(|e| CliError::Invalid(format!("{addr}: {e}")))?;
+    let Frame::MetricsReply { json } = reply else {
+        return Err(CliError::Invalid(format!(
+            "{addr}: expected MetricsReply, got {}",
+            reply.tag()
+        )));
+    };
+    let dump: serde_json::Value = serde_json::from_str(&json)
+        .map_err(|e| CliError::Invalid(format!("{addr}: undecodable dump: {e}")))?;
+    if let Some(path) = args.get_string("folded") {
+        let folded = dump["trace"]["folded"].as_str().unwrap_or("");
+        std::fs::write(path, folded).map_err(|e| CliError::io(path, e))?;
+        eprintln!("folded stacks written to {path}");
+    }
+    if args.flag("json") {
+        println!("{json}");
+    } else {
+        print!("{}", render_obs_dump(&dump));
+    }
+    Ok(())
+}
+
+/// Human rendering of a [`fmml_obs::dump_json`] payload: the same
+/// fixed-width tables as `--stats`, then the trace section.
+fn render_obs_dump(dump: &serde_json::Value) -> String {
+    let mut out = String::new();
+    let m = &dump["metrics"];
+    let mut scalars: Vec<(&str, String)> = Vec::new();
+    for section in ["counters", "gauges", "float_gauges"] {
+        for (k, v) in m[section].as_object().into_iter().flatten() {
+            let rendered = v
+                .as_u64()
+                .map(|n| n.to_string())
+                .or_else(|| v.as_f64().map(|f| format!("{f:.4}")))
+                .unwrap_or_else(|| "?".into());
+            scalars.push((k.as_str(), rendered));
+        }
+    }
+    if !scalars.is_empty() {
+        out.push_str(&format!("{:<44} {:>16}\n", "counter/gauge", "value"));
+        for (k, v) in scalars {
+            out.push_str(&format!("{k:<44} {v:>16}\n"));
+        }
+    }
+    if let Some(hists) = m["histograms"].as_object().filter(|h| !h.is_empty()) {
+        out.push_str(&format!(
+            "{:<30} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>3}\n",
+            "histogram", "count", "mean", "p50", "p90", "p99", "p999", "max", ""
+        ));
+        for (name, h) in hists {
+            out.push_str(&format!(
+                "{:<30} {:>7} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>3}\n",
+                name,
+                h["count"].as_u64().unwrap_or(0),
+                h["mean"].as_f64().unwrap_or(0.0),
+                h["p50"].as_f64().unwrap_or(0.0),
+                h["p90"].as_f64().unwrap_or(0.0),
+                h["p99"].as_f64().unwrap_or(0.0),
+                h["p999"].as_f64().unwrap_or(0.0),
+                h["max"].as_f64().unwrap_or(0.0),
+                h["unit"].as_str().unwrap_or(""),
+            ));
+        }
+    }
+    let t = &dump["trace"];
+    out.push_str(&format!(
+        "trace: enabled={} spans={} dropped={}\n",
+        t["enabled"].as_bool().unwrap_or(false),
+        t["spans"].as_u64().unwrap_or(0),
+        t["dropped"].as_u64().unwrap_or(0),
+    ));
+    for s in t["summaries"].as_array().into_iter().flatten() {
+        out.push_str(&format!(
+            "  trace {:>12} root={} spans={} total={:.1}us\n",
+            s["trace_id"].as_u64().unwrap_or(0),
+            s["root"].as_str().unwrap_or("?"),
+            s["spans"].as_u64().unwrap_or(0),
+            s["total_ns"].as_u64().unwrap_or(0) as f64 / 1e3,
+        ));
+    }
+    out
+}
+
+/// `fmml obs-bench`: the tracing on/off differential behind
+/// `BENCH_obs.json`. Bit-divergent outputs between the traced and
+/// untraced passes are a hard error; the overhead ratio is reported for
+/// CI to gate (wall-clock noise makes an in-process assertion flaky).
+fn cmd_obs_bench(args: &Args) -> Result<(), CliError> {
+    let dir = args.get_string("out").unwrap_or("bench");
+    let defaults = ObsBenchConfig::default();
+    let bc = ObsBenchConfig {
+        sim_ms: args.get_or("ms", defaults.sim_ms)?,
+        seed: args.get_or("seed", defaults.seed)?,
+        serve_intervals: args.get_or("intervals", defaults.serve_intervals)?,
+        jobs: args.get_or("jobs", defaults.jobs)?,
+        epochs: args.get_or("epochs", defaults.epochs)?,
+        repeats: args.get_or("repeats", defaults.repeats)?,
+    };
+    let report = bench_obs(&bc);
+    eprintln!("{}", report.summary());
+    log_event!(
+        "obs_bench.done",
+        "identical" = report.identical,
+        "max_overhead" = report.max_overhead,
+        "spans" = report.spans,
+        "dropped" = report.dropped,
+    );
+    if !report.identical {
+        return Err(CliError::Invalid(format!(
+            "tracing perturbed outputs: serve {:016x}/{:016x} train {:016x}/{:016x}",
+            report.serve_hash_off,
+            report.serve_hash_on,
+            report.train_hash_off,
+            report.train_hash_on
         )));
     }
     std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;

@@ -9,7 +9,7 @@
 use crate::kal::{self, KalConfig, KalMultipliers};
 use crate::transformer_imputer::{encode_features, Scales, TransformerImputer};
 use fmml_nn::{loss, Adam, Gradients, Tape, Tensor};
-use fmml_obs::{log_event, Counter, FloatGauge, Histogram, Unit};
+use fmml_obs::{log_event, trace, Counter, FloatGauge, Histogram, Unit};
 use fmml_telemetry::PortWindow;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -143,6 +143,7 @@ pub fn train_from(
 
     for epoch in 0..cfg.epochs {
         let span = EPOCH_MS.start_span();
+        let _epoch_span = trace::span("train.epoch");
         // Checkpoint for rollback: parameters as of the epoch start.
         let checkpoint = imputer.store.clone();
         let mut poisoned = false;
@@ -173,7 +174,13 @@ pub fn train_from(
                 (ei, r)
             };
             let mut results: Vec<(usize, ExampleResult)> = if cfg.parallel {
-                batch.par_iter().map(run).collect()
+                // Explicit context hand-off into rayon scope threads so
+                // per-example spans land in the epoch's trace.
+                let ctx = trace::current_context();
+                batch
+                    .par_iter()
+                    .map(|ei| trace::with_context(ctx, || run(ei)))
+                    .collect()
             } else {
                 batch.iter().map(run).collect()
             };

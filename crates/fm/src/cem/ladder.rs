@@ -36,7 +36,7 @@ use super::{
     IntervalProblem, IntervalSolution,
 };
 use crate::constraints::WindowConstraints;
-use fmml_obs::{log_event, Counter, Histogram, Unit};
+use fmml_obs::{log_event, trace, Counter, Histogram, Unit};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -383,6 +383,7 @@ pub fn enforce_degraded_with(
         assert_eq!(q.len(), w.len, "window length mismatch");
     }
     let span = LADDER_WINDOW_US.start_span();
+    let _trace_span = trace::span("cem.enforce_window");
     LADDER_WINDOWS.inc();
     let start = Instant::now();
     let l = w.interval_len;
@@ -416,10 +417,20 @@ pub fn enforce_degraded_with(
     let cache_ref = opts.cache.map(SolutionCacheRef);
     let rebate_ns = AtomicU64::new(0);
     let solve_one = |pk: &(IntervalProblem, bool)| {
+        let _s = trace::span("cem.solve");
         solve_interval_cached(&pk.0, cfg, ekey, cache_ref.as_ref(), start, &rebate_ns)
     };
     let solved: Vec<(IntervalSolution, DegradationLevel)> = if opts.parallel() && n > 1 {
-        rayon::with_max_threads(opts.jobs, || problems.par_iter().map(solve_one).collect())
+        // The vendored rayon runs shards on fresh scope threads:
+        // re-install the caller's trace context explicitly so per-
+        // interval solve spans stay attached to the window's trace.
+        let ctx = trace::current_context();
+        rayon::with_max_threads(opts.jobs, || {
+            problems
+                .par_iter()
+                .map(|pk| trace::with_context(ctx, || solve_one(pk)))
+                .collect()
+        })
     } else {
         problems.iter().map(solve_one).collect()
     };
@@ -485,10 +496,11 @@ pub fn enforce_degraded_batch(
             .collect();
     }
     let inner = opts.inner();
+    let ctx = trace::current_context();
     rayon::with_max_threads(opts.jobs, || {
         items
             .par_iter()
-            .map(|(w, s)| enforce_degraded_with(w, s, cfg, &inner))
+            .map(|(w, s)| trace::with_context(ctx, || enforce_degraded_with(w, s, cfg, &inner)))
             .collect()
     })
 }

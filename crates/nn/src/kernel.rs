@@ -424,12 +424,18 @@ fn shard_rows(
     PARALLEL_CALLS.inc();
     PARALLEL_SHARDS.add(ranges.len() as u64);
     use rayon::prelude::*;
+    // Scope threads don't inherit thread-locals; re-install the trace
+    // context per shard so GEMM shards show up under the caller's span.
+    let ctx = fmml_obs::trace::current_context();
     let parts: Vec<Vec<f32>> = ranges
         .par_iter()
         .map(|&(lo, hi)| {
-            let mut part = vec![0.0f32; (hi - lo) * n];
-            run_range(lo, hi, &mut part);
-            part
+            fmml_obs::trace::with_context(ctx, || {
+                let _s = fmml_obs::trace::span("nn.gemm_shard");
+                let mut part = vec![0.0f32; (hi - lo) * n];
+                run_range(lo, hi, &mut part);
+                part
+            })
         })
         .collect();
     for ((lo, hi), part) in ranges.into_iter().zip(parts) {

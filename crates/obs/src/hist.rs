@@ -115,7 +115,21 @@ impl Histogram {
         self.latch.ensure(|| register(Metric::Histogram(self)));
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        // Saturating, not wrapping: a few `u64::MAX`-ish samples must
+        // pin the sum (and thus the mean) at the ceiling, not lap it
+        // into a small garbage value.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        while cur != u64::MAX {
+            match self.sum.compare_exchange_weak(
+                cur,
+                cur.saturating_add(v),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -139,20 +153,32 @@ impl Histogram {
     }
 
     /// Raw (unscaled) quantile estimate, `q` in `[0, 1]`.
+    ///
+    /// Convenience wrapper over [`Histogram::quantile_checked`] that
+    /// collapses the empty case to 0.
     pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_checked(q).unwrap_or(0)
+    }
+
+    /// Typed quantile estimate: `None` for an empty histogram (so an
+    /// absent distribution is distinguishable from one full of zeros).
+    /// The estimate is clamped into `[0, raw_max]`, so saturated
+    /// (`u64::MAX`-valued) samples report the observed maximum rather
+    /// than an out-of-range bucket midpoint.
+    pub fn quantile_checked(&self, q: f64) -> Option<u64> {
         let count = self.count();
         if count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut cum = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             cum += b.load(Ordering::Relaxed);
             if cum >= rank {
-                return bucket_value(i).min(self.raw_max());
+                return Some(bucket_value(i).min(self.raw_max()));
             }
         }
-        self.raw_max()
+        Some(self.raw_max())
     }
 
     pub fn raw_max(&self) -> u64 {
@@ -242,5 +268,59 @@ mod tests {
             prev = i;
         }
         assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        static H: Histogram = Histogram::new("test.hist.empty", Unit::Count);
+        assert_eq!(H.quantile_checked(0.5), None);
+        assert_eq!(H.quantile_checked(0.999), None);
+        assert_eq!(H.quantile(0.5), 0, "legacy wrapper collapses to 0");
+    }
+
+    #[test]
+    fn single_bucket_quantiles_are_exact_and_clamped() {
+        static H: Histogram = Histogram::new("test.hist.single", Unit::Count);
+        // One sample in the top half of its bucket: every quantile must
+        // be the clamped observation, never a midpoint above raw_max.
+        H.record(17);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            let v = H.quantile_checked(q).unwrap();
+            assert!(v <= H.raw_max(), "q={q} estimate {v} above observed max");
+            let err = v.abs_diff(17) as f64 / 17.0;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "q={q} err {err}");
+        }
+    }
+
+    #[test]
+    fn u64_max_samples_saturate_instead_of_wrapping() {
+        static H: Histogram = Histogram::new("test.hist.sat", Unit::Count);
+        H.record(u64::MAX);
+        H.record(u64::MAX);
+        H.record(1);
+        // A wrapping sum would be ~0 here; the saturating sum pins at
+        // the ceiling so the mean stays "huge", not garbage-small.
+        assert_eq!(H.raw_sum(), u64::MAX);
+        assert_eq!(H.raw_max(), u64::MAX);
+        let p99 = H.quantile_checked(0.99).unwrap();
+        assert!(p99 >= 1 << 62, "p99 {p99} out of range");
+    }
+
+    #[test]
+    fn quantiles_on_log_scale_bucket_boundaries() {
+        static H: Histogram = Histogram::new("test.hist.bounds", Unit::Count);
+        // Exact region boundary (15/16), first sub-bucketed octave, and
+        // powers of two straddling octave edges.
+        for v in [15u64, 16, 17, 31, 32, 255, 256, (1 << 40) - 1, 1 << 40] {
+            H.record(v);
+        }
+        assert_eq!(H.quantile_checked(0.0), Some(15), "min lands exactly");
+        // Rank 5 of 9 lands on the 32 sample; bucket midpoint error is
+        // at most 1/16 of the value.
+        let p50 = H.quantile_checked(0.5).unwrap();
+        assert!((30..=34).contains(&p50), "p50 {p50} off the 32 boundary");
+        let top = H.quantile_checked(1.0).unwrap();
+        assert!(top <= 1 << 40, "clamped to observed max, got {top}");
+        assert!(top as f64 >= (1u64 << 40) as f64 * (1.0 - 1.0 / 16.0));
     }
 }

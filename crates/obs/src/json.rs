@@ -1,0 +1,55 @@
+//! Shared JSON string escaping for the hand-rolled emitters in this
+//! crate ([`runlog`](crate::runlog), [`report`](crate::report),
+//! [`trace`](crate::trace)).
+//!
+//! Escapes everything RFC 8259 requires: `"` and `\`, plus every control
+//! character below 0x20 (with the conventional short forms for `\n`,
+//! `\r`, `\t`). Non-ASCII characters pass through verbatim — the
+//! emitters all write UTF-8, where that is legal JSON.
+
+/// Append `s` to `out` as a quoted, escaped JSON string literal.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::push_json_str;
+
+    #[test]
+    fn escapes_every_control_character() {
+        for c in (0u32..0x20).chain(['"' as u32, '\\' as u32]) {
+            let c = char::from_u32(c).unwrap();
+            let mut out = String::new();
+            push_json_str(&mut out, &c.to_string());
+            assert!(out.starts_with('"') && out.ends_with('"'));
+            // The escaped body must be pure ASCII with no raw control chars.
+            assert!(
+                out.chars().all(|c| (0x20..0x7f).contains(&(c as u32))),
+                "raw control char leaked: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        let mut out = String::new();
+        push_json_str(&mut out, "héllo → 世界");
+        assert_eq!(out, "\"héllo → 世界\"");
+    }
+}

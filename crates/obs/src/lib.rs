@@ -43,11 +43,53 @@
 //! ```
 
 pub mod hist;
+pub(crate) mod json;
 pub mod registry;
 pub mod report;
 pub mod runlog;
+pub mod trace;
 
 pub use hist::{Histogram, SpanTimer, Unit};
 pub use registry::{Counter, FloatGauge, Gauge};
 pub use report::{snapshot, HistogramSummary, MetricsReport};
 pub use runlog::RunLog;
+pub use trace::{Span, TraceContext, TraceSnapshot};
+
+/// One-shot introspection dump: the full metrics registry plus recent
+/// trace summaries and a folded-stacks export, as a single JSON object
+/// (`{"metrics": ..., "trace": ...}`). This is what a `MetricsDump`
+/// request over the serve protocol returns.
+pub fn dump_json() -> String {
+    let tr = trace::snapshot();
+    let mut out = String::from("{\"metrics\":");
+    out.push_str(&snapshot().to_json());
+    out.push_str(",\"trace\":{\"enabled\":");
+    out.push_str(if trace::enabled() { "true" } else { "false" });
+    out.push_str(&format!(
+        ",\"spans\":{},\"dropped\":{},\"summaries\":[",
+        tr.spans.len(),
+        tr.dropped
+    ));
+    for (i, s) in tr.summaries(32).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"trace_id\":{},\"root\":", s.trace_id));
+        json::push_json_str(&mut out, s.root);
+        out.push_str(&format!(
+            ",\"spans\":{},\"start_ns\":{},\"total_ns\":{},\"names\":[",
+            s.spans, s.start_ns, s.total_ns
+        ));
+        for (k, n) in s.names.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            json::push_json_str(&mut out, n);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"folded\":");
+    json::push_json_str(&mut out, &tr.folded_stacks());
+    out.push_str("}}");
+    out
+}

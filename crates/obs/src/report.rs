@@ -1,6 +1,7 @@
 //! Snapshotting the registry into a deterministic report.
 
 use crate::hist::Unit;
+use crate::json::push_json_str;
 use crate::registry::{registered, Metric};
 
 /// Frozen summary of one histogram, scaled to its display unit.
@@ -13,6 +14,7 @@ pub struct HistogramSummary {
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    pub p999: f64,
     pub max: f64,
 }
 
@@ -55,6 +57,7 @@ pub fn snapshot() -> MetricsReport {
                     p50: round3(h.quantile(0.50) as f64 / d),
                     p90: round3(h.quantile(0.90) as f64 / d),
                     p99: round3(h.quantile(0.99) as f64 / d),
+                    p999: round3(h.quantile(0.999) as f64 / d),
                     max: round3(h.raw_max() as f64 / d),
                 });
             }
@@ -69,21 +72,6 @@ pub fn snapshot() -> MetricsReport {
 
 fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
-}
-
-fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -107,7 +95,7 @@ impl MetricsReport {
     ///  "gauges":{},
     ///  "float_gauges":{},
     ///  "histograms":{"t.x_ms":{"unit":"ms","count":2,"mean":...,"p50":...,
-    ///                          "p90":...,"p99":...,"max":...}}}
+    ///                          "p90":...,"p99":...,"p999":...,"max":...}}}
     /// ```
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -151,6 +139,7 @@ impl MetricsReport {
                 ("p50", h.p50),
                 ("p90", h.p90),
                 ("p99", h.p99),
+                ("p999", h.p999),
                 ("max", h.max),
             ] {
                 out.push_str(&format!(",\"{key}\":"));
@@ -179,18 +168,19 @@ impl MetricsReport {
         }
         if !self.histograms.is_empty() {
             out.push_str(&format!(
-                "{:<30} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>3}\n",
-                "histogram", "count", "mean", "p50", "p90", "p99", "max", ""
+                "{:<30} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>3}\n",
+                "histogram", "count", "mean", "p50", "p90", "p99", "p999", "max", ""
             ));
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "{:<30} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>3}\n",
+                    "{:<30} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>3}\n",
                     h.name,
                     h.count,
                     h.mean,
                     h.p50,
                     h.p90,
                     h.p99,
+                    h.p999,
                     h.max,
                     h.unit.suffix()
                 ));

@@ -140,31 +140,19 @@ impl<'a> From<&'a String> for Field<'a> {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Emit one event line. Call through [`log_event!`], which guards this
-/// behind [`enabled`] so disabled runs never reach here.
-pub fn emit(event: &str, fields: &[(&str, Field<'_>)]) {
-    let Some(log) = SINK.get() else { return };
-    let t_us = log.epoch.elapsed().as_micros();
+/// Render one event as its JSONL line (no trailing newline). Pure —
+/// this is the whole serialization path of [`emit`], factored out so
+/// property tests can round-trip arbitrary events through a JSON parser
+/// without installing a sink. Every control character, quote, and
+/// backslash in `event`, keys, and string fields is escaped; non-finite
+/// floats render as `null`.
+pub fn format_event(t_us: u128, event: &str, fields: &[(&str, Field<'_>)]) -> String {
     let mut line = String::with_capacity(64 + 16 * fields.len());
     line.push_str(&format!("{{\"t_us\":{t_us},\"event\":"));
-    push_json_str(&mut line, event);
+    crate::json::push_json_str(&mut line, event);
     for (k, v) in fields {
         line.push(',');
-        push_json_str(&mut line, k);
+        crate::json::push_json_str(&mut line, k);
         line.push(':');
         match v {
             Field::U64(n) => line.push_str(&n.to_string()),
@@ -177,10 +165,18 @@ pub fn emit(event: &str, fields: &[(&str, Field<'_>)]) {
                     line.push_str("null");
                 }
             }
-            Field::Str(s) => push_json_str(&mut line, s),
+            Field::Str(s) => crate::json::push_json_str(&mut line, s),
         }
     }
     line.push('}');
+    line
+}
+
+/// Emit one event line. Call through [`log_event!`], which guards this
+/// behind [`enabled`] so disabled runs never reach here.
+pub fn emit(event: &str, fields: &[(&str, Field<'_>)]) {
+    let Some(log) = SINK.get() else { return };
+    let line = format_event(log.epoch.elapsed().as_micros(), event, fields);
     log.write_line(&line);
 }
 

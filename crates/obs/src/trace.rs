@@ -1,0 +1,629 @@
+//! Span tracing with per-thread lock-free ring journals.
+//!
+//! A **trace** is one request's journey through the pipeline (e.g. one
+//! interval: decode → admit → queue → batch → enforce → encode → write);
+//! a **span** is one named, timed stage within it. Spans link to their
+//! parent by id, so a trace is reconstructable from the flat journal.
+//!
+//! ## Design
+//!
+//! * **Zero-cost-when-off**: every entry point checks one relaxed atomic
+//!   load ([`enabled`]) and returns a disarmed no-op when tracing is off.
+//!   No ids are allocated, no thread-locals touched, no clock read.
+//! * **Lock-free journals**: each recording thread owns a bounded ring of
+//!   seqlock slots. Writes are two atomic stores around a plain struct
+//!   write — no CAS, no mutex, no allocation. When the ring wraps, the
+//!   oldest record is overwritten and `obs.trace.dropped` is bumped.
+//!   [`snapshot`] readers validate slot sequence numbers and simply skip
+//!   records they raced with.
+//! * **Explicit context propagation**: the vendored rayon spawns fresh
+//!   scope threads, so thread-locals do *not* flow into parallel workers.
+//!   Callers capture [`current_context`] before a `par_iter` and
+//!   re-install it inside each closure via [`with_context`].
+//! * **Retroactive recording**: stages measured outside an RAII scope
+//!   (a decode that happened before the trace existed, queue wait
+//!   observed by a different thread) are attached after the fact with
+//!   [`record_span`].
+//!
+//! Journals of exited threads are parked on a free list and reused by
+//! new threads (rayon scope workers, per-session server threads), so
+//! thread churn neither leaks memory nor loses the dead thread's
+//! records — they stay visible to [`snapshot`] until overwritten.
+//!
+//! Trace ids are namespaced by process id so ids minted by a client
+//! process never collide with a server allocating its own; span ids only
+//! need to be unique within one process (journals are never merged
+//! across processes).
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::registry::Counter;
+
+/// Ring evictions: spans overwritten before any snapshot saw them.
+pub static TRACE_DROPPED: Counter = Counter::new("obs.trace.dropped");
+/// Total spans recorded (RAII and retroactive).
+pub static TRACE_SPANS: Counter = Counter::new("obs.trace.spans");
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(0);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Default slots per per-thread ring; override with `FMML_TRACE_RING`.
+pub const DEFAULT_RING_SLOTS: usize = 4096;
+
+/// Is tracing on? One relaxed load; every recording entry point is
+/// guarded by this.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn tracing on or off. Enabling pins the process trace epoch (the
+/// zero point of every record's `start_ns`).
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Enable tracing when `FMML_TRACE` is set non-empty and not `"0"`.
+/// Returns whether tracing ended up enabled.
+pub fn init_from_env() -> bool {
+    match std::env::var("FMML_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            set_enabled(true);
+            true
+        }
+        _ => enabled(),
+    }
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn ns_since_epoch(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// Mint a fresh trace id (for callers that stamp ids onto the wire
+/// before any span exists). Never returns 0.
+pub fn alloc_trace_id() -> u64 {
+    if NEXT_TRACE.load(Ordering::Relaxed) == 0 {
+        // Namespace by pid so ids minted in different processes (client
+        // vs server) cannot collide when they cross the wire.
+        let base = ((std::process::id() as u64) << 32) | 1;
+        let _ = NEXT_TRACE.compare_exchange(0, base, Ordering::Relaxed, Ordering::Relaxed);
+    }
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+fn alloc_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The (trace, span) pair identifying "where we are" — captured on one
+/// thread, re-installed on another via [`with_context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The empty context (no active trace).
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    pub fn is_set(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+thread_local! {
+    static CTX: Cell<TraceContext> = const { Cell::new(TraceContext::NONE) };
+}
+
+/// The calling thread's current context ([`TraceContext::NONE`] when no
+/// span is active or tracing is off).
+pub fn current_context() -> TraceContext {
+    CTX.with(|c| c.get())
+}
+
+/// Run `f` with `ctx` installed as the current context, restoring the
+/// previous context afterwards (also on unwind). The bridge into rayon
+/// workers and other threads: capture [`current_context`] outside,
+/// `with_context(ctx, ...)` inside the spawned closure. A `NONE` context
+/// makes this a plain call.
+pub fn with_context<R>(ctx: TraceContext, f: impl FnOnce() -> R) -> R {
+    if !ctx.is_set() {
+        return f();
+    }
+    struct Restore(TraceContext);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CTX.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(CTX.with(|c| c.replace(ctx)));
+    f()
+}
+
+/// An RAII span: records itself into the journal on drop and restores
+/// the parent context. Disarmed (a no-op) when tracing is off.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Clone, Copy)]
+struct ActiveSpan {
+    name: &'static str,
+    ctx: TraceContext,
+    parent_id: u64,
+    prev: TraceContext,
+    start: Instant,
+}
+
+impl Span {
+    /// This span's context (NONE when disarmed) — pass to workers or
+    /// [`record_span`] to attach children.
+    pub fn context(&self) -> TraceContext {
+        self.active.map_or(TraceContext::NONE, |a| a.ctx)
+    }
+
+    pub fn trace_id(&self) -> u64 {
+        self.context().trace_id
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            CTX.with(|c| c.set(a.prev));
+            let dur = a.start.elapsed();
+            journal_push(SpanRecord {
+                trace_id: a.ctx.trace_id,
+                span_id: a.ctx.span_id,
+                parent_id: a.parent_id,
+                name: a.name,
+                start_ns: ns_since_epoch(a.start),
+                dur_ns: dur.as_nanos() as u64,
+            });
+        }
+    }
+}
+
+fn start_span(name: &'static str, trace_id: u64, parent_id: u64) -> Span {
+    let span_id = alloc_span_id();
+    let ctx = TraceContext { trace_id, span_id };
+    let prev = CTX.with(|c| c.replace(ctx));
+    Span {
+        active: Some(ActiveSpan {
+            name,
+            ctx,
+            parent_id,
+            prev,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Start a new root span under a freshly minted trace id.
+pub fn root(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    start_span(name, alloc_trace_id(), 0)
+}
+
+/// Start a root span under a caller-supplied trace id (e.g. one that
+/// arrived on the wire). `trace_id == 0` mints a fresh id.
+pub fn root_with_id(name: &'static str, trace_id: u64) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    let id = if trace_id == 0 {
+        alloc_trace_id()
+    } else {
+        trace_id
+    };
+    start_span(name, id, 0)
+}
+
+/// Start a span as a child of the current context (a new root if there
+/// is none).
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    let cur = current_context();
+    if cur.is_set() {
+        start_span(name, cur.trace_id, cur.span_id)
+    } else {
+        start_span(name, alloc_trace_id(), 0)
+    }
+}
+
+/// Retroactively record a completed span as a child of `parent`
+/// (`parent.span_id == 0` records a root span of that trace). For stages
+/// whose timing is observed outside any RAII scope: the decode that
+/// happened before the trace was rooted, queue wait measured by the
+/// dequeuing worker, write time attributed after the fact. Returns the
+/// new span's id (0 when tracing is off or `parent` has no trace).
+pub fn record_span(name: &'static str, parent: TraceContext, start: Instant, dur: Duration) -> u64 {
+    if !enabled() || !parent.is_set() {
+        return 0;
+    }
+    let span_id = alloc_span_id();
+    journal_push(SpanRecord {
+        trace_id: parent.trace_id,
+        span_id,
+        parent_id: parent.span_id,
+        name,
+        start_ns: ns_since_epoch(start),
+        dur_ns: dur.as_nanos() as u64,
+    });
+    span_id
+}
+
+// ---- journals ----
+
+/// The POD stored in a ring slot. `name` is kept as a raw pointer so a
+/// torn read (caught and discarded by the seqlock validation) never
+/// materializes an invalid `&str`.
+#[derive(Clone, Copy)]
+struct SpanRecord {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    name: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+#[derive(Clone, Copy)]
+struct RawRecord {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    name: *const u8,
+    name_len: usize,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+const EMPTY_RAW: RawRecord = RawRecord {
+    trace_id: 0,
+    span_id: 0,
+    parent_id: 0,
+    name: std::ptr::null(),
+    name_len: 0,
+    start_ns: 0,
+    dur_ns: 0,
+};
+
+/// One seqlock slot: even sequence = stable, odd = write in progress.
+struct Slot {
+    seq: AtomicU64,
+    rec: UnsafeCell<RawRecord>,
+}
+
+/// A bounded per-thread span ring. Written only by its owning thread
+/// (enforced by construction: threads get exclusive journals from the
+/// free list); read by any thread via the seqlock protocol.
+struct Journal {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+// The raw name pointers always point into `'static` string literals, and
+// readers validate the seqlock before dereferencing.
+unsafe impl Send for Journal {}
+unsafe impl Sync for Journal {}
+
+impl Journal {
+    fn new(slots: usize) -> Journal {
+        Journal {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    rec: UnsafeCell::new(EMPTY_RAW),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Single-writer push (seqlock write side).
+    fn push(&self, rec: SpanRecord) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head as usize) % self.slots.len()];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq.wrapping_add(1), Ordering::Relaxed); // odd: write begins
+        fence(Ordering::Release);
+        unsafe {
+            *slot.rec.get() = RawRecord {
+                trace_id: rec.trace_id,
+                span_id: rec.span_id,
+                parent_id: rec.parent_id,
+                name: rec.name.as_ptr(),
+                name_len: rec.name.len(),
+                start_ns: rec.start_ns,
+                dur_ns: rec.dur_ns,
+            };
+        }
+        slot.seq.store(seq.wrapping_add(2), Ordering::Release); // even: stable
+        self.head.store(head + 1, Ordering::Release);
+        if head >= self.slots.len() as u64 {
+            TRACE_DROPPED.inc();
+        }
+    }
+
+    /// Seqlock read side: copy out every stable record, skipping slots a
+    /// concurrent write races past us on.
+    fn read_into(&self, out: &mut Vec<SpanInfo>) {
+        let head = self.head.load(Ordering::Acquire);
+        let live = (head.min(self.slots.len() as u64)) as usize;
+        for slot in &self.slots[..live] {
+            for _attempt in 0..4 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 & 1 == 1 {
+                    continue; // write in progress
+                }
+                let raw = unsafe { std::ptr::read_volatile(slot.rec.get()) };
+                fence(Ordering::Acquire);
+                if slot.seq.load(Ordering::Relaxed) != s1 {
+                    continue; // torn: overwritten mid-copy
+                }
+                if raw.trace_id != 0 && !raw.name.is_null() {
+                    // Validated un-torn, so (ptr, len) is the original
+                    // `&'static str` literal.
+                    let name = unsafe {
+                        std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                            raw.name,
+                            raw.name_len,
+                        ))
+                    };
+                    out.push(SpanInfo {
+                        trace_id: raw.trace_id,
+                        span_id: raw.span_id,
+                        parent_id: raw.parent_id,
+                        name,
+                        start_ns: raw.start_ns,
+                        dur_ns: raw.dur_ns,
+                    });
+                }
+                break;
+            }
+        }
+    }
+}
+
+static JOURNALS: Mutex<Vec<Arc<Journal>>> = Mutex::new(Vec::new());
+static FREE: Mutex<Vec<Arc<Journal>>> = Mutex::new(Vec::new());
+
+fn ring_slots() -> usize {
+    static SLOTS: OnceLock<usize> = OnceLock::new();
+    *SLOTS.get_or_init(|| {
+        std::env::var("FMML_TRACE_RING")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 16)
+            .unwrap_or(DEFAULT_RING_SLOTS)
+    })
+}
+
+/// Returns the owning thread's journal handle; on thread exit the
+/// journal parks on the free list (records intact) for reuse.
+struct LocalJournal(Arc<Journal>);
+
+impl Drop for LocalJournal {
+    fn drop(&mut self) {
+        if let Ok(mut free) = FREE.lock() {
+            free.push(Arc::clone(&self.0));
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalJournal>> = const { RefCell::new(None) };
+}
+
+fn acquire_journal() -> Arc<Journal> {
+    if let Some(j) = FREE.lock().ok().and_then(|mut f| f.pop()) {
+        return j;
+    }
+    let j = Arc::new(Journal::new(ring_slots()));
+    if let Ok(mut all) = JOURNALS.lock() {
+        all.push(Arc::clone(&j));
+    }
+    j
+}
+
+fn journal_push(rec: SpanRecord) {
+    TRACE_SPANS.inc();
+    // try_with: a span dropped during thread-local teardown has nowhere
+    // to record; discard silently rather than panic.
+    let _ = LOCAL.try_with(|local| {
+        let mut local = local.borrow_mut();
+        local
+            .get_or_insert_with(|| LocalJournal(acquire_journal()))
+            .0
+            .push(rec);
+    });
+}
+
+// ---- snapshots ----
+
+/// One recorded span, decoded from a journal slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanInfo {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub name: &'static str,
+    /// Nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// A point-in-time copy of every journal, sorted by
+/// `(trace_id, start_ns, span_id)`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    pub spans: Vec<SpanInfo>,
+    /// Cumulative `obs.trace.dropped` at snapshot time.
+    pub dropped: u64,
+}
+
+/// Copy every journal's stable records out. Concurrent writers are
+/// skipped per-slot, never blocked.
+pub fn snapshot() -> TraceSnapshot {
+    let journals: Vec<Arc<Journal>> = JOURNALS
+        .lock()
+        .map(|j| j.iter().map(Arc::clone).collect())
+        .unwrap_or_default();
+    let mut spans = Vec::new();
+    for j in &journals {
+        j.read_into(&mut spans);
+    }
+    spans.sort_by_key(|s| (s.trace_id, s.start_ns, s.span_id));
+    TraceSnapshot {
+        spans,
+        dropped: TRACE_DROPPED.get(),
+    }
+}
+
+/// Compact description of one trace for live exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub trace_id: u64,
+    /// Name of the trace's (earliest) root span.
+    pub root: &'static str,
+    pub spans: usize,
+    /// Sorted, deduplicated span names — the trace's stage coverage.
+    pub names: Vec<&'static str>,
+    pub start_ns: u64,
+    /// Wall-clock extent: latest span end minus earliest span start.
+    pub total_ns: u64,
+}
+
+impl TraceSnapshot {
+    /// Distinct trace ids, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.spans.iter().map(|s| s.trace_id).collect();
+        ids.dedup(); // spans are sorted by trace_id
+        ids
+    }
+
+    /// All spans of one trace (in start order — the snapshot is sorted).
+    pub fn trace(&self, trace_id: u64) -> Vec<&SpanInfo> {
+        self.spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect()
+    }
+
+    /// The most recent `limit` traces, newest first.
+    pub fn summaries(&self, limit: usize) -> Vec<TraceSummary> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.spans.len() {
+            let id = self.spans[i].trace_id;
+            let mut j = i;
+            while j < self.spans.len() && self.spans[j].trace_id == id {
+                j += 1;
+            }
+            let group = &self.spans[i..j];
+            let start_ns = group.iter().map(|s| s.start_ns).min().unwrap_or(0);
+            let end_ns = group
+                .iter()
+                .map(|s| s.start_ns.saturating_add(s.dur_ns))
+                .max()
+                .unwrap_or(0);
+            let root = group
+                .iter()
+                .filter(|s| s.parent_id == 0)
+                .min_by_key(|s| s.start_ns)
+                .or_else(|| group.first())
+                .map_or("?", |s| s.name);
+            let mut names: Vec<&'static str> = group.iter().map(|s| s.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            out.push(TraceSummary {
+                trace_id: id,
+                root,
+                spans: group.len(),
+                names,
+                start_ns,
+                total_ns: end_ns.saturating_sub(start_ns),
+            });
+            i = j;
+        }
+        out.sort_by_key(|s| std::cmp::Reverse(s.start_ns));
+        out.truncate(limit);
+        out
+    }
+
+    /// Folded-stacks export (flamegraph.pl / inferno compatible): one
+    /// `root;child;leaf self_ns` line per distinct stack, self-time =
+    /// a span's duration minus its children's (clamped at zero), lines
+    /// sorted for determinism.
+    pub fn folded_stacks(&self) -> String {
+        use std::collections::{BTreeMap, HashMap};
+        let by_id: HashMap<u64, &SpanInfo> = self.spans.iter().map(|s| (s.span_id, s)).collect();
+        let mut self_ns: HashMap<u64, i128> = self
+            .spans
+            .iter()
+            .map(|s| (s.span_id, s.dur_ns as i128))
+            .collect();
+        for s in &self.spans {
+            if s.parent_id != 0 {
+                if let Some(p) = by_id.get(&s.parent_id) {
+                    if p.trace_id == s.trace_id {
+                        if let Some(v) = self_ns.get_mut(&s.parent_id) {
+                            *v -= s.dur_ns as i128;
+                        }
+                    }
+                }
+            }
+        }
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &self.spans {
+            let mut stack = vec![s.name];
+            let mut cur = s.parent_id;
+            // Bounded walk: a snapshot racing the ring can orphan a
+            // parent; treat the deepest reachable ancestor as the root.
+            for _ in 0..64 {
+                if cur == 0 {
+                    break;
+                }
+                match by_id.get(&cur) {
+                    Some(p) if p.trace_id == s.trace_id => {
+                        stack.push(p.name);
+                        cur = p.parent_id;
+                    }
+                    _ => break,
+                }
+            }
+            stack.reverse();
+            let own = self_ns.get(&s.span_id).copied().unwrap_or(0).max(0) as u64;
+            *folded.entry(stack.join(";")).or_insert(0) += own;
+        }
+        let mut out = String::new();
+        for (stack, ns) in folded {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}

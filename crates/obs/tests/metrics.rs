@@ -109,6 +109,7 @@ fn report_json_is_deterministic() {
             p50: 2.0,
             p90: 4.0,
             p99: 4.0,
+            p999: 4.0,
             max: 4.5,
         });
         r
@@ -125,7 +126,7 @@ fn report_json_is_deterministic() {
         "{\"counters\":{\"a.one\":1,\"b.two\":2},\"gauges\":{},\
          \"float_gauges\":{\"g.loss\":0.125},\"histograms\":{\"h.lat_ms\":\
          {\"unit\":\"ms\",\"count\":3,\"mean\":2.5,\"p50\":2.0,\"p90\":4.0,\
-         \"p99\":4.0,\"max\":4.5}}}"
+         \"p99\":4.0,\"p999\":4.0,\"max\":4.5}}}"
     );
 }
 

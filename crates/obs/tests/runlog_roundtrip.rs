@@ -1,0 +1,105 @@
+//! Property test: every line `runlog::emit` would write is valid JSON
+//! and round-trips its event name and field values through a real JSON
+//! parser — including control characters, quotes, backslashes, and
+//! non-ASCII in both keys and string values.
+
+use fmml_obs::runlog::{format_event, Field};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// An owned stand-in for `Field<'a>` so strategies can produce it.
+#[derive(Debug, Clone)]
+enum OwnedField {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl OwnedField {
+    fn as_field(&self) -> Field<'_> {
+        match self {
+            OwnedField::U64(v) => Field::U64(*v),
+            OwnedField::I64(v) => Field::I64(*v),
+            OwnedField::F64(v) => Field::F64(*v),
+            OwnedField::Bool(v) => Field::Bool(*v),
+            OwnedField::Str(v) => Field::Str(v),
+        }
+    }
+}
+
+/// Strings biased toward what breaks naive JSON emitters: raw control
+/// characters, quotes/backslashes, multi-byte UTF-8, plus arbitrary
+/// scalar values.
+fn nasty_string() -> impl Strategy<Value = String> {
+    collection::vec((0u32..5, 0u32..0x11_0000), 0..16).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|(kind, cp)| match kind {
+                0 => char::from_u32(cp % 0x20).unwrap(),
+                1 => ['"', '\\', '/', '\n', '\r', '\t'][(cp % 6) as usize],
+                2 => char::from_u32(0x20 + cp % 0x5f).unwrap(),
+                3 => ['é', '←', '世', '🦀', '\u{2028}', '\u{7f}'][(cp % 6) as usize],
+                _ => char::from_u32(cp).unwrap_or('\u{fffd}'),
+            })
+            .collect()
+    })
+}
+
+fn arb_field() -> impl Strategy<Value = OwnedField> {
+    prop_oneof![
+        (0u64..=u64::MAX).prop_map(OwnedField::U64),
+        (i64::MIN..=i64::MAX).prop_map(OwnedField::I64),
+        // Arbitrary bit patterns: subnormals, infinities, NaNs included.
+        (0u64..=u64::MAX).prop_map(|bits| OwnedField::F64(f64::from_bits(bits))),
+        (0u8..2).prop_map(|b| OwnedField::Bool(b == 1)),
+        nasty_string().prop_map(OwnedField::Str),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn emitted_lines_round_trip_through_a_json_parser(
+        t_us in 0u64..=u64::MAX,
+        event in nasty_string(),
+        fields in collection::vec((nasty_string(), arb_field()), 0..6),
+    ) {
+        let borrowed: Vec<(&str, Field<'_>)> = fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_field()))
+            .collect();
+        let line = format_event(t_us as u128, &event, &borrowed);
+
+        prop_assert!(!line.contains('\n'), "line breaks break JSONL: {line:?}");
+        let parsed: serde_json::Value = match serde_json::from_str(&line) {
+            Ok(v) => v,
+            Err(e) => return Err(format!("emitted invalid JSON: {e}\nline: {line:?}")),
+        };
+
+        prop_assert_eq!(parsed["t_us"].as_u64(), Some(t_us));
+        prop_assert_eq!(parsed["event"].as_str(), Some(event.as_str()));
+
+        // Duplicate keys are ambiguous in the parsed object view; only
+        // value-check keys that occur exactly once and don't shadow the
+        // envelope.
+        for (k, v) in fields.iter() {
+            let unique = fields.iter().filter(|(k2, _)| k2 == k).count() == 1;
+            if !unique || k == "t_us" || k == "event" {
+                continue;
+            }
+            let got = &parsed[k.as_str()];
+            match v {
+                OwnedField::U64(n) => prop_assert_eq!(got.as_u64(), Some(*n)),
+                OwnedField::I64(n) => prop_assert_eq!(got.as_i64(), Some(*n)),
+                OwnedField::Bool(b) => prop_assert_eq!(got.as_bool(), Some(*b)),
+                OwnedField::Str(s) => prop_assert_eq!(got.as_str(), Some(s.as_str())),
+                OwnedField::F64(x) if x.is_finite() => {
+                    // Shortest-round-trip Display + exact parse.
+                    prop_assert_eq!(got.as_f64(), Some(*x));
+                }
+                OwnedField::F64(_) => prop_assert!(got.is_null()),
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@ use fmml_core::streaming::IntervalUpdate;
 use fmml_fm::cem::DegradationLevel;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
+use fmml_obs::trace::{self, TraceContext};
 use fmml_obs::{log_event, Counter, FloatGauge, Histogram, Unit};
 use fmml_telemetry::{windows_from_trace, PortWindow};
 use rand::rngs::StdRng;
@@ -196,7 +197,8 @@ struct ClientReport {
 /// State shared between a client's sender and reader threads.
 #[derive(Default)]
 struct ClientShared {
-    pending: Mutex<HashMap<u64, Instant>>,
+    /// seq → (send time, trace id minted for the interval; 0 = untraced).
+    pending: Mutex<HashMap<u64, (Instant, u64)>>,
     latencies_us: Mutex<Vec<u64>>,
     acked: AtomicU64,
     busy: AtomicU64,
@@ -529,10 +531,27 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
                 }
             }
             seq += 1;
-            shared.pending.lock().unwrap().insert(seq, Instant::now());
+            // Mint the trace id client-side and stamp it on the wire so
+            // the server roots its spans under the same trace; the
+            // `client.e2e` root span is recorded when the reply lands.
+            let trace_id = if trace::enabled() {
+                trace::alloc_trace_id()
+            } else {
+                0
+            };
+            shared
+                .pending
+                .lock()
+                .unwrap()
+                .insert(seq, (Instant::now(), trace_id));
             report.sent += 1;
             LG_SENT.inc();
-            if write_frame(&mut w, &Frame::Interval { seq, update: u }).is_err() {
+            let frame = Frame::Interval {
+                seq,
+                update: u,
+                trace_id: (trace_id != 0).then_some(trace_id),
+            };
+            if write_frame(&mut w, &frame).is_err() {
                 disconnected = true;
                 break;
             }
@@ -605,12 +624,37 @@ fn reader_loop(mut reader: FrameReader<TcpStream>, shared: &ClientShared) {
         }
         match reader.poll_frame() {
             Ok(Some(frame)) => match frame {
-                Frame::Imputed { seq, level, .. } => {
-                    if let Some(sent_at) = shared.pending.lock().unwrap().remove(&seq) {
-                        let us = sent_at.elapsed().as_micros() as u64;
+                Frame::Imputed {
+                    seq,
+                    level,
+                    trace_id,
+                    ..
+                } => {
+                    if let Some((sent_at, sent_tid)) = shared.pending.lock().unwrap().remove(&seq) {
+                        let e2e = sent_at.elapsed();
+                        let us = e2e.as_micros() as u64;
                         LG_E2E_US.record(us);
                         LG_ANSWERED.inc();
                         shared.latencies_us.lock().unwrap().push(us);
+                        // Attach the client-observed end-to-end span to
+                        // the trace: ours if we minted one, else the
+                        // server's id echoed back.
+                        let tid = if sent_tid != 0 {
+                            sent_tid
+                        } else {
+                            trace_id.unwrap_or(0)
+                        };
+                        if tid != 0 {
+                            trace::record_span(
+                                "client.e2e",
+                                TraceContext {
+                                    trace_id: tid,
+                                    span_id: 0,
+                                },
+                                sent_at,
+                                e2e,
+                            );
+                        }
                     }
                     if DegradationLevel::from_label(&level).is_none() {
                         shared.unknown_levels.fetch_add(1, Ordering::Relaxed);

@@ -56,8 +56,16 @@ pub enum Frame {
     /// end-to-end budget.
     Welcome { session: u64, deadline_ms: u64 },
     /// One coarse interval of one port. `seq` is the client's correlation
-    /// id, echoed in the answer.
-    Interval { seq: u64, update: IntervalUpdate },
+    /// id, echoed in the answer. `trace_id` optionally carries the
+    /// client's span-tracing id so client- and server-side spans stitch
+    /// into one trace; frames from older clients simply omit it (missing
+    /// keys decode as `None`, unknown keys are ignored — compatible both
+    /// ways).
+    Interval {
+        seq: u64,
+        update: IntervalUpdate,
+        trace_id: Option<u64>,
+    },
     /// Interval accepted and buffered, but the sliding window is still
     /// warming up — no series yet.
     Ack { seq: u64, buffered: usize },
@@ -74,6 +82,10 @@ pub enum Frame {
         level: String,
         enforced: bool,
         latency_us: u64,
+        /// The trace under which the server recorded this interval's
+        /// journey: the client's `Interval.trace_id` when one was sent,
+        /// else a server-minted id (absent when tracing is off).
+        trace_id: Option<u64>,
     },
     /// Admission control: the session's bounded queue is full; the
     /// interval was dropped, try again later.
@@ -83,6 +95,15 @@ pub enum Frame {
     Reject { seq: u64, reason: String },
     /// Ask the server for its counters.
     Stats,
+    /// Ask the server for a full introspection dump: every registered
+    /// metric (counters, gauges, histogram quantiles p50/p90/p99/p999)
+    /// plus recent trace summaries and a folded-stacks export. Answered
+    /// with [`Frame::MetricsReply`]; allowed pre-handshake, like `Stats`.
+    MetricsDump,
+    /// The dump, as one JSON document (see [`fmml_obs::dump_json`] for
+    /// the shape). Kept opaque at the protocol layer so the registry can
+    /// grow fields without a wire change.
+    MetricsReply { json: String },
     StatsReply {
         sessions: u64,
         active_sessions: u64,
@@ -121,6 +142,8 @@ impl Frame {
             Frame::Busy { .. } => "Busy",
             Frame::Reject { .. } => "Reject",
             Frame::Stats => "Stats",
+            Frame::MetricsDump => "MetricsDump",
+            Frame::MetricsReply { .. } => "MetricsReply",
             Frame::StatsReply { .. } => "StatsReply",
             Frame::Bye => "Bye",
             Frame::ByeAck { .. } => "ByeAck",
@@ -206,7 +229,14 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
 /// Serialize and write one frame.
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
     let bytes = encode_frame(frame)?;
-    w.write_all(&bytes).map_err(io_to_wire)?;
+    write_bytes(w, &bytes)
+}
+
+/// Write pre-encoded frame bytes (from [`encode_frame`]). Lets callers
+/// time the encode and write stages separately without re-implementing
+/// the io-error mapping.
+pub fn write_bytes<W: Write>(w: &mut W, bytes: &[u8]) -> Result<(), WireError> {
+    w.write_all(bytes).map_err(io_to_wire)?;
     w.flush().map_err(io_to_wire)
 }
 
@@ -232,6 +262,7 @@ fn io_to_wire(e: std::io::Error) -> WireError {
 pub struct FrameReader<R: Read> {
     inner: R,
     buf: Vec<u8>,
+    last_decode_ns: u64,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -239,7 +270,16 @@ impl<R: Read> FrameReader<R> {
         FrameReader {
             inner,
             buf: Vec::with_capacity(4096),
+            last_decode_ns: 0,
         }
+    }
+
+    /// CPU time the most recent successful [`poll_frame`] spent parsing
+    /// its frame (0 when span tracing is off — the clock is only read
+    /// when someone will attribute the stage). Socket wait time is never
+    /// included.
+    pub fn last_decode_ns(&self) -> u64 {
+        self.last_decode_ns
     }
 
     /// Bytes buffered towards the next frame (non-zero after a mid-frame
@@ -253,7 +293,9 @@ impl<R: Read> FrameReader<R> {
     /// the connection except as the caller decides.
     pub fn poll_frame(&mut self) -> Result<Option<Frame>, WireError> {
         loop {
+            let t0 = fmml_obs::trace::enabled().then(std::time::Instant::now);
             if let Some((frame, consumed)) = decode_frame(&self.buf)? {
+                self.last_decode_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 self.buf.drain(..consumed);
                 return Ok(Some(frame));
             }
@@ -332,6 +374,12 @@ mod tests {
             Frame::Interval {
                 seq: 42,
                 update: sample_update(),
+                trace_id: Some(0x7001),
+            },
+            Frame::Interval {
+                seq: 43,
+                update: sample_update(),
+                trace_id: None,
             },
             Frame::Ack {
                 seq: 42,
@@ -344,6 +392,7 @@ mod tests {
                 level: "full".into(),
                 enforced: true,
                 latency_us: 1234,
+                trace_id: Some(9),
             },
             Frame::Busy { seq: 43, depth: 64 },
             Frame::Reject {
@@ -351,6 +400,10 @@ mod tests {
                 reason: "queue shape mismatch".into(),
             },
             Frame::Stats,
+            Frame::MetricsDump,
+            Frame::MetricsReply {
+                json: "{\"metrics\":{},\"trace\":{}}".into(),
+            },
             Frame::StatsReply {
                 sessions: 1,
                 active_sessions: 1,
@@ -379,6 +432,37 @@ mod tests {
             assert_eq!(consumed, bytes.len());
             assert_eq!(back, f, "round-trip mismatch for {}", f.tag());
         }
+    }
+
+    #[test]
+    fn frames_without_trace_id_still_decode() {
+        // A pre-tracing client sends Interval frames with no trace_id
+        // key at all; decode must yield `None`, not an error. Built by
+        // hand so this keeps failing if the encoder ever starts
+        // emitting the key unconditionally on the old layout.
+        let json = "{\"Interval\":{\"seq\":5,\"update\":{\"port\":3,\
+                    \"samples\":[1,2],\"maxes\":[4,5],\"sent\":10,\
+                    \"dropped\":0,\"received\":9}}}";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(json.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(json.as_bytes());
+        let (frame, _) = decode_frame(&bytes).unwrap().expect("complete");
+        assert_eq!(
+            frame,
+            Frame::Interval {
+                seq: 5,
+                update: sample_update(),
+                trace_id: None,
+            }
+        );
+        // And symmetrically for the reply direction.
+        let json = "{\"Imputed\":{\"seq\":5,\"port\":3,\"series\":[[1]],\
+                    \"level\":\"full\",\"enforced\":true,\"latency_us\":7}}";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(json.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(json.as_bytes());
+        let (frame, _) = decode_frame(&bytes).unwrap().expect("complete");
+        assert!(matches!(frame, Frame::Imputed { trace_id: None, .. }));
     }
 
     #[test]
@@ -439,6 +523,7 @@ mod tests {
             encode_frame(&Frame::Interval {
                 seq: 1,
                 update: sample_update(),
+                trace_id: None,
             })
             .unwrap(),
         );

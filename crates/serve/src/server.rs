@@ -33,14 +33,15 @@
 //! readers stop ingesting and wait for their in-flight replies, workers
 //! exit once the queue is empty and every reader is gone.
 
-use crate::protocol::{write_frame, Frame, FrameReader, WireError};
+use crate::protocol::{encode_frame, write_bytes, Frame, FrameReader, WireError};
 use fmml_core::streaming::{PreparedWindow, StreamOptions, StreamingImputer};
 use fmml_core::transformer_imputer::TransformerImputer;
 use fmml_fm::cem::{
     cache::DEFAULT_CAPACITY, enforce_degraded_batch, CemEngine, DegradationLevel, EnforceOptions,
     LadderConfig, SolutionCache,
 };
-use fmml_obs::{log_event, Counter, Gauge, Histogram, Unit};
+use fmml_obs::trace::{self, TraceContext};
+use fmml_obs::{log_event, Counter, FloatGauge, Gauge, Histogram, Unit};
 use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -61,6 +62,36 @@ static LATENCY_US: Histogram = Histogram::new("serve.latency_us", Unit::Micros);
 static DEADLINE_MISS: Counter = Counter::new("serve.deadline_miss");
 static VIOLATIONS: Counter = Counter::new("serve.violations");
 static SLOW_DISCONNECTS: Counter = Counter::new("serve.slow_disconnects");
+
+// Per-stage latency histograms: one interval's journey decomposed as
+// decode → queue → batch → enforce → encode → write. Samples are
+// recorded in nanoseconds and scaled to the display unit at snapshot.
+static STAGE_DECODE_US: Histogram = Histogram::new("serve.stage.decode_us", Unit::Micros);
+static STAGE_QUEUE_US: Histogram = Histogram::new("serve.stage.queue_us", Unit::Micros);
+static STAGE_BATCH_US: Histogram = Histogram::new("serve.stage.batch_us", Unit::Micros);
+static STAGE_ENFORCE_US: Histogram = Histogram::new("serve.stage.enforce_us", Unit::Micros);
+static STAGE_ENCODE_US: Histogram = Histogram::new("serve.stage.encode_us", Unit::Micros);
+static STAGE_WRITE_US: Histogram = Histogram::new("serve.stage.write_us", Unit::Micros);
+
+// SLO watchdog exposition (sliding window over recent replies).
+static SLO_MISS_RATE: FloatGauge = FloatGauge::new("slo.deadline_miss_rate");
+static SLO_DEGRADED_RATE: FloatGauge = FloatGauge::new("slo.degraded_rate");
+static SLO_QUEUE_DEPTH: Gauge = Gauge::new("slo.queue_depth");
+static SLO_WINDOW_REPLIES: Gauge = Gauge::new("slo.window_replies");
+static SLO_BREACHES: Counter = Counter::new("slo.breaches");
+
+/// Span name for the enforce stage, keyed by the rung the batch's ladder
+/// actually landed on — so a flamegraph separates full-fidelity solves
+/// from degraded ones without needing per-span payloads.
+fn enforce_span_name(level: DegradationLevel) -> &'static str {
+    match level {
+        DegradationLevel::Full => "serve.enforce[full]",
+        DegradationLevel::EscalatedRetry => "serve.enforce[retry]",
+        DegradationLevel::FastFallback => "serve.enforce[fast_fallback]",
+        DegradationLevel::ClampProjection => "serve.enforce[clamp]",
+        DegradationLevel::MeasurementRelaxed => "serve.enforce[relaxed]",
+    }
+}
 
 /// Server tuning knobs. `Default` is the 50 ms wire-period deployment
 /// from the paper's §5 on loopback.
@@ -114,6 +145,20 @@ pub struct ServerConfig {
     pub max_queues: usize,
     pub max_interval_len: usize,
     pub max_window_intervals: usize,
+    /// SLO watchdog sliding-window length: replies older than this fall
+    /// out of the deadline-miss / degradation rates.
+    pub slo_window: Duration,
+    /// How often the watchdog re-evaluates the window and republishes
+    /// the `slo.*` gauges.
+    pub slo_tick: Duration,
+    /// Deadline-miss rate above which the watchdog declares a breach.
+    pub slo_max_miss_rate: f64,
+    /// Fraction of replies degraded below [`DegradationLevel::Full`]
+    /// above which the watchdog declares a breach.
+    pub slo_max_degraded_rate: f64,
+    /// Minimum replies in the window before breach math applies (a
+    /// single slow reply at startup is not an SLO event).
+    pub slo_min_samples: usize,
 }
 
 impl Default for ServerConfig {
@@ -137,9 +182,49 @@ impl Default for ServerConfig {
             max_queues: 64,
             max_interval_len: 512,
             max_window_intervals: 64,
+            slo_window: Duration::from_secs(5),
+            slo_tick: Duration::from_millis(200),
+            slo_max_miss_rate: 0.05,
+            slo_max_degraded_rate: 0.5,
+            slo_min_samples: 20,
         }
     }
 }
+
+/// One declared SLO violation, kept (bounded) on the server handle so
+/// operators and tests can ask "what breached, and which traces show
+/// it" after the fact. The same information is emitted live as a
+/// `slo.breach` RunLog event.
+#[derive(Debug, Clone)]
+pub struct SloBreach {
+    /// `"deadline_miss_rate"` or `"degraded_rate"`.
+    pub kind: &'static str,
+    /// The offending rate over the sliding window at declaration time.
+    pub rate: f64,
+    /// The configured threshold it exceeded.
+    pub threshold: f64,
+    /// Replies in the window when the breach was declared.
+    pub window_replies: usize,
+    /// Trace ids of offending replies (deadline-missed or degraded ones
+    /// respectively) — each reconstructable from a journal snapshot.
+    pub trace_ids: Vec<u64>,
+}
+
+/// What the worker pool tells the watchdog about each written reply.
+struct ReplyObs {
+    at: Instant,
+    missed: bool,
+    degraded: bool,
+    trace_id: u64,
+}
+
+/// Replies retained for the sliding window (hard cap so a hot server
+/// can't grow the deque without bound between watchdog ticks).
+const SLO_OBS_CAP: usize = 8192;
+/// Breach records retained on the handle.
+const SLO_BREACH_CAP: usize = 64;
+/// Trace ids attached to one breach record / event.
+const SLO_BREACH_TRACES: usize = 8;
 
 /// Per-server counters (the process-global `serve.*` metrics aggregate
 /// across servers; these back `StatsReply` for *this* instance).
@@ -190,11 +275,21 @@ impl SessionWriter {
     /// Write one frame; on failure the session is marked dead and the
     /// socket shut down (waking the reader thread). Returns success.
     fn send(&self, shared: &Shared, frame: &Frame) -> bool {
+        let Ok(bytes) = encode_frame(frame) else {
+            return false;
+        };
+        self.send_bytes(shared, &bytes, frame.tag())
+    }
+
+    /// Write pre-encoded frame bytes (the traced reply path encodes
+    /// separately so the encode and write stages time independently).
+    /// Same failure semantics as [`send`](SessionWriter::send).
+    fn send_bytes(&self, shared: &Shared, bytes: &[u8], tag: &'static str) -> bool {
         if self.dead.load(Ordering::Acquire) {
             return false;
         }
         let mut stream = self.stream.lock().unwrap();
-        match write_frame(&mut *stream, frame) {
+        match write_bytes(&mut *stream, bytes) {
             Ok(()) => true,
             Err(e) => {
                 if !self.dead.swap(true, Ordering::AcqRel) {
@@ -204,7 +299,7 @@ impl SessionWriter {
                             .counters
                             .slow_disconnects
                             .fetch_add(1, Ordering::Relaxed);
-                        log_event!("serve.slow_disconnect", "frame" = frame.tag());
+                        log_event!("serve.slow_disconnect", "frame" = tag);
                     }
                     let _ = stream.shutdown(Shutdown::Both);
                 }
@@ -220,6 +315,11 @@ struct Job {
     seq: u64,
     prepared: PreparedWindow,
     accepted_at: Instant,
+    /// When the job entered the shared queue (start of the queue stage).
+    enqueued_at: Instant,
+    /// The interval's trace (the `serve.interval` root span's context);
+    /// [`TraceContext::NONE`] when tracing is off.
+    trace: TraceContext,
     writer: Arc<SessionWriter>,
 }
 
@@ -232,6 +332,10 @@ struct Shared {
     queue_cv: Condvar,
     shutdown: AtomicBool,
     active_readers: AtomicUsize,
+    /// Recent replies for the SLO watchdog's sliding window.
+    slo_obs: Mutex<VecDeque<ReplyObs>>,
+    /// Declared breaches (bounded at [`SLO_BREACH_CAP`], oldest evicted).
+    breaches: Mutex<Vec<SloBreach>>,
 }
 
 impl Shared {
@@ -263,6 +367,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -281,6 +386,16 @@ impl ServerHandle {
         self.shared.cache.as_ref()
     }
 
+    /// SLO breaches the watchdog has declared so far (bounded history,
+    /// oldest evicted first).
+    pub fn slo_breaches(&self) -> Vec<SloBreach> {
+        self.shared
+            .breaches
+            .lock()
+            .map(|b| b.clone())
+            .unwrap_or_default()
+    }
+
     /// Signal shutdown and gracefully drain: stop accepting, let every
     /// session's in-flight intervals be answered, join all threads.
     /// Returns the final stats.
@@ -297,6 +412,9 @@ impl ServerHandle {
         }
         self.shared.queue_cv.notify_all();
         for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog.take() {
             let _ = w.join();
         }
         log_event!(
@@ -328,6 +446,8 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
         queue_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
         active_readers: AtomicUsize::new(0),
+        slo_obs: Mutex::new(VecDeque::new()),
+        breaches: Mutex::new(Vec::new()),
     });
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -386,13 +506,153 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
             .expect("spawn acceptor")
     };
 
+    let watchdog = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-slo-watchdog".into())
+            .spawn(move || watchdog_loop(&shared))
+            .expect("spawn watchdog")
+    };
+
     Ok(ServerHandle {
         addr,
         shared,
         acceptor: Some(acceptor),
         workers: worker_handles,
         readers,
+        watchdog: Some(watchdog),
     })
+}
+
+/// SLO watchdog: every `slo_tick`, prune the sliding window, republish
+/// the `slo.*` gauges, and declare breaches on the rising edge of either
+/// rate crossing its threshold. Breach events carry the trace ids of
+/// offending replies so a journal snapshot can reconstruct exactly what
+/// the slow/degraded requests went through.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let mut miss_breached = false;
+    let mut degraded_breached = false;
+    loop {
+        std::thread::sleep(cfg.slo_tick);
+        let now = Instant::now();
+        let (replies, misses, degraded, miss_traces, degraded_traces) = {
+            let mut obs = shared.slo_obs.lock().unwrap();
+            while obs
+                .front()
+                .is_some_and(|o| now.duration_since(o.at) > cfg.slo_window)
+            {
+                obs.pop_front();
+            }
+            let mut misses = 0usize;
+            let mut degraded = 0usize;
+            let mut miss_traces = Vec::new();
+            let mut degraded_traces = Vec::new();
+            for o in obs.iter() {
+                if o.missed {
+                    misses += 1;
+                    if o.trace_id != 0 && miss_traces.len() < SLO_BREACH_TRACES {
+                        miss_traces.push(o.trace_id);
+                    }
+                }
+                if o.degraded {
+                    degraded += 1;
+                    if o.trace_id != 0 && degraded_traces.len() < SLO_BREACH_TRACES {
+                        degraded_traces.push(o.trace_id);
+                    }
+                }
+            }
+            (obs.len(), misses, degraded, miss_traces, degraded_traces)
+        };
+        let miss_rate = if replies == 0 {
+            0.0
+        } else {
+            misses as f64 / replies as f64
+        };
+        let degraded_rate = if replies == 0 {
+            0.0
+        } else {
+            degraded as f64 / replies as f64
+        };
+        SLO_MISS_RATE.set(miss_rate);
+        SLO_DEGRADED_RATE.set(degraded_rate);
+        SLO_WINDOW_REPLIES.set(replies as i64);
+        SLO_QUEUE_DEPTH.set(shared.queue.lock().map(|q| q.len()).unwrap_or(0) as i64);
+
+        let enough = replies >= cfg.slo_min_samples;
+        declare_breach(
+            shared,
+            &mut miss_breached,
+            enough && miss_rate > cfg.slo_max_miss_rate,
+            "deadline_miss_rate",
+            miss_rate,
+            cfg.slo_max_miss_rate,
+            replies,
+            miss_traces,
+        );
+        declare_breach(
+            shared,
+            &mut degraded_breached,
+            enough && degraded_rate > cfg.slo_max_degraded_rate,
+            "degraded_rate",
+            degraded_rate,
+            cfg.slo_max_degraded_rate,
+            replies,
+            degraded_traces,
+        );
+        if shared.shutting_down() {
+            return;
+        }
+    }
+}
+
+/// Rising-edge breach bookkeeping: record + emit only on the off→on
+/// transition of one kind, re-arm when the rate recovers.
+#[allow(clippy::too_many_arguments)]
+fn declare_breach(
+    shared: &Shared,
+    armed: &mut bool,
+    over: bool,
+    kind: &'static str,
+    rate: f64,
+    threshold: f64,
+    window_replies: usize,
+    trace_ids: Vec<u64>,
+) {
+    if !over {
+        *armed = false;
+        return;
+    }
+    if *armed {
+        return; // still inside the same breach episode
+    }
+    *armed = true;
+    SLO_BREACHES.inc();
+    let traces_str = trace_ids
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    log_event!(
+        "slo.breach",
+        "kind" = kind,
+        "rate" = rate,
+        "threshold" = threshold,
+        "window_replies" = window_replies,
+        "traces" = traces_str.as_str()
+    );
+    if let Ok(mut b) = shared.breaches.lock() {
+        if b.len() >= SLO_BREACH_CAP {
+            b.remove(0);
+        }
+        b.push(SloBreach {
+            kind,
+            rate,
+            threshold,
+            window_replies,
+            trace_ids,
+        });
+    }
 }
 
 /// Join (and drop) session threads that have already exited, so a
@@ -485,7 +745,8 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
             Ok(Some(frame)) => {
                 stalls = 0;
-                if !handle_frame(shared, &mut session, frame) {
+                let decode_ns = reader.last_decode_ns();
+                if !handle_frame(shared, &mut session, frame, decode_ns) {
                     break;
                 }
             }
@@ -537,10 +798,19 @@ fn handshake(
             return None;
         }
         match reader.poll_frame() {
-            // A pre-handshake `Stats` is allowed: monitoring probes ask
-            // for counters without opening a session.
+            // Pre-handshake `Stats` / `MetricsDump` are allowed:
+            // monitoring probes (`fmml obs`) ask for counters or the
+            // full introspection dump without opening a session.
             Ok(Some(Frame::Stats)) => {
                 if !writer.send(shared, &shared.counters.stats_frame()) {
+                    return None;
+                }
+            }
+            Ok(Some(Frame::MetricsDump)) => {
+                let reply = Frame::MetricsReply {
+                    json: fmml_obs::dump_json(),
+                };
+                if !writer.send(shared, &reply) {
                     return None;
                 }
             }
@@ -632,12 +902,31 @@ fn handshake(
     })
 }
 
-/// Process one client frame. Returns `false` to end the session.
-fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame) -> bool {
+/// Process one client frame. `decode_ns` is how long the reader spent
+/// parsing this frame (0 when tracing is off). Returns `false` to end
+/// the session.
+fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decode_ns: u64) -> bool {
     let cfg = &shared.cfg;
     match frame {
-        Frame::Interval { seq, update } => {
+        Frame::Interval {
+            seq,
+            update,
+            trace_id,
+        } => {
             let accepted_at = Instant::now();
+            // Root this interval's trace, adopting the client's id when
+            // one rode in on the frame so both halves stitch together.
+            // The RAII span itself covers admit + window + model forward
+            // (everything this thread does); later stages attach to its
+            // context retroactively from the worker pool.
+            let root = trace::root_with_id("serve.interval", trace_id.unwrap_or(0));
+            let ctx = root.context();
+            if decode_ns > 0 && ctx.is_set() {
+                STAGE_DECODE_US.record(decode_ns);
+                let dur = Duration::from_nanos(decode_ns);
+                let start = accepted_at.checked_sub(dur).unwrap_or(accepted_at);
+                trace::record_span("serve.decode", ctx, start, dur);
+            }
             // Admission control first: over-budget intervals are dropped
             // before costing a model forward pass.
             let depth = session.writer.inflight.load(Ordering::Acquire);
@@ -685,6 +974,8 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame) -> bo
                         seq,
                         prepared,
                         accepted_at,
+                        enqueued_at: Instant::now(),
+                        trace: ctx,
                         writer: Arc::clone(&session.writer),
                     };
                     shared.queue.lock().unwrap().push_back(job);
@@ -695,6 +986,15 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame) -> bo
         }
         Frame::Stats => {
             session.writer.send(shared, &shared.counters.stats_frame());
+            true
+        }
+        Frame::MetricsDump => {
+            session.writer.send(
+                shared,
+                &Frame::MetricsReply {
+                    json: fmml_obs::dump_json(),
+                },
+            );
             true
         }
         Frame::Bye => {
@@ -800,6 +1100,15 @@ fn worker_loop(shared: &Arc<Shared>) {
             batch
         };
 
+        // The batch is sealed: the queue stage (enqueue → batch seal)
+        // ends here for every member.
+        let sealed_at = Instant::now();
+        for j in &batch {
+            let waited = sealed_at.saturating_duration_since(j.enqueued_at);
+            STAGE_QUEUE_US.record_duration(waited);
+            trace::record_span("serve.queue", j.trace, j.enqueued_at, waited);
+        }
+
         let mut ladder = base_ladder.clone();
         if cfg.ladder_deadline {
             let min_slack = batch
@@ -815,7 +1124,25 @@ fn worker_loop(shared: &Arc<Shared>) {
         BATCHES.inc();
         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
         BATCH_SIZE.record(batch.len() as u64);
-        let outcomes = enforce_degraded_batch(&items, &ladder, &opts);
+        // Batch stage: seal → enforce start (ladder setup, item views).
+        let enforce_start = Instant::now();
+        let batch_dur = enforce_start.saturating_duration_since(sealed_at);
+        STAGE_BATCH_US.record_duration(batch_dur);
+        for j in &batch {
+            trace::record_span("serve.batch", j.trace, sealed_at, batch_dur);
+        }
+        // Run the batch under the first traced member's context so the
+        // ladder's own spans (`cem.enforce_window`, `cem.solve`) attach
+        // to a real trace; the other members get their per-rung enforce
+        // span retroactively below.
+        let lead_ctx = batch
+            .iter()
+            .map(|j| j.trace)
+            .find(TraceContext::is_set)
+            .unwrap_or(TraceContext::NONE);
+        let outcomes =
+            trace::with_context(lead_ctx, || enforce_degraded_batch(&items, &ladder, &opts));
+        let enforce_dur = enforce_start.elapsed();
 
         for (job, outcome) in batch.drain(..).zip(outcomes) {
             // Self-check: the ladder's contract is that outputs satisfy
@@ -829,9 +1156,17 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             let series = job.prepared.newest_interval(&outcome.corrected);
             let level = job.prepared.newest_level(&outcome.levels);
+            STAGE_ENFORCE_US.record_duration(enforce_dur);
+            trace::record_span(
+                enforce_span_name(level),
+                job.trace,
+                enforce_start,
+                enforce_dur,
+            );
             let latency = job.accepted_at.elapsed();
             LATENCY_US.record_duration(latency);
-            if latency > cfg.deadline {
+            let missed = latency > cfg.deadline;
+            if missed {
                 DEADLINE_MISS.inc();
                 shared
                     .counters
@@ -845,13 +1180,44 @@ fn worker_loop(shared: &Arc<Shared>) {
                 level: level.label().to_string(),
                 enforced: level != DegradationLevel::MeasurementRelaxed,
                 latency_us: latency.as_micros() as u64,
+                trace_id: (job.trace.trace_id != 0).then_some(job.trace.trace_id),
             };
-            if job.writer.send(shared, &frame) {
+            // Encode and write timed separately, so a slow peer shows up
+            // in `serve.stage.write_us` rather than smearing the batch.
+            let encode_start = Instant::now();
+            let bytes = encode_frame(&frame);
+            let encode_dur = encode_start.elapsed();
+            let sent = match &bytes {
+                Ok(bytes) => {
+                    STAGE_ENCODE_US.record_duration(encode_dur);
+                    trace::record_span("serve.encode", job.trace, encode_start, encode_dur);
+                    let write_start = Instant::now();
+                    let ok = job.writer.send_bytes(shared, bytes, frame.tag());
+                    let write_dur = write_start.elapsed();
+                    STAGE_WRITE_US.record_duration(write_dur);
+                    trace::record_span("serve.write", job.trace, write_start, write_dur);
+                    ok
+                }
+                Err(_) => false,
+            };
+            if sent {
                 REPLIES.inc();
                 shared.counters.replies.fetch_add(1, Ordering::Relaxed);
                 job.writer.answered.fetch_add(1, Ordering::Relaxed);
             }
             job.writer.inflight.fetch_sub(1, Ordering::AcqRel);
+            // Feed the SLO watchdog's sliding window (bounded).
+            if let Ok(mut obs) = shared.slo_obs.lock() {
+                if obs.len() >= SLO_OBS_CAP {
+                    obs.pop_front();
+                }
+                obs.push_back(ReplyObs {
+                    at: Instant::now(),
+                    missed,
+                    degraded: level != DegradationLevel::Full,
+                    trace_id: job.trace.trace_id,
+                });
+            }
         }
     }
 }

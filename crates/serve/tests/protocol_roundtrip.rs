@@ -49,6 +49,7 @@ fn random_frame(rng: &mut StdRng) -> Frame {
         2 => Frame::Interval {
             seq: rng.random(),
             update: random_update(rng, queues),
+            trace_id: rng.random_bool(0.5).then(|| rng.random_range(1..u64::MAX)),
         },
         3 => Frame::Ack {
             seq: rng.random(),
@@ -74,6 +75,7 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             .to_string(),
             enforced: rng.random_bool(0.5),
             latency_us: rng.random_range(0..1_000_000u64),
+            trace_id: rng.random_bool(0.5).then(|| rng.random_range(1..u64::MAX)),
         },
         5 => Frame::Busy {
             seq: rng.random(),

@@ -108,7 +108,15 @@ fn server_replies_match_offline_enforcement_bitwise() {
     for (k, seq) in (0..w.intervals()).zip(1u64..) {
         let u = IntervalUpdate::from_window(w, k);
         let expect = offline.try_push(u.clone()).unwrap();
-        write_frame(&mut tx, &Frame::Interval { seq, update: u }).unwrap();
+        write_frame(
+            &mut tx,
+            &Frame::Interval {
+                seq,
+                update: u,
+                trace_id: None,
+            },
+        )
+        .unwrap();
         match rx.read_frame().unwrap() {
             Frame::Ack { seq: s, .. } => {
                 assert_eq!(s, seq);
@@ -185,7 +193,15 @@ fn admission_control_rejects_with_busy() {
     assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
     for seq in 1u64..=3 {
         let u = IntervalUpdate::from_window(w, 0);
-        write_frame(&mut tx, &Frame::Interval { seq, update: u }).unwrap();
+        write_frame(
+            &mut tx,
+            &Frame::Interval {
+                seq,
+                update: u,
+                trace_id: None,
+            },
+        )
+        .unwrap();
         match rx.read_frame().unwrap() {
             Frame::Busy { seq: s, .. } => assert_eq!(s, seq),
             other => panic!("expected Busy, got {other:?}"),
@@ -214,7 +230,15 @@ fn malformed_updates_rejected_in_band() {
     // Wrong shape: one sample column dropped.
     let mut u = IntervalUpdate::from_window(w, 0);
     u.samples.pop();
-    write_frame(&mut tx, &Frame::Interval { seq: 1, update: u }).unwrap();
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: 1,
+            update: u,
+            trace_id: None,
+        },
+    )
+    .unwrap();
     match rx.read_frame().unwrap() {
         Frame::Reject { seq, reason } => {
             assert_eq!(seq, 1);
@@ -225,7 +249,15 @@ fn malformed_updates_rejected_in_band() {
     // Port not announced in Hello.
     let mut u = IntervalUpdate::from_window(w, 0);
     u.port = w.port + 57;
-    write_frame(&mut tx, &Frame::Interval { seq: 2, update: u }).unwrap();
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: 2,
+            update: u,
+            trace_id: None,
+        },
+    )
+    .unwrap();
     match rx.read_frame().unwrap() {
         Frame::Reject { seq, reason } => {
             assert_eq!(seq, 2);
@@ -239,6 +271,7 @@ fn malformed_updates_rejected_in_band() {
         &Frame::Interval {
             seq: 3,
             update: IntervalUpdate::from_window(w, 0),
+            trace_id: None,
         },
     )
     .unwrap();

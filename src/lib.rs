@@ -7,6 +7,7 @@ pub use fmml_fault as fault;
 pub use fmml_fm as fm;
 pub use fmml_netsim as netsim;
 pub use fmml_nn as nn;
+pub use fmml_obs as obs;
 pub use fmml_serve as serve;
 pub use fmml_smt as smt;
 pub use fmml_telemetry as telemetry;

@@ -14,10 +14,20 @@
 
 use fmml::core::transformer_imputer::{Scales, TransformerImputer};
 use fmml::netsim::SimConfig;
+use fmml::obs::trace;
 use fmml::serve::protocol::Frame;
 use fmml::serve::{spawn, ChaosConfig, LoadgenConfig, ServerConfig};
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Tracing is a process-global switch; tests that flip it must not
+/// overlap (the others are indifferent — tracing never perturbs them).
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+fn trace_gate() -> MutexGuard<'static, ()> {
+    TRACE_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn model() -> Arc<TransformerImputer> {
     let cfg = SimConfig::small();
@@ -151,6 +161,149 @@ fn clean_clients_lose_nothing_and_drain_gracefully() {
     assert_eq!(violations, 0);
     assert_eq!(malformed, 0);
     assert_eq!(slow_disconnects, 0);
+}
+
+/// The ISSUE-6 trace-completeness contract: with tracing on, every
+/// answered interval — even under the chaos preset — yields one
+/// reconstructable trace covering the full decode → queue → batch →
+/// enforce → encode → write journey, with no orphan spans and no ring
+/// evictions.
+#[test]
+fn traces_cover_the_full_pipeline_under_chaos() {
+    let _gate = trace_gate();
+    trace::set_enabled(true);
+    let dropped0 = trace::snapshot().dropped;
+
+    let handle = spawn(
+        model(),
+        ServerConfig {
+            workers: 2,
+            max_batch: 8,
+            // jobs > 1 so interval-level CEM work crosses into rayon
+            // scope threads and exercises explicit context propagation.
+            jobs: 2,
+            deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = handle.addr().to_string();
+
+    let report = fmml::serve::run_loadgen(&LoadgenConfig {
+        clients: 4,
+        chaos: Some(ChaosConfig::standard()),
+        ..loadgen_cfg(addr)
+    });
+    assert!(report.answered > 0, "chaos run produced no imputations");
+    handle.shutdown();
+
+    let snap = trace::snapshot();
+    trace::set_enabled(false);
+    assert_eq!(
+        snap.dropped, dropped0,
+        "trace rings evicted records mid-test"
+    );
+
+    // Client-observed traces (those carrying a `client.e2e` span) are
+    // exactly the answered intervals; each must cover every stage.
+    let mut complete = 0usize;
+    for id in snap.trace_ids() {
+        let spans = snap.trace(id);
+        let names: HashSet<&str> = spans.iter().map(|s| s.name).collect();
+        if !names.contains("client.e2e") {
+            continue;
+        }
+        for need in [
+            "serve.interval",
+            "serve.decode",
+            "serve.queue",
+            "serve.batch",
+            "serve.encode",
+            "serve.write",
+        ] {
+            assert!(names.contains(need), "trace {id} missing {need}: {names:?}");
+        }
+        assert!(
+            names.iter().any(|n| n.starts_with("serve.enforce[")),
+            "trace {id} has no enforce-rung span: {names:?}"
+        );
+        // No orphans: every parent is a root marker (0) or a span
+        // present in the same trace.
+        let ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        for s in &spans {
+            assert!(
+                s.parent_id == 0 || ids.contains(&s.parent_id),
+                "orphan span in trace {id}: {s:?}"
+            );
+        }
+        complete += 1;
+    }
+    assert!(
+        complete >= report.answered as usize,
+        "only {complete} complete traces for {} answered replies",
+        report.answered
+    );
+}
+
+/// The SLO watchdog: an impossible deadline makes every reply a miss,
+/// so the sliding window must cross the miss-rate threshold and declare
+/// a breach carrying trace ids that resolve in the journal snapshot.
+#[test]
+fn slo_watchdog_declares_breaches_with_trace_ids() {
+    let _gate = trace_gate();
+    trace::set_enabled(true);
+
+    let handle = spawn(
+        model(),
+        ServerConfig {
+            workers: 2,
+            // Every reply misses a 1 µs deadline.
+            deadline: Duration::from_micros(1),
+            slo_window: Duration::from_secs(10),
+            slo_tick: Duration::from_millis(20),
+            slo_min_samples: 5,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+    let addr = handle.addr().to_string();
+
+    let report = fmml::serve::run_loadgen(&LoadgenConfig {
+        clients: 3,
+        chaos: None,
+        ..loadgen_cfg(addr)
+    });
+    assert!(report.answered > 0, "no replies to miss the deadline");
+    // Let the watchdog observe the window at least once.
+    std::thread::sleep(Duration::from_millis(150));
+    let breaches = handle.slo_breaches();
+    handle.shutdown();
+
+    let snap = trace::snapshot();
+    trace::set_enabled(false);
+
+    let miss = breaches
+        .iter()
+        .find(|b| b.kind == "deadline_miss_rate")
+        .unwrap_or_else(|| panic!("no deadline breach declared: {breaches:?}"));
+    assert!(
+        miss.rate > miss.threshold,
+        "breach below threshold: {miss:?}"
+    );
+    assert!(
+        !miss.trace_ids.is_empty(),
+        "breach carries no trace ids: {miss:?}"
+    );
+    // Every cited trace id reconstructs from the journal snapshot and
+    // names the serving root, so an operator can walk the breach back
+    // to the requests that caused it.
+    for &tid in &miss.trace_ids {
+        let spans = snap.trace(tid);
+        assert!(
+            spans.iter().any(|s| s.name == "serve.interval"),
+            "breach trace {tid} not reconstructable: {spans:?}"
+        );
+    }
 }
 
 /// Shutdown with live, mid-stream sessions still drains in-flight work
