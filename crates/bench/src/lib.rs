@@ -8,6 +8,7 @@
 pub mod baseline;
 pub mod cem_parallel;
 pub mod obs;
+pub mod recovery;
 pub mod serve;
 pub mod train;
 

@@ -1,0 +1,581 @@
+//! The crash-recovery benchmark behind `BENCH_recovery.json`.
+//!
+//! Three passes against real loopback servers answer the failure-
+//! recovery questions §12 of DESIGN.md poses:
+//!
+//! 1. **Clean fingerprint** — a lockstep replay with no faults; every
+//!    `Imputed` series is folded into an order-sensitive FNV
+//!    fingerprint. This is the ground truth a recovered run must match
+//!    bit for bit.
+//! 2. **Crash pass** — the same stream against a server injecting
+//!    worker panics, solver stalls, and slow writes, plus a deliberate
+//!    mid-stream disconnect resumed via the session token. The pass
+//!    asserts exactly-once delivery (every enforced interval answered
+//!    exactly once, fingerprint identical to pass 1), measures recovery
+//!    latency (panic requeue → reply committed) and worker restarts.
+//! 3. **Chaos swarm** — the trace-replay load generator under the
+//!    standard wire-chaos preset *and* process faults at once; with
+//!    resumption in play the run must end with zero lost and zero
+//!    unsent intervals.
+//!
+//! Like the serving benchmark, contract violations panic so CI fails
+//! loud, and the JSON is flat so CI can grep single fields.
+
+use fmml_core::streaming::IntervalUpdate;
+use fmml_core::transformer_imputer::TransformerImputer;
+use fmml_fault::ProcessFaultPlan;
+use fmml_fm::cem::hash_u32_series;
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+use fmml_serve::protocol::{write_frame, Frame, FrameReader};
+use fmml_serve::{loadgen, ChaosConfig, LoadgenConfig, ServerConfig};
+use fmml_telemetry::{windows_from_trace, PortWindow};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Benchmark knobs.
+#[derive(Debug, Clone)]
+pub struct RecoveryBenchConfig {
+    /// Intervals replayed by the lockstep passes.
+    pub intervals: usize,
+    pub interval_len: usize,
+    pub window_intervals: usize,
+    /// End-to-end budget used by the chaos-swarm pass.
+    pub deadline: Duration,
+    pub workers: usize,
+    /// Process-fault cadences for the crash passes (see
+    /// [`ProcessFaultPlan`]; panic cadence must be ≥ 2).
+    pub worker_panic_every: u64,
+    pub solver_stall_every: u64,
+    pub solver_stall_ms: u64,
+    pub slow_write_every: u64,
+    pub slow_write_ms: u64,
+    /// Chaos-swarm geometry.
+    pub chaos_clients: usize,
+    pub chaos_intervals: usize,
+    pub seed: u64,
+}
+
+impl Default for RecoveryBenchConfig {
+    fn default() -> RecoveryBenchConfig {
+        RecoveryBenchConfig {
+            intervals: 36,
+            interval_len: 10,
+            window_intervals: 3,
+            deadline: Duration::from_millis(50),
+            workers: 2,
+            worker_panic_every: 8,
+            solver_stall_every: 9,
+            solver_stall_ms: 5,
+            slow_write_every: 7,
+            slow_write_ms: 2,
+            chaos_clients: 4,
+            chaos_intervals: 30,
+            seed: 41,
+        }
+    }
+}
+
+impl RecoveryBenchConfig {
+    fn faults(&self) -> ProcessFaultPlan {
+        ProcessFaultPlan {
+            worker_panic_every: self.worker_panic_every,
+            solver_stall_every: self.solver_stall_every,
+            solver_stall_ms: self.solver_stall_ms,
+            slow_write_every: self.slow_write_every,
+            slow_write_ms: self.slow_write_ms,
+        }
+    }
+}
+
+/// One `BENCH_recovery.json` payload.
+#[derive(Debug, Clone)]
+pub struct RecoveryBenchReport {
+    pub intervals: usize,
+    pub enforced: usize,
+    pub deadline_ms: u64,
+    pub clean_fingerprint: u64,
+    pub crash_fingerprint: u64,
+    pub fingerprint_match: bool,
+    pub worker_panics: u64,
+    pub worker_restarts: u64,
+    pub resumes: u64,
+    pub replayed: u64,
+    /// Exactly-once delivery ratio of the crash pass (answered once /
+    /// enforced); anything but 1.0 panics before the report is built.
+    pub availability: f64,
+    pub recovery_samples: usize,
+    pub recovery_p50_us: u64,
+    pub recovery_p99_us: u64,
+    pub recovery_max_us: u64,
+    pub crash_violations: u64,
+    /// Chaos-swarm pass (wire chaos + process faults + resumption).
+    pub chaos_clients: usize,
+    pub chaos_sent: u64,
+    pub chaos_answered: u64,
+    pub chaos_lost: u64,
+    pub chaos_unsent: u64,
+    pub chaos_resumes: u64,
+    pub chaos_duplicates: u64,
+    pub chaos_reconnects: u64,
+    pub chaos_client_failures: u64,
+    pub chaos_violations: u64,
+    pub chaos_worker_restarts: u64,
+}
+
+impl RecoveryBenchReport {
+    /// Deterministic, grep-friendly flat JSON.
+    pub fn to_json(&self) -> String {
+        use serde_json::Value;
+        let mut v = Value::Object(Vec::new());
+        v["bench"] = Value::String("recovery".into());
+        v["intervals"] = Value::U64(self.intervals as u64);
+        v["enforced"] = Value::U64(self.enforced as u64);
+        v["deadline_ms"] = Value::U64(self.deadline_ms);
+        v["clean_fingerprint"] = Value::String(format!("{:016x}", self.clean_fingerprint));
+        v["crash_fingerprint"] = Value::String(format!("{:016x}", self.crash_fingerprint));
+        v["fingerprint_match"] = Value::U64(self.fingerprint_match as u64);
+        v["worker_panics"] = Value::U64(self.worker_panics);
+        v["worker_restarts"] = Value::U64(self.worker_restarts);
+        v["resumes"] = Value::U64(self.resumes);
+        v["replayed"] = Value::U64(self.replayed);
+        v["availability"] = Value::F64(self.availability);
+        v["recovery_samples"] = Value::U64(self.recovery_samples as u64);
+        v["recovery_p50_us"] = Value::U64(self.recovery_p50_us);
+        v["recovery_p99_us"] = Value::U64(self.recovery_p99_us);
+        v["recovery_max_us"] = Value::U64(self.recovery_max_us);
+        v["crash_violations"] = Value::U64(self.crash_violations);
+        v["chaos_clients"] = Value::U64(self.chaos_clients as u64);
+        v["chaos_sent"] = Value::U64(self.chaos_sent);
+        v["chaos_answered"] = Value::U64(self.chaos_answered);
+        v["chaos_lost"] = Value::U64(self.chaos_lost);
+        v["chaos_unsent"] = Value::U64(self.chaos_unsent);
+        v["chaos_resumes"] = Value::U64(self.chaos_resumes);
+        v["chaos_duplicates"] = Value::U64(self.chaos_duplicates);
+        v["chaos_reconnects"] = Value::U64(self.chaos_reconnects);
+        v["chaos_client_failures"] = Value::U64(self.chaos_client_failures);
+        v["chaos_violations"] = Value::U64(self.chaos_violations);
+        v["chaos_worker_restarts"] = Value::U64(self.chaos_worker_restarts);
+        v.to_string()
+    }
+
+    /// Write `BENCH_recovery.json` into `dir`; returns the path written.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join("BENCH_recovery.json");
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.to_json())?;
+        Ok(path)
+    }
+
+    /// Human-readable stderr summary.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            s,
+            "recovery: {} enforced intervals, fingerprint match = {}",
+            self.enforced, self.fingerprint_match
+        );
+        let _ = writeln!(
+            s,
+            "  crash pass   panics {} | restarts {} | resumes {} | replayed {} | violations {}",
+            self.worker_panics,
+            self.worker_restarts,
+            self.resumes,
+            self.replayed,
+            self.crash_violations
+        );
+        let _ = writeln!(
+            s,
+            "  recovery lat p50 {} us | p99 {} us | max {} us ({} samples)",
+            self.recovery_p50_us, self.recovery_p99_us, self.recovery_max_us, self.recovery_samples
+        );
+        let _ = writeln!(
+            s,
+            "  chaos swarm  sent {} | answered {} | lost {} | unsent {} | resumes {} | dups {} | violations {}",
+            self.chaos_sent, self.chaos_answered, self.chaos_lost, self.chaos_unsent,
+            self.chaos_resumes, self.chaos_duplicates, self.chaos_violations
+        );
+        s
+    }
+}
+
+/// Flat interval stream over the first active port of a simulated trace.
+fn stream(cfg: &RecoveryBenchConfig) -> (Vec<IntervalUpdate>, usize, usize) {
+    let sim = SimConfig::small();
+    let gt = Simulation::new(
+        sim.clone(),
+        TrafficConfig::websearch_incast(sim.num_ports, 0.6),
+        cfg.seed,
+    )
+    .run_ms(720);
+    let wlen = cfg.interval_len * cfg.window_intervals;
+    let ws: Vec<PortWindow> = windows_from_trace(&gt, wlen, cfg.interval_len, wlen)
+        .into_iter()
+        .filter(|w| w.has_activity())
+        .collect();
+    assert!(!ws.is_empty(), "recovery bench trace has no active windows");
+    let port = ws[0].port;
+    let queues = ws[0].num_queues();
+    let mut updates = Vec::with_capacity(cfg.intervals);
+    'outer: loop {
+        for w in ws.iter().filter(|w| w.port == port) {
+            for k in 0..w.intervals() {
+                updates.push(IntervalUpdate::from_window(w, k));
+                if updates.len() >= cfg.intervals {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    (updates, port, queues)
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, FrameReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect recovery client");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = FrameReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn hello_frame(
+    port: usize,
+    queues: usize,
+    cfg: &RecoveryBenchConfig,
+    resume: Option<(&str, u64)>,
+) -> Frame {
+    Frame::Hello {
+        tenant: "recovery".into(),
+        ports: vec![port],
+        queues,
+        interval_len: cfg.interval_len,
+        window_intervals: cfg.window_intervals,
+        resume_token: resume.map(|(t, _)| t.to_string()),
+        last_acked: resume.map(|(_, a)| a),
+    }
+}
+
+/// What a lockstep pass produced, beyond the replies themselves.
+struct PassOutcome {
+    replies: BTreeMap<u64, Vec<Vec<u32>>>,
+    worker_panics: u64,
+    worker_restarts: u64,
+    resumes: u64,
+    replayed: u64,
+    requeue_latencies_us: Vec<u64>,
+    violations: u64,
+}
+
+/// Lockstep replay of `updates` against a fresh server. With
+/// `kill_connection`, the client vanishes mid-stream with a reply in
+/// flight and resumes via the session token — exercising park, drain,
+/// watermark, and replay on top of whatever process faults are active.
+fn lockstep_pass(
+    model: &Arc<TransformerImputer>,
+    cfg: &RecoveryBenchConfig,
+    updates: &[IntervalUpdate],
+    port: usize,
+    queues: usize,
+    faults: ProcessFaultPlan,
+    kill_connection: bool,
+) -> PassOutcome {
+    let handle = fmml_serve::spawn(
+        Arc::clone(model),
+        ServerConfig {
+            workers: cfg.workers,
+            // Generous server-side deadline: recovery latency is measured
+            // separately; deadline misses are not this bench's subject.
+            deadline: Duration::from_millis(500),
+            max_restarts: 64,
+            process_faults: faults,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn recovery bench server");
+    let addr = handle.addr();
+
+    let mut replies: BTreeMap<u64, Vec<Vec<u32>>> = BTreeMap::new();
+    let record = |replies: &mut BTreeMap<u64, Vec<Vec<u32>>>, seq: u64, series: Vec<Vec<u32>>| {
+        if let Some(prev) = replies.insert(seq, series) {
+            assert_eq!(
+                Some(&prev),
+                replies.get(&seq),
+                "duplicate reply for seq {seq} diverged"
+            );
+        }
+    };
+
+    let (mut tx, mut rx) = connect(addr);
+    write_frame(&mut tx, &hello_frame(port, queues, cfg, None)).expect("hello");
+    let token = match rx.read_frame().expect("welcome") {
+        Frame::Welcome { resume_token, .. } => resume_token.expect("resumable server"),
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+
+    let cut = if kill_connection {
+        updates.len() / 2
+    } else {
+        usize::MAX
+    };
+    let mut last_read = 0u64;
+    let mut idx = 0usize;
+    while idx < updates.len() {
+        let seq = idx as u64 + 1;
+        write_frame(
+            &mut tx,
+            &Frame::Interval {
+                seq,
+                update: updates[idx].clone(),
+                trace_id: None,
+            },
+        )
+        .expect("send interval");
+        idx += 1;
+        if idx == cut {
+            // Vanish with this seq's reply unread; the server parks the
+            // session and the token brings it back.
+            drop(tx);
+            drop(rx);
+            let (mut tx2, mut rx2) = connect(addr);
+            write_frame(
+                &mut tx2,
+                &hello_frame(port, queues, cfg, Some((&token, last_read))),
+            )
+            .expect("resume hello");
+            let resume_seq = match rx2.read_frame().expect("resume welcome") {
+                Frame::Welcome {
+                    resumed,
+                    resume_seq,
+                    ..
+                } => {
+                    assert_eq!(resumed, Some(true), "mid-stream resume must succeed");
+                    resume_seq.expect("resumed welcome carries the watermark")
+                }
+                other => panic!("expected Welcome, got {other:?}"),
+            };
+            assert!(
+                resume_seq >= seq,
+                "watermark must cover the drained in-flight seq"
+            );
+            // Replayed frames cover (last_read, resume_seq], in order.
+            for expect in last_read + 1..=resume_seq {
+                match rx2.read_frame().expect("replayed frame") {
+                    Frame::Ack { seq: s, .. } => assert_eq!(s, expect),
+                    Frame::Imputed { seq: s, series, .. } => {
+                        assert_eq!(s, expect);
+                        record(&mut replies, s, series);
+                    }
+                    other => panic!("unexpected replay {other:?}"),
+                }
+            }
+            last_read = resume_seq;
+            idx = resume_seq as usize;
+            tx = tx2;
+            rx = rx2;
+            continue;
+        }
+        match rx.read_frame().expect("reply") {
+            Frame::Ack { seq: s, .. } => assert_eq!(s, seq),
+            Frame::Imputed { seq: s, series, .. } => {
+                assert_eq!(s, seq);
+                record(&mut replies, s, series);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        last_read = seq;
+    }
+    write_frame(&mut tx, &Frame::Bye).expect("bye");
+    match rx.read_frame().expect("byeack") {
+        Frame::ByeAck { remaining, .. } => assert_eq!(remaining, 0, "drain timed out"),
+        other => panic!("expected ByeAck, got {other:?}"),
+    }
+
+    let (worker_panics, worker_restarts) = handle.worker_stats();
+    let (resumes, replayed) = handle.resume_stats();
+    let requeue_latencies_us = handle.requeue_latencies();
+    let violations = match handle.shutdown() {
+        Frame::StatsReply { violations, .. } => violations,
+        other => panic!("expected StatsReply, got {other:?}"),
+    };
+    PassOutcome {
+        replies,
+        worker_panics,
+        worker_restarts,
+        resumes,
+        replayed,
+        requeue_latencies_us,
+        violations,
+    }
+}
+
+fn fingerprint(replies: &BTreeMap<u64, Vec<Vec<u32>>>) -> u64 {
+    // Order-sensitive: flatten in seq order; per-series hashing keeps
+    // shape boundaries from colliding.
+    let flat: Vec<Vec<u32>> = replies
+        .values()
+        .flat_map(|series| series.iter().cloned())
+        .collect();
+    hash_u32_series(&flat)
+}
+
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * q) as usize]
+    }
+}
+
+/// Run the full recovery benchmark; panics on contract violations so CI
+/// fails loud.
+pub fn bench_recovery(
+    model: Arc<TransformerImputer>,
+    cfg: &RecoveryBenchConfig,
+) -> RecoveryBenchReport {
+    assert!(
+        cfg.worker_panic_every != 1,
+        "worker_panic_every = 1 poisons every retry by construction"
+    );
+    let (updates, port, queues) = stream(cfg);
+    let enforced = updates.len() - (cfg.window_intervals - 1);
+
+    // Pass 1: ground truth.
+    let clean = lockstep_pass(
+        &model,
+        cfg,
+        &updates,
+        port,
+        queues,
+        ProcessFaultPlan::none(),
+        false,
+    );
+    assert_eq!(clean.replies.len(), enforced, "clean pass dropped replies");
+    assert_eq!(clean.violations, 0, "clean pass shipped violations");
+    assert_eq!(clean.worker_panics, 0);
+
+    // Pass 2: worker panics + solver stalls + slow writes + a killed
+    // connection, resumed. Same replies, bit for bit.
+    let crash = lockstep_pass(&model, cfg, &updates, port, queues, cfg.faults(), true);
+    assert_eq!(
+        crash.replies.len(),
+        enforced,
+        "crash pass must answer every enforced interval exactly once"
+    );
+    assert_eq!(crash.violations, 0, "crash pass shipped violations");
+    assert!(crash.worker_panics >= 1, "panic cadence never fired");
+    assert!(crash.worker_restarts >= 1, "supervisor never restarted");
+    assert_eq!(crash.resumes, 1, "the killed connection must resume");
+    let clean_fp = fingerprint(&clean.replies);
+    let crash_fp = fingerprint(&crash.replies);
+    assert_eq!(
+        clean_fp, crash_fp,
+        "recovered run diverged from the uninterrupted run"
+    );
+
+    let mut rec = crash.requeue_latencies_us.clone();
+    rec.sort_unstable();
+
+    // Pass 3: the chaos swarm with resumption — nothing lost, nothing
+    // unsent, no client thread down.
+    let handle = fmml_serve::spawn(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: cfg.workers,
+            deadline: cfg.deadline,
+            max_restarts: 64,
+            process_faults: cfg.faults(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn chaos server");
+    let lg = LoadgenConfig {
+        addr: handle.addr().to_string(),
+        clients: cfg.chaos_clients,
+        intervals: cfg.chaos_intervals,
+        interval_len: cfg.interval_len,
+        window_intervals: cfg.window_intervals,
+        sim: SimConfig::small(),
+        sim_ms: 480,
+        distinct_traces: 2.min(cfg.chaos_clients.max(1)),
+        seed: cfg.seed,
+        deadline: cfg.deadline,
+        pace: Some(cfg.deadline / 2),
+        chaos: Some(ChaosConfig::standard()),
+        tenant_prefix: "recovery".into(),
+    };
+    let chaos = loadgen::run(&lg);
+    let (_, chaos_restarts) = handle.worker_stats();
+    let chaos_violations = match handle.shutdown() {
+        Frame::StatsReply { violations, .. } => violations,
+        other => panic!("expected StatsReply, got {other:?}"),
+    };
+    assert_eq!(chaos.lost, 0, "chaos swarm lost replies: {chaos:?}");
+    assert_eq!(chaos.unsent, 0, "chaos swarm gave up sending: {chaos:?}");
+    assert_eq!(chaos.client_failures, 0, "chaos swarm client panicked");
+    assert_eq!(chaos_violations, 0, "chaos swarm shipped violations");
+
+    RecoveryBenchReport {
+        intervals: updates.len(),
+        enforced,
+        deadline_ms: cfg.deadline.as_millis() as u64,
+        clean_fingerprint: clean_fp,
+        crash_fingerprint: crash_fp,
+        fingerprint_match: clean_fp == crash_fp,
+        worker_panics: crash.worker_panics,
+        worker_restarts: crash.worker_restarts,
+        resumes: crash.resumes,
+        replayed: crash.replayed,
+        availability: crash.replies.len() as f64 / enforced as f64,
+        recovery_samples: rec.len(),
+        recovery_p50_us: pct(&rec, 0.50),
+        recovery_p99_us: pct(&rec, 0.99),
+        recovery_max_us: rec.last().copied().unwrap_or(0),
+        crash_violations: crash.violations,
+        chaos_clients: cfg.chaos_clients,
+        chaos_sent: chaos.sent,
+        chaos_answered: chaos.answered,
+        chaos_lost: chaos.lost,
+        chaos_unsent: chaos.unsent,
+        chaos_resumes: chaos.resumes,
+        chaos_duplicates: chaos.duplicates,
+        chaos_reconnects: chaos.reconnects,
+        chaos_client_failures: chaos.client_failures,
+        chaos_violations,
+        chaos_worker_restarts: chaos_restarts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmml_core::transformer_imputer::Scales;
+
+    #[test]
+    fn tiny_recovery_bench_runs_and_serializes() {
+        let model = Arc::new(TransformerImputer::new(
+            3,
+            Scales {
+                qlen: SimConfig::small().buffer_packets as f32,
+                count: 830.0,
+            },
+        ));
+        let cfg = RecoveryBenchConfig {
+            intervals: 12,
+            worker_panic_every: 4,
+            chaos_clients: 2,
+            chaos_intervals: 10,
+            deadline: Duration::from_millis(200),
+            ..RecoveryBenchConfig::default()
+        };
+        let report = bench_recovery(model, &cfg);
+        assert!(report.fingerprint_match);
+        assert!(report.worker_restarts >= 1);
+        let j = report.to_json();
+        assert!(j.contains("\"fingerprint_match\":1"));
+        assert!(j.contains("\"chaos_lost\":0"));
+    }
+}

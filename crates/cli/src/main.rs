@@ -12,6 +12,7 @@
 //! fmml serve     --addr 127.0.0.1:4700 [--max-secs N]        # streaming server
 //! fmml loadgen   --addr 127.0.0.1:4700 --clients 8 [--chaos] # trace replay
 //! fmml serve-bench --out bench                               # BENCH_serve.json
+//! fmml recovery-bench --out bench                            # BENCH_recovery.json
 //! fmml train-bench --out bench                               # BENCH_train.json
 //! fmml obs       --addr 127.0.0.1:4700 [--json]              # live introspection
 //! fmml obs-bench --out bench                                 # BENCH_obs.json
@@ -30,6 +31,7 @@ use error::CliError;
 use fmml_bench::baseline::Baseline;
 use fmml_bench::cem_parallel::{bench_ladder, CemParallelReport};
 use fmml_bench::obs::{bench_obs, ObsBenchConfig};
+use fmml_bench::recovery::{bench_recovery, RecoveryBenchConfig};
 use fmml_bench::serve::{bench_serve, ServeBenchConfig};
 use fmml_bench::train::bench_train;
 use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
@@ -96,6 +98,10 @@ COMMANDS:
              --deadline-ms N (50)  --max-batch N (16)  --queue-depth N (64)
              --model FILE (default: deterministic untrained imputer)
              --seed N (3)  --max-secs N (run forever when absent)
+             fault injection (0 = off): --worker-panic-every N
+             --solver-stall-every N  --solver-stall-ms N (5)
+             --slow-write-every N  --slow-write-ms N (2)
+             --max-restarts N (5; per-worker-slot restart budget)
   loadgen    drive a running server with concurrent trace-replay clients
              --addr A (required)  --clients N (8)  --intervals N (40)
              --seed N (11)  --deadline-ms N (50)  --pace-ms N
@@ -106,6 +112,16 @@ COMMANDS:
              concurrency, re-run under chaos; writes BENCH_serve.json
              --out DIR (bench)  --clients A,B,C (1,8,32)  --intervals N (40)
              --deadline-ms N (50)  --workers N (2)  --jobs N (1)  --seed N (41)
+  recovery-bench
+             crash-recovery benchmark: clean lockstep fingerprint, then
+             the same stream under injected worker panics / solver
+             stalls / slow writes with a mid-stream kill + resume, then
+             a chaos swarm with process faults; asserts exactly-once
+             bitwise-identical replies and writes BENCH_recovery.json
+             --out DIR (bench)  --intervals N (36)  --workers N (2)
+             --worker-panic-every N (8)  --solver-stall-every N (9)
+             --slow-write-every N (7)  --chaos-clients N (4)
+             --deadline-ms N (50)  --seed N (41)
   train-bench
              three-pass training benchmark: scalar-reference kernels vs
              blocked vs blocked+parallel on the same data; asserts all
@@ -162,6 +178,7 @@ fn main() {
         "serve" => cmd_serve(&args),
         "loadgen" => cmd_loadgen(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "recovery-bench" => cmd_recovery_bench(&args),
         "train-bench" => cmd_train_bench(&args),
         "obs" => cmd_obs(&args),
         "obs-bench" => cmd_obs_bench(&args),
@@ -529,6 +546,7 @@ fn ladder_config(args: &Args) -> Result<LadderConfig, CliError> {
         },
         deadline: args.get::<u64>("deadline-ms")?.map(Duration::from_millis),
         escalation_factor: 4,
+        breaker: None,
     })
 }
 
@@ -627,6 +645,18 @@ fn serve_model(args: &Args) -> Result<std::sync::Arc<TransformerImputer>, CliErr
 /// is printed and a non-zero exit signals shipped constraint violations.
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let model = serve_model(args)?;
+    let process_faults = fmml_fault::ProcessFaultPlan {
+        worker_panic_every: args.get_or("worker-panic-every", 0u64)?,
+        solver_stall_every: args.get_or("solver-stall-every", 0u64)?,
+        solver_stall_ms: args.get_or("solver-stall-ms", 5u64)?,
+        slow_write_every: args.get_or("slow-write-every", 0u64)?,
+        slow_write_ms: args.get_or("slow-write-ms", 2u64)?,
+    };
+    if process_faults.worker_panic_every == 1 {
+        return Err(CliError::Usage(
+            "--worker-panic-every must be >= 2 (every retry would repanic)".into(),
+        ));
+    }
     let cfg = ServerConfig {
         addr: args.get_string("addr").unwrap_or("127.0.0.1:4700").into(),
         workers: args.get_or("workers", 2usize)?,
@@ -634,6 +664,8 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         deadline: Duration::from_millis(args.get_or("deadline-ms", 50u64)?),
         max_batch: args.get_or("max-batch", 16usize)?,
         queue_depth: args.get_or("queue-depth", 64usize)?,
+        max_restarts: args.get_or("max-restarts", 5u32)?,
+        process_faults,
         ..ServerConfig::default()
     };
     let max_secs = args.get::<u64>("max-secs")?;
@@ -654,6 +686,8 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             std::thread::sleep(Duration::from_secs(3600));
         },
     }
+    let (worker_panics, worker_restarts) = handle.worker_stats();
+    let (resumes, replayed) = handle.resume_stats();
     let stats = handle.shutdown();
     let Frame::StatsReply {
         sessions,
@@ -674,6 +708,10 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         "serve: sessions={sessions} accepted={accepted} rejected={rejected} \
          malformed={malformed} replies={replies} batches={batches} \
          deadline_misses={deadline_misses} slow_disconnects={slow_disconnects}"
+    );
+    println!(
+        "recovery: worker_panics={worker_panics} worker_restarts={worker_restarts} \
+         resumes={resumes} replayed={replayed}"
     );
     println!("violations={violations}");
     log_event!(
@@ -768,6 +806,49 @@ fn cmd_serve_bench(args: &Args) -> Result<(), CliError> {
     let model = serve_model(args)?;
     let report = bench_serve(model, &bc);
     eprint!("{}", report.summary());
+    std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+    let path = report
+        .save(Path::new(dir))
+        .map_err(|e| CliError::io(dir, e))?;
+    println!("bench report written to {}", path.display());
+    Ok(())
+}
+
+/// `fmml recovery-bench`: the crash-recovery benchmark behind
+/// `BENCH_recovery.json` — clean-vs-crash fingerprint passes plus a
+/// chaos swarm with process faults. `bench_recovery` panics on any
+/// contract violation (lost reply, fingerprint divergence, shipped
+/// constraint violation), so a written report is itself the proof the
+/// recovery contract held.
+fn cmd_recovery_bench(args: &Args) -> Result<(), CliError> {
+    let dir = args.get_string("out").unwrap_or("bench");
+    let mut bc = RecoveryBenchConfig::default();
+    bc.intervals = args.get_or("intervals", bc.intervals)?;
+    bc.deadline = Duration::from_millis(args.get_or("deadline-ms", 50u64)?);
+    bc.workers = args.get_or("workers", bc.workers)?;
+    bc.worker_panic_every = args.get_or("worker-panic-every", bc.worker_panic_every)?;
+    bc.solver_stall_every = args.get_or("solver-stall-every", bc.solver_stall_every)?;
+    bc.solver_stall_ms = args.get_or("solver-stall-ms", bc.solver_stall_ms)?;
+    bc.slow_write_every = args.get_or("slow-write-every", bc.slow_write_every)?;
+    bc.slow_write_ms = args.get_or("slow-write-ms", bc.slow_write_ms)?;
+    bc.chaos_clients = args.get_or("chaos-clients", bc.chaos_clients)?;
+    bc.chaos_intervals = args.get_or("chaos-intervals", bc.chaos_intervals)?;
+    bc.seed = args.get_or("seed", bc.seed)?;
+    if bc.worker_panic_every == 1 {
+        return Err(CliError::Usage(
+            "--worker-panic-every must be >= 2 (every retry would repanic)".into(),
+        ));
+    }
+    let model = serve_model(args)?;
+    let report = bench_recovery(model, &bc);
+    eprint!("{}", report.summary());
+    log_event!(
+        "recovery_bench.done",
+        "fingerprint_match" = report.fingerprint_match,
+        "worker_restarts" = report.worker_restarts,
+        "recovery_p99_us" = report.recovery_p99_us,
+        "chaos_lost" = report.chaos_lost,
+    );
     std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
     let path = report
         .save(Path::new(dir))

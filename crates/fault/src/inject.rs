@@ -23,6 +23,9 @@ static INJ_SKEW: Counter = Counter::new("fault.injected.skew");
 static INJ_NAN: Counter = Counter::new("fault.injected.nan");
 static INJ_INF: Counter = Counter::new("fault.injected.inf");
 static INJ_BLACKOUT: Counter = Counter::new("fault.injected.blackout");
+static INJ_WORKER_PANIC: Counter = Counter::new("fault.injected.worker_panic");
+static INJ_SOLVER_STALL: Counter = Counter::new("fault.injected.solver_stall");
+static INJ_SLOW_WRITE: Counter = Counter::new("fault.injected.slow_write");
 
 /// The simulated narrow-counter width: wraps subtract 2^16.
 pub const WRAP_DELTA: u32 = 1 << 16;
@@ -38,7 +41,17 @@ fn count(kind: FaultKind) {
         FaultKind::NanSpike => INJ_NAN.inc(),
         FaultKind::InfSpike => INJ_INF.inc(),
         FaultKind::TraceBlackout => INJ_BLACKOUT.inc(),
+        FaultKind::WorkerPanic => INJ_WORKER_PANIC.inc(),
+        FaultKind::SolverStall => INJ_SOLVER_STALL.inc(),
+        FaultKind::SlowWrite => INJ_SLOW_WRITE.inc(),
     }
+}
+
+/// Count one process-level fault firing under `fault.injected.*`. The
+/// process-fault hooks live in the serving layer (they poison threads,
+/// not data), but their accounting belongs to this crate's taxonomy.
+pub fn record_process_fault(kind: FaultKind) {
+    count(kind);
 }
 
 fn rng_for(plan: &FaultPlan, salt: u64) -> StdRng {

@@ -22,5 +22,7 @@
 pub mod inject;
 pub mod plan;
 
-pub use inject::{inject_series, inject_telemetry, inject_trace, inject_window};
-pub use plan::{FaultEvent, FaultKind, FaultPlan};
+pub use inject::{
+    inject_series, inject_telemetry, inject_trace, inject_window, record_process_fault,
+};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, ProcessFaultPlan};

@@ -34,6 +34,18 @@ pub enum FaultKind {
     /// A span of the fine-grained trace export is blacked out (all-zero
     /// observations), as if the collector dropped a batch.
     TraceBlackout,
+    /// A CEM worker thread panics mid-batch (process-level fault,
+    /// injected through the server's test-only hook). Recovery is the
+    /// supervisor's job: restart the worker, re-enqueue the poisoned
+    /// batch, lose nothing.
+    WorkerPanic,
+    /// The constraint solver stalls for a whole batch (a wedged SMT
+    /// backend). Consecutive stalls are what trips the `fm.cem` circuit
+    /// breaker.
+    SolverStall,
+    /// A reply write is artificially delayed (a congested or misbehaving
+    /// egress path), exercising write-timeout and slow-reader handling.
+    SlowWrite,
 }
 
 impl FaultKind {
@@ -48,10 +60,13 @@ impl FaultKind {
             FaultKind::NanSpike => "nan",
             FaultKind::InfSpike => "inf",
             FaultKind::TraceBlackout => "blackout",
+            FaultKind::WorkerPanic => "worker_panic",
+            FaultKind::SolverStall => "solver_stall",
+            FaultKind::SlowWrite => "slow_write",
         }
     }
 
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::MissingValue,
         FaultKind::DuplicatedInterval,
         FaultKind::CounterWrap,
@@ -60,6 +75,9 @@ impl FaultKind {
         FaultKind::NanSpike,
         FaultKind::InfSpike,
         FaultKind::TraceBlackout,
+        FaultKind::WorkerPanic,
+        FaultKind::SolverStall,
+        FaultKind::SlowWrite,
     ];
 }
 
@@ -157,6 +175,71 @@ impl FaultPlan {
     }
 }
 
+/// Process-level fault plan for the serving layer: which batches panic a
+/// worker, stall the solver, or slow a reply write. Cadences are
+/// deterministic (`every`-style counters rather than probabilities) so a
+/// chaos run injects exactly the same process faults every time, and so
+/// a re-enqueued batch — which gets a *new* batch number — does not
+/// re-trip the same injection forever.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessFaultPlan {
+    /// Panic the worker on every Nth micro-batch (`0` = never). Must be
+    /// ≥ 2 when active: the re-enqueued batch advances the counter, so
+    /// `every = 1` would poison every retry and exhaust the restart
+    /// budget by construction.
+    pub worker_panic_every: u64,
+    /// Stall the enforcement step of every Nth micro-batch (`0` = never).
+    pub solver_stall_every: u64,
+    /// How long a stalled batch sleeps before enforcing.
+    pub solver_stall_ms: u64,
+    /// Delay every Nth reply write (`0` = never).
+    pub slow_write_every: u64,
+    /// How long a slowed write sleeps before hitting the socket.
+    pub slow_write_ms: u64,
+}
+
+impl Default for ProcessFaultPlan {
+    fn default() -> Self {
+        ProcessFaultPlan::none()
+    }
+}
+
+impl ProcessFaultPlan {
+    /// No process faults (the hooks become no-ops).
+    pub fn none() -> ProcessFaultPlan {
+        ProcessFaultPlan {
+            worker_panic_every: 0,
+            solver_stall_every: 0,
+            solver_stall_ms: 0,
+            slow_write_every: 0,
+            slow_write_ms: 0,
+        }
+    }
+
+    /// The standard process-chaos preset used by CI's recovery smoke:
+    /// frequent worker kills, periodic solver stalls and slowed writes,
+    /// all bounded well under the drain budget.
+    pub fn chaos() -> ProcessFaultPlan {
+        ProcessFaultPlan {
+            worker_panic_every: 8,
+            solver_stall_every: 16,
+            solver_stall_ms: 20,
+            slow_write_every: 32,
+            slow_write_ms: 5,
+        }
+    }
+
+    /// True iff any hook can fire.
+    pub fn is_active(&self) -> bool {
+        self.worker_panic_every > 0 || self.solver_stall_every > 0 || self.slow_write_every > 0
+    }
+
+    /// Does ordinal `n` (0-based) of a cadence fire under `every`?
+    pub fn fires(every: u64, n: u64) -> bool {
+        every > 0 && (n + 1).is_multiple_of(every)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +275,19 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn process_plan_round_trips_and_cadences_fire() {
+        let p = ProcessFaultPlan::chaos();
+        assert!(p.is_active());
+        assert!(!ProcessFaultPlan::none().is_active());
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProcessFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // `every = 3` fires on ordinals 2, 5, 8, ... and never on 0.
+        let fired: Vec<u64> = (0..10).filter(|&n| ProcessFaultPlan::fires(3, n)).collect();
+        assert_eq!(fired, vec![2, 5, 8]);
+        assert!((0..100).all(|n| !ProcessFaultPlan::fires(0, n)));
     }
 }

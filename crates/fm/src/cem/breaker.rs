@@ -1,0 +1,500 @@
+//! A circuit breaker for the SMT rung of the degradation ladder.
+//!
+//! The ladder already degrades *per interval*: a budget wall costs one
+//! escalated retry plus a fast-engine solve before the interval is
+//! answered. When the SMT backend is systematically wedged (a stalled
+//! solver process, a pathological constraint mix), paying that cost for
+//! every interval of every window turns a degraded-but-fast pipeline
+//! into a slow one. The breaker converts *consecutive* solver failures
+//! into a cheap steady state: after [`BreakerConfig::threshold`]
+//! consecutive budget exhaustions the breaker **opens** and the ladder
+//! pins itself at [`super::DegradationLevel::FastFallback`] — no SMT
+//! call at all — for a cooldown window. After the cooldown it goes
+//! **half-open** and lets a bounded number of probe solves through; if
+//! they all succeed the breaker closes and full-fidelity SMT resumes,
+//! if any probe fails it re-opens for another cooldown.
+//!
+//! The state machine itself ([`BreakerCore`]) is pure — every method
+//! takes an explicit `now: Instant` — so tests (including the
+//! proptest) can drive it with synthetic clocks. The serving path uses
+//! the process-wide wrapper ([`allow_global`] / [`record_global`]),
+//! which also owns the `fm.cem.breaker.*` metrics and emits a
+//! rising-edge `cem.breaker` RunLog event on every state transition,
+//! mirroring the SLO watchdog's breach events.
+//!
+//! Only [`super::smt_engine::SmtCemError::Budget`] counts as a failure:
+//! an `Infeasible` answer means the solver *responded* (the problem is
+//! the data, and measurement relaxation upstream handles that), so it
+//! counts as a success.
+
+use fmml_obs::{log_event, Counter, Gauge};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker trips (Closed or HalfOpen → Open).
+static BREAKER_TRIPS: Counter = Counter::new("fm.cem.breaker.trips");
+/// Breaker closes (HalfOpen → Closed after enough probe successes).
+static BREAKER_CLOSES: Counter = Counter::new("fm.cem.breaker.closes");
+/// SMT solves skipped because the breaker was open.
+static BREAKER_SHORT_CIRCUITS: Counter = Counter::new("fm.cem.breaker.short_circuits");
+/// Probe solves admitted while half-open.
+static BREAKER_PROBES: Counter = Counter::new("fm.cem.breaker.probes");
+/// Current state: 0 = closed, 1 = open, 2 = half-open.
+static BREAKER_STATE: Gauge = Gauge::new("fm.cem.breaker.state");
+
+/// Circuit-breaker tuning for the ladder's SMT rung.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive budget failures that trip the breaker.
+    pub threshold: u32,
+    /// How long the breaker stays open before probing.
+    pub cooldown: Duration,
+    /// Probe solves that must all succeed (and are all that is
+    /// admitted) while half-open before the breaker closes.
+    pub probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            cooldown: Duration::from_millis(250),
+            probes: 2,
+        }
+    }
+}
+
+/// Breaker state (exported for tests and the stats dump).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; counts consecutive failures.
+    Closed,
+    /// Tripped: SMT is skipped until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: a bounded number of probes is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label (events, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    fn gauge_value(&self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// A state transition worth announcing (metrics + RunLog event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Closed or HalfOpen → Open.
+    Tripped,
+    /// Open → HalfOpen (cooldown elapsed, first probe admitted).
+    Probing,
+    /// HalfOpen → Closed (all probes succeeded).
+    Closed,
+}
+
+/// The pure state machine. Every method takes `now` explicitly so the
+/// whole lifecycle is testable with synthetic clocks; side effects
+/// (metrics, events) live in the global wrapper.
+#[derive(Debug, Clone)]
+pub struct BreakerCore {
+    cfg: BreakerConfig,
+    state: State,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { fails: u32 },
+    Open { opened_at: Instant },
+    HalfOpen { successes: u32, inflight: u32 },
+}
+
+impl BreakerCore {
+    pub fn new(cfg: BreakerConfig) -> BreakerCore {
+        BreakerCore {
+            cfg: BreakerConfig {
+                // A zero threshold or probe count would wedge the
+                // machine (trip instantly / never close); clamp to 1.
+                threshold: cfg.threshold.max(1),
+                probes: cfg.probes.max(1),
+                ..cfg
+            },
+            state: State::Closed { fails: 0 },
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// May an SMT solve start now? `false` means the caller must take
+    /// the fast fallback. Admitting the first post-cooldown probe moves
+    /// Open → HalfOpen and reports [`Transition::Probing`].
+    pub fn allow(&mut self, now: Instant) -> (bool, Option<Transition>) {
+        match self.state {
+            State::Closed { .. } => (true, None),
+            State::Open { opened_at } => {
+                if now.duration_since(opened_at) >= self.cfg.cooldown {
+                    self.state = State::HalfOpen {
+                        successes: 0,
+                        inflight: 1,
+                    };
+                    (true, Some(Transition::Probing))
+                } else {
+                    (false, None)
+                }
+            }
+            State::HalfOpen {
+                successes,
+                inflight,
+            } => {
+                // Bound *total* admissions to `probes`: outcomes already
+                // recorded plus solves still in flight.
+                if successes + inflight < self.cfg.probes {
+                    self.state = State::HalfOpen {
+                        successes,
+                        inflight: inflight + 1,
+                    };
+                    (true, None)
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Record a solver outcome. Results that started before a trip can
+    /// land while the breaker is open; they are stale and ignored.
+    pub fn record(&mut self, success: bool, now: Instant) -> Option<Transition> {
+        match (&mut self.state, success) {
+            (State::Closed { fails }, true) => {
+                *fails = 0;
+                None
+            }
+            (State::Closed { fails }, false) => {
+                *fails += 1;
+                if *fails >= self.cfg.threshold {
+                    self.state = State::Open { opened_at: now };
+                    Some(Transition::Tripped)
+                } else {
+                    None
+                }
+            }
+            // Stale result from before the trip: the cooldown clock is
+            // not extended and the state does not change.
+            (State::Open { .. }, _) => None,
+            (
+                State::HalfOpen {
+                    successes,
+                    inflight,
+                },
+                true,
+            ) => {
+                *successes += 1;
+                *inflight = inflight.saturating_sub(1);
+                if *successes >= self.cfg.probes {
+                    self.state = State::Closed { fails: 0 };
+                    Some(Transition::Closed)
+                } else {
+                    None
+                }
+            }
+            (State::HalfOpen { .. }, false) => {
+                self.state = State::Open { opened_at: now };
+                Some(Transition::Tripped)
+            }
+        }
+    }
+}
+
+/// One process-wide breaker, shared by every ladder worker: the wedged
+/// backend the breaker guards against is process-wide too, and a shared
+/// breaker means N parallel workers trip it after `threshold` total
+/// consecutive failures rather than `N * threshold`.
+static GLOBAL: Mutex<Option<BreakerCore>> = Mutex::new(None);
+
+fn announce(t: Transition, state: BreakerState) {
+    match t {
+        Transition::Tripped => BREAKER_TRIPS.inc(),
+        Transition::Probing => BREAKER_PROBES.inc(),
+        Transition::Closed => BREAKER_CLOSES.inc(),
+    }
+    BREAKER_STATE.set(state.gauge_value());
+    // Rising-edge only: one event per transition, not per solve.
+    log_event!(
+        "cem.breaker",
+        "transition" = match t {
+            Transition::Tripped => "tripped",
+            Transition::Probing => "probing",
+            Transition::Closed => "closed",
+        },
+        "state" = state.label(),
+    );
+}
+
+/// May an SMT solve start now? `None` config means no breaker is
+/// configured: always allow, touch no lock.
+pub fn allow_global(cfg: Option<&BreakerConfig>) -> bool {
+    let Some(cfg) = cfg else { return true };
+    let mut g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let core = g.get_or_insert_with(|| BreakerCore::new(cfg.clone()));
+    let now = Instant::now();
+    let (allowed, transition) = core.allow(now);
+    let state = core.state();
+    if state == BreakerState::HalfOpen && allowed && transition.is_none() {
+        // Probes after the first (the first is counted by `announce`).
+        BREAKER_PROBES.inc();
+    }
+    if !allowed {
+        BREAKER_SHORT_CIRCUITS.inc();
+    }
+    drop(g);
+    if let Some(t) = transition {
+        announce(t, state);
+    }
+    allowed
+}
+
+/// Record a solver outcome against the global breaker (no-op without a
+/// configured breaker).
+pub fn record_global(cfg: Option<&BreakerConfig>, success: bool) {
+    if cfg.is_none() {
+        return;
+    }
+    let mut g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(core) = g.as_mut() else { return };
+    let transition = core.record(success, Instant::now());
+    let state = core.state();
+    drop(g);
+    if let Some(t) = transition {
+        announce(t, state);
+    }
+}
+
+/// Current global breaker state (for stats and tests).
+pub fn global_state() -> Option<BreakerState> {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .map(|c| c.state())
+}
+
+/// Drop the global breaker (tests; also lets a server restart with a
+/// different config take effect).
+pub fn reset_global() {
+    *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    BREAKER_STATE.set(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(100),
+            probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures_only() {
+        let t0 = Instant::now();
+        let mut b = BreakerCore::new(cfg());
+        // Successes interleave: never trips.
+        for _ in 0..10 {
+            assert_eq!(b.record(false, t0), None);
+            assert_eq!(b.record(false, t0), None);
+            assert_eq!(b.record(true, t0), None);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Three in a row: trips on the third.
+        assert_eq!(b.record(false, t0), None);
+        assert_eq!(b.record(false, t0), None);
+        assert_eq!(b.record(false, t0), Some(Transition::Tripped));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Open within the cooldown: short-circuit.
+        assert_eq!(b.allow(t0 + Duration::from_millis(50)), (false, None));
+        // Stale results land while open: ignored, clock not extended.
+        assert_eq!(b.record(true, t0 + Duration::from_millis(60)), None);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn full_lifecycle_trip_cooldown_halfopen_close() {
+        let t0 = Instant::now();
+        let c = cfg();
+        let mut b = BreakerCore::new(c.clone());
+        for _ in 0..c.threshold {
+            b.record(false, t0);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown elapses: first allow is the probing transition.
+        let t1 = t0 + c.cooldown;
+        assert_eq!(b.allow(t1), (true, Some(Transition::Probing)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Second probe admitted, third refused (probes = 2).
+        assert_eq!(b.allow(t1), (true, None));
+        assert_eq!(b.allow(t1), (false, None));
+        // Both probes succeed: closed.
+        assert_eq!(b.record(true, t1), None);
+        assert_eq!(b.record(true, t1), Some(Transition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Failure budget is fresh after the close.
+        assert_eq!(b.record(false, t1), None);
+        assert_eq!(b.record(true, t1), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn halfopen_failure_reopens_with_a_fresh_cooldown() {
+        let t0 = Instant::now();
+        let c = cfg();
+        let mut b = BreakerCore::new(c.clone());
+        for _ in 0..c.threshold {
+            b.record(false, t0);
+        }
+        let t1 = t0 + c.cooldown;
+        assert_eq!(b.allow(t1), (true, Some(Transition::Probing)));
+        assert_eq!(b.record(false, t1), Some(Transition::Tripped));
+        assert_eq!(b.state(), BreakerState::Open);
+        // The re-trip restarted the cooldown at t1, not t0.
+        assert_eq!(b.allow(t1 + c.cooldown / 2), (false, None));
+        assert!(b.allow(t1 + c.cooldown).0);
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped_not_wedged() {
+        let t0 = Instant::now();
+        let mut b = BreakerCore::new(BreakerConfig {
+            threshold: 0,
+            cooldown: Duration::ZERO,
+            probes: 0,
+        });
+        assert_eq!(b.record(false, t0), Some(Transition::Tripped));
+        assert_eq!(b.allow(t0), (true, Some(Transition::Probing)));
+        assert_eq!(b.record(true, t0), Some(Transition::Closed));
+    }
+
+    /// One step of a synthetic breaker history.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Allow,
+        Success,
+        Failure,
+        AdvanceMs(u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::Allow),
+            Just(Op::Success),
+            Just(Op::Failure),
+            (0u16..300).prop_map(Op::AdvanceMs),
+        ]
+    }
+
+    proptest! {
+        /// Under arbitrary interleavings of admissions, outcomes, and
+        /// clock advances the machine holds its invariants: it only
+        /// refuses solves while open-within-cooldown or probe-saturated,
+        /// it never admits more than `probes` concurrent probes, and
+        /// every trip requires `threshold` consecutive failures (or a
+        /// half-open failure).
+        #[test]
+        fn breaker_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..200)) {
+            let c = cfg();
+            let t0 = Instant::now();
+            let mut now = t0;
+            let mut b = BreakerCore::new(c.clone());
+            let mut consecutive_failures = 0u32;
+            let mut inflight_probes = 0u32;
+            for op in ops {
+                let before = b.state();
+                match op {
+                    Op::AdvanceMs(ms) => now += Duration::from_millis(ms as u64),
+                    Op::Allow => {
+                        let (allowed, transition) = b.allow(now);
+                        match before {
+                            BreakerState::Closed => prop_assert!(allowed),
+                            BreakerState::Open => {
+                                if allowed {
+                                    // Admission out of Open must be the
+                                    // cooldown-elapsed probing edge.
+                                    prop_assert_eq!(transition, Some(Transition::Probing));
+                                    prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+                                    inflight_probes = 1;
+                                } else {
+                                    prop_assert_eq!(b.state(), BreakerState::Open);
+                                }
+                            }
+                            BreakerState::HalfOpen => {
+                                if allowed {
+                                    inflight_probes += 1;
+                                }
+                                prop_assert!(inflight_probes <= c.probes);
+                            }
+                        }
+                    }
+                    Op::Success | Op::Failure => {
+                        let success = matches!(op, Op::Success);
+                        let transition = b.record(success, now);
+                        match before {
+                            BreakerState::Closed => {
+                                if success {
+                                    consecutive_failures = 0;
+                                    prop_assert_eq!(transition, None);
+                                } else {
+                                    consecutive_failures += 1;
+                                    if consecutive_failures >= c.threshold {
+                                        prop_assert_eq!(transition, Some(Transition::Tripped));
+                                        prop_assert_eq!(b.state(), BreakerState::Open);
+                                        consecutive_failures = 0;
+                                    } else {
+                                        prop_assert_eq!(b.state(), BreakerState::Closed);
+                                    }
+                                }
+                            }
+                            // Stale results never change an open breaker.
+                            BreakerState::Open => {
+                                prop_assert_eq!(transition, None);
+                                prop_assert_eq!(b.state(), BreakerState::Open);
+                            }
+                            BreakerState::HalfOpen => {
+                                inflight_probes = inflight_probes.saturating_sub(1);
+                                if !success {
+                                    prop_assert_eq!(transition, Some(Transition::Tripped));
+                                    prop_assert_eq!(b.state(), BreakerState::Open);
+                                    inflight_probes = 0;
+                                } else if b.state() == BreakerState::Closed {
+                                    prop_assert_eq!(transition, Some(Transition::Closed));
+                                    consecutive_failures = 0;
+                                    inflight_probes = 0;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

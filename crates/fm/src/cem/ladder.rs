@@ -32,8 +32,8 @@
 //! to degrade.
 
 use super::{
-    cache, fast_engine, interval_problem, smt_engine, CachedInterval, CemEngine, EnforceOptions,
-    IntervalProblem, IntervalSolution,
+    breaker, cache, fast_engine, interval_problem, smt_engine, CachedInterval, CemEngine,
+    EnforceOptions, IntervalProblem, IntervalSolution,
 };
 use crate::constraints::WindowConstraints;
 use fmml_obs::{log_event, trace, Counter, Histogram, Unit};
@@ -122,6 +122,11 @@ pub struct LadderConfig {
     pub deadline: Option<Duration>,
     /// Budget multiplier for the single escalated retry (SMT mode).
     pub escalation_factor: u32,
+    /// Circuit breaker over the SMT rung: consecutive budget failures
+    /// pin the ladder at [`DegradationLevel::FastFallback`] for a
+    /// cooldown window (see [`breaker`]). `None` disables it (no
+    /// breaker bookkeeping at all); only consulted in SMT mode.
+    pub breaker: Option<breaker::BreakerConfig>,
 }
 
 impl Default for LadderConfig {
@@ -130,6 +135,7 @@ impl Default for LadderConfig {
             engine: CemEngine::Fast,
             deadline: None,
             escalation_factor: 4,
+            breaker: None,
         }
     }
 }
@@ -276,26 +282,59 @@ fn solve_interval(
             // Unreachable after relaxation; defensive bottom rung.
             None => (clamp_projection(p), DegradationLevel::ClampProjection),
         },
-        CemEngine::Smt { budget } => match smt_engine::solve_warm(p, *budget) {
-            Ok(s) => (s, DegradationLevel::Full),
-            Err(smt_engine::SmtCemError::Budget) => {
-                let escalated = budget.escalate(cfg.escalation_factor);
-                match smt_engine::solve_warm(p, escalated) {
-                    Ok(s) => (s, DegradationLevel::EscalatedRetry),
-                    Err(_) => match fast_engine::solve(p) {
+        CemEngine::Smt { budget } => {
+            let brk = cfg.breaker.as_ref();
+            // Open breaker: skip SMT entirely and pin the fast fallback.
+            if !breaker::allow_global(brk) {
+                return match fast_engine::solve(p) {
+                    Some(s) => (s, DegradationLevel::FastFallback),
+                    None => (clamp_projection(p), DegradationLevel::ClampProjection),
+                };
+            }
+            match smt_engine::solve_warm(p, *budget) {
+                Ok(s) => {
+                    breaker::record_global(brk, true);
+                    (s, DegradationLevel::Full)
+                }
+                Err(smt_engine::SmtCemError::Budget) => {
+                    breaker::record_global(brk, false);
+                    // The escalated retry is its own solver admission:
+                    // the failure above may just have tripped the
+                    // breaker, in which case the retry is skipped too.
+                    let retried = if breaker::allow_global(brk) {
+                        let escalated = budget.escalate(cfg.escalation_factor);
+                        let r = smt_engine::solve_warm(p, escalated);
+                        // Budget exhaustion is a breaker failure; an
+                        // Infeasible answer means the solver responded.
+                        breaker::record_global(
+                            brk,
+                            !matches!(r, Err(smt_engine::SmtCemError::Budget)),
+                        );
+                        Some(r)
+                    } else {
+                        None
+                    };
+                    match retried {
+                        Some(Ok(s)) => (s, DegradationLevel::EscalatedRetry),
+                        _ => match fast_engine::solve(p) {
+                            Some(s) => (s, DegradationLevel::FastFallback),
+                            None => (clamp_projection(p), DegradationLevel::ClampProjection),
+                        },
+                    }
+                }
+                // `solve_warm` reports Infeasible only when the fast
+                // engine found no solution — unreachable after
+                // relaxation, but the ladder still answers. The solver
+                // *responded*, so the breaker counts it as a success.
+                Err(smt_engine::SmtCemError::Infeasible) => {
+                    breaker::record_global(brk, true);
+                    match fast_engine::solve(p) {
                         Some(s) => (s, DegradationLevel::FastFallback),
                         None => (clamp_projection(p), DegradationLevel::ClampProjection),
-                    },
+                    }
                 }
             }
-            // `solve_warm` reports Infeasible only when the fast engine
-            // found no solution — unreachable after relaxation, but the
-            // ladder still answers.
-            Err(smt_engine::SmtCemError::Infeasible) => match fast_engine::solve(p) {
-                Some(s) => (s, DegradationLevel::FastFallback),
-                None => (clamp_projection(p), DegradationLevel::ClampProjection),
-            },
-        },
+        }
     }
 }
 
@@ -588,6 +627,7 @@ mod tests {
             engine: CemEngine::Smt { budget: starved },
             deadline: None,
             escalation_factor: 2, // escalated budget is still starved
+            breaker: None,
         };
         let out = enforce_degraded(&w, &imputed, &cfg);
         assert!(
@@ -605,6 +645,47 @@ mod tests {
     }
 
     #[test]
+    fn tripped_breaker_pins_fast_fallback_and_constraints_hold() {
+        let (w, imputed) = feasible_window();
+        let starved = Budget {
+            timeout: Some(Duration::ZERO),
+            max_sat_conflicts: Some(1),
+            max_bb_nodes: 1,
+        };
+        let cfg = LadderConfig {
+            engine: CemEngine::Smt { budget: starved },
+            deadline: None,
+            escalation_factor: 2,
+            breaker: Some(breaker::BreakerConfig {
+                threshold: 1,
+                cooldown: Duration::from_secs(3600),
+                probes: 1,
+            }),
+        };
+        breaker::reset_global();
+        // The first starved solve trips the breaker (threshold 1);
+        // every interval after that is short-circuited straight to the
+        // fast engine — and the output still satisfies C1 ∧ C2 ∧ C3 at
+        // the strict optimum, bitwise identical to a breaker-less run.
+        for _ in 0..3 {
+            let out = enforce_degraded(&w, &imputed, &cfg);
+            assert!(
+                out.levels
+                    .iter()
+                    .all(|&l| l == DegradationLevel::FastFallback),
+                "expected fast fallback, got {:?}",
+                out.levels
+            );
+            assert!(w.satisfied_exact(&out.corrected));
+            let strict = super::super::enforce(&w, &imputed, &CemEngine::Fast).unwrap();
+            assert_eq!(out.corrected, strict.corrected);
+            assert_eq!(out.objective, strict.objective);
+        }
+        assert_eq!(breaker::global_state(), Some(breaker::BreakerState::Open));
+        breaker::reset_global();
+    }
+
+    #[test]
     fn generous_smt_budget_stays_at_full_fidelity() {
         let (w, imputed) = feasible_window();
         let cfg = LadderConfig {
@@ -613,6 +694,7 @@ mod tests {
             },
             deadline: None,
             escalation_factor: 4,
+            breaker: None,
         };
         let out = enforce_degraded(&w, &imputed, &cfg);
         assert!(out.levels.iter().all(|&l| l == DegradationLevel::Full));
@@ -626,6 +708,7 @@ mod tests {
             engine: CemEngine::Fast,
             deadline: Some(Duration::ZERO),
             escalation_factor: 4,
+            breaker: None,
         };
         let out = enforce_degraded(&w, &imputed, &cfg);
         assert!(
@@ -694,6 +777,7 @@ mod tests {
             engine: CemEngine::Fast,
             deadline: Some(Duration::ZERO),
             escalation_factor: 4,
+            breaker: None,
         };
         let out = enforce_degraded_with(&w, &imputed, &cfg, &opts);
         assert_eq!(out, warm, "deadline-aware cache must serve the optimum");

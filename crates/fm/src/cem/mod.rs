@@ -28,6 +28,7 @@
 //! Property tests (`tests` below and in the workspace `tests/`) assert
 //! both engines reach the same objective value on random instances.
 
+pub mod breaker;
 pub mod cache;
 pub mod fast_engine;
 pub mod ladder;
@@ -38,6 +39,7 @@ use fmml_obs::{log_event, Counter, Histogram, Unit};
 use rayon::prelude::*;
 use std::time::Instant;
 
+pub use breaker::{BreakerConfig, BreakerState};
 pub use cache::{CacheStats, CachedInterval, SolutionCache};
 pub use ladder::{
     enforce_degraded, enforce_degraded_batch, enforce_degraded_with, DegradationLevel,

@@ -38,6 +38,8 @@ static LG_BUSY: Counter = Counter::new("serve.loadgen.busy");
 static LG_REJECTED: Counter = Counter::new("serve.loadgen.rejected");
 static LG_LOST: Counter = Counter::new("serve.loadgen.lost");
 static LG_RECONNECTS: Counter = Counter::new("serve.loadgen.reconnects");
+static LG_RESUMES: Counter = Counter::new("serve.loadgen.resumes");
+static LG_DUPLICATES: Counter = Counter::new("serve.loadgen.duplicates");
 static LG_E2E_US: Histogram = Histogram::new("serve.loadgen.e2e_us", Unit::Micros);
 static LG_MISS_RATE: FloatGauge = FloatGauge::new("serve.loadgen.deadline_miss_rate");
 
@@ -145,6 +147,16 @@ pub struct LoadReport {
     /// (e.g. the server shut down mid-replay).
     pub unsent: u64,
     pub reconnects: u64,
+    /// Sessions successfully resumed from a prior connection's
+    /// `resume_token` (server replayed the outstanding replies).
+    pub resumes: u64,
+    /// Replies received for seqs already answered (resume replay overlap
+    /// or duplicated delivery) — deduped client-side, never double
+    /// counted.
+    pub duplicates: u64,
+    /// Client threads that panicked instead of reporting; their partial
+    /// tallies are excluded from every other field.
+    pub client_failures: u64,
     /// `Error` frames received from the server.
     pub server_errors: u64,
     /// Imputed replies whose `level` label failed to parse.
@@ -187,6 +199,8 @@ struct ClientReport {
     lost: u64,
     unsent: u64,
     reconnects: u64,
+    resumes: u64,
+    duplicates: u64,
     server_errors: u64,
     unknown_levels: u64,
     drain_losses: u64,
@@ -205,12 +219,26 @@ struct ClientShared {
     malformed_rejects: AtomicU64,
     server_errors: AtomicU64,
     unknown_levels: AtomicU64,
+    /// Replies for seqs no longer pending (replay overlap after resume).
+    duplicates: AtomicU64,
     saw_byeack: AtomicBool,
     /// `remaining` reported by the `ByeAck` (non-zero = partial drain).
     byeack_remaining: AtomicU64,
     /// Reader saw the connection end (any reason).
     done: AtomicBool,
     stop: AtomicBool,
+}
+
+impl ClientShared {
+    /// The shared state now outlives a single connection (pending seqs
+    /// must survive a disconnect for resumption); per-connection flags
+    /// are re-armed before each reader spawn.
+    fn reset_for_connection(&self) {
+        self.saw_byeack.store(false, Ordering::Release);
+        self.byeack_remaining.store(0, Ordering::Release);
+        self.done.store(false, Ordering::Release);
+        self.stop.store(false, Ordering::Release);
+    }
 }
 
 /// Run the load generator to completion and aggregate.
@@ -226,6 +254,8 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         &LG_REJECTED,
         &LG_LOST,
         &LG_RECONNECTS,
+        &LG_RESUMES,
+        &LG_DUPLICATES,
     ] {
         c.add(0);
     }
@@ -253,9 +283,20 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
                 .expect("spawn client")
         })
         .collect();
+    // A panicked client must not take the whole run down with it: its
+    // thread is accounted as a `client_failure` and the surviving
+    // clients' measurements are still aggregated.
+    let mut client_failures = 0u64;
     let reports: Vec<ClientReport> = handles
         .into_iter()
-        .map(|h| h.join().expect("client thread panicked"))
+        .filter_map(|h| match h.join() {
+            Ok(r) => Some(r),
+            Err(_) => {
+                client_failures += 1;
+                log_event!("serve.loadgen.client_panic");
+                None
+            }
+        })
         .collect();
     let elapsed = started.elapsed();
 
@@ -297,6 +338,9 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         lost: sum(|r| r.lost),
         unsent: sum(|r| r.unsent),
         reconnects: sum(|r| r.reconnects),
+        resumes: sum(|r| r.resumes),
+        duplicates: sum(|r| r.duplicates),
+        client_failures,
         server_errors: sum(|r| r.server_errors),
         unknown_levels: sum(|r| r.unknown_levels),
         drain_losses: sum(|r| r.drain_losses),
@@ -370,13 +414,29 @@ fn trace_updates(cfg: &LoadgenConfig, seed: u64) -> Vec<IntervalUpdate> {
     updates
 }
 
-fn connect_with_retry(addr: &str, budget: Duration) -> Option<TcpStream> {
+/// Connect with seeded exponential backoff and jitter. A fixed retry
+/// period makes every client that lost the same server hammer it in
+/// lockstep on the same 20 ms grid; jittered doubling (5 ms → 320 ms
+/// cap, scaled by U[0.5, 1.0)) spreads the reconnect storm while the
+/// seed keeps each client's schedule reproducible.
+fn connect_with_retry(addr: &str, budget: Duration, rng: &mut StdRng) -> Option<TcpStream> {
     let deadline = Instant::now() + budget;
+    let mut backoff = Duration::from_millis(5);
+    const BACKOFF_CAP: Duration = Duration::from_millis(320);
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => return Some(s),
-            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
-            Err(_) => return None,
+            Err(_) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return None;
+                }
+                let sleep = backoff
+                    .mul_f64(rng.random_range(0.5f64..1.0))
+                    .min(deadline - now);
+                std::thread::sleep(sleep);
+                backoff = backoff.saturating_mul(2).min(BACKOFF_CAP);
+            }
         }
     }
 }
@@ -386,7 +446,8 @@ fn connect_with_retry(addr: &str, budget: Duration) -> Option<TcpStream> {
 /// deadline_misses, violations, slow_disconnects).
 #[allow(clippy::type_complexity)]
 fn probe_stats(addr: &str) -> Option<(u64, u64, u64, u64, u64, u64, u64, u64)> {
-    let stream = connect_with_retry(addr, Duration::from_secs(2))?;
+    let mut rng = StdRng::seed_from_u64(0x5747_5f70_726f_6265); // "STW_probe"
+    let stream = connect_with_retry(addr, Duration::from_secs(2), &mut rng)?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let mut reader = FrameReader::new(stream.try_clone().ok()?);
     let mut w = stream;
@@ -433,14 +494,23 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
     let queues = updates[0].samples.len();
     let mut seq: u64 = 0;
     let mut idx = 0usize;
+    // Shared state is per-*client*, not per-connection: pending seqs
+    // must survive a disconnect so a resumed session can reconcile them
+    // against the server's replay window instead of writing them off.
+    let shared = Arc::new(ClientShared::default());
+    let mut resume_token: Option<String> = None;
 
-    while idx < updates.len() {
+    loop {
+        let outstanding = !shared.pending.lock().unwrap().is_empty();
+        if idx >= updates.len() && !outstanding {
+            break;
+        }
         let retry_budget = if report.reconnects == 0 && report.connect_failures == 0 {
             Duration::from_secs(5) // initial connect: the server may still be starting
         } else {
             Duration::from_secs(2) // reconnect after chaos/shutdown: give up sooner
         };
-        let Some(stream) = connect_with_retry(&cfg.addr, retry_budget) else {
+        let Some(stream) = connect_with_retry(&cfg.addr, retry_budget, &mut rng) else {
             report.connect_failures += 1;
             report.unsent += (updates.len() - idx) as u64;
             break;
@@ -453,7 +523,14 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
             break;
         };
         let mut w = stream;
-        // Handshake.
+        // Handshake; a token from a previous Welcome asks the server to
+        // resume that session. `last_acked` is the contiguous floor of
+        // received replies: everything above it and still pending is
+        // either replayed by the server or re-sent by us after rewind.
+        let last_acked = {
+            let p = shared.pending.lock().unwrap();
+            p.keys().min().map_or(seq, |&m| m - 1)
+        };
         if write_frame(
             &mut w,
             &Frame::Hello {
@@ -462,6 +539,8 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
                 queues,
                 interval_len: cfg.interval_len,
                 window_intervals: cfg.window_intervals,
+                resume_token: resume_token.clone(),
+                last_acked: resume_token.is_some().then_some(last_acked),
             },
         )
         .is_err()
@@ -470,13 +549,48 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
             continue;
         }
         let mut hs_reader = FrameReader::new(read_half);
-        if !await_welcome(&mut hs_reader) {
+        let Some(welcome) = await_welcome(&mut hs_reader) else {
             report.connect_failures += 1;
             report.reconnects += 1;
             continue;
+        };
+        if welcome.resumed == Some(true) {
+            report.resumes += 1;
+            LG_RESUMES.inc();
+            let resume_seq = welcome.resume_seq.unwrap_or(0);
+            if resume_seq < seq {
+                // The server never processed anything past its
+                // watermark. Seq S rode updates[S-1], so rewind the send
+                // cursor to the watermark and retract those seqs' first
+                // `sent` accounting — they are re-sent under the same
+                // seq numbers and counted again then.
+                let rewound = {
+                    let mut p = shared.pending.lock().unwrap();
+                    let before = p.len();
+                    p.retain(|&s, _| s <= resume_seq);
+                    (before - p.len()) as u64
+                };
+                report.sent = report.sent.saturating_sub(rewound);
+                seq = resume_seq;
+                idx = resume_seq as usize;
+            }
+        } else {
+            // Fresh session (no token yet, or the parked session
+            // expired / was evicted): in-flight seqs are unrecoverable.
+            let dropped = {
+                let mut p = shared.pending.lock().unwrap();
+                let n = p.len() as u64;
+                p.clear();
+                n
+            };
+            if dropped > 0 {
+                report.lost += dropped;
+                LG_LOST.add(dropped);
+            }
         }
+        resume_token = welcome.resume_token;
 
-        let shared = Arc::new(ClientShared::default());
+        shared.reset_for_connection();
         let reader_handle = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -578,42 +692,63 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
                 // (partial) drain — either way replies were lost.
                 report.drain_losses += 1;
             }
+            shared.stop.store(true, Ordering::Release);
+            let _ = w.shutdown(Shutdown::Both);
+            let _ = reader_handle.join();
+            break;
         }
         shared.stop.store(true, Ordering::Release);
         let _ = w.shutdown(Shutdown::Both);
         let _ = reader_handle.join();
-
-        // Fold this connection's tallies into the client report.
-        report.acked += shared.acked.load(Ordering::Relaxed);
-        report.busy += shared.busy.load(Ordering::Relaxed);
-        report.malformed_rejects += shared.malformed_rejects.load(Ordering::Relaxed);
-        report.server_errors += shared.server_errors.load(Ordering::Relaxed);
-        report.unknown_levels += shared.unknown_levels.load(Ordering::Relaxed);
-        let lat = shared.latencies_us.lock().unwrap();
-        report.latencies_us.extend(lat.iter().copied());
-        drop(lat);
-        let leftover = shared.pending.lock().unwrap().len() as u64;
-        report.lost += leftover;
-        LG_LOST.add(leftover);
-        if finished {
-            break;
-        }
+        // Disconnected (chaos, server hangup, or write error): loop
+        // around and reconnect, presenting the resume token so pending
+        // seqs can be reconciled rather than declared lost.
     }
+
+    // Fold the client-lifetime tallies once.
+    report.acked = shared.acked.load(Ordering::Relaxed);
+    report.busy = shared.busy.load(Ordering::Relaxed);
+    report.malformed_rejects = shared.malformed_rejects.load(Ordering::Relaxed);
+    report.server_errors = shared.server_errors.load(Ordering::Relaxed);
+    report.unknown_levels = shared.unknown_levels.load(Ordering::Relaxed);
+    report.duplicates = shared.duplicates.load(Ordering::Relaxed);
+    report.latencies_us = shared.latencies_us.lock().unwrap().clone();
+    let leftover = shared.pending.lock().unwrap().len() as u64;
+    report.lost += leftover;
+    LG_LOST.add(leftover);
     report
 }
 
-fn await_welcome(reader: &mut FrameReader<TcpStream>) -> bool {
+/// The fields of the server's `Welcome` a client acts on.
+struct WelcomeInfo {
+    resume_token: Option<String>,
+    resumed: Option<bool>,
+    resume_seq: Option<u64>,
+}
+
+fn await_welcome(reader: &mut FrameReader<TcpStream>) -> Option<WelcomeInfo> {
     let deadline = Instant::now() + Duration::from_secs(5);
     while Instant::now() < deadline {
         match reader.poll_frame() {
-            Ok(Some(Frame::Welcome { .. })) => return true,
-            Ok(Some(Frame::Error { .. })) => return false,
+            Ok(Some(Frame::Welcome {
+                resume_token,
+                resumed,
+                resume_seq,
+                ..
+            })) => {
+                return Some(WelcomeInfo {
+                    resume_token,
+                    resumed,
+                    resume_seq,
+                })
+            }
+            Ok(Some(Frame::Error { .. })) => return None,
             Ok(Some(_)) => continue,
             Ok(None) => continue,
-            Err(_) => return false,
+            Err(_) => return None,
         }
     }
-    false
+    None
 }
 
 /// Reader half of one client connection: match replies to pending seqs.
@@ -655,24 +790,43 @@ fn reader_loop(mut reader: FrameReader<TcpStream>, shared: &ClientShared) {
                                 e2e,
                             );
                         }
-                    }
-                    if DegradationLevel::from_label(&level).is_none() {
-                        shared.unknown_levels.fetch_add(1, Ordering::Relaxed);
+                        if DegradationLevel::from_label(&level).is_none() {
+                            shared.unknown_levels.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        // Already answered before the disconnect; the
+                        // resume replay re-delivered it. Exactly-once is
+                        // the client's half of the contract: dedup, and
+                        // never double count a latency sample.
+                        shared.duplicates.fetch_add(1, Ordering::Relaxed);
+                        LG_DUPLICATES.inc();
                     }
                 }
                 Frame::Ack { seq, .. } => {
-                    shared.pending.lock().unwrap().remove(&seq);
-                    shared.acked.fetch_add(1, Ordering::Relaxed);
+                    if shared.pending.lock().unwrap().remove(&seq).is_some() {
+                        shared.acked.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.duplicates.fetch_add(1, Ordering::Relaxed);
+                        LG_DUPLICATES.inc();
+                    }
                 }
                 Frame::Busy { seq, .. } => {
-                    shared.pending.lock().unwrap().remove(&seq);
-                    shared.busy.fetch_add(1, Ordering::Relaxed);
-                    LG_BUSY.inc();
+                    if shared.pending.lock().unwrap().remove(&seq).is_some() {
+                        shared.busy.fetch_add(1, Ordering::Relaxed);
+                        LG_BUSY.inc();
+                    } else {
+                        shared.duplicates.fetch_add(1, Ordering::Relaxed);
+                        LG_DUPLICATES.inc();
+                    }
                 }
                 Frame::Reject { seq, .. } => {
-                    shared.pending.lock().unwrap().remove(&seq);
-                    shared.malformed_rejects.fetch_add(1, Ordering::Relaxed);
-                    LG_REJECTED.inc();
+                    if shared.pending.lock().unwrap().remove(&seq).is_some() {
+                        shared.malformed_rejects.fetch_add(1, Ordering::Relaxed);
+                        LG_REJECTED.inc();
+                    } else {
+                        shared.duplicates.fetch_add(1, Ordering::Relaxed);
+                        LG_DUPLICATES.inc();
+                    }
                 }
                 Frame::ByeAck { remaining, .. } => {
                     shared.byeack_remaining.store(remaining, Ordering::Release);
@@ -721,6 +875,11 @@ impl LoadReport {
             "  answered {} | acked {} | busy {} | rejects {} | lost {} | unsent {} | reconnects {}",
             self.answered, self.acked, self.rejected, self.malformed_rejects, self.lost,
             self.unsent, self.reconnects
+        );
+        let _ = writeln!(
+            s,
+            "  recovery     resumes {} | duplicates deduped {} | client failures {}",
+            self.resumes, self.duplicates, self.client_failures
         );
         let _ = writeln!(
             s,

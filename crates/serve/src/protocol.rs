@@ -51,10 +51,35 @@ pub enum Frame {
         queues: usize,
         interval_len: usize,
         window_intervals: usize,
+        /// Resumption: the `resume_token` a previous `Welcome` handed out,
+        /// to re-attach to that session's sliding windows and replay
+        /// window after a disconnect. Pre-resume clients omit both keys
+        /// (missing keys decode as `None` — compatible both ways, like
+        /// `Interval.trace_id`).
+        resume_token: Option<String>,
+        /// Highest sequence number the client has already processed a
+        /// reply for; on resume the server replays every retained reply
+        /// with a larger seq.
+        last_acked: Option<u64>,
     },
     /// Handshake accepted; `deadline_ms` echoes the server's per-interval
     /// end-to-end budget.
-    Welcome { session: u64, deadline_ms: u64 },
+    Welcome {
+        session: u64,
+        deadline_ms: u64,
+        /// Token to present in a future `Hello` to resume this session
+        /// after a disconnect (always sent by resume-capable servers).
+        resume_token: Option<String>,
+        /// On a resume attempt: `Some(true)` if the parked session was
+        /// re-attached, `Some(false)` if the token was unknown/expired
+        /// and the session is fresh. `None` from pre-resume servers.
+        resumed: Option<bool>,
+        /// When `resumed == Some(true)`: the highest interval seq the
+        /// server ingested before the disconnect. Pending seqs above it
+        /// never reached the server and must be re-sent; pending seqs at
+        /// or below it will be answered by the replay that follows.
+        resume_seq: Option<u64>,
+    },
     /// One coarse interval of one port. `seq` is the client's correlation
     /// id, echoed in the answer. `trace_id` optionally carries the
     /// client's span-tracing id so client- and server-side spans stitch
@@ -366,10 +391,31 @@ mod tests {
                 queues: 2,
                 interval_len: 10,
                 window_intervals: 6,
+                resume_token: None,
+                last_acked: None,
+            },
+            Frame::Hello {
+                tenant: "t-0".into(),
+                ports: vec![0, 3],
+                queues: 2,
+                interval_len: 10,
+                window_intervals: 6,
+                resume_token: Some("tok-5c4f".into()),
+                last_acked: Some(17),
             },
             Frame::Welcome {
                 session: 7,
                 deadline_ms: 50,
+                resume_token: Some("tok-5c4f".into()),
+                resumed: Some(true),
+                resume_seq: Some(21),
+            },
+            Frame::Welcome {
+                session: 8,
+                deadline_ms: 50,
+                resume_token: None,
+                resumed: None,
+                resume_seq: None,
             },
             Frame::Interval {
                 seq: 42,
@@ -463,6 +509,47 @@ mod tests {
         bytes.extend_from_slice(json.as_bytes());
         let (frame, _) = decode_frame(&bytes).unwrap().expect("complete");
         assert!(matches!(frame, Frame::Imputed { trace_id: None, .. }));
+    }
+
+    #[test]
+    fn frames_without_resume_fields_still_decode() {
+        // A pre-resume client's Hello has no resume keys at all; decode
+        // must yield `None`s, not an error (hand-built like the trace_id
+        // test so the old layout stays covered).
+        let json = "{\"Hello\":{\"tenant\":\"t\",\"ports\":[1],\
+                    \"queues\":2,\"interval_len\":10,\"window_intervals\":3}}";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(json.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(json.as_bytes());
+        let (frame, _) = decode_frame(&bytes).unwrap().expect("complete");
+        assert_eq!(
+            frame,
+            Frame::Hello {
+                tenant: "t".into(),
+                ports: vec![1],
+                queues: 2,
+                interval_len: 10,
+                window_intervals: 3,
+                resume_token: None,
+                last_acked: None,
+            }
+        );
+        // And a pre-resume server's Welcome.
+        let json = "{\"Welcome\":{\"session\":4,\"deadline_ms\":50}}";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(json.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(json.as_bytes());
+        let (frame, _) = decode_frame(&bytes).unwrap().expect("complete");
+        assert_eq!(
+            frame,
+            Frame::Welcome {
+                session: 4,
+                deadline_ms: 50,
+                resume_token: None,
+                resumed: None,
+                resume_seq: None,
+            }
+        );
     }
 
     #[test]

@@ -36,17 +36,19 @@
 use crate::protocol::{encode_frame, write_bytes, Frame, FrameReader, WireError};
 use fmml_core::streaming::{PreparedWindow, StreamOptions, StreamingImputer};
 use fmml_core::transformer_imputer::TransformerImputer;
+use fmml_fault::{record_process_fault, FaultKind, ProcessFaultPlan};
 use fmml_fm::cem::{
-    cache::DEFAULT_CAPACITY, enforce_degraded_batch, CemEngine, DegradationLevel, EnforceOptions,
-    LadderConfig, SolutionCache,
+    cache::DEFAULT_CAPACITY, enforce_degraded_batch, BreakerConfig, CemEngine, DegradationLevel,
+    EnforceOptions, LadderConfig, SolutionCache,
 };
 use fmml_obs::trace::{self, TraceContext};
 use fmml_obs::{log_event, Counter, FloatGauge, Gauge, Histogram, Unit};
 use std::collections::{HashMap, VecDeque};
 use std::io::ErrorKind;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -62,6 +64,16 @@ static LATENCY_US: Histogram = Histogram::new("serve.latency_us", Unit::Micros);
 static DEADLINE_MISS: Counter = Counter::new("serve.deadline_miss");
 static VIOLATIONS: Counter = Counter::new("serve.violations");
 static SLOW_DISCONNECTS: Counter = Counter::new("serve.slow_disconnects");
+
+// Supervision and resumption.
+static WORKER_PANICS: Counter = Counter::new("serve.worker.panics");
+static WORKER_RESTARTS: Counter = Counter::new("serve.worker.restarts");
+static REQUEUE_LATENCY_US: Histogram =
+    Histogram::new("serve.worker.requeue_latency_us", Unit::Micros);
+static RESUMES: Counter = Counter::new("serve.resumes");
+static RESUME_MISSES: Counter = Counter::new("serve.resume_misses");
+static REPLAYED: Counter = Counter::new("serve.replayed");
+static PARKED_SESSIONS: Gauge = Gauge::new("serve.sessions.parked");
 
 // Per-stage latency histograms: one interval's journey decomposed as
 // decode → queue → batch → enforce → encode → write. Samples are
@@ -159,6 +171,31 @@ pub struct ServerConfig {
     /// Minimum replies in the window before breach math applies (a
     /// single slow reply at startup is not an SLO event).
     pub slo_min_samples: usize,
+    /// Circuit breaker over the SMT rung of the batch ladder (see
+    /// [`fmml_fm::cem::breaker`]); `None` disables it. Only consulted
+    /// when `engine` is SMT, so the default costs nothing on the fast
+    /// path.
+    pub breaker: Option<BreakerConfig>,
+    /// Restart budget per worker slot: after this many restarts a slot
+    /// is declared dead (`worker.dead` event) and left empty.
+    pub max_restarts: u32,
+    /// Supervisor backoff before restart `k` is `restart_backoff * 2^k`,
+    /// capped at `restart_backoff_cap` — deterministic, no jitter, so
+    /// recovery-latency benches are reproducible.
+    pub restart_backoff: Duration,
+    pub restart_backoff_cap: Duration,
+    /// Per-session replay window: recently shipped replies retained
+    /// (keyed by seq) for resumption. `0` disables resumption entirely
+    /// (no tokens are handed out).
+    pub replay_window: usize,
+    /// Disconnected sessions parked for resumption: how many at most,
+    /// and for how long. Oldest parked sessions are evicted first.
+    pub max_parked: usize,
+    pub parked_ttl: Duration,
+    /// Deterministic process-fault injection (worker panics, solver
+    /// stalls, slow writes) — the recovery chaos hook. Inactive by
+    /// default; see [`ProcessFaultPlan`].
+    pub process_faults: ProcessFaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -187,6 +224,14 @@ impl Default for ServerConfig {
             slo_max_miss_rate: 0.05,
             slo_max_degraded_rate: 0.5,
             slo_min_samples: 20,
+            breaker: Some(BreakerConfig::default()),
+            max_restarts: 5,
+            restart_backoff: Duration::from_millis(10),
+            restart_backoff_cap: Duration::from_millis(500),
+            replay_window: 1024,
+            max_parked: 64,
+            parked_ttl: Duration::from_secs(30),
+            process_faults: ProcessFaultPlan::none(),
         }
     }
 }
@@ -240,6 +285,13 @@ struct Counters {
     deadline_misses: AtomicU64,
     violations: AtomicU64,
     slow_disconnects: AtomicU64,
+    // Supervision/resumption accounting (surfaced via the typed
+    // `ServerHandle` accessors and the `serve.*` metrics, not the wire
+    // `StatsReply` — old clients keep decoding that frame unchanged).
+    worker_panics: AtomicU64,
+    worker_restarts: AtomicU64,
+    resumes: AtomicU64,
+    replayed: AtomicU64,
 }
 
 impl Counters {
@@ -259,9 +311,55 @@ impl Counters {
     }
 }
 
+/// Bounded log of recently shipped per-seq replies (encoded bytes), the
+/// replay window behind session resumption. Entries are recorded
+/// *before* the write hits the socket, so a reply lost to a disconnect
+/// is still replayable.
+struct ReplayLog {
+    entries: VecDeque<(u64, Vec<u8>)>,
+    cap: usize,
+}
+
+impl ReplayLog {
+    fn record(&mut self, seq: u64, bytes: &[u8]) {
+        if self.cap == 0 {
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((seq, bytes.to_vec()));
+    }
+
+    fn get(&self, seq: u64) -> Option<Vec<u8>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, b)| b.clone())
+    }
+
+    /// Every retained reply with `seq > after`, in seq order.
+    fn since(&self, after: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = self
+            .entries
+            .iter()
+            .filter(|(s, _)| *s > after)
+            .cloned()
+            .collect();
+        out.sort_by_key(|(s, _)| *s);
+        out
+    }
+}
+
 /// The write half of a session, shared between its reader thread and the
 /// worker pool. All frame writes go through [`send`](SessionWriter::send)
 /// under one mutex, so replies never interleave mid-frame.
+///
+/// This is also the object that *survives* a disconnect: on resumption
+/// the new connection's stream is swapped in under the mutex and `dead`
+/// is re-armed, so in-flight workers keep writing to wherever the
+/// session currently lives.
 struct SessionWriter {
     stream: Mutex<TcpStream>,
     /// Intervals accepted but not yet answered (admission-control level).
@@ -269,6 +367,12 @@ struct SessionWriter {
     /// Replies successfully written (for `ByeAck`).
     answered: AtomicU64,
     dead: AtomicBool,
+    /// Replay window for resumption (empty cap when disabled).
+    replay: Mutex<ReplayLog>,
+    /// Highest `Interval.seq` this session has committed a reply for
+    /// (Ack/Imputed/Busy/Reject all count — every received seq resolves
+    /// exactly one way).
+    highest_seq: AtomicU64,
 }
 
 impl SessionWriter {
@@ -307,6 +411,37 @@ impl SessionWriter {
             }
         }
     }
+
+    /// Commit a reply for `seq` into the replay window and advance the
+    /// resolved-seq high-water mark. Called *before* the write, so the
+    /// log covers replies the disconnect swallowed.
+    fn record_reply(&self, seq: u64, bytes: &[u8]) {
+        self.highest_seq.fetch_max(seq, Ordering::AcqRel);
+        self.replay
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(seq, bytes);
+    }
+
+    /// Record + send a per-seq reply frame (the reader-side Ack / Busy /
+    /// Reject path; the worker path encodes separately for stage timing
+    /// and calls [`record_reply`](SessionWriter::record_reply) itself).
+    fn send_reply(&self, shared: &Shared, seq: u64, frame: &Frame) -> bool {
+        let Ok(bytes) = encode_frame(frame) else {
+            return false;
+        };
+        self.record_reply(seq, &bytes);
+        self.send_bytes(shared, &bytes, frame.tag())
+    }
+
+    /// Point the writer at a new connection (resumption). The old stream
+    /// is dropped; `dead` is re-armed *after* the swap so a concurrent
+    /// worker either fails against the old dead stream (and the reply is
+    /// replayed) or succeeds against the new one.
+    fn attach(&self, stream: TcpStream) {
+        *self.stream.lock().unwrap_or_else(PoisonError::into_inner) = stream;
+        self.dead.store(false, Ordering::Release);
+    }
 }
 
 /// One enforcement unit: a fully prepared window plus where the answer
@@ -321,7 +456,37 @@ struct Job {
     /// [`TraceContext::NONE`] when tracing is off.
     trace: TraceContext,
     writer: Arc<SessionWriter>,
+    /// Set when a worker panic poisoned this job's batch and the
+    /// supervisor re-enqueued it: when the retried reply is finally
+    /// written, `requeued_at → now` is the recovery latency.
+    requeued_at: Option<Instant>,
 }
+
+/// A disconnected session retained for resumption: the sliding windows
+/// and the writer (whose replay log holds the replies the client may
+/// have missed), keyed by resume token in [`Shared::parked`].
+struct ParkedSession {
+    tenant: String,
+    ports: Vec<usize>,
+    queues: usize,
+    interval_len: usize,
+    window_intervals: usize,
+    imputers: HashMap<usize, StreamingImputer<Arc<TransformerImputer>>>,
+    writer: Arc<SessionWriter>,
+    parked_at: Instant,
+}
+
+/// What a panicking worker leaves behind for the supervisor: which slot
+/// died, why, and which admitted intervals were in flight.
+struct WorkerObit {
+    worker: usize,
+    payload: String,
+    trace_ids: Vec<u64>,
+    requeued: usize,
+}
+
+/// Requeue-latency samples retained on the handle (recovery benches).
+const REQUEUE_LAT_CAP: usize = 4096;
 
 struct Shared {
     cfg: ServerConfig,
@@ -336,11 +501,23 @@ struct Shared {
     slo_obs: Mutex<VecDeque<ReplyObs>>,
     /// Declared breaches (bounded at [`SLO_BREACH_CAP`], oldest evicted).
     breaches: Mutex<Vec<SloBreach>>,
+    /// Disconnected sessions awaiting resumption, keyed by resume token
+    /// (bounded by `cfg.max_parked` / `cfg.parked_ttl`).
+    parked: Mutex<HashMap<String, ParkedSession>>,
+    /// Panic reports from workers, drained by the supervisor.
+    obits: Mutex<Vec<WorkerObit>>,
+    /// Recovery latencies of re-enqueued jobs, in µs (bounded).
+    requeue_lat: Mutex<Vec<u64>>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Resumption on? (Replay window configured and non-zero.)
+    fn resumable(&self) -> bool {
+        self.cfg.replay_window > 0 && self.cfg.max_parked > 0
     }
 }
 
@@ -365,7 +542,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// The supervisor owns the worker pool's join handles; joining it
+    /// joins (or has already joined) every worker.
+    supervisor: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     watchdog: Option<JoinHandle<()>>,
 }
@@ -396,6 +575,32 @@ impl ServerHandle {
             .unwrap_or_default()
     }
 
+    /// Supervision accounting: `(worker panics, worker restarts)`.
+    pub fn worker_stats(&self) -> (u64, u64) {
+        (
+            self.shared.counters.worker_panics.load(Ordering::Relaxed),
+            self.shared.counters.worker_restarts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resumption accounting: `(sessions resumed, replies replayed)`.
+    pub fn resume_stats(&self) -> (u64, u64) {
+        (
+            self.shared.counters.resumes.load(Ordering::Relaxed),
+            self.shared.counters.replayed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Recovery latencies (µs) of intervals that were re-enqueued after
+    /// a worker panic: requeue → reply written. Bounded sample buffer.
+    pub fn requeue_latencies(&self) -> Vec<u64> {
+        self.shared
+            .requeue_lat
+            .lock()
+            .map(|v| v.clone())
+            .unwrap_or_default()
+    }
+
     /// Signal shutdown and gracefully drain: stop accepting, let every
     /// session's in-flight intervals be answered, join all threads.
     /// Returns the final stats.
@@ -411,8 +616,8 @@ impl ServerHandle {
             let _ = r.join();
         }
         self.shared.queue_cv.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
         }
         if let Some(w) = self.watchdog.take() {
             let _ = w.join();
@@ -448,18 +653,22 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
         active_readers: AtomicUsize::new(0),
         slo_obs: Mutex::new(VecDeque::new()),
         breaches: Mutex::new(Vec::new()),
+        parked: Mutex::new(HashMap::new()),
+        obits: Mutex::new(Vec::new()),
+        requeue_lat: Mutex::new(Vec::new()),
     });
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
-        })
+    let worker_handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+        .map(|i| Some(spawn_worker(&shared, i)))
         .collect();
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-supervisor".into())
+            .spawn(move || supervisor_loop(&shared, worker_handles))
+            .expect("spawn supervisor")
+    };
 
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -518,10 +727,98 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
         addr,
         shared,
         acceptor: Some(acceptor),
-        workers: worker_handles,
+        supervisor: Some(supervisor),
         readers,
         watchdog: Some(watchdog),
     })
+}
+
+/// Spawn worker slot `i` running the crash-isolated batch loop.
+fn spawn_worker(shared: &Arc<Shared>, i: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{i}"))
+        .spawn(move || worker_loop(&shared, i))
+        .expect("spawn worker")
+}
+
+/// Supervisor: watches for worker panic obits, re-enqueues nothing
+/// itself (the dying worker already re-enqueued its batch), and
+/// restarts the dead slot under a bounded budget with deterministic
+/// exponential backoff. On shutdown it joins whatever workers remain.
+fn supervisor_loop(shared: &Arc<Shared>, mut slots: Vec<Option<JoinHandle<()>>>) {
+    let cfg = &shared.cfg;
+    let mut restarts: Vec<u32> = vec![0; slots.len()];
+    loop {
+        if shared.shutting_down() {
+            for slot in slots.iter_mut() {
+                if let Some(h) = slot.take() {
+                    let _ = h.join();
+                }
+            }
+            return;
+        }
+        let pending: Vec<WorkerObit> = {
+            let mut obits = shared.obits.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *obits)
+        };
+        for obit in pending {
+            // The worker pushed its obit on the way out; join reclaims
+            // the thread (its panic was caught, so join returns Ok).
+            if let Some(h) = slots.get_mut(obit.worker).and_then(Option::take) {
+                let _ = h.join();
+            }
+            let n = &mut restarts[obit.worker];
+            let traces_str = obit
+                .trace_ids
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            if *n >= cfg.max_restarts {
+                log_event!(
+                    "worker.dead",
+                    "worker" = obit.worker,
+                    "restarts" = *n,
+                    "payload" = obit.payload.as_str(),
+                    "traces" = traces_str.as_str()
+                );
+                continue;
+            }
+            // Deterministic exponential backoff: base * 2^k, capped.
+            let backoff = cfg
+                .restart_backoff
+                .saturating_mul(1u32 << (*n).min(20))
+                .min(cfg.restart_backoff_cap);
+            let until = Instant::now() + backoff;
+            while Instant::now() < until && !shared.shutting_down() {
+                std::thread::sleep(
+                    Duration::from_millis(1).min(until.saturating_duration_since(Instant::now())),
+                );
+            }
+            if shared.shutting_down() {
+                // Drained queue + no readers: no one needs the slot.
+                continue;
+            }
+            *n += 1;
+            WORKER_RESTARTS.inc();
+            shared
+                .counters
+                .worker_restarts
+                .fetch_add(1, Ordering::Relaxed);
+            log_event!(
+                "worker.restart",
+                "worker" = obit.worker,
+                "restarts" = *n,
+                "backoff_ms" = backoff.as_millis() as u64,
+                "requeued" = obit.requeued,
+                "payload" = obit.payload.as_str(),
+                "traces" = traces_str.as_str()
+            );
+            slots[obit.worker] = Some(spawn_worker(shared, obit.worker));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 /// SLO watchdog: every `slo_tick`, prune the sliding window, republish
@@ -675,8 +972,24 @@ fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
 struct Session {
     id: u64,
     tenant: String,
+    /// The resume token handed out in `Welcome` (None when resumption is
+    /// disabled); the key this session parks under on disconnect.
+    token: Option<String>,
+    ports: Vec<usize>,
+    queues: usize,
+    interval_len: usize,
+    window_intervals: usize,
     imputers: HashMap<usize, StreamingImputer<Arc<TransformerImputer>>>,
     writer: Arc<SessionWriter>,
+}
+
+/// How a session's read loop ended — decides parking.
+#[derive(PartialEq)]
+enum SessionEnd {
+    /// Client said `Bye` (or the server is draining): nothing to resume.
+    Graceful,
+    /// The connection died mid-session: park for resumption.
+    Disconnected,
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
@@ -693,6 +1006,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         inflight: AtomicUsize::new(0),
         answered: AtomicU64::new(0),
         dead: AtomicBool::new(false),
+        replay: Mutex::new(ReplayLog {
+            entries: VecDeque::new(),
+            cap: cfg.replay_window,
+        }),
+        highest_seq: AtomicU64::new(0),
     });
     let mut reader = FrameReader::new(read_half);
 
@@ -711,6 +1029,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     );
 
     let mut stalls: u32 = 0;
+    let mut end = SessionEnd::Disconnected;
     loop {
         if shared.shutting_down() {
             drain_inflight(shared, &session.writer);
@@ -721,6 +1040,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     message: "server draining; goodbye".into(),
                 },
             );
+            end = SessionEnd::Graceful;
             break;
         }
         if session.writer.dead.load(Ordering::Acquire) {
@@ -747,6 +1067,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 stalls = 0;
                 let decode_ns = reader.last_decode_ns();
                 if !handle_frame(shared, &mut session, frame, decode_ns) {
+                    end = SessionEnd::Graceful; // only `Bye` ends in-band
                     break;
                 }
             }
@@ -782,6 +1103,62 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         "session" = session.id,
         "answered" = session.writer.answered.load(Ordering::Relaxed)
     );
+    if end == SessionEnd::Disconnected && !shared.shutting_down() {
+        park_session(shared, session);
+    }
+}
+
+/// Park a disconnected session for resumption: its sliding windows and
+/// writer (with the replay log) go into `Shared::parked` under its
+/// resume token, bounded by `max_parked`/`parked_ttl`.
+fn park_session(shared: &Shared, session: Session) {
+    let Some(token) = session.token.clone() else {
+        return; // resumption disabled
+    };
+    let now = Instant::now();
+    let mut parked = shared.parked.lock().unwrap_or_else(PoisonError::into_inner);
+    parked.retain(|_, p| now.duration_since(p.parked_at) <= shared.cfg.parked_ttl);
+    while parked.len() >= shared.cfg.max_parked {
+        let Some(oldest) = parked
+            .iter()
+            .min_by_key(|(_, p)| p.parked_at)
+            .map(|(k, _)| k.clone())
+        else {
+            break;
+        };
+        parked.remove(&oldest);
+    }
+    log_event!(
+        "serve.session.park",
+        "session" = session.id,
+        "inflight" = session.writer.inflight.load(Ordering::Acquire)
+    );
+    parked.insert(
+        token,
+        ParkedSession {
+            tenant: session.tenant,
+            ports: session.ports,
+            queues: session.queues,
+            interval_len: session.interval_len,
+            window_intervals: session.window_intervals,
+            imputers: session.imputers,
+            writer: session.writer,
+            parked_at: now,
+        },
+    );
+    PARKED_SESSIONS.set(parked.len() as i64);
+}
+
+/// Deterministic token for session `id` (splitmix64). Unguessability is
+/// NOT a design goal — the protocol is plaintext loopback JSON and the
+/// tenant string is already client-asserted; the token exists to route
+/// a reconnect to the right parked state, not to authenticate it.
+fn resume_token_for(id: u64) -> String {
+    let mut z = id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    format!("tok-{z:016x}")
 }
 
 /// Expect `Hello`, validate geometry, reply `Welcome`. `None` aborts the
@@ -825,6 +1202,8 @@ fn handshake(
         queues,
         interval_len,
         window_intervals,
+        resume_token,
+        last_acked,
     } = frame
     else {
         let _ = writer.send(
@@ -862,6 +1241,24 @@ fn handshake(
     }
     let id = shared.counters.sessions.fetch_add(1, Ordering::Relaxed) + 1;
     SESSIONS.inc();
+
+    // Resume path: re-attach to a parked session's windows and replay
+    // log instead of building fresh state.
+    if let Some(tok) = resume_token.as_ref().filter(|_| shared.resumable()) {
+        if let Some(parked) = claim_parked(
+            shared,
+            tok,
+            &tenant,
+            &ports,
+            queues,
+            interval_len,
+            window_intervals,
+        ) {
+            return resume_session(shared, writer, parked, id, tenant, tok.clone(), last_acked);
+        }
+        RESUME_MISSES.inc();
+    }
+
     let opts = StreamOptions {
         ladder: LadderConfig {
             engine: cfg.engine.clone(),
@@ -885,11 +1282,19 @@ fn handshake(
             )
         })
         .collect();
+    let token = shared.resumable().then(|| resume_token_for(id));
     if !writer.send(
         shared,
         &Frame::Welcome {
             session: id,
             deadline_ms: cfg.deadline.as_millis() as u64,
+            resume_token: token.clone(),
+            // A resumable server always states the verdict, so a failed
+            // resume attempt is answered honestly: the client must treat
+            // its pending intervals as addressed to a fresh session
+            // (i.e. lost), not wait for a replay.
+            resumed: shared.resumable().then_some(false),
+            resume_seq: None,
         },
     ) {
         return None;
@@ -897,8 +1302,142 @@ fn handshake(
     Some(Session {
         id,
         tenant,
+        token,
+        ports,
+        queues,
+        interval_len,
+        window_intervals,
         imputers,
         writer: Arc::clone(writer),
+    })
+}
+
+/// Claim the parked session for `tok` if its tenant and geometry match
+/// the reconnecting `Hello`. Waits briefly for the park to land (the old
+/// connection's reader may still be unwinding when the client retries).
+fn claim_parked(
+    shared: &Shared,
+    tok: &str,
+    tenant: &str,
+    ports: &[usize],
+    queues: usize,
+    interval_len: usize,
+    window_intervals: usize,
+) -> Option<ParkedSession> {
+    let deadline = Instant::now() + Duration::from_millis(500);
+    loop {
+        {
+            let mut parked = shared.parked.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(p) = parked.get(tok) {
+                let matches = p.tenant == tenant
+                    && p.ports == ports
+                    && p.queues == queues
+                    && p.interval_len == interval_len
+                    && p.window_intervals == window_intervals;
+                if !matches {
+                    // Same token, different identity: refuse the claim
+                    // (fresh session) but leave the parked state alone.
+                    return None;
+                }
+                let claimed = parked.remove(tok);
+                PARKED_SESSIONS.set(parked.len() as i64);
+                return claimed;
+            }
+        }
+        if Instant::now() >= deadline || shared.shutting_down() {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Finish a successful resume: attach the new connection to the parked
+/// writer, drain stragglers into the replay log, tell the client where
+/// to rewind to, and replay everything past its `last_acked`.
+fn resume_session(
+    shared: &Arc<Shared>,
+    fresh_writer: &Arc<SessionWriter>,
+    parked: ParkedSession,
+    id: u64,
+    tenant: String,
+    token: String,
+    last_acked: Option<u64>,
+) -> Option<Session> {
+    // The new connection's socket currently lives inside the throwaway
+    // pre-handshake writer; dup it into the parked writer.
+    let stream = fresh_writer
+        .stream
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .try_clone()
+        .ok()?;
+    let writer = parked.writer;
+    // Let replies already in the worker pipeline commit to the replay
+    // log before we snapshot the high-water mark — after this, every
+    // seq ≤ resume_seq has a logged reply and every seq above it never
+    // reached the server.
+    drain_inflight_for_resume(shared, &writer);
+    writer.attach(stream);
+    let resume_seq = writer.highest_seq.load(Ordering::Acquire);
+    RESUMES.inc();
+    shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
+    if !writer.send(
+        shared,
+        &Frame::Welcome {
+            session: id,
+            deadline_ms: shared.cfg.deadline.as_millis() as u64,
+            resume_token: Some(token.clone()),
+            resumed: Some(true),
+            resume_seq: Some(resume_seq),
+        },
+    ) {
+        return None;
+    }
+    // Exactly-once completion: replay (in seq order) every retained
+    // reply past the client's ack point. The client dedups anything it
+    // already processed; gaps it was waiting on are filled here.
+    let entries = writer
+        .replay
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .since(last_acked.unwrap_or(0));
+    let mut replayed = 0u64;
+    for (_seq, bytes) in &entries {
+        if !writer.send_bytes(shared, bytes, "Replay") {
+            break;
+        }
+        replayed += 1;
+    }
+    REPLAYED.add(replayed);
+    shared
+        .counters
+        .replayed
+        .fetch_add(replayed, Ordering::Relaxed);
+    // Replayed frames are replies shipped to a client: the originals
+    // never cleared the (now-dead) socket, so they were not counted
+    // when the worker produced them.
+    REPLIES.add(replayed);
+    shared
+        .counters
+        .replies
+        .fetch_add(replayed, Ordering::Relaxed);
+    log_event!(
+        "serve.session.resume",
+        "session" = id,
+        "resume_seq" = resume_seq,
+        "replayed" = replayed,
+        "tenant" = tenant.as_str()
+    );
+    Some(Session {
+        id,
+        tenant,
+        token: Some(token),
+        ports: parked.ports,
+        queues: parked.queues,
+        interval_len: parked.interval_len,
+        window_intervals: parked.window_intervals,
+        imputers: parked.imputers,
+        writer,
     })
 }
 
@@ -927,20 +1466,47 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
                 let start = accepted_at.checked_sub(dur).unwrap_or(accepted_at);
                 trace::record_span("serve.decode", ctx, start, dur);
             }
+            // Duplicate delivery (client retransmit after resume): a seq
+            // we already committed a reply for is answered from the
+            // replay log — the sliding window is NEVER fed twice, which
+            // is what keeps resumed streams bitwise-identical. A seq at
+            // or below the high-water mark *without* a logged reply is a
+            // reordered frame that never reached us; it falls through
+            // and is ingested normally (pre-resume behaviour).
+            if seq <= session.writer.highest_seq.load(Ordering::Acquire) {
+                let logged = session
+                    .writer
+                    .replay
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(seq);
+                if let Some(bytes) = logged {
+                    REPLAYED.inc();
+                    shared.counters.replayed.fetch_add(1, Ordering::Relaxed);
+                    if session.writer.send_bytes(shared, &bytes, "Replay") {
+                        REPLIES.inc();
+                        shared.counters.replies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return true;
+                }
+            }
             // Admission control first: over-budget intervals are dropped
             // before costing a model forward pass.
             let depth = session.writer.inflight.load(Ordering::Acquire);
             if depth >= cfg.queue_depth {
                 REJECTED.inc();
                 shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                session.writer.send(shared, &Frame::Busy { seq, depth });
+                session
+                    .writer
+                    .send_reply(shared, seq, &Frame::Busy { seq, depth });
                 return true;
             }
             let Some(imputer) = session.imputers.get_mut(&update.port) else {
                 MALFORMED.inc();
                 shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
-                session.writer.send(
+                session.writer.send_reply(
                     shared,
+                    seq,
                     &Frame::Reject {
                         seq,
                         reason: format!("port {} not announced in Hello", update.port),
@@ -952,8 +1518,9 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
                 Err(e) => {
                     MALFORMED.inc();
                     shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
-                    session.writer.send(
+                    session.writer.send_reply(
                         shared,
+                        seq,
                         &Frame::Reject {
                             seq,
                             reason: e.to_string(),
@@ -964,7 +1531,9 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
                     ACCEPTED.inc();
                     shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
                     let buffered = imputer.buffered();
-                    session.writer.send(shared, &Frame::Ack { seq, buffered });
+                    session
+                        .writer
+                        .send_reply(shared, seq, &Frame::Ack { seq, buffered });
                 }
                 Ok(Some(prepared)) => {
                     ACCEPTED.inc();
@@ -977,6 +1546,7 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
                         enqueued_at: Instant::now(),
                         trace: ctx,
                         writer: Arc::clone(&session.writer),
+                        requeued_at: None,
                     };
                     shared.queue.lock().unwrap().push_back(job);
                     shared.queue_cv.notify_one();
@@ -1030,11 +1600,26 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
 
 /// Wait (bounded) until every accepted interval of this session has been
 /// answered — the graceful-drain guarantee behind `Bye` and shutdown.
+/// Bails early on a dead writer: the peer is gone, nothing it was owed
+/// can be delivered on this connection.
 fn drain_inflight(shared: &Shared, writer: &SessionWriter) {
+    drain_inflight_inner(shared, writer, false)
+}
+
+/// Resume-path drain: waits even on a dead writer. Workers decrement
+/// `inflight` whether or not the socket write succeeds, and they commit
+/// `record_reply` first — so once this returns with `inflight == 0`,
+/// every accepted seq is in the replay log and the resume watermark
+/// covers it.
+fn drain_inflight_for_resume(shared: &Shared, writer: &SessionWriter) {
+    drain_inflight_inner(shared, writer, true)
+}
+
+fn drain_inflight_inner(shared: &Shared, writer: &SessionWriter, ignore_dead: bool) {
     let budget = shared.cfg.deadline.max(Duration::from_millis(50)) * 20;
     let deadline = Instant::now() + budget;
     while writer.inflight.load(Ordering::Acquire) > 0
-        && !writer.dead.load(Ordering::Acquire)
+        && (ignore_dead || !writer.dead.load(Ordering::Acquire))
         && Instant::now() < deadline
     {
         std::thread::sleep(Duration::from_millis(1));
@@ -1044,180 +1629,310 @@ fn drain_inflight(shared: &Shared, writer: &SessionWriter) {
 /// Worker: pop one job, coalesce whatever else is queued (bounded by
 /// `max_batch` and by the first job's remaining deadline slack), run one
 /// `enforce_degraded_batch`, write replies.
-fn worker_loop(shared: &Arc<Shared>) {
+///
+/// The batch body runs under `catch_unwind` so a panic (injected or
+/// genuine) takes down only this iteration, not the server. The sealed
+/// batch lives in a `Mutex` holder whose guard is held for the whole
+/// body: jobs are popped from the front only *after* their reply is
+/// fully committed, so on unwind the poisoned holder yields exactly the
+/// unanswered tail, which [`worker_down`] re-enqueues at the head of
+/// the queue. The supervisor then respawns this slot.
+fn worker_loop(shared: &Arc<Shared>, worker: usize) {
     let cfg = &shared.cfg;
     let base_ladder = LadderConfig {
         engine: cfg.engine.clone(),
         deadline: None,
         escalation_factor: cfg.escalation_factor,
+        breaker: cfg.breaker.clone(),
     };
     loop {
-        let mut batch = {
-            let mut q = shared.queue.lock().unwrap();
-            let first = loop {
-                if let Some(j) = q.pop_front() {
-                    break j;
-                }
-                if shared.shutting_down() && shared.active_readers.load(Ordering::Acquire) == 0 {
-                    return;
-                }
-                let (guard, _) = shared
-                    .queue_cv
-                    .wait_timeout(q, Duration::from_millis(20))
-                    .unwrap();
-                q = guard;
-            };
-            let mut batch = vec![first];
+        let Some(batch) = collect_batch(shared) else {
+            return;
+        };
+        let holder = Mutex::new(batch);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            process_batch(shared, &holder, &base_ladder)
+        }));
+        if let Err(payload) = result {
+            let survivors = holder.into_inner().unwrap_or_else(PoisonError::into_inner);
+            worker_down(shared, worker, payload, survivors);
+            // The thread exits; the supervisor joins it and spawns a
+            // replacement under the restart budget.
+            return;
+        }
+    }
+}
+
+/// Block until at least one job is available (or shutdown drains the
+/// queue), then coalesce up to `max_batch` jobs bounded by the first
+/// job's remaining deadline slack. `None` means clean shutdown.
+fn collect_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
+    let cfg = &shared.cfg;
+    let mut q = shared.queue.lock().unwrap();
+    let first = loop {
+        if let Some(j) = q.pop_front() {
+            break j;
+        }
+        if shared.shutting_down() && shared.active_readers.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let (guard, _) = shared
+            .queue_cv
+            .wait_timeout(q, Duration::from_millis(20))
+            .unwrap();
+        q = guard;
+    };
+    let mut batch = vec![first];
+    while batch.len() < cfg.max_batch {
+        match q.pop_front() {
+            Some(j) => batch.push(j),
+            None => break,
+        }
+    }
+    // Deadline-aware coalescing: wait a short beat for stragglers,
+    // but never longer than half the first job's remaining slack.
+    if batch.len() < cfg.max_batch && !cfg.batch_wait.is_zero() {
+        let slack = cfg.deadline.saturating_sub(batch[0].accepted_at.elapsed());
+        let wait_until = Instant::now() + cfg.batch_wait.min(slack / 2);
+        while batch.len() < cfg.max_batch {
+            let remaining = wait_until.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let (guard, res) = shared.queue_cv.wait_timeout(q, remaining).unwrap();
+            q = guard;
             while batch.len() < cfg.max_batch {
                 match q.pop_front() {
                     Some(j) => batch.push(j),
                     None => break,
                 }
             }
-            // Deadline-aware coalescing: wait a short beat for stragglers,
-            // but never longer than half the first job's remaining slack.
-            if batch.len() < cfg.max_batch && !cfg.batch_wait.is_zero() {
-                let slack = cfg.deadline.saturating_sub(batch[0].accepted_at.elapsed());
-                let wait_until = Instant::now() + cfg.batch_wait.min(slack / 2);
-                while batch.len() < cfg.max_batch {
-                    let remaining = wait_until.saturating_duration_since(Instant::now());
-                    if remaining.is_zero() {
-                        break;
-                    }
-                    let (guard, res) = shared.queue_cv.wait_timeout(q, remaining).unwrap();
-                    q = guard;
-                    while batch.len() < cfg.max_batch {
-                        match q.pop_front() {
-                            Some(j) => batch.push(j),
-                            None => break,
-                        }
-                    }
-                    if res.timed_out() {
-                        break;
-                    }
-                }
-            }
-            batch
-        };
-
-        // The batch is sealed: the queue stage (enqueue → batch seal)
-        // ends here for every member.
-        let sealed_at = Instant::now();
-        for j in &batch {
-            let waited = sealed_at.saturating_duration_since(j.enqueued_at);
-            STAGE_QUEUE_US.record_duration(waited);
-            trace::record_span("serve.queue", j.trace, j.enqueued_at, waited);
-        }
-
-        let mut ladder = base_ladder.clone();
-        if cfg.ladder_deadline {
-            let min_slack = batch
-                .iter()
-                .map(|j| cfg.deadline.saturating_sub(j.accepted_at.elapsed()))
-                .min()
-                .unwrap_or(cfg.deadline)
-                .max(Duration::from_micros(200));
-            ladder.deadline = Some(min_slack);
-        }
-        let items: Vec<_> = batch.iter().map(|j| j.prepared.item()).collect();
-        let opts = EnforceOptions::new(cfg.jobs, shared.cache.as_deref());
-        BATCHES.inc();
-        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-        BATCH_SIZE.record(batch.len() as u64);
-        // Batch stage: seal → enforce start (ladder setup, item views).
-        let enforce_start = Instant::now();
-        let batch_dur = enforce_start.saturating_duration_since(sealed_at);
-        STAGE_BATCH_US.record_duration(batch_dur);
-        for j in &batch {
-            trace::record_span("serve.batch", j.trace, sealed_at, batch_dur);
-        }
-        // Run the batch under the first traced member's context so the
-        // ladder's own spans (`cem.enforce_window`, `cem.solve`) attach
-        // to a real trace; the other members get their per-rung enforce
-        // span retroactively below.
-        let lead_ctx = batch
-            .iter()
-            .map(|j| j.trace)
-            .find(TraceContext::is_set)
-            .unwrap_or(TraceContext::NONE);
-        let outcomes =
-            trace::with_context(lead_ctx, || enforce_degraded_batch(&items, &ladder, &opts));
-        let enforce_dur = enforce_start.elapsed();
-
-        for (job, outcome) in batch.drain(..).zip(outcomes) {
-            // Self-check: the ladder's contract is that outputs satisfy
-            // the (possibly relaxed) constraints exactly. Count, never
-            // ship silently.
-            let effective = outcome.effective_constraints(&job.prepared.constraints);
-            if !effective.satisfied_exact(&outcome.corrected) {
-                VIOLATIONS.inc();
-                shared.counters.violations.fetch_add(1, Ordering::Relaxed);
-                log_event!("serve.violation", "seq" = job.seq);
-            }
-            let series = job.prepared.newest_interval(&outcome.corrected);
-            let level = job.prepared.newest_level(&outcome.levels);
-            STAGE_ENFORCE_US.record_duration(enforce_dur);
-            trace::record_span(
-                enforce_span_name(level),
-                job.trace,
-                enforce_start,
-                enforce_dur,
-            );
-            let latency = job.accepted_at.elapsed();
-            LATENCY_US.record_duration(latency);
-            let missed = latency > cfg.deadline;
-            if missed {
-                DEADLINE_MISS.inc();
-                shared
-                    .counters
-                    .deadline_misses
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            let frame = Frame::Imputed {
-                seq: job.seq,
-                port: job.prepared.port,
-                series,
-                level: level.label().to_string(),
-                enforced: level != DegradationLevel::MeasurementRelaxed,
-                latency_us: latency.as_micros() as u64,
-                trace_id: (job.trace.trace_id != 0).then_some(job.trace.trace_id),
-            };
-            // Encode and write timed separately, so a slow peer shows up
-            // in `serve.stage.write_us` rather than smearing the batch.
-            let encode_start = Instant::now();
-            let bytes = encode_frame(&frame);
-            let encode_dur = encode_start.elapsed();
-            let sent = match &bytes {
-                Ok(bytes) => {
-                    STAGE_ENCODE_US.record_duration(encode_dur);
-                    trace::record_span("serve.encode", job.trace, encode_start, encode_dur);
-                    let write_start = Instant::now();
-                    let ok = job.writer.send_bytes(shared, bytes, frame.tag());
-                    let write_dur = write_start.elapsed();
-                    STAGE_WRITE_US.record_duration(write_dur);
-                    trace::record_span("serve.write", job.trace, write_start, write_dur);
-                    ok
-                }
-                Err(_) => false,
-            };
-            if sent {
-                REPLIES.inc();
-                shared.counters.replies.fetch_add(1, Ordering::Relaxed);
-                job.writer.answered.fetch_add(1, Ordering::Relaxed);
-            }
-            job.writer.inflight.fetch_sub(1, Ordering::AcqRel);
-            // Feed the SLO watchdog's sliding window (bounded).
-            if let Ok(mut obs) = shared.slo_obs.lock() {
-                if obs.len() >= SLO_OBS_CAP {
-                    obs.pop_front();
-                }
-                obs.push_back(ReplyObs {
-                    at: Instant::now(),
-                    missed,
-                    degraded: level != DegradationLevel::Full,
-                    trace_id: job.trace.trace_id,
-                });
+            if res.timed_out() {
+                break;
             }
         }
     }
+    Some(batch)
+}
+
+/// Enforce one sealed batch and ship its replies. Runs under
+/// `catch_unwind`; the holder's guard is held throughout so unwinding
+/// leaves the unanswered jobs recoverable via the poisoned mutex.
+fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &LadderConfig) {
+    let cfg = &shared.cfg;
+    let mut guard = holder.lock().unwrap();
+    let batch: &mut Vec<Job> = &mut guard;
+
+    BATCHES.inc();
+    // The returned pre-increment value is this batch's ordinal — the
+    // deterministic clock the process-fault plan keys on. A re-enqueued
+    // batch is re-collected and gets a *new* ordinal, so a panic cadence
+    // of `every >= 2` cannot poison its own retry forever.
+    let ordinal = shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    let pf = &cfg.process_faults;
+    if ProcessFaultPlan::fires(pf.worker_panic_every, ordinal) {
+        record_process_fault(FaultKind::WorkerPanic);
+        // Fires before ANY reply is committed: the whole batch survives
+        // in the holder and is re-enforced, so replies stay
+        // bitwise-identical to an uninterrupted run.
+        panic!("injected worker panic (batch ordinal {ordinal})");
+    }
+
+    // The batch is sealed: the queue stage (enqueue → batch seal)
+    // ends here for every member.
+    let sealed_at = Instant::now();
+    for j in batch.iter() {
+        let waited = sealed_at.saturating_duration_since(j.enqueued_at);
+        STAGE_QUEUE_US.record_duration(waited);
+        trace::record_span("serve.queue", j.trace, j.enqueued_at, waited);
+    }
+
+    let mut ladder = base_ladder.clone();
+    if cfg.ladder_deadline {
+        let min_slack = batch
+            .iter()
+            .map(|j| cfg.deadline.saturating_sub(j.accepted_at.elapsed()))
+            .min()
+            .unwrap_or(cfg.deadline)
+            .max(Duration::from_micros(200));
+        ladder.deadline = Some(min_slack);
+    }
+    let items: Vec<_> = batch.iter().map(|j| j.prepared.item()).collect();
+    let opts = EnforceOptions::new(cfg.jobs, shared.cache.as_deref());
+    BATCH_SIZE.record(batch.len() as u64);
+    // Batch stage: seal → enforce start (ladder setup, item views).
+    let enforce_start = Instant::now();
+    let batch_dur = enforce_start.saturating_duration_since(sealed_at);
+    STAGE_BATCH_US.record_duration(batch_dur);
+    for j in batch.iter() {
+        trace::record_span("serve.batch", j.trace, sealed_at, batch_dur);
+    }
+    if ProcessFaultPlan::fires(pf.solver_stall_every, ordinal) {
+        record_process_fault(FaultKind::SolverStall);
+        std::thread::sleep(Duration::from_millis(pf.solver_stall_ms));
+    }
+    // Run the batch under the first traced member's context so the
+    // ladder's own spans (`cem.enforce_window`, `cem.solve`) attach
+    // to a real trace; the other members get their per-rung enforce
+    // span retroactively below.
+    let lead_ctx = batch
+        .iter()
+        .map(|j| j.trace)
+        .find(TraceContext::is_set)
+        .unwrap_or(TraceContext::NONE);
+    let outcomes = trace::with_context(lead_ctx, || enforce_degraded_batch(&items, &ladder, &opts));
+    drop(items);
+    let enforce_dur = enforce_start.elapsed();
+    let slow_write = ProcessFaultPlan::fires(pf.slow_write_every, ordinal);
+    let mut first_write = true;
+
+    for outcome in outcomes {
+        // Borrow the front job; it is removed only after its reply is
+        // fully committed, so an unwind mid-reply re-enqueues it.
+        let job = &batch[0];
+        // Self-check: the ladder's contract is that outputs satisfy
+        // the (possibly relaxed) constraints exactly. Count, never
+        // ship silently.
+        let effective = outcome.effective_constraints(&job.prepared.constraints);
+        if !effective.satisfied_exact(&outcome.corrected) {
+            VIOLATIONS.inc();
+            shared.counters.violations.fetch_add(1, Ordering::Relaxed);
+            log_event!("serve.violation", "seq" = job.seq);
+        }
+        let series = job.prepared.newest_interval(&outcome.corrected);
+        let level = job.prepared.newest_level(&outcome.levels);
+        STAGE_ENFORCE_US.record_duration(enforce_dur);
+        trace::record_span(
+            enforce_span_name(level),
+            job.trace,
+            enforce_start,
+            enforce_dur,
+        );
+        let latency = job.accepted_at.elapsed();
+        LATENCY_US.record_duration(latency);
+        let missed = latency > cfg.deadline;
+        if missed {
+            DEADLINE_MISS.inc();
+            shared
+                .counters
+                .deadline_misses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let frame = Frame::Imputed {
+            seq: job.seq,
+            port: job.prepared.port,
+            series,
+            level: level.label().to_string(),
+            enforced: level != DegradationLevel::MeasurementRelaxed,
+            latency_us: latency.as_micros() as u64,
+            trace_id: (job.trace.trace_id != 0).then_some(job.trace.trace_id),
+        };
+        // Encode and write timed separately, so a slow peer shows up
+        // in `serve.stage.write_us` rather than smearing the batch.
+        let encode_start = Instant::now();
+        let bytes = encode_frame(&frame);
+        let encode_dur = encode_start.elapsed();
+        let sent = match &bytes {
+            Ok(bytes) => {
+                STAGE_ENCODE_US.record_duration(encode_dur);
+                trace::record_span("serve.encode", job.trace, encode_start, encode_dur);
+                if slow_write && first_write {
+                    record_process_fault(FaultKind::SlowWrite);
+                    std::thread::sleep(Duration::from_millis(pf.slow_write_ms));
+                }
+                first_write = false;
+                // Record into the replay log BEFORE the socket write: a
+                // reply that may have reached the wire must be
+                // replayable, or a crash between write and record would
+                // lose it for a resuming client.
+                job.writer.record_reply(job.seq, bytes);
+                let write_start = Instant::now();
+                let ok = job.writer.send_bytes(shared, bytes, frame.tag());
+                let write_dur = write_start.elapsed();
+                STAGE_WRITE_US.record_duration(write_dur);
+                trace::record_span("serve.write", job.trace, write_start, write_dur);
+                ok
+            }
+            Err(_) => false,
+        };
+        if sent {
+            REPLIES.inc();
+            shared.counters.replies.fetch_add(1, Ordering::Relaxed);
+            job.writer.answered.fetch_add(1, Ordering::Relaxed);
+        }
+        // Recovery latency: requeue (panic) → reply committed.
+        if let Some(requeued_at) = job.requeued_at {
+            let lat = requeued_at.elapsed();
+            REQUEUE_LATENCY_US.record_duration(lat);
+            if let Ok(mut v) = shared.requeue_lat.lock() {
+                if v.len() < REQUEUE_LAT_CAP {
+                    v.push(lat.as_micros() as u64);
+                }
+            }
+        }
+        job.writer.inflight.fetch_sub(1, Ordering::AcqRel);
+        // Feed the SLO watchdog's sliding window (bounded).
+        if let Ok(mut obs) = shared.slo_obs.lock() {
+            if obs.len() >= SLO_OBS_CAP {
+                obs.pop_front();
+            }
+            obs.push_back(ReplyObs {
+                at: Instant::now(),
+                missed,
+                degraded: level != DegradationLevel::Full,
+                trace_id: job.trace.trace_id,
+            });
+        }
+        // Reply fully committed: drop the job from the recoverable set.
+        batch.remove(0);
+    }
+}
+
+/// A worker thread is unwinding: account the panic, re-enqueue the
+/// unanswered jobs at the *head* of the queue (preserving admission
+/// order), and leave an obit for the supervisor to act on.
+fn worker_down(
+    shared: &Arc<Shared>,
+    worker: usize,
+    payload: Box<dyn std::any::Any + Send>,
+    mut survivors: Vec<Job>,
+) {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    WORKER_PANICS.inc();
+    shared
+        .counters
+        .worker_panics
+        .fetch_add(1, Ordering::Relaxed);
+    let trace_ids: Vec<u64> = survivors
+        .iter()
+        .map(|j| j.trace.trace_id)
+        .filter(|&t| t != 0)
+        .collect();
+    let requeued = survivors.len();
+    let now = Instant::now();
+    {
+        // Poison-tolerant: this runs on the panicking thread's unwind
+        // path and must make progress even if another holder panicked.
+        let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        // push_front in reverse keeps the survivors' relative order.
+        for mut job in survivors.drain(..).rev() {
+            job.requeued_at.get_or_insert(now);
+            q.push_front(job);
+        }
+    }
+    shared.queue_cv.notify_all();
+    shared
+        .obits
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(WorkerObit {
+            worker,
+            payload: msg,
+            trace_ids,
+            requeued,
+        });
 }

@@ -41,10 +41,19 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             queues,
             interval_len: rng.random_range(2..100usize),
             window_intervals: rng.random_range(1..20usize),
+            resume_token: rng
+                .random_bool(0.5)
+                .then(|| format!("tok-{:016x}", rng.random::<u64>())),
+            last_acked: rng.random_bool(0.5).then(|| rng.random()),
         },
         1 => Frame::Welcome {
             session: rng.random(),
             deadline_ms: rng.random_range(0..10_000u64),
+            resume_token: rng
+                .random_bool(0.5)
+                .then(|| format!("tok-{:016x}", rng.random::<u64>())),
+            resumed: rng.random_bool(0.5).then(|| rng.random_bool(0.5)),
+            resume_seq: rng.random_bool(0.5).then(|| rng.random()),
         },
         2 => Frame::Interval {
             seq: rng.random(),

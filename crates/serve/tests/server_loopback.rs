@@ -4,6 +4,7 @@
 
 use fmml_core::streaming::{IntervalUpdate, StreamOptions, StreamingImputer};
 use fmml_core::transformer_imputer::{Scales, TransformerImputer};
+use fmml_fault::ProcessFaultPlan;
 use fmml_fm::cem::{CemEngine, DegradationLevel, LadderConfig};
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
@@ -62,6 +63,21 @@ fn hello(port: usize, queues: usize) -> Frame {
         queues,
         interval_len: INTERVAL_LEN,
         window_intervals: WINDOW_INTERVALS,
+        resume_token: None,
+        last_acked: None,
+    }
+}
+
+/// Like [`hello`] but presenting a resume token from a prior `Welcome`.
+fn hello_resume(port: usize, queues: usize, token: &str, last_acked: u64) -> Frame {
+    Frame::Hello {
+        tenant: "test".into(),
+        ports: vec![port],
+        queues,
+        interval_len: INTERVAL_LEN,
+        window_intervals: WINDOW_INTERVALS,
+        resume_token: Some(token.to_string()),
+        last_acked: Some(last_acked),
     }
 }
 
@@ -299,6 +315,8 @@ fn hostile_hello_geometry_is_rejected_without_allocation() {
             queues: 64,
             interval_len: 10,
             window_intervals: 1_000_000_000_000_000,
+            resume_token: None,
+            last_acked: None,
         },
         // Huge interval_len: as_window would allocate queues*window*len f32s.
         Frame::Hello {
@@ -307,6 +325,8 @@ fn hostile_hello_geometry_is_rejected_without_allocation() {
             queues: 1,
             interval_len: 1_000_000_000_000_000,
             window_intervals: 1,
+            resume_token: None,
+            last_acked: None,
         },
         // Both just over the caps.
         Frame::Hello {
@@ -315,6 +335,8 @@ fn hostile_hello_geometry_is_rejected_without_allocation() {
             queues: 1,
             interval_len: ServerConfig::default().max_interval_len + 1,
             window_intervals: ServerConfig::default().max_window_intervals + 1,
+            resume_token: None,
+            last_acked: None,
         },
     ];
     for frame in hostile {
@@ -370,4 +392,298 @@ fn stats_probe_and_corrupt_frame_handling() {
         panic!("stats frame");
     };
     assert!(malformed >= 1);
+}
+
+/// Flat interval stream across every window of the first active port,
+/// plus an offline reference imputer configured identically to the
+/// server's default ladder (Fast engine).
+fn update_stream(
+    model: &Arc<TransformerImputer>,
+) -> (
+    Vec<IntervalUpdate>,
+    StreamingImputer<Arc<TransformerImputer>>,
+    usize,
+    usize,
+) {
+    let ws = windows();
+    let port = ws[0].port;
+    let queues = ws[0].num_queues();
+    let updates: Vec<IntervalUpdate> = ws
+        .iter()
+        .filter(|w| w.port == port)
+        .flat_map(|w| (0..w.intervals()).map(move |k| IntervalUpdate::from_window(w, k)))
+        .collect();
+    let opts = StreamOptions {
+        ladder: LadderConfig {
+            engine: CemEngine::Fast,
+            ..LadderConfig::default()
+        },
+        ..StreamOptions::default()
+    };
+    let offline = StreamingImputer::with_options(
+        Arc::clone(model),
+        opts,
+        port,
+        queues,
+        INTERVAL_LEN,
+        WINDOW_INTERVALS,
+    );
+    (updates, offline, port, queues)
+}
+
+/// Send one interval in lockstep and check the reply against the
+/// offline imputer (bitwise). Returns true if the reply was `Imputed`.
+fn lockstep_one(
+    tx: &mut TcpStream,
+    rx: &mut FrameReader<TcpStream>,
+    offline: &mut StreamingImputer<Arc<TransformerImputer>>,
+    seq: u64,
+    u: &IntervalUpdate,
+) -> bool {
+    let expect = offline.try_push(u.clone()).unwrap();
+    write_frame(
+        tx,
+        &Frame::Interval {
+            seq,
+            update: u.clone(),
+            trace_id: None,
+        },
+    )
+    .unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::Ack { seq: s, .. } => {
+            assert_eq!(s, seq);
+            assert!(expect.is_none(), "server acked where offline emitted");
+            false
+        }
+        Frame::Imputed {
+            seq: s,
+            series,
+            level,
+            ..
+        } => {
+            let expect = expect.expect("offline must emit too");
+            assert_eq!(s, seq);
+            assert_eq!(series, expect.series, "series diverge at seq={seq}");
+            assert_eq!(DegradationLevel::from_label(&level), Some(expect.level));
+            true
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// A worker panic mid-run must not take the server down, must not drop
+/// the poisoned batch, and must leave the reply stream bitwise-identical
+/// to an uninterrupted run: the supervisor respawns the worker and the
+/// re-enqueued interval is answered by the replacement.
+#[test]
+fn worker_panic_mid_batch_recovers_bitwise() {
+    let model = model();
+    let (updates, mut offline, port, queues) = update_stream(&model);
+    // Lockstep replay = one micro-batch per enforced interval; warm-up
+    // intervals are acked reader-side and never reach a worker.
+    let jobs = updates.len().saturating_sub(WINDOW_INTERVALS - 1);
+    assert!(jobs >= 2, "need >= 2 enforced intervals, got {jobs}");
+    let handle = spawn(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: 1,
+            deadline: Duration::from_millis(500),
+            process_faults: ProcessFaultPlan {
+                // Fires exactly once, on the last enforced interval: the
+                // retry gets a fresh ordinal past the cadence.
+                worker_panic_every: jobs as u64,
+                ..ProcessFaultPlan::none()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(port, queues)).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+
+    let mut compared = 0usize;
+    for (i, u) in updates.iter().enumerate() {
+        if lockstep_one(&mut tx, &mut rx, &mut offline, i as u64 + 1, u) {
+            compared += 1;
+        }
+    }
+    assert_eq!(compared, jobs, "every enforced interval must be answered");
+
+    write_frame(&mut tx, &Frame::Bye).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::ByeAck { .. }));
+
+    let (panics, restarts) = handle.worker_stats();
+    assert_eq!(panics, 1, "exactly one injected panic expected");
+    assert_eq!(restarts, 1, "supervisor must have respawned the worker");
+    let recovery = handle.requeue_latencies();
+    assert!(
+        !recovery.is_empty(),
+        "re-enqueued interval must record a recovery latency"
+    );
+
+    let stats = handle.shutdown();
+    let Frame::StatsReply { violations, .. } = stats else {
+        panic!("stats frame");
+    };
+    assert_eq!(violations, 0);
+}
+
+/// Kill the connection with a reply in flight, resume with the token,
+/// and verify exactly-once delivery: the missing reply is replayed, a
+/// duplicate retransmit is answered from the log without re-feeding the
+/// sliding window, and the stream stays bitwise-identical to offline.
+#[test]
+fn session_resume_replays_exactly_once() {
+    let model = model();
+    let (updates, mut offline, port, queues) = update_stream(&model);
+    let n = updates.len();
+    assert!(n >= WINDOW_INTERVALS + 2, "stream too short: {n}");
+    let handle = spawn(
+        Arc::clone(&model),
+        ServerConfig {
+            deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+
+    // --- Connection 1: handshake hands out a resume token.
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(port, queues)).unwrap();
+    let token = match rx.read_frame().unwrap() {
+        Frame::Welcome {
+            resume_token,
+            resumed,
+            ..
+        } => {
+            assert_eq!(resumed, Some(false));
+            resume_token.expect("resumable server must hand out a token")
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+
+    // Lockstep through all but the last two intervals.
+    let cut = n - 2;
+    for (i, u) in updates[..cut].iter().enumerate() {
+        lockstep_one(&mut tx, &mut rx, &mut offline, i as u64 + 1, u);
+    }
+    // Send one more interval and vanish without reading its reply.
+    let inflight_seq = cut as u64 + 1;
+    let expect_inflight = offline
+        .try_push(updates[cut].clone())
+        .unwrap()
+        .expect("past warm-up: must emit");
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: inflight_seq,
+            update: updates[cut].clone(),
+            trace_id: None,
+        },
+    )
+    .unwrap();
+    tx.flush().unwrap();
+    drop(tx);
+    drop(rx);
+
+    // --- Connection 2: resume. last_acked = cut (everything we read).
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello_resume(port, queues, &token, cut as u64)).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::Welcome {
+            resumed,
+            resume_seq,
+            resume_token,
+            ..
+        } => {
+            assert_eq!(resumed, Some(true), "server must resume the session");
+            assert_eq!(
+                resume_seq,
+                Some(inflight_seq),
+                "watermark must cover the drained in-flight interval"
+            );
+            assert!(resume_token.is_some());
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    // The reply we never read is replayed, bitwise.
+    match rx.read_frame().unwrap() {
+        Frame::Imputed { seq, series, .. } => {
+            assert_eq!(seq, inflight_seq);
+            assert_eq!(series, expect_inflight.series, "replayed reply diverged");
+        }
+        other => panic!("expected replayed Imputed, got {other:?}"),
+    }
+    // A duplicate retransmit of the same seq is answered from the log —
+    // not re-ingested (the continued bitwise identity below proves the
+    // sliding window was not fed twice).
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: inflight_seq,
+            update: updates[cut].clone(),
+            trace_id: None,
+        },
+    )
+    .unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::Imputed { seq, series, .. } => {
+            assert_eq!(seq, inflight_seq);
+            assert_eq!(series, expect_inflight.series, "dedup answer diverged");
+        }
+        other => panic!("expected deduped Imputed, got {other:?}"),
+    }
+    // The stream continues where it left off, still bitwise-identical.
+    for (i, u) in updates[cut + 1..].iter().enumerate() {
+        lockstep_one(
+            &mut tx,
+            &mut rx,
+            &mut offline,
+            inflight_seq + 1 + i as u64,
+            u,
+        );
+    }
+    write_frame(&mut tx, &Frame::Bye).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::ByeAck { .. }));
+
+    let (resumes, replayed) = handle.resume_stats();
+    assert_eq!(resumes, 1);
+    assert!(replayed >= 1, "the unread reply must have been replayed");
+    let stats = handle.shutdown();
+    let Frame::StatsReply { violations, .. } = stats else {
+        panic!("stats frame");
+    };
+    assert_eq!(violations, 0);
+}
+
+/// An unknown (or expired) token must not wedge the handshake: the
+/// server falls back to a fresh session and says so.
+#[test]
+fn unknown_resume_token_starts_fresh() {
+    let handle = spawn(model(), ServerConfig::default()).expect("spawn server");
+    let ws = windows();
+    let w = &ws[0];
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(
+        &mut tx,
+        &hello_resume(w.port, w.num_queues(), "tok-deadbeefdeadbeef", 7),
+    )
+    .unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::Welcome {
+            resumed,
+            resume_seq,
+            resume_token,
+            ..
+        } => {
+            assert_eq!(resumed, Some(false), "bogus token must not resume");
+            assert_eq!(resume_seq, None);
+            assert!(resume_token.is_some(), "fresh token must be issued");
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+    handle.shutdown();
 }

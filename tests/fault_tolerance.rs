@@ -145,6 +145,7 @@ proptest! {
             engine: CemEngine::Smt { budget: starved },
             deadline: None,
             escalation_factor: 2,
+            breaker: None,
         };
         let plan = FaultPlan::chaos(seed);
         for (i, w) in windows(seed).into_iter().enumerate().take(3) {

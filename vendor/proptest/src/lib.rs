@@ -13,7 +13,7 @@ pub mod strategy;
 pub mod test_runner;
 
 pub mod prelude {
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 

@@ -92,6 +92,19 @@ impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
     }
 }
 
+/// Upstream's `Just`: a strategy that always yields a clone of the
+/// given value (the usual way to list fixed variants in `prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
 /// `prop_map` result.
 pub struct Map<S, F> {
     inner: S,
