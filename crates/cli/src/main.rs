@@ -16,6 +16,7 @@
 //! fmml train-bench --out bench                               # BENCH_train.json
 //! fmml obs       --addr 127.0.0.1:4700 [--json]              # live introspection
 //! fmml obs-bench --out bench                                 # BENCH_obs.json
+//! fmml simtest   --seeds 500 [--inject-bug replay-off-by-one] # DST explorer
 //! ```
 //!
 //! Every command accepts the global observability flags: `--stats` prints
@@ -133,6 +134,19 @@ COMMANDS:
              summaries, and SLO gauges (sends a MetricsDump frame)
              --addr A (127.0.0.1:4700)  --json (raw dump instead of tables)
              --folded FILE (write folded stacks for flamegraph.pl)
+  simtest    deterministic simulation testing: seeded schedules of client
+             ops x transport faults x worker panics over virtual time,
+             the whole server running over an in-memory transport, every
+             reply checked against a reference model of the session
+             protocol; each violation prints a replayable FMML_SIM_SEED
+             --seeds N (100)  --seed N (1; first seed)  --clients N (3)
+             --ops N (16)  --json (per-seed JSON lines)
+             --pinned FILE   verify the aggregate reply fingerprint
+                             against FILE, or write FILE if absent
+             --inject-bug replay-off-by-one
+                             prove the checker is live: exits 0 iff the
+                             deliberately broken replay is caught and
+                             reproduced bitwise from the printed seed
   obs-bench  tracing on/off differential benchmark: the same serve replay
              and training pass with tracing disabled then enabled,
              interleaved; asserts bit-identical outputs and writes
@@ -182,6 +196,7 @@ fn main() {
         "train-bench" => cmd_train_bench(&args),
         "obs" => cmd_obs(&args),
         "obs-bench" => cmd_obs_bench(&args),
+        "simtest" => cmd_simtest(&args),
         _ => {
             println!("{USAGE}");
             return;
@@ -1191,5 +1206,216 @@ fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
             "{violations} window(s) violated their effective constraints"
         )));
     }
+    Ok(())
+}
+
+/// Deterministic simulation testing: run seeded schedules of client ops,
+/// transport faults, and worker panics against the full server over the
+/// in-memory transport, checking every reply against the reference
+/// protocol model. Exit is non-zero iff any seed reports a violation
+/// (or, with `--inject-bug`, iff the bug is *not* caught and reproduced).
+fn cmd_simtest(args: &Args) -> Result<(), CliError> {
+    let bug = match args.get_string("inject-bug") {
+        None => None,
+        Some("replay-off-by-one") => Some(fmml_serve::ProtocolBug::ReplayOffByOne),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown --inject-bug {other:?} (known: replay-off-by-one)"
+            )))
+        }
+    };
+    let defaults = fmml_simtest::SimtestConfig::default();
+    let cfg = fmml_simtest::SimtestConfig {
+        seeds: args.get_or("seeds", defaults.seeds)?,
+        start_seed: args.get_or("seed", defaults.start_seed)?,
+        clients: args.get_or("clients", defaults.clients)?,
+        ops: args.get_or("ops", defaults.ops)?,
+        inject_bug: bug,
+    };
+    if cfg.seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+
+    if cfg.inject_bug.is_some() {
+        return cmd_simtest_bug(&cfg);
+    }
+
+    let t0 = Instant::now();
+    let outcomes = fmml_simtest::run(&cfg);
+    let wall = t0.elapsed();
+
+    // Aggregate fingerprint over all seeds: pins the complete observable
+    // behaviour of the run so CI can detect silent divergence.
+    let mut agg: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut bad_seeds = 0usize;
+    for o in &outcomes {
+        agg ^= o.fingerprint;
+        agg = agg.wrapping_mul(0x0000_0100_0000_01b3);
+        totals.0 += o.faults.dropped;
+        totals.1 += o.faults.duplicated;
+        totals.2 += o.faults.reordered;
+        totals.3 += o.faults.delayed;
+        totals.4 += o.faults.disconnects;
+        if args.flag("json") {
+            use serde_json::Value;
+            let line = Value::Object(vec![
+                ("seed".into(), Value::U64(o.seed)),
+                (
+                    "fingerprint".into(),
+                    Value::String(format!("{:016x}", o.fingerprint)),
+                ),
+                (
+                    "violations".into(),
+                    Value::Array(
+                        o.violations
+                            .iter()
+                            .map(|v| Value::String(v.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "faults".into(),
+                    Value::Object(vec![
+                        ("delayed".into(), Value::U64(o.faults.delayed)),
+                        ("disconnects".into(), Value::U64(o.faults.disconnects)),
+                    ]),
+                ),
+            ]);
+            println!("{line}");
+        }
+        if !o.violations.is_empty() {
+            bad_seeds += 1;
+            println!("FMML_SIM_SEED={}", o.seed);
+            for v in &o.violations {
+                println!("  violation: {v}");
+            }
+        }
+    }
+    println!(
+        "simtest: {} seeds ({}..{}), {} clients x {} ops, {} violating seed(s), \
+         faults delayed={} disconnects={}, fingerprint {:016x}, {:.1}s",
+        cfg.seeds,
+        cfg.start_seed,
+        cfg.start_seed + cfg.seeds - 1,
+        cfg.clients,
+        cfg.ops,
+        bad_seeds,
+        totals.3,
+        totals.4,
+        agg,
+        wall.as_secs_f64()
+    );
+    log_event!(
+        "simtest.done",
+        "seeds" = cfg.seeds,
+        "violating" = bad_seeds as u64,
+        "fingerprint" = agg,
+    );
+
+    if let Some(path) = args.get_string("pinned") {
+        check_or_write_pinned(path, &cfg, agg)?;
+    }
+
+    if bad_seeds > 0 {
+        return Err(CliError::Invalid(format!(
+            "{bad_seeds} seed(s) violated the protocol model; \
+             re-run any with `fmml simtest --seeds 1 --seed <FMML_SIM_SEED>`"
+        )));
+    }
+    Ok(())
+}
+
+/// `--inject-bug` mode: scan seeds until the checker flags the planted
+/// protocol bug, then re-run that exact seed and require a bitwise match
+/// of fingerprint and violation text — proving both that the checker is
+/// live and that a printed seed is a complete reproducer.
+fn cmd_simtest_bug(cfg: &fmml_simtest::SimtestConfig) -> Result<(), CliError> {
+    let t0 = Instant::now();
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        let first = fmml_simtest::run_seed(seed, cfg);
+        if first.violations.is_empty() {
+            continue;
+        }
+        println!("FMML_SIM_SEED={seed}");
+        for v in &first.violations {
+            println!("  violation: {v}");
+        }
+        let replay = fmml_simtest::run_seed(seed, cfg);
+        if replay.fingerprint != first.fingerprint || replay.violations != first.violations {
+            return Err(CliError::Invalid(format!(
+                "seed {seed} caught the bug but did not reproduce bitwise: \
+                 fingerprint {:016x} vs {:016x}",
+                first.fingerprint, replay.fingerprint
+            )));
+        }
+        println!(
+            "simtest: injected bug caught at seed {seed} and reproduced bitwise \
+             (fingerprint {:016x}, {:.1}s)",
+            first.fingerprint,
+            t0.elapsed().as_secs_f64()
+        );
+        log_event!(
+            "simtest.bug_caught",
+            "seed" = seed,
+            "fingerprint" = first.fingerprint
+        );
+        return Ok(());
+    }
+    Err(CliError::Invalid(format!(
+        "injected bug was NOT caught in {} seed(s) — the checker is blind to it",
+        cfg.seeds
+    )))
+}
+
+/// Compare the aggregate fingerprint against a pinned baseline file, or
+/// create the file on first run. The pin only holds for identical
+/// (seeds, start_seed, clients, ops) parameters, so mismatched configs
+/// are reported as such rather than as behavioural divergence.
+fn check_or_write_pinned(
+    path: &str,
+    cfg: &fmml_simtest::SimtestConfig,
+    agg: u64,
+) -> Result<(), CliError> {
+    use serde_json::Value;
+    let record = Value::Object(vec![
+        ("seeds".into(), Value::U64(cfg.seeds)),
+        ("start_seed".into(), Value::U64(cfg.start_seed)),
+        ("clients".into(), Value::U64(cfg.clients as u64)),
+        ("ops".into(), Value::U64(cfg.ops as u64)),
+        ("fingerprint".into(), Value::String(format!("{agg:016x}"))),
+    ]);
+    if !Path::new(path).exists() {
+        let pretty = serde_json::to_string_pretty(&record)
+            .map_err(|e| CliError::Invalid(format!("{path}: {e}")))?;
+        std::fs::write(path, format!("{pretty}\n")).map_err(|e| CliError::io(path, e))?;
+        println!("pinned fingerprint written to {path}");
+        return Ok(());
+    }
+    let raw = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    let pinned: serde_json::Value = serde_json::from_str(&raw)
+        .map_err(|e| CliError::Invalid(format!("{path}: not valid JSON: {e}")))?;
+    for key in ["seeds", "start_seed", "clients", "ops"] {
+        if pinned.get(key) != record.get(key) {
+            return Err(CliError::Invalid(format!(
+                "{path}: pinned {key}={} but this run used {key}={} — \
+                 re-pin or pass matching flags",
+                pinned.get(key).unwrap_or(&serde_json::Value::Null),
+                record.get(key).unwrap_or(&serde_json::Value::Null),
+            )));
+        }
+    }
+    let want = pinned
+        .get("fingerprint")
+        .and_then(|v| v.as_str())
+        .unwrap_or("");
+    let got = format!("{agg:016x}");
+    if want != got {
+        return Err(CliError::Invalid(format!(
+            "{path}: fingerprint mismatch: pinned {want}, got {got} — behaviour diverged \
+             (or the host computes floats differently; see ci.yml simtest-smoke notes)"
+        )));
+    }
+    println!("pinned fingerprint verified ({got})");
     Ok(())
 }

@@ -27,7 +27,7 @@
 //! the data, and measurement relaxation upstream handles that), so it
 //! counts as a success.
 
-use fmml_obs::{log_event, Counter, Gauge};
+use fmml_obs::{log_event, Clock, Counter, Gauge};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -229,6 +229,23 @@ impl BreakerCore {
 /// consecutive failures rather than `N * threshold`.
 static GLOBAL: Mutex<Option<BreakerCore>> = Mutex::new(None);
 
+/// Time source for the global wrapper's cooldown math. Defaults to the
+/// system clock; the deterministic simulation harness installs a
+/// virtual clock so half-open probe timing is schedule-driven rather
+/// than wall-clock-driven.
+static GLOBAL_CLOCK: Mutex<Clock> = Mutex::new(Clock::System);
+
+/// Install the time source used by [`allow_global`] / [`record_global`]
+/// for cooldown expiry. Process-wide, like the breaker itself; tests
+/// and the simulation harness are the intended callers.
+pub fn install_global_clock(clock: Clock) {
+    *GLOBAL_CLOCK.lock().unwrap_or_else(|e| e.into_inner()) = clock;
+}
+
+fn global_now() -> Instant {
+    GLOBAL_CLOCK.lock().unwrap_or_else(|e| e.into_inner()).now()
+}
+
 fn announce(t: Transition, state: BreakerState) {
     match t {
         Transition::Tripped => BREAKER_TRIPS.inc(),
@@ -254,7 +271,7 @@ pub fn allow_global(cfg: Option<&BreakerConfig>) -> bool {
     let Some(cfg) = cfg else { return true };
     let mut g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
     let core = g.get_or_insert_with(|| BreakerCore::new(cfg.clone()));
-    let now = Instant::now();
+    let now = global_now();
     let (allowed, transition) = core.allow(now);
     let state = core.state();
     if state == BreakerState::HalfOpen && allowed && transition.is_none() {
@@ -279,7 +296,7 @@ pub fn record_global(cfg: Option<&BreakerConfig>, success: bool) {
     }
     let mut g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
     let Some(core) = g.as_mut() else { return };
-    let transition = core.record(success, Instant::now());
+    let transition = core.record(success, global_now());
     let state = core.state();
     drop(g);
     if let Some(t) = transition {

@@ -1,0 +1,391 @@
+//! Breaker × ladder interaction tests.
+//!
+//! The unit proptest in `cem::breaker` checks [`BreakerCore`]'s state
+//! machine in isolation. These tests check the *protocol the ladder
+//! speaks to it*: `solve_interval`'s SMT rung does
+//! `allow → solve → record`, and on budget exhaustion asks `allow`
+//! *again* for the escalated retry. That second admission is the spot
+//! where a half-open failure could be double-counted — the probe's
+//! failure trips the breaker, and a buggy ladder (or breaker) would
+//! then admit and record the retry against the freshly-opened breaker,
+//! either extending the cooldown or inflating the failure streak.
+//!
+//! Two deterministic tests drive the *real* ladder end to end (starved
+//! vs generous SMT budgets against the process-global breaker, with a
+//! virtual clock for the cooldown), and a proptest drives the pure
+//! [`BreakerCore`] through arbitrary interleavings of the ladder's
+//! call sequence against a reference model.
+
+use fmml_fm::cem::breaker::{self, BreakerConfig, BreakerCore, BreakerState, Transition};
+use fmml_fm::cem::{enforce_degraded, CemEngine, DegradationLevel, LadderConfig};
+use fmml_fm::WindowConstraints;
+use fmml_obs::Clock;
+use fmml_smt::solver::Budget;
+use proptest::prelude::*;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The global breaker (and its clock) are process-wide; tests that
+/// touch them must not interleave.
+static GLOBAL_BREAKER: Mutex<()> = Mutex::new(());
+
+/// One feasible single-interval window (the first interval of the
+/// ladder's own fixture), so each `enforce_degraded` call is exactly
+/// one trip through the SMT rung.
+fn one_interval() -> (WindowConstraints, Vec<Vec<f32>>) {
+    let w = WindowConstraints {
+        interval_len: 5,
+        len: 5,
+        maxes: vec![vec![4], vec![1]],
+        samples: vec![vec![1], vec![0]],
+        sent: vec![4],
+    };
+    let imputed = vec![vec![0.2, 3.7, 4.4, 2.0, 1.1], vec![0.0, 0.9, 1.2, 0.0, 0.0]];
+    (w, imputed)
+}
+
+/// A budget no solve can meet: every SMT attempt (escalation included)
+/// fails with `SmtCemError::Budget`.
+fn starved_cfg(brk: BreakerConfig) -> LadderConfig {
+    LadderConfig {
+        engine: CemEngine::Smt {
+            budget: Budget {
+                timeout: Some(Duration::ZERO),
+                max_sat_conflicts: Some(1),
+                max_bb_nodes: 1,
+            },
+        },
+        deadline: None,
+        escalation_factor: 2,
+        breaker: Some(brk),
+    }
+}
+
+fn generous_cfg(brk: BreakerConfig) -> LadderConfig {
+    LadderConfig {
+        engine: CemEngine::Smt {
+            budget: Budget::default(),
+        },
+        deadline: None,
+        escalation_factor: 4,
+        breaker: Some(brk),
+    }
+}
+
+fn sole_level(w: &WindowConstraints, imputed: &[Vec<f32>], cfg: &LadderConfig) -> DegradationLevel {
+    let out = enforce_degraded(w, imputed, cfg);
+    assert_eq!(out.levels.len(), 1, "fixture must be a one-interval window");
+    assert!(
+        w.satisfied_exact(&out.corrected),
+        "ladder answer must hold C1–C3"
+    );
+    out.levels[0]
+}
+
+/// A half-open probe whose budget runs out must re-trip the breaker and
+/// the ladder must *not* get its escalated retry admitted against the
+/// freshly-opened breaker: exactly one failure is counted, the cooldown
+/// restarts at the probe failure, and after the breaker later closes
+/// the failure streak starts from zero.
+#[test]
+fn halfopen_probe_budget_exhaustion_retrips_without_double_count() {
+    let _guard = GLOBAL_BREAKER.lock().unwrap_or_else(|e| e.into_inner());
+    let (clock, vc) = Clock::new_virtual();
+    breaker::install_global_clock(clock);
+    breaker::reset_global();
+
+    let (w, imputed) = one_interval();
+    let brk = BreakerConfig {
+        threshold: 3,
+        cooldown: Duration::from_secs(5),
+        probes: 1,
+    };
+    let starved = starved_cfg(brk.clone());
+    let generous = generous_cfg(brk.clone());
+
+    // Each starved interval costs two consecutive failures (the solve
+    // plus its escalated retry): the second interval's first failure is
+    // the third consecutive one and trips the breaker.
+    assert_eq!(
+        sole_level(&w, &imputed, &starved),
+        DegradationLevel::FastFallback
+    );
+    assert_eq!(breaker::global_state(), Some(BreakerState::Closed));
+    assert_eq!(
+        sole_level(&w, &imputed, &starved),
+        DegradationLevel::FastFallback
+    );
+    assert_eq!(breaker::global_state(), Some(BreakerState::Open));
+
+    // Open within the cooldown: even a generous budget is skipped.
+    assert_eq!(
+        sole_level(&w, &imputed, &generous),
+        DegradationLevel::FastFallback
+    );
+    assert_eq!(breaker::global_state(), Some(BreakerState::Open));
+
+    // Cooldown elapses (virtual time); the next starved interval is the
+    // probe. Its budget exhaustion must re-trip, and the ladder's
+    // escalated retry must be refused by the now-open breaker — the
+    // interval still answers (fast fallback), with one failure counted.
+    vc.advance(brk.cooldown);
+    assert_eq!(
+        sole_level(&w, &imputed, &starved),
+        DegradationLevel::FastFallback
+    );
+    assert_eq!(breaker::global_state(), Some(BreakerState::Open));
+
+    // The re-trip restarted the cooldown at the probe failure. Had the
+    // skipped retry been recorded too, a stale failure would have
+    // landed while open; the window below proves nothing moved the
+    // clock or the state.
+    vc.advance(brk.cooldown - Duration::from_millis(1));
+    assert_eq!(
+        sole_level(&w, &imputed, &generous),
+        DegradationLevel::FastFallback
+    );
+    assert_eq!(breaker::global_state(), Some(BreakerState::Open));
+
+    // One more millisecond: the probe is admitted, succeeds on the
+    // generous budget, and (probes = 1) closes the breaker.
+    vc.advance(Duration::from_millis(1));
+    assert_eq!(sole_level(&w, &imputed, &generous), DegradationLevel::Full);
+    assert_eq!(breaker::global_state(), Some(BreakerState::Closed));
+
+    // No residue from the half-open failure: a fresh streak of two
+    // failures (one starved interval) stays below threshold 3. Any
+    // double-counted failure from the probe round would trip here.
+    assert_eq!(
+        sole_level(&w, &imputed, &starved),
+        DegradationLevel::FastFallback
+    );
+    assert_eq!(breaker::global_state(), Some(BreakerState::Closed));
+
+    breaker::reset_global();
+    breaker::install_global_clock(Clock::System);
+}
+
+/// A single solver success must fully reset the consecutive-failure
+/// streak: failures before and after a success never add up to a trip.
+#[test]
+fn ladder_success_fully_resets_the_failure_streak() {
+    let _guard = GLOBAL_BREAKER.lock().unwrap_or_else(|e| e.into_inner());
+    breaker::install_global_clock(Clock::System);
+    breaker::reset_global();
+
+    let (w, imputed) = one_interval();
+    let brk = BreakerConfig {
+        threshold: 5,
+        cooldown: Duration::from_secs(3600),
+        probes: 1,
+    };
+    let starved = starved_cfg(brk.clone());
+    let generous = generous_cfg(brk);
+
+    // Four consecutive failures (two starved intervals): one short of
+    // the threshold.
+    for _ in 0..2 {
+        assert_eq!(
+            sole_level(&w, &imputed, &starved),
+            DegradationLevel::FastFallback
+        );
+    }
+    assert_eq!(breaker::global_state(), Some(BreakerState::Closed));
+
+    // One success wipes the streak...
+    assert_eq!(sole_level(&w, &imputed, &generous), DegradationLevel::Full);
+    assert_eq!(breaker::global_state(), Some(BreakerState::Closed));
+
+    // ...so four *more* failures still do not trip. If the reset were
+    // partial, the fifth overall failure here would open the breaker.
+    for _ in 0..2 {
+        assert_eq!(
+            sole_level(&w, &imputed, &starved),
+            DegradationLevel::FastFallback
+        );
+        assert_eq!(breaker::global_state(), Some(BreakerState::Closed));
+    }
+
+    // The very next failure is the fifth consecutive one: trip, and the
+    // ladder's escalated retry is refused (state stays Open).
+    assert_eq!(
+        sole_level(&w, &imputed, &starved),
+        DegradationLevel::FastFallback
+    );
+    assert_eq!(breaker::global_state(), Some(BreakerState::Open));
+
+    breaker::reset_global();
+}
+
+/// How one SMT-rung interval resolves, from the breaker's point of
+/// view. `Solved`/`Infeasible` are single successes (the solver
+/// *responded*); the `Budget*` variants exhaust the first budget and
+/// then attempt the ladder's escalated retry.
+#[derive(Debug, Clone, Copy)]
+enum IntervalOutcome {
+    Solved,
+    Infeasible,
+    BudgetRetryOk,
+    BudgetRetryBudget,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Interval(IntervalOutcome),
+    AdvanceMs(u16),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Interval(IntervalOutcome::Solved)),
+        Just(Step::Interval(IntervalOutcome::Infeasible)),
+        Just(Step::Interval(IntervalOutcome::BudgetRetryOk)),
+        Just(Step::Interval(IntervalOutcome::BudgetRetryBudget)),
+        (0u16..120).prop_map(Step::AdvanceMs),
+    ]
+}
+
+/// Reference shadow of the breaker, tracking only what the ladder's
+/// sequential protocol can observe.
+#[derive(Debug, Clone, Copy)]
+enum RefState {
+    Closed { streak: u32 },
+    Open { opened_at: Instant },
+    HalfOpen { successes: u32 },
+}
+
+fn state_of(r: RefState) -> BreakerState {
+    match r {
+        RefState::Closed { .. } => BreakerState::Closed,
+        RefState::Open { .. } => BreakerState::Open,
+        RefState::HalfOpen { .. } => BreakerState::HalfOpen,
+    }
+}
+
+proptest! {
+    /// Drive [`BreakerCore`] through arbitrary interleavings of the
+    /// ladder's exact call sequence (`allow → record → allow-for-retry
+    /// → record`) and clock advances, shadowed by a reference model.
+    /// The invariants under test:
+    ///
+    /// - a trip from Closed happens exactly when the reference streak
+    ///   of consecutive failures reaches `threshold`, and any success
+    ///   resets that streak to zero;
+    /// - a half-open probe failure re-trips immediately and the
+    ///   escalated retry is refused — the interval records exactly one
+    ///   failure, never two;
+    /// - while open within the cooldown nothing is admitted (and so
+    ///   nothing is recorded), and the cooldown restarts at the most
+    ///   recent trip.
+    #[test]
+    fn ladder_protocol_matches_reference_model(
+        threshold in 1u32..=4,
+        probes in 1u32..=3,
+        cooldown_ms in 1u64..=60,
+        steps in prop::collection::vec(step_strategy(), 1..250),
+    ) {
+        let cooldown = Duration::from_millis(cooldown_ms);
+        let mut b = BreakerCore::new(BreakerConfig { threshold, cooldown, probes });
+        let mut now = Instant::now();
+        let mut r = RefState::Closed { streak: 0 };
+
+        // Reference-side record step; returns the expected transition.
+        let record = |r: &mut RefState, success: bool, now: Instant| -> Option<Transition> {
+            match *r {
+                RefState::Closed { streak } => {
+                    if success {
+                        *r = RefState::Closed { streak: 0 };
+                        None
+                    } else if streak + 1 >= threshold {
+                        *r = RefState::Open { opened_at: now };
+                        Some(Transition::Tripped)
+                    } else {
+                        *r = RefState::Closed { streak: streak + 1 };
+                        None
+                    }
+                }
+                RefState::HalfOpen { successes } => {
+                    if !success {
+                        *r = RefState::Open { opened_at: now };
+                        Some(Transition::Tripped)
+                    } else if successes + 1 >= probes {
+                        *r = RefState::Closed { streak: 0 };
+                        Some(Transition::Closed)
+                    } else {
+                        *r = RefState::HalfOpen { successes: successes + 1 };
+                        None
+                    }
+                }
+                RefState::Open { .. } => unreachable!("ladder never records without admission"),
+            }
+        };
+
+        for step in steps {
+            let outcome = match step {
+                Step::AdvanceMs(ms) => {
+                    now += Duration::from_millis(ms as u64);
+                    continue;
+                }
+                Step::Interval(o) => o,
+            };
+
+            // 1. Admission, exactly as `solve_interval` asks.
+            let (allowed, transition) = b.allow(now);
+            let expect_allowed = match r {
+                RefState::Closed { .. } => true,
+                RefState::Open { opened_at } => {
+                    if now.duration_since(opened_at) >= cooldown {
+                        prop_assert_eq!(transition, Some(Transition::Probing));
+                        r = RefState::HalfOpen { successes: 0 };
+                        true
+                    } else {
+                        false
+                    }
+                }
+                // Between intervals no probe is in flight, so admission
+                // depends only on successes banked so far.
+                RefState::HalfOpen { successes } => successes < probes,
+            };
+            prop_assert_eq!(allowed, expect_allowed);
+            prop_assert_eq!(b.state(), state_of(r));
+            if !allowed {
+                // Ladder takes the fast fallback; no outcome recorded.
+                continue;
+            }
+
+            // 2. First solve's outcome.
+            let first_success =
+                matches!(outcome, IntervalOutcome::Solved | IntervalOutcome::Infeasible);
+            let t = b.record(first_success, now);
+            prop_assert_eq!(t, record(&mut r, first_success, now));
+            prop_assert_eq!(b.state(), state_of(r));
+
+            // 3. On budget exhaustion the ladder asks again for the
+            // escalated retry. If the failure just tripped the breaker
+            // the retry MUST be refused (cooldown ≥ 1 ms cannot have
+            // elapsed at the same instant): one failure, not two.
+            if matches!(
+                outcome,
+                IntervalOutcome::BudgetRetryOk | IntervalOutcome::BudgetRetryBudget
+            ) {
+                let (retry_allowed, retry_transition) = b.allow(now);
+                match r {
+                    RefState::Open { .. } => {
+                        prop_assert!(!retry_allowed, "retry admitted against a tripped breaker");
+                        prop_assert_eq!(retry_transition, None);
+                    }
+                    RefState::Closed { .. } => prop_assert!(retry_allowed),
+                    RefState::HalfOpen { .. } => {
+                        prop_assert!(false, "half-open after a recorded failure is impossible")
+                    }
+                }
+                if retry_allowed {
+                    let retry_success = matches!(outcome, IntervalOutcome::BudgetRetryOk);
+                    let t2 = b.record(retry_success, now);
+                    prop_assert_eq!(t2, record(&mut r, retry_success, now));
+                }
+            }
+            prop_assert_eq!(b.state(), state_of(r));
+        }
+    }
+}

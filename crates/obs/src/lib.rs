@@ -42,6 +42,7 @@
 //! assert!(report.to_json().contains("\"doc.pkts\":3"));
 //! ```
 
+pub mod clock;
 pub mod hist;
 pub(crate) mod json;
 pub mod registry;
@@ -49,6 +50,7 @@ pub mod report;
 pub mod runlog;
 pub mod trace;
 
+pub use clock::{Clock, VirtualClock};
 pub use hist::{Histogram, SpanTimer, Unit};
 pub use registry::{Counter, FloatGauge, Gauge};
 pub use report::{snapshot, HistogramSummary, MetricsReport};

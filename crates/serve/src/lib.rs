@@ -34,8 +34,16 @@
 
 pub mod loadgen;
 pub mod protocol;
+pub mod replay_log;
 pub mod server;
+pub mod sim;
+pub mod transport;
 
-pub use loadgen::{run as run_loadgen, ChaosConfig, LoadReport, LoadgenConfig};
+pub use loadgen::{
+    run as run_loadgen, run_with as run_loadgen_with, ChaosConfig, LoadReport, LoadgenConfig,
+};
 pub use protocol::{Frame, WireError, MAX_FRAME_LEN};
-pub use server::{spawn, ServerConfig, ServerHandle};
+pub use replay_log::ReplayLog;
+pub use server::{spawn, spawn_with, ProtocolBug, ServerConfig, ServerHandle};
+pub use sim::{FaultCounts, FaultProfile, SimConn, SimNet};
+pub use transport::{Accepted, Conn, Connector, TcpConnector, TcpTransport, Transport};

@@ -15,6 +15,7 @@
 //! rejections, zero panics, zero constraint violations.
 
 use crate::protocol::{write_frame, Frame, FrameReader, WireError};
+use crate::transport::{Conn, Connector, TcpConnector};
 use fmml_core::streaming::IntervalUpdate;
 use fmml_fm::cem::DegradationLevel;
 use fmml_netsim::traffic::TrafficConfig;
@@ -27,7 +28,6 @@ use rand::{RngExt, SeedableRng};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::io::Write;
-use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -241,8 +241,20 @@ impl ClientShared {
     }
 }
 
-/// Run the load generator to completion and aggregate.
+/// Run the load generator to completion and aggregate (TCP transport,
+/// dialing `cfg.addr`).
 pub fn run(cfg: &LoadgenConfig) -> LoadReport {
+    run_with(
+        cfg,
+        Arc::new(TcpConnector {
+            addr: cfg.addr.clone(),
+        }),
+    )
+}
+
+/// Run the load generator over an arbitrary [`Connector`] — the
+/// simulation harness dials the in-memory transport here.
+pub fn run_with<K: Connector + 'static>(cfg: &LoadgenConfig, connector: Arc<K>) -> LoadReport {
     assert!(cfg.clients >= 1 && cfg.intervals >= 1 && cfg.distinct_traces >= 1);
     // Touch every loadgen metric up front so the snapshot always carries
     // the full `serve.loadgen.*` family (counters register lazily, and
@@ -277,9 +289,10 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         .map(|c| {
             let cfg = cfg.clone();
             let traces = Arc::clone(&traces);
+            let connector = Arc::clone(&connector);
             std::thread::Builder::new()
                 .name(format!("loadgen-{c}"))
-                .spawn(move || run_client(&cfg, c, &traces[c % traces.len()]))
+                .spawn(move || run_client(&cfg, &*connector, c, &traces[c % traces.len()]))
                 .expect("spawn client")
         })
         .collect();
@@ -301,7 +314,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
     let elapsed = started.elapsed();
 
     // Final server-side stats probe on a fresh connection.
-    let server_stats = probe_stats(&cfg.addr);
+    let server_stats = probe_stats(&*connector);
 
     let mut lat: Vec<u64> = reports
         .iter()
@@ -419,12 +432,16 @@ fn trace_updates(cfg: &LoadgenConfig, seed: u64) -> Vec<IntervalUpdate> {
 /// lockstep on the same 20 ms grid; jittered doubling (5 ms → 320 ms
 /// cap, scaled by U[0.5, 1.0)) spreads the reconnect storm while the
 /// seed keeps each client's schedule reproducible.
-fn connect_with_retry(addr: &str, budget: Duration, rng: &mut StdRng) -> Option<TcpStream> {
+fn connect_with_retry<K: Connector + ?Sized>(
+    connector: &K,
+    budget: Duration,
+    rng: &mut StdRng,
+) -> Option<K::Conn> {
     let deadline = Instant::now() + budget;
     let mut backoff = Duration::from_millis(5);
     const BACKOFF_CAP: Duration = Duration::from_millis(320);
     loop {
-        match TcpStream::connect(addr) {
+        match connector.connect() {
             Ok(s) => return Some(s),
             Err(_) => {
                 let now = Instant::now();
@@ -445,9 +462,11 @@ fn connect_with_retry(addr: &str, budget: Duration, rng: &mut StdRng) -> Option<
 /// Returns (sessions, accepted, rejected, malformed, batches,
 /// deadline_misses, violations, slow_disconnects).
 #[allow(clippy::type_complexity)]
-fn probe_stats(addr: &str) -> Option<(u64, u64, u64, u64, u64, u64, u64, u64)> {
+fn probe_stats<K: Connector + ?Sized>(
+    connector: &K,
+) -> Option<(u64, u64, u64, u64, u64, u64, u64, u64)> {
     let mut rng = StdRng::seed_from_u64(0x5747_5f70_726f_6265); // "STW_probe"
-    let stream = connect_with_retry(addr, Duration::from_secs(2), &mut rng)?;
+    let stream = connect_with_retry(connector, Duration::from_secs(2), &mut rng)?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let mut reader = FrameReader::new(stream.try_clone().ok()?);
     let mut w = stream;
@@ -483,7 +502,12 @@ fn probe_stats(addr: &str) -> Option<(u64, u64, u64, u64, u64, u64, u64, u64)> {
     }
 }
 
-fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) -> ClientReport {
+fn run_client<K: Connector + ?Sized>(
+    cfg: &LoadgenConfig,
+    connector: &K,
+    client: usize,
+    updates: &[IntervalUpdate],
+) -> ClientReport {
     let mut report = ClientReport::default();
     let mut rng = StdRng::seed_from_u64(
         cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(client as u64 + 1)),
@@ -510,7 +534,7 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
         } else {
             Duration::from_secs(2) // reconnect after chaos/shutdown: give up sooner
         };
-        let Some(stream) = connect_with_retry(&cfg.addr, retry_budget, &mut rng) else {
+        let Some(stream) = connect_with_retry(connector, retry_budget, &mut rng) else {
             report.connect_failures += 1;
             report.unsent += (updates.len() - idx) as u64;
             break;
@@ -693,12 +717,12 @@ fn run_client(cfg: &LoadgenConfig, client: usize, updates: &[IntervalUpdate]) ->
                 report.drain_losses += 1;
             }
             shared.stop.store(true, Ordering::Release);
-            let _ = w.shutdown(Shutdown::Both);
+            w.shutdown_both();
             let _ = reader_handle.join();
             break;
         }
         shared.stop.store(true, Ordering::Release);
-        let _ = w.shutdown(Shutdown::Both);
+        w.shutdown_both();
         let _ = reader_handle.join();
         // Disconnected (chaos, server hangup, or write error): loop
         // around and reconnect, presenting the resume token so pending
@@ -726,7 +750,7 @@ struct WelcomeInfo {
     resume_seq: Option<u64>,
 }
 
-fn await_welcome(reader: &mut FrameReader<TcpStream>) -> Option<WelcomeInfo> {
+fn await_welcome<C: Conn>(reader: &mut FrameReader<C>) -> Option<WelcomeInfo> {
     let deadline = Instant::now() + Duration::from_secs(5);
     while Instant::now() < deadline {
         match reader.poll_frame() {
@@ -752,7 +776,7 @@ fn await_welcome(reader: &mut FrameReader<TcpStream>) -> Option<WelcomeInfo> {
 }
 
 /// Reader half of one client connection: match replies to pending seqs.
-fn reader_loop(mut reader: FrameReader<TcpStream>, shared: &ClientShared) {
+fn reader_loop<C: Conn>(mut reader: FrameReader<C>, shared: &ClientShared) {
     loop {
         if shared.stop.load(Ordering::Acquire) {
             break;

@@ -1,0 +1,224 @@
+//! Bounded per-session replay log — the replay window behind session
+//! resumption (extracted from `server.rs`).
+//!
+//! Entries are `(seq, encoded reply bytes)` recorded *before* the write
+//! hits the socket, so a reply lost to a disconnect is still
+//! replayable. The log is bounded at `cap` entries; eviction prefers
+//! entries the client has already acknowledged (`seq <= acked`
+//! watermark) so a bounded log never silently discards a reply the
+//! client may still need — as long as the un-acked span fits in `cap`.
+//! When it does not (a client that never acks more than `cap` replies
+//! behind), the oldest entry is evicted anyway and the forced eviction
+//! is counted: resumption degrades observably instead of wedging the
+//! session on an unbounded buffer.
+
+use std::collections::VecDeque;
+
+/// Bounded log of recently shipped per-seq replies (encoded bytes).
+pub struct ReplayLog {
+    entries: VecDeque<(u64, Vec<u8>)>,
+    cap: usize,
+    /// Highest seq the client has confirmed processing (from
+    /// `Hello.last_acked` on resume). Entries at or below it are safe
+    /// to evict; entries above it are preserved while capacity allows.
+    acked: u64,
+    forced_evictions: u64,
+}
+
+impl ReplayLog {
+    /// `cap = 0` disables the log entirely (resumption off).
+    pub fn new(cap: usize) -> ReplayLog {
+        ReplayLog {
+            entries: VecDeque::new(),
+            cap,
+            acked: 0,
+            forced_evictions: 0,
+        }
+    }
+
+    /// Record the reply for `seq`. At capacity, evicts an
+    /// already-acked entry if one exists, else the oldest entry
+    /// (counted in [`forced_evictions`](ReplayLog::forced_evictions)).
+    pub fn record(&mut self, seq: u64, bytes: &[u8]) {
+        if self.cap == 0 {
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            if let Some(i) = self.entries.iter().position(|(s, _)| *s <= self.acked) {
+                self.entries.remove(i);
+            } else {
+                self.forced_evictions += 1;
+                self.entries.pop_front();
+            }
+        }
+        self.entries.push_back((seq, bytes.to_vec()));
+    }
+
+    /// The retained reply for `seq`, if any (duplicate-seq answers).
+    pub fn get(&self, seq: u64) -> Option<Vec<u8>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, b)| b.clone())
+    }
+
+    /// Every retained reply with `seq > after`, in seq order.
+    pub fn since(&self, after: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = self
+            .entries
+            .iter()
+            .filter(|(s, _)| *s > after)
+            .cloned()
+            .collect();
+        out.sort_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Raise the acked watermark (monotonic; lower values are ignored).
+    pub fn set_acked(&mut self, seq: u64) {
+        self.acked = self.acked.max(seq);
+    }
+
+    /// Current acked watermark.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evictions that had to discard an un-acked entry because the
+    /// un-acked span exceeded `cap`. Non-zero means a resuming client
+    /// may find a gap it can only fill by resending.
+    pub fn forced_evictions(&self) -> u64 {
+        self.forced_evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bytes_for(seq: u64) -> Vec<u8> {
+        seq.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn zero_cap_records_nothing() {
+        let mut log = ReplayLog::new(0);
+        log.record(1, b"x");
+        assert_eq!(log.get(1), None);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn eviction_prefers_acked_entries() {
+        let mut log = ReplayLog::new(3);
+        log.record(1, &bytes_for(1));
+        log.record(2, &bytes_for(2));
+        log.record(3, &bytes_for(3));
+        log.set_acked(2);
+        // At capacity: recording 4 must evict 1 or 2 (acked), never 3.
+        log.record(4, &bytes_for(4));
+        assert!(log.get(3).is_some());
+        assert!(log.get(4).is_some());
+        assert_eq!(log.forced_evictions(), 0);
+        // And again: evicts the remaining acked entry.
+        log.record(5, &bytes_for(5));
+        assert!(log.get(3).is_some());
+        assert!(log.get(5).is_some());
+        assert_eq!(log.forced_evictions(), 0);
+        // No acked entries left: the next record forces one out.
+        log.record(6, &bytes_for(6));
+        assert_eq!(log.forced_evictions(), 1);
+    }
+
+    #[test]
+    fn since_is_seq_ordered_and_exclusive() {
+        let mut log = ReplayLog::new(8);
+        // Commit order need not be seq order (concurrent workers).
+        for seq in [2u64, 1, 4, 3] {
+            log.record(seq, &bytes_for(seq));
+        }
+        let replay = log.since(1);
+        assert_eq!(
+            replay.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(log.since(4).is_empty());
+    }
+
+    #[test]
+    fn acked_watermark_is_monotonic() {
+        let mut log = ReplayLog::new(4);
+        log.set_acked(7);
+        log.set_acked(3);
+        assert_eq!(log.acked(), 7);
+    }
+
+    proptest! {
+        /// Bounded eviction never drops a reply at or above the
+        /// un-acked watermark, as long as the un-acked span fits in the
+        /// capacity — and duplicate-seq lookups are total (`get` hits)
+        /// for every logged seq above the watermark.
+        #[test]
+        fn unacked_replies_survive_bounded_eviction(
+            cap in 1usize..24,
+            seqs in prop::collection::vec(1u64..2000, 1..200),
+        ) {
+            let mut log = ReplayLog::new(cap);
+            let mut recorded: Vec<u64> = Vec::new();
+            for (i, &seq) in seqs.iter().enumerate() {
+                // Keep the un-acked span within capacity: ack everything
+                // further back than `cap` records.
+                if i >= cap {
+                    let floor = recorded[i - cap];
+                    log.set_acked(log.acked().max(floor));
+                }
+                log.record(seq, &bytes_for(seq));
+                recorded.push(seq);
+                prop_assert_eq!(log.forced_evictions(), 0);
+                // Totality: every recorded seq above the watermark that
+                // was recorded after the watermark rose must be
+                // retrievable, byte-identical.
+                let acked = log.acked();
+                for &s in recorded.iter().rev().take(cap) {
+                    if s > acked {
+                        let got = log.get(s);
+                        prop_assert!(got.is_some(), "seq {} missing (acked {})", s, acked);
+                        prop_assert_eq!(got.unwrap(), bytes_for(s));
+                    }
+                }
+            }
+        }
+
+        /// With no acks at all, the log degrades gracefully: it stays
+        /// bounded, counts forced evictions, and `since` still returns
+        /// seq-sorted results.
+        #[test]
+        fn overflow_without_acks_is_bounded_and_counted(
+            cap in 1usize..16,
+            n in 1u64..100,
+        ) {
+            let mut log = ReplayLog::new(cap);
+            for seq in 1..=n {
+                log.record(seq, &bytes_for(seq));
+            }
+            prop_assert!(log.len() <= cap);
+            prop_assert_eq!(log.forced_evictions(), n.saturating_sub(cap as u64));
+            let replay = log.since(0);
+            let seqs: Vec<u64> = replay.iter().map(|(s, _)| *s).collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seqs, sorted);
+        }
+    }
+}

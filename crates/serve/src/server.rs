@@ -34,6 +34,8 @@
 //! exit once the queue is empty and every reader is gone.
 
 use crate::protocol::{encode_frame, write_bytes, Frame, FrameReader, WireError};
+use crate::replay_log::ReplayLog;
+use crate::transport::{Accepted, Conn, TcpTransport, Transport};
 use fmml_core::streaming::{PreparedWindow, StreamOptions, StreamingImputer};
 use fmml_core::transformer_imputer::TransformerImputer;
 use fmml_fault::{record_process_fault, FaultKind, ProcessFaultPlan};
@@ -42,10 +44,9 @@ use fmml_fm::cem::{
     EnforceOptions, LadderConfig, SolutionCache,
 };
 use fmml_obs::trace::{self, TraceContext};
-use fmml_obs::{log_event, Counter, FloatGauge, Gauge, Histogram, Unit};
+use fmml_obs::{log_event, Clock, Counter, FloatGauge, Gauge, Histogram, Unit};
 use std::collections::{HashMap, VecDeque};
-use std::io::ErrorKind;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -192,10 +193,37 @@ pub struct ServerConfig {
     /// and for how long. Oldest parked sessions are evicted first.
     pub max_parked: usize,
     pub parked_ttl: Duration,
+    /// How long a resume handshake will poll for its parked session to
+    /// land before answering with a fresh session (the old connection's
+    /// reader may still be unwinding when the client reconnects). Real
+    /// time even under a virtual clock: it is poll patience, not
+    /// protocol time. Simulation harnesses shrink it so handshakes that
+    /// present an expired token are answered before the driver's stall
+    /// budget runs out.
+    pub resume_claim_wait: Duration,
     /// Deterministic process-fault injection (worker panics, solver
     /// stalls, slow writes) — the recovery chaos hook. Inactive by
     /// default; see [`ProcessFaultPlan`].
     pub process_faults: ProcessFaultPlan,
+    /// Time source for every deadline, TTL, backoff, and watchdog tick.
+    /// [`Clock::System`] in production; the deterministic simulation
+    /// harness injects a virtual clock so full session lifecycles run
+    /// in milliseconds with zero real sleeps.
+    pub clock: Clock,
+    /// Deliberate protocol bugs, used by `fmml-simtest` to validate
+    /// that the conformance checker actually catches violations (a
+    /// checker that never fires proves nothing). `None` in production.
+    pub injected_bug: Option<ProtocolBug>,
+}
+
+/// A deliberately wrong protocol behaviour (see
+/// [`ServerConfig::injected_bug`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolBug {
+    /// On resume, replay starts one seq too late (`last_acked + 1`
+    /// exclusive instead of `last_acked` exclusive), silently skipping
+    /// the first un-acked reply.
+    ReplayOffByOne,
 }
 
 impl Default for ServerConfig {
@@ -231,7 +259,10 @@ impl Default for ServerConfig {
             replay_window: 1024,
             max_parked: 64,
             parked_ttl: Duration::from_secs(30),
+            resume_claim_wait: Duration::from_millis(500),
             process_faults: ProcessFaultPlan::none(),
+            clock: Clock::System,
+            injected_bug: None,
         }
     }
 }
@@ -311,47 +342,6 @@ impl Counters {
     }
 }
 
-/// Bounded log of recently shipped per-seq replies (encoded bytes), the
-/// replay window behind session resumption. Entries are recorded
-/// *before* the write hits the socket, so a reply lost to a disconnect
-/// is still replayable.
-struct ReplayLog {
-    entries: VecDeque<(u64, Vec<u8>)>,
-    cap: usize,
-}
-
-impl ReplayLog {
-    fn record(&mut self, seq: u64, bytes: &[u8]) {
-        if self.cap == 0 {
-            return;
-        }
-        while self.entries.len() >= self.cap {
-            self.entries.pop_front();
-        }
-        self.entries.push_back((seq, bytes.to_vec()));
-    }
-
-    fn get(&self, seq: u64) -> Option<Vec<u8>> {
-        self.entries
-            .iter()
-            .rev()
-            .find(|(s, _)| *s == seq)
-            .map(|(_, b)| b.clone())
-    }
-
-    /// Every retained reply with `seq > after`, in seq order.
-    fn since(&self, after: u64) -> Vec<(u64, Vec<u8>)> {
-        let mut out: Vec<(u64, Vec<u8>)> = self
-            .entries
-            .iter()
-            .filter(|(s, _)| *s > after)
-            .cloned()
-            .collect();
-        out.sort_by_key(|(s, _)| *s);
-        out
-    }
-}
-
 /// The write half of a session, shared between its reader thread and the
 /// worker pool. All frame writes go through [`send`](SessionWriter::send)
 /// under one mutex, so replies never interleave mid-frame.
@@ -360,8 +350,8 @@ impl ReplayLog {
 /// the new connection's stream is swapped in under the mutex and `dead`
 /// is re-armed, so in-flight workers keep writing to wherever the
 /// session currently lives.
-struct SessionWriter {
-    stream: Mutex<TcpStream>,
+struct SessionWriter<C: Conn> {
+    stream: Mutex<C>,
     /// Intervals accepted but not yet answered (admission-control level).
     inflight: AtomicUsize,
     /// Replies successfully written (for `ByeAck`).
@@ -375,10 +365,10 @@ struct SessionWriter {
     highest_seq: AtomicU64,
 }
 
-impl SessionWriter {
+impl<C: Conn> SessionWriter<C> {
     /// Write one frame; on failure the session is marked dead and the
     /// socket shut down (waking the reader thread). Returns success.
-    fn send(&self, shared: &Shared, frame: &Frame) -> bool {
+    fn send(&self, shared: &Shared<C>, frame: &Frame) -> bool {
         let Ok(bytes) = encode_frame(frame) else {
             return false;
         };
@@ -388,7 +378,7 @@ impl SessionWriter {
     /// Write pre-encoded frame bytes (the traced reply path encodes
     /// separately so the encode and write stages time independently).
     /// Same failure semantics as [`send`](SessionWriter::send).
-    fn send_bytes(&self, shared: &Shared, bytes: &[u8], tag: &'static str) -> bool {
+    fn send_bytes(&self, shared: &Shared<C>, bytes: &[u8], tag: &'static str) -> bool {
         if self.dead.load(Ordering::Acquire) {
             return false;
         }
@@ -405,7 +395,7 @@ impl SessionWriter {
                             .fetch_add(1, Ordering::Relaxed);
                         log_event!("serve.slow_disconnect", "frame" = tag);
                     }
-                    let _ = stream.shutdown(Shutdown::Both);
+                    stream.shutdown_both();
                 }
                 false
             }
@@ -426,7 +416,7 @@ impl SessionWriter {
     /// Record + send a per-seq reply frame (the reader-side Ack / Busy /
     /// Reject path; the worker path encodes separately for stage timing
     /// and calls [`record_reply`](SessionWriter::record_reply) itself).
-    fn send_reply(&self, shared: &Shared, seq: u64, frame: &Frame) -> bool {
+    fn send_reply(&self, shared: &Shared<C>, seq: u64, frame: &Frame) -> bool {
         let Ok(bytes) = encode_frame(frame) else {
             return false;
         };
@@ -438,7 +428,7 @@ impl SessionWriter {
     /// is dropped; `dead` is re-armed *after* the swap so a concurrent
     /// worker either fails against the old dead stream (and the reply is
     /// replayed) or succeeds against the new one.
-    fn attach(&self, stream: TcpStream) {
+    fn attach(&self, stream: C) {
         *self.stream.lock().unwrap_or_else(PoisonError::into_inner) = stream;
         self.dead.store(false, Ordering::Release);
     }
@@ -446,7 +436,7 @@ impl SessionWriter {
 
 /// One enforcement unit: a fully prepared window plus where the answer
 /// goes.
-struct Job {
+struct Job<C: Conn> {
     seq: u64,
     prepared: PreparedWindow,
     accepted_at: Instant,
@@ -455,7 +445,7 @@ struct Job {
     /// The interval's trace (the `serve.interval` root span's context);
     /// [`TraceContext::NONE`] when tracing is off.
     trace: TraceContext,
-    writer: Arc<SessionWriter>,
+    writer: Arc<SessionWriter<C>>,
     /// Set when a worker panic poisoned this job's batch and the
     /// supervisor re-enqueued it: when the retried reply is finally
     /// written, `requeued_at → now` is the recovery latency.
@@ -465,14 +455,14 @@ struct Job {
 /// A disconnected session retained for resumption: the sliding windows
 /// and the writer (whose replay log holds the replies the client may
 /// have missed), keyed by resume token in [`Shared::parked`].
-struct ParkedSession {
+struct ParkedSession<C: Conn> {
     tenant: String,
     ports: Vec<usize>,
     queues: usize,
     interval_len: usize,
     window_intervals: usize,
     imputers: HashMap<usize, StreamingImputer<Arc<TransformerImputer>>>,
-    writer: Arc<SessionWriter>,
+    writer: Arc<SessionWriter<C>>,
     parked_at: Instant,
 }
 
@@ -488,12 +478,12 @@ struct WorkerObit {
 /// Requeue-latency samples retained on the handle (recovery benches).
 const REQUEUE_LAT_CAP: usize = 4096;
 
-struct Shared {
+struct Shared<C: Conn> {
     cfg: ServerConfig,
     model: Arc<TransformerImputer>,
     cache: Option<Arc<SolutionCache>>,
     counters: Counters,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<Job<C>>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
     active_readers: AtomicUsize,
@@ -503,14 +493,17 @@ struct Shared {
     breaches: Mutex<Vec<SloBreach>>,
     /// Disconnected sessions awaiting resumption, keyed by resume token
     /// (bounded by `cfg.max_parked` / `cfg.parked_ttl`).
-    parked: Mutex<HashMap<String, ParkedSession>>,
+    parked: Mutex<HashMap<String, ParkedSession<C>>>,
+    /// Signalled whenever a session parks — wakes reconnecting claims
+    /// racing the old reader's unwind.
+    parked_cv: Condvar,
     /// Panic reports from workers, drained by the supervisor.
     obits: Mutex<Vec<WorkerObit>>,
     /// Recovery latencies of re-enqueued jobs, in µs (bounded).
     requeue_lat: Mutex<Vec<u64>>,
 }
 
-impl Shared {
+impl<C: Conn> Shared<C> {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
@@ -526,21 +519,24 @@ impl Shared {
 /// pool's shutdown condition (`shutting_down && active_readers == 0`)
 /// still holds; without this, [`ServerHandle::shutdown`] would hang
 /// forever joining workers after any reader panic.
-struct ReaderGuard(Arc<Shared>);
+struct ReaderGuard<C: Conn>(Arc<Shared<C>>);
 
-impl Drop for ReaderGuard {
+impl<C: Conn> Drop for ReaderGuard<C> {
     fn drop(&mut self) {
         self.0.active_readers.fetch_sub(1, Ordering::AcqRel);
         self.0.queue_cv.notify_all();
     }
 }
 
-/// A running server. Dropping the handle without calling
+/// A running server, generic over the connection type it serves
+/// (`TcpStream` in production, [`crate::sim::SimConn`] under the
+/// simulation harness). Dropping the handle without calling
 /// [`shutdown`](ServerHandle::shutdown) leaves the threads running for
 /// the life of the process.
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shared: Arc<Shared>,
+pub struct ServerHandle<C: Conn = TcpStream> {
+    /// Bound socket address — `Some` only for TCP transports.
+    addr: Option<SocketAddr>,
+    shared: Arc<Shared<C>>,
     acceptor: Option<JoinHandle<()>>,
     /// The supervisor owns the worker pool's join handles; joining it
     /// joins (or has already joined) every worker.
@@ -549,12 +545,14 @@ pub struct ServerHandle {
     watchdog: Option<JoinHandle<()>>,
 }
 
-impl ServerHandle {
+impl ServerHandle<TcpStream> {
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.addr.expect("TCP server always has a bound address")
     }
+}
 
+impl<C: Conn> ServerHandle<C> {
     /// This instance's counters as a [`Frame::StatsReply`].
     pub fn stats(&self) -> Frame {
         self.shared.counters.stats_frame()
@@ -601,12 +599,39 @@ impl ServerHandle {
             .unwrap_or_default()
     }
 
+    /// Sessions currently parked for resumption.
+    pub fn parked_count(&self) -> usize {
+        self.shared
+            .parked
+            .lock()
+            .map(|p| p.len())
+            .unwrap_or_default()
+    }
+
+    /// Whether a parked session exists for `token` right now. Test
+    /// introspection: lets a deterministic harness wait for a specific
+    /// disconnect to be parked instead of racing on `parked_count`
+    /// (which also counts stale entries awaiting lazy TTL pruning).
+    pub fn parked_contains(&self, token: &str) -> bool {
+        self.shared
+            .parked
+            .lock()
+            .map(|p| p.contains_key(token))
+            .unwrap_or_default()
+    }
+
     /// Signal shutdown and gracefully drain: stop accepting, let every
     /// session's in-flight intervals be answered, join all threads.
     /// Returns the final stats.
     pub fn shutdown(mut self) -> Frame {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
+        // Under virtual time, drain loops sleep on the injected clock;
+        // from here on nothing semantic is being timed, so let sleepers
+        // advance it themselves instead of requiring a driver.
+        if let Some(vc) = self.shared.cfg.clock.virtual_handle() {
+            vc.set_auto_advance(true);
+        }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -633,9 +658,21 @@ impl ServerHandle {
 
 /// Spawn a server on `cfg.addr` serving imputations from `model`.
 pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&cfg.addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
+    let transport = TcpTransport::bind(&cfg.addr)?;
+    let addr = transport.addr();
+    let mut handle = spawn_with(transport, model, cfg);
+    handle.addr = Some(addr);
+    Ok(handle)
+}
+
+/// Spawn a server over an arbitrary [`Transport`] — the simulation
+/// harness passes the in-memory [`crate::sim::SimTransport`] here and
+/// gets the identical session/worker/supervisor machinery.
+pub fn spawn_with<T: Transport>(
+    transport: T,
+    model: Arc<TransformerImputer>,
+    cfg: ServerConfig,
+) -> ServerHandle<T::Conn> {
     let cache = if cfg.cache_capacity > 0 {
         Some(Arc::new(SolutionCache::new(cfg.cache_capacity)))
     } else {
@@ -654,6 +691,7 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
         slo_obs: Mutex::new(VecDeque::new()),
         breaches: Mutex::new(Vec::new()),
         parked: Mutex::new(HashMap::new()),
+        parked_cv: Condvar::new(),
         obits: Mutex::new(Vec::new()),
         requeue_lat: Mutex::new(Vec::new()),
     });
@@ -676,11 +714,11 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
         std::thread::Builder::new()
             .name("serve-acceptor".into())
             .spawn(move || {
-                let addr_str = addr.to_string();
-                log_event!("serve.listening", "addr" = addr_str.as_str());
+                let desc = transport.desc();
+                log_event!("serve.listening", "addr" = desc.as_str());
                 loop {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
+                    match transport.accept() {
+                        Accepted::Conn(stream) => {
                             let shared = Arc::clone(&shared);
                             shared.active_readers.fetch_add(1, Ordering::AcqRel);
                             let h = std::thread::Builder::new()
@@ -696,19 +734,16 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
                             reap_finished(&mut rs);
                             rs.push(h);
                         }
-                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        Accepted::Retry => {
                             if shared.shutting_down() {
                                 break;
                             }
                             reap_finished(&mut readers.lock().unwrap());
+                            // Poll cadence, not semantic time: stays on
+                            // the real clock even under virtual time.
                             std::thread::sleep(Duration::from_millis(2));
                         }
-                        Err(_) => {
-                            if shared.shutting_down() {
-                                break;
-                            }
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
+                        Accepted::Closed => break,
                     }
                 }
             })
@@ -723,18 +758,18 @@ pub fn spawn(model: Arc<TransformerImputer>, cfg: ServerConfig) -> std::io::Resu
             .expect("spawn watchdog")
     };
 
-    Ok(ServerHandle {
-        addr,
+    ServerHandle {
+        addr: None,
         shared,
         acceptor: Some(acceptor),
         supervisor: Some(supervisor),
         readers,
         watchdog: Some(watchdog),
-    })
+    }
 }
 
 /// Spawn worker slot `i` running the crash-isolated batch loop.
-fn spawn_worker(shared: &Arc<Shared>, i: usize) -> JoinHandle<()> {
+fn spawn_worker<C: Conn>(shared: &Arc<Shared<C>>, i: usize) -> JoinHandle<()> {
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
         .name(format!("serve-worker-{i}"))
@@ -746,7 +781,7 @@ fn spawn_worker(shared: &Arc<Shared>, i: usize) -> JoinHandle<()> {
 /// itself (the dying worker already re-enqueued its batch), and
 /// restarts the dead slot under a bounded budget with deterministic
 /// exponential backoff. On shutdown it joins whatever workers remain.
-fn supervisor_loop(shared: &Arc<Shared>, mut slots: Vec<Option<JoinHandle<()>>>) {
+fn supervisor_loop<C: Conn>(shared: &Arc<Shared<C>>, mut slots: Vec<Option<JoinHandle<()>>>) {
     let cfg = &shared.cfg;
     let mut restarts: Vec<u32> = vec![0; slots.len()];
     loop {
@@ -786,14 +821,16 @@ fn supervisor_loop(shared: &Arc<Shared>, mut slots: Vec<Option<JoinHandle<()>>>)
                 continue;
             }
             // Deterministic exponential backoff: base * 2^k, capped.
+            // Measured on the injected clock so simulated restarts
+            // back off in virtual time.
             let backoff = cfg
                 .restart_backoff
                 .saturating_mul(1u32 << (*n).min(20))
                 .min(cfg.restart_backoff_cap);
-            let until = Instant::now() + backoff;
-            while Instant::now() < until && !shared.shutting_down() {
-                std::thread::sleep(
-                    Duration::from_millis(1).min(until.saturating_duration_since(Instant::now())),
+            let until = cfg.clock.now() + backoff;
+            while cfg.clock.now() < until && !shared.shutting_down() {
+                cfg.clock.sleep(
+                    Duration::from_millis(1).min(until.saturating_duration_since(cfg.clock.now())),
                 );
             }
             if shared.shutting_down() {
@@ -826,18 +863,18 @@ fn supervisor_loop(shared: &Arc<Shared>, mut slots: Vec<Option<JoinHandle<()>>>)
 /// rate crossing its threshold. Breach events carry the trace ids of
 /// offending replies so a journal snapshot can reconstruct exactly what
 /// the slow/degraded requests went through.
-fn watchdog_loop(shared: &Arc<Shared>) {
+fn watchdog_loop<C: Conn>(shared: &Arc<Shared<C>>) {
     let cfg = &shared.cfg;
     let mut miss_breached = false;
     let mut degraded_breached = false;
     loop {
-        std::thread::sleep(cfg.slo_tick);
-        let now = Instant::now();
+        cfg.clock.sleep(cfg.slo_tick);
+        let now = cfg.clock.now();
         let (replies, misses, degraded, miss_traces, degraded_traces) = {
             let mut obs = shared.slo_obs.lock().unwrap();
             while obs
                 .front()
-                .is_some_and(|o| now.duration_since(o.at) > cfg.slo_window)
+                .is_some_and(|o| now.saturating_duration_since(o.at) > cfg.slo_window)
             {
                 obs.pop_front();
             }
@@ -906,8 +943,8 @@ fn watchdog_loop(shared: &Arc<Shared>) {
 /// Rising-edge breach bookkeeping: record + emit only on the off→on
 /// transition of one kind, re-arm when the rate recovers.
 #[allow(clippy::too_many_arguments)]
-fn declare_breach(
-    shared: &Shared,
+fn declare_breach<C: Conn>(
+    shared: &Shared<C>,
     armed: &mut bool,
     over: bool,
     kind: &'static str,
@@ -969,7 +1006,7 @@ fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
 }
 
 /// Per-session state owned by the reader thread.
-struct Session {
+struct Session<C: Conn> {
     id: u64,
     tenant: String,
     /// The resume token handed out in `Welcome` (None when resumption is
@@ -980,7 +1017,7 @@ struct Session {
     interval_len: usize,
     window_intervals: usize,
     imputers: HashMap<usize, StreamingImputer<Arc<TransformerImputer>>>,
-    writer: Arc<SessionWriter>,
+    writer: Arc<SessionWriter<C>>,
 }
 
 /// How a session's read loop ended — decides parking.
@@ -992,7 +1029,7 @@ enum SessionEnd {
     Disconnected,
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+fn handle_connection<C: Conn>(shared: &Arc<Shared<C>>, stream: C) {
     let cfg = &shared.cfg;
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
@@ -1006,10 +1043,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         inflight: AtomicUsize::new(0),
         answered: AtomicU64::new(0),
         dead: AtomicBool::new(false),
-        replay: Mutex::new(ReplayLog {
-            entries: VecDeque::new(),
-            cap: cfg.replay_window,
-        }),
+        replay: Mutex::new(ReplayLog::new(cfg.replay_window)),
         highest_seq: AtomicU64::new(0),
     });
     let mut reader = FrameReader::new(read_half);
@@ -1111,13 +1145,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 /// Park a disconnected session for resumption: its sliding windows and
 /// writer (with the replay log) go into `Shared::parked` under its
 /// resume token, bounded by `max_parked`/`parked_ttl`.
-fn park_session(shared: &Shared, session: Session) {
+fn park_session<C: Conn>(shared: &Shared<C>, session: Session<C>) {
     let Some(token) = session.token.clone() else {
         return; // resumption disabled
     };
-    let now = Instant::now();
+    let now = shared.cfg.clock.now();
     let mut parked = shared.parked.lock().unwrap_or_else(PoisonError::into_inner);
-    parked.retain(|_, p| now.duration_since(p.parked_at) <= shared.cfg.parked_ttl);
+    parked.retain(|_, p| now.saturating_duration_since(p.parked_at) <= shared.cfg.parked_ttl);
     while parked.len() >= shared.cfg.max_parked {
         let Some(oldest) = parked
             .iter()
@@ -1147,6 +1181,8 @@ fn park_session(shared: &Shared, session: Session) {
         },
     );
     PARKED_SESSIONS.set(parked.len() as i64);
+    drop(parked);
+    shared.parked_cv.notify_all();
 }
 
 /// Deterministic token for session `id` (splitmix64). Unguessability is
@@ -1163,15 +1199,15 @@ fn resume_token_for(id: u64) -> String {
 
 /// Expect `Hello`, validate geometry, reply `Welcome`. `None` aborts the
 /// connection.
-fn handshake(
-    shared: &Arc<Shared>,
-    reader: &mut FrameReader<TcpStream>,
-    writer: &Arc<SessionWriter>,
-) -> Option<Session> {
+fn handshake<C: Conn>(
+    shared: &Arc<Shared<C>>,
+    reader: &mut FrameReader<C>,
+    writer: &Arc<SessionWriter<C>>,
+) -> Option<Session<C>> {
     let cfg = &shared.cfg;
-    let deadline = Instant::now() + Duration::from_secs(5);
+    let deadline = cfg.clock.now() + Duration::from_secs(5);
     let frame = loop {
-        if shared.shutting_down() || Instant::now() > deadline {
+        if shared.shutting_down() || cfg.clock.now() > deadline {
             return None;
         }
         match reader.poll_frame() {
@@ -1315,63 +1351,105 @@ fn handshake(
 /// Claim the parked session for `tok` if its tenant and geometry match
 /// the reconnecting `Hello`. Waits briefly for the park to land (the old
 /// connection's reader may still be unwinding when the client retries).
-fn claim_parked(
-    shared: &Shared,
+/// A parked entry older than `parked_ttl` (on the injected clock) is
+/// expired here rather than claimed: the reconnect gets a fresh session.
+fn claim_parked<C: Conn>(
+    shared: &Shared<C>,
     tok: &str,
     tenant: &str,
     ports: &[usize],
     queues: usize,
     interval_len: usize,
     window_intervals: usize,
-) -> Option<ParkedSession> {
-    let deadline = Instant::now() + Duration::from_millis(500);
+) -> Option<ParkedSession<C>> {
+    // The wait budget is real time (poll patience, not protocol time):
+    // under a virtual clock a reconnect race still resolves in real
+    // microseconds even though no one is advancing virtual time.
+    let deadline = Instant::now() + shared.cfg.resume_claim_wait;
+    let mut parked = shared.parked.lock().unwrap_or_else(PoisonError::into_inner);
     loop {
-        {
-            let mut parked = shared.parked.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(p) = parked.get(tok) {
-                let matches = p.tenant == tenant
-                    && p.ports == ports
-                    && p.queues == queues
-                    && p.interval_len == interval_len
-                    && p.window_intervals == window_intervals;
-                if !matches {
-                    // Same token, different identity: refuse the claim
-                    // (fresh session) but leave the parked state alone.
-                    return None;
-                }
-                let claimed = parked.remove(tok);
+        if let Some(p) = parked.get(tok) {
+            if shared
+                .cfg
+                .clock
+                .now()
+                .saturating_duration_since(p.parked_at)
+                > shared.cfg.parked_ttl
+            {
+                // Expired: drop the stale state so nothing leaks, and
+                // let the handshake fall through to a fresh session.
+                parked.remove(tok);
                 PARKED_SESSIONS.set(parked.len() as i64);
-                return claimed;
+                return None;
             }
+            let matches = p.tenant == tenant
+                && p.ports == ports
+                && p.queues == queues
+                && p.interval_len == interval_len
+                && p.window_intervals == window_intervals;
+            if !matches {
+                // Same token, different identity: refuse the claim
+                // (fresh session) but leave the parked state alone.
+                return None;
+            }
+            let claimed = parked.remove(tok);
+            PARKED_SESSIONS.set(parked.len() as i64);
+            return claimed;
         }
-        if Instant::now() >= deadline || shared.shutting_down() {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() || shared.shutting_down() {
             return None;
         }
-        std::thread::sleep(Duration::from_millis(10));
+        let (guard, _timeout) = shared
+            .parked_cv
+            .wait_timeout(parked, left.min(Duration::from_millis(10)))
+            .unwrap_or_else(PoisonError::into_inner);
+        parked = guard;
     }
 }
 
 /// Finish a successful resume: attach the new connection to the parked
 /// writer, drain stragglers into the replay log, tell the client where
 /// to rewind to, and replay everything past its `last_acked`.
-fn resume_session(
-    shared: &Arc<Shared>,
-    fresh_writer: &Arc<SessionWriter>,
-    parked: ParkedSession,
+fn resume_session<C: Conn>(
+    shared: &Arc<Shared<C>>,
+    fresh_writer: &Arc<SessionWriter<C>>,
+    parked: ParkedSession<C>,
     id: u64,
     tenant: String,
     token: String,
     last_acked: Option<u64>,
-) -> Option<Session> {
+) -> Option<Session<C>> {
+    // Reassemble the session first: until the handshake completes on the
+    // new connection, any failure path must re-park this state under the
+    // same token (a dropped replay log here would turn a transient
+    // reconnect hiccup into permanent reply loss).
+    let session = Session {
+        id,
+        tenant,
+        token: Some(token),
+        ports: parked.ports,
+        queues: parked.queues,
+        interval_len: parked.interval_len,
+        window_intervals: parked.window_intervals,
+        imputers: parked.imputers,
+        writer: parked.writer,
+    };
     // The new connection's socket currently lives inside the throwaway
     // pre-handshake writer; dup it into the parked writer.
-    let stream = fresh_writer
+    let stream = match fresh_writer
         .stream
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .try_clone()
-        .ok()?;
-    let writer = parked.writer;
+    {
+        Ok(s) => s,
+        Err(_) => {
+            park_session(shared, session);
+            return None;
+        }
+    };
+    let writer = Arc::clone(&session.writer);
     // Let replies already in the worker pipeline commit to the replay
     // log before we snapshot the high-water mark — after this, every
     // seq ≤ resume_seq has a logged reply and every seq above it never
@@ -1379,28 +1457,42 @@ fn resume_session(
     drain_inflight_for_resume(shared, &writer);
     writer.attach(stream);
     let resume_seq = writer.highest_seq.load(Ordering::Acquire);
-    RESUMES.inc();
-    shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
     if !writer.send(
         shared,
         &Frame::Welcome {
             session: id,
             deadline_ms: shared.cfg.deadline.as_millis() as u64,
-            resume_token: Some(token.clone()),
+            resume_token: session.token.clone(),
             resumed: Some(true),
             resume_seq: Some(resume_seq),
         },
     ) {
+        // The Welcome never cleared the reconnect (it died mid-
+        // handshake). The session is still fully resumable: park it
+        // again so the client's next retry can claim it.
+        park_session(shared, session);
         return None;
     }
+    RESUMES.inc();
+    shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
     // Exactly-once completion: replay (in seq order) every retained
     // reply past the client's ack point. The client dedups anything it
     // already processed; gaps it was waiting on are filled here.
-    let entries = writer
-        .replay
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .since(last_acked.unwrap_or(0));
+    let replay_from = last_acked.unwrap_or(0)
+        + match shared.cfg.injected_bug {
+            // Off-by-one seeded for the simulation harness: skips the
+            // first un-acked reply, which the model checker must catch
+            // as a completeness violation.
+            Some(ProtocolBug::ReplayOffByOne) => 1,
+            None => 0,
+        };
+    let entries = {
+        let mut log = writer.replay.lock().unwrap_or_else(PoisonError::into_inner);
+        // The client's ack is the eviction watermark: everything at or
+        // below it is confirmed processed and safe to drop first.
+        log.set_acked(last_acked.unwrap_or(0));
+        log.since(replay_from)
+    };
     let mut replayed = 0u64;
     for (_seq, bytes) in &entries {
         if !writer.send_bytes(shared, bytes, "Replay") {
@@ -1426,25 +1518,20 @@ fn resume_session(
         "session" = id,
         "resume_seq" = resume_seq,
         "replayed" = replayed,
-        "tenant" = tenant.as_str()
+        "tenant" = session.tenant.as_str()
     );
-    Some(Session {
-        id,
-        tenant,
-        token: Some(token),
-        ports: parked.ports,
-        queues: parked.queues,
-        interval_len: parked.interval_len,
-        window_intervals: parked.window_intervals,
-        imputers: parked.imputers,
-        writer,
-    })
+    Some(session)
 }
 
 /// Process one client frame. `decode_ns` is how long the reader spent
 /// parsing this frame (0 when tracing is off). Returns `false` to end
 /// the session.
-fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decode_ns: u64) -> bool {
+fn handle_frame<C: Conn>(
+    shared: &Arc<Shared<C>>,
+    session: &mut Session<C>,
+    frame: Frame,
+    decode_ns: u64,
+) -> bool {
     let cfg = &shared.cfg;
     match frame {
         Frame::Interval {
@@ -1452,7 +1539,7 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
             update,
             trace_id,
         } => {
-            let accepted_at = Instant::now();
+            let accepted_at = cfg.clock.now();
             // Root this interval's trace, adopting the client's id when
             // one rode in on the frame so both halves stitch together.
             // The RAII span itself covers admit + window + model forward
@@ -1543,7 +1630,7 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
                         seq,
                         prepared,
                         accepted_at,
-                        enqueued_at: Instant::now(),
+                        enqueued_at: cfg.clock.now(),
                         trace: ctx,
                         writer: Arc::clone(&session.writer),
                         requeued_at: None,
@@ -1602,7 +1689,7 @@ fn handle_frame(shared: &Arc<Shared>, session: &mut Session, frame: Frame, decod
 /// answered — the graceful-drain guarantee behind `Bye` and shutdown.
 /// Bails early on a dead writer: the peer is gone, nothing it was owed
 /// can be delivered on this connection.
-fn drain_inflight(shared: &Shared, writer: &SessionWriter) {
+fn drain_inflight<C: Conn>(shared: &Shared<C>, writer: &SessionWriter<C>) {
     drain_inflight_inner(shared, writer, false)
 }
 
@@ -1611,18 +1698,19 @@ fn drain_inflight(shared: &Shared, writer: &SessionWriter) {
 /// `record_reply` first — so once this returns with `inflight == 0`,
 /// every accepted seq is in the replay log and the resume watermark
 /// covers it.
-fn drain_inflight_for_resume(shared: &Shared, writer: &SessionWriter) {
+fn drain_inflight_for_resume<C: Conn>(shared: &Shared<C>, writer: &SessionWriter<C>) {
     drain_inflight_inner(shared, writer, true)
 }
 
-fn drain_inflight_inner(shared: &Shared, writer: &SessionWriter, ignore_dead: bool) {
+fn drain_inflight_inner<C: Conn>(shared: &Shared<C>, writer: &SessionWriter<C>, ignore_dead: bool) {
+    let clock = &shared.cfg.clock;
     let budget = shared.cfg.deadline.max(Duration::from_millis(50)) * 20;
-    let deadline = Instant::now() + budget;
+    let deadline = clock.now() + budget;
     while writer.inflight.load(Ordering::Acquire) > 0
         && (ignore_dead || !writer.dead.load(Ordering::Acquire))
-        && Instant::now() < deadline
+        && clock.now() < deadline
     {
-        std::thread::sleep(Duration::from_millis(1));
+        clock.sleep(Duration::from_millis(1));
     }
 }
 
@@ -1637,7 +1725,7 @@ fn drain_inflight_inner(shared: &Shared, writer: &SessionWriter, ignore_dead: bo
 /// fully committed, so on unwind the poisoned holder yields exactly the
 /// unanswered tail, which [`worker_down`] re-enqueues at the head of
 /// the queue. The supervisor then respawns this slot.
-fn worker_loop(shared: &Arc<Shared>, worker: usize) {
+fn worker_loop<C: Conn>(shared: &Arc<Shared<C>>, worker: usize) {
     let cfg = &shared.cfg;
     let base_ladder = LadderConfig {
         engine: cfg.engine.clone(),
@@ -1666,7 +1754,7 @@ fn worker_loop(shared: &Arc<Shared>, worker: usize) {
 /// Block until at least one job is available (or shutdown drains the
 /// queue), then coalesce up to `max_batch` jobs bounded by the first
 /// job's remaining deadline slack. `None` means clean shutdown.
-fn collect_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
+fn collect_batch<C: Conn>(shared: &Arc<Shared<C>>) -> Option<Vec<Job<C>>> {
     let cfg = &shared.cfg;
     let mut q = shared.queue.lock().unwrap();
     let first = loop {
@@ -1691,8 +1779,16 @@ fn collect_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
     }
     // Deadline-aware coalescing: wait a short beat for stragglers,
     // but never longer than half the first job's remaining slack.
-    if batch.len() < cfg.max_batch && !cfg.batch_wait.is_zero() {
-        let slack = cfg.deadline.saturating_sub(batch[0].accepted_at.elapsed());
+    // Skipped under virtual time: the wait below is a *real* condvar
+    // wait against virtual slack, which a simulated schedule would have
+    // to drive by advancing the clock mid-batch — sealing immediately
+    // keeps batch composition a pure function of the queue state.
+    if batch.len() < cfg.max_batch && !cfg.batch_wait.is_zero() && !cfg.clock.is_virtual() {
+        let slack = cfg.deadline.saturating_sub(
+            cfg.clock
+                .now()
+                .saturating_duration_since(batch[0].accepted_at),
+        );
         let wait_until = Instant::now() + cfg.batch_wait.min(slack / 2);
         while batch.len() < cfg.max_batch {
             let remaining = wait_until.saturating_duration_since(Instant::now());
@@ -1718,10 +1814,14 @@ fn collect_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
 /// Enforce one sealed batch and ship its replies. Runs under
 /// `catch_unwind`; the holder's guard is held throughout so unwinding
 /// leaves the unanswered jobs recoverable via the poisoned mutex.
-fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &LadderConfig) {
+fn process_batch<C: Conn>(
+    shared: &Arc<Shared<C>>,
+    holder: &Mutex<Vec<Job<C>>>,
+    base_ladder: &LadderConfig,
+) {
     let cfg = &shared.cfg;
     let mut guard = holder.lock().unwrap();
-    let batch: &mut Vec<Job> = &mut guard;
+    let batch: &mut Vec<Job<C>> = &mut guard;
 
     BATCHES.inc();
     // The returned pre-increment value is this batch's ordinal — the
@@ -1739,8 +1839,11 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
     }
 
     // The batch is sealed: the queue stage (enqueue → batch seal)
-    // ends here for every member.
-    let sealed_at = Instant::now();
+    // ends here for every member. All timeline measurements in this
+    // function run on the injected clock so they share one origin with
+    // `accepted_at`/`enqueued_at` (identical to `Instant::now()` under
+    // the production `Clock::System`).
+    let sealed_at = cfg.clock.now();
     for j in batch.iter() {
         let waited = sealed_at.saturating_duration_since(j.enqueued_at);
         STAGE_QUEUE_US.record_duration(waited);
@@ -1751,7 +1854,10 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
     if cfg.ladder_deadline {
         let min_slack = batch
             .iter()
-            .map(|j| cfg.deadline.saturating_sub(j.accepted_at.elapsed()))
+            .map(|j| {
+                cfg.deadline
+                    .saturating_sub(sealed_at.saturating_duration_since(j.accepted_at))
+            })
             .min()
             .unwrap_or(cfg.deadline)
             .max(Duration::from_micros(200));
@@ -1761,7 +1867,7 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
     let opts = EnforceOptions::new(cfg.jobs, shared.cache.as_deref());
     BATCH_SIZE.record(batch.len() as u64);
     // Batch stage: seal → enforce start (ladder setup, item views).
-    let enforce_start = Instant::now();
+    let enforce_start = cfg.clock.now();
     let batch_dur = enforce_start.saturating_duration_since(sealed_at);
     STAGE_BATCH_US.record_duration(batch_dur);
     for j in batch.iter() {
@@ -1769,7 +1875,7 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
     }
     if ProcessFaultPlan::fires(pf.solver_stall_every, ordinal) {
         record_process_fault(FaultKind::SolverStall);
-        std::thread::sleep(Duration::from_millis(pf.solver_stall_ms));
+        cfg.clock.sleep(Duration::from_millis(pf.solver_stall_ms));
     }
     // Run the batch under the first traced member's context so the
     // ladder's own spans (`cem.enforce_window`, `cem.solve`) attach
@@ -1782,7 +1888,7 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
         .unwrap_or(TraceContext::NONE);
     let outcomes = trace::with_context(lead_ctx, || enforce_degraded_batch(&items, &ladder, &opts));
     drop(items);
-    let enforce_dur = enforce_start.elapsed();
+    let enforce_dur = cfg.clock.now().saturating_duration_since(enforce_start);
     let slow_write = ProcessFaultPlan::fires(pf.slow_write_every, ordinal);
     let mut first_write = true;
 
@@ -1808,7 +1914,7 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
             enforce_start,
             enforce_dur,
         );
-        let latency = job.accepted_at.elapsed();
+        let latency = cfg.clock.now().saturating_duration_since(job.accepted_at);
         LATENCY_US.record_duration(latency);
         let missed = latency > cfg.deadline;
         if missed {
@@ -1829,16 +1935,16 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
         };
         // Encode and write timed separately, so a slow peer shows up
         // in `serve.stage.write_us` rather than smearing the batch.
-        let encode_start = Instant::now();
+        let encode_start = cfg.clock.now();
         let bytes = encode_frame(&frame);
-        let encode_dur = encode_start.elapsed();
+        let encode_dur = cfg.clock.now().saturating_duration_since(encode_start);
         let sent = match &bytes {
             Ok(bytes) => {
                 STAGE_ENCODE_US.record_duration(encode_dur);
                 trace::record_span("serve.encode", job.trace, encode_start, encode_dur);
                 if slow_write && first_write {
                     record_process_fault(FaultKind::SlowWrite);
-                    std::thread::sleep(Duration::from_millis(pf.slow_write_ms));
+                    cfg.clock.sleep(Duration::from_millis(pf.slow_write_ms));
                 }
                 first_write = false;
                 // Record into the replay log BEFORE the socket write: a
@@ -1846,9 +1952,9 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
                 // replayable, or a crash between write and record would
                 // lose it for a resuming client.
                 job.writer.record_reply(job.seq, bytes);
-                let write_start = Instant::now();
+                let write_start = cfg.clock.now();
                 let ok = job.writer.send_bytes(shared, bytes, frame.tag());
-                let write_dur = write_start.elapsed();
+                let write_dur = cfg.clock.now().saturating_duration_since(write_start);
                 STAGE_WRITE_US.record_duration(write_dur);
                 trace::record_span("serve.write", job.trace, write_start, write_dur);
                 ok
@@ -1862,7 +1968,7 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
         }
         // Recovery latency: requeue (panic) → reply committed.
         if let Some(requeued_at) = job.requeued_at {
-            let lat = requeued_at.elapsed();
+            let lat = cfg.clock.now().saturating_duration_since(requeued_at);
             REQUEUE_LATENCY_US.record_duration(lat);
             if let Ok(mut v) = shared.requeue_lat.lock() {
                 if v.len() < REQUEUE_LAT_CAP {
@@ -1877,7 +1983,7 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
                 obs.pop_front();
             }
             obs.push_back(ReplyObs {
-                at: Instant::now(),
+                at: cfg.clock.now(),
                 missed,
                 degraded: level != DegradationLevel::Full,
                 trace_id: job.trace.trace_id,
@@ -1891,11 +1997,11 @@ fn process_batch(shared: &Arc<Shared>, holder: &Mutex<Vec<Job>>, base_ladder: &L
 /// A worker thread is unwinding: account the panic, re-enqueue the
 /// unanswered jobs at the *head* of the queue (preserving admission
 /// order), and leave an obit for the supervisor to act on.
-fn worker_down(
-    shared: &Arc<Shared>,
+fn worker_down<C: Conn>(
+    shared: &Arc<Shared<C>>,
     worker: usize,
     payload: Box<dyn std::any::Any + Send>,
-    mut survivors: Vec<Job>,
+    mut survivors: Vec<Job<C>>,
 ) {
     let msg = payload
         .downcast_ref::<&str>()
@@ -1913,7 +2019,7 @@ fn worker_down(
         .filter(|&t| t != 0)
         .collect();
     let requeued = survivors.len();
-    let now = Instant::now();
+    let now = shared.cfg.clock.now();
     {
         // Poison-tolerant: this runs on the panicking thread's unwind
         // path and must make progress even if another holder panicked.

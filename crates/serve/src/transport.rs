@@ -1,0 +1,147 @@
+//! I/O abstraction for the serving stack: [`Conn`] (a bidirectional
+//! byte stream), [`Transport`] (the server's accept side), and
+//! [`Connector`] (the client's dial side).
+//!
+//! The server and loadgen were originally hard-wired to `TcpStream`;
+//! these traits carry exactly the operations they used, so
+//! [`TcpTransport`] / [`TcpConnector`] are thin forwarding shims and
+//! the deterministic in-memory implementation ([`crate::sim`]) can slot
+//! in underneath the unchanged session/worker/supervisor machinery.
+//!
+//! Design constraints that shaped the traits:
+//!
+//! * `Conn: Read + Write` so [`crate::protocol::FrameReader`] and
+//!   `write_bytes` work on any implementation unchanged.
+//! * `try_clone` because every session splits its connection into a
+//!   read half (owned by the reader thread's `FrameReader`) and a write
+//!   half (inside the `SessionWriter` mutex).
+//! * Timeouts are best-effort hints: the in-memory transport services
+//!   reads with short bounded waits regardless, because under virtual
+//!   time a "25 ms" read timeout is a poll-granularity knob, not a
+//!   semantic deadline.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// A session's bidirectional byte stream. Implemented by `TcpStream`
+/// and by the in-memory simulated connection ([`crate::sim::SimConn`]).
+pub trait Conn: Read + Write + Send + Sized + 'static {
+    /// A second handle to the same connection (read/write halves).
+    fn try_clone(&self) -> io::Result<Self>;
+    /// Tear down both directions; pending and future I/O fails.
+    fn shutdown_both(&self);
+    /// How long a `read` may block before returning `WouldBlock`.
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+    /// How long a `write` may block before returning `WouldBlock`.
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+    /// Disable Nagle where that concept exists (no-op otherwise).
+    fn set_nodelay(&self, _on: bool) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Conn for TcpStream {
+    fn try_clone(&self) -> io::Result<Self> {
+        TcpStream::try_clone(self)
+    }
+
+    fn shutdown_both(&self) {
+        let _ = TcpStream::shutdown(self, Shutdown::Both);
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, t)
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, t)
+    }
+
+    fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        TcpStream::set_nodelay(self, on)
+    }
+}
+
+/// One poll of a transport's accept side.
+pub enum Accepted<C> {
+    /// A new connection.
+    Conn(C),
+    /// Nothing pending right now; poll again after checking shutdown.
+    Retry,
+    /// The transport is gone; the acceptor should exit.
+    Closed,
+}
+
+/// The server's accept side. `accept` must not block indefinitely — the
+/// acceptor loop interleaves it with shutdown checks.
+pub trait Transport: Send + Sync + 'static {
+    type Conn: Conn;
+    fn accept(&self) -> Accepted<Self::Conn>;
+    /// Human-readable endpoint description (logs).
+    fn desc(&self) -> String;
+}
+
+/// The client's dial side ([`crate::loadgen`] and tests).
+pub trait Connector: Send + Sync {
+    type Conn: Conn;
+    fn connect(&self) -> io::Result<Self::Conn>;
+    fn desc(&self) -> String;
+}
+
+/// Non-blocking `TcpListener` wrapper — the production transport.
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Bind `addr` (port `0` picks an ephemeral port — see
+    /// [`TcpTransport::addr`]).
+    pub fn bind(addr: &str) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpTransport { listener, addr })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Transport for TcpTransport {
+    type Conn = TcpStream;
+
+    fn accept(&self) -> Accepted<TcpStream> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => Accepted::Conn(stream),
+            // WouldBlock and transient errors look the same to the
+            // acceptor: check shutdown, back off briefly, poll again.
+            Err(_) => Accepted::Retry,
+        }
+    }
+
+    fn desc(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+/// Dials a fixed TCP address — the production connector.
+#[derive(Debug, Clone)]
+pub struct TcpConnector {
+    pub addr: String,
+}
+
+impl Connector for TcpConnector {
+    type Conn = TcpStream;
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        TcpStream::connect(&self.addr)
+    }
+
+    fn desc(&self) -> String {
+        self.addr.clone()
+    }
+}

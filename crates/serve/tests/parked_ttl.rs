@@ -1,0 +1,198 @@
+//! Parked-session TTL expiry over the simulated transport + virtual
+//! clock: a resume after `parked_ttl` must come back as a *fresh*
+//! session (`resumed = Some(false)`, no replay), and the expired
+//! parked state — replay log included — must be reclaimed, not leaked.
+//! Runs in milliseconds of real time because every TTL/deadline in the
+//! server is on the injected clock.
+
+use fmml_core::streaming::IntervalUpdate;
+use fmml_core::transformer_imputer::{Scales, TransformerImputer};
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+use fmml_obs::{Clock, VirtualClock};
+use fmml_serve::protocol::{write_frame, Frame, FrameReader};
+use fmml_serve::{spawn_with, Conn, Connector, ServerConfig, SimConn, SimNet};
+use fmml_telemetry::windows_from_trace;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const INTERVAL_LEN: usize = 10;
+const WINDOW_INTERVALS: usize = 3;
+const PARKED_TTL: Duration = Duration::from_secs(60);
+
+fn fixture() -> (Arc<TransformerImputer>, Vec<IntervalUpdate>, usize, usize) {
+    let cfg = SimConfig::small();
+    let model = Arc::new(TransformerImputer::new(
+        3,
+        Scales {
+            qlen: cfg.buffer_packets as f32,
+            count: 830.0,
+        },
+    ));
+    let gt = Simulation::new(
+        cfg.clone(),
+        TrafficConfig::websearch_incast(cfg.num_ports, 0.6),
+        19,
+    )
+    .run_ms(360);
+    let ws: Vec<_> = windows_from_trace(
+        &gt,
+        INTERVAL_LEN * WINDOW_INTERVALS,
+        INTERVAL_LEN,
+        INTERVAL_LEN * WINDOW_INTERVALS,
+    )
+    .into_iter()
+    .filter(|w| w.has_activity())
+    .collect();
+    let port = ws[0].port;
+    let queues = ws[0].num_queues();
+    let updates: Vec<IntervalUpdate> = ws
+        .iter()
+        .filter(|w| w.port == port)
+        .flat_map(|w| (0..w.intervals()).map(move |k| IntervalUpdate::from_window(w, k)))
+        .collect();
+    (model, updates, port, queues)
+}
+
+fn connect(net: &SimNet) -> (SimConn, FrameReader<SimConn>) {
+    let conn = net.connector().connect().expect("sim connect");
+    conn.set_read_timeout(Some(Duration::from_micros(100)))
+        .unwrap();
+    let rx = FrameReader::new(conn.try_clone().expect("clone sim conn"));
+    (conn, rx)
+}
+
+/// Poll for the next frame, advancing virtual time so server-side batch
+/// waits and deadlines fire; bounded by real time so a hang fails fast.
+fn await_frame(rx: &mut FrameReader<SimConn>, vc: &VirtualClock) -> Frame {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match rx.poll_frame() {
+            Ok(Some(f)) => return f,
+            Ok(None) => {}
+            Err(e) => panic!("connection died waiting for frame: {e}"),
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for frame");
+        vc.advance(Duration::from_millis(1));
+    }
+}
+
+/// Real-time bounded wait on a condition driven by server threads (the
+/// park lands when the old connection's reader sees EOF).
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn resume_after_parked_ttl_gets_fresh_session_and_reclaims_state() {
+    let (model, updates, port, queues) = fixture();
+    let (clock, vc) = Clock::new_virtual();
+    let net = SimNet::new(7, clock.clone());
+    let handle = spawn_with(
+        net.transport(),
+        model,
+        ServerConfig {
+            workers: 1,
+            deadline: Duration::from_secs(10),
+            parked_ttl: PARKED_TTL,
+            clock,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Session 1: handshake, stream one interval, see it answered (so
+    // the session owns a non-empty replay log when it is parked).
+    let (mut tx, mut rx) = connect(&net);
+    write_frame(
+        &mut tx,
+        &Frame::Hello {
+            tenant: "ttl-test".into(),
+            ports: vec![port],
+            queues,
+            interval_len: INTERVAL_LEN,
+            window_intervals: WINDOW_INTERVALS,
+            resume_token: None,
+            last_acked: None,
+        },
+    )
+    .unwrap();
+    let token = match await_frame(&mut rx, &vc) {
+        Frame::Welcome { resume_token, .. } => resume_token.expect("server must issue a token"),
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: 1,
+            update: updates[0].clone(),
+            trace_id: None,
+        },
+    )
+    .unwrap();
+    match await_frame(&mut rx, &vc) {
+        Frame::Ack { seq, .. } | Frame::Imputed { seq, .. } => assert_eq!(seq, 1),
+        other => panic!("expected a reply to seq 1, got {other:?}"),
+    }
+
+    // Kill the duplex; the server parks the session for resumption.
+    tx.shutdown_both();
+    drop(tx);
+    drop(rx);
+    wait_for("session to be parked", || handle.parked_count() == 1);
+
+    // Age the park past its TTL — pure virtual time, no sleeping.
+    vc.advance(PARKED_TTL + Duration::from_secs(1));
+
+    // Resume with the (now expired) token: the server must answer with
+    // a fresh session — stated verdict, no resume_seq, a new token —
+    // never resurrect the expired lineage.
+    let (mut tx2, mut rx2) = connect(&net);
+    write_frame(
+        &mut tx2,
+        &Frame::Hello {
+            tenant: "ttl-test".into(),
+            ports: vec![port],
+            queues,
+            interval_len: INTERVAL_LEN,
+            window_intervals: WINDOW_INTERVALS,
+            resume_token: Some(token.clone()),
+            last_acked: Some(1),
+        },
+    )
+    .unwrap();
+    match await_frame(&mut rx2, &vc) {
+        Frame::Welcome {
+            resumed,
+            resume_seq,
+            resume_token,
+            ..
+        } => {
+            assert_eq!(resumed, Some(false), "expired token must not resume");
+            assert_eq!(resume_seq, None, "fresh session must not carry a watermark");
+            let fresh = resume_token.expect("fresh session still gets a token");
+            assert_ne!(fresh, token, "expired token must not be re-issued");
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+
+    // The expired parked state (and its replay log) was reclaimed by
+    // the failed claim — nothing left behind.
+    assert_eq!(
+        handle.parked_count(),
+        0,
+        "expired parked session leaked past its TTL"
+    );
+
+    drop(tx2);
+    drop(rx2);
+    let stats = handle.shutdown();
+    let Frame::StatsReply { sessions, .. } = stats else {
+        panic!("shutdown must return StatsReply");
+    };
+    assert_eq!(sessions, 2, "one original session plus one fresh session");
+    net.close();
+}

@@ -19,7 +19,19 @@ use fmml::serve::protocol::Frame;
 use fmml::serve::{spawn, ChaosConfig, LoadgenConfig, ServerConfig};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Bounded poll: wait (real time, capped) until `cond` holds. Replaces
+/// fixed-length sleeps so assertions are deadline-robust on loaded CI
+/// runners — the wait ends the moment the condition is observable, and
+/// a condition that never holds fails via the caller's assertion rather
+/// than hanging.
+fn wait_until(cap: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + cap;
+    while !cond() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
 
 /// Tracing is a process-global switch; tests that flip it must not
 /// overlap (the others are indifferent — tracing never perturbs them).
@@ -274,8 +286,14 @@ fn slo_watchdog_declares_breaches_with_trace_ids() {
         ..loadgen_cfg(addr)
     });
     assert!(report.answered > 0, "no replies to miss the deadline");
-    // Let the watchdog observe the window at least once.
-    std::thread::sleep(Duration::from_millis(150));
+    // Wait for the watchdog to observe the window (it ticks every
+    // `slo_tick`) and declare the breach.
+    wait_until(Duration::from_secs(10), || {
+        handle
+            .slo_breaches()
+            .iter()
+            .any(|b| b.kind == "deadline_miss_rate")
+    });
     let breaches = handle.slo_breaches();
     handle.shutdown();
 
@@ -331,7 +349,20 @@ fn shutdown_during_traffic_drains() {
             ..loadgen_cfg(addr)
         })
     });
-    std::thread::sleep(Duration::from_millis(250));
+    // Shut down once both clients are connected and streaming (paced at
+    // 5 ms × 200 intervals, they stay mid-replay for ~1 s — the poll
+    // lands well inside that window even on a loaded runner).
+    wait_until(Duration::from_secs(10), || {
+        let Frame::StatsReply {
+            active_sessions,
+            accepted,
+            ..
+        } = handle.stats()
+        else {
+            return false;
+        };
+        active_sessions == 2 && accepted > 0
+    });
     let stats = handle.shutdown(); // must not hang, must join all threads
     let Frame::StatsReply {
         violations,
