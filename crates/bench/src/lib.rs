@@ -7,6 +7,7 @@
 
 pub mod baseline;
 pub mod cem_parallel;
+pub mod cluster;
 pub mod obs;
 pub mod recovery;
 pub mod serve;

@@ -10,6 +10,8 @@
 //! fmml fm-solve  --steps 8 --ports 2 --budget-secs 10        # §2.3 model
 //! fmml fault-run --seed 7 --jobs 4 [--smt] [--bench-out DIR] # chaos mode
 //! fmml serve     --addr 127.0.0.1:4700 [--max-secs N]        # streaming server
+//! fmml cluster   --addr 127.0.0.1:4710 --backends 3          # sharded serving
+//! fmml cluster-bench --out bench                             # BENCH_cluster.json
 //! fmml loadgen   --addr 127.0.0.1:4700 --clients 8 [--chaos] # trace replay
 //! fmml serve-bench --out bench                               # BENCH_serve.json
 //! fmml recovery-bench --out bench                            # BENCH_recovery.json
@@ -31,6 +33,7 @@ use args::Args;
 use error::CliError;
 use fmml_bench::baseline::Baseline;
 use fmml_bench::cem_parallel::{bench_ladder, CemParallelReport};
+use fmml_bench::cluster::{bench_cluster, ClusterBenchConfig};
 use fmml_bench::obs::{bench_obs, ObsBenchConfig};
 use fmml_bench::recovery::{bench_recovery, RecoveryBenchConfig};
 use fmml_bench::serve::{bench_serve, ServeBenchConfig};
@@ -103,6 +106,25 @@ COMMANDS:
              --solver-stall-every N  --solver-stall-ms N (5)
              --slow-write-every N  --slow-write-ms N (2)
              --max-restarts N (5; per-worker-slot restart budget)
+  cluster    run the sharded serving cluster: one router speaking the
+             serve wire protocol on both sides, consistent-hash session
+             placement over N in-process backend nodes, health-probed
+             failover with warm-up migration; exits non-zero if any
+             backend shipped a constraint violation
+             --addr A (127.0.0.1:4710)  --backends N (3)  --workers N (1)
+             --deadline-ms N (50)  --model FILE  --seed N (3)
+             --max-secs N (run forever when absent)
+             --kill-backend-after-ms N (shut backend 0 down mid-run to
+             exercise live migration; 0 = off)
+  cluster-bench
+             cluster benchmark: direct single node vs 1 router + N
+             backends (unpaced capacity), a paced pass with one backend
+             killed mid-run (asserts zero lost intervals), and a timed
+             kill measuring client-visible recovery_ms; writes
+             BENCH_cluster.json (CI gates speedup >= 1.8 on the 4-core
+             runner only — see the report's \"cores\" field)
+             --out DIR (bench)  --backends N (3)  --clients N (8)
+             --intervals N (40)  --deadline-ms N (50)  --seed N (41)
   loadgen    drive a running server with concurrent trace-replay clients
              --addr A (required)  --clients N (8)  --intervals N (40)
              --seed N (11)  --deadline-ms N (50)  --pace-ms N
@@ -143,6 +165,12 @@ COMMANDS:
              --ops N (16)  --json (per-seed JSON lines)
              --pinned FILE   verify the aggregate reply fingerprint
                              against FILE, or write FILE if absent
+             --cluster       multi-node mode: clients -> router -> N
+                             backend shards, schedules extended with
+                             link flaps, partitions and membership
+                             churn; the whole run executes twice and
+                             must reproduce bitwise
+             --backends N (3; shards per seed, --cluster only)
              --inject-bug replay-off-by-one
                              prove the checker is live: exits 0 iff the
                              deliberately broken replay is caught and
@@ -190,6 +218,8 @@ fn main() {
         "fm-solve" => cmd_fm_solve(&args),
         "fault-run" => cmd_fault_run(&args),
         "serve" => cmd_serve(&args),
+        "cluster" => cmd_cluster(&args),
+        "cluster-bench" => cmd_cluster_bench(&args),
         "loadgen" => cmd_loadgen(&args),
         "serve-bench" => cmd_serve_bench(&args),
         "recovery-bench" => cmd_recovery_bench(&args),
@@ -743,6 +773,137 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `fmml cluster`: the sharded serving cluster — one router bound on
+/// `--addr`, N in-process backend serve nodes on loopback ephemeral
+/// ports, consistent-hash placement and health-probed failover between
+/// them. `--kill-backend-after-ms` shuts backend 0 down mid-run so a
+/// live deployment can demonstrate migration under `fmml loadgen`.
+fn cmd_cluster(args: &Args) -> Result<(), CliError> {
+    let model = serve_model(args)?;
+    let backends_n = args.get_or("backends", 3usize)?;
+    if backends_n == 0 {
+        return Err(CliError::Usage("--backends must be at least 1".into()));
+    }
+    let backend_cfg = ServerConfig {
+        workers: args.get_or("workers", 1usize)?,
+        deadline: Duration::from_millis(args.get_or("deadline-ms", 50u64)?),
+        ..ServerConfig::default()
+    };
+    let router = fmml_cluster::spawn(fmml_cluster::RouterConfig {
+        addr: args.get_string("addr").unwrap_or("127.0.0.1:4710").into(),
+        ..fmml_cluster::RouterConfig::default()
+    })
+    .map_err(|e| CliError::io("cluster router", e))?;
+    let mut backends: Vec<Option<fmml_serve::ServerHandle>> = Vec::new();
+    for k in 0..backends_n {
+        let h = fmml_serve::spawn(std::sync::Arc::clone(&model), backend_cfg.clone())
+            .map_err(|e| CliError::io("cluster backend", e))?;
+        router.add_backend(
+            &format!("b{k}"),
+            fmml_serve::TcpConnector {
+                addr: h.addr().to_string(),
+            },
+        );
+        backends.push(Some(h));
+    }
+    let addr = router.addr().to_string();
+    eprintln!(
+        "fmml-cluster listening on {addr} ({backends_n} backends, workers={} each)",
+        backend_cfg.workers
+    );
+    log_event!(
+        "cli.cluster.start",
+        "addr" = addr.as_str(),
+        "backends" = backends_n as u64
+    );
+
+    let kill_after = args.get_or("kill-backend-after-ms", 0u64)?;
+    let killer = (kill_after > 0).then(|| {
+        let victim = backends[0].take().expect("backend 0 exists");
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(kill_after));
+            eprintln!("fmml-cluster: killing backend b0 (live-migration drill)");
+            victim.shutdown()
+        })
+    });
+
+    match args.get::<u64>("max-secs")? {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+
+    let (migrations, resumes, replayed) = router.cluster_stats();
+    let stats = router.shutdown();
+    let mut violations_total = 0u64;
+    if let Some(k) = killer {
+        if let Frame::StatsReply { violations, .. } = k.join().expect("killer thread") {
+            violations_total += violations;
+        }
+    }
+    for h in backends.into_iter().flatten() {
+        if let Frame::StatsReply { violations, .. } = h.shutdown() {
+            violations_total += violations;
+        }
+    }
+    let Frame::StatsReply {
+        sessions,
+        accepted,
+        malformed,
+        replies,
+        ..
+    } = stats
+    else {
+        return Err(CliError::Invalid("router returned no stats".into()));
+    };
+    println!(
+        "cluster: sessions={sessions} accepted={accepted} malformed={malformed} \
+         replies={replies}"
+    );
+    println!("cluster: migrations={migrations} resumes={resumes} replayed={replayed}");
+    println!("violations={violations_total}");
+    log_event!(
+        "cli.cluster.done",
+        "sessions" = sessions,
+        "replies" = replies,
+        "migrations" = migrations,
+        "violations" = violations_total,
+    );
+    if violations_total > 0 {
+        return Err(CliError::Invalid(format!(
+            "{violations_total} shipped reply(ies) violated their constraints"
+        )));
+    }
+    Ok(())
+}
+
+/// `fmml cluster-bench`: the benchmark behind `BENCH_cluster.json` —
+/// direct-vs-cluster capacity, a mid-run backend kill (zero lost
+/// intervals asserted inside `bench_cluster`), and the timed-recovery
+/// pass.
+fn cmd_cluster_bench(args: &Args) -> Result<(), CliError> {
+    let dir = args.get_string("out").unwrap_or("bench");
+    let mut bc = ClusterBenchConfig::default();
+    bc.backends = args.get_or("backends", bc.backends)?;
+    bc.clients = args.get_or("clients", bc.clients)?;
+    bc.intervals_per_client = args.get_or("intervals", bc.intervals_per_client)?;
+    bc.deadline = Duration::from_millis(args.get_or("deadline-ms", 50u64)?);
+    bc.seed = args.get_or("seed", bc.seed)?;
+    if bc.backends == 0 {
+        return Err(CliError::Usage("--backends must be at least 1".into()));
+    }
+    let model = serve_model(args)?;
+    let report = bench_cluster(model, &bc);
+    eprint!("{}", report.summary());
+    std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+    let path = report
+        .save(Path::new(dir))
+        .map_err(|e| CliError::io(dir, e))?;
+    println!("bench report written to {}", path.display());
+    Ok(())
+}
+
 /// `fmml loadgen`: concurrent trace-replay clients against a running
 /// server, optionally under the standard chaos preset. Prints the
 /// aggregate report table; `--report-json FILE` writes the flat JSON
@@ -1215,6 +1376,23 @@ fn cmd_fault_run(args: &Args) -> Result<(), CliError> {
 /// protocol model. Exit is non-zero iff any seed reports a violation
 /// (or, with `--inject-bug`, iff the bug is *not* caught and reproduced).
 fn cmd_simtest(args: &Args) -> Result<(), CliError> {
+    if args.flag("cluster") {
+        if args.get_string("inject-bug").is_some() {
+            return Err(CliError::Usage(
+                "--inject-bug is a single-node mode (the planted bug lives in the \
+                 backend replay path; use it without --cluster)"
+                    .into(),
+            ));
+        }
+        if args.get_string("pinned").is_some() {
+            return Err(CliError::Usage(
+                "--pinned is a single-node gate; cluster mode proves determinism \
+                 by running every seed twice and requiring a bitwise match"
+                    .into(),
+            ));
+        }
+        return cmd_simtest_cluster(args);
+    }
     let bug = match args.get_string("inject-bug") {
         None => None,
         Some("replay-off-by-one") => Some(fmml_serve::ProtocolBug::ReplayOffByOne),
@@ -1366,6 +1544,114 @@ fn cmd_simtest_bug(cfg: &fmml_simtest::SimtestConfig) -> Result<(), CliError> {
         "injected bug was NOT caught in {} seed(s) — the checker is blind to it",
         cfg.seeds
     )))
+}
+
+/// `fmml simtest --cluster`: the multi-node explorer — clients → router
+/// → N backend shards per seed, schedules extended with link flaps,
+/// partitions and membership churn. Determinism is proven the strong
+/// way: the whole batch runs **twice** and the folded fingerprint must
+/// match bitwise (placement, migration and probe timing may all differ
+/// between runs; reply content must not).
+fn cmd_simtest_cluster(args: &Args) -> Result<(), CliError> {
+    let defaults = fmml_simtest::ClusterSimConfig::default();
+    let cfg = fmml_simtest::ClusterSimConfig {
+        seeds: args.get_or("seeds", defaults.seeds)?,
+        start_seed: args.get_or("seed", defaults.start_seed)?,
+        clients: args.get_or("clients", defaults.clients)?,
+        backends: args.get_or("backends", defaults.backends)?,
+        ops: args.get_or("ops", defaults.ops)?,
+    };
+    if cfg.seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+    if cfg.backends == 0 {
+        return Err(CliError::Usage("--backends must be at least 1".into()));
+    }
+
+    let t0 = Instant::now();
+    let first = fmml_simtest::cluster::run(&cfg);
+    let second = fmml_simtest::cluster::run(&cfg);
+    let wall = t0.elapsed();
+
+    let fp1 = fmml_simtest::cluster::fold_run_fingerprint(&first);
+    let fp2 = fmml_simtest::cluster::fold_run_fingerprint(&second);
+    let mut bad_seeds = 0usize;
+    let mut migrations = 0u64;
+    let mut resumes = 0u64;
+    for (a, b) in first.iter().zip(&second) {
+        migrations += a.migrations;
+        resumes += a.resumes;
+        if args.flag("json") {
+            use serde_json::Value;
+            let line = Value::Object(vec![
+                ("seed".into(), Value::U64(a.inner.seed)),
+                (
+                    "fingerprint".into(),
+                    Value::String(format!("{:016x}", a.inner.fingerprint)),
+                ),
+                ("migrations".into(), Value::U64(a.migrations)),
+                ("resumes".into(), Value::U64(a.resumes)),
+                (
+                    "violations".into(),
+                    Value::Array(
+                        a.inner
+                            .violations
+                            .iter()
+                            .map(|v| Value::String(v.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            println!("{line}");
+        }
+        if !a.inner.violations.is_empty() {
+            bad_seeds += 1;
+            println!("FMML_SIM_SEED={}", a.inner.seed);
+            for v in &a.inner.violations {
+                println!("  violation: {v}");
+            }
+        }
+        if a.inner.fingerprint != b.inner.fingerprint {
+            println!(
+                "seed {} NOT reproducible: {:016x} vs {:016x}",
+                a.inner.seed, a.inner.fingerprint, b.inner.fingerprint
+            );
+        }
+    }
+    println!(
+        "simtest --cluster: {} seeds ({}..{}), {} clients x {} ops x {} backends, \
+         {} violating seed(s), migrations={} resumes={}, fingerprint {:016x}, {:.1}s",
+        cfg.seeds,
+        cfg.start_seed,
+        cfg.start_seed + cfg.seeds - 1,
+        cfg.clients,
+        cfg.ops,
+        cfg.backends,
+        bad_seeds,
+        migrations,
+        resumes,
+        fp1,
+        wall.as_secs_f64()
+    );
+    log_event!(
+        "simtest.cluster.done",
+        "seeds" = cfg.seeds,
+        "violating" = bad_seeds as u64,
+        "migrations" = migrations,
+        "fingerprint" = fp1,
+    );
+    if fp1 != fp2 {
+        return Err(CliError::Invalid(format!(
+            "cluster run not reproducible: first pass {fp1:016x}, second pass {fp2:016x}"
+        )));
+    }
+    if bad_seeds > 0 {
+        return Err(CliError::Invalid(format!(
+            "{bad_seeds} seed(s) violated the protocol model; re-run any with \
+             `fmml simtest --cluster --seeds 1 --seed <FMML_SIM_SEED>`"
+        )));
+    }
+    Ok(())
 }
 
 /// Compare the aggregate fingerprint against a pinned baseline file, or

@@ -1,0 +1,1568 @@
+//! The cluster router: N independent `fmml-serve` nodes behind one
+//! wire-compatible endpoint.
+//!
+//! ```text
+//!             ┌──────────────────────── router ────────────────────────┐
+//!  clients ──▶│ frontend reader ─▶ dedup/replay ─▶ per-session backend │──▶ serve node A
+//!   (Hello/   │   (per session)      (ReplayLog)        link           │──▶ serve node B
+//!  Interval)  │        ▲                                 │            │──▶ serve node C
+//!             │        └── replies ◀── link reader ◀─────┘            │
+//!             │  prober: MetricsDump liveness + queue-depth load      │
+//!             │  ring: seeded consistent hash over resume tokens      │
+//!             └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! ## Placement
+//!
+//! Sessions are placed by consistent hashing ([`crate::ring::HashRing`])
+//! keyed on the *router-minted* resume token, so placement survives
+//! client reconnects (same token → same shard) and node join/leave
+//! moves only ring-adjacent token ranges.
+//!
+//! ## Exactly-once across the router hop
+//!
+//! The router terminates the PR-7 resume protocol: it mints the token,
+//! keeps the per-session [`ReplayLog`] (record-before-send), and on
+//! client reconnect replays past `last_acked` — exactly the single-node
+//! semantics, just moved one hop out. Toward the backends the router
+//! keeps, per session: `pending` (intervals forwarded but unanswered)
+//! and `history` (the last `window_intervals - 1` *ingested* updates
+//! per port — the ones answered Ack/Imputed). A backend's sliding
+//! window is a pure function of the last W ingested updates, so when a
+//! backend dies the router re-creates the session elsewhere by
+//! replaying `history` as warm-up (replies swallowed — the client
+//! already has them) and re-sending `pending` in order: the new
+//! backend's replies are bitwise-identical in every semantic field, the
+//! client sees each seq answered exactly once, and no interval is lost.
+//! Duplicate client retransmits are answered from the replay log
+//! without re-feeding any window; a reply racing a migration is dropped
+//! by the `replay.get(seq)` guard on the new link.
+
+use crate::ring::HashRing;
+use fmml_obs::trace::{self, TraceContext};
+use fmml_obs::{log_event, Clock, Counter, Gauge, Histogram, Unit};
+use fmml_serve::protocol::{
+    encode_frame, encode_frame_capped, write_bytes, Frame, FrameReader, MAX_FRAME_LEN,
+};
+use fmml_serve::{Accepted, Conn, Connector, ReplayLog, TcpConnector, TcpTransport, Transport};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+static CL_SESSIONS: Counter = Counter::new("cluster.sessions");
+static CL_ACTIVE: Gauge = Gauge::new("cluster.sessions.active");
+static CL_FORWARDED: Counter = Counter::new("cluster.forwarded");
+static CL_REPLIES: Counter = Counter::new("cluster.replies");
+static CL_REPLAYED: Counter = Counter::new("cluster.replayed");
+static CL_RESUMES: Counter = Counter::new("cluster.resumes");
+static CL_MIGRATIONS: Counter = Counter::new("cluster.migrations");
+static CL_WARMUP: Counter = Counter::new("cluster.warmup_replayed");
+static CL_PROBE_FAILS: Counter = Counter::new("cluster.probe.failures");
+static CL_STUCK: Counter = Counter::new("cluster.stuck_resends");
+static CL_BACKENDS_UP: Gauge = Gauge::new("cluster.backends.up");
+static CL_ROUTE_US: Histogram = Histogram::new("cluster.route_us", Unit::Micros);
+
+/// Router tuning knobs. Durations marked *real* are poll patience and
+/// stay on the wall clock even under an injected virtual clock.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Frontend bind address (TCP spawn only); port `0` is ephemeral.
+    pub addr: String,
+    /// Seed of the placement ring — two routers configured with the
+    /// same seed and members place sessions identically.
+    pub ring_seed: u64,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Router-side per-session replay window (client resumes).
+    pub replay_window: usize,
+    /// Liveness probe cadence (injected clock — virtual under sim).
+    pub probe_interval: Duration,
+    /// Probe reply patience (*real*: a healthy in-memory backend
+    /// answers in microseconds regardless of virtual time).
+    pub probe_timeout: Duration,
+    /// Consecutive probe failures before a backend is marked down and
+    /// removed from the ring.
+    pub probe_failures: u32,
+    /// Backend dial+handshake patience (*real*).
+    pub dial_timeout: Duration,
+    /// How long an in-flight interval may go unanswered (*real*)
+    /// before its session is force-migrated and everything still
+    /// pending is re-sent. This is the repair path for partition
+    /// stalls: a frame written into a silently-partitioned link
+    /// produces no I/O error and no reply until the partition heals —
+    /// which may be never. Only reply absence reveals it.
+    pub pending_timeout: Duration,
+    /// Frame cap on client connections.
+    pub client_frame_len: usize,
+    /// Frame cap on router↔backend links — raised above the client cap
+    /// because migration warm-up batches ride on them.
+    pub backend_frame_len: usize,
+    /// Socket read poll granularity.
+    pub read_timeout: Duration,
+    /// Socket write timeout (slow-reader guard).
+    pub write_timeout: Duration,
+    /// Sessions whose client vanished are kept resumable this long
+    /// (injected clock) before being dropped.
+    pub parked_ttl: Duration,
+    /// Time source for probe cadence and parked TTLs.
+    pub clock: Clock,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            ring_seed: 0x5eed_0c15,
+            vnodes: 64,
+            replay_window: 1024,
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(250),
+            probe_failures: 3,
+            dial_timeout: Duration::from_secs(2),
+            pending_timeout: Duration::from_secs(2),
+            client_frame_len: MAX_FRAME_LEN,
+            backend_frame_len: 4 * MAX_FRAME_LEN,
+            read_timeout: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(2),
+            parked_ttl: Duration::from_secs(30),
+            clock: Clock::System,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-router counters backing the frontend's `StatsReply`.
+#[derive(Default)]
+struct RCounters {
+    sessions: AtomicU64,
+    active: AtomicU64,
+    accepted: AtomicU64,
+    malformed: AtomicU64,
+    replies: AtomicU64,
+    resumes: AtomicU64,
+    migrations: AtomicU64,
+    replayed: AtomicU64,
+}
+
+impl RCounters {
+    fn stats_frame(&self) -> Frame {
+        Frame::StatsReply {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            active_sessions: self.active.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: 0,
+            malformed: self.malformed.load(Ordering::Relaxed),
+            replies: self.replies.load(Ordering::Relaxed),
+            batches: 0,
+            deadline_misses: 0,
+            violations: 0,
+            slow_disconnects: 0,
+        }
+    }
+}
+
+/// One backend's registration + health state.
+struct BackendEntry<B> {
+    connector: Arc<B>,
+    up: bool,
+    fails: u32,
+    /// Last probed `slo.queue_depth` (load signal; `-1` = unknown).
+    load: i64,
+}
+
+/// Introspection snapshot of one backend ([`RouterHandle::backends`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendInfo {
+    pub name: String,
+    pub up: bool,
+    /// Last probed queue depth (`-1` before the first successful probe).
+    pub load: i64,
+}
+
+/// An interval forwarded to a backend and not yet answered.
+struct PendingEntry {
+    port: usize,
+    /// The encoded `Interval` frame, re-sent verbatim on migration.
+    bytes: Vec<u8>,
+    sent_at: Instant,
+    trace_id: Option<u64>,
+}
+
+/// One ingested update retained for migration warm-up.
+struct HistEntry {
+    seq: u64,
+    port: usize,
+    bytes: Vec<u8>,
+}
+
+/// The backend-facing half of a session, guarded by one mutex: which
+/// shard it lives on, the write half of the link, and the migration
+/// bookkeeping. `epoch` increments on every (re)placement; a link
+/// reader only acts while its epoch is current, so a superseded link
+/// can never corrupt state after a migration.
+struct RouteState<CB: Conn> {
+    backend: String,
+    writer: Option<CB>,
+    epoch: u64,
+    pending: BTreeMap<u64, PendingEntry>,
+    history: VecDeque<HistEntry>,
+    /// Warm-up seqs whose backend replies must be dropped (the client
+    /// was already answered before the migration).
+    swallow: HashSet<u64>,
+    /// Client said `Bye`; re-send it after any migration so the drain
+    /// handshake completes on the new shard.
+    bye: bool,
+}
+
+impl<CB: Conn> RouteState<CB> {
+    /// Retain `seq`'s update for warm-up, keeping at most `w - 1`
+    /// entries per port (exactly the window a fresh backend needs).
+    fn push_history(&mut self, seq: u64, port: usize, bytes: Vec<u8>, window_intervals: usize) {
+        let cap = window_intervals.saturating_sub(1);
+        if cap == 0 {
+            return;
+        }
+        self.history.push_back(HistEntry { seq, port, bytes });
+        let count = self.history.iter().filter(|h| h.port == port).count();
+        if count > cap {
+            if let Some(pos) = self.history.iter().position(|h| h.port == port) {
+                self.history.remove(pos);
+            }
+        }
+    }
+}
+
+struct SessionInner<CF: Conn, CB: Conn> {
+    id: u64,
+    token: String,
+    /// The client's `Hello` with resume fields stripped — re-sent to
+    /// every backend the session is placed on.
+    hello: Frame,
+    window_intervals: usize,
+    deadline_ms: AtomicU64,
+    front: Mutex<Option<CF>>,
+    replay: Mutex<ReplayLog>,
+    highest_seq: AtomicU64,
+    answered: AtomicU64,
+    state: Mutex<RouteState<CB>>,
+    done: AtomicBool,
+    parked_at: Mutex<Option<Instant>>,
+}
+
+impl<CF: Conn, CB: Conn> SessionInner<CF, CB> {
+    fn done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Write `bytes` to the client if one is attached; a failed write
+    /// parks the session (the replay log already has the reply).
+    fn send_client(&self, bytes: &[u8]) -> bool {
+        let mut g = self.front.lock().unwrap_or_else(PoisonError::into_inner);
+        match g.as_mut() {
+            None => false,
+            Some(c) => match write_bytes(c, bytes) {
+                Ok(()) => true,
+                Err(_) => {
+                    c.shutdown_both();
+                    *g = None;
+                    false
+                }
+            },
+        }
+    }
+
+    /// Commit a reply: replay log + watermark, *then* the client write
+    /// (record-before-send, like the single-node server).
+    fn commit_reply(&self, seq: u64, bytes: &[u8]) {
+        self.highest_seq.fetch_max(seq, Ordering::AcqRel);
+        self.replay
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(seq, bytes);
+        self.answered.fetch_add(1, Ordering::Relaxed);
+        self.send_client(bytes);
+    }
+}
+
+/// Live sessions by resume token.
+type SessionMap<CF, BC> = HashMap<String, Arc<SessionInner<CF, BC>>>;
+
+struct RouterShared<CF: Conn, B: Connector> {
+    cfg: RouterConfig,
+    ring: Mutex<HashRing>,
+    backends: Mutex<BTreeMap<String, BackendEntry<B>>>,
+    sessions: Mutex<SessionMap<CF, B::Conn>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    shutdown: AtomicBool,
+    counters: RCounters,
+    next_session: AtomicU64,
+    token_seed: Mutex<u64>,
+}
+
+impl<CF: Conn, B: Connector> RouterShared<CF, B> {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn mint_token(&self) -> String {
+        let mut seed = self
+            .token_seed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        format!("rtok-{:016x}", splitmix64(&mut seed))
+    }
+
+    fn reap_threads(&self) {
+        let mut ts = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
+        ts.retain(|h| !h.is_finished());
+    }
+
+    fn track(&self, h: JoinHandle<()>) {
+        let mut ts = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
+        ts.retain(|t| !t.is_finished());
+        ts.push(h);
+    }
+
+    fn backends_up(&self) -> usize {
+        self.backends
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .filter(|b| b.up)
+            .count()
+    }
+
+    /// Mark `name` failed (dial error or probe miss); past the failure
+    /// budget it leaves the ring and its sessions migrate. Returns true
+    /// if this call demoted it.
+    fn mark_backend_failed(&self, name: &str) -> bool {
+        let mut demoted = false;
+        {
+            let mut bs = self.backends.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(b) = bs.get_mut(name) {
+                b.fails = b.fails.saturating_add(1);
+                CL_PROBE_FAILS.inc();
+                if b.up && b.fails >= self.cfg.probe_failures {
+                    b.up = false;
+                    demoted = true;
+                }
+            }
+        }
+        if demoted {
+            log_event!("cluster.backend.down", "backend" = name);
+            self.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(name);
+            CL_BACKENDS_UP.set(self.backends_up() as i64);
+        }
+        demoted
+    }
+}
+
+/// A running router, generic over the frontend connection type and the
+/// backend connector (`TcpStream`/`TcpConnector` in production,
+/// `SimConn`/`SimConnector` under the simulation harness).
+pub struct RouterHandle<CF: Conn = TcpStream, B: Connector = TcpConnector> {
+    addr: Option<SocketAddr>,
+    shared: Arc<RouterShared<CF, B>>,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl<B: Connector + Send + Sync + 'static> RouterHandle<TcpStream, B> {
+    /// The bound frontend address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr.expect("TCP router always has a bound address")
+    }
+}
+
+impl<CF: Conn, B: Connector + Send + Sync + 'static> RouterHandle<CF, B> {
+    /// Register a backend and (optimistically) add it to the ring. The
+    /// prober demotes it if it turns out to be unreachable. A join
+    /// rebalances: only sessions in the ring ranges the new node took
+    /// over migrate onto it.
+    pub fn add_backend(&self, name: &str, connector: B) {
+        {
+            let mut bs = self
+                .shared
+                .backends
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            bs.insert(
+                name.to_string(),
+                BackendEntry {
+                    connector: Arc::new(connector),
+                    up: true,
+                    fails: 0,
+                    load: -1,
+                },
+            );
+        }
+        self.shared
+            .ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .add(name);
+        CL_BACKENDS_UP.set(self.shared.backends_up() as i64);
+        log_event!("cluster.backend.join", "backend" = name);
+        rebalance(&self.shared);
+    }
+
+    /// Gracefully remove a backend: take it off the ring and migrate
+    /// its sessions elsewhere (warm-up replay preserves exactly-once).
+    pub fn remove_backend(&self, name: &str) {
+        self.shared
+            .ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name);
+        self.shared
+            .backends
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name);
+        CL_BACKENDS_UP.set(self.shared.backends_up() as i64);
+        log_event!("cluster.backend.leave", "backend" = name);
+        rebalance(&self.shared);
+    }
+
+    /// Health + load snapshot of every registered backend.
+    pub fn backends(&self) -> Vec<BackendInfo> {
+        self.shared
+            .backends
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, b)| BackendInfo {
+                name: name.clone(),
+                up: b.up,
+                load: b.load,
+            })
+            .collect()
+    }
+
+    /// This router's counters as a [`Frame::StatsReply`].
+    pub fn stats(&self) -> Frame {
+        self.shared.counters.stats_frame()
+    }
+
+    /// `(sessions migrated, sessions resumed, replies replayed)`.
+    pub fn cluster_stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.counters.migrations.load(Ordering::Relaxed),
+            self.shared.counters.resumes.load(Ordering::Relaxed),
+            self.shared.counters.replayed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sessions currently tracked (active + parked).
+    pub fn session_count(&self) -> usize {
+        self.shared
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Stop accepting, kill every session and link, join all threads.
+    /// Returns the router's final stats.
+    pub fn shutdown(mut self) -> Frame {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(vc) = self.shared.cfg.clock.virtual_handle() {
+            vc.set_auto_advance(true);
+        }
+        // Wake every blocked reader by killing its connection.
+        let sessions: Vec<_> = {
+            let s = self
+                .shared
+                .sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            s.values().cloned().collect()
+        };
+        for s in sessions {
+            s.done.store(true, Ordering::Release);
+            if let Some(c) = s
+                .front
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+            {
+                c.shutdown_both();
+            }
+            if let Some(c) = s
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .writer
+                .take()
+            {
+                c.shutdown_both();
+            }
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+        loop {
+            let drained = {
+                let mut ts = self
+                    .shared
+                    .threads
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                std::mem::take(&mut *ts)
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for t in drained {
+                let _ = t.join();
+            }
+        }
+        log_event!(
+            "cluster.shutdown",
+            "sessions" = self.shared.counters.sessions.load(Ordering::Relaxed),
+            "migrations" = self.shared.counters.migrations.load(Ordering::Relaxed)
+        );
+        self.shared.counters.stats_frame()
+    }
+}
+
+/// Spawn a TCP router on `cfg.addr`. Backends are registered afterwards
+/// via [`RouterHandle::add_backend`].
+pub fn spawn(cfg: RouterConfig) -> io::Result<RouterHandle<TcpStream, TcpConnector>> {
+    let transport = TcpTransport::bind(&cfg.addr)?;
+    let addr = transport.addr();
+    let mut handle = spawn_with(transport, cfg);
+    handle.addr = Some(addr);
+    Ok(handle)
+}
+
+/// Spawn a router over an arbitrary frontend [`Transport`] — the
+/// simulation harness passes a `SimTransport` here and per-backend
+/// `SimConnector`s to [`RouterHandle::add_backend`], and the whole
+/// cluster runs in memory on virtual time.
+pub fn spawn_with<F, B>(frontend: F, cfg: RouterConfig) -> RouterHandle<F::Conn, B>
+where
+    F: Transport,
+    B: Connector + Send + Sync + 'static,
+{
+    let token_seed = cfg.ring_seed ^ 0x0be5_5ed5_eed5_eed5;
+    let shared = Arc::new(RouterShared {
+        ring: Mutex::new(HashRing::new(cfg.ring_seed, cfg.vnodes)),
+        cfg,
+        backends: Mutex::new(BTreeMap::new()),
+        sessions: Mutex::new(HashMap::new()),
+        threads: Mutex::new(Vec::new()),
+        shutdown: AtomicBool::new(false),
+        counters: RCounters::default(),
+        next_session: AtomicU64::new(0),
+        token_seed: Mutex::new(token_seed),
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cluster-acceptor".into())
+            .spawn(move || {
+                let desc = frontend.desc();
+                log_event!("cluster.listening", "addr" = desc.as_str());
+                loop {
+                    match frontend.accept() {
+                        Accepted::Conn(conn) => {
+                            let sh = Arc::clone(&shared);
+                            let h = std::thread::Builder::new()
+                                .name("cluster-session".into())
+                                .spawn(move || handle_client(&sh, conn))
+                                .expect("spawn cluster session");
+                            shared.track(h);
+                        }
+                        Accepted::Retry => {
+                            if shared.shutting_down() {
+                                break;
+                            }
+                            shared.reap_threads();
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Accepted::Closed => break,
+                    }
+                }
+            })
+            .expect("spawn cluster acceptor")
+    };
+
+    let prober = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cluster-prober".into())
+            .spawn(move || prober_loop(&shared))
+            .expect("spawn cluster prober")
+    };
+
+    RouterHandle {
+        addr: None,
+        shared,
+        acceptor: Some(acceptor),
+        prober: Some(prober),
+    }
+}
+
+/// Dial a backend and answer one `MetricsDump`. Returns the probed
+/// queue depth (load signal) on success.
+fn probe_backend<B: Connector>(connector: &B, patience: Duration) -> Result<i64, ()> {
+    let conn = connector.connect().map_err(|_| ())?;
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(2)));
+    let _ = conn.set_write_timeout(Some(patience));
+    let read_half = conn.try_clone().map_err(|_| ())?;
+    let mut writer = conn;
+    let dump = encode_frame(&Frame::MetricsDump).map_err(|_| ())?;
+    write_bytes(&mut writer, &dump).map_err(|_| ())?;
+    let mut reader = FrameReader::new(read_half);
+    let deadline = Instant::now() + patience;
+    loop {
+        match reader.poll_frame() {
+            Ok(Some(Frame::MetricsReply { json })) => {
+                let load = serde_json::from_str::<serde_json::Value>(&json)
+                    .ok()
+                    .and_then(|v| {
+                        v.get("metrics")
+                            .and_then(|m| m.get("slo.queue_depth"))
+                            .and_then(|d| d.as_i64())
+                    })
+                    .unwrap_or(0);
+                return Ok(load);
+            }
+            Ok(Some(_)) | Ok(None) => {
+                if Instant::now() >= deadline {
+                    return Err(());
+                }
+            }
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Health loop: probe every backend each tick, demote after
+/// `probe_failures` consecutive misses (ring leave + migration),
+/// promote on recovery (ring join + rebalance), and expire parked
+/// sessions past their TTL.
+fn prober_loop<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<RouterShared<CF, B>>) {
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let snapshot: Vec<(String, Arc<B>, bool)> = {
+            let bs = shared
+                .backends
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            bs.iter()
+                .map(|(n, b)| (n.clone(), Arc::clone(&b.connector), b.up))
+                .collect()
+        };
+        for (name, connector, was_up) in snapshot {
+            let result = probe_backend(connector.as_ref(), shared.cfg.probe_timeout);
+            match result {
+                Ok(load) => {
+                    let mut promoted = false;
+                    {
+                        let mut bs = shared
+                            .backends
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if let Some(b) = bs.get_mut(&name) {
+                            b.fails = 0;
+                            b.load = load;
+                            if !b.up {
+                                b.up = true;
+                                promoted = true;
+                            }
+                        }
+                    }
+                    if promoted {
+                        log_event!("cluster.backend.up", "backend" = name.as_str());
+                        shared
+                            .ring
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .add(&name);
+                        CL_BACKENDS_UP.set(shared.backends_up() as i64);
+                        rebalance(shared);
+                    }
+                }
+                Err(()) => {
+                    if shared.mark_backend_failed(&name) && was_up {
+                        rebalance(shared);
+                    }
+                }
+            }
+        }
+        sweep_parked(shared);
+        sweep_stuck(shared);
+        shared.reap_threads();
+        shared.cfg.clock.sleep(shared.cfg.probe_interval);
+    }
+}
+
+/// Drop parked sessions whose TTL (injected clock) expired.
+fn sweep_parked<CF: Conn, B: Connector>(shared: &Arc<RouterShared<CF, B>>) {
+    let now = shared.cfg.clock.now();
+    let expired: Vec<Arc<SessionInner<CF, B::Conn>>> = {
+        let sessions = shared
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        sessions
+            .values()
+            .filter(|s| {
+                s.parked_at
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some_and(|at| now.saturating_duration_since(at) > shared.cfg.parked_ttl)
+            })
+            .cloned()
+            .collect()
+    };
+    for s in expired {
+        s.done.store(true, Ordering::Release);
+        if let Some(c) = s
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .writer
+            .take()
+        {
+            c.shutdown_both();
+        }
+        shared
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&s.token);
+        log_event!("cluster.session.expired", "session" = s.id);
+    }
+}
+
+/// Force-migrate any session whose oldest in-flight interval has gone
+/// unanswered past `pending_timeout`. A partition stalls frames
+/// already written into the link without an error, for possibly
+/// unbounded time. The epoch bump re-dials the ring target (possibly
+/// the same node), shuts the old link (crash semantics: its stalled
+/// frames die with it) and re-sends everything still pending; the
+/// epoch guard on the old link keeps a late original reply from
+/// double-committing, and warm-up makes the re-computed replies
+/// bitwise identical.
+fn sweep_stuck<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<RouterShared<CF, B>>) {
+    let timeout = shared.cfg.pending_timeout;
+    let sessions: Vec<Arc<SessionInner<CF, B::Conn>>> = {
+        let s = shared
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.values().cloned().collect()
+    };
+    for session in sessions {
+        if session.done() {
+            continue;
+        }
+        let epoch = {
+            let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let aged = st.pending.values().any(|p| p.sent_at.elapsed() > timeout);
+            // A goodbye whose link died (or that never found a live
+            // backend) has no pending entry to age: `bye` with no
+            // writer is the same "will never be answered" state.
+            let orphaned_bye = st.bye && st.writer.is_none();
+            if !aged && !orphaned_bye {
+                continue;
+            }
+            st.epoch
+        };
+        CL_STUCK.inc();
+        log_event!("cluster.session.stuck", "session" = session.id);
+        migrate(shared, &session, epoch);
+    }
+}
+
+/// Re-place every session whose ring assignment no longer matches where
+/// it lives — exactly the sessions in the token ranges a join/leave
+/// moved; everyone else stays put (bounded churn).
+fn rebalance<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<RouterShared<CF, B>>) {
+    let sessions: Vec<Arc<SessionInner<CF, B::Conn>>> = {
+        let s = shared
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.values().cloned().collect()
+    };
+    for session in sessions {
+        if session.done() {
+            continue;
+        }
+        let desired = {
+            let ring = shared.ring.lock().unwrap_or_else(PoisonError::into_inner);
+            ring.assign(&session.token).map(String::from)
+        };
+        let Some(desired) = desired else { continue };
+        let epoch = {
+            let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+            // Re-place when the assignment moved — or when the session
+            // has no live link at all (it was stranded by an empty ring
+            // and its assigned member has since come back: the name
+            // matches but nothing is connected).
+            if st.backend == desired && st.writer.is_some() {
+                continue;
+            }
+            st.epoch
+        };
+        migrate(shared, &session, epoch);
+    }
+}
+
+/// What a backend handshake attempt came back with.
+enum DialOutcome<CB: Conn> {
+    Ok {
+        writer: CB,
+        reader: FrameReader<CB>,
+        deadline_ms: u64,
+    },
+    /// The backend answered `Error{draining}` — place elsewhere.
+    Draining,
+    Failed,
+}
+
+/// Dial `connector` and run the session's `Hello` handshake.
+fn dial_backend<CF: Conn, CB: Conn, B: Connector<Conn = CB>>(
+    shared: &RouterShared<CF, B>,
+    connector: &B,
+    hello: &Frame,
+) -> DialOutcome<CB> {
+    let Ok(conn) = connector.connect() else {
+        return DialOutcome::Failed;
+    };
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(2)));
+    let _ = conn.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = conn.set_nodelay(true);
+    let Ok(read_half) = conn.try_clone() else {
+        return DialOutcome::Failed;
+    };
+    let mut reader = FrameReader::with_max_len(read_half, shared.cfg.backend_frame_len);
+    let mut writer = conn;
+    let Ok(hello_bytes) = encode_frame(hello) else {
+        return DialOutcome::Failed;
+    };
+    if write_bytes(&mut writer, &hello_bytes).is_err() {
+        return DialOutcome::Failed;
+    }
+    let deadline = Instant::now() + shared.cfg.dial_timeout;
+    loop {
+        match reader.poll_frame() {
+            Ok(Some(Frame::Welcome { deadline_ms, .. })) => {
+                return DialOutcome::Ok {
+                    writer,
+                    reader,
+                    deadline_ms,
+                };
+            }
+            Ok(Some(Frame::Error { code, .. })) if code == "draining" => {
+                return DialOutcome::Draining;
+            }
+            Ok(Some(_)) => return DialOutcome::Failed,
+            Ok(None) => {
+                if Instant::now() >= deadline || shared.shutting_down() {
+                    return DialOutcome::Failed;
+                }
+            }
+            Err(_) => return DialOutcome::Failed,
+        }
+    }
+}
+
+/// (Re-)place `session` on the shard the ring assigns it to: dial, run
+/// the warm-up replay (`history`, replies swallowed), re-send `pending`
+/// in seq order, and hand the link to a fresh reader thread. Retries —
+/// marking failed backends down as it goes — until it commits, the
+/// session ends, the epoch moves (someone else migrated first), or the
+/// ring runs out of live members (each retry either succeeds or demotes
+/// a member, so the loop is bounded; an un-placed session is repaired
+/// by `sweep_stuck` / the next rebalance).
+fn migrate<CF: Conn, B: Connector + Send + Sync + 'static>(
+    shared: &Arc<RouterShared<CF, B>>,
+    session: &Arc<SessionInner<CF, B::Conn>>,
+    from_epoch: u64,
+) {
+    loop {
+        if shared.shutting_down() || session.done() {
+            return;
+        }
+        {
+            let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if st.epoch != from_epoch {
+                return;
+            }
+        }
+        let target = {
+            let ring = shared.ring.lock().unwrap_or_else(PoisonError::into_inner);
+            ring.assign(&session.token).map(String::from)
+        };
+        let Some(target) = target else {
+            // No live backend. Do NOT spin here: migrate runs on
+            // driver/prober threads, and under a virtual clock a
+            // blocked caller is exactly what keeps the prober from
+            // promoting a backend again (circular wait). Explicitly
+            // un-place the session — sever any stale link and clear the
+            // owner — so the next join/promotion rebalance (or
+            // `sweep_stuck`) re-places it: a session that *looks*
+            // placed (name set, dead writer) would be skipped forever.
+            {
+                let mut st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if st.epoch == from_epoch {
+                    if let Some(w) = st.writer.take() {
+                        w.shutdown_both();
+                    }
+                    st.backend.clear();
+                }
+            }
+            log_event!("cluster.migrate.no_backend", "session" = session.id);
+            return;
+        };
+        let connector = {
+            let bs = shared
+                .backends
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            bs.get(&target).map(|b| Arc::clone(&b.connector))
+        };
+        let Some(connector) = connector else { continue };
+        match dial_backend(shared, connector.as_ref(), &session.hello) {
+            DialOutcome::Failed => {
+                shared.mark_backend_failed(&target);
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            DialOutcome::Draining => {
+                // A draining node refuses new placements: treat like a
+                // leave for this session's range.
+                log_event!("cluster.backend.draining", "backend" = target.as_str());
+                shared
+                    .ring
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&target);
+                continue;
+            }
+            DialOutcome::Ok {
+                mut writer,
+                reader,
+                deadline_ms,
+            } => {
+                session.deadline_ms.store(deadline_ms, Ordering::Relaxed);
+                let epoch = {
+                    let mut st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    if st.epoch != from_epoch {
+                        writer.shutdown_both();
+                        return;
+                    }
+                    st.epoch += 1;
+                    let epoch = st.epoch;
+                    if let Some(old) = st.writer.take() {
+                        old.shutdown_both();
+                    }
+                    st.backend = target.clone();
+                    // Warm-up: replay the ingested window so the new
+                    // shard's sliding state matches the old one's
+                    // exactly; its replies are swallowed.
+                    st.swallow = st.history.iter().map(|h| h.seq).collect();
+                    log_event!(
+                        "cluster.migrate.resend",
+                        "session" = session.id,
+                        "epoch" = epoch,
+                        "history" = st.history.len() as u64,
+                        "pending" = st.pending.len() as u64,
+                        "pend_lo" = st.pending.keys().next().copied().unwrap_or(0),
+                        "pend_hi" = st.pending.keys().next_back().copied().unwrap_or(0)
+                    );
+                    let mut ok = true;
+                    for h in &st.history {
+                        if write_bytes(&mut writer, &h.bytes).is_err() {
+                            ok = false;
+                            break;
+                        }
+                        CL_WARMUP.inc();
+                    }
+                    // Re-send pending in seq order (exactly-once: the
+                    // client never saw replies for these).
+                    if ok {
+                        for p in st.pending.values_mut() {
+                            p.sent_at = Instant::now();
+                            if write_bytes(&mut writer, &p.bytes).is_err() {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok && st.bye {
+                        if let Ok(bye) = encode_frame(&Frame::Bye) {
+                            ok = write_bytes(&mut writer, &bye).is_ok();
+                        }
+                    }
+                    if !ok {
+                        // The fresh link died mid-warm-up; undo nothing
+                        // (pending/history intact) and retry from the
+                        // new epoch.
+                        writer.shutdown_both();
+                        st.writer = None;
+                        drop(st);
+                        shared.mark_backend_failed(&target);
+                        return migrate(shared, session, epoch);
+                    }
+                    st.writer = Some(writer);
+                    epoch
+                };
+                // Epoch 1 is the initial placement; only re-placements
+                // count as migrations.
+                if epoch > 1 {
+                    CL_MIGRATIONS.inc();
+                    shared.counters.migrations.fetch_add(1, Ordering::Relaxed);
+                }
+                log_event!(
+                    "cluster.migrate",
+                    "session" = session.id,
+                    "backend" = target.as_str(),
+                    "epoch" = epoch
+                );
+                let sh = Arc::clone(shared);
+                let sess = Arc::clone(session);
+                let h = std::thread::Builder::new()
+                    .name("cluster-link".into())
+                    .spawn(move || link_loop(&sh, &sess, reader, epoch))
+                    .expect("spawn cluster link");
+                shared.track(h);
+                return;
+            }
+        }
+    }
+}
+
+/// Read replies off one backend link and forward them to the client.
+/// Exits when superseded (epoch moved), on session end, or after
+/// migrating a dead link.
+fn link_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
+    shared: &Arc<RouterShared<CF, B>>,
+    session: &Arc<SessionInner<CF, B::Conn>>,
+    mut reader: FrameReader<B::Conn>,
+    my_epoch: u64,
+) {
+    loop {
+        if shared.shutting_down() || session.done() {
+            return;
+        }
+        match reader.poll_frame() {
+            Ok(None) => {
+                let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if st.epoch != my_epoch {
+                    return;
+                }
+            }
+            Ok(Some(frame)) => {
+                if !handle_backend_frame(shared, session, frame, my_epoch) {
+                    return;
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down() || session.done() {
+                    return;
+                }
+                {
+                    let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    if st.epoch != my_epoch {
+                        return;
+                    }
+                }
+                migrate(shared, session, my_epoch);
+                return;
+            }
+        }
+    }
+}
+
+/// Process one backend reply. Returns false when this link thread
+/// should exit.
+fn handle_backend_frame<CF: Conn, B: Connector + Send + Sync + 'static>(
+    shared: &Arc<RouterShared<CF, B>>,
+    session: &Arc<SessionInner<CF, B::Conn>>,
+    frame: Frame,
+    my_epoch: u64,
+) -> bool {
+    let seq = match &frame {
+        Frame::Ack { seq, .. }
+        | Frame::Imputed { seq, .. }
+        | Frame::Busy { seq, .. }
+        | Frame::Reject { seq, .. } => *seq,
+        Frame::ByeAck { .. } => {
+            let remaining = {
+                let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if st.epoch != my_epoch {
+                    return false;
+                }
+                st.pending.len() as u64
+            };
+            let ba = Frame::ByeAck {
+                answered: session.answered.load(Ordering::Relaxed),
+                remaining,
+            };
+            if let Ok(bytes) = encode_frame(&ba) {
+                session.send_client(&bytes);
+            }
+            session.done.store(true, Ordering::Release);
+            if let Some(c) = session
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .writer
+                .take()
+            {
+                c.shutdown_both();
+            }
+            shared
+                .sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&session.token);
+            CL_ACTIVE.add(-1);
+            shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+            log_event!("cluster.session.close", "session" = session.id);
+            return false;
+        }
+        Frame::Error { code, .. } => {
+            // Backend-level error (shutting_down, …): the link is gone.
+            log_event!(
+                "cluster.backend.error",
+                "session" = session.id,
+                "code" = code.as_str()
+            );
+            let cur = {
+                let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.epoch
+            };
+            if cur == my_epoch && !shared.shutting_down() && !session.done() {
+                migrate(shared, session, my_epoch);
+            }
+            return false;
+        }
+        // Welcome (late), StatsReply, MetricsReply: nothing to route.
+        _ => return true,
+    };
+
+    let ingested = matches!(frame, Frame::Ack { .. } | Frame::Imputed { .. });
+    {
+        let mut st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.epoch != my_epoch {
+            return false;
+        }
+        if st.swallow.remove(&seq) {
+            // Warm-up echo: the client was answered long ago.
+            return true;
+        }
+        let already_answered = session
+            .replay
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(seq)
+            .is_some();
+        if already_answered {
+            // Raced a migration: the old link's reply landed first.
+            return true;
+        }
+        if let Some(p) = st.pending.remove(&seq) {
+            let elapsed = p.sent_at.elapsed();
+            CL_ROUTE_US.record(elapsed.as_nanos() as u64);
+            if let Some(tid) = p.trace_id {
+                // Parent the router hop into the interval's trace (the
+                // backend rooted `serve.interval` under the same id).
+                let ctx = TraceContext {
+                    trace_id: tid,
+                    span_id: 0,
+                };
+                trace::record_span("cluster.route", ctx, p.sent_at, elapsed);
+            }
+            if ingested {
+                st.push_history(seq, p.port, p.bytes, session.window_intervals);
+            }
+        }
+    }
+    let Ok(bytes) = encode_frame(&frame) else {
+        return true;
+    };
+    session.commit_reply(seq, &bytes);
+    CL_REPLIES.inc();
+    shared.counters.replies.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// One client connection: pre-handshake probes, `Hello` (fresh or
+/// resume), then the forwarding loop.
+fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
+    shared: &Arc<RouterShared<CF, B>>,
+    conn: CF,
+) {
+    let cfg = &shared.cfg;
+    let _ = conn.set_read_timeout(Some(cfg.read_timeout));
+    let _ = conn.set_write_timeout(Some(cfg.write_timeout));
+    let _ = conn.set_nodelay(true);
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::with_max_len(read_half, cfg.client_frame_len);
+    let mut writer = conn;
+
+    // Pre-handshake: answer Stats / MetricsDump probes until a Hello.
+    let hello = loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match reader.poll_frame() {
+            Ok(Some(Frame::Stats)) => {
+                let Ok(b) = encode_frame(&shared.counters.stats_frame()) else {
+                    return;
+                };
+                if write_bytes(&mut writer, &b).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Frame::MetricsDump)) => {
+                let reply = Frame::MetricsReply {
+                    json: fmml_obs::dump_json(),
+                };
+                let Ok(b) = encode_frame(&reply) else { return };
+                if write_bytes(&mut writer, &b).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(f)) => break f,
+            Ok(None) => continue,
+            Err(_) => return,
+        }
+    };
+    let Frame::Hello {
+        tenant,
+        ports,
+        queues,
+        interval_len,
+        window_intervals,
+        resume_token,
+        last_acked,
+    } = hello
+    else {
+        shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+        let err = Frame::Error {
+            code: "bad_handshake".into(),
+            message: format!("expected Hello, got {}", hello.tag()),
+        };
+        if let Ok(b) = encode_frame(&err) {
+            let _ = write_bytes(&mut writer, &b);
+        }
+        return;
+    };
+
+    // Resume: re-attach to a tracked session with a matching identity.
+    if let Some(tok) = resume_token.as_ref() {
+        let existing = {
+            let sessions = shared
+                .sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            sessions.get(tok).cloned()
+        };
+        if let Some(session) = existing.filter(|s| {
+            !s.done()
+                && matches!(
+                    &s.hello,
+                    Frame::Hello {
+                        tenant: t,
+                        ports: p,
+                        queues: q,
+                        interval_len: il,
+                        window_intervals: wi,
+                        ..
+                    } if *t == tenant && *p == ports && *q == queues
+                        && *il == interval_len && *wi == window_intervals
+                )
+        }) {
+            {
+                let mut front = session.front.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(old) = front.take() {
+                    old.shutdown_both();
+                }
+                *front = Some(writer);
+            }
+            let was_parked = session
+                .parked_at
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .is_some();
+            if was_parked {
+                CL_ACTIVE.add(1);
+                shared.counters.active.fetch_add(1, Ordering::Relaxed);
+            }
+            CL_RESUMES.inc();
+            shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
+            let hw = session.highest_seq.load(Ordering::Acquire);
+            let welcome = Frame::Welcome {
+                session: session.id,
+                deadline_ms: session.deadline_ms.load(Ordering::Relaxed),
+                resume_token: Some(session.token.clone()),
+                resumed: Some(true),
+                resume_seq: Some(hw),
+            };
+            if let Ok(b) = encode_frame(&welcome) {
+                if !session.send_client(&b) {
+                    return;
+                }
+            }
+            // Replay everything past the client's watermark.
+            let missed: Vec<(u64, Vec<u8>)> = {
+                let replay = session
+                    .replay
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                replay.since(last_acked.unwrap_or(0))
+            };
+            for (_seq, bytes) in missed {
+                CL_REPLAYED.inc();
+                shared.counters.replayed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.replies.fetch_add(1, Ordering::Relaxed);
+                if !session.send_client(&bytes) {
+                    return;
+                }
+            }
+            log_event!("cluster.session.resume", "session" = session.id);
+            client_loop(shared, &session, reader);
+            return;
+        }
+        // Unknown/expired/mismatched token: fall through to fresh.
+    }
+
+    // Fresh session: mint a token, place it on the ring, answer Welcome.
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+    let token = shared.mint_token();
+    let hello_template = Frame::Hello {
+        tenant,
+        ports,
+        queues,
+        interval_len,
+        window_intervals,
+        resume_token: None,
+        last_acked: None,
+    };
+    let session = Arc::new(SessionInner {
+        id,
+        token: token.clone(),
+        hello: hello_template,
+        window_intervals,
+        deadline_ms: AtomicU64::new(0),
+        front: Mutex::new(Some(writer)),
+        replay: Mutex::new(ReplayLog::new(shared.cfg.replay_window)),
+        highest_seq: AtomicU64::new(0),
+        answered: AtomicU64::new(0),
+        state: Mutex::new(RouteState {
+            backend: String::new(),
+            writer: None,
+            epoch: 0,
+            pending: BTreeMap::new(),
+            history: VecDeque::new(),
+            swallow: HashSet::new(),
+            bye: false,
+        }),
+        done: AtomicBool::new(false),
+        parked_at: Mutex::new(None),
+    });
+    shared
+        .sessions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(token.clone(), Arc::clone(&session));
+    CL_SESSIONS.inc();
+    CL_ACTIVE.add(1);
+    shared.counters.sessions.fetch_add(1, Ordering::Relaxed);
+    shared.counters.active.fetch_add(1, Ordering::Relaxed);
+
+    migrate(shared, &session, 0);
+    if shared.shutting_down() || session.done() {
+        return;
+    }
+    let welcome = Frame::Welcome {
+        session: id,
+        deadline_ms: session.deadline_ms.load(Ordering::Relaxed),
+        resume_token: Some(token),
+        resumed: Some(false),
+        resume_seq: None,
+    };
+    if let Ok(b) = encode_frame(&welcome) {
+        if !session.send_client(&b) {
+            park(shared, &session);
+            return;
+        }
+    }
+    log_event!(
+        "cluster.session.open",
+        "session" = id,
+        "backend" = session
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .backend
+            .as_str()
+    );
+    client_loop(shared, &session, reader);
+}
+
+/// Detach the client connection, keeping the session resumable.
+fn park<CF: Conn, B: Connector>(
+    shared: &Arc<RouterShared<CF, B>>,
+    session: &Arc<SessionInner<CF, B::Conn>>,
+) {
+    if let Some(c) = session
+        .front
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        c.shutdown_both();
+    }
+    let mut parked = session
+        .parked_at
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if parked.is_none() {
+        *parked = Some(shared.cfg.clock.now());
+        CL_ACTIVE.add(-1);
+        shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+        log_event!("cluster.session.park", "session" = session.id);
+    }
+}
+
+/// The post-handshake frontend loop: dedup + forward intervals, answer
+/// probes, relay `Bye`. Exits by parking on client disconnect or when
+/// the session completes.
+fn client_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
+    shared: &Arc<RouterShared<CF, B>>,
+    session: &Arc<SessionInner<CF, B::Conn>>,
+    mut reader: FrameReader<CF>,
+) {
+    loop {
+        if shared.shutting_down() || session.done() {
+            return;
+        }
+        match reader.poll_frame() {
+            Ok(None) => continue,
+            Err(_) => {
+                if !session.done() {
+                    park(shared, session);
+                }
+                return;
+            }
+            Ok(Some(Frame::Interval {
+                seq,
+                update,
+                trace_id,
+            })) => {
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let port = update.port;
+                let frame = Frame::Interval {
+                    seq,
+                    update,
+                    trace_id,
+                };
+                let Ok(bytes) = encode_frame_capped(&frame, shared.cfg.backend_frame_len) else {
+                    shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                // Duplicate retransmit of an answered seq: replay from
+                // the log, never re-forward (no window is fed twice).
+                if seq <= session.highest_seq.load(Ordering::Acquire) {
+                    let logged = session
+                        .replay
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .get(seq);
+                    if let Some(b) = logged {
+                        CL_REPLAYED.inc();
+                        shared.counters.replayed.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.replies.fetch_add(1, Ordering::Relaxed);
+                        session.send_client(&b);
+                        continue;
+                    }
+                }
+                let mut st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if st.pending.contains_key(&seq) {
+                    // Already in flight (client retransmit racing the
+                    // backend's reply): drop, the reply will arrive.
+                    continue;
+                }
+                st.pending.insert(
+                    seq,
+                    PendingEntry {
+                        port,
+                        bytes: bytes.clone(),
+                        sent_at: Instant::now(),
+                        trace_id,
+                    },
+                );
+                CL_FORWARDED.inc();
+                if let Some(w) = st.writer.as_mut() {
+                    if write_bytes(w, &bytes).is_err() {
+                        // Link is dead: leave the interval in pending —
+                        // the link reader notices and migrates, and the
+                        // migration re-sends it.
+                        w.shutdown_both();
+                    }
+                }
+            }
+            Ok(Some(Frame::Stats)) => {
+                if let Ok(b) = encode_frame(&shared.counters.stats_frame()) {
+                    session.send_client(&b);
+                }
+            }
+            Ok(Some(Frame::MetricsDump)) => {
+                let reply = Frame::MetricsReply {
+                    json: fmml_obs::dump_json(),
+                };
+                if let Ok(b) = encode_frame(&reply) {
+                    session.send_client(&b);
+                }
+            }
+            Ok(Some(Frame::Bye)) => {
+                let mut st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.bye = true;
+                if let Ok(bye) = encode_frame(&Frame::Bye) {
+                    if let Some(w) = st.writer.as_mut() {
+                        if write_bytes(w, &bye).is_err() {
+                            w.shutdown_both();
+                        }
+                    }
+                }
+                // Keep reading: the ByeAck arrives via the link reader
+                // and flips `done`.
+            }
+            Ok(Some(_)) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

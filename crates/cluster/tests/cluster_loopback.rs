@@ -1,0 +1,473 @@
+//! Loopback integration tests for the cluster router over real TCP:
+//! placement, bitwise identity with offline enforcement across a
+//! backend kill + migration, client resume at the router, and the
+//! drain-driven rebalance path.
+
+use fmml_cluster::{RouterConfig, RouterHandle};
+use fmml_core::streaming::{IntervalUpdate, StreamOptions, StreamingImputer};
+use fmml_core::transformer_imputer::{Scales, TransformerImputer};
+use fmml_fm::cem::{CemEngine, DegradationLevel, LadderConfig};
+use fmml_netsim::traffic::TrafficConfig;
+use fmml_netsim::{SimConfig, Simulation};
+use fmml_serve::protocol::{write_frame, Frame, FrameReader};
+use fmml_serve::{spawn, ServerConfig, ServerHandle, TcpConnector};
+use fmml_telemetry::{windows_from_trace, PortWindow};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const INTERVAL_LEN: usize = 10;
+const WINDOW_INTERVALS: usize = 3;
+
+fn model() -> Arc<TransformerImputer> {
+    let cfg = SimConfig::small();
+    Arc::new(TransformerImputer::new(
+        3,
+        Scales {
+            qlen: cfg.buffer_packets as f32,
+            count: 830.0,
+        },
+    ))
+}
+
+fn windows() -> Vec<PortWindow> {
+    let cfg = SimConfig::small();
+    let gt = Simulation::new(
+        cfg.clone(),
+        TrafficConfig::websearch_incast(cfg.num_ports, 0.6),
+        19,
+    )
+    .run_ms(360);
+    // 12 intervals per window: long enough to split a session around a
+    // backend kill with full context windows on both sides.
+    windows_from_trace(
+        &gt,
+        INTERVAL_LEN * WINDOW_INTERVALS * 4,
+        INTERVAL_LEN,
+        INTERVAL_LEN * WINDOW_INTERVALS * 4,
+    )
+    .into_iter()
+    .filter(|w| w.has_activity())
+    .collect()
+}
+
+fn backend(model: &Arc<TransformerImputer>) -> ServerHandle {
+    spawn(
+        Arc::clone(model),
+        ServerConfig {
+            workers: 1,
+            deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn backend")
+}
+
+fn router() -> RouterHandle {
+    fmml_cluster::spawn(RouterConfig {
+        probe_interval: Duration::from_millis(50),
+        probe_failures: 2,
+        dial_timeout: Duration::from_millis(500),
+        ..RouterConfig::default()
+    })
+    .expect("spawn router")
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, FrameReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let reader = FrameReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn hello(port: usize, queues: usize) -> Frame {
+    Frame::Hello {
+        tenant: "test".into(),
+        ports: vec![port],
+        queues,
+        interval_len: INTERVAL_LEN,
+        window_intervals: WINDOW_INTERVALS,
+        resume_token: None,
+        last_acked: None,
+    }
+}
+
+fn offline(
+    model: &Arc<TransformerImputer>,
+    w: &PortWindow,
+) -> StreamingImputer<Arc<TransformerImputer>> {
+    let opts = StreamOptions {
+        ladder: LadderConfig {
+            engine: CemEngine::Fast,
+            ..LadderConfig::default()
+        },
+        ..StreamOptions::default()
+    };
+    StreamingImputer::with_options(
+        Arc::clone(model),
+        opts,
+        w.port,
+        w.num_queues(),
+        INTERVAL_LEN,
+        WINDOW_INTERVALS,
+    )
+}
+
+/// Assert one router reply matches the offline reference for interval
+/// `k` of window `w` at sequence `seq`.
+fn check_reply(
+    reply: Frame,
+    expect: Option<fmml_core::streaming::ImputedInterval>,
+    w: &PortWindow,
+    seq: u64,
+    k: usize,
+) {
+    match reply {
+        Frame::Ack { seq: s, .. } => {
+            assert_eq!(s, seq);
+            assert!(
+                expect.is_none(),
+                "router acked where offline emitted (k={k})"
+            );
+        }
+        Frame::Imputed {
+            seq: s,
+            port,
+            series,
+            level,
+            enforced,
+            ..
+        } => {
+            let expect = expect.expect("offline must emit too");
+            assert_eq!(s, seq);
+            assert_eq!(port, w.port);
+            assert_eq!(series, expect.series, "series diverge at k={k}");
+            assert_eq!(
+                DegradationLevel::from_label(&level),
+                Some(expect.level),
+                "levels diverge at k={k}"
+            );
+            assert_eq!(enforced, expect.enforced);
+        }
+        other => panic!("unexpected {other:?} at k={k}"),
+    }
+}
+
+/// The tentpole end-to-end test: a session placed on backend "a"
+/// survives "a" being killed mid-stream. The router migrates it to "b"
+/// with a warm-up replay, and every reply — before and after the kill —
+/// is **bitwise identical** to the offline enforcement path. The client
+/// never sees the failure: each seq is answered exactly once, in order.
+#[test]
+fn kill_one_backend_loses_nothing_and_stays_bitwise() {
+    let model = model();
+    let ws = windows();
+    let w = &ws[0];
+    let rt = router();
+    let a = backend(&model);
+    rt.add_backend(
+        "a",
+        TcpConnector {
+            addr: a.addr().to_string(),
+        },
+    );
+
+    let (mut tx, mut rx) = connect(rt.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    let token = match rx.read_frame().unwrap() {
+        Frame::Welcome {
+            resume_token: Some(t),
+            resumed,
+            ..
+        } => {
+            assert_eq!(resumed, Some(false));
+            assert!(
+                t.starts_with("rtok-"),
+                "router must mint its own token: {t}"
+            );
+            t
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+
+    let mut reference = offline(&model, w);
+    let total = w.intervals();
+    assert!(total >= 6, "fixture too small to split around a kill");
+    let split = total / 2;
+
+    // First half on backend "a".
+    for (k, seq) in (0..split).zip(1u64..) {
+        let u = IntervalUpdate::from_window(w, k);
+        let expect = reference.try_push(u.clone()).unwrap();
+        write_frame(
+            &mut tx,
+            &Frame::Interval {
+                seq,
+                update: u,
+                trace_id: Some(seq),
+            },
+        )
+        .unwrap();
+        check_reply(rx.read_frame().unwrap(), expect, w, seq, k);
+    }
+
+    // Bring up "b", then kill "a" hard. The session must migrate.
+    let b = backend(&model);
+    rt.add_backend(
+        "b",
+        TcpConnector {
+            addr: b.addr().to_string(),
+        },
+    );
+    a.shutdown();
+
+    // Second half: same wire conversation, now transparently on "b".
+    for (k, seq) in (split..total).zip(split as u64 + 1..) {
+        let u = IntervalUpdate::from_window(w, k);
+        let expect = reference.try_push(u.clone()).unwrap();
+        write_frame(
+            &mut tx,
+            &Frame::Interval {
+                seq,
+                update: u,
+                trace_id: Some(seq),
+            },
+        )
+        .unwrap();
+        check_reply(rx.read_frame().unwrap(), expect, w, seq, k);
+    }
+
+    // Graceful goodbye through the router: everything answered.
+    write_frame(&mut tx, &Frame::Bye).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::ByeAck {
+            answered,
+            remaining,
+        } => {
+            assert_eq!(answered, total as u64);
+            assert_eq!(remaining, 0);
+        }
+        other => panic!("expected ByeAck, got {other:?}"),
+    }
+
+    let (migrations, _resumes, _replayed) = rt.cluster_stats();
+    assert!(migrations >= 1, "the kill must have forced a migration");
+    let _ = token;
+    let stats = rt.shutdown();
+    let Frame::StatsReply { replies, .. } = stats else {
+        panic!("stats frame")
+    };
+    assert_eq!(replies, total as u64);
+    b.shutdown();
+}
+
+/// PR-7 resume semantics terminate at the router: a client that
+/// vanishes and reconnects with its token gets `resumed: true` plus a
+/// replay of everything past its ack watermark — while the backend
+/// session hums along untouched.
+#[test]
+fn client_resume_replays_from_router_log() {
+    let model = model();
+    let ws = windows();
+    let w = &ws[0];
+    let rt = router();
+    let a = backend(&model);
+    rt.add_backend(
+        "a",
+        TcpConnector {
+            addr: a.addr().to_string(),
+        },
+    );
+
+    let (mut tx, mut rx) = connect(rt.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    let token = match rx.read_frame().unwrap() {
+        Frame::Welcome {
+            resume_token: Some(t),
+            ..
+        } => t,
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+
+    let mut reference = offline(&model, w);
+    let mut expected = Vec::new();
+    for (k, seq) in (0..3usize).zip(1u64..) {
+        let u = IntervalUpdate::from_window(w, k);
+        expected.push((seq, k, reference.try_push(u.clone()).unwrap()));
+        write_frame(
+            &mut tx,
+            &Frame::Interval {
+                seq,
+                update: u,
+                trace_id: None,
+            },
+        )
+        .unwrap();
+        let reply = rx.read_frame().unwrap();
+        let (s, kk, e) = expected.last().cloned().unwrap();
+        check_reply(reply, e, w, s, kk);
+    }
+
+    // Vanish without a Bye, then come back claiming nothing was acked:
+    // the router replays all three replies from its own log.
+    drop(tx);
+    drop(rx);
+    std::thread::sleep(Duration::from_millis(30));
+    let (mut tx2, mut rx2) = connect(rt.addr());
+    write_frame(
+        &mut tx2,
+        &Frame::Hello {
+            tenant: "test".into(),
+            ports: vec![w.port],
+            queues: w.num_queues(),
+            interval_len: INTERVAL_LEN,
+            window_intervals: WINDOW_INTERVALS,
+            resume_token: Some(token),
+            last_acked: Some(0),
+        },
+    )
+    .unwrap();
+    match rx2.read_frame().unwrap() {
+        Frame::Welcome {
+            resumed,
+            resume_seq,
+            ..
+        } => {
+            assert_eq!(resumed, Some(true));
+            assert_eq!(resume_seq, Some(3));
+        }
+        other => panic!("expected resumed Welcome, got {other:?}"),
+    }
+    for (seq, k, expect) in expected {
+        check_reply(rx2.read_frame().unwrap(), expect, w, seq, k);
+    }
+    // And the session still works for new intervals.
+    let u = IntervalUpdate::from_window(w, 3);
+    let expect = reference.try_push(u.clone()).unwrap();
+    write_frame(
+        &mut tx2,
+        &Frame::Interval {
+            seq: 4,
+            update: u,
+            trace_id: None,
+        },
+    )
+    .unwrap();
+    check_reply(rx2.read_frame().unwrap(), expect, w, 4, 3);
+
+    let (_m, resumes, replayed) = rt.cluster_stats();
+    assert_eq!(resumes, 1);
+    assert!(
+        replayed >= 3,
+        "expected >=3 replayed replies, got {replayed}"
+    );
+    rt.shutdown();
+    a.shutdown();
+}
+
+/// A draining backend pushes its placements away: `begin_drain` on the
+/// only backend makes new placements land on the other node once it
+/// joins, without dropping the existing session.
+#[test]
+fn draining_backend_sheds_new_placements() {
+    let model = model();
+    let ws = windows();
+    let w = &ws[0];
+    let rt = router();
+    let a = backend(&model);
+    let b = backend(&model);
+    rt.add_backend(
+        "a",
+        TcpConnector {
+            addr: a.addr().to_string(),
+        },
+    );
+    rt.add_backend(
+        "b",
+        TcpConnector {
+            addr: b.addr().to_string(),
+        },
+    );
+
+    // Open a session, then drain *both* prospective homes' peer: drain
+    // "a" so every new placement that hashes there bounces to "b".
+    let (mut tx, mut rx) = connect(rt.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+    let u = IntervalUpdate::from_window(w, 0);
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: 1,
+            update: u,
+            trace_id: None,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        rx.read_frame().unwrap(),
+        Frame::Ack { seq: 1, .. } | Frame::Imputed { seq: 1, .. }
+    ));
+
+    a.begin_drain();
+    // New sessions keep working no matter which shard the ring picks:
+    // placements that hash to "a" are refused with `draining` and
+    // bounce to "b" transparently.
+    for _ in 0..4 {
+        let (mut tx2, mut rx2) = connect(rt.addr());
+        write_frame(&mut tx2, &hello(w.port, w.num_queues())).unwrap();
+        assert!(matches!(rx2.read_frame().unwrap(), Frame::Welcome { .. }));
+        let u = IntervalUpdate::from_window(w, 0);
+        write_frame(
+            &mut tx2,
+            &Frame::Interval {
+                seq: 1,
+                update: u,
+                trace_id: None,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            rx2.read_frame().unwrap(),
+            Frame::Ack { seq: 1, .. } | Frame::Imputed { seq: 1, .. }
+        ));
+        write_frame(&mut tx2, &Frame::Bye).unwrap();
+        assert!(matches!(rx2.read_frame().unwrap(), Frame::ByeAck { .. }));
+    }
+
+    rt.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+/// Pre-handshake `Stats` probes are answered by the router itself, and
+/// its `StatsReply` reflects cluster-level counters.
+#[test]
+fn router_answers_probes_locally() {
+    let model = model();
+    let rt = router();
+    let a = backend(&model);
+    rt.add_backend(
+        "a",
+        TcpConnector {
+            addr: a.addr().to_string(),
+        },
+    );
+
+    let (mut tx, mut rx) = connect(rt.addr());
+    write_frame(&mut tx, &Frame::Stats).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::StatsReply { .. }));
+    write_frame(&mut tx, &Frame::MetricsDump).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::MetricsReply { json } => {
+            assert!(json.contains("metrics"), "dump must carry a metrics object");
+        }
+        other => panic!("expected MetricsReply, got {other:?}"),
+    }
+
+    let infos = rt.backends();
+    assert_eq!(infos.len(), 1);
+    assert!(infos[0].up);
+    rt.shutdown();
+    a.shutdown();
+}

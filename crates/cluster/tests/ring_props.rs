@@ -1,0 +1,126 @@
+//! Property tests for the placement ring — the three guarantees the
+//! cluster's stability rests on: deterministic placement, bounded churn
+//! on membership change, and weight-proportional key share.
+
+use fmml_cluster::HashRing;
+use proptest::prelude::*;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("rtok-{i:016x}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Placement is a pure function of `(seed, members, key)`: two
+    /// rings with the same seed and members agree on every key even
+    /// when the members were added in a different order.
+    #[test]
+    fn placement_is_seed_deterministic_and_order_free(
+        seed in 0u64..100_000,
+        nodes in 2usize..8,
+    ) {
+        let names: Vec<String> = (0..nodes).map(|i| format!("node-{i}")).collect();
+        let mut forward = HashRing::new(seed, 16);
+        let mut reverse = HashRing::new(seed, 16);
+        for n in &names {
+            forward.add(n);
+        }
+        for n in names.iter().rev() {
+            reverse.add(n);
+        }
+        for k in keys(200) {
+            prop_assert_eq!(forward.assign(&k), reverse.assign(&k));
+        }
+    }
+
+    /// A join only pulls keys *onto* the new node: no key moves between
+    /// two surviving nodes, and the stolen share is in the right
+    /// ballpark for an equal-weight member (bounded churn).
+    #[test]
+    fn join_moves_only_ring_adjacent_ranges(seed in 0u64..100_000) {
+        let mut ring = HashRing::new(seed, 64);
+        for i in 0..4 {
+            ring.add(&format!("node-{i}"));
+        }
+        let ks = keys(2_000);
+        let before: Vec<String> =
+            ks.iter().map(|k| ring.assign(k).unwrap().to_string()).collect();
+        ring.add("joiner");
+        let mut moved = 0usize;
+        for (k, old) in ks.iter().zip(&before) {
+            let now = ring.assign(k).unwrap();
+            if now != old {
+                prop_assert_eq!(
+                    now, "joiner",
+                    "key {} moved between survivors ({} -> {})", k, old, now
+                );
+                moved += 1;
+            }
+        }
+        // An equal-weight 5th member owns ~1/5 of the space; allow wide
+        // slack for vnode variance but reject "everything reshuffled".
+        prop_assert!(
+            moved <= ks.len() / 2,
+            "join moved {}/{} keys — churn is not bounded", moved, ks.len()
+        );
+    }
+
+    /// A leave only moves the departed node's keys; survivors keep
+    /// every key they already owned.
+    #[test]
+    fn leave_strands_no_survivor_keys(seed in 0u64..100_000) {
+        let mut ring = HashRing::new(seed, 64);
+        for i in 0..4 {
+            ring.add(&format!("node-{i}"));
+        }
+        let ks = keys(2_000);
+        let before: Vec<String> =
+            ks.iter().map(|k| ring.assign(k).unwrap().to_string()).collect();
+        ring.remove("node-2");
+        for (k, old) in ks.iter().zip(&before) {
+            let now = ring.assign(k).unwrap();
+            if old != "node-2" {
+                prop_assert_eq!(now, old, "survivor key {} moved", k);
+            } else {
+                prop_assert!(now != "node-2");
+            }
+        }
+    }
+
+    /// Weights matter: a node with 4x the vnodes owns a clearly larger
+    /// share of keys than an equal peer.
+    #[test]
+    fn vnode_weighting_shifts_key_share(seed in 0u64..100_000) {
+        let mut ring = HashRing::new(seed, 16);
+        ring.add_weighted("heavy", 64);
+        ring.add_weighted("light", 16);
+        let ks = keys(2_000);
+        let heavy = ks.iter().filter(|k| ring.assign(k) == Some("heavy")).count();
+        // Expectation is 80%; demand at least a strict majority so the
+        // test is robust to hash variance across seeds.
+        prop_assert!(
+            heavy > ks.len() * 6 / 10,
+            "heavy node owns only {}/{} keys despite 4x weight", heavy, ks.len()
+        );
+    }
+}
+
+/// Re-adding a present node must not perturb the ring (the prober
+/// re-promotes backends; placement must not wobble when it does).
+#[test]
+fn re_add_is_a_no_op() {
+    let mut ring = HashRing::new(42, 32);
+    ring.add("a");
+    ring.add("b");
+    let ks = keys(500);
+    let before: Vec<String> = ks
+        .iter()
+        .map(|k| ring.assign(k).unwrap().to_string())
+        .collect();
+    ring.add("a");
+    ring.add_weighted("b", 1); // even with a different weight
+    for (k, old) in ks.iter().zip(&before) {
+        assert_eq!(ring.assign(k).unwrap(), old);
+    }
+}

@@ -26,6 +26,7 @@ static INJ_BLACKOUT: Counter = Counter::new("fault.injected.blackout");
 static INJ_WORKER_PANIC: Counter = Counter::new("fault.injected.worker_panic");
 static INJ_SOLVER_STALL: Counter = Counter::new("fault.injected.solver_stall");
 static INJ_SLOW_WRITE: Counter = Counter::new("fault.injected.slow_write");
+static INJ_PARTITION: Counter = Counter::new("fault.injected.partition");
 
 /// The simulated narrow-counter width: wraps subtract 2^16.
 pub const WRAP_DELTA: u32 = 1 << 16;
@@ -44,6 +45,7 @@ fn count(kind: FaultKind) {
         FaultKind::WorkerPanic => INJ_WORKER_PANIC.inc(),
         FaultKind::SolverStall => INJ_SOLVER_STALL.inc(),
         FaultKind::SlowWrite => INJ_SLOW_WRITE.inc(),
+        FaultKind::Partition => INJ_PARTITION.inc(),
     }
 }
 

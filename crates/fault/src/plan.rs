@@ -46,6 +46,12 @@ pub enum FaultKind {
     /// A reply write is artificially delayed (a congested or misbehaving
     /// egress path), exercising write-timeout and slow-reader handling.
     SlowWrite,
+    /// A network partition: every frame on the link is blackholed in
+    /// *both* directions until a deterministic heal time, with no
+    /// connection-level error surfaced to either side. Detected only by
+    /// liveness probes / read timeouts; exercised by `fmml_serve::sim`'s
+    /// link fates and the cluster failover path.
+    Partition,
 }
 
 impl FaultKind {
@@ -63,10 +69,11 @@ impl FaultKind {
             FaultKind::WorkerPanic => "worker_panic",
             FaultKind::SolverStall => "solver_stall",
             FaultKind::SlowWrite => "slow_write",
+            FaultKind::Partition => "partition",
         }
     }
 
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 12] = [
         FaultKind::MissingValue,
         FaultKind::DuplicatedInterval,
         FaultKind::CounterWrap,
@@ -78,6 +85,7 @@ impl FaultKind {
         FaultKind::WorkerPanic,
         FaultKind::SolverStall,
         FaultKind::SlowWrite,
+        FaultKind::Partition,
     ];
 }
 
@@ -275,6 +283,12 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn partition_is_in_the_taxonomy() {
+        assert!(FaultKind::ALL.contains(&FaultKind::Partition));
+        assert_eq!(FaultKind::Partition.label(), "partition");
     }
 
     #[test]

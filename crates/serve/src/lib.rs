@@ -45,5 +45,5 @@ pub use loadgen::{
 pub use protocol::{Frame, WireError, MAX_FRAME_LEN};
 pub use replay_log::ReplayLog;
 pub use server::{spawn, spawn_with, ProtocolBug, ServerConfig, ServerHandle};
-pub use sim::{FaultCounts, FaultProfile, SimConn, SimNet};
+pub use sim::{FaultCounts, FaultProfile, SimConn, SimConnector, SimNet, SimTransport};
 pub use transport::{Accepted, Conn, Connector, TcpConnector, TcpTransport, Transport};

@@ -25,9 +25,13 @@ use fmml_core::streaming::IntervalUpdate;
 use serde::{Deserialize, Serialize};
 use std::io::{ErrorKind, Read, Write};
 
-/// Hard cap on a frame's JSON payload. A window of telemetry is a few KB;
-/// 1 MiB leaves two orders of magnitude of headroom while bounding what a
-/// hostile length prefix can make the server allocate.
+/// Default cap on a frame's JSON payload. A window of telemetry is a few
+/// KB; 1 MiB leaves two orders of magnitude of headroom while bounding
+/// what a hostile length prefix can make the server allocate. The cap is
+/// per-reader configurable ([`FrameReader::with_max_len`],
+/// `ServerConfig::max_frame_len`): router-to-backend links carry batched
+/// interval replays during migration and run with a higher ceiling than
+/// untrusted client edges.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// Bytes of framing overhead per frame (the length prefix).
@@ -185,7 +189,8 @@ pub enum WireError {
     Closed,
     /// Peer closed the connection mid-frame.
     Truncated { expected: usize, got: usize },
-    /// Length prefix exceeds [`MAX_FRAME_LEN`]; rejected before allocating.
+    /// Length prefix exceeds the reader's frame cap (default
+    /// [`MAX_FRAME_LEN`]); rejected before allocating.
     Oversized { len: usize },
     /// Payload was not valid UTF-8 JSON for a [`Frame`].
     Malformed(String),
@@ -204,10 +209,9 @@ impl std::fmt::Display for WireError {
             WireError::Truncated { expected, got } => {
                 write!(f, "truncated frame: expected {expected} bytes, got {got}")
             }
-            WireError::Oversized { len } => write!(
-                f,
-                "oversized frame: length prefix {len} exceeds cap {MAX_FRAME_LEN}"
-            ),
+            WireError::Oversized { len } => {
+                write!(f, "oversized frame: length prefix {len} exceeds the cap")
+            }
             WireError::Malformed(e) => write!(f, "malformed frame: {e}"),
             WireError::Timeout => write!(f, "socket operation timed out"),
             WireError::Io(e) => write!(f, "i/o error: {e}"),
@@ -217,11 +221,18 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encode one frame to its on-wire bytes (header + JSON payload).
+/// Encode one frame to its on-wire bytes (header + JSON payload), capped
+/// at [`MAX_FRAME_LEN`].
 pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    encode_frame_capped(frame, MAX_FRAME_LEN)
+}
+
+/// Encode one frame with an explicit payload cap (router links that carry
+/// batched replays raise it; the wire format itself tops out at `u32`).
+pub fn encode_frame_capped(frame: &Frame, max_len: usize) -> Result<Vec<u8>, WireError> {
     let json = serde_json::to_string(frame).map_err(|e| WireError::Malformed(e.to_string()))?;
     let payload = json.as_bytes();
-    if payload.len() > MAX_FRAME_LEN {
+    if payload.len() > max_len.min(u32::MAX as usize) {
         return Err(WireError::Oversized { len: payload.len() });
     }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -230,15 +241,26 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
     Ok(out)
 }
 
-/// Decode one frame from the front of `buf`. Returns the frame and the
-/// number of bytes consumed, or `Ok(None)` if `buf` does not yet hold a
-/// complete frame.
+/// Decode one frame from the front of `buf` (cap [`MAX_FRAME_LEN`]).
+/// Returns the frame and the number of bytes consumed, or `Ok(None)` if
+/// `buf` does not yet hold a complete frame.
 pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    decode_frame_capped(buf, MAX_FRAME_LEN)
+}
+
+/// Decode with an explicit cap on the announced payload length. The cap
+/// is enforced against the *length prefix*, before any payload
+/// allocation happens — that property is what makes it safe to expose as
+/// a config knob.
+pub fn decode_frame_capped(
+    buf: &[u8],
+    max_len: usize,
+) -> Result<Option<(Frame, usize)>, WireError> {
     if buf.len() < HEADER_LEN {
         return Ok(None);
     }
     let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if len > MAX_FRAME_LEN {
+    if len > max_len {
         return Err(WireError::Oversized { len });
     }
     if buf.len() < HEADER_LEN + len {
@@ -287,16 +309,31 @@ fn io_to_wire(e: std::io::Error) -> WireError {
 pub struct FrameReader<R: Read> {
     inner: R,
     buf: Vec<u8>,
+    max_len: usize,
     last_decode_ns: u64,
 }
 
 impl<R: Read> FrameReader<R> {
     pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader::with_max_len(inner, MAX_FRAME_LEN)
+    }
+
+    /// A reader with an explicit frame cap. Client-facing edges keep the
+    /// [`MAX_FRAME_LEN`] default; trusted router↔backend links (batched
+    /// interval replays during migration) raise it via
+    /// `ServerConfig::max_frame_len`.
+    pub fn with_max_len(inner: R, max_len: usize) -> FrameReader<R> {
         FrameReader {
             inner,
             buf: Vec::with_capacity(4096),
+            max_len,
             last_decode_ns: 0,
         }
+    }
+
+    /// The configured frame cap.
+    pub fn max_len(&self) -> usize {
+        self.max_len
     }
 
     /// CPU time the most recent successful [`poll_frame`] spent parsing
@@ -319,7 +356,7 @@ impl<R: Read> FrameReader<R> {
     pub fn poll_frame(&mut self) -> Result<Option<Frame>, WireError> {
         loop {
             let t0 = fmml_obs::trace::enabled().then(std::time::Instant::now);
-            if let Some((frame, consumed)) = decode_frame(&self.buf)? {
+            if let Some((frame, consumed)) = decode_frame_capped(&self.buf, self.max_len)? {
                 self.last_decode_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 self.buf.drain(..consumed);
                 return Ok(Some(frame));
@@ -563,6 +600,36 @@ mod tests {
                 len: u32::MAX as usize
             })
         );
+    }
+
+    #[test]
+    fn frame_cap_is_per_reader_configurable() {
+        // A frame that fits the default cap but not a tightened one.
+        let big = Frame::Error {
+            code: "x".into(),
+            message: "y".repeat(512),
+        };
+        let bytes = encode_frame(&big).unwrap();
+        let mut tight = FrameReader::with_max_len(&bytes[..], 128);
+        assert!(matches!(
+            tight.read_frame(),
+            Err(WireError::Oversized { .. })
+        ));
+        let mut roomy = FrameReader::with_max_len(&bytes[..], 4 * MAX_FRAME_LEN);
+        assert_eq!(roomy.max_len(), 4 * MAX_FRAME_LEN);
+        assert_eq!(roomy.read_frame().unwrap(), big);
+        // The raised cap also lifts the encode ceiling symmetrically.
+        let huge = Frame::Error {
+            code: "x".into(),
+            message: "z".repeat(MAX_FRAME_LEN + 1),
+        };
+        assert!(matches!(
+            encode_frame(&huge),
+            Err(WireError::Oversized { .. })
+        ));
+        let encoded = encode_frame_capped(&huge, 2 * MAX_FRAME_LEN).unwrap();
+        let mut r = FrameReader::with_max_len(&encoded[..], 2 * MAX_FRAME_LEN);
+        assert_eq!(r.read_frame().unwrap(), huge);
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! readers stop ingesting and wait for their in-flight replies, workers
 //! exit once the queue is empty and every reader is gone.
 
-use crate::protocol::{encode_frame, write_bytes, Frame, FrameReader, WireError};
+use crate::protocol::{encode_frame, write_bytes, Frame, FrameReader, WireError, MAX_FRAME_LEN};
 use crate::replay_log::ReplayLog;
 use crate::transport::{Accepted, Conn, TcpTransport, Transport};
 use fmml_core::streaming::{PreparedWindow, StreamOptions, StreamingImputer};
@@ -150,6 +150,11 @@ pub struct ServerConfig {
     /// Consecutive mid-frame read timeouts before a stalled sender is
     /// disconnected.
     pub max_stalls: u32,
+    /// Decode cap for this server's frame readers: a length prefix
+    /// above it is rejected *before* any buffer allocation. The default
+    /// ([`MAX_FRAME_LEN`], 1 MiB) fits any client frame; router↔backend
+    /// links carry batched replay traffic and raise it.
+    pub max_frame_len: usize,
     /// Sanity caps on the `Hello` geometry. All four are checked before
     /// any per-session allocation happens, so a hostile `Hello` (e.g.
     /// `window_intervals = 10^15`) is answered `bad_handshake` instead of
@@ -243,6 +248,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(25),
             write_timeout: Duration::from_secs(2),
             max_stalls: 80,
+            max_frame_len: MAX_FRAME_LEN,
             max_ports_per_session: 64,
             max_queues: 64,
             max_interval_len: 512,
@@ -486,6 +492,10 @@ struct Shared<C: Conn> {
     queue: Mutex<VecDeque<Job<C>>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
+    /// Draining for a planned hand-off: existing sessions keep being
+    /// served, but new `Hello`s are answered `Error{code:"draining"}`
+    /// so a router moves placements elsewhere before the node stops.
+    draining: AtomicBool,
     active_readers: AtomicUsize,
     /// Recent replies for the SLO watchdog's sliding window.
     slo_obs: Mutex<VecDeque<ReplyObs>>,
@@ -506,6 +516,10 @@ struct Shared<C: Conn> {
 impl<C: Conn> Shared<C> {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     /// Resumption on? (Replay window configured and non-zero.)
@@ -620,6 +634,22 @@ impl<C: Conn> ServerHandle<C> {
             .unwrap_or_default()
     }
 
+    /// Begin draining for a planned hand-off: existing sessions are
+    /// served to completion, but every new `Hello` (fresh *or* resume)
+    /// is answered `Error{code:"draining"}` — a router treats that as
+    /// "place this session elsewhere". Unlike
+    /// [`shutdown`](ServerHandle::shutdown) the node stays up.
+    pub fn begin_drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::AcqRel) {
+            log_event!("serve.draining");
+        }
+    }
+
+    /// Whether [`begin_drain`](ServerHandle::begin_drain) was called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
     /// Signal shutdown and gracefully drain: stop accepting, let every
     /// session's in-flight intervals be answered, join all threads.
     /// Returns the final stats.
@@ -687,6 +717,7 @@ pub fn spawn_with<T: Transport>(
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
         active_readers: AtomicUsize::new(0),
         slo_obs: Mutex::new(VecDeque::new()),
         breaches: Mutex::new(Vec::new()),
@@ -1046,7 +1077,7 @@ fn handle_connection<C: Conn>(shared: &Arc<Shared<C>>, stream: C) {
         replay: Mutex::new(ReplayLog::new(cfg.replay_window)),
         highest_seq: AtomicU64::new(0),
     });
-    let mut reader = FrameReader::new(read_half);
+    let mut reader = FrameReader::with_max_len(read_half, cfg.max_frame_len);
 
     let Some(mut session) = handshake(shared, &mut reader, &writer) else {
         return;
@@ -1251,6 +1282,20 @@ fn handshake<C: Conn>(
         );
         return None;
     };
+    // A draining node refuses every new session — fresh *and* resume —
+    // so the placement layer moves it (and its parked state, via the
+    // resume token) to another node. Probe frames above still work:
+    // drain must not blind the health checker.
+    if shared.draining() {
+        let _ = writer.send(
+            shared,
+            &Frame::Error {
+                code: "draining".into(),
+                message: "node is draining; place this session elsewhere".into(),
+            },
+        );
+        return None;
+    }
     let valid = !ports.is_empty()
         && ports.len() <= cfg.max_ports_per_session
         && queues >= 1

@@ -32,7 +32,7 @@ use fmml_obs::Clock;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind, Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 /// Per-frame fault probabilities, in parts per 10 000, applied
@@ -55,6 +55,22 @@ pub struct FaultProfile {
     /// to the driver's schedule, whereas client-write kills happen at
     /// deterministic schedule points (see `fmml-simtest`).
     pub disconnect_c2s_only: bool,
+    /// Network partition ([`fmml_fault::FaultKind::Partition`]): when a
+    /// frame draws this fate, the whole net stalls every frame — in
+    /// *both* directions, on *every* connection — until the partition
+    /// heals at `now + partition_heal` (virtual time). Stalled frames
+    /// deliver, in order, at the heal instant: a stream transport
+    /// retransmits below the frame layer, so a partition delays the
+    /// stream but never drops its middle while delivering its tail. No
+    /// connection-level error is surfaced: the link looks idle, not
+    /// dead, so only liveness probes and read timeouts can tell.
+    /// Requires a virtual clock; under [`Clock::System`] the fate
+    /// degrades to a no-op.
+    pub partition_per_10k: u32,
+    /// Deterministic heal time of an injected partition (virtual time).
+    /// `Duration::ZERO` disables the fate even if `partition_per_10k`
+    /// is set.
+    pub partition_heal: Duration,
 }
 
 impl FaultProfile {
@@ -68,6 +84,8 @@ impl FaultProfile {
             max_delay: Duration::ZERO,
             disconnect_per_10k: 0,
             disconnect_c2s_only: false,
+            partition_per_10k: 0,
+            partition_heal: Duration::ZERO,
         }
     }
 
@@ -77,6 +95,7 @@ impl FaultProfile {
             && self.reorder_per_10k == 0
             && self.delay_per_10k == 0
             && self.disconnect_per_10k == 0
+            && self.partition_per_10k == 0
     }
 }
 
@@ -90,6 +109,9 @@ pub struct FaultCounts {
     pub reordered: u64,
     pub delayed: u64,
     pub disconnects: u64,
+    /// Frames stalled by an active partition (including the frame that
+    /// drew the partition fate); they deliver when the partition heals.
+    pub partitioned: u64,
 }
 
 #[derive(Default)]
@@ -99,6 +121,7 @@ struct FaultTallies {
     reordered: AtomicU64,
     delayed: AtomicU64,
     disconnects: AtomicU64,
+    partitioned: AtomicU64,
 }
 
 /// How long a read blocks (real time) before reporting `WouldBlock`.
@@ -114,6 +137,37 @@ struct NetInner {
     closed: AtomicBool,
     next_conn: AtomicU64,
     tallies: FaultTallies,
+    /// Virtual-clock instant the current partition heals; `0` = no
+    /// partition has ever been active.
+    partition_until_ns: AtomicU64,
+    /// Every duplex ever dialed (weak; pruned on kill sweeps), so the
+    /// driver can hard-kill all live connections at once.
+    conns: Mutex<Vec<Weak<DuplexInner>>>,
+}
+
+impl NetInner {
+    /// Is a partition blackholing the link right now? Partitions live
+    /// on virtual time only; under the system clock this is never true.
+    fn partition_active(&self) -> bool {
+        let until = self.partition_until_ns.load(Ordering::Acquire);
+        if until == 0 {
+            return false;
+        }
+        match &self.clock {
+            Clock::Virtual(vc) => vc.now_ns() < until,
+            Clock::System => false,
+        }
+    }
+
+    /// Start (or extend) a partition healing `heal` from virtual now.
+    /// No-op under the system clock.
+    fn begin_partition(&self, heal: Duration) {
+        if let Clock::Virtual(vc) = &self.clock {
+            let heal_ns = heal.as_nanos().min(u128::from(u64::MAX)) as u64;
+            let until = vc.now_ns().saturating_add(heal_ns);
+            self.partition_until_ns.fetch_max(until, Ordering::AcqRel);
+        }
+    }
 }
 
 /// A deterministic in-memory network: one listener, any number of
@@ -134,6 +188,8 @@ impl SimNet {
                 closed: AtomicBool::new(false),
                 next_conn: AtomicU64::new(0),
                 tallies: FaultTallies::default(),
+                partition_until_ns: AtomicU64::new(0),
+                conns: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -171,7 +227,40 @@ impl SimNet {
             reordered: t.reordered.load(Ordering::Relaxed),
             delayed: t.delayed.load(Ordering::Relaxed),
             disconnects: t.disconnects.load(Ordering::Relaxed),
+            partitioned: t.partitioned.load(Ordering::Relaxed),
         }
+    }
+
+    /// Driver-controlled partition: stall every frame on this net,
+    /// both directions, until `heal` of *virtual* time has passed.
+    /// Frames already in flight still deliver; frames written while
+    /// partitioned are held and delivered, in order, at the heal
+    /// instant. No-op under [`Clock::System`].
+    pub fn partition_for(&self, heal: Duration) {
+        self.inner.begin_partition(heal);
+    }
+
+    /// Whether a partition is stalling the net right now.
+    pub fn partitioned(&self) -> bool {
+        self.inner.partition_active()
+    }
+
+    /// Hard-kill every live connection on this net, both directions —
+    /// the far process died. Dials after this get fresh connections,
+    /// so a "restarted backend" reuses the same net.
+    pub fn kill_all(&self) {
+        let mut conns = self
+            .inner
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        conns.retain(|w| match w.upgrade() {
+            Some(d) => {
+                d.kill();
+                false
+            }
+            None => false,
+        });
     }
 
     /// Stop accepting: `accept` reports `Closed`, `connect` fails.
@@ -228,6 +317,11 @@ impl Connector for SimConnector {
             s2c: Pipe::new(),
             disconnected: AtomicBool::new(false),
         });
+        self.inner
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::downgrade(&duplex));
         let client = SimConn::new(Arc::clone(&duplex), End::Client);
         let server = SimConn::new(duplex, End::Server);
         self.inner
@@ -428,6 +522,19 @@ impl SimConn {
                 pos: 0,
             });
         };
+        // An active partition stalls everything, both directions,
+        // regardless of the profile — including driver-initiated
+        // partitions (`SimNet::partition_for`) on a faultless net.
+        // Stall, not drop: a stream transport retransmits below the
+        // frame layer, so a partition can delay the middle of a stream
+        // but can never lose it while delivering the tail. The frame is
+        // queued with its release pinned to the heal instant.
+        if net.partition_active() {
+            net.tallies.partitioned.fetch_add(1, Ordering::Relaxed);
+            let heal = net.partition_until_ns.load(Ordering::Acquire);
+            push(st, frame, heal.max(now));
+            return true;
+        }
         if profile.is_none() {
             push(st, frame, now);
             return true;
@@ -456,6 +563,18 @@ impl SimConn {
         }
         if (((h >> 13) % 10_000) as u32) < profile.drop_per_10k {
             net.tallies.dropped.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        if (((h >> 7) % 10_000) as u32) < profile.partition_per_10k
+            && !profile.partition_heal.is_zero()
+        {
+            // The partitioning frame is the first one stalled; under
+            // Clock::System `begin_partition` is a no-op and the fate
+            // degrades to plain delivery.
+            net.tallies.partitioned.fetch_add(1, Ordering::Relaxed);
+            net.begin_partition(profile.partition_heal);
+            let heal = net.partition_until_ns.load(Ordering::Acquire);
+            push(st, frame, heal.max(now));
             return true;
         }
         let dup = (((h >> 26) % 10_000) as u32) < profile.dup_per_10k;
@@ -702,6 +821,8 @@ mod tests {
                 max_delay: Duration::ZERO,
                 disconnect_per_10k: 0,
                 disconnect_c2s_only: false,
+                partition_per_10k: 0,
+                partition_heal: Duration::ZERO,
             });
             for seq in 0..50 {
                 client.write_all(&frame(seq)).unwrap();
@@ -739,6 +860,8 @@ mod tests {
             max_delay: Duration::from_millis(100),
             disconnect_per_10k: 0,
             disconnect_c2s_only: false,
+            partition_per_10k: 0,
+            partition_heal: Duration::ZERO,
         });
         client.write_all(&frame(1)).unwrap();
         let mut reader = FrameReader::new(server);
@@ -747,6 +870,107 @@ mod tests {
         vc.advance(Duration::from_millis(100));
         let f = reader.read_frame().unwrap();
         assert!(matches!(f, Frame::Ack { seq: 1, .. }));
+    }
+
+    #[test]
+    fn partition_stalls_both_directions_until_heal() {
+        let (clock, vc) = Clock::new_virtual();
+        let (net, mut client, mut server) = pair(21, clock);
+        // Frames written before the cut still deliver.
+        client.write_all(&frame(1)).unwrap();
+        net.partition_for(Duration::from_millis(50));
+        assert!(net.partitioned());
+        // Both directions stalled: writes succeed (no error surfaced),
+        // nothing arrives until the heal.
+        client.write_all(&frame(2)).unwrap();
+        server.write_all(&frame(3)).unwrap();
+        let mut sreader = FrameReader::new(server.try_clone().unwrap());
+        let mut creader = FrameReader::new(client.try_clone().unwrap());
+        assert!(matches!(
+            sreader.read_frame().unwrap(),
+            Frame::Ack { seq: 1, .. }
+        ));
+        assert!(sreader.poll_frame().unwrap().is_none());
+        assert!(creader.poll_frame().unwrap().is_none());
+        assert_eq!(net.fault_counts().partitioned, 2);
+        // Heal is deterministic: after `heal` of virtual time the
+        // stalled frames deliver in order, ahead of post-heal traffic —
+        // a stream never loses its middle while delivering its tail.
+        vc.advance(Duration::from_millis(50));
+        assert!(!net.partitioned());
+        client.write_all(&frame(4)).unwrap();
+        server.write_all(&frame(5)).unwrap();
+        assert!(matches!(
+            sreader.read_frame().unwrap(),
+            Frame::Ack { seq: 2, .. }
+        ));
+        assert!(matches!(
+            creader.read_frame().unwrap(),
+            Frame::Ack { seq: 3, .. }
+        ));
+        assert!(matches!(
+            sreader.read_frame().unwrap(),
+            Frame::Ack { seq: 4, .. }
+        ));
+        assert!(matches!(
+            creader.read_frame().unwrap(),
+            Frame::Ack { seq: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn partition_fate_fires_from_profile() {
+        let (clock, vc) = Clock::new_virtual();
+        let (net, mut client, server) = pair(23, clock);
+        net.set_profile(FaultProfile {
+            partition_per_10k: 10_000, // first frame partitions
+            partition_heal: Duration::from_millis(10),
+            ..FaultProfile::none()
+        });
+        client.write_all(&frame(1)).unwrap();
+        assert!(net.partitioned(), "fate must open a partition");
+        assert!(net.fault_counts().partitioned >= 1);
+        // Restore a clean profile, heal, and the link works again; the
+        // partitioning frame itself delivers at the heal instant.
+        net.set_profile(FaultProfile::none());
+        vc.advance(Duration::from_millis(10));
+        client.write_all(&frame(2)).unwrap();
+        let mut reader = FrameReader::new(server);
+        assert!(matches!(
+            reader.read_frame().unwrap(),
+            Frame::Ack { seq: 1, .. }
+        ));
+        assert!(matches!(
+            reader.read_frame().unwrap(),
+            Frame::Ack { seq: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn kill_all_kills_live_conns_but_allows_new_dials() {
+        let net = SimNet::new(31, Clock::System);
+        let mut c1 = net.connector().connect().unwrap();
+        let mut c2 = net.connector().connect().unwrap();
+        net.kill_all();
+        assert!(c1.write_all(&frame(0)).is_err());
+        assert!(c2.write_all(&frame(0)).is_err());
+        // The "restarted backend" accepts fresh dials on the same net.
+        let mut c3 = net.connector().connect().unwrap();
+        c3.write_all(&frame(9)).unwrap();
+        // Drain the two dead server halves, then reach the live one.
+        let s = loop {
+            match net.transport().accept() {
+                Accepted::Conn(c) => {
+                    let mut probe = FrameReader::new(c.try_clone().unwrap());
+                    match probe.read_frame() {
+                        Ok(Frame::Ack { seq: 9, .. }) => break c,
+                        _ => continue,
+                    }
+                }
+                _ => panic!("expected three accepted conns"),
+            }
+        };
+        drop(s);
     }
 
     #[test]
@@ -760,6 +984,8 @@ mod tests {
             max_delay: Duration::ZERO,
             disconnect_per_10k: 10_000, // every frame
             disconnect_c2s_only: false,
+            partition_per_10k: 0,
+            partition_heal: Duration::ZERO,
         });
         client.write_all(&frame(1)).unwrap();
         let mut reader = FrameReader::new(server);

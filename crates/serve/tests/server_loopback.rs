@@ -302,10 +302,28 @@ fn malformed_updates_rejected_in_band() {
 /// `interval_len` in the 10^15 range) must be rejected with
 /// `bad_handshake` *before* any per-session allocation — not abort the
 /// process with an allocation failure — and the server must keep
-/// serving afterwards.
+/// serving afterwards. Runs at both frame-cap settings: the default
+/// 1 MiB and the raised router-link cap (a bigger decode cap must not
+/// reopen the geometry hole — the caps are independent defences).
 #[test]
 fn hostile_hello_geometry_is_rejected_without_allocation() {
-    let handle = spawn(model(), ServerConfig::default()).expect("spawn server");
+    hostile_hello_geometry_at(ServerConfig::default().max_frame_len);
+}
+
+#[test]
+fn hostile_hello_geometry_rejected_at_raised_frame_cap() {
+    hostile_hello_geometry_at(4 * ServerConfig::default().max_frame_len);
+}
+
+fn hostile_hello_geometry_at(max_frame_len: usize) {
+    let handle = spawn(
+        model(),
+        ServerConfig {
+            max_frame_len,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
 
     let hostile = [
         // The reviewer's exact DoS shape: huge window per announced port.
@@ -685,5 +703,61 @@ fn unknown_resume_token_starts_fresh() {
         }
         other => panic!("expected Welcome, got {other:?}"),
     }
+    handle.shutdown();
+}
+
+/// `begin_drain` refuses new sessions with `Error{draining}` while
+/// keeping established sessions and pre-handshake probes working — the
+/// hook a cluster router uses to move placements off a node.
+#[test]
+fn drain_refuses_new_sessions_but_serves_existing() {
+    let handle = spawn(model(), ServerConfig::default()).expect("spawn server");
+    let ws = windows();
+    let w = &ws[0];
+
+    // Established before the drain: keeps working.
+    let (mut tx, mut rx) = connect(handle.addr());
+    write_frame(&mut tx, &hello(w.port, w.num_queues())).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+
+    assert!(!handle.is_draining());
+    handle.begin_drain();
+    assert!(handle.is_draining());
+
+    write_frame(
+        &mut tx,
+        &Frame::Interval {
+            seq: 1,
+            update: IntervalUpdate::from_window(w, 0),
+            trace_id: None,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        rx.read_frame().unwrap(),
+        Frame::Ack { seq: 1, .. }
+    ));
+
+    // New sessions — fresh and resume alike — are turned away.
+    for frame in [
+        hello(w.port, w.num_queues()),
+        hello_resume(w.port, w.num_queues(), "tok-deadbeefdeadbeef", 0),
+    ] {
+        let (mut tx2, mut rx2) = connect(handle.addr());
+        write_frame(&mut tx2, &frame).unwrap();
+        match rx2.read_frame().unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, "draining"),
+            other => panic!("expected Error{{draining}}, got {other:?}"),
+        }
+    }
+
+    // Health probes must still work: drain is not death.
+    let (mut tx3, mut rx3) = connect(handle.addr());
+    write_frame(&mut tx3, &Frame::Stats).unwrap();
+    assert!(matches!(
+        rx3.read_frame().unwrap(),
+        Frame::StatsReply { .. }
+    ));
+
     handle.shutdown();
 }

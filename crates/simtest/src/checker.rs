@@ -57,6 +57,7 @@ impl ReplyKind {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 fn fnv_str(mut h: u64, s: &str) -> u64 {
@@ -80,8 +81,22 @@ pub struct ClientModel {
     /// Sent but unresolved seqs, with the predicted reply kind.
     pending: BTreeMap<u64, ReplyKind>,
     /// Resolved seqs with the exact reply frame (for duplicate checks
-    /// and the run fingerprint).
+    /// and the run fingerprint). Bounded: [`evict_acked`] folds entries
+    /// at or below the acked watermark into `fp_acc` and drops them.
+    ///
+    /// [`evict_acked`]: ClientModel::evict_acked
     resolved: BTreeMap<u64, Frame>,
+    /// Fixed-basis incremental fingerprint of evicted replies, folded
+    /// in seq order. Starting from a constant (not the caller's run
+    /// hash) makes the client fingerprint independent of *when*
+    /// eviction happens: `fold_fingerprint` folds the retained tail
+    /// into a copy of this accumulator and only then combines with the
+    /// run hash.
+    fp_acc: u64,
+    /// Every seq at or below this has been evicted: late duplicate
+    /// replies for them are benign (the content check already passed
+    /// once; the bytes are no longer held to re-compare).
+    evicted_floor: u64,
     /// High-water mark of `resume_seq` values seen: the server's ingest
     /// watermark never moves backwards within an imputer chain.
     watermark: u64,
@@ -97,6 +112,8 @@ impl ClientModel {
             chain_good: 0,
             pending: BTreeMap::new(),
             resolved: BTreeMap::new(),
+            fp_acc: FNV_OFFSET,
+            evicted_floor: 0,
             watermark: 0,
             violations: Vec::new(),
         }
@@ -176,6 +193,12 @@ impl ClientModel {
                 return;
             }
         };
+        if seq <= self.evicted_floor {
+            // A stale duplicate of an evicted reply (e.g. a replay
+            // burst racing an ack): it already passed the content check
+            // before eviction, so accept it silently.
+            return;
+        }
         if let Some(prev) = self.resolved.get(&seq) {
             // Replays and dedup answers come from the replay log: the
             // bytes must be identical to the first resolution.
@@ -298,22 +321,58 @@ impl ClientModel {
         }
     }
 
+    /// Evict every resolved reply at or below the acked watermark
+    /// (nothing below the oldest pending seq can ever be re-compared:
+    /// the client will not re-send it and a conforming server will not
+    /// re-answer it except from the replay log). Evicted lines fold
+    /// into the fixed-basis accumulator in seq order, so the final
+    /// fingerprint is identical whether or not — and how often —
+    /// eviction ran. This bounds the checker's memory by the pending
+    /// span instead of the run length.
+    pub fn evict_acked(&mut self) {
+        let floor = self.last_acked();
+        while let Some((&seq, _)) = self.resolved.first_key_value() {
+            if seq > floor {
+                break;
+            }
+            let f = self.resolved.remove(&seq).expect("first key exists");
+            self.fp_acc = fnv_str(self.fp_acc, &self.line(seq, &f));
+            self.evicted_floor = self.evicted_floor.max(seq);
+        }
+    }
+
+    fn line(&self, seq: u64, f: &Frame) -> String {
+        format!("c{}|{}|{}", self.id, seq, normalize(f))
+    }
+
     /// Fold this client's resolved replies into a run fingerprint.
     /// Timing-sensitive fields (`latency_us`, `trace_id`) are excluded;
     /// everything else — series bytes, degradation levels, warm-up
     /// counts, reject reasons — must replay bitwise for a given seed.
-    pub fn fold_fingerprint(&self, mut h: u64) -> u64 {
+    /// Internally: the retained tail is folded into a copy of the
+    /// eviction accumulator (fixed basis), and that digest is folded
+    /// into `h` — eviction timing cannot change the result.
+    pub fn fold_fingerprint(&self, h: u64) -> u64 {
+        let mut acc = self.fp_acc;
         for (seq, f) in &self.resolved {
-            h = fnv_str(h, &format!("c{}|{}|{}", self.id, seq, normalize(f)));
+            acc = fnv_str(acc, &self.line(*seq, f));
         }
-        h
+        fnv_str(h, &format!("c{}|{acc:016x}", self.id))
     }
 
-    /// Write every fingerprinted line to `w` — debugging aid for
-    /// diffing two runs of the same seed (`FMML_SIMTEST_DUMP=1`).
+    /// Write every *retained* fingerprinted line to `w` — debugging aid
+    /// for diffing two runs of the same seed (`FMML_SIMTEST_DUMP=1`).
+    /// Evicted lines are summarized by the accumulator digest.
     pub fn dump(&self, w: &mut dyn std::io::Write) {
+        if self.evicted_floor > 0 {
+            let _ = writeln!(
+                w,
+                "c{}|..{}|evicted:{:016x}",
+                self.id, self.evicted_floor, self.fp_acc
+            );
+        }
         for (seq, f) in &self.resolved {
-            let _ = writeln!(w, "c{}|{}|{}", self.id, seq, normalize(f));
+            let _ = writeln!(w, "{}", self.line(*seq, f));
         }
     }
 }
@@ -450,6 +509,48 @@ mod tests {
             m.violations().iter().any(|v| v.contains(&format!("{s1}"))),
             "{:?}",
             m.violations()
+        );
+    }
+
+    /// Satellite regression: evicting below the acked watermark keeps
+    /// the resolved map bounded by the pending span and leaves the run
+    /// fingerprint bit-identical to the never-evicting model — and late
+    /// stale duplicates of evicted seqs are benign.
+    #[test]
+    fn acked_eviction_bounds_memory_without_changing_the_fingerprint() {
+        let mut bounded = ClientModel::new(3, 3);
+        let mut unbounded = ClientModel::new(3, 3);
+        let mut max_resolved = 0usize;
+        for round in 0..200u64 {
+            let s = bounded.alloc_good();
+            assert_eq!(unbounded.alloc_good(), s);
+            let f = if round < 2 {
+                ack(s, (round + 1) as usize)
+            } else {
+                imputed(s, vec![vec![round as u32, 7]])
+            };
+            bounded.on_reply(&f);
+            unbounded.on_reply(&f);
+            bounded.evict_acked();
+            max_resolved = max_resolved.max(bounded.resolved_len());
+        }
+        assert!(
+            max_resolved <= 1,
+            "lockstep run must retain at most the newest reply, kept {max_resolved}"
+        );
+        assert!(unbounded.resolved_len() >= 200);
+        assert_eq!(
+            bounded.fold_fingerprint(0xfeed),
+            unbounded.fold_fingerprint(0xfeed),
+            "eviction changed the fingerprint"
+        );
+        // A stale duplicate of an evicted seq — even with different
+        // timing fields — is accepted silently.
+        bounded.on_reply(&ack(1, 1));
+        assert!(
+            bounded.violations().is_empty(),
+            "{:?}",
+            bounded.violations()
         );
     }
 

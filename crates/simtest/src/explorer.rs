@@ -122,7 +122,7 @@ pub fn run(cfg: &SimtestConfig) -> Vec<SeedOutcome> {
         .collect()
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -130,21 +130,21 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Shared fixture: one deterministic imputer and a pool of real
 /// telemetry interval updates (same geometry as the loopback suite).
 /// Built once — `windows_from_trace` over a seeded simulation is pure,
 /// and the imputer is stateless at inference time.
-struct Fixture {
-    model: Arc<TransformerImputer>,
-    updates: Vec<IntervalUpdate>,
-    port: usize,
-    queues: usize,
+pub(crate) struct Fixture {
+    pub(crate) model: Arc<TransformerImputer>,
+    pub(crate) updates: Vec<IntervalUpdate>,
+    pub(crate) port: usize,
+    pub(crate) queues: usize,
 }
 
-fn fixture() -> &'static Fixture {
+pub(crate) fn fixture() -> &'static Fixture {
     static FX: OnceLock<Fixture> = OnceLock::new();
     FX.get_or_init(|| {
         let cfg = SimConfig::small();
@@ -188,7 +188,7 @@ fn fixture() -> &'static Fixture {
 }
 
 /// Driver-side state of one simulated client.
-struct Client {
+pub(crate) struct Client {
     model: ClientModel,
     tx: Option<SimConn>,
     rx: Option<FrameReader<SimConn>>,
@@ -208,7 +208,7 @@ struct Client {
 }
 
 impl Client {
-    fn new(id: usize) -> Client {
+    pub(crate) fn new(id: usize) -> Client {
         Client {
             model: ClientModel::new(id, WINDOW_INTERVALS),
             tx: None,
@@ -224,7 +224,7 @@ impl Client {
         }
     }
 
-    fn is_alive(&self) -> bool {
+    pub(crate) fn is_alive(&self) -> bool {
         self.tx.is_some() && !self.dead
     }
 
@@ -244,7 +244,15 @@ impl Client {
             Frame::Ack { .. }
             | Frame::Imputed { .. }
             | Frame::Busy { .. }
-            | Frame::Reject { .. } => self.model.on_reply(&f),
+            | Frame::Reject { .. } => {
+                self.model.on_reply(&f);
+                // Bound both checker and re-send memory by the pending
+                // span: nothing at or below the acked watermark is ever
+                // re-sent or re-compared.
+                self.model.evict_acked();
+                let floor = self.model.last_acked();
+                self.sent_wire.retain(|&s, _| s > floor);
+            }
             Frame::ByeAck {
                 answered,
                 remaining,
@@ -270,12 +278,21 @@ impl Client {
     }
 }
 
-struct World {
-    net: SimNet,
+pub(crate) struct World {
+    pub(crate) net: SimNet,
     /// `None` in the (real-clock) scripted bug scenario.
-    vc: Option<Arc<VirtualClock>>,
-    clients: Vec<Client>,
-    violations: Vec<String>,
+    pub(crate) vc: Option<Arc<VirtualClock>>,
+    pub(crate) clients: Vec<Client>,
+    pub(crate) violations: Vec<String>,
+    /// Real time slept per idle pump iteration. Zero for the
+    /// single-node explorer (everything it waits on runs on virtual
+    /// time or its own threads); nonzero for the cluster explorer,
+    /// whose router heals placements on *real*-time retry/probe
+    /// budgets — idle iterations must let real time pass or a healthy
+    /// migration gets declared a stall.
+    pub(crate) real_idle: Duration,
+    /// Consecutive progress-free pump iterations before a stall.
+    pub(crate) stall_limit: usize,
 }
 
 impl World {
@@ -283,7 +300,7 @@ impl World {
     /// whether anything arrived. Also the aliveness probe: a killed
     /// duplex surfaces as EOF here, so by the next schedule point the
     /// driver's view of which connections are alive is deterministic.
-    fn pump_once(&mut self) -> bool {
+    pub(crate) fn pump_once(&mut self) -> bool {
         let mut progress = false;
         for c in &mut self.clients {
             if !c.is_alive() {
@@ -311,7 +328,7 @@ impl World {
     /// iteration (releasing delayed frames, firing batch waits and
     /// restart backoffs). `false` = stalled: `STALL_LIMIT` consecutive
     /// iterations with nothing readable and the predicate still false.
-    fn pump_until<F: Fn(&World) -> bool>(&mut self, pred: F) -> bool {
+    pub(crate) fn pump_until<F: Fn(&World) -> bool>(&mut self, pred: F) -> bool {
         let mut idle = 0usize;
         loop {
             if pred(self) {
@@ -322,12 +339,15 @@ impl World {
                 continue;
             }
             idle += 1;
-            if idle > STALL_LIMIT {
+            if idle > self.stall_limit {
                 return false;
             }
             match &self.vc {
                 Some(vc) => vc.advance(Duration::from_millis(1)),
                 None => std::thread::sleep(Duration::from_micros(500)),
+            }
+            if !self.real_idle.is_zero() {
+                std::thread::sleep(self.real_idle);
             }
         }
     }
@@ -350,19 +370,22 @@ impl World {
                 continue;
             }
             idle += 1;
-            if idle > STALL_LIMIT && t0.elapsed() > real_min {
+            if idle > self.stall_limit && t0.elapsed() > real_min {
                 return false;
             }
             match &self.vc {
                 Some(vc) => vc.advance(Duration::from_millis(1)),
                 None => std::thread::sleep(Duration::from_micros(500)),
             }
+            if !self.real_idle.is_zero() {
+                std::thread::sleep(self.real_idle);
+            }
         }
     }
 
     /// Pump until every live client has no pending obligations (a dead
     /// client's obligations wait for its resume).
-    fn settle(&mut self) -> bool {
+    pub(crate) fn settle(&mut self) -> bool {
         self.pump_until(|w| {
             w.clients
                 .iter()
@@ -373,7 +396,7 @@ impl World {
     /// (Re)connect client `i`, with retries — each attempt is a fresh
     /// connection with fresh fault fates, so a Hello eaten by a
     /// mid-write disconnect just costs an attempt.
-    fn handshake(&mut self, i: usize) -> bool {
+    pub(crate) fn handshake(&mut self, i: usize) -> bool {
         for _ in 0..RESUME_ATTEMPTS {
             if self.try_handshake(i) {
                 return true;
@@ -473,7 +496,7 @@ impl World {
     }
 
     /// Send `n` well-formed intervals on client `i`'s live connection.
-    fn burst(&mut self, i: usize, n: usize) {
+    pub(crate) fn burst(&mut self, i: usize, n: usize) {
         let fx = fixture();
         for _ in 0..n {
             let c = &mut self.clients[i];
@@ -500,7 +523,7 @@ impl World {
 
     /// Send one interval for a port the session never announced: the
     /// protocol owes a typed `Reject` and must not advance the window.
-    fn send_bad(&mut self, i: usize) {
+    pub(crate) fn send_bad(&mut self, i: usize) {
         let fx = fixture();
         let c = &mut self.clients[i];
         if !c.is_alive() {
@@ -525,11 +548,11 @@ impl World {
 
     /// Hard-kill client `i`'s connection (both directions, undelivered
     /// data lost) — the crash the resume protocol exists for.
-    fn kill(&mut self, i: usize) {
+    pub(crate) fn kill(&mut self, i: usize) {
         self.clients[i].drop_conn();
     }
 
-    fn advance_small(&mut self, aux: u64) {
+    pub(crate) fn advance_small(&mut self, aux: u64) {
         if let Some(vc) = &self.vc {
             vc.advance(Duration::from_millis(1 + aux % 20));
         }
@@ -591,7 +614,7 @@ impl World {
     /// that survives replay cycles is exactly what the replay-bug
     /// detector looks for). Then `Bye` every live session and run the
     /// completeness checks.
-    fn final_drain(&mut self) {
+    pub(crate) fn final_drain(&mut self) {
         self.net.set_profile(FaultProfile::none());
         for i in 0..self.clients.len() {
             for _cycle in 0..3 {
@@ -658,7 +681,7 @@ impl World {
         }
     }
 
-    fn into_outcome(self, seed: u64) -> SeedOutcome {
+    pub(crate) fn into_outcome(self, seed: u64) -> SeedOutcome {
         let faults = self.net.fault_counts();
         let mut violations = self.violations;
         for c in &self.clients {
@@ -698,7 +721,7 @@ impl World {
 /// own `kill` ops, which happen at schedule points. Delay fates are
 /// also race-keyed, but a delay only moves *when* a frame arrives, and
 /// every observable reply converges regardless of timing.
-fn derive_profile(rng: &mut u64) -> FaultProfile {
+pub(crate) fn derive_profile(rng: &mut u64) -> FaultProfile {
     let delay_choices = [0u32, 500, 1500, 3000];
     FaultProfile {
         drop_per_10k: 0,
@@ -708,10 +731,17 @@ fn derive_profile(rng: &mut u64) -> FaultProfile {
         max_delay: Duration::from_millis(1 + splitmix64(rng) % 15),
         disconnect_per_10k: 0,
         disconnect_c2s_only: true,
+        // Partition fates are race-keyed like disconnects (see above);
+        // partitions come only from the driver's own schedule ops.
+        partition_per_10k: 0,
+        partition_heal: Duration::ZERO,
     }
 }
 
-fn explorer_server_config(clock: Clock, process_faults: ProcessFaultPlan) -> ServerConfig {
+pub(crate) fn explorer_server_config(
+    clock: Clock,
+    process_faults: ProcessFaultPlan,
+) -> ServerConfig {
     ServerConfig {
         workers: 1,
         jobs: 1,
@@ -780,6 +810,8 @@ pub fn run_seed(seed: u64, cfg: &SimtestConfig) -> SeedOutcome {
         vc: Some(Arc::clone(&vc)),
         clients: (0..cfg.clients).map(Client::new).collect(),
         violations: Vec::new(),
+        real_idle: Duration::ZERO,
+        stall_limit: STALL_LIMIT,
     };
     // Initial handshakes run before the fault profile is armed: every
     // session lineage starts from a clean Welcome.
@@ -863,6 +895,8 @@ fn run_bug_scenario(seed: u64, bug: ProtocolBug) -> SeedOutcome {
         vc: None,
         clients: vec![Client::new(0)],
         violations: Vec::new(),
+        real_idle: Duration::ZERO,
+        stall_limit: STALL_LIMIT,
     };
     world.handshake(0);
     world.burst(0, 3);

@@ -29,7 +29,9 @@
 //! `fmml simtest`.
 
 pub mod checker;
+pub mod cluster;
 pub mod explorer;
 
 pub use checker::{ClientModel, ReplyKind, ResumeExpect};
+pub use cluster::{ClusterSeedOutcome, ClusterSimConfig};
 pub use explorer::{run, run_seed, SeedOutcome, SimtestConfig};
