@@ -28,7 +28,9 @@ use fmml_core::transformer_imputer::TransformerImputer;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
 use fmml_serve::protocol::{write_frame, Frame, FrameReader};
-use fmml_serve::{loadgen, LoadReport, LoadgenConfig, ServerConfig, ServerHandle, TcpConnector};
+use fmml_serve::{
+    loadgen, LoadReport, LoadgenConfig, ServerConfig, ServerHandle, TcpConnector, WireCodec,
+};
 use fmml_telemetry::{windows_from_trace, PortWindow};
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -196,6 +198,7 @@ fn loadgen_cfg(bc: &ClusterBenchConfig, addr: String, pace: Option<Duration>) ->
         pace,
         chaos: None,
         tenant_prefix: "cbench".into(),
+        wire: WireCodec::Json,
     }
 }
 
@@ -319,6 +322,7 @@ fn timed_recovery(model: &Arc<TransformerImputer>, bc: &ClusterBenchConfig) -> f
             window_intervals: bc.window_intervals,
             resume_token: None,
             last_acked: None,
+            codecs: None,
         },
     )
     .unwrap();

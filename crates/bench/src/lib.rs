@@ -12,6 +12,7 @@ pub mod obs;
 pub mod recovery;
 pub mod serve;
 pub mod train;
+pub mod wire;
 
 use fmml_fm::cem::IntervalProblem;
 use fmml_netsim::traffic::TrafficConfig;

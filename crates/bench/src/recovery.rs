@@ -28,7 +28,7 @@ use fmml_fm::cem::hash_u32_series;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
 use fmml_serve::protocol::{write_frame, Frame, FrameReader};
-use fmml_serve::{loadgen, ChaosConfig, LoadgenConfig, ServerConfig};
+use fmml_serve::{loadgen, ChaosConfig, LoadgenConfig, ServerConfig, WireCodec};
 use fmml_telemetry::{windows_from_trace, PortWindow};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -256,6 +256,7 @@ fn hello_frame(
         window_intervals: cfg.window_intervals,
         resume_token: resume.map(|(t, _)| t.to_string()),
         last_acked: resume.map(|(_, a)| a),
+        codecs: None,
     }
 }
 
@@ -506,6 +507,7 @@ pub fn bench_recovery(
         pace: Some(cfg.deadline / 2),
         chaos: Some(ChaosConfig::standard()),
         tenant_prefix: "recovery".into(),
+        wire: WireCodec::Json,
     };
     let chaos = loadgen::run(&lg);
     let (_, chaos_restarts) = handle.worker_stats();

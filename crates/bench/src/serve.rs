@@ -15,7 +15,7 @@
 
 use fmml_core::transformer_imputer::TransformerImputer;
 use fmml_serve::protocol::Frame;
-use fmml_serve::{loadgen, ChaosConfig, LoadReport, LoadgenConfig, ServerConfig};
+use fmml_serve::{loadgen, ChaosConfig, LoadReport, LoadgenConfig, ServerConfig, WireCodec};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -194,6 +194,7 @@ fn loadgen_cfg(bc: &ServeBenchConfig, addr: String, clients: usize) -> LoadgenCo
         pace: Some(bc.deadline),
         chaos: None,
         tenant_prefix: "bench".into(),
+        wire: WireCodec::Json,
     }
 }
 

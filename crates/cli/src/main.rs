@@ -38,6 +38,7 @@ use fmml_bench::obs::{bench_obs, ObsBenchConfig};
 use fmml_bench::recovery::{bench_recovery, RecoveryBenchConfig};
 use fmml_bench::serve::{bench_serve, ServeBenchConfig};
 use fmml_bench::train::bench_train;
+use fmml_bench::wire::{bench_wire, WireBenchConfig};
 use fmml_core::eval::{generate_windows, run_table1, EvalConfig};
 use fmml_core::imputer::Imputer;
 use fmml_core::train::{train, train_from};
@@ -55,7 +56,7 @@ use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
 use fmml_obs::log_event;
 use fmml_serve::protocol::{write_frame, Frame, FrameReader};
-use fmml_serve::{ChaosConfig, LoadgenConfig, ServerConfig};
+use fmml_serve::{ChaosConfig, LoadgenConfig, ServerConfig, WireCodec};
 use fmml_smt::solver::Budget;
 use fmml_telemetry::{sanitize_series, sanitize_window, SanitizeConfig, SanitizeReport};
 use std::collections::BTreeMap;
@@ -102,6 +103,8 @@ COMMANDS:
              --deadline-ms N (50)  --max-batch N (16)  --queue-depth N (64)
              --model FILE (default: deterministic untrained imputer)
              --seed N (3)  --max-secs N (run forever when absent)
+             --wire json|bin1 (json; codec preference — binary is used
+             only with clients that advertise it in their Hello)
              fault injection (0 = off): --worker-panic-every N
              --solver-stall-every N  --solver-stall-ms N (5)
              --slow-write-every N  --slow-write-ms N (2)
@@ -116,6 +119,8 @@ COMMANDS:
              --max-secs N (run forever when absent)
              --kill-backend-after-ms N (shut backend 0 down mid-run to
              exercise live migration; 0 = off)
+             --wire json|bin1 (json; router + backends prefer the same
+             codec, binary sessions pass through without re-encoding)
   cluster-bench
              cluster benchmark: direct single node vs 1 router + N
              backends (unpaced capacity), a paced pass with one backend
@@ -128,6 +133,7 @@ COMMANDS:
   loadgen    drive a running server with concurrent trace-replay clients
              --addr A (required)  --clients N (8)  --intervals N (40)
              --seed N (11)  --deadline-ms N (50)  --pace-ms N
+             --wire json|bin1 (json; bin1 advertises the binary codec)
              --chaos (standard >= 10% disturbance preset)
              --report-json FILE (write the flat LoadReport JSON)
   serve-bench
@@ -135,6 +141,15 @@ COMMANDS:
              concurrency, re-run under chaos; writes BENCH_serve.json
              --out DIR (bench)  --clients A,B,C (1,8,32)  --intervals N (40)
              --deadline-ms N (50)  --workers N (2)  --jobs N (1)  --seed N (41)
+  wire-bench wire-codec benchmark: JSON vs binary (bin1) encode/decode
+             on the hot frames, a cross-codec lockstep pass asserting
+             bitwise-identical reply content, and end-to-end loadgen
+             under both codecs; writes BENCH_wire.json (CI gates the
+             imputed enc+dec speedup >= 1.5 on the 4-core runner only —
+             see the report's \"cores\" field)
+             --out DIR (bench)  --iters N (20000)  --intervals N (24)
+             --clients N (4)  --loadgen-intervals N (30)
+             --deadline-ms N (50)  --seed N (41)
   recovery-bench
              crash-recovery benchmark: clean lockstep fingerprint, then
              the same stream under injected worker panics / solver
@@ -163,6 +178,8 @@ COMMANDS:
              protocol; each violation prints a replayable FMML_SIM_SEED
              --seeds N (100)  --seed N (1; first seed)  --clients N (3)
              --ops N (16)  --json (per-seed JSON lines)
+             --wire json|bin1 (json; run the whole sweep under the
+             binary codec — fingerprints are codec-independent)
              --pinned FILE   verify the aggregate reply fingerprint
                              against FILE, or write FILE if absent
              --cluster       multi-node mode: clients -> router -> N
@@ -222,6 +239,7 @@ fn main() {
         "cluster-bench" => cmd_cluster_bench(&args),
         "loadgen" => cmd_loadgen(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "wire-bench" => cmd_wire_bench(&args),
         "recovery-bench" => cmd_recovery_bench(&args),
         "train-bench" => cmd_train_bench(&args),
         "obs" => cmd_obs(&args),
@@ -663,6 +681,15 @@ fn cmd_enforce(args: &Args) -> Result<(), CliError> {
 /// The serving model: `--model FILE` loads a checkpoint; otherwise a
 /// deterministic untrained imputer seeded by `--seed` (scaled for the
 /// `SimConfig::small()` traces the load generator replays).
+/// Parse `--wire json|bin1` (default json — byte-identical to pre-v2).
+fn parse_wire(args: &Args) -> Result<WireCodec, CliError> {
+    match args.get_string("wire") {
+        None => Ok(WireCodec::Json),
+        Some(s) => WireCodec::parse(s)
+            .ok_or_else(|| CliError::Usage(format!("unknown --wire {s:?} (known: json, bin1)"))),
+    }
+}
+
 fn serve_model(args: &Args) -> Result<std::sync::Arc<TransformerImputer>, CliError> {
     match args.get_string("model") {
         Some(path) => {
@@ -710,6 +737,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         max_batch: args.get_or("max-batch", 16usize)?,
         queue_depth: args.get_or("queue-depth", 64usize)?,
         max_restarts: args.get_or("max-restarts", 5u32)?,
+        wire: parse_wire(args)?,
         process_faults,
         ..ServerConfig::default()
     };
@@ -784,13 +812,16 @@ fn cmd_cluster(args: &Args) -> Result<(), CliError> {
     if backends_n == 0 {
         return Err(CliError::Usage("--backends must be at least 1".into()));
     }
+    let wire = parse_wire(args)?;
     let backend_cfg = ServerConfig {
         workers: args.get_or("workers", 1usize)?,
         deadline: Duration::from_millis(args.get_or("deadline-ms", 50u64)?),
+        wire,
         ..ServerConfig::default()
     };
     let router = fmml_cluster::spawn(fmml_cluster::RouterConfig {
         addr: args.get_string("addr").unwrap_or("127.0.0.1:4710").into(),
+        wire,
         ..fmml_cluster::RouterConfig::default()
     })
     .map_err(|e| CliError::io("cluster router", e))?;
@@ -920,6 +951,7 @@ fn cmd_loadgen(args: &Args) -> Result<(), CliError> {
         deadline: Duration::from_millis(args.get_or("deadline-ms", 50u64)?),
         pace: args.get::<u64>("pace-ms")?.map(Duration::from_millis),
         chaos: args.flag("chaos").then(ChaosConfig::standard),
+        wire: parse_wire(args)?,
         ..LoadgenConfig::default()
     };
     log_event!(
@@ -982,6 +1014,36 @@ fn cmd_serve_bench(args: &Args) -> Result<(), CliError> {
     let model = serve_model(args)?;
     let report = bench_serve(model, &bc);
     eprint!("{}", report.summary());
+    std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+    let path = report
+        .save(Path::new(dir))
+        .map_err(|e| CliError::io(dir, e))?;
+    println!("bench report written to {}", path.display());
+    Ok(())
+}
+
+/// `fmml wire-bench`: the wire-codec benchmark behind
+/// `BENCH_wire.json` — JSON vs binary encode/decode microbench on the
+/// hot frames, a cross-codec lockstep fingerprint pass (asserted
+/// bitwise-equal inside `bench_wire`), and end-to-end loadgen under
+/// both codecs.
+fn cmd_wire_bench(args: &Args) -> Result<(), CliError> {
+    let dir = args.get_string("out").unwrap_or("bench");
+    let mut bc = WireBenchConfig::default();
+    bc.iters = args.get_or("iters", bc.iters)?;
+    bc.intervals = args.get_or("intervals", bc.intervals)?;
+    bc.clients = args.get_or("clients", bc.clients)?;
+    bc.loadgen_intervals = args.get_or("loadgen-intervals", bc.loadgen_intervals)?;
+    bc.deadline = Duration::from_millis(args.get_or("deadline-ms", 50u64)?);
+    bc.seed = args.get_or("seed", bc.seed)?;
+    let model = serve_model(args)?;
+    let report = bench_wire(model, &bc);
+    eprint!("{}", report.summary());
+    log_event!(
+        "wire_bench.done",
+        "imputed_encdec_speedup" = report.imputed_encdec_speedup(),
+        "fingerprint_match" = report.fingerprint_match,
+    );
     std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
     let path = report
         .save(Path::new(dir))
@@ -1409,6 +1471,7 @@ fn cmd_simtest(args: &Args) -> Result<(), CliError> {
         clients: args.get_or("clients", defaults.clients)?,
         ops: args.get_or("ops", defaults.ops)?,
         inject_bug: bug,
+        wire: parse_wire(args)?,
     };
     if cfg.seeds == 0 {
         return Err(CliError::Usage("--seeds must be at least 1".into()));
@@ -1560,6 +1623,7 @@ fn cmd_simtest_cluster(args: &Args) -> Result<(), CliError> {
         clients: args.get_or("clients", defaults.clients)?,
         backends: args.get_or("backends", defaults.backends)?,
         ops: args.get_or("ops", defaults.ops)?,
+        wire: parse_wire(args)?,
     };
     if cfg.seeds == 0 {
         return Err(CliError::Usage("--seeds must be at least 1".into()));

@@ -42,7 +42,8 @@ use crate::ring::HashRing;
 use fmml_obs::trace::{self, TraceContext};
 use fmml_obs::{log_event, Clock, Counter, Gauge, Histogram, Unit};
 use fmml_serve::protocol::{
-    encode_frame, encode_frame_capped, write_bytes, Frame, FrameReader, MAX_FRAME_LEN,
+    encode_frame_with, write_bytes, Frame, FrameReader, RawFrame, WireCodec, HEADER_LEN,
+    MAX_FRAME_LEN,
 };
 use fmml_serve::{Accepted, Conn, Connector, ReplayLog, TcpConnector, TcpTransport, Transport};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -66,8 +67,11 @@ static CL_STUCK: Counter = Counter::new("cluster.stuck_resends");
 static CL_BACKENDS_UP: Gauge = Gauge::new("cluster.backends.up");
 static CL_ROUTE_US: Histogram = Histogram::new("cluster.route_us", Unit::Micros);
 
-/// Router tuning knobs. Durations marked *real* are poll patience and
-/// stay on the wall clock even under an injected virtual clock.
+/// Router tuning knobs. Every duration reads the injected [`Clock`]:
+/// under the simulation harness's virtual clock, probe patience, dial
+/// deadlines and the pending-repair timeout all advance with virtual
+/// time, so a simtest seed explores timeout behaviour deterministically
+/// instead of racing the wall clock.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
     /// Frontend bind address (TCP spawn only); port `0` is ephemeral.
@@ -81,16 +85,16 @@ pub struct RouterConfig {
     pub replay_window: usize,
     /// Liveness probe cadence (injected clock — virtual under sim).
     pub probe_interval: Duration,
-    /// Probe reply patience (*real*: a healthy in-memory backend
-    /// answers in microseconds regardless of virtual time).
+    /// Probe reply patience (injected clock). A healthy backend answers
+    /// before any time passes; only a stalled link spends this.
     pub probe_timeout: Duration,
     /// Consecutive probe failures before a backend is marked down and
     /// removed from the ring.
     pub probe_failures: u32,
-    /// Backend dial+handshake patience (*real*).
+    /// Backend dial+handshake patience (injected clock).
     pub dial_timeout: Duration,
-    /// How long an in-flight interval may go unanswered (*real*)
-    /// before its session is force-migrated and everything still
+    /// How long an in-flight interval may go unanswered (injected
+    /// clock) before its session is force-migrated and everything still
     /// pending is re-sent. This is the repair path for partition
     /// stalls: a frame written into a silently-partitioned link
     /// produces no I/O error and no reply until the partition heals —
@@ -108,7 +112,13 @@ pub struct RouterConfig {
     /// Sessions whose client vanished are kept resumable this long
     /// (injected clock) before being dropped.
     pub parked_ttl: Duration,
-    /// Time source for probe cadence and parked TTLs.
+    /// Preferred wire codec for client sessions and backend links. The
+    /// router negotiates [`WireCodec::Bin1`] only with peers that
+    /// advertise it; everyone else stays on JSON, so mixed fleets keep
+    /// working (`--wire` on `fmml cluster`).
+    pub wire: WireCodec,
+    /// Time source for probe cadence, dial/pending deadlines and parked
+    /// TTLs.
     pub clock: Clock,
 }
 
@@ -129,6 +139,7 @@ impl Default for RouterConfig {
             read_timeout: Duration::from_millis(25),
             write_timeout: Duration::from_secs(2),
             parked_ttl: Duration::from_secs(30),
+            wire: WireCodec::Json,
             clock: Clock::System,
         }
     }
@@ -193,8 +204,11 @@ pub struct BackendInfo {
 /// An interval forwarded to a backend and not yet answered.
 struct PendingEntry {
     port: usize,
-    /// The encoded `Interval` frame, re-sent verbatim on migration.
+    /// The client's `Interval` frame exactly as it arrived on the wire
+    /// (any codec — backend readers sniff per frame), forwarded and
+    /// re-sent verbatim on migration.
     bytes: Vec<u8>,
+    /// Injected-clock send time (virtual under the simulation harness).
     sent_at: Instant,
     trace_id: Option<u64>,
 }
@@ -215,6 +229,10 @@ struct RouteState<CB: Conn> {
     backend: String,
     writer: Option<CB>,
     epoch: u64,
+    /// Codec the current backend link negotiated in its `Welcome` —
+    /// what router-originated frames on this link (`Bye`) are encoded
+    /// in. Routed payloads pass through verbatim regardless.
+    link: WireCodec,
     pending: BTreeMap<u64, PendingEntry>,
     history: VecDeque<HistEntry>,
     /// Warm-up seqs whose backend replies must be dropped (the client
@@ -250,6 +268,10 @@ struct SessionInner<CF: Conn, CB: Conn> {
     /// every backend the session is placed on.
     hello: Frame,
     window_intervals: usize,
+    /// Codec negotiated with the client at birth; fixed for the whole
+    /// lineage (resumes restate it) because the replay log stores
+    /// encoded reply bytes.
+    codec: WireCodec,
     deadline_ms: AtomicU64,
     front: Mutex<Option<CF>>,
     replay: Mutex<ReplayLog>,
@@ -623,17 +645,28 @@ where
 }
 
 /// Dial a backend and answer one `MetricsDump`. Returns the probed
-/// queue depth (load signal) on success.
-fn probe_backend<B: Connector>(connector: &B, patience: Duration) -> Result<i64, ()> {
+/// queue depth (load signal) on success. Patience runs on the injected
+/// clock: under a virtual clock a stalled probe times out when the
+/// driver advances time, not when the wall clock does — so the loop
+/// must also honor `abort` (shutdown), or a probe in flight when the
+/// driver stops pumping time would never reach its deadline and the
+/// prober join would hang.
+fn probe_backend<B: Connector>(
+    connector: &B,
+    clock: &Clock,
+    patience: Duration,
+    abort: impl Fn() -> bool,
+) -> Result<i64, ()> {
     let conn = connector.connect().map_err(|_| ())?;
     let _ = conn.set_read_timeout(Some(Duration::from_millis(2)));
     let _ = conn.set_write_timeout(Some(patience));
     let read_half = conn.try_clone().map_err(|_| ())?;
     let mut writer = conn;
-    let dump = encode_frame(&Frame::MetricsDump).map_err(|_| ())?;
+    let dump =
+        encode_frame_with(&Frame::MetricsDump, WireCodec::Json, MAX_FRAME_LEN).map_err(|_| ())?;
     write_bytes(&mut writer, &dump).map_err(|_| ())?;
     let mut reader = FrameReader::new(read_half);
-    let deadline = Instant::now() + patience;
+    let deadline = clock.now() + patience;
     loop {
         match reader.poll_frame() {
             Ok(Some(Frame::MetricsReply { json })) => {
@@ -648,7 +681,7 @@ fn probe_backend<B: Connector>(connector: &B, patience: Duration) -> Result<i64,
                 return Ok(load);
             }
             Ok(Some(_)) | Ok(None) => {
-                if Instant::now() >= deadline {
+                if clock.now() >= deadline || abort() {
                     return Err(());
                 }
             }
@@ -676,7 +709,12 @@ fn prober_loop<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<Rout
                 .collect()
         };
         for (name, connector, was_up) in snapshot {
-            let result = probe_backend(connector.as_ref(), shared.cfg.probe_timeout);
+            let result = probe_backend(
+                connector.as_ref(),
+                &shared.cfg.clock,
+                shared.cfg.probe_timeout,
+                || shared.shutting_down(),
+            );
             match result {
                 Ok(load) => {
                     let mut promoted = false;
@@ -769,6 +807,7 @@ fn sweep_parked<CF: Conn, B: Connector>(shared: &Arc<RouterShared<CF, B>>) {
 /// bitwise identical.
 fn sweep_stuck<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<RouterShared<CF, B>>) {
     let timeout = shared.cfg.pending_timeout;
+    let now = shared.cfg.clock.now();
     let sessions: Vec<Arc<SessionInner<CF, B::Conn>>> = {
         let s = shared
             .sessions
@@ -782,7 +821,10 @@ fn sweep_stuck<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<Rout
         }
         let epoch = {
             let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
-            let aged = st.pending.values().any(|p| p.sent_at.elapsed() > timeout);
+            let aged = st
+                .pending
+                .values()
+                .any(|p| now.saturating_duration_since(p.sent_at) > timeout);
             // A goodbye whose link died (or that never found a live
             // backend) has no pending entry to age: `bye` with no
             // writer is the same "will never be answered" state.
@@ -801,7 +843,28 @@ fn sweep_stuck<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<Rout
 /// Re-place every session whose ring assignment no longer matches where
 /// it lives — exactly the sessions in the token ranges a join/leave
 /// moved; everyone else stays put (bounded churn).
+///
+/// The migrations run on a tracked background thread, never inline on
+/// the caller: membership changes arrive through the public API from
+/// arbitrary threads, and under a virtual clock the caller (the test
+/// driver) is the very thread that advances time — migrating inline
+/// would park it inside dial deadlines only it could expire.
 fn rebalance<CF: Conn, B: Connector + Send + Sync + 'static>(shared: &Arc<RouterShared<CF, B>>) {
+    let shared2 = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("cluster-rebalance".into())
+        .spawn(move || rebalance_sync(&shared2));
+    match spawned {
+        Ok(h) => shared.track(h),
+        // Out of threads: degrade to the blocking path rather than
+        // dropping the rebalance.
+        Err(_) => rebalance_sync(shared),
+    }
+}
+
+fn rebalance_sync<CF: Conn, B: Connector + Send + Sync + 'static>(
+    shared: &Arc<RouterShared<CF, B>>,
+) {
     let sessions: Vec<Arc<SessionInner<CF, B::Conn>>> = {
         let s = shared
             .sessions
@@ -839,6 +902,8 @@ enum DialOutcome<CB: Conn> {
         writer: CB,
         reader: FrameReader<CB>,
         deadline_ms: u64,
+        /// Codec the backend's `Welcome` picked for this link.
+        codec: WireCodec,
     },
     /// The backend answered `Error{draining}` — place elsewhere.
     Draining,
@@ -862,20 +927,30 @@ fn dial_backend<CF: Conn, CB: Conn, B: Connector<Conn = CB>>(
     };
     let mut reader = FrameReader::with_max_len(read_half, shared.cfg.backend_frame_len);
     let mut writer = conn;
-    let Ok(hello_bytes) = encode_frame(hello) else {
+    // The Hello itself always travels as JSON (pre-negotiation); its
+    // `codecs` field carries the advertisement.
+    let Ok(hello_bytes) = encode_frame_with(hello, WireCodec::Json, shared.cfg.backend_frame_len)
+    else {
         return DialOutcome::Failed;
     };
     if write_bytes(&mut writer, &hello_bytes).is_err() {
         return DialOutcome::Failed;
     }
-    let deadline = Instant::now() + shared.cfg.dial_timeout;
+    let deadline = shared.cfg.clock.now() + shared.cfg.dial_timeout;
     loop {
         match reader.poll_frame() {
-            Ok(Some(Frame::Welcome { deadline_ms, .. })) => {
+            Ok(Some(Frame::Welcome {
+                deadline_ms, codec, ..
+            })) => {
+                let codec = codec
+                    .as_deref()
+                    .and_then(WireCodec::parse)
+                    .unwrap_or_default();
                 return DialOutcome::Ok {
                     writer,
                     reader,
                     deadline_ms,
+                    codec,
                 };
             }
             Ok(Some(Frame::Error { code, .. })) if code == "draining" => {
@@ -883,7 +958,7 @@ fn dial_backend<CF: Conn, CB: Conn, B: Connector<Conn = CB>>(
             }
             Ok(Some(_)) => return DialOutcome::Failed,
             Ok(None) => {
-                if Instant::now() >= deadline || shared.shutting_down() {
+                if shared.cfg.clock.now() >= deadline || shared.shutting_down() {
                     return DialOutcome::Failed;
                 }
             }
@@ -951,7 +1026,10 @@ fn migrate<CF: Conn, B: Connector + Send + Sync + 'static>(
         match dial_backend(shared, connector.as_ref(), &session.hello) {
             DialOutcome::Failed => {
                 shared.mark_backend_failed(&target);
-                std::thread::sleep(Duration::from_millis(2));
+                // Injected-clock backoff: under the simulation harness
+                // the driver's idle pump advances virtual time, so the
+                // retry never burns a wall-clock budget.
+                shared.cfg.clock.sleep(Duration::from_millis(2));
                 continue;
             }
             DialOutcome::Draining => {
@@ -969,6 +1047,7 @@ fn migrate<CF: Conn, B: Connector + Send + Sync + 'static>(
                 mut writer,
                 reader,
                 deadline_ms,
+                codec,
             } => {
                 session.deadline_ms.store(deadline_ms, Ordering::Relaxed);
                 let epoch = {
@@ -983,6 +1062,7 @@ fn migrate<CF: Conn, B: Connector + Send + Sync + 'static>(
                         old.shutdown_both();
                     }
                     st.backend = target.clone();
+                    st.link = codec;
                     // Warm-up: replay the ingested window so the new
                     // shard's sliding state matches the old one's
                     // exactly; its replies are swallowed.
@@ -1007,8 +1087,9 @@ fn migrate<CF: Conn, B: Connector + Send + Sync + 'static>(
                     // Re-send pending in seq order (exactly-once: the
                     // client never saw replies for these).
                     if ok {
+                        let now = shared.cfg.clock.now();
                         for p in st.pending.values_mut() {
-                            p.sent_at = Instant::now();
+                            p.sent_at = now;
                             if write_bytes(&mut writer, &p.bytes).is_err() {
                                 ok = false;
                                 break;
@@ -1016,7 +1097,9 @@ fn migrate<CF: Conn, B: Connector + Send + Sync + 'static>(
                         }
                     }
                     if ok && st.bye {
-                        if let Ok(bye) = encode_frame(&Frame::Bye) {
+                        if let Ok(bye) =
+                            encode_frame_with(&Frame::Bye, codec, shared.cfg.backend_frame_len)
+                        {
                             ok = write_bytes(&mut writer, &bye).is_ok();
                         }
                     }
@@ -1071,15 +1154,15 @@ fn link_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
         if shared.shutting_down() || session.done() {
             return;
         }
-        match reader.poll_frame() {
+        match reader.poll_frame_raw() {
             Ok(None) => {
                 let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
                 if st.epoch != my_epoch {
                     return;
                 }
             }
-            Ok(Some(frame)) => {
-                if !handle_backend_frame(shared, session, frame, my_epoch) {
+            Ok(Some(raw)) => {
+                if !handle_backend_frame(shared, session, raw, my_epoch) {
                     return;
                 }
             }
@@ -1102,73 +1185,54 @@ fn link_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
 
 /// Process one backend reply. Returns false when this link thread
 /// should exit.
+///
+/// Replies are routed from the frame *as it sits on the wire*: a
+/// wire-v2 payload exposes its tag and seq at fixed offsets
+/// ([`RawFrame::meta`]), so the hot path (`Ack`/`Imputed`) never decodes
+/// the body, and the bytes the backend produced are committed to the
+/// replay log and the client verbatim — no re-encode, no frame-cap
+/// mismatch (the old decode→`encode_frame` round trip silently dropped
+/// any legal reply over the *default* cap on links configured with a
+/// raised one), and bitwise-identical content across the hop by
+/// construction. JSON payloads and rare control frames take the full
+/// decode fallback.
 fn handle_backend_frame<CF: Conn, B: Connector + Send + Sync + 'static>(
     shared: &Arc<RouterShared<CF, B>>,
     session: &Arc<SessionInner<CF, B::Conn>>,
-    frame: Frame,
+    raw: RawFrame,
     my_epoch: u64,
 ) -> bool {
-    let seq = match &frame {
-        Frame::Ack { seq, .. }
-        | Frame::Imputed { seq, .. }
-        | Frame::Busy { seq, .. }
-        | Frame::Reject { seq, .. } => *seq,
-        Frame::ByeAck { .. } => {
-            let remaining = {
-                let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
-                if st.epoch != my_epoch {
-                    return false;
+    let (seq, ingested) = match raw.meta() {
+        // `meta()` only yields seq-carrying tags; a backend never sends
+        // `Interval`, so anything else here is bogus and falls through
+        // to the decode path below to be ignored or rejected.
+        Some(m) if matches!(m.tag, "Ack" | "Imputed" | "Busy" | "Reject") => {
+            (m.seq, matches!(m.tag, "Ack" | "Imputed"))
+        }
+        _ => match raw.decode() {
+            Ok(frame) => match route_control_frame(shared, session, frame, my_epoch) {
+                ControlRouted::Reply { seq, ingested } => (seq, ingested),
+                ControlRouted::Continue => return true,
+                ControlRouted::Exit => return false,
+            },
+            Err(_) => {
+                // A frame that framed correctly but fails to decode
+                // means the link is corrupt: repair exactly like a read
+                // error.
+                {
+                    let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    if st.epoch != my_epoch {
+                        return false;
+                    }
                 }
-                st.pending.len() as u64
-            };
-            let ba = Frame::ByeAck {
-                answered: session.answered.load(Ordering::Relaxed),
-                remaining,
-            };
-            if let Ok(bytes) = encode_frame(&ba) {
-                session.send_client(&bytes);
+                if !shared.shutting_down() && !session.done() {
+                    migrate(shared, session, my_epoch);
+                }
+                return false;
             }
-            session.done.store(true, Ordering::Release);
-            if let Some(c) = session
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .writer
-                .take()
-            {
-                c.shutdown_both();
-            }
-            shared
-                .sessions
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .remove(&session.token);
-            CL_ACTIVE.add(-1);
-            shared.counters.active.fetch_sub(1, Ordering::Relaxed);
-            log_event!("cluster.session.close", "session" = session.id);
-            return false;
-        }
-        Frame::Error { code, .. } => {
-            // Backend-level error (shutting_down, …): the link is gone.
-            log_event!(
-                "cluster.backend.error",
-                "session" = session.id,
-                "code" = code.as_str()
-            );
-            let cur = {
-                let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
-                st.epoch
-            };
-            if cur == my_epoch && !shared.shutting_down() && !session.done() {
-                migrate(shared, session, my_epoch);
-            }
-            return false;
-        }
-        // Welcome (late), StatsReply, MetricsReply: nothing to route.
-        _ => return true,
+        },
     };
 
-    let ingested = matches!(frame, Frame::Ack { .. } | Frame::Imputed { .. });
     {
         let mut st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
         if st.epoch != my_epoch {
@@ -1189,7 +1253,7 @@ fn handle_backend_frame<CF: Conn, B: Connector + Send + Sync + 'static>(
             return true;
         }
         if let Some(p) = st.pending.remove(&seq) {
-            let elapsed = p.sent_at.elapsed();
+            let elapsed = shared.cfg.clock.now().saturating_duration_since(p.sent_at);
             CL_ROUTE_US.record(elapsed.as_nanos() as u64);
             if let Some(tid) = p.trace_id {
                 // Parent the router hop into the interval's trace (the
@@ -1205,13 +1269,94 @@ fn handle_backend_frame<CF: Conn, B: Connector + Send + Sync + 'static>(
             }
         }
     }
-    let Ok(bytes) = encode_frame(&frame) else {
-        return true;
-    };
-    session.commit_reply(seq, &bytes);
+    session.commit_reply(seq, raw.bytes());
     CL_REPLIES.inc();
     shared.counters.replies.fetch_add(1, Ordering::Relaxed);
     true
+}
+
+/// What [`route_control_frame`] decided about a fully-decoded backend
+/// frame.
+enum ControlRouted {
+    /// A seq-carrying reply (JSON link): route it like the fast path.
+    Reply { seq: u64, ingested: bool },
+    /// Nothing to route; keep reading.
+    Continue,
+    /// The link thread should exit.
+    Exit,
+}
+
+/// Handle the decoded-frame fallback of [`handle_backend_frame`]:
+/// `ByeAck` completes the session, `Error` triggers re-placement, JSON
+/// replies are routed by seq, and stray control frames are ignored.
+fn route_control_frame<CF: Conn, B: Connector + Send + Sync + 'static>(
+    shared: &Arc<RouterShared<CF, B>>,
+    session: &Arc<SessionInner<CF, B::Conn>>,
+    frame: Frame,
+    my_epoch: u64,
+) -> ControlRouted {
+    match &frame {
+        Frame::Ack { seq, .. }
+        | Frame::Imputed { seq, .. }
+        | Frame::Busy { seq, .. }
+        | Frame::Reject { seq, .. } => ControlRouted::Reply {
+            seq: *seq,
+            ingested: matches!(frame, Frame::Ack { .. } | Frame::Imputed { .. }),
+        },
+        Frame::ByeAck { .. } => {
+            let remaining = {
+                let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                if st.epoch != my_epoch {
+                    return ControlRouted::Exit;
+                }
+                st.pending.len() as u64
+            };
+            let ba = Frame::ByeAck {
+                answered: session.answered.load(Ordering::Relaxed),
+                remaining,
+            };
+            if let Ok(bytes) = encode_frame_with(&ba, session.codec, shared.cfg.client_frame_len) {
+                session.send_client(&bytes);
+            }
+            session.done.store(true, Ordering::Release);
+            if let Some(c) = session
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .writer
+                .take()
+            {
+                c.shutdown_both();
+            }
+            shared
+                .sessions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&session.token);
+            CL_ACTIVE.add(-1);
+            shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+            log_event!("cluster.session.close", "session" = session.id);
+            ControlRouted::Exit
+        }
+        Frame::Error { code, .. } => {
+            // Backend-level error (shutting_down, …): the link is gone.
+            log_event!(
+                "cluster.backend.error",
+                "session" = session.id,
+                "code" = code.as_str()
+            );
+            let cur = {
+                let st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
+                st.epoch
+            };
+            if cur == my_epoch && !shared.shutting_down() && !session.done() {
+                migrate(shared, session, my_epoch);
+            }
+            ControlRouted::Exit
+        }
+        // Welcome (late), StatsReply, MetricsReply: nothing to route.
+        _ => ControlRouted::Continue,
+    }
 }
 
 /// One client connection: pre-handshake probes, `Hello` (fresh or
@@ -1231,13 +1376,18 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
     let mut writer = conn;
 
     // Pre-handshake: answer Stats / MetricsDump probes until a Hello.
+    // No codec is negotiated yet, so these travel as JSON.
     let hello = loop {
         if shared.shutting_down() {
             return;
         }
         match reader.poll_frame() {
             Ok(Some(Frame::Stats)) => {
-                let Ok(b) = encode_frame(&shared.counters.stats_frame()) else {
+                let Ok(b) = encode_frame_with(
+                    &shared.counters.stats_frame(),
+                    WireCodec::Json,
+                    cfg.client_frame_len,
+                ) else {
                     return;
                 };
                 if write_bytes(&mut writer, &b).is_err() {
@@ -1248,7 +1398,9 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
                 let reply = Frame::MetricsReply {
                     json: fmml_obs::dump_json(),
                 };
-                let Ok(b) = encode_frame(&reply) else { return };
+                let Ok(b) = encode_frame_with(&reply, WireCodec::Json, cfg.client_frame_len) else {
+                    return;
+                };
                 if write_bytes(&mut writer, &b).is_err() {
                     return;
                 }
@@ -1266,6 +1418,7 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
         window_intervals,
         resume_token,
         last_acked,
+        codecs,
     } = hello
     else {
         shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
@@ -1273,7 +1426,7 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
             code: "bad_handshake".into(),
             message: format!("expected Hello, got {}", hello.tag()),
         };
-        if let Ok(b) = encode_frame(&err) {
+        if let Ok(b) = encode_frame_with(&err, WireCodec::Json, cfg.client_frame_len) {
             let _ = write_bytes(&mut writer, &b);
         }
         return;
@@ -1329,8 +1482,12 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
                 resume_token: Some(session.token.clone()),
                 resumed: Some(true),
                 resume_seq: Some(hw),
+                // The lineage keeps the codec it negotiated at birth
+                // (replayed bytes are pre-encoded); the Welcome — itself
+                // JSON — restates it rather than renegotiating.
+                codec: Some(session.codec.label().into()),
             };
-            if let Ok(b) = encode_frame(&welcome) {
+            if let Ok(b) = encode_frame_with(&welcome, WireCodec::Json, cfg.client_frame_len) {
                 if !session.send_client(&b) {
                     return;
                 }
@@ -1361,6 +1518,11 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
     // Fresh session: mint a token, place it on the ring, answer Welcome.
     let id = shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
     let token = shared.mint_token();
+    // Negotiate the client-facing codec, and advertise binary to the
+    // backends only for binary sessions — that way a session's reply
+    // bytes are produced in its own codec end-to-end and pass through
+    // this router verbatim.
+    let codec = WireCodec::negotiate(cfg.wire, codecs.as_deref());
     let hello_template = Frame::Hello {
         tenant,
         ports,
@@ -1369,12 +1531,14 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
         window_intervals,
         resume_token: None,
         last_acked: None,
+        codecs: (codec == WireCodec::Bin1).then(WireCodec::advertise),
     };
     let session = Arc::new(SessionInner {
         id,
         token: token.clone(),
         hello: hello_template,
         window_intervals,
+        codec,
         deadline_ms: AtomicU64::new(0),
         front: Mutex::new(Some(writer)),
         replay: Mutex::new(ReplayLog::new(shared.cfg.replay_window)),
@@ -1384,6 +1548,7 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
             backend: String::new(),
             writer: None,
             epoch: 0,
+            link: WireCodec::Json,
             pending: BTreeMap::new(),
             history: VecDeque::new(),
             swallow: HashSet::new(),
@@ -1412,8 +1577,11 @@ fn handle_client<CF: Conn, B: Connector + Send + Sync + 'static>(
         resume_token: Some(token),
         resumed: Some(false),
         resume_seq: None,
+        codec: Some(session.codec.label().into()),
     };
-    if let Ok(b) = encode_frame(&welcome) {
+    // The Welcome itself is always JSON so a pre-v2 client can read the
+    // verdict; everything after it speaks the negotiated codec.
+    if let Ok(b) = encode_frame_with(&welcome, WireCodec::Json, cfg.client_frame_len) {
         if !session.send_client(&b) {
             park(shared, &session);
             return;
@@ -1460,6 +1628,12 @@ fn park<CF: Conn, B: Connector>(
 /// The post-handshake frontend loop: dedup + forward intervals, answer
 /// probes, relay `Bye`. Exits by parking on client disconnect or when
 /// the session completes.
+///
+/// Intervals are forwarded to the backend as the exact bytes the client
+/// sent (backend readers sniff the codec per frame), decoded here only
+/// for validation, dedup and routing metadata — the decode/re-encode
+/// round trip of the JSON-era router is gone from both directions of
+/// the hot path.
 fn client_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
     shared: &Arc<RouterShared<CF, B>>,
     session: &Arc<SessionInner<CF, B::Conn>>,
@@ -1469,7 +1643,7 @@ fn client_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
         if shared.shutting_down() || session.done() {
             return;
         }
-        match reader.poll_frame() {
+        let raw = match reader.poll_frame_raw() {
             Ok(None) => continue,
             Err(_) => {
                 if !session.done() {
@@ -1477,22 +1651,36 @@ fn client_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
                 }
                 return;
             }
-            Ok(Some(Frame::Interval {
+            Ok(Some(raw)) => raw,
+        };
+        let frame = match raw.decode() {
+            Ok(f) => f,
+            Err(_) => {
+                // Framed correctly but undecodable: treat like the
+                // malformed-stream read error above.
+                if !session.done() {
+                    park(shared, session);
+                }
+                return;
+            }
+        };
+        match frame {
+            Frame::Interval {
                 seq,
                 update,
                 trace_id,
-            })) => {
+            } => {
                 shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
                 let port = update.port;
-                let frame = Frame::Interval {
-                    seq,
-                    update,
-                    trace_id,
-                };
-                let Ok(bytes) = encode_frame_capped(&frame, shared.cfg.backend_frame_len) else {
+                // The client reader's cap is normally below the backend
+                // link's raised cap; guard the inverted-config case
+                // rather than feeding the backend a frame its reader
+                // must reject.
+                if raw.bytes().len() > HEADER_LEN + shared.cfg.backend_frame_len {
                     shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
                     continue;
-                };
+                }
+                let bytes = raw.into_bytes();
                 // Duplicate retransmit of an answered seq: replay from
                 // the log, never re-forward (no window is fed twice).
                 if seq <= session.highest_seq.load(Ordering::Acquire) {
@@ -1520,7 +1708,7 @@ fn client_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
                     PendingEntry {
                         port,
                         bytes: bytes.clone(),
-                        sent_at: Instant::now(),
+                        sent_at: shared.cfg.clock.now(),
                         trace_id,
                     },
                 );
@@ -1534,23 +1722,30 @@ fn client_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
                     }
                 }
             }
-            Ok(Some(Frame::Stats)) => {
-                if let Ok(b) = encode_frame(&shared.counters.stats_frame()) {
+            Frame::Stats => {
+                if let Ok(b) = encode_frame_with(
+                    &shared.counters.stats_frame(),
+                    session.codec,
+                    shared.cfg.client_frame_len,
+                ) {
                     session.send_client(&b);
                 }
             }
-            Ok(Some(Frame::MetricsDump)) => {
+            Frame::MetricsDump => {
                 let reply = Frame::MetricsReply {
                     json: fmml_obs::dump_json(),
                 };
-                if let Ok(b) = encode_frame(&reply) {
+                if let Ok(b) = encode_frame_with(&reply, session.codec, shared.cfg.client_frame_len)
+                {
                     session.send_client(&b);
                 }
             }
-            Ok(Some(Frame::Bye)) => {
+            Frame::Bye => {
                 let mut st = session.state.lock().unwrap_or_else(PoisonError::into_inner);
                 st.bye = true;
-                if let Ok(bye) = encode_frame(&Frame::Bye) {
+                if let Ok(bye) =
+                    encode_frame_with(&Frame::Bye, st.link, shared.cfg.backend_frame_len)
+                {
                     if let Some(w) = st.writer.as_mut() {
                         if write_bytes(w, &bye).is_err() {
                             w.shutdown_both();
@@ -1560,7 +1755,7 @@ fn client_loop<CF: Conn, B: Connector + Send + Sync + 'static>(
                 // Keep reading: the ByeAck arrives via the link reader
                 // and flips `done`.
             }
-            Ok(Some(_)) => {
+            _ => {
                 shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
             }
         }

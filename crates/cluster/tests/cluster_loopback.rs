@@ -9,11 +9,15 @@ use fmml_core::transformer_imputer::{Scales, TransformerImputer};
 use fmml_fm::cem::{CemEngine, DegradationLevel, LadderConfig};
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
-use fmml_serve::protocol::{write_frame, Frame, FrameReader};
-use fmml_serve::{spawn, ServerConfig, ServerHandle, TcpConnector};
+use fmml_serve::protocol::{
+    encode_frame, encode_frame_capped, write_bytes, write_frame, write_frame_with, Frame,
+    FrameReader, WireCodec, MAX_FRAME_LEN,
+};
+use fmml_serve::{spawn, ServerConfig, ServerHandle, TcpConnector, WireError};
 use fmml_telemetry::{windows_from_trace, PortWindow};
-use std::net::TcpStream;
-use std::sync::Arc;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const INTERVAL_LEN: usize = 10;
@@ -89,6 +93,7 @@ fn hello(port: usize, queues: usize) -> Frame {
         window_intervals: WINDOW_INTERVALS,
         resume_token: None,
         last_acked: None,
+        codecs: None,
     }
 }
 
@@ -324,6 +329,7 @@ fn client_resume_replays_from_router_log() {
             window_intervals: WINDOW_INTERVALS,
             resume_token: Some(token),
             last_acked: Some(0),
+            codecs: None,
         },
     )
     .unwrap();
@@ -470,4 +476,404 @@ fn router_answers_probes_locally() {
     assert!(infos[0].up);
     rt.shutdown();
     a.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Raised-cap regression: frames past the default 1 MiB cap must cross
+// the router intact, including the migration warm-up replay. The model
+// server can't produce over-cap replies in test time, so these tests
+// stand up a protocol-faithful fake backend whose replies are a pure
+// function of the request seq — which also makes bitwise identity
+// across a migration checkable without a model in the loop.
+// ---------------------------------------------------------------------
+
+/// Links raised four-fold above the stock frame cap.
+const RAISED: usize = 4 * MAX_FRAME_LEN;
+
+/// A deterministic interval update whose JSON encoding exceeds the
+/// default [`MAX_FRAME_LEN`] (240k four-digit values ≈ 1.2 MiB).
+fn big_update(seq: u64) -> IntervalUpdate {
+    let n = 120_000usize;
+    IntervalUpdate {
+        port: 1,
+        samples: (0..n)
+            .map(|i| 1000 + ((seq as usize * 13 + i) % 9000) as u32)
+            .collect(),
+        maxes: (0..n)
+            .map(|i| 1000 + ((seq as usize * 17 + i) % 9000) as u32)
+            .collect(),
+        sent: 10,
+        dropped: 0,
+        received: 10,
+    }
+}
+
+/// The fake backend's reply series for `seq` — again over-cap as JSON
+/// (230k four-digit values ≈ 1.15 MiB) and derivable by the client for
+/// exact comparison.
+fn big_series(seq: u64) -> Vec<Vec<u32>> {
+    (0..96usize)
+        .map(|q| {
+            (0..2400usize)
+                .map(|t| 1000 + ((seq as usize * 31 + q * 7 + t) % 9000) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+/// One fake-backend connection: answer router probes, the session
+/// handshake, and every interval with the deterministic oversized reply.
+fn fake_conn(stream: TcpStream) {
+    let mut reader = FrameReader::with_max_len(stream.try_clone().unwrap(), RAISED);
+    let mut writer = stream;
+    while let Ok(frame) = reader.read_frame() {
+        let out = match frame {
+            Frame::MetricsDump => Frame::MetricsReply {
+                json: r#"{"metrics":{"slo.queue_depth":0}}"#.into(),
+            },
+            Frame::Hello { .. } => Frame::Welcome {
+                session: 1,
+                deadline_ms: 500,
+                resume_token: None,
+                resumed: Some(false),
+                resume_seq: None,
+                codec: None,
+            },
+            Frame::Interval {
+                seq,
+                update,
+                trace_id,
+            } => Frame::Imputed {
+                seq,
+                port: update.port,
+                series: big_series(seq),
+                level: "full".into(),
+                enforced: true,
+                latency_us: 7,
+                trace_id,
+            },
+            Frame::Bye => {
+                let bye = Frame::ByeAck {
+                    answered: 0,
+                    remaining: 0,
+                };
+                if let Ok(b) = encode_frame_capped(&bye, RAISED) {
+                    let _ = write_bytes(&mut writer, &b);
+                }
+                return;
+            }
+            _ => continue,
+        };
+        let Ok(b) = encode_frame_capped(&out, RAISED) else {
+            return;
+        };
+        if write_bytes(&mut writer, &b).is_err() {
+            return;
+        }
+    }
+}
+
+struct FakeBackend {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FakeBackend {
+    fn spawn() -> FakeBackend {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        s.set_nonblocking(false).unwrap();
+                        s.set_nodelay(true).unwrap();
+                        conns.lock().unwrap().push(s.try_clone().unwrap());
+                        std::thread::spawn(move || fake_conn(s));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => return,
+                }
+            })
+        };
+        FakeBackend {
+            addr,
+            stop,
+            conns,
+            accept: Some(accept),
+        }
+    }
+
+    /// Hard kill: stop accepting and sever every live connection, so the
+    /// router sees link death exactly as with a crashed process.
+    fn kill(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for c in self.conns.lock().unwrap().drain(..) {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Regression for the raised-cap forwarder bug: interval updates and
+/// replies **larger than the default frame cap** must cross the router
+/// intact — including the migration warm-up replay, which re-sends the
+/// whole ingested window over a fresh backend link. The old forwarder
+/// round-tripped frames through default-cap `encode_frame`, so exactly
+/// these frames were silently dropped at the re-encode.
+#[test]
+fn raised_cap_migration_replays_oversized_frames() {
+    // Prove the fixtures really exceed the stock cap: default-cap
+    // encoding must reject them, the raised cap must accept them.
+    let probe = Frame::Interval {
+        seq: 1,
+        update: big_update(1),
+        trace_id: None,
+    };
+    assert!(matches!(
+        encode_frame(&probe),
+        Err(WireError::Oversized { .. })
+    ));
+    assert!(encode_frame_capped(&probe, RAISED).is_ok());
+    let reply_probe = Frame::Imputed {
+        seq: 1,
+        port: 1,
+        series: big_series(1),
+        level: "full".into(),
+        enforced: true,
+        latency_us: 7,
+        trace_id: None,
+    };
+    assert!(matches!(
+        encode_frame(&reply_probe),
+        Err(WireError::Oversized { .. })
+    ));
+
+    let a = FakeBackend::spawn();
+    let rt = fmml_cluster::spawn(RouterConfig {
+        probe_interval: Duration::from_millis(50),
+        probe_failures: 2,
+        dial_timeout: Duration::from_millis(500),
+        client_frame_len: RAISED,
+        backend_frame_len: RAISED,
+        ..RouterConfig::default()
+    })
+    .expect("spawn router");
+    rt.add_backend(
+        "a",
+        TcpConnector {
+            addr: a.addr.to_string(),
+        },
+    );
+
+    let stream = TcpStream::connect(rt.addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut rx = FrameReader::with_max_len(stream.try_clone().unwrap(), RAISED);
+    let mut tx = stream;
+
+    write_frame(&mut tx, &hello(1, 4)).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::Welcome { .. }));
+
+    fn send(tx: &mut TcpStream, seq: u64) {
+        let f = Frame::Interval {
+            seq,
+            update: big_update(seq),
+            trace_id: Some(seq),
+        };
+        let b = encode_frame_capped(&f, RAISED).expect("raised-cap encode");
+        write_bytes(tx, &b).expect("send oversized interval");
+    }
+    fn expect_reply(rx: &mut FrameReader<TcpStream>, seq: u64) {
+        match rx.read_frame().expect("reply") {
+            Frame::Imputed {
+                seq: s,
+                series,
+                level,
+                enforced,
+                ..
+            } => {
+                assert_eq!(s, seq);
+                assert_eq!(series, big_series(seq), "series mangled at seq={seq}");
+                assert_eq!(level, "full");
+                assert!(enforced);
+            }
+            other => panic!("expected Imputed at seq={seq}, got {other:?}"),
+        }
+    }
+
+    for seq in 1..=3u64 {
+        send(&mut tx, seq);
+        expect_reply(&mut rx, seq);
+    }
+
+    // Fail "a" over to "b": the warm-up replay pushes three >1 MiB
+    // interval frames through the new backend link before the live
+    // stream resumes.
+    let b = FakeBackend::spawn();
+    rt.add_backend(
+        "b",
+        TcpConnector {
+            addr: b.addr.to_string(),
+        },
+    );
+    a.kill();
+
+    for seq in 4..=6u64 {
+        send(&mut tx, seq);
+        expect_reply(&mut rx, seq);
+    }
+
+    write_frame(&mut tx, &Frame::Bye).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::ByeAck {
+            answered,
+            remaining,
+        } => {
+            assert_eq!(answered, 6);
+            assert_eq!(remaining, 0);
+        }
+        other => panic!("expected ByeAck, got {other:?}"),
+    }
+    let (migrations, _resumes, _replayed) = rt.cluster_stats();
+    assert!(migrations >= 1, "the kill must have forced a migration");
+    rt.shutdown();
+    b.kill();
+}
+
+/// A bin1-negotiated session through the router: the client advertises,
+/// the router (preferring bin1) upgrades both hops, and every reply —
+/// forwarded verbatim, before and after a backend kill — arrives on the
+/// binary wire **bitwise identical** to the offline enforcement path.
+#[test]
+fn bin1_negotiated_session_survives_migration_bitwise() {
+    let model = model();
+    let ws = windows();
+    let w = &ws[0];
+    let rt = fmml_cluster::spawn(RouterConfig {
+        probe_interval: Duration::from_millis(50),
+        probe_failures: 2,
+        dial_timeout: Duration::from_millis(500),
+        wire: WireCodec::Bin1,
+        ..RouterConfig::default()
+    })
+    .expect("spawn router");
+    let bin_backend = || {
+        spawn(
+            Arc::clone(&model),
+            ServerConfig {
+                workers: 1,
+                deadline: Duration::from_millis(500),
+                wire: WireCodec::Bin1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("spawn backend")
+    };
+    let a = bin_backend();
+    rt.add_backend(
+        "a",
+        TcpConnector {
+            addr: a.addr().to_string(),
+        },
+    );
+
+    let (mut tx, mut rx) = connect(rt.addr());
+    let hi = Frame::Hello {
+        tenant: "test".into(),
+        ports: vec![w.port],
+        queues: w.num_queues(),
+        interval_len: INTERVAL_LEN,
+        window_intervals: WINDOW_INTERVALS,
+        resume_token: None,
+        last_acked: None,
+        codecs: Some(WireCodec::advertise()),
+    };
+    write_frame(&mut tx, &hi).unwrap();
+    let raw = rx.poll_frame_raw().expect("welcome").expect("welcome");
+    assert_eq!(raw.codec(), WireCodec::Json, "Welcome must travel as JSON");
+    match raw.decode().unwrap() {
+        Frame::Welcome { codec, .. } => assert_eq!(codec.as_deref(), Some("bin1")),
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+
+    let mut reference = offline(&model, w);
+    let total = w.intervals();
+    assert!(total >= 6, "fixture too small to split around a kill");
+    let split = total / 2;
+    let push = |tx: &mut TcpStream,
+                rx: &mut FrameReader<TcpStream>,
+                reference: &mut StreamingImputer<Arc<TransformerImputer>>,
+                k: usize,
+                seq: u64| {
+        let u = IntervalUpdate::from_window(w, k);
+        let expect = reference.try_push(u.clone()).unwrap();
+        write_frame_with(
+            tx,
+            &Frame::Interval {
+                seq,
+                update: u,
+                trace_id: Some(seq),
+            },
+            WireCodec::Bin1,
+        )
+        .unwrap();
+        let raw = loop {
+            if let Some(r) = rx.poll_frame_raw().expect("reply") {
+                break r;
+            }
+        };
+        assert_eq!(
+            raw.codec(),
+            WireCodec::Bin1,
+            "negotiated replies must ride the binary wire (seq={seq})"
+        );
+        check_reply(raw.decode().unwrap(), expect, w, seq, k);
+    };
+
+    for (k, seq) in (0..split).zip(1u64..) {
+        push(&mut tx, &mut rx, &mut reference, k, seq);
+    }
+
+    let b = bin_backend();
+    rt.add_backend(
+        "b",
+        TcpConnector {
+            addr: b.addr().to_string(),
+        },
+    );
+    a.shutdown();
+
+    for (k, seq) in (split..total).zip(split as u64 + 1..) {
+        push(&mut tx, &mut rx, &mut reference, k, seq);
+    }
+
+    write_frame_with(&mut tx, &Frame::Bye, WireCodec::Bin1).unwrap();
+    match rx.read_frame().unwrap() {
+        Frame::ByeAck {
+            answered,
+            remaining,
+        } => {
+            assert_eq!(answered, total as u64);
+            assert_eq!(remaining, 0);
+        }
+        other => panic!("expected ByeAck, got {other:?}"),
+    }
+    let (migrations, _resumes, _replayed) = rt.cluster_stats();
+    assert!(migrations >= 1, "the kill must have forced a migration");
+    rt.shutdown();
+    b.shutdown();
 }

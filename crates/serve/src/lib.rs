@@ -42,7 +42,7 @@ pub mod transport;
 pub use loadgen::{
     run as run_loadgen, run_with as run_loadgen_with, ChaosConfig, LoadReport, LoadgenConfig,
 };
-pub use protocol::{Frame, WireError, MAX_FRAME_LEN};
+pub use protocol::{Frame, WireCodec, WireError, MAX_FRAME_LEN};
 pub use replay_log::ReplayLog;
 pub use server::{spawn, spawn_with, ProtocolBug, ServerConfig, ServerHandle};
 pub use sim::{FaultCounts, FaultProfile, SimConn, SimConnector, SimNet, SimTransport};

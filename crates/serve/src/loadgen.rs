@@ -14,7 +14,7 @@
 //! reordered intervals. The server's contract under all of it: typed
 //! rejections, zero panics, zero constraint violations.
 
-use crate::protocol::{write_frame, Frame, FrameReader, WireError};
+use crate::protocol::{write_frame, write_frame_with, Frame, FrameReader, WireCodec, WireError};
 use crate::transport::{Conn, Connector, TcpConnector};
 use fmml_core::streaming::IntervalUpdate;
 use fmml_fm::cem::DegradationLevel;
@@ -100,6 +100,11 @@ pub struct LoadgenConfig {
     pub pace: Option<Duration>,
     pub chaos: Option<ChaosConfig>,
     pub tenant_prefix: String,
+    /// Preferred wire codec (`--wire`): `Bin1` makes every client
+    /// advertise the v2 codec in its `Hello` and encode with whatever
+    /// the server's `Welcome` picks; `Json` (default) does not
+    /// advertise, so the session stays on the v1 wire.
+    pub wire: WireCodec,
 }
 
 impl Default for LoadgenConfig {
@@ -118,6 +123,7 @@ impl Default for LoadgenConfig {
             pace: None,
             chaos: None,
             tenant_prefix: "tenant".into(),
+            wire: WireCodec::Json,
         }
     }
 }
@@ -565,6 +571,7 @@ fn run_client<K: Connector + ?Sized>(
                 window_intervals: cfg.window_intervals,
                 resume_token: resume_token.clone(),
                 last_acked: resume_token.is_some().then_some(last_acked),
+                codecs: (cfg.wire == WireCodec::Bin1).then(WireCodec::advertise),
             },
         )
         .is_err()
@@ -578,6 +585,13 @@ fn run_client<K: Connector + ?Sized>(
             report.reconnects += 1;
             continue;
         };
+        // Encode with whatever the server picked (an old server's
+        // Welcome has no codec key → JSON). Decoding always sniffs.
+        let codec = welcome
+            .codec
+            .as_deref()
+            .and_then(WireCodec::parse)
+            .unwrap_or_default();
         if welcome.resumed == Some(true) {
             report.resumes += 1;
             LG_RESUMES.inc();
@@ -689,7 +703,7 @@ fn run_client<K: Connector + ?Sized>(
                 update: u,
                 trace_id: (trace_id != 0).then_some(trace_id),
             };
-            if write_frame(&mut w, &frame).is_err() {
+            if write_frame_with(&mut w, &frame, codec).is_err() {
                 disconnected = true;
                 break;
             }
@@ -701,7 +715,7 @@ fn run_client<K: Connector + ?Sized>(
         let finished = idx >= updates.len();
         if finished && !disconnected {
             // Graceful goodbye: drain then ByeAck.
-            let _ = write_frame(&mut w, &Frame::Bye);
+            let _ = write_frame_with(&mut w, &Frame::Bye, codec);
             let wait_until = Instant::now() + Duration::from_secs(10);
             while !shared.saw_byeack.load(Ordering::Acquire)
                 && !shared.done.load(Ordering::Acquire)
@@ -748,6 +762,7 @@ struct WelcomeInfo {
     resume_token: Option<String>,
     resumed: Option<bool>,
     resume_seq: Option<u64>,
+    codec: Option<String>,
 }
 
 fn await_welcome<C: Conn>(reader: &mut FrameReader<C>) -> Option<WelcomeInfo> {
@@ -758,12 +773,14 @@ fn await_welcome<C: Conn>(reader: &mut FrameReader<C>) -> Option<WelcomeInfo> {
                 resume_token,
                 resumed,
                 resume_seq,
+                codec,
                 ..
             })) => {
                 return Some(WelcomeInfo {
                     resume_token,
                     resumed,
                     resume_seq,
+                    codec,
                 })
             }
             Ok(Some(Frame::Error { .. })) => return None,

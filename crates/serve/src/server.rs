@@ -33,7 +33,9 @@
 //! readers stop ingesting and wait for their in-flight replies, workers
 //! exit once the queue is empty and every reader is gone.
 
-use crate::protocol::{encode_frame, write_bytes, Frame, FrameReader, WireError, MAX_FRAME_LEN};
+use crate::protocol::{
+    encode_frame_with, write_bytes, Frame, FrameReader, WireCodec, WireError, MAX_FRAME_LEN,
+};
 use crate::replay_log::ReplayLog;
 use crate::transport::{Accepted, Conn, TcpTransport, Transport};
 use fmml_core::streaming::{PreparedWindow, StreamOptions, StreamingImputer};
@@ -48,7 +50,7 @@ use fmml_obs::{log_event, Clock, Counter, FloatGauge, Gauge, Histogram, Unit};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -210,6 +212,11 @@ pub struct ServerConfig {
     /// stalls, slow writes) — the recovery chaos hook. Inactive by
     /// default; see [`ProcessFaultPlan`].
     pub process_faults: ProcessFaultPlan,
+    /// Preferred wire codec for negotiated sessions (`--wire`). The
+    /// server picks this codec in its `Welcome` when the client's `Hello`
+    /// advertises it; otherwise the session stays on JSON. Decoding is
+    /// always sniffed per frame, so this knob never rejects anyone.
+    pub wire: WireCodec,
     /// Time source for every deadline, TTL, backoff, and watchdog tick.
     /// [`Clock::System`] in production; the deterministic simulation
     /// harness injects a virtual clock so full session lifecycles run
@@ -266,6 +273,7 @@ impl Default for ServerConfig {
             max_parked: 64,
             parked_ttl: Duration::from_secs(30),
             resume_claim_wait: Duration::from_millis(500),
+            wire: WireCodec::Json,
             process_faults: ProcessFaultPlan::none(),
             clock: Clock::System,
             injected_bug: None,
@@ -369,13 +377,32 @@ struct SessionWriter<C: Conn> {
     /// (Ack/Imputed/Busy/Reject all count — every received seq resolves
     /// exactly one way).
     highest_seq: AtomicU64,
+    /// Negotiated wire codec for everything this session encodes —
+    /// `Json` until the handshake picks otherwise, then fixed for the
+    /// session's whole lineage (parked state included) so replay-log
+    /// bytes stay valid across resume. Stored as the codec's
+    /// discriminant (0 = JSON, 1 = bin1).
+    codec: AtomicU8,
 }
 
 impl<C: Conn> SessionWriter<C> {
+    /// The session's negotiated encode codec.
+    fn codec(&self) -> WireCodec {
+        match self.codec.load(Ordering::Acquire) {
+            1 => WireCodec::Bin1,
+            _ => WireCodec::Json,
+        }
+    }
+
+    fn set_codec(&self, codec: WireCodec) {
+        self.codec
+            .store((codec == WireCodec::Bin1) as u8, Ordering::Release);
+    }
+
     /// Write one frame; on failure the session is marked dead and the
     /// socket shut down (waking the reader thread). Returns success.
     fn send(&self, shared: &Shared<C>, frame: &Frame) -> bool {
-        let Ok(bytes) = encode_frame(frame) else {
+        let Ok(bytes) = encode_frame_with(frame, self.codec(), shared.cfg.max_frame_len) else {
             return false;
         };
         self.send_bytes(shared, &bytes, frame.tag())
@@ -423,7 +450,7 @@ impl<C: Conn> SessionWriter<C> {
     /// Reject path; the worker path encodes separately for stage timing
     /// and calls [`record_reply`](SessionWriter::record_reply) itself).
     fn send_reply(&self, shared: &Shared<C>, seq: u64, frame: &Frame) -> bool {
-        let Ok(bytes) = encode_frame(frame) else {
+        let Ok(bytes) = encode_frame_with(frame, self.codec(), shared.cfg.max_frame_len) else {
             return false;
         };
         self.record_reply(seq, &bytes);
@@ -1076,6 +1103,7 @@ fn handle_connection<C: Conn>(shared: &Arc<Shared<C>>, stream: C) {
         dead: AtomicBool::new(false),
         replay: Mutex::new(ReplayLog::new(cfg.replay_window)),
         highest_seq: AtomicU64::new(0),
+        codec: AtomicU8::new(0),
     });
     let mut reader = FrameReader::with_max_len(read_half, cfg.max_frame_len);
 
@@ -1271,6 +1299,7 @@ fn handshake<C: Conn>(
         window_intervals,
         resume_token,
         last_acked,
+        codecs,
     } = frame
     else {
         let _ = writer.send(
@@ -1364,6 +1393,11 @@ fn handshake<C: Conn>(
         })
         .collect();
     let token = shared.resumable().then(|| resume_token_for(id));
+    // Codec negotiation: the server's preference, if the client
+    // advertised it. The Welcome itself still goes out as JSON (the
+    // writer's codec is switched only after it is sent), so a client
+    // can always parse the verdict with its pre-negotiation decoder.
+    let codec = WireCodec::negotiate(cfg.wire, codecs.as_deref());
     if !writer.send(
         shared,
         &Frame::Welcome {
@@ -1376,10 +1410,12 @@ fn handshake<C: Conn>(
             // (i.e. lost), not wait for a replay.
             resumed: shared.resumable().then_some(false),
             resume_seq: None,
+            codec: Some(codec.label().into()),
         },
     ) {
         return None;
     }
+    writer.set_codec(codec);
     Some(Session {
         id,
         tenant,
@@ -1510,6 +1546,10 @@ fn resume_session<C: Conn>(
             resume_token: session.token.clone(),
             resumed: Some(true),
             resume_seq: Some(resume_seq),
+            // A resumed lineage keeps the codec it negotiated at birth
+            // (the replay bytes that follow are pre-encoded in it); the
+            // Welcome restates it rather than renegotiating.
+            codec: Some(writer.codec().label().into()),
         },
     ) {
         // The Welcome never cleared the reconnect (it died mid-
@@ -1981,7 +2021,7 @@ fn process_batch<C: Conn>(
         // Encode and write timed separately, so a slow peer shows up
         // in `serve.stage.write_us` rather than smearing the batch.
         let encode_start = cfg.clock.now();
-        let bytes = encode_frame(&frame);
+        let bytes = encode_frame_with(&frame, job.writer.codec(), cfg.max_frame_len);
         let encode_dur = cfg.clock.now().saturating_duration_since(encode_start);
         let sent = match &bytes {
             Ok(bytes) => {

@@ -117,6 +117,7 @@ fn resume_after_parked_ttl_gets_fresh_session_and_reclaims_state() {
             window_intervals: WINDOW_INTERVALS,
             resume_token: None,
             last_acked: None,
+            codecs: None,
         },
     )
     .unwrap();
@@ -161,6 +162,7 @@ fn resume_after_parked_ttl_gets_fresh_session_and_reclaims_state() {
             window_intervals: WINDOW_INTERVALS,
             resume_token: Some(token.clone()),
             last_acked: Some(1),
+            codecs: None,
         },
     )
     .unwrap();

@@ -7,9 +7,17 @@
 //! * hostile length prefixes over [`MAX_FRAME_LEN`] are rejected before
 //!   allocation;
 //! * arbitrary garbage bytes never panic the decoder.
+//!
+//! Every property runs for **both** codecs: the JSON wire v1 and the
+//! compact binary wire v2 (`bin1`). The binary path additionally checks
+//! cross-codec equality (a frame decodes to the same value no matter
+//! which codec carried it) and that mangled bin1 payloads (flipped tag,
+//! truncated body, trailing junk) error instead of panicking.
 
 use fmml_core::streaming::IntervalUpdate;
-use fmml_serve::protocol::{decode_frame, encode_frame, Frame, HEADER_LEN, MAX_FRAME_LEN};
+use fmml_serve::protocol::{
+    decode_frame, encode_frame, encode_frame_with, Frame, WireCodec, HEADER_LEN, MAX_FRAME_LEN,
+};
 use fmml_serve::WireError;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -45,6 +53,12 @@ fn random_frame(rng: &mut StdRng) -> Frame {
                 .random_bool(0.5)
                 .then(|| format!("tok-{:016x}", rng.random::<u64>())),
             last_acked: rng.random_bool(0.5).then(|| rng.random()),
+            codecs: rng.random_bool(0.5).then(|| {
+                vec![
+                    "bin1".to_string(),
+                    format!("v{}", rng.random_range(0..9u32)),
+                ]
+            }),
         },
         1 => Frame::Welcome {
             session: rng.random(),
@@ -54,6 +68,7 @@ fn random_frame(rng: &mut StdRng) -> Frame {
                 .then(|| format!("tok-{:016x}", rng.random::<u64>())),
             resumed: rng.random_bool(0.5).then(|| rng.random_bool(0.5)),
             resume_seq: rng.random_bool(0.5).then(|| rng.random()),
+            codec: rng.random_bool(0.5).then(|| "bin1".to_string()),
         },
         2 => Frame::Interval {
             seq: rng.random(),
@@ -139,6 +154,32 @@ proptest! {
     }
 
     #[test]
+    fn bin1_encode_decode_identity(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let frame = random_frame(&mut rng);
+            let bytes = encode_frame_with(&frame, WireCodec::Bin1, MAX_FRAME_LEN).expect("encodes");
+            let decoded = decode_frame(&bytes).expect("decodes");
+            let (back, consumed) = decoded.expect("complete frame");
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(back, frame);
+        }
+    }
+
+    /// The codec is a transport detail: the same frame decodes to the
+    /// same value no matter which encoding carried it.
+    #[test]
+    fn codecs_agree_on_decoded_value(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = random_frame(&mut rng);
+        let json = encode_frame(&frame).expect("json encodes");
+        let bin = encode_frame_with(&frame, WireCodec::Bin1, MAX_FRAME_LEN).expect("bin1 encodes");
+        let (a, _) = decode_frame(&json).unwrap().expect("complete");
+        let (b, _) = decode_frame(&bin).unwrap().expect("complete");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
     fn truncated_frames_are_incomplete_never_panic(seed in 0u64..100_000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = random_frame(&mut rng);
@@ -151,6 +192,48 @@ proptest! {
         };
         for cut in probes {
             prop_assert_eq!(decode_frame(&bytes[..cut]), Ok(None), "cut at {}", cut);
+        }
+    }
+
+    /// Bin1 truncation happens *inside* the payload (the length prefix
+    /// is honest but the body stops short): the decoder must report
+    /// malformed, not read out of bounds or panic.
+    #[test]
+    fn bin1_mangled_payloads_error_never_panic(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = random_frame(&mut rng);
+        let bytes = encode_frame_with(&frame, WireCodec::Bin1, MAX_FRAME_LEN).expect("encodes");
+        let payload = &bytes[HEADER_LEN..];
+
+        // Chop the payload but keep the length prefix consistent with
+        // the chopped body, so decode sees a "complete" hostile frame.
+        let cut = rng.random_range(0..payload.len());
+        let mut hostile = ((cut as u32).to_be_bytes()).to_vec();
+        hostile.extend_from_slice(&payload[..cut]);
+        if let Ok(Some((_, consumed))) = decode_frame(&hostile) {
+            prop_assert!(consumed <= hostile.len());
+        }
+
+        // Trailing junk after a well-formed body must be rejected (the
+        // strict-trailing check), not silently ignored.
+        let mut padded = bytes.clone();
+        let junk = rng.random_range(1..8usize);
+        padded.extend(std::iter::repeat_n(0xEEu8, junk));
+        let new_len = (padded.len() - HEADER_LEN) as u32;
+        padded[..HEADER_LEN].copy_from_slice(&new_len.to_be_bytes());
+        prop_assert!(matches!(
+            decode_frame(&padded),
+            Err(fmml_serve::WireError::Malformed { .. })
+        ));
+
+        // A flipped tag byte decodes to a *different* frame or errors —
+        // never panics, never the original frame.
+        if payload.len() >= 2 {
+            let mut flipped = bytes.clone();
+            flipped[HEADER_LEN + 1] ^= 0xFF;
+            if let Ok(Some((back, _))) = decode_frame(&flipped) {
+                prop_assert!(back != frame);
+            }
         }
     }
 
@@ -169,6 +252,22 @@ proptest! {
     fn garbage_never_panics(seed in 0u64..100_000, len in 0usize..256) {
         let mut rng = StdRng::seed_from_u64(seed);
         let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0..256u32) as u8).collect();
+        // Any outcome is fine except a panic; decode must also never
+        // claim to consume more bytes than it was given.
+        if let Ok(Some((_, consumed))) = decode_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert!(consumed >= HEADER_LEN);
+        }
+    }
+
+    /// Same hostility aimed squarely at the binary decoder: random
+    /// bytes behind an honest length prefix and a valid bin1 marker.
+    #[test]
+    fn bin1_garbage_never_panics(seed in 0u64..100_000, len in 0usize..256) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = (((len + 1) as u32).to_be_bytes()).to_vec();
+        bytes.push(0xB1);
+        bytes.extend((0..len).map(|_| rng.random_range(0..256u32) as u8));
         // Any outcome is fine except a panic; decode must also never
         // claim to consume more bytes than it was given.
         if let Ok(Some((_, consumed))) = decode_frame(&bytes) {

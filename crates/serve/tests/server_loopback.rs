@@ -8,7 +8,7 @@ use fmml_fault::ProcessFaultPlan;
 use fmml_fm::cem::{CemEngine, DegradationLevel, LadderConfig};
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
-use fmml_serve::protocol::{write_frame, Frame, FrameReader};
+use fmml_serve::protocol::{write_frame, write_frame_with, Frame, FrameReader, WireCodec};
 use fmml_serve::{spawn, ServerConfig};
 use fmml_telemetry::{windows_from_trace, PortWindow};
 use std::io::Write as _;
@@ -65,6 +65,7 @@ fn hello(port: usize, queues: usize) -> Frame {
         window_intervals: WINDOW_INTERVALS,
         resume_token: None,
         last_acked: None,
+        codecs: None,
     }
 }
 
@@ -78,6 +79,7 @@ fn hello_resume(port: usize, queues: usize, token: &str, last_acked: u64) -> Fra
         window_intervals: WINDOW_INTERVALS,
         resume_token: Some(token.to_string()),
         last_acked: Some(last_acked),
+        codecs: None,
     }
 }
 
@@ -335,6 +337,7 @@ fn hostile_hello_geometry_at(max_frame_len: usize) {
             window_intervals: 1_000_000_000_000_000,
             resume_token: None,
             last_acked: None,
+            codecs: None,
         },
         // Huge interval_len: as_window would allocate queues*window*len f32s.
         Frame::Hello {
@@ -345,6 +348,7 @@ fn hostile_hello_geometry_at(max_frame_len: usize) {
             window_intervals: 1,
             resume_token: None,
             last_acked: None,
+            codecs: None,
         },
         // Both just over the caps.
         Frame::Hello {
@@ -355,6 +359,7 @@ fn hostile_hello_geometry_at(max_frame_len: usize) {
             window_intervals: ServerConfig::default().max_window_intervals + 1,
             resume_token: None,
             last_acked: None,
+            codecs: None,
         },
     ];
     for frame in hostile {
@@ -760,4 +765,135 @@ fn drain_refuses_new_sessions_but_serves_existing() {
     ));
 
     handle.shutdown();
+}
+
+/// Run one short session against a server with wire preference
+/// `server_wire`, advertising (or not) on the client side. Returns the
+/// codec the `Welcome` picked, the codec each reply actually arrived in,
+/// and the replies normalized to their imputation content (latency and
+/// queue-depth fields vary run to run and are masked out).
+fn negotiated_session(
+    server_wire: WireCodec,
+    advertise: bool,
+) -> (Option<String>, Vec<WireCodec>, Vec<Frame>) {
+    let model = model();
+    let ws = windows();
+    let w = &ws[0];
+    let handle = spawn(
+        Arc::clone(&model),
+        ServerConfig {
+            workers: 1,
+            deadline: Duration::from_millis(500),
+            wire: server_wire,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("spawn server");
+
+    let (mut tx, mut rx) = connect(handle.addr());
+    let hi = Frame::Hello {
+        tenant: "test".into(),
+        ports: vec![w.port],
+        queues: w.num_queues(),
+        interval_len: INTERVAL_LEN,
+        window_intervals: WINDOW_INTERVALS,
+        resume_token: None,
+        last_acked: None,
+        codecs: advertise.then(WireCodec::advertise),
+    };
+    // The Hello itself always travels as JSON (pre-negotiation).
+    write_frame(&mut tx, &hi).unwrap();
+
+    // The Welcome must also arrive as JSON no matter what it picks — a
+    // binary Welcome would be undecodable by the legacy clients the
+    // negotiation exists to protect.
+    let raw = rx.poll_frame_raw().expect("welcome").expect("welcome");
+    assert_eq!(raw.codec(), WireCodec::Json, "Welcome must travel as JSON");
+    let picked = match raw.decode().unwrap() {
+        Frame::Welcome { codec, .. } => codec,
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+    let session_codec = picked
+        .as_deref()
+        .and_then(WireCodec::parse)
+        .unwrap_or_default();
+
+    let mut reply_codecs = Vec::new();
+    let mut replies = Vec::new();
+    for (k, seq) in (0..w.intervals()).zip(1u64..) {
+        let u = IntervalUpdate::from_window(w, k);
+        write_frame_with(
+            &mut tx,
+            &Frame::Interval {
+                seq,
+                update: u,
+                trace_id: None,
+            },
+            session_codec,
+        )
+        .unwrap();
+        let raw = loop {
+            if let Some(r) = rx.poll_frame_raw().expect("reply") {
+                break r;
+            }
+        };
+        reply_codecs.push(raw.codec());
+        replies.push(match raw.decode().unwrap() {
+            Frame::Ack { seq, .. } => Frame::Ack { seq, buffered: 0 },
+            Frame::Imputed {
+                seq,
+                port,
+                series,
+                level,
+                enforced,
+                ..
+            } => Frame::Imputed {
+                seq,
+                port,
+                series,
+                level,
+                enforced,
+                latency_us: 0,
+                trace_id: None,
+            },
+            other => panic!("unexpected reply {other:?}"),
+        });
+    }
+
+    write_frame_with(&mut tx, &Frame::Bye, session_codec).unwrap();
+    assert!(matches!(rx.read_frame().unwrap(), Frame::ByeAck { .. }));
+    handle.shutdown();
+    (picked, reply_codecs, replies)
+}
+
+/// The negotiation matrix: bin1 happens only when **both** sides opt in,
+/// everything else stays on the JSON wire v1 — and the decoded reply
+/// content is identical in every cell.
+#[test]
+fn wire_negotiation_matrix() {
+    // New client × bin1 server: the only cell that upgrades.
+    let (picked, codecs, bin_replies) = negotiated_session(WireCodec::Bin1, true);
+    assert_eq!(picked.as_deref(), Some("bin1"));
+    assert!(
+        codecs.iter().all(|&c| c == WireCodec::Bin1),
+        "negotiated replies must ride the binary wire: {codecs:?}"
+    );
+
+    // Legacy client × bin1 server: no advertisement, no upgrade. The
+    // server states its (JSON) verdict explicitly; a legacy client
+    // simply never reads the field.
+    let (picked, codecs, old_replies) = negotiated_session(WireCodec::Bin1, false);
+    assert_eq!(picked.as_deref(), Some("json"));
+    assert!(codecs.iter().all(|&c| c == WireCodec::Json));
+
+    // New client × JSON-preferring server: advertisement alone must not
+    // flip the wire.
+    let (picked, codecs, json_replies) = negotiated_session(WireCodec::Json, true);
+    assert_eq!(picked.as_deref(), Some("json"));
+    assert!(codecs.iter().all(|&c| c == WireCodec::Json));
+
+    // The codec is a transport detail: identical model, identical
+    // windows, identical replies in every cell of the matrix.
+    assert_eq!(bin_replies, old_replies);
+    assert_eq!(bin_replies, json_replies);
 }

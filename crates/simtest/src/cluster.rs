@@ -43,7 +43,9 @@ use crate::explorer::{
 use fmml_cluster::{RouterConfig, RouterHandle};
 use fmml_fault::ProcessFaultPlan;
 use fmml_obs::Clock;
-use fmml_serve::{spawn_with, FaultProfile, ServerHandle, SimConn, SimConnector, SimNet};
+use fmml_serve::{
+    spawn_with, FaultProfile, ServerHandle, SimConn, SimConnector, SimNet, WireCodec,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,6 +63,11 @@ pub struct ClusterSimConfig {
     pub backends: usize,
     /// Schedule length (ops per seed).
     pub ops: usize,
+    /// Wire codec clients ask for; the router and every backend prefer
+    /// the same one, so a `Bin1` run exercises binary pass-through on
+    /// both hops. Fingerprints are codec-independent (delay-only
+    /// faults).
+    pub wire: WireCodec,
 }
 
 impl Default for ClusterSimConfig {
@@ -71,6 +78,7 @@ impl Default for ClusterSimConfig {
             clients: 3,
             backends: 3,
             ops: 14,
+            wire: WireCodec::Json,
         }
     }
 }
@@ -113,11 +121,9 @@ pub fn run_seed(seed: u64, cfg: &ClusterSimConfig) -> ClusterSeedOutcome {
     let mut backends: Vec<Backend> = (0..cfg.backends.max(1))
         .map(|k| {
             let net = SimNet::new(seed.wrapping_add(0xb000 + k as u64), clock.clone());
-            let handle = spawn_with(
-                net.transport(),
-                Arc::clone(&fx.model),
-                explorer_server_config(clock.clone(), ProcessFaultPlan::none()),
-            );
+            let mut server_cfg = explorer_server_config(clock.clone(), ProcessFaultPlan::none());
+            server_cfg.wire = cfg.wire;
+            let handle = spawn_with(net.transport(), Arc::clone(&fx.model), server_cfg);
             Backend {
                 name: format!("b{k}"),
                 net,
@@ -136,18 +142,21 @@ pub fn run_seed(seed: u64, cfg: &ClusterSimConfig) -> ClusterSeedOutcome {
             // Virtual cadence: one probe round per ~200 ms of virtual
             // time, which the driver's idle pump advances.
             probe_interval: Duration::from_millis(200),
-            // Real patience: a healthy in-memory backend answers a
-            // probe in microseconds; only partitions/flaps spend this.
+            // Virtual patience (the router reads the injected clock for
+            // every deadline): a healthy in-memory backend answers a
+            // probe before any virtual time passes; only
+            // partitions/flaps spend this, and they resolve as the
+            // driver's idle pump advances virtual time.
             probe_timeout: Duration::from_millis(30),
             probe_failures: 2,
             dial_timeout: Duration::from_millis(300),
-            // Real patience before a silently-swallowed frame (partition
-            // blackhole) is repaired by re-placement: the driver's idle
-            // pump spends `real_idle` per iteration, so a drain gives
-            // the prober ample real time to notice and re-send.
+            // Virtual patience before a silently-swallowed frame
+            // (partition blackhole) is repaired by re-placement — ~150
+            // idle pump iterations at 1 ms of virtual time each.
             pending_timeout: Duration::from_millis(150),
             read_timeout: Duration::from_millis(5),
             parked_ttl: Duration::from_secs(3600),
+            wire: cfg.wire,
             clock: clock.clone(),
             ..RouterConfig::default()
         },
@@ -162,10 +171,13 @@ pub fn run_seed(seed: u64, cfg: &ClusterSimConfig) -> ClusterSeedOutcome {
         vc: Some(Arc::clone(&vc)),
         clients: (0..cfg.clients).map(Client::new).collect(),
         violations: Vec::new(),
-        // The router heals placements on real-time probe/dial budgets:
-        // idle pump iterations must let real time pass too.
+        // Router deadlines are virtual, but the router's prober and
+        // link threads still need real CPU time between the driver's
+        // virtual ticks to observe them: idle pump iterations sleep a
+        // sliver of real time purely for thread scheduling.
         real_idle: Duration::from_micros(300),
         stall_limit: 1200,
+        wire: cfg.wire,
     };
     for i in 0..cfg.clients {
         world.handshake(i);
@@ -280,6 +292,7 @@ mod tests {
             clients: 2,
             backends: 2,
             ops: 10,
+            wire: WireCodec::Json,
         }
     }
 
@@ -302,6 +315,32 @@ mod tests {
                 "seed {seed} fingerprint not reproducible"
             );
             assert_eq!(a.inner.violations, b.inner.violations);
+        }
+    }
+
+    /// The wire codec is a transport detail even across router hops:
+    /// bin1 runs reproduce the JSON runs' fingerprints bitwise — the
+    /// pass-through forwarder never perturbs reply content — and stay
+    /// violation-free under the same kill/partition schedules.
+    #[test]
+    fn bin1_runs_reproduce_json_fingerprints() {
+        let json_cfg = quick_cfg();
+        let bin_cfg = ClusterSimConfig {
+            wire: WireCodec::Bin1,
+            ..quick_cfg()
+        };
+        for seed in [21, 22] {
+            let j = run_seed(seed, &json_cfg);
+            let b = run_seed(seed, &bin_cfg);
+            assert!(
+                b.inner.violations.is_empty(),
+                "seed {seed} bin1 violations: {:?}",
+                b.inner.violations
+            );
+            assert_eq!(
+                j.inner.fingerprint, b.inner.fingerprint,
+                "seed {seed} fingerprint depends on the wire codec"
+            );
         }
     }
 }

@@ -49,7 +49,7 @@ use fmml_fm::cem::CemEngine;
 use fmml_netsim::traffic::TrafficConfig;
 use fmml_netsim::{SimConfig, Simulation};
 use fmml_obs::{Clock, VirtualClock};
-use fmml_serve::protocol::{encode_frame, write_frame, FrameReader};
+use fmml_serve::protocol::{encode_frame_with, write_frame, FrameReader, WireCodec, MAX_FRAME_LEN};
 use fmml_serve::{
     spawn_with, Conn, Connector, FaultCounts, FaultProfile, Frame, ProtocolBug, ServerConfig,
     ServerHandle, SimConn, SimNet,
@@ -86,6 +86,13 @@ pub struct SimtestConfig {
     pub ops: usize,
     /// Activate a deliberate server bug; the harness must catch it.
     pub inject_bug: Option<ProtocolBug>,
+    /// Wire codec the driver's clients ask for. With [`WireCodec::Json`]
+    /// the run is byte-identical to a pre-v2 client (no advertisement);
+    /// with [`WireCodec::Bin1`] clients advertise and the server picks.
+    /// Delay-only fault profiles never change observable reply content,
+    /// so a seed's fingerprint is codec-independent — which the CI wire
+    /// sweep asserts by running both.
+    pub wire: WireCodec,
 }
 
 impl Default for SimtestConfig {
@@ -96,6 +103,7 @@ impl Default for SimtestConfig {
             clients: 3,
             ops: 16,
             inject_bug: None,
+            wire: WireCodec::Json,
         }
     }
 }
@@ -187,6 +195,10 @@ pub(crate) fn fixture() -> &'static Fixture {
     })
 }
 
+/// Fields of the last `Welcome` a client saw, in wire order:
+/// `(resumed, resume_seq, resume_token, codec)`.
+type WelcomeInfo = (Option<bool>, Option<u64>, Option<String>, Option<String>);
+
 /// Driver-side state of one simulated client.
 pub(crate) struct Client {
     model: ClientModel,
@@ -202,7 +214,10 @@ pub(crate) struct Client {
     /// verbatim on resume for seqs above the server's watermark.
     sent_wire: BTreeMap<u64, Vec<u8>>,
     supply_idx: usize,
-    welcome: Option<(Option<bool>, Option<u64>, Option<String>)>,
+    /// Codec the server's `Welcome` picked for this lineage; every
+    /// frame the client sends after the handshake is encoded with it.
+    codec: WireCodec,
+    welcome: Option<WelcomeInfo>,
     byeack: Option<(u64, u64)>,
     bye_sent: bool,
 }
@@ -218,6 +233,7 @@ impl Client {
             expired_token: false,
             sent_wire: BTreeMap::new(),
             supply_idx: 0,
+            codec: WireCodec::Json,
             welcome: None,
             byeack: None,
             bye_sent: false,
@@ -239,8 +255,9 @@ impl Client {
                 resumed,
                 resume_seq,
                 resume_token,
+                codec,
                 ..
-            } => self.welcome = Some((resumed, resume_seq, resume_token)),
+            } => self.welcome = Some((resumed, resume_seq, resume_token, codec)),
             Frame::Ack { .. }
             | Frame::Imputed { .. }
             | Frame::Busy { .. }
@@ -293,6 +310,8 @@ pub(crate) struct World {
     pub(crate) real_idle: Duration,
     /// Consecutive progress-free pump iterations before a stall.
     pub(crate) stall_limit: usize,
+    /// Codec the drivers advertise in their `Hello`s.
+    pub(crate) wire: WireCodec,
 }
 
 impl World {
@@ -437,6 +456,7 @@ impl World {
             window_intervals: WINDOW_INTERVALS,
             resume_token: token,
             last_acked,
+            codecs: (self.wire == WireCodec::Bin1).then(WireCodec::advertise),
         };
         let mut tx = conn;
         if write_frame(&mut tx, &hello).is_err() {
@@ -454,7 +474,7 @@ impl World {
             Duration::from_millis(400),
         );
         let welcome = self.clients[i].welcome.take();
-        let Some((resumed, resume_seq, new_token)) = welcome else {
+        let Some((resumed, resume_seq, new_token, codec)) = welcome else {
             // Died or stalled mid-handshake. A resumed session was
             // re-parked server-side under the same token, so retrying
             // is safe.
@@ -462,6 +482,12 @@ impl World {
             return false;
         };
         let c = &mut self.clients[i];
+        // Speak whatever the Welcome picked (a resumed lineage restates
+        // its birth codec; a fresh one reflects the negotiation).
+        c.codec = codec
+            .as_deref()
+            .and_then(WireCodec::parse)
+            .unwrap_or_default();
         match c.model.on_welcome(expect, resumed, resume_seq) {
             Some(r) => {
                 // Replay covers seqs <= r; everything pending above it
@@ -506,11 +532,15 @@ impl World {
             let seq = c.model.alloc_good();
             let update = fx.updates[c.supply_idx % fx.updates.len()].clone();
             c.supply_idx += 1;
-            let bytes = encode_frame(&Frame::Interval {
-                seq,
-                update,
-                trace_id: None,
-            })
+            let bytes = encode_frame_with(
+                &Frame::Interval {
+                    seq,
+                    update,
+                    trace_id: None,
+                },
+                c.codec,
+                MAX_FRAME_LEN,
+            )
             .expect("encode interval");
             c.sent_wire.insert(seq, bytes.clone());
             let Some(tx) = c.tx.as_mut() else { break };
@@ -533,11 +563,15 @@ impl World {
         let mut update = fx.updates[c.supply_idx % fx.updates.len()].clone();
         c.supply_idx += 1;
         update.port = fx.port + 1000;
-        let bytes = encode_frame(&Frame::Interval {
-            seq,
-            update,
-            trace_id: None,
-        })
+        let bytes = encode_frame_with(
+            &Frame::Interval {
+                seq,
+                update,
+                trace_id: None,
+            },
+            c.codec,
+            MAX_FRAME_LEN,
+        )
         .expect("encode interval");
         c.sent_wire.insert(seq, bytes.clone());
         let Some(tx) = c.tx.as_mut() else { return };
@@ -646,7 +680,7 @@ impl World {
                 continue;
             }
             c.byeack = None;
-            let bytes = encode_frame(&Frame::Bye).expect("encode bye");
+            let bytes = encode_frame_with(&Frame::Bye, c.codec, MAX_FRAME_LEN).expect("encode bye");
             let Some(tx) = c.tx.as_mut() else { continue };
             if tx.write_all(&bytes).is_err() {
                 c.dead = true;
@@ -800,11 +834,9 @@ pub fn run_seed(seed: u64, cfg: &SimtestConfig) -> SeedOutcome {
     let mut pf = ProcessFaultPlan::none();
     pf.worker_panic_every = [0u64, 0, 3, 5][(splitmix64(&mut rng) % 4) as usize];
 
-    let handle = spawn_with(
-        net.transport(),
-        Arc::clone(&fx.model),
-        explorer_server_config(clock, pf),
-    );
+    let mut server_cfg = explorer_server_config(clock, pf);
+    server_cfg.wire = cfg.wire;
+    let handle = spawn_with(net.transport(), Arc::clone(&fx.model), server_cfg);
     let mut world = World {
         net: net.clone(),
         vc: Some(Arc::clone(&vc)),
@@ -812,6 +844,7 @@ pub fn run_seed(seed: u64, cfg: &SimtestConfig) -> SeedOutcome {
         violations: Vec::new(),
         real_idle: Duration::ZERO,
         stall_limit: STALL_LIMIT,
+        wire: cfg.wire,
     };
     // Initial handshakes run before the fault profile is armed: every
     // session lineage starts from a clean Welcome.
@@ -897,6 +930,7 @@ fn run_bug_scenario(seed: u64, bug: ProtocolBug) -> SeedOutcome {
         violations: Vec::new(),
         real_idle: Duration::ZERO,
         stall_limit: STALL_LIMIT,
+        wire: WireCodec::Json,
     };
     world.handshake(0);
     world.burst(0, 3);
@@ -932,6 +966,7 @@ mod tests {
             clients: 3,
             ops: 12,
             inject_bug: None,
+            wire: WireCodec::Json,
         }
     }
 
@@ -953,6 +988,31 @@ mod tests {
                 "seed {seed} fingerprint not reproducible"
             );
             assert_eq!(a.violations, b.violations);
+        }
+    }
+
+    /// The wire codec is a transport detail: the same seed lands on the
+    /// same reply fingerprint whether sessions negotiate bin1 or stay
+    /// on JSON, and bin1 runs stay violation-free.
+    #[test]
+    fn bin1_seeds_reproduce_json_fingerprints() {
+        let json_cfg = quick_cfg();
+        let bin_cfg = SimtestConfig {
+            wire: WireCodec::Bin1,
+            ..quick_cfg()
+        };
+        for seed in [11, 12] {
+            let j = run_seed(seed, &json_cfg);
+            let b = run_seed(seed, &bin_cfg);
+            assert!(
+                b.violations.is_empty(),
+                "seed {seed} bin1 violations: {:?}",
+                b.violations
+            );
+            assert_eq!(
+                j.fingerprint, b.fingerprint,
+                "seed {seed} fingerprint depends on the wire codec"
+            );
         }
     }
 
